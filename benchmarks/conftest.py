@@ -1,0 +1,69 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints it.
+Scale knobs: the defaults keep the whole suite under ~20 minutes on a
+laptop; set ``REPRO_BENCH_FULL=1`` for a larger, closer-to-paper-scale run
+(more databases/tasks and the paper's 60 s per-task timeout).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: (databases, tasks per database) for the synthetic Spider splits.
+DEV_SHAPE = (12, 10) if FULL else (6, 6)
+TEST_SHAPE = (24, 10) if FULL else (12, 6)
+TASK_TIMEOUT = 60.0 if FULL else 5.0
+ABLATION_SHAPE = (8, 6) if FULL else (4, 5)
+COHORT = 16 if FULL else 8
+
+
+@pytest.fixture(scope="session")
+def dev_corpus():
+    from repro.datasets import SpiderCorpusConfig, generate_corpus
+
+    return generate_corpus("dev", SpiderCorpusConfig(
+        num_databases=DEV_SHAPE[0], tasks_per_database=DEV_SHAPE[1],
+        seed=0))
+
+
+@pytest.fixture(scope="session")
+def test_corpus():
+    from repro.datasets import SpiderCorpusConfig, generate_corpus
+
+    return generate_corpus("test", SpiderCorpusConfig(
+        num_databases=TEST_SHAPE[0] // 2,
+        tasks_per_database=TEST_SHAPE[1], seed=0))
+
+
+@pytest.fixture(scope="session")
+def ablation_corpus():
+    from repro.datasets import SpiderCorpusConfig, generate_corpus
+
+    return generate_corpus("dev", SpiderCorpusConfig(
+        num_databases=ABLATION_SHAPE[0],
+        tasks_per_database=ABLATION_SHAPE[1], seed=3))
+
+
+@pytest.fixture(scope="session")
+def mas_db():
+    from repro.datasets import build_mas_database
+
+    return build_mas_database(seed=0)
+
+
+@pytest.fixture(scope="session")
+def sim_config():
+    from repro.eval import SimulationConfig
+
+    return SimulationConfig(timeout=TASK_TIMEOUT)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1,
+                              warmup_rounds=0)

@@ -1,0 +1,47 @@
+"""Figure 10: top-1/top-10 accuracy (Duoquest, NLI) and correctness /
+unsupported counts (PBE) on the synthetic Spider dev and test splits."""
+
+from conftest import run_once
+
+from repro.eval import fig10_report, run_simulation
+from repro.eval.metrics import top_k_accuracy
+
+#: Shared across fig10/fig11/table6 benches (computed once).
+_CACHE = {}
+
+
+def simulation_records(corpus, split, config):
+    if split not in _CACHE:
+        _CACHE[split] = run_simulation(corpus, config=config)
+    return _CACHE[split]
+
+
+def test_fig10_dev(benchmark, dev_corpus, sim_config):
+    records = run_once(
+        benchmark,
+        lambda: simulation_records(dev_corpus, "dev", sim_config))
+    print()
+    print(fig10_report(records, "dev"))
+    print("Paper (Spider dev): Dq 63.5/83.7, NLI 30.2/56.7, "
+          "PBE 13.2% correct / 80.6% unsupported")
+    duoquest = [r for r in records if r.system == "Duoquest"]
+    nli = [r for r in records if r.system == "NLI"]
+    _, dq_top1 = top_k_accuracy(duoquest, 1)
+    _, nli_top1 = top_k_accuracy(nli, 1)
+    # The headline claim: >2x top-1 accuracy over the NLI.
+    assert dq_top1 >= 2 * nli_top1
+
+
+def test_fig10_test(benchmark, test_corpus, sim_config):
+    records = run_once(
+        benchmark,
+        lambda: simulation_records(test_corpus, "test", sim_config))
+    print()
+    print(fig10_report(records, "test"))
+    print("Paper (Spider test): Dq 63.5/85.4, NLI 31.2/56.0, "
+          "PBE 16.3% correct / 77.9% unsupported")
+    duoquest = [r for r in records if r.system == "Duoquest"]
+    nli = [r for r in records if r.system == "NLI"]
+    _, dq_top10 = top_k_accuracy(duoquest, 10)
+    _, nli_top10 = top_k_accuracy(nli, 10)
+    assert dq_top10 > nli_top10

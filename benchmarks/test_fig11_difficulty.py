@@ -1,0 +1,32 @@
+"""Figure 11: accuracy breakdown by task difficulty level."""
+
+from conftest import run_once
+
+from repro.eval import fig11_report
+from repro.eval.metrics import correct_counts
+from test_fig10_spider_accuracy import simulation_records
+
+
+def test_fig11_dev(benchmark, dev_corpus, sim_config):
+    records = run_once(
+        benchmark,
+        lambda: simulation_records(dev_corpus, "dev", sim_config))
+    print()
+    print(fig11_report(records, "dev"))
+    print("Paper (dev): Dq 91.2/84.9/62.2, NLI 66.1/56.8/33.8, "
+          "PBE 12.1/19.4/0.0 with 210/167/98 unsupported")
+    # PBE supports no hard task (they all project aggregates).
+    hard_pbe = [r for r in records
+                if r.system == "PBE" and r.difficulty == "hard"]
+    hits, _ = correct_counts(hard_pbe)
+    assert hits == 0
+
+
+def test_fig11_test(benchmark, test_corpus, sim_config):
+    records = run_once(
+        benchmark,
+        lambda: simulation_records(test_corpus, "test", sim_config))
+    print()
+    print(fig11_report(records, "test"))
+    print("Paper (test): Dq 94.5/84.6/67.4, NLI 72.3/51.1/30.2, "
+          "PBE 20.4/20.0/0.0 with 417/313/242 unsupported")

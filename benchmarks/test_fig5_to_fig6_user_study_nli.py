@@ -1,0 +1,46 @@
+"""Figures 5 and 6: the simulated user study vs. the NLI baseline."""
+
+from conftest import COHORT, run_once
+
+from repro.datasets import nli_study_tasks
+from repro.eval import (
+    UserStudyConfig,
+    run_nli_user_study,
+    user_study_success_report,
+    user_study_time_report,
+)
+
+_CACHE = {}
+
+
+def nli_study_trials(mas_db):
+    if "trials" not in _CACHE:
+        tasks = nli_study_tasks(mas_db)
+        _CACHE["trials"] = run_nli_user_study(
+            mas_db, tasks, UserStudyConfig(cohort_size=COHORT))
+    return _CACHE["trials"]
+
+
+def test_fig5_success_rates(benchmark, mas_db):
+    trials = run_once(benchmark, lambda: nli_study_trials(mas_db))
+    print()
+    print(user_study_success_report(
+        trials, ("NLI", "Duoquest"),
+        "Figure 5: % successful trials per task (5-minute limit)"))
+    print("Paper: NLI 23.4% overall (0% on A3/A4/B4); Duoquest 85.9% "
+          "overall — a 62.5-point absolute increase.")
+    duoquest = [t for t in trials if t.system == "Duoquest"]
+    nli = [t for t in trials if t.system == "NLI"]
+    dq_rate = sum(t.success for t in duoquest) / len(duoquest)
+    nli_rate = sum(t.success for t in nli) / len(nli)
+    assert dq_rate > nli_rate + 0.25
+
+
+def test_fig6_trial_times(benchmark, mas_db):
+    trials = run_once(benchmark, lambda: nli_study_trials(mas_db))
+    print()
+    print(user_study_time_report(
+        trials, ("NLI", "Duoquest"),
+        "Figure 6: mean time per task, successful trials only"))
+    print("Paper: Duoquest reduces or matches user time on every "
+          "successfully completed task.")

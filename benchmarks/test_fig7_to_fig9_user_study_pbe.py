@@ -1,0 +1,63 @@
+"""Figures 7, 8 and 9: the simulated user study vs. the PBE system."""
+
+from conftest import COHORT, run_once
+
+from repro.datasets import pbe_study_tasks
+from repro.eval import (
+    UserStudyConfig,
+    run_pbe_user_study,
+    user_study_examples_report,
+    user_study_success_report,
+    user_study_time_report,
+)
+
+_CACHE = {}
+
+
+def pbe_study_trials(mas_db):
+    if "trials" not in _CACHE:
+        tasks = pbe_study_tasks(mas_db)
+        _CACHE["trials"] = run_pbe_user_study(
+            mas_db, tasks, UserStudyConfig(cohort_size=COHORT))
+    return _CACHE["trials"]
+
+
+def test_fig7_success_rates(benchmark, mas_db):
+    trials = run_once(benchmark, lambda: pbe_study_trials(mas_db))
+    print()
+    print(user_study_success_report(
+        trials, ("PBE", "Duoquest"),
+        "Figure 7: % successful trials per task (5-minute limit)"))
+    print("Paper: comparable accuracy overall, Duoquest marginally "
+          "better on the hard tasks (C3, D3).")
+    duoquest = [t for t in trials if t.system == "Duoquest"]
+    pbe = [t for t in trials if t.system == "PBE"]
+    dq_rate = sum(t.success for t in duoquest) / len(duoquest)
+    pbe_rate = sum(t.success for t in pbe) / len(pbe)
+    assert abs(dq_rate - pbe_rate) < 0.35  # comparable
+
+
+def test_fig8_trial_times(benchmark, mas_db):
+    trials = run_once(benchmark, lambda: pbe_study_trials(mas_db))
+    print()
+    print(user_study_time_report(
+        trials, ("PBE", "Duoquest"),
+        "Figure 8: mean time per task, successful trials only"))
+    print("Paper: PBE is faster on the Medium tasks (no NLQ to type); "
+          "times converge on the Hard tasks.")
+
+
+def test_fig9_example_counts(benchmark, mas_db):
+    trials = run_once(benchmark, lambda: pbe_study_trials(mas_db))
+    print()
+    print(user_study_examples_report(
+        trials, ("PBE", "Duoquest"),
+        "Figure 9: mean # examples per task, successful trials only"))
+    print("Paper: users issue more examples on PBE (about 2-4) than on "
+          "Duoquest (about 1-1.5).")
+    duoquest = [t for t in trials if t.system == "Duoquest" and t.success]
+    pbe = [t for t in trials if t.system == "PBE" and t.success]
+    if duoquest and pbe:
+        dq_mean = sum(t.num_examples for t in duoquest) / len(duoquest)
+        pbe_mean = sum(t.num_examples for t in pbe) / len(pbe)
+        assert dq_mean < pbe_mean

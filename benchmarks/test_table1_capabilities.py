@@ -1,0 +1,12 @@
+"""Table 1: capability matrix of NLI/PBE systems vs Duoquest."""
+
+from conftest import run_once
+
+from repro.eval import table1_report
+
+
+def test_table1_capabilities(benchmark):
+    report = run_once(benchmark, table1_report)
+    print()
+    print(report)
+    assert "Duoquest" in report

@@ -1,0 +1,12 @@
+"""Table 3: the guidance modules adopted from SyntaxSQLNet."""
+
+from conftest import run_once
+
+from repro.eval import table3_report
+
+
+def test_table3_modules(benchmark):
+    report = run_once(benchmark, table3_report)
+    print()
+    print(report)
+    assert "AND/OR" in report

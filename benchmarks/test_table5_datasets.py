@@ -1,0 +1,24 @@
+"""Table 5: dataset statistics (databases, tasks by difficulty, schemas)."""
+
+from conftest import run_once
+
+from repro.datasets import nli_study_tasks, pbe_study_tasks
+from repro.eval import table5_report
+
+
+def test_table5_datasets(benchmark, mas_db, dev_corpus, test_corpus):
+    def build():
+        return table5_report([
+            nli_study_tasks(mas_db),
+            pbe_study_tasks(mas_db),
+            dev_corpus,
+            test_corpus,
+        ])
+
+    report = run_once(benchmark, build)
+    print()
+    print(report)
+    print("Paper: MAS = 15 tables / 44 columns / 19 FK-PK; Spider dev = "
+          "20 DBs, 239/252/98 tasks; Spider test = 40 DBs, 524/481/242 "
+          "(this run is scaled down; set REPRO_BENCH_FULL=1 for larger).")
+    assert "user-study-nli" in report

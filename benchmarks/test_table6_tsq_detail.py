@@ -1,0 +1,27 @@
+"""Table 6: accuracy as a function of TSQ specification detail."""
+
+from conftest import run_once
+
+from repro.datasets import ALL_DETAILS
+from repro.eval import run_detail_sweep, table6_report
+from repro.eval.metrics import top_k_accuracy
+from test_fig10_spider_accuracy import simulation_records
+
+
+def test_table6_tsq_detail(benchmark, dev_corpus, sim_config):
+    def sweep():
+        return run_detail_sweep(dev_corpus, details=ALL_DETAILS,
+                                config=sim_config)
+
+    records = run_once(benchmark, sweep)
+    nli_records = simulation_records(dev_corpus, "dev", sim_config)
+    print()
+    print(table6_report(records, nli_records, "dev"))
+    print("Paper (dev): Full 63.5/83.7/91.7, Partial 59.6/77.1/90.3, "
+          "Minimal 40.8/60.6/85.9, NLI 30.2/56.7/69.4")
+    # The ordering Full >= Partial >= Minimal must hold for top-10.
+    by_detail = {}
+    for detail in ("full", "partial", "minimal"):
+        bucket = [r for r in records if r.detail == detail]
+        _, by_detail[detail] = top_k_accuracy(bucket, 10)
+    assert by_detail["full"] >= by_detail["minimal"]

@@ -1,0 +1,57 @@
+"""The iterative refinement loop of Figure 1, driven programmatically.
+
+Shows how a user who does not get their query on the first attempt can
+either rephrase the NLQ or add example tuples to the TSQ, using the
+:class:`~repro.interaction.session.DuoquestSession` API — and how each
+refinement shrinks the candidate list.
+
+Run with::
+
+    python examples/tsq_refinement.py
+"""
+
+from repro import NLQuery, TableSketchQuery, to_sql
+from repro.core import Duoquest, EnumeratorConfig
+from repro.guidance import LexicalGuidanceModel
+from repro.interaction import DuoquestSession
+
+from quickstart import build_movie_database
+
+
+def show(label: str, result) -> None:
+    print(f"{label}: {len(result.candidates)} candidates")
+    for rank, candidate in enumerate(result.top(3), start=1):
+        print(f"  {rank}. [{candidate.confidence:.4f}] "
+              f"{to_sql(candidate.query)}")
+    print()
+
+
+def main() -> None:
+    db = build_movie_database()
+    system = Duoquest(db, model=LexicalGuidanceModel(),
+                      config=EnumeratorConfig(time_budget=10.0,
+                                              max_candidates=40))
+    session = DuoquestSession.open(db, system)
+
+    # Round 1: a vague NLQ with no TSQ gives a long, ambiguous list.
+    nlq = NLQuery.from_text("Show movie names and years before 1995.",
+                            literals=[1995])
+    result = session.submit(nlq)
+    show("Round 1 (NLQ only)", result)
+
+    # Round 2: add one example tuple the user is confident about.
+    result = session.refine_tsq(extra_rows=[["Forrest Gump", 1994]])
+    show("Round 2 (+ example tuple)", result)
+
+    # Round 3: the user also remembers the output should not be sorted.
+    result = session.refine_tsq(sorted=False)
+    show("Round 3 (+ sorted=False)", result)
+
+    # The autocomplete server backs literal entry in both the NLQ bar and
+    # the TSQ grid.
+    print('Autocomplete for "Forr":',
+          [s.value for s in session.autocomplete.suggest("Forr")])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Reproduction of *Duoquest: A Dual-Specification System for Expressive
+SQL Queries* (Baik, Jin, Cafarella, Jagadish — SIGMOD 2020).
+
+Quick start::
+
+    from repro import Duoquest, NLQuery, TableSketchQuery
+    from repro.datasets import build_mas_database
+
+    db = build_mas_database()
+    system = Duoquest(db)
+    result = system.synthesize(
+        NLQuery.from_text('List authors in domain "Databases".',
+                          literals=["Databases"]),
+        TableSketchQuery.build(types=["text"], rows=[["Emma Thompson"]]))
+    for candidate in result.top(10):
+        print(candidate.confidence, candidate.query)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .core import (
+    Candidate,
+    Duoquest,
+    EnumeratorConfig,
+    SynthesisResult,
+    TableSketchQuery,
+    Verifier,
+    VerifierConfig,
+)
+from .db import Database, Schema, make_schema
+from .errors import ReproError
+from .guidance import (
+    AccuracyProfile,
+    CalibratedOracleModel,
+    GuidanceModel,
+    LexicalGuidanceModel,
+)
+from .nlq import NLQuery
+from .sqlir import Query, parse_sql, queries_equal, to_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyProfile",
+    "CalibratedOracleModel",
+    "Candidate",
+    "Database",
+    "Duoquest",
+    "EnumeratorConfig",
+    "GuidanceModel",
+    "LexicalGuidanceModel",
+    "NLQuery",
+    "Query",
+    "ReproError",
+    "Schema",
+    "SynthesisResult",
+    "TableSketchQuery",
+    "Verifier",
+    "VerifierConfig",
+    "make_schema",
+    "parse_sql",
+    "queries_equal",
+    "to_sql",
+]

@@ -1,0 +1,20 @@
+"""Baseline systems: NLI, SQuID-like PBE, and GPQE ablations."""
+
+from .ablations import (
+    ABLATION_VARIANTS,
+    make_duoquest,
+    make_noguide,
+    make_nopq,
+)
+from .nli import NLIBaseline
+from .squid import SquidOutcome, SquidPBE
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "NLIBaseline",
+    "SquidOutcome",
+    "SquidPBE",
+    "make_duoquest",
+    "make_noguide",
+    "make_nopq",
+]

@@ -1,0 +1,50 @@
+"""GPQE ablations from Section 5.4.3 of the paper.
+
+* **NoPQ** disables pruning of partial queries: enumeration is still
+  guided, but only complete queries are verified against the TSQ. This is
+  identical to the naive *chaining* approach of Section 3.5 (NLI output
+  piped into a PBE verifier).
+* **NoGuide** disables guided enumeration: a naive breadth-first search
+  ignoring confidence scores, with simpler queries enumerated first and
+  columns following schema metadata order, while partial-query pruning
+  stays on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..core.duoquest import Duoquest
+from ..core.enumerator import EnumeratorConfig
+from ..db.database import Database
+from ..guidance.base import GuidanceModel
+
+
+def make_duoquest(db: Database, model: GuidanceModel,
+                  config: Optional[EnumeratorConfig] = None) -> Duoquest:
+    """The full system (both GPQE components enabled)."""
+    return Duoquest(db, model=model, config=config or EnumeratorConfig())
+
+
+def make_nopq(db: Database, model: GuidanceModel,
+              config: Optional[EnumeratorConfig] = None) -> Duoquest:
+    """GPQE without partial-query pruning (the chaining approach)."""
+    base = config or EnumeratorConfig()
+    return Duoquest(db, model=model,
+                    config=replace(base, verify_partial=False))
+
+
+def make_noguide(db: Database, model: GuidanceModel,
+                 config: Optional[EnumeratorConfig] = None) -> Duoquest:
+    """GPQE without guidance: breadth-first enumeration with pruning."""
+    base = config or EnumeratorConfig()
+    return Duoquest(db, model=model, config=replace(base, guided=False))
+
+
+#: Variant name -> factory, as plotted in Figure 12.
+ABLATION_VARIANTS = {
+    "Duoquest": make_duoquest,
+    "NoPQ": make_nopq,
+    "NoGuide": make_noguide,
+}

@@ -1,0 +1,45 @@
+"""The NLI baseline: SyntaxSQLNet adapted for ranked enumeration.
+
+Section 5.1.1 of the paper compares Duoquest against SyntaxSQLNet "as a
+representative end-to-end neural network NLI", modified (as described in
+Section 3.3.2) to produce a ranked list of candidate queries rather than a
+single output. That is precisely GPQE run *without* a table sketch query:
+the same guidance model, the same enumeration order, semantic pruning, and
+literal-coverage filtering (the NLI is given the NLQ and literals,
+Section 5.4.1), but no TSQ verification of any kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from ..core.duoquest import Duoquest, SynthesisResult
+from ..core.enumerator import Candidate, EnumeratorConfig
+from ..db.database import Database
+from ..guidance.base import GuidanceModel
+from ..nlq.literals import NLQuery
+from ..sqlir.ast import Query
+
+
+class NLIBaseline:
+    """Ranked-list NLI: guided enumeration with no TSQ."""
+
+    name = "NLI"
+
+    def __init__(self, db: Database, model: GuidanceModel,
+                 config: Optional[EnumeratorConfig] = None):
+        self._system = Duoquest(db, model=model, config=config)
+
+    @property
+    def config(self) -> EnumeratorConfig:
+        return self._system.config
+
+    def synthesize(self, nlq: NLQuery,
+                   gold: Optional[Query] = None,
+                   task_id: str = "",
+                   stop_when: Optional[Callable[[Candidate], bool]] = None,
+                   ) -> SynthesisResult:
+        """Enumerate candidates for the NLQ alone (no TSQ)."""
+        return self._system.synthesize(nlq, tsq=None, gold=gold,
+                                       task_id=task_id, stop_when=stop_when)

@@ -1,0 +1,181 @@
+"""Command-line interface for the Duoquest reproduction.
+
+Subcommands:
+
+* ``duoquest demo`` — interactive-ish demo on the MAS database: takes an
+  NLQ (and optional example tuple cells) and prints ranked candidates.
+* ``duoquest simulate`` — run the simulation study on a synthetic Spider
+  split and print the Figure 10/11 tables.
+* ``duoquest user-study`` — run the simulated user studies and print the
+  Figure 5-9 tables.
+* ``duoquest ablate`` — run the Figure 12 ablation.
+* ``duoquest tables`` — print the static tables (1, 3, 4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import Duoquest, EnumeratorConfig, TableSketchQuery
+    from .datasets import build_mas_database
+    from .guidance import LexicalGuidanceModel
+    from .nlq import NLQuery
+    from .sqlir import to_sql
+
+    db = build_mas_database(seed=args.seed)
+    nlq = NLQuery.from_text(args.nlq)
+    tsq = None
+    if args.example:
+        rows = [[cell if cell != "_" else None for cell in args.example]]
+        tsq = TableSketchQuery.build(rows=rows)
+    system = Duoquest(db, model=LexicalGuidanceModel(),
+                      config=EnumeratorConfig(time_budget=args.timeout,
+                                              max_candidates=args.top))
+    result = system.synthesize(nlq, tsq)
+    print(f"{len(result.candidates)} candidates in {result.elapsed:.2f}s")
+    for rank, candidate in enumerate(result.top(args.top), start=1):
+        print(f"{rank:3d}. [{candidate.confidence:.4f}] "
+              f"{to_sql(candidate.query)}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .datasets import SpiderCorpusConfig, generate_corpus
+    from .eval import (
+        SimulationConfig,
+        fig10_report,
+        fig11_report,
+        run_simulation,
+    )
+
+    corpus = generate_corpus(args.split, SpiderCorpusConfig(
+        num_databases=args.databases, tasks_per_database=args.tasks,
+        seed=args.seed))
+    print(corpus)
+    records = run_simulation(corpus,
+                             config=SimulationConfig(timeout=args.timeout))
+    print(fig10_report(records, args.split))
+    print()
+    print(fig11_report(records, args.split))
+    return 0
+
+
+def _cmd_user_study(args: argparse.Namespace) -> int:
+    from .datasets import (
+        build_mas_database,
+        nli_study_tasks,
+        pbe_study_tasks,
+    )
+    from .eval import (
+        UserStudyConfig,
+        run_nli_user_study,
+        run_pbe_user_study,
+        user_study_examples_report,
+        user_study_success_report,
+        user_study_time_report,
+    )
+
+    db = build_mas_database(seed=args.seed)
+    config = UserStudyConfig(seed=args.seed, cohort_size=args.users)
+    trials = run_nli_user_study(db, nli_study_tasks(db), config)
+    print(user_study_success_report(trials, ("NLI", "Duoquest"),
+                                    "Figure 5: % successful trials"))
+    print()
+    print(user_study_time_report(trials, ("NLI", "Duoquest"),
+                                 "Figure 6: mean trial time (successful)"))
+    print()
+    ptrials = run_pbe_user_study(db, pbe_study_tasks(db), config)
+    print(user_study_success_report(ptrials, ("PBE", "Duoquest"),
+                                    "Figure 7: % successful trials"))
+    print()
+    print(user_study_time_report(ptrials, ("PBE", "Duoquest"),
+                                 "Figure 8: mean trial time (successful)"))
+    print()
+    print(user_study_examples_report(ptrials, ("PBE", "Duoquest"),
+                                     "Figure 9: mean # examples"))
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from .datasets import SpiderCorpusConfig, generate_corpus
+    from .eval import SimulationConfig, fig12_report, run_ablations
+
+    corpus = generate_corpus("dev", SpiderCorpusConfig(
+        num_databases=args.databases, tasks_per_database=args.tasks,
+        seed=args.seed))
+    records = run_ablations(corpus,
+                            config=SimulationConfig(timeout=args.timeout))
+    grid = [args.timeout * f for f in (0.05, 0.1, 0.25, 0.5, 0.75, 1.0)]
+    print(fig12_report(records, grid))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .core.semantics import DEFAULT_RULES
+    from .eval import table1_report, table3_report
+    from .eval.metrics import format_table
+
+    print(table1_report())
+    print()
+    print(table3_report())
+    print()
+    rows = [(rule.name, rule.description) for rule in DEFAULT_RULES]
+    print("Table 4: semantic pruning rules\n"
+          + format_table(("Rule", "Description"), rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="duoquest",
+        description="Duoquest dual-specification SQL synthesis "
+                    "(SIGMOD 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="synthesize on the MAS database")
+    demo.add_argument("nlq", help="natural language query; quote literals")
+    demo.add_argument("--example", nargs="*", default=None,
+                      help="one example tuple, cells separated by spaces "
+                           "('_' = empty cell)")
+    demo.add_argument("--top", type=int, default=10)
+    demo.add_argument("--timeout", type=float, default=15.0)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    simulate = sub.add_parser("simulate", help="run the simulation study")
+    simulate.add_argument("--split", choices=("dev", "test"), default="dev")
+    simulate.add_argument("--databases", type=int, default=10)
+    simulate.add_argument("--tasks", type=int, default=8)
+    simulate.add_argument("--timeout", type=float, default=8.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    study = sub.add_parser("user-study", help="run the user studies")
+    study.add_argument("--users", type=int, default=16)
+    study.add_argument("--seed", type=int, default=0)
+    study.set_defaults(func=_cmd_user_study)
+
+    ablate = sub.add_parser("ablate", help="run the Figure 12 ablation")
+    ablate.add_argument("--databases", type=int, default=8)
+    ablate.add_argument("--tasks", type=int, default=6)
+    ablate.add_argument("--timeout", type=float, default=8.0)
+    ablate.add_argument("--seed", type=int, default=0)
+    ablate.set_defaults(func=_cmd_ablate)
+
+    tables = sub.add_parser("tables", help="print the static tables")
+    tables.set_defaults(func=_cmd_tables)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

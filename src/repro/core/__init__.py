@@ -1,0 +1,50 @@
+"""Duoquest core: TSQs, GPQE enumeration, verification, the system facade."""
+
+from .duoquest import Duoquest, SynthesisResult
+from .enumerator import Candidate, Enumerator, EnumeratorConfig
+from .joins import JoinPathBuilder
+from .semantics import (
+    DEFAULT_RULES,
+    Rule,
+    RuleSet,
+    Violation,
+    check_semantics,
+)
+from .tsq import (
+    Cell,
+    EmptyCell,
+    ExactCell,
+    RangeCell,
+    TableSketchQuery,
+    cell,
+)
+from .verifier import (
+    ALL_STAGES,
+    Verifier,
+    VerifierConfig,
+    VerifyResult,
+)
+
+__all__ = [
+    "ALL_STAGES",
+    "Candidate",
+    "Cell",
+    "DEFAULT_RULES",
+    "Duoquest",
+    "EmptyCell",
+    "Enumerator",
+    "EnumeratorConfig",
+    "ExactCell",
+    "JoinPathBuilder",
+    "RangeCell",
+    "Rule",
+    "RuleSet",
+    "SynthesisResult",
+    "TableSketchQuery",
+    "Verifier",
+    "VerifierConfig",
+    "VerifyResult",
+    "Violation",
+    "cell",
+    "check_semantics",
+]

@@ -1,0 +1,112 @@
+"""The Duoquest system facade.
+
+Wires together the guidance model, GPQE enumerator, join path builder and
+verifier into the dual-specification synthesis API of the paper's problem
+definition (Section 2.3): given a database, an NLQ with tagged literals,
+and an optional TSQ, produce a ranked list of candidate SQL queries, each
+guaranteed to satisfy the TSQ (soundness).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..db.database import Database
+from ..guidance.base import GuidanceModel
+from ..guidance.lexical import LexicalGuidanceModel
+from ..nlq.literals import NLQuery
+from ..sqlir.ast import Query
+from ..sqlir.render import to_sql
+from .enumerator import Candidate, Enumerator, EnumeratorConfig
+from .tsq import TableSketchQuery
+from .verifier import Verifier
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one synthesis run."""
+
+    candidates: List[Candidate]
+    elapsed: float
+    expansions: int
+    timed_out: bool
+    verifier_stats: dict = field(default_factory=dict)
+
+    def ranked(self) -> List[Candidate]:
+        """Candidates from highest to lowest confidence (ties: emission
+        order, which already prefers shorter join paths)."""
+        return sorted(self.candidates,
+                      key=lambda c: (-c.confidence, c.index))
+
+    def top(self, k: int) -> List[Candidate]:
+        return self.ranked()[:k]
+
+    def rank_of(self, predicate: Callable[[Query], bool]) -> Optional[int]:
+        """1-based rank of the first candidate satisfying ``predicate``."""
+        for rank, candidate in enumerate(self.ranked(), start=1):
+            if predicate(candidate.query):
+                return rank
+        return None
+
+    def sql(self, k: int = 10) -> List[str]:
+        """The top-k candidates rendered to SQL."""
+        return [to_sql(c.query) for c in self.top(k)]
+
+    def __repr__(self) -> str:
+        return (f"<SynthesisResult {len(self.candidates)} candidates in "
+                f"{self.elapsed:.3f}s>")
+
+
+class Duoquest:
+    """Dual-specification query synthesis (Figure 3's Enumerator+Verifier).
+
+    Example::
+
+        system = Duoquest(db)
+        result = system.synthesize(
+            NLQuery.from_text('Find all movies before 1995.'),
+            TableSketchQuery.build(types=['text'],
+                                   rows=[['Forrest Gump']]))
+        for candidate in result.top(10):
+            print(to_sql(candidate.query))
+    """
+
+    def __init__(self, db: Database,
+                 model: Optional[GuidanceModel] = None,
+                 config: Optional[EnumeratorConfig] = None):
+        self.db = db
+        self.model = model or LexicalGuidanceModel()
+        self.config = config or EnumeratorConfig()
+
+    def synthesize(self, nlq: NLQuery,
+                   tsq: Optional[TableSketchQuery] = None,
+                   gold: Optional[Query] = None,
+                   task_id: str = "",
+                   stop_when: Optional[Callable[[Candidate], bool]] = None,
+                   ) -> SynthesisResult:
+        """Run GPQE and collect candidates.
+
+        ``gold``/``task_id`` are forwarded to the guidance context (used
+        only by the calibrated oracle backend). ``stop_when`` lets the
+        caller terminate as soon as a particular candidate appears — the
+        simulation harness stops when the desired query is produced, as in
+        Section 5.4.1.
+        """
+        start = time.monotonic()
+        enumerator = Enumerator(self.db, self.model, nlq, tsq=tsq,
+                                config=self.config, gold=gold,
+                                task_id=task_id)
+        candidates: List[Candidate] = []
+        for candidate in enumerator.enumerate():
+            candidates.append(candidate)
+            if stop_when is not None and stop_when(candidate):
+                break
+        elapsed = time.monotonic() - start
+        timed_out = (self.config.time_budget is not None
+                     and elapsed >= self.config.time_budget)
+        return SynthesisResult(candidates=candidates, elapsed=elapsed,
+                               expansions=enumerator.expansions,
+                               timed_out=timed_out,
+                               verifier_stats=dict(enumerator.verifier.stats))

@@ -1,0 +1,721 @@
+"""Guided partial query enumeration (Algorithm 1 of the paper).
+
+A best-first search over partial queries. Each expansion performs a single
+inference decision (EnumNextStep), asks the guidance model for a softmax
+distribution over the decision's output classes, and spawns one child state
+per class. A state's confidence is the cumulative product of the chosen
+classes' probabilities (Section 3.3.3), which satisfies Property 1. Each
+child is verified against the TSQ (Algorithm 3) and pruned on failure;
+complete children are emitted as candidate queries.
+
+Decision pipeline (adapted from SyntaxSQLNet's module ordering):
+clause presence (KW) for WHERE / GROUP BY / ORDER BY -> SELECT size ->
+per-projection column (COL) and aggregate (AGG) -> WHERE size, connective
+(AND/OR), per-predicate column / operator (OP) / literal value -> GROUP BY
+columns -> HAVING presence and predicate -> ORDER BY expressions and
+direction (+LIMIT flag, DESC/ASC module) -> LIMIT value -> join path.
+
+Join paths: during partial enumeration, row probes run against the
+shortest minimal join path covering the referenced tables (a sound
+over-approximation for inner FK joins — a row in a larger join projects
+into every smaller one). Once every other element is fixed, progressive
+join path construction (Algorithm 2) branches the state into one candidate
+per join path, all sharing the confidence score, tie-broken shorter-first
+(Section 3.3.4). This defers the per-path state fan-out of the paper to
+the final step without changing the candidate set.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..db.database import Database
+from ..guidance.base import (
+    Distribution,
+    GuidanceContext,
+    GuidanceModel,
+    SLOT_GROUP_BY,
+    SLOT_HAVING,
+    SLOT_ORDER_BY,
+    SLOT_SELECT,
+    SLOT_WHERE,
+)
+from ..nlq.literals import Literal, NLQuery
+from ..sqlir.ast import (
+    HOLE,
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    Hole,
+    JoinPath,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    STAR,
+    SelectItem,
+    Where,
+)
+from ..sqlir.canon import signature
+from ..sqlir.types import ColumnType
+from .joins import JoinPathBuilder
+from .tsq import TableSketchQuery
+from .verifier import Verifier, VerifierConfig
+
+
+@dataclass
+class EnumeratorConfig:
+    """Search-space bounds and ablation switches."""
+
+    max_select: int = 3
+    max_where: int = 3
+    max_group_by: int = 1
+    max_having: int = 1
+    max_order_by: int = 1
+    max_join_extensions: int = 2
+    max_expansions: int = 50_000
+    max_candidates: Optional[int] = None
+    time_budget: Optional[float] = None  # seconds
+    guided: bool = True       # False -> NoGuide (breadth-first) ablation
+    verify_partial: bool = True  # False -> NoPQ ablation
+    check_semantics: bool = True
+    min_confidence: float = 1e-12
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """An emitted candidate query."""
+
+    query: Query
+    confidence: float
+    index: int            # emission order (0 = first emitted)
+    elapsed: float        # seconds since enumeration started
+    expansions: int       # states expanded before emission
+
+    def __repr__(self) -> str:
+        return (f"<Candidate #{self.index} conf={self.confidence:.3g} "
+                f"t={self.elapsed:.3f}s>")
+
+
+@dataclass
+class _State:
+    query: Query
+    confidence: float
+    depth: int
+
+
+class Enumerator:
+    """GPQE over one database/NLQ/TSQ triple."""
+
+    def __init__(self, db: Database, model: GuidanceModel, nlq: NLQuery,
+                 tsq: Optional[TableSketchQuery] = None,
+                 config: Optional[EnumeratorConfig] = None,
+                 gold: Optional[Query] = None,
+                 task_id: str = "",
+                 verifier: Optional[Verifier] = None):
+        self.db = db
+        self.schema = db.schema
+        self.model = model
+        self.nlq = nlq
+        self.tsq = tsq if tsq is not None else TableSketchQuery()
+        self.config = config or EnumeratorConfig()
+        self.joins = JoinPathBuilder(
+            self.schema, max_extensions=self.config.max_join_extensions)
+        self.verifier = verifier or Verifier(
+            db, tsq=self.tsq, literals=nlq.literals,
+            config=VerifierConfig(
+                check_semantics=self.config.check_semantics,
+                verify_partial=self.config.verify_partial))
+        self._ctx = GuidanceContext(nlq=nlq, schema=self.schema,
+                                    gold=gold, task_id=task_id)
+        self.expansions = 0
+        self._emitted = 0
+
+        self._all_columns = tuple(self.schema.iter_column_refs())
+        self._text_columns = tuple(
+            ref for ref in self._all_columns
+            if self.schema.column_type(ref) is ColumnType.TEXT)
+        self._numeric_columns = tuple(
+            ref for ref in self._all_columns
+            if self.schema.column_type(ref) is ColumnType.NUMBER)
+        self._text_values = tuple(
+            lit.value for lit in nlq.text_literals)
+        self._numeric_values = tuple(
+            lit.value for lit in nlq.number_literals)
+        self._between_pairs = tuple(
+            (min(a, b), max(a, b))
+            for a, b in itertools.combinations(self._numeric_values, 2))
+        limit_values = sorted({int(v) for v in self._numeric_values
+                               if float(v).is_integer()} | {1})
+        self._limit_values = tuple(limit_values)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def enumerate(self) -> Iterator[Candidate]:
+        """Yield verified candidate queries, best-first (Algorithm 1).
+
+        Verification runs when a state is *popped*, not when it is
+        generated: the heap already orders states by confidence, so
+        deferring the (potentially database-touching) Verify call to pop
+        time means low-confidence branches that never surface are never
+        verified, at identical pruning semantics — a pruned state is
+        discarded before expansion either way.
+        """
+        config = self.config
+        start = time.monotonic()
+        counter = itertools.count()
+        heap: List[Tuple[Tuple, int, _State]] = []
+        root = _State(query=Query.empty(), confidence=1.0, depth=0)
+        heapq.heappush(heap, (self._priority(root), next(counter), root))
+        seen: Set[Query] = set()
+        emitted_signatures: Set[object] = set()
+
+        while heap:
+            if self.expansions >= config.max_expansions:
+                return
+            if config.time_budget is not None and \
+                    time.monotonic() - start > config.time_budget:
+                return
+            _, _, state = heapq.heappop(heap)
+
+            if state.query.is_complete:
+                if not self.verifier.verify(state.query).ok:
+                    continue
+                sig = signature(state.query)
+                if sig in emitted_signatures:
+                    continue
+                emitted_signatures.add(sig)
+                candidate = Candidate(
+                    query=state.query, confidence=state.confidence,
+                    index=self._emitted,
+                    elapsed=time.monotonic() - start,
+                    expansions=self.expansions)
+                self._emitted += 1
+                yield candidate
+                if config.max_candidates is not None and \
+                        self._emitted >= config.max_candidates:
+                    return
+                continue
+
+            if config.verify_partial and state.depth > 0 and \
+                    not self._verify_partial(state.query):
+                continue
+            self.expansions += 1
+            for child in self._expand(state):
+                if child.confidence < config.min_confidence:
+                    continue
+                if child.query in seen:
+                    continue
+                seen.add(child.query)
+                heapq.heappush(
+                    heap, (self._priority(child), next(counter), child))
+
+    # ------------------------------------------------------------------
+    def _priority(self, state: _State) -> Tuple:
+        if self.config.guided:
+            join_len = (len(state.query.join_path)
+                        if isinstance(state.query.join_path, JoinPath)
+                        else len(state.query.referenced_tables()))
+            return (-state.confidence, join_len, state.depth)
+        # NoGuide: naive breadth-first enumeration, simpler queries first.
+        return (state.depth, 0, 0)
+
+    def _verify_partial(self, query: Query) -> bool:
+        """Verify a partial query, attaching a probe join path if needed."""
+        probe = query
+        if isinstance(query.join_path, Hole):
+            tables = query.referenced_tables()
+            if tables:
+                paths = self.joins.paths_for_tables(tables)
+                if not paths:
+                    return False  # referenced tables cannot be joined
+                probe = query.replace(join_path=paths[0])
+            else:
+                probe = query
+        return self.verifier.verify(probe, treat_as_partial=True).ok
+
+    # ------------------------------------------------------------------
+    # EnumNextStep: one inference decision per expansion
+    # ------------------------------------------------------------------
+    def _expand(self, state: _State) -> List[_State]:
+        query = state.query
+        decision = self._next_decision(query)
+        if decision is None:
+            return []
+        kind = decision[0]
+        ctx = self._ctx.with_partial(query)
+        handler = getattr(self, f"_expand_{kind}")
+        children = handler(ctx, state, *decision[1:])
+        return children
+
+    def _next_decision(self, query: Query) -> Optional[Tuple]:
+        """Locate the next placeholder to fill, in pipeline order."""
+        if isinstance(query.where, Hole):
+            return ("kw", SLOT_WHERE)
+        if isinstance(query.group_by, Hole):
+            return ("kw", SLOT_GROUP_BY)
+        if isinstance(query.order_by, Hole):
+            return ("kw", SLOT_ORDER_BY)
+        if isinstance(query.select, Hole):
+            return ("num", SLOT_SELECT)
+        for i, item in enumerate(query.select):
+            if isinstance(item, Hole):
+                return ("col", SLOT_SELECT, i)
+            if isinstance(item.agg, Hole):
+                return ("agg", SLOT_SELECT, i)
+        if isinstance(query.where, Where):
+            if not query.where.predicates:
+                return ("num", SLOT_WHERE)
+            if len(query.where.predicates) > 1 and \
+                    isinstance(query.where.logic, Hole):
+                return ("logic",)
+            for i, pred in enumerate(query.where.predicates):
+                if isinstance(pred, Hole):
+                    return ("col", SLOT_WHERE, i)
+                if isinstance(pred.op, Hole):
+                    return ("op", SLOT_WHERE, i)
+                if isinstance(pred.value, Hole):
+                    return ("val", SLOT_WHERE, i)
+        if query.group_by is not None:
+            if not query.group_by:
+                return ("num", SLOT_GROUP_BY)
+            for i, col in enumerate(query.group_by):
+                if isinstance(col, Hole):
+                    return ("col", SLOT_GROUP_BY, i)
+            if isinstance(query.having, Hole):
+                return ("having",)
+            if query.having is not None:
+                if not query.having:
+                    return ("col", SLOT_HAVING, 0)
+                for i, pred in enumerate(query.having):
+                    if isinstance(pred, Hole):
+                        return ("col", SLOT_HAVING, i)
+                    if isinstance(pred.agg, Hole):
+                        return ("agg", SLOT_HAVING, i)
+                    if isinstance(pred.op, Hole):
+                        return ("op", SLOT_HAVING, i)
+                    if isinstance(pred.value, Hole):
+                        return ("val", SLOT_HAVING, i)
+        if query.order_by is not None:
+            if not query.order_by:
+                return ("num", SLOT_ORDER_BY)
+            for i, item in enumerate(query.order_by):
+                if isinstance(item, Hole):
+                    return ("col", SLOT_ORDER_BY, i)
+                if isinstance(item.agg, Hole):
+                    return ("agg", SLOT_ORDER_BY, i)
+                if isinstance(item.direction, Hole):
+                    return ("dir", i)
+        if isinstance(query.limit, Hole):
+            return ("limit",)
+        if isinstance(query.join_path, Hole):
+            return ("join",)
+        return None
+
+    # ------------------------------------------------------------------
+    # Decision handlers
+    # ------------------------------------------------------------------
+    def _children(self, state: _State, dist: Distribution,
+                  build) -> List[_State]:
+        children = []
+        for choice, prob in dist:
+            query = build(choice)
+            if query is None:
+                continue
+            children.append(_State(query=query,
+                                   confidence=state.confidence * prob,
+                                   depth=state.depth + 1))
+        return children
+
+    def _expand_kw(self, ctx: GuidanceContext, state: _State,
+                   clause: str) -> List[_State]:
+        dist = self.model.clause_presence(ctx, clause)
+
+        def build(present: bool) -> Query:
+            query = state.query
+            if clause == SLOT_WHERE:
+                return query.replace(
+                    where=Where(logic=HOLE, predicates=()) if present
+                    else None)
+            if clause == SLOT_GROUP_BY:
+                if present:
+                    return query.replace(group_by=())
+                return query.replace(group_by=None, having=None)
+            if present:
+                return query.replace(order_by=())
+            return query.replace(order_by=None, limit=None)
+
+        return self._children(state, dist, build)
+
+    def _expand_num(self, ctx: GuidanceContext, state: _State,
+                    slot: str) -> List[_State]:
+        config = self.config
+        max_n = {SLOT_SELECT: config.max_select,
+                 SLOT_WHERE: config.max_where,
+                 SLOT_GROUP_BY: config.max_group_by,
+                 SLOT_ORDER_BY: config.max_order_by}[slot]
+        # A TSQ with annotations or example tuples fixes the projection
+        # width; branches with other widths fail VerifyColumnTypes
+        # immediately, so only the matching width is generated.
+        if slot == SLOT_SELECT and self.tsq.width is not None:
+            max_n = max(max_n, self.tsq.width)
+        dist = self.model.num_items(ctx, slot, max_n)
+        if slot == SLOT_SELECT and self.tsq.width is not None:
+            width = self.tsq.width
+            if width < 1 or dist.prob_of(width) <= 0.0:
+                return []
+            dist = dist.restrict([width])
+
+        def build(n: int) -> Query:
+            holes = (HOLE,) * n
+            if slot == SLOT_SELECT:
+                return state.query.replace(select=holes)
+            if slot == SLOT_WHERE:
+                logic = LogicOp.AND if n == 1 else HOLE
+                return state.query.replace(
+                    where=Where(logic=logic, predicates=holes))
+            if slot == SLOT_GROUP_BY:
+                return state.query.replace(group_by=holes)
+            return state.query.replace(order_by=holes)
+
+        return self._children(state, dist, build)
+
+    def _expand_logic(self, ctx: GuidanceContext,
+                      state: _State) -> List[_State]:
+        dist = self.model.logic(ctx)
+        where = state.query.where
+        assert isinstance(where, Where)
+
+        def build(logic: LogicOp) -> Query:
+            return state.query.replace(
+                where=Where(logic=logic, predicates=where.predicates))
+
+        return self._children(state, dist, build)
+
+    # -- column decisions -------------------------------------------------
+    def _select_column_candidates(self, index: int) -> List[ColumnRef]:
+        candidates: List[ColumnRef] = [STAR]
+        annotation = None
+        if self.tsq.types is not None and index < len(self.tsq.types):
+            annotation = self.tsq.types[index]
+        if annotation is ColumnType.TEXT:
+            # Text output requires a text column projected unaggregated
+            # (MIN/MAX on text is forbidden by the semantic rules).
+            return list(self._text_columns)
+        return candidates + list(self._all_columns)
+
+    def _expand_col(self, ctx: GuidanceContext, state: _State,
+                    slot: str, index: int) -> List[_State]:
+        query = state.query
+        if slot == SLOT_SELECT:
+            candidates = self._select_column_candidates(index)
+        elif slot == SLOT_WHERE:
+            literal_types = set()
+            if self._text_values:
+                literal_types.add(ColumnType.TEXT)
+            if self._numeric_values:
+                literal_types.add(ColumnType.NUMBER)
+            candidates = [ref for ref in self._all_columns
+                          if self.schema.column_type(ref) in literal_types]
+            # Predicates are picked in non-decreasing canonical order so
+            # each predicate set is enumerated exactly once.
+            assert isinstance(query.where, Where)
+            prev: Optional[ColumnRef] = None
+            for pred in query.where.predicates[:index]:
+                if isinstance(pred, Predicate) and \
+                        isinstance(pred.column, ColumnRef):
+                    prev = pred.column
+            if prev is not None:
+                candidates = [c for c in candidates if c >= prev]
+        elif slot == SLOT_GROUP_BY:
+            # Grouping columns come from the unaggregated projections — the
+            # same restriction SyntaxSQLNet's column pointer applies, and
+            # one that holds for every query in the task scope.
+            candidates = []
+            if not isinstance(query.select, Hole):
+                for item in query.select:
+                    if isinstance(item, SelectItem) \
+                            and isinstance(item.column, ColumnRef) \
+                            and not item.column.is_star \
+                            and not item.is_aggregate:
+                        if item.column not in candidates:
+                            candidates.append(item.column)
+            assert query.group_by is not None
+            prev = None
+            for col in query.group_by[:index]:
+                if isinstance(col, ColumnRef):
+                    prev = col
+            if prev is not None:
+                candidates = [c for c in candidates if c > prev]
+        elif slot == SLOT_HAVING:
+            # HAVING aggregates COUNT(*) or an aggregate of a projected
+            # numeric column.
+            candidates = [STAR]
+            if not isinstance(query.select, Hole):
+                for item in query.select:
+                    if isinstance(item, SelectItem) \
+                            and isinstance(item.column, ColumnRef) \
+                            and not item.column.is_star \
+                            and self.schema.column_type(item.column) \
+                            is ColumnType.NUMBER:
+                        if item.column not in candidates:
+                            candidates.append(item.column)
+        else:  # SLOT_ORDER_BY
+            candidates = [STAR] + list(self._all_columns)
+        if not candidates:
+            return []
+        dist = self.model.column(ctx, slot, candidates)
+
+        def build(column: ColumnRef) -> Optional[Query]:
+            if slot == SLOT_SELECT:
+                agg = AggOp.COUNT if column.is_star else HOLE
+                items = list(query.select)
+                items[index] = SelectItem(agg=agg, column=column)
+                return query.replace(select=tuple(items))
+            if slot == SLOT_WHERE:
+                assert isinstance(query.where, Where)
+                preds = list(query.where.predicates)
+                preds[index] = Predicate(agg=AggOp.NONE, column=column,
+                                         op=HOLE, value=HOLE)
+                return query.replace(where=Where(logic=query.where.logic,
+                                                 predicates=tuple(preds)))
+            if slot == SLOT_GROUP_BY:
+                cols = list(query.group_by)
+                cols[index] = column
+                return query.replace(group_by=tuple(cols))
+            if slot == SLOT_HAVING:
+                agg = AggOp.COUNT if column.is_star else HOLE
+                pred = Predicate(agg=agg, column=column, op=HOLE, value=HOLE)
+                having = list(query.having) if query.having else [HOLE]
+                having[index] = pred
+                return query.replace(having=tuple(having))
+            agg = AggOp.COUNT if column.is_star else HOLE
+            items = list(query.order_by)
+            items[index] = OrderItem(agg=agg, column=column, direction=HOLE)
+            return query.replace(order_by=tuple(items))
+
+        return self._children(state, dist, build)
+
+    # -- aggregate decisions ------------------------------------------------
+    def _agg_candidates(self, slot: str, column: ColumnRef,
+                        query: Query, index: int) -> List[AggOp]:
+        numeric = (self.schema.column_type(column) is ColumnType.NUMBER
+                   if not column.is_star else True)
+        if slot == SLOT_SELECT:
+            annotation = None
+            if self.tsq.types is not None and index < len(self.tsq.types):
+                annotation = self.tsq.types[index]
+            if annotation is ColumnType.TEXT:
+                return [AggOp.NONE]
+            candidates = [AggOp.NONE, AggOp.COUNT]
+            if numeric:
+                candidates += [AggOp.MAX, AggOp.MIN, AggOp.SUM, AggOp.AVG]
+            if annotation is ColumnType.NUMBER and not numeric:
+                candidates = [AggOp.COUNT]
+            return candidates
+        if slot == SLOT_HAVING:
+            candidates = [AggOp.COUNT]
+            if numeric:
+                candidates += [AggOp.MAX, AggOp.MIN, AggOp.SUM, AggOp.AVG]
+            return candidates
+        # ORDER BY: aggregates only make sense for grouped queries.
+        grouped = query.group_by is not None and \
+            not isinstance(query.group_by, Hole)
+        if not grouped:
+            return [AggOp.NONE]
+        candidates = [AggOp.NONE, AggOp.COUNT]
+        if numeric:
+            candidates += [AggOp.MAX, AggOp.MIN, AggOp.SUM, AggOp.AVG]
+        return candidates
+
+    def _expand_agg(self, ctx: GuidanceContext, state: _State,
+                    slot: str, index: int) -> List[_State]:
+        query = state.query
+        if slot == SLOT_SELECT:
+            item = query.select[index]
+            column = item.column
+        elif slot == SLOT_HAVING:
+            pred = query.having[index]
+            column = pred.column
+        else:
+            item = query.order_by[index]
+            column = item.column
+        assert isinstance(column, ColumnRef)
+        candidates = self._agg_candidates(slot, column, query, index)
+        if not candidates:
+            return []
+        dist = self.model.aggregate(ctx, slot, column, candidates)
+
+        def build(agg: AggOp) -> Query:
+            if slot == SLOT_SELECT:
+                items = list(query.select)
+                items[index] = SelectItem(agg=agg, column=column)
+                return query.replace(select=tuple(items))
+            if slot == SLOT_HAVING:
+                preds = list(query.having)
+                old = preds[index]
+                preds[index] = Predicate(agg=agg, column=column,
+                                         op=old.op, value=old.value)
+                return query.replace(having=tuple(preds))
+            items = list(query.order_by)
+            old = items[index]
+            items[index] = OrderItem(agg=agg, column=column,
+                                     direction=old.direction)
+            return query.replace(order_by=tuple(items))
+
+        return self._children(state, dist, build)
+
+    # -- operator decisions ---------------------------------------------------
+    def _op_candidates(self, slot: str, column: ColumnRef,
+                       agg: AggOp) -> List[CompOp]:
+        if slot == SLOT_HAVING or agg.is_aggregate:
+            ops = [CompOp.GT, CompOp.GE, CompOp.LT, CompOp.LE, CompOp.EQ]
+            if self._between_pairs:
+                ops.append(CompOp.BETWEEN)
+            return ops
+        col_type = self.schema.column_type(column)
+        if col_type is ColumnType.TEXT:
+            ops = [CompOp.EQ, CompOp.NE]
+            if self._text_values:
+                ops.append(CompOp.LIKE)
+            return ops
+        ops = [CompOp.EQ, CompOp.NE, CompOp.GT, CompOp.LT, CompOp.GE,
+               CompOp.LE]
+        if self._between_pairs:
+            ops.append(CompOp.BETWEEN)
+        return ops
+
+    def _expand_op(self, ctx: GuidanceContext, state: _State,
+                   slot: str, index: int) -> List[_State]:
+        query = state.query
+        preds = (query.where.predicates if slot == SLOT_WHERE
+                 else query.having)
+        pred = preds[index]
+        assert isinstance(pred, Predicate)
+        assert isinstance(pred.column, ColumnRef)
+        assert isinstance(pred.agg, AggOp)
+        candidates = self._op_candidates(slot, pred.column, pred.agg)
+        dist = self.model.comparison(ctx, slot, pred.column, candidates)
+
+        def build(op: CompOp) -> Query:
+            new_pred = Predicate(agg=pred.agg, column=pred.column,
+                                 op=op, value=pred.value)
+            new_preds = list(preds)
+            new_preds[index] = new_pred
+            if slot == SLOT_WHERE:
+                return query.replace(where=Where(
+                    logic=query.where.logic, predicates=tuple(new_preds)))
+            return query.replace(having=tuple(new_preds))
+
+        return self._children(state, dist, build)
+
+    # -- value decisions ----------------------------------------------------------
+    def _value_candidates(self, slot: str, pred: Predicate) -> List[object]:
+        assert isinstance(pred.op, CompOp)
+        if pred.op is CompOp.BETWEEN:
+            return list(self._between_pairs)
+        if slot == SLOT_HAVING or pred.agg.is_aggregate:
+            return list(self._numeric_values)
+        col_type = self.schema.column_type(pred.column)
+        if col_type is ColumnType.TEXT:
+            return list(self._text_values)
+        return list(self._numeric_values)
+
+    def _expand_val(self, ctx: GuidanceContext, state: _State,
+                    slot: str, index: int) -> List[_State]:
+        query = state.query
+        preds = (query.where.predicates if slot == SLOT_WHERE
+                 else query.having)
+        pred = preds[index]
+        assert isinstance(pred, Predicate)
+        candidates = self._value_candidates(slot, pred)
+        if not candidates:
+            return []
+        dist = self.model.value(ctx, slot, pred.column, candidates)
+
+        def build(value: object) -> Query:
+            new_pred = Predicate(agg=pred.agg, column=pred.column,
+                                 op=pred.op, value=value)
+            new_preds = list(preds)
+            new_preds[index] = new_pred
+            if slot == SLOT_WHERE:
+                return query.replace(where=Where(
+                    logic=query.where.logic, predicates=tuple(new_preds)))
+            return query.replace(having=tuple(new_preds))
+
+        return self._children(state, dist, build)
+
+    # -- HAVING presence --------------------------------------------------------
+    def _expand_having(self, ctx: GuidanceContext,
+                       state: _State) -> List[_State]:
+        dist = self.model.having_presence(ctx)
+        if not self._numeric_values:
+            # A HAVING predicate needs a numeric literal; without one the
+            # present branch cannot complete, so only absent survives.
+            confidence = state.confidence * dist.prob_of(False)
+            return [_State(query=state.query.replace(having=None),
+                           confidence=confidence, depth=state.depth + 1)]
+
+        def build(present: bool) -> Query:
+            return state.query.replace(having=(HOLE,) if present else None)
+
+        return self._children(state, dist, build)
+
+    # -- ORDER BY direction (+ LIMIT flag) -----------------------------------------
+    def _expand_dir(self, ctx: GuidanceContext, state: _State,
+                    index: int) -> List[_State]:
+        query = state.query
+        item = query.order_by[index]
+        assert isinstance(item, OrderItem)
+        assert isinstance(item.column, ColumnRef)
+        dist = self.model.direction(ctx, item.column)
+
+        def build(choice: Tuple[Direction, bool]) -> Query:
+            direction, has_limit = choice
+            items = list(query.order_by)
+            items[index] = OrderItem(agg=item.agg, column=item.column,
+                                     direction=direction)
+            updated = query.replace(order_by=tuple(items))
+            if index == 0:
+                updated = updated.replace(limit=HOLE if has_limit else None)
+            return updated
+
+        return self._children(state, dist, build)
+
+    def _expand_limit(self, ctx: GuidanceContext,
+                      state: _State) -> List[_State]:
+        dist = self.model.limit_value(ctx, list(self._limit_values))
+
+        def build(value: int) -> Query:
+            return state.query.replace(limit=int(value))
+
+        return self._children(state, dist, build)
+
+    # -- final join path branching (Algorithm 2) --------------------------------------
+    def _expand_join(self, ctx: GuidanceContext,
+                     state: _State) -> List[_State]:
+        tables = state.query.referenced_tables()
+        paths = self.joins.paths_for_tables(tables)
+        # Extension paths (tables beyond those referenced, Example 3.2)
+        # only change observable results for aggregate queries — an extra
+        # FK-PK inner join alters COUNT/SUM/AVG groups but merely
+        # duplicates rows otherwise — so plain queries keep the minimal
+        # Steiner paths and skip the near-duplicate candidates.
+        if not state.query.has_aggregate:
+            table_count = min((len(p) for p in paths), default=0)
+            paths = tuple(p for p in paths if len(p) == table_count)
+        children = []
+        for path in paths:
+            # All join-path states share the parent's confidence score;
+            # the heap tie-breaks on join path length (Section 3.3.4).
+            children.append(_State(
+                query=state.query.replace(join_path=path),
+                confidence=state.confidence,
+                depth=state.depth + 1))
+        return children

@@ -1,0 +1,131 @@
+"""Progressive join path construction (Algorithm 2 of the paper).
+
+Every partial query must be executable, so candidate join paths are
+produced for each partial query as soon as its referenced tables are
+known. The minimal path is a Steiner tree over the schema graph (nodes =
+tables, edges = FK-PK links, unit weights, following Baik et al.'s query
+log work cited in Section 3.3.4), and one level of *join extensions* adds
+FK-PK joins to tables beyond those referenced (Example 3.2: ``SELECT
+a.name FROM actor JOIN starring``).
+
+All candidate paths for a partial query share its confidence score; the
+enumerator breaks ties by join path length, shorter first (Section 3.3.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import networkx as nx
+from networkx.algorithms.approximation import steiner_tree
+
+from ..db.schema import ForeignKey, Schema
+from ..sqlir.ast import JoinEdge, JoinPath
+
+
+class JoinPathBuilder:
+    """Caches join path construction per referenced-table set."""
+
+    def __init__(self, schema: Schema, max_extensions: int = 1):
+        """``max_extensions`` is the depth of the AddJoin loop (Lines
+        10-12 of Algorithm 2); the paper depicts one level."""
+        self.schema = schema
+        self.max_extensions = max_extensions
+        self._cache: Dict[FrozenSet[str], Tuple[JoinPath, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def paths_for_tables(self, tables: Sequence[str]) -> Tuple[JoinPath, ...]:
+        """All candidate join paths covering ``tables``, shortest first.
+
+        With no referenced tables, every table of the database is a
+        candidate single-table path (Line 6 of Algorithm 2). Disconnected
+        table sets yield no paths, killing the search branch.
+        """
+        key = frozenset(tables)
+        if key not in self._cache:
+            self._cache[key] = self._build(key)
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    def _build(self, tables: FrozenSet[str]) -> Tuple[JoinPath, ...]:
+        if not tables:
+            base_paths = [JoinPath(tables=(t.name,))
+                          for t in self.schema.tables]
+            return tuple(base_paths)
+
+        minimal = self._steiner_paths(tables)
+        results: List[JoinPath] = list(minimal)
+        frontier = list(minimal)
+        for _ in range(self.max_extensions):
+            extended: List[JoinPath] = []
+            for path in frontier:
+                extended.extend(self._extend(path))
+            results.extend(extended)
+            frontier = extended
+
+        unique: Dict[object, JoinPath] = {}
+        for path in results:
+            unique.setdefault(path.canonical(), path)
+        return tuple(sorted(unique.values(),
+                            key=lambda p: (len(p), p.canonical())))
+
+    def _steiner_paths(self, tables: FrozenSet[str]) -> List[JoinPath]:
+        """Minimal join paths spanning ``tables`` (Line 8 of Algorithm 2).
+
+        The Steiner tree fixes the set of table-level edges; when two
+        tables are linked by several foreign keys, one path per FK choice
+        is produced.
+        """
+        if len(tables) == 1:
+            (table,) = tables
+            return [JoinPath(tables=(table,))]
+        graph = nx.Graph(self.schema.graph())  # collapse parallel edges
+        missing = [t for t in tables if t not in graph]
+        if missing:
+            return []
+        # The Steiner routine assumes a connected graph; work within the
+        # component holding the terminals (disconnected terminals mean no
+        # join path exists and the search branch dies).
+        first = next(iter(tables))
+        component = nx.node_connected_component(graph, first)
+        if not set(tables) <= component:
+            return []
+        graph = graph.subgraph(component)
+        try:
+            tree = steiner_tree(graph, list(tables), weight="weight")
+        except (nx.NetworkXError, nx.NodeNotFound):
+            return []
+        if tree.number_of_nodes() and not nx.is_connected(tree):
+            return []
+        if not set(tables) <= set(tree.nodes):
+            return []
+        tree_tables = tuple(sorted(tree.nodes))
+        edge_choices: List[List[ForeignKey]] = []
+        for left, right in tree.edges:
+            fks = self.schema.foreign_keys_between(left, right)
+            if not fks:
+                return []
+            edge_choices.append(fks)
+        paths = []
+        for combo in itertools.product(*edge_choices):
+            edges = tuple(fk.as_join_edge() for fk in combo)
+            paths.append(JoinPath(tables=tree_tables, edges=edges))
+        return paths
+
+    def _extend(self, path: JoinPath) -> List[JoinPath]:
+        """One AddJoin level: attach any FK-PK join to a new table."""
+        extensions = []
+        present = set(path.tables)
+        for table in path.tables:
+            incident = (self.schema.foreign_keys_from(table)
+                        + self.schema.foreign_keys_into(table))
+            for fk in incident:
+                new_table = (fk.dst_table if fk.src_table in present
+                             else fk.src_table)
+                if new_table in present:
+                    continue
+                extensions.append(JoinPath(
+                    tables=path.tables + (new_table,),
+                    edges=path.edges + (fk.as_join_edge(),)))
+        return extensions

@@ -1,0 +1,363 @@
+"""Semantic pruning rules: the Table 4 catalog.
+
+VerifySemantics (Algorithm 3, line 4) discards syntactically valid but
+nonsensical or redundant queries. The rules follow Table 4 of the paper
+(a subset of Brass & Goldberg's catalog of semantic SQL errors, plus the
+paper's additions). Rules are hole-tolerant: they only judge the concrete
+parts of a partial query, so a rule that fires on a partial query would
+also fire on every completion of it — which is what makes pruning sound.
+
+Domain-specific deployments may append custom rules (Section 4.1); use
+:class:`RuleSet` for that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..db.schema import Schema
+from ..sqlir.ast import (
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Hole,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectItem,
+    Where,
+)
+from ..sqlir.types import ColumnType
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A fired semantic rule."""
+
+    rule: str
+    message: str
+
+    def __repr__(self) -> str:
+        return f"<Violation {self.rule}: {self.message}>"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One semantic pruning rule (a row of Table 4)."""
+
+    name: str
+    description: str
+    check: Callable[[Query, Schema], Optional[str]]
+
+    def apply(self, query: Query, schema: Schema) -> Optional[Violation]:
+        message = self.check(query, schema)
+        if message is None:
+            return None
+        return Violation(rule=self.name, message=message)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _complete_where_predicates(query: Query) -> List[Predicate]:
+    if not isinstance(query.where, Where):
+        return []
+    return [p for p in query.where.predicates
+            if isinstance(p, Predicate) and p.is_complete]
+
+
+def _where_logic(query: Query) -> Optional[LogicOp]:
+    if not isinstance(query.where, Where):
+        return None
+    if isinstance(query.where.logic, Hole):
+        return None
+    if len(query.where.predicates) == 1:
+        return LogicOp.AND
+    return query.where.logic
+
+
+def _concrete_select_items(query: Query) -> List[SelectItem]:
+    if isinstance(query.select, Hole):
+        return []
+    return [item for item in query.select
+            if isinstance(item, SelectItem) and item.is_complete]
+
+
+def _numeric_interval(pred: Predicate) -> Optional[Tuple[float, float]]:
+    """The value interval a numeric predicate admits, or None for non-
+    interval operators (LIKE, NE)."""
+    value = pred.value
+    if isinstance(value, Hole):
+        return None
+    if pred.op is CompOp.BETWEEN and isinstance(value, tuple):
+        low, high = (float(v) for v in value)  # type: ignore[arg-type]
+        return (low, high)
+    if isinstance(value, (tuple, str)):
+        return None
+    number = float(value)
+    if pred.op is CompOp.EQ:
+        return (number, number)
+    if pred.op is CompOp.LT:
+        return (float("-inf"), number - 1e-12)
+    if pred.op is CompOp.LE:
+        return (float("-inf"), number)
+    if pred.op is CompOp.GT:
+        return (number + 1e-12, float("inf"))
+    if pred.op is CompOp.GE:
+        return (number, float("inf"))
+    return None
+
+
+# ----------------------------------------------------------------------
+# Table 4 rules
+# ----------------------------------------------------------------------
+def _inconsistent_predicates(query: Query, schema: Schema) -> Optional[str]:
+    """AND-connected predicates on one column that contradict each other."""
+    if _where_logic(query) is not LogicOp.AND:
+        return None
+    by_column: Dict[ColumnRef, List[Predicate]] = {}
+    for pred in _complete_where_predicates(query):
+        if pred.agg.is_aggregate or isinstance(pred.column, Hole):
+            continue
+        by_column.setdefault(pred.column, []).append(pred)
+    for column, preds in by_column.items():
+        if len(preds) < 2:
+            continue
+        # Two different equality constants can never both hold.
+        eq_values = {repr(p.value) for p in preds if p.op is CompOp.EQ}
+        if len(eq_values) > 1:
+            return (f"conflicting equality predicates on {column!r}: "
+                    f"{sorted(eq_values)}")
+        intervals = [iv for iv in (_numeric_interval(p) for p in preds)
+                     if iv is not None]
+        if len(intervals) >= 2:
+            low = max(iv[0] for iv in intervals)
+            high = min(iv[1] for iv in intervals)
+            if low > high:
+                return (f"predicates on {column!r} admit no value "
+                        f"(empty interval intersection)")
+    return None
+
+
+def _constant_output_column(query: Query, schema: Schema) -> Optional[str]:
+    """A projected column constrained by an equality predicate is constant."""
+    if _where_logic(query) is not LogicOp.AND:
+        return None
+    eq_columns = {pred.column for pred in _complete_where_predicates(query)
+                  if pred.op is CompOp.EQ and not pred.agg.is_aggregate}
+    for item in _concrete_select_items(query):
+        if item.is_aggregate:
+            continue
+        if item.column in eq_columns:
+            return (f"projected column {item.column!r} is constant due to "
+                    f"an equality predicate")
+    return None
+
+
+def _ungrouped_aggregation(query: Query, schema: Schema) -> Optional[str]:
+    """Mixing aggregated and plain projections requires GROUP BY."""
+    if isinstance(query.group_by, Hole):
+        return None  # grouping not decided yet
+    if query.group_by is not None:
+        return None
+    items = _concrete_select_items(query)
+    has_agg = any(item.is_aggregate for item in items)
+    has_plain = any(not item.is_aggregate for item in items)
+    if has_agg and has_plain:
+        return "aggregated and unaggregated projections without GROUP BY"
+    return None
+
+
+def _groupby_singleton_groups(query: Query, schema: Schema) -> Optional[str]:
+    """Grouping a single table by its primary key makes singleton groups."""
+    if query.group_by is None or isinstance(query.group_by, Hole):
+        return None
+    if not isinstance(query.join_path, Hole) and len(query.join_path) > 1:
+        return None  # joins can give PK groups multiple rows
+    referenced = query.referenced_tables()
+    if len(referenced) > 1:
+        return None
+    for column in query.group_by:
+        if isinstance(column, Hole):
+            continue
+        try:
+            col = schema.column(column)
+        except Exception:
+            continue
+        if col.is_primary_key:
+            return (f"grouping by primary key {column!r} produces "
+                    f"singleton groups")
+    return None
+
+
+def _unnecessary_groupby(query: Query, schema: Schema) -> Optional[str]:
+    """GROUP BY without any aggregate in SELECT, HAVING or ORDER BY."""
+    if query.group_by is None or isinstance(query.group_by, Hole):
+        return None
+    if not query.is_complete:
+        return None  # an aggregate may still be introduced
+    if not query.has_aggregate:
+        return "GROUP BY without aggregates is unnecessary"
+    return None
+
+
+def _aggregate_type_usage(query: Query, schema: Schema) -> Optional[str]:
+    """MIN/MAX/AVG/SUM may not be applied to text columns."""
+    numeric_only = (AggOp.MIN, AggOp.MAX, AggOp.AVG, AggOp.SUM)
+
+    def bad(agg: object, column: object) -> bool:
+        if not isinstance(agg, AggOp) or agg not in numeric_only:
+            return False
+        if not isinstance(column, ColumnRef) or column.is_star:
+            return False
+        try:
+            return schema.column_type(column) is ColumnType.TEXT
+        except Exception:
+            return False
+
+    for item in _concrete_select_items(query):
+        if bad(item.agg, item.column):
+            return f"{item.agg}({item.column!r}) applied to a text column"
+    if query.order_by is not None and not isinstance(query.order_by, Hole):
+        for item in query.order_by:
+            if isinstance(item, OrderItem) and bad(item.agg, item.column):
+                return (f"{item.agg}({item.column!r}) in ORDER BY applied "
+                        f"to a text column")
+    if query.having is not None and not isinstance(query.having, Hole):
+        for pred in query.having:
+            if isinstance(pred, Predicate) and bad(pred.agg, pred.column):
+                return (f"{pred.agg}({pred.column!r}) in HAVING applied "
+                        f"to a text column")
+    return None
+
+
+def _faulty_type_comparison(query: Query, schema: Schema) -> Optional[str]:
+    """Inequalities on text columns; LIKE on numeric columns."""
+    def preds() -> Iterable[Predicate]:
+        yield from _complete_where_predicates(query)
+        if query.having is not None and not isinstance(query.having, Hole):
+            for pred in query.having:
+                if isinstance(pred, Predicate) and pred.is_complete:
+                    yield pred
+
+    for pred in preds():
+        if pred.agg.is_aggregate or isinstance(pred.column, Hole):
+            continue
+        try:
+            col_type = schema.column_type(pred.column)
+        except Exception:
+            continue
+        if col_type is ColumnType.TEXT and pred.op.is_inequality:
+            return (f"inequality {pred.op.value} applied to text column "
+                    f"{pred.column!r}")
+        if col_type is ColumnType.NUMBER and pred.op is CompOp.LIKE:
+            return f"LIKE applied to numeric column {pred.column!r}"
+    return None
+
+
+def _duplicate_predicates(query: Query, schema: Schema) -> Optional[str]:
+    """Identical predicates repeated in one clause are redundant."""
+    preds = _complete_where_predicates(query)
+    seen = set()
+    for pred in preds:
+        key = (pred.agg, pred.column, pred.op, repr(pred.value))
+        if key in seen:
+            return f"duplicate predicate {pred!r}"
+        seen.add(key)
+    return None
+
+
+def _duplicate_projections(query: Query, schema: Schema) -> Optional[str]:
+    """Identical SELECT expressions repeated are redundant."""
+    seen = set()
+    for item in _concrete_select_items(query):
+        key = (item.agg, item.column, item.distinct)
+        if key in seen:
+            return f"duplicate projection {item!r}"
+        seen.add(key)
+    return None
+
+
+def _having_without_groupby(query: Query, schema: Schema) -> Optional[str]:
+    """HAVING requires a GROUP BY clause (scope restriction)."""
+    if query.having is None or isinstance(query.having, Hole):
+        return None
+    if query.group_by is None:
+        return "HAVING without GROUP BY"
+    return None
+
+
+#: The default rule set (Table 4 plus two structural sanity rules).
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    Rule("inconsistent-predicates",
+         "Do not permit selection predicates on the same column that "
+         "contradict each other.",
+         _inconsistent_predicates),
+    Rule("constant-output-column",
+         "Do not permit columns with equality predicates to be projected.",
+         _constant_output_column),
+    Rule("ungrouped-aggregation",
+         "An unaggregated projection and aggregation cannot be used "
+         "together without GROUP BY.",
+         _ungrouped_aggregation),
+    Rule("groupby-singleton-groups",
+         "If each group consists of a single row (e.g. group contains "
+         "primary key), aggregation is unnecessary.",
+         _groupby_singleton_groups),
+    Rule("unnecessary-groupby",
+         "If there are no aggregates in the SELECT, ORDER BY or HAVING "
+         "clauses, GROUP BY is unnecessary.",
+         _unnecessary_groupby),
+    Rule("aggregate-type-usage",
+         "MIN/MAX/AVG/SUM may not be applied to text columns.",
+         _aggregate_type_usage),
+    Rule("faulty-type-comparison",
+         ">, <, >=, <=, BETWEEN may not be applied to text columns; LIKE "
+         "may not be applied to numeric columns.",
+         _faulty_type_comparison),
+    Rule("duplicate-predicates",
+         "Identical predicates repeated in one clause are redundant.",
+         _duplicate_predicates),
+    Rule("duplicate-projections",
+         "Identical SELECT expressions repeated are redundant.",
+         _duplicate_projections),
+    Rule("having-without-groupby",
+         "HAVING requires a GROUP BY clause.",
+         _having_without_groupby),
+)
+
+
+class RuleSet:
+    """A configurable collection of semantic rules.
+
+    Section 4.1: "domain-specific semantic rules may also be appended to
+    the default semantic rules provided by Duoquest."
+    """
+
+    def __init__(self, rules: Sequence[Rule] = DEFAULT_RULES):
+        self._rules = tuple(rules)
+
+    def extended(self, extra: Sequence[Rule]) -> "RuleSet":
+        return RuleSet(self._rules + tuple(extra))
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return self._rules
+
+    def check(self, query: Query, schema: Schema) -> List[Violation]:
+        violations = []
+        for rule in self._rules:
+            violation = rule.apply(query, schema)
+            if violation is not None:
+                violations.append(violation)
+        return violations
+
+    def ok(self, query: Query, schema: Schema) -> bool:
+        return all(rule.apply(query, schema) is None for rule in self._rules)
+
+
+def check_semantics(query: Query, schema: Schema) -> List[Violation]:
+    """Check ``query`` against the default Table 4 rule set."""
+    return RuleSet().check(query, schema)

@@ -1,0 +1,301 @@
+"""Table sketch queries (TSQs): Definitions 2.3 and 2.4 of the paper.
+
+A TSQ ``T = (alpha, chi, tau, k)`` carries optional column type
+annotations, optional example tuples whose cells are *exact*, *empty* or
+*range* cells, a sorting flag, and a limit (``k = 0`` meaning unlimited).
+
+:func:`TableSketchQuery.satisfied_by` implements the satisfaction relation
+``T(q, D)`` of Definition 2.4 against a materialised result set, including
+the requirement that distinct example tuples be matched by *distinct*
+result tuples (a maximum bipartite matching) and, when sorted, in the same
+order as specified (an order-preserving assignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..db.database import Row
+from ..errors import TSQError
+from ..sqlir.types import ColumnType, Value, coerce_value, value_type
+
+
+@dataclass(frozen=True)
+class ExactCell:
+    """A cell that matches result cells with the same value."""
+
+    value: Value
+
+    def matches(self, cell: object) -> bool:
+        if cell is None:
+            return False
+        return _values_equal(self.value, cell)
+
+    def __repr__(self) -> str:
+        return f"{self.value!r}"
+
+
+@dataclass(frozen=True)
+class EmptyCell:
+    """A cell that matches any result cell."""
+
+    def matches(self, cell: object) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "_"
+
+
+@dataclass(frozen=True)
+class RangeCell:
+    """A cell matching numeric result cells within [low, high]."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise TSQError(f"range cell has low {self.low} > high {self.high}")
+
+    def matches(self, cell: object) -> bool:
+        number = _as_number(cell)
+        if number is None:
+            return False
+        return self.low <= number <= self.high
+
+    def __repr__(self) -> str:
+        return f"[{self.low},{self.high}]"
+
+
+Cell = Union[ExactCell, EmptyCell, RangeCell]
+ExampleTuple = Tuple[Cell, ...]
+
+
+def _as_number(value: object) -> Optional[float]:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return None
+    return None
+
+
+def _values_equal(expected: Value, actual: object) -> bool:
+    """Compare a TSQ cell value against a database cell.
+
+    Numeric comparison when both sides are numeric; case-insensitive,
+    whitespace-trimmed string comparison otherwise (the autocomplete
+    interface fills cells with exact database spellings, but users may
+    differ in case).
+    """
+    expected_num = _as_number(expected)
+    actual_num = _as_number(actual)
+    if expected_num is not None and actual_num is not None:
+        return abs(expected_num - actual_num) < 1e-9
+    return str(expected).strip().casefold() == str(actual).strip().casefold()
+
+
+def cell(value: object) -> Cell:
+    """Convenience constructor: None -> empty, (low, high) -> range,
+    otherwise exact."""
+    if value is None:
+        return EmptyCell()
+    if isinstance(value, (tuple, list)) and len(value) == 2:
+        low, high = (_as_number(v) for v in value)
+        if low is None or high is None:
+            raise TSQError(f"range cell bounds must be numeric: {value!r}")
+        return RangeCell(low=low, high=high)
+    if isinstance(value, (ExactCell, EmptyCell, RangeCell)):
+        return value
+    if not isinstance(value, (str, int, float)):
+        raise TSQError(f"unsupported cell value {value!r}")
+    return ExactCell(value=value)
+
+
+@dataclass(frozen=True)
+class TableSketchQuery:
+    """A table sketch query ``T = (alpha, chi, tau, k)`` (Definition 2.3).
+
+    Two extensions from the paper's future-work section (Section 7) are
+    supported beyond the core definition:
+
+    * ``negative_tuples`` — example tuples that must *not* appear in the
+      result (the "negative examples added by clicking a candidate
+      preview" interaction);
+    * ``tolerance`` — the number of positive example tuples allowed to go
+      unmatched, a simple form of noisy-example handling ("Duoquest is
+      not yet able to deal with noisy examples"). The default of 0 is the
+      paper's strict Definition 2.4.
+    """
+
+    types: Optional[Tuple[ColumnType, ...]] = None
+    tuples: Tuple[ExampleTuple, ...] = ()
+    sorted: bool = False
+    limit: int = 0
+    negative_tuples: Tuple[ExampleTuple, ...] = ()
+    tolerance: int = 0
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise TSQError("limit k must be >= 0")
+        if self.tolerance < 0:
+            raise TSQError("tolerance must be >= 0")
+        width = self.width
+        if width is not None:
+            for example in self.tuples + self.negative_tuples:
+                if len(example) != width:
+                    raise TSQError(
+                        f"example tuple {example!r} has {len(example)} cells, "
+                        f"expected {width}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, types: Optional[Sequence[str]] = None,
+              rows: Sequence[Sequence[object]] = (),
+              sorted: bool = False, limit: int = 0,
+              negative_rows: Sequence[Sequence[object]] = (),
+              tolerance: int = 0) -> "TableSketchQuery":
+        """Friendly constructor from plain Python values.
+
+        ``types`` uses ``"text"``/``"number"`` strings; each row cell may
+        be a plain value (exact), ``None`` (empty) or a ``(low, high)``
+        pair (range) — exactly the options offered by the front-end TSQ
+        grid (Table 2).
+        """
+        type_tuple = None
+        if types is not None:
+            type_tuple = tuple(ColumnType(t) for t in types)
+        example_tuples = tuple(
+            tuple(cell(v) for v in row) for row in rows)
+        negatives = tuple(
+            tuple(cell(v) for v in row) for row in negative_rows)
+        return cls(types=type_tuple, tuples=example_tuples,
+                   sorted=sorted, limit=limit, negative_tuples=negatives,
+                   tolerance=tolerance)
+
+    @property
+    def width(self) -> Optional[int]:
+        """Number of projected columns constrained by the TSQ, if known."""
+        if self.types is not None:
+            return len(self.types)
+        if self.tuples:
+            return len(self.tuples[0])
+        return None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the TSQ constrains nothing (the NLQ-only setting)."""
+        return (self.types is None and not self.tuples
+                and not self.negative_tuples
+                and not self.sorted and self.limit == 0)
+
+    # ------------------------------------------------------------------
+    # Satisfaction (Definition 2.4) against a materialised result set
+    # ------------------------------------------------------------------
+    def satisfied_by_rows(self, rows: Sequence[Row],
+                          truncated: bool = False) -> bool:
+        """Check conditions (2)-(4) of Definition 2.4 on a result set.
+
+        ``truncated`` marks a result set cut off by a row cap; in that
+        case the limit condition (4) cannot have failed spuriously because
+        the cap is always set above ``k``.
+        """
+        if self.limit > 0 and not truncated and len(rows) > self.limit:
+            return False
+        for negative in self.negative_tuples:
+            if any(self._matches(negative, row) for row in rows):
+                return False
+        if not self.tuples:
+            return True
+        if self.sorted and len(self.tuples) >= 2:
+            return self._order_preserving_match(rows)
+        return self._distinct_match(rows)
+
+    def _matches(self, example: ExampleTuple, row: Row) -> bool:
+        if len(row) < len(example):
+            return False
+        return all(c.matches(row[j]) for j, c in enumerate(example))
+
+    def _distinct_match(self, rows: Sequence[Row]) -> bool:
+        """Each example tuple matched by a distinct row (Kuhn's
+        algorithm); with ``tolerance`` > 0, up to that many examples may
+        remain unmatched."""
+        adjacency: List[List[int]] = []
+        misses = 0
+        for example in self.tuples:
+            matches = [i for i, row in enumerate(rows)
+                       if self._matches(example, row)]
+            adjacency.append(matches)
+            if not matches:
+                misses += 1
+        if misses > self.tolerance:
+            return False
+        match_of_row: dict[int, int] = {}
+
+        def try_assign(example_index: int, visited: set[int]) -> bool:
+            for row_index in adjacency[example_index]:
+                if row_index in visited:
+                    continue
+                visited.add(row_index)
+                holder = match_of_row.get(row_index)
+                if holder is None or try_assign(holder, visited):
+                    match_of_row[row_index] = example_index
+                    return True
+            return False
+
+        matched = 0
+        for example_index in range(len(self.tuples)):
+            if adjacency[example_index] and try_assign(example_index,
+                                                       set()):
+                matched += 1
+        return matched >= len(self.tuples) - self.tolerance
+
+    def _order_preserving_match(self, rows: Sequence[Row]) -> bool:
+        """Examples must appear in order as a subsequence of the result;
+        with ``tolerance`` > 0, up to that many examples may be skipped
+        (exact search over skip choices — example lists are short)."""
+        from functools import lru_cache
+
+        examples = self.tuples
+        budget = self.tolerance
+
+        @lru_cache(maxsize=None)
+        def feasible(example_index: int, cursor: int, skips: int) -> bool:
+            if len(examples) - example_index <= budget - skips:
+                return True  # the rest can all be skipped
+            if example_index >= len(examples):
+                return True
+            if skips < budget and feasible(example_index + 1, cursor,
+                                           skips + 1):
+                return True
+            position = cursor
+            example = examples[example_index]
+            while position < len(rows):
+                if self._matches(example, rows[position]):
+                    if feasible(example_index + 1, position + 1, skips):
+                        return True
+                    # Later matches only shift the cursor right, which
+                    # cannot help once the earliest match fails.
+                    return False
+                position += 1
+            return False
+
+        return feasible(0, 0, 0)
+
+    # ------------------------------------------------------------------
+    def types_match(self, projected: Sequence[ColumnType]) -> bool:
+        """Condition (1) of Definition 2.4 for a full projection list."""
+        if self.types is None:
+            return True
+        return tuple(projected) == self.types
+
+    def __repr__(self) -> str:
+        types = "-" if self.types is None else \
+            "(" + ",".join(str(t) for t in self.types) + ")"
+        return (f"<TSQ alpha={types} chi={len(self.tuples)} tuples "
+                f"tau={'T' if self.sorted else 'F'} k={self.limit}>")

@@ -1,0 +1,507 @@
+"""Ascending-cost cascading verification (Algorithm 3 of the paper).
+
+Verification stages are ordered by cost: checks that need no database
+access run first (clauses, semantics, column types), then column-wise
+probes (cheap ``SELECT 1 ... LIMIT 1`` queries on single tables), then
+row-wise probes (probes retaining the candidate's FROM/WHERE/GROUP BY),
+and finally — for complete queries only — literal coverage and the full
+satisfaction check of Definition 2.4 including order verification.
+
+Probe results are memoised across candidates, since sibling partial
+queries repeat most probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+from ..db.schema import Schema
+from ..errors import ExecutionError
+from ..nlq.literals import Literal
+from ..sqlir.ast import (
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Hole,
+    JoinPath,
+    LogicOp,
+    Predicate,
+    Query,
+    SelectItem,
+    Where,
+)
+from ..sqlir.canon import normalize_value
+from ..sqlir.render import (
+    alias_map,
+    quote_ident,
+    quote_literal,
+    render_from,
+    render_predicate,
+    to_sql,
+)
+from ..sqlir.types import ColumnType, Value, coerce_value
+from .semantics import RuleSet
+from .tsq import Cell, EmptyCell, ExactCell, RangeCell, TableSketchQuery
+
+#: Stage names, in cascade order (used in stats and failure reports).
+STAGE_CLAUSES = "clauses"
+STAGE_SEMANTICS = "semantics"
+STAGE_COLUMN_TYPES = "column_types"
+STAGE_BY_COLUMN = "by_column"
+STAGE_BY_ROW = "by_row"
+STAGE_LITERALS = "literals"
+STAGE_FULL = "full_satisfaction"
+
+ALL_STAGES = (STAGE_CLAUSES, STAGE_SEMANTICS, STAGE_COLUMN_TYPES,
+              STAGE_BY_COLUMN, STAGE_BY_ROW, STAGE_LITERALS, STAGE_FULL)
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """Outcome of one Verify call."""
+
+    ok: bool
+    failed_stage: Optional[str] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+PASS = VerifyResult(ok=True)
+
+
+@dataclass
+class VerifierConfig:
+    """Stage toggles (for the ablations of Section 5.4.3) and limits."""
+
+    check_semantics: bool = True
+    verify_partial: bool = True  # False reproduces the NoPQ ablation
+    max_result_rows: int = 5000
+    enforce_literal_use: bool = True
+    #: Wall-clock budget for executing one complete candidate during the
+    #: full satisfaction check; candidates that blow the budget (typically
+    #: runaway join paths) are rejected.
+    execution_budget_ms: int = 250
+
+
+class Verifier:
+    """Implements ``Verify(T, L, q, D)`` with memoised probe queries."""
+
+    def __init__(self, db: Database,
+                 tsq: Optional[TableSketchQuery] = None,
+                 literals: Sequence[Literal] = (),
+                 config: Optional[VerifierConfig] = None,
+                 rules: Optional[RuleSet] = None):
+        self.db = db
+        self.schema: Schema = db.schema
+        self.tsq = tsq if tsq is not None else TableSketchQuery()
+        self.literals = tuple(literals)
+        self.config = config or VerifierConfig()
+        self.rules = rules or RuleSet()
+        #: failure counts per stage plus "pass"
+        self.stats: Dict[str, int] = {}
+        self._probe_cache: Dict[str, bool] = {}
+        self._minmax_cache: Dict[ColumnRef, Tuple[Optional[Value],
+                                                  Optional[Value]]] = {}
+
+    # ------------------------------------------------------------------
+    def verify(self, query: Query,
+               treat_as_partial: bool = False) -> VerifyResult:
+        """Run the full ascending-cost cascade on a (partial) query.
+
+        ``treat_as_partial`` forces the partial-query stages even when the
+        query has no holes — used when the enumerator attaches a
+        provisional probe join path to a partial query whose only
+        undecided element is the join path itself.
+        """
+        complete = query.is_complete and not treat_as_partial
+        if not complete and not self.config.verify_partial:
+            return self._record(PASS)
+
+        result = self._verify_clauses(query, complete)
+        if not result.ok:
+            return self._record(result)
+
+        if self.config.check_semantics:
+            violations = self.rules.check(query, self.schema)
+            if violations:
+                return self._record(VerifyResult(
+                    ok=False, failed_stage=STAGE_SEMANTICS,
+                    detail=violations[0].message))
+
+        result = self._verify_column_types(query)
+        if not result.ok:
+            return self._record(result)
+
+        result = self._verify_by_column(query)
+        if not result.ok:
+            return self._record(result)
+
+        if self._can_check_rows(query, complete):
+            result = self._verify_by_row(query)
+            if not result.ok:
+                return self._record(result)
+
+        if complete:
+            if self.config.enforce_literal_use:
+                result = self._verify_literals(query)
+                if not result.ok:
+                    return self._record(result)
+            result = self._verify_full(query)
+            if not result.ok:
+                return self._record(result)
+
+        return self._record(PASS)
+
+    def _record(self, result: VerifyResult) -> VerifyResult:
+        key = "pass" if result.ok else (result.failed_stage or "unknown")
+        self.stats[key] = self.stats.get(key, 0) + 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Stage 1: VerifyClauses
+    # ------------------------------------------------------------------
+    def _verify_clauses(self, query: Query, complete: bool) -> VerifyResult:
+        tsq = self.tsq
+        if tsq.is_empty:
+            # No TSQ was provided (the NLI setting): tau and k constrain
+            # nothing. A *provided* TSQ with tau = false actively forbids
+            # ORDER BY (Example 3.3, CQ5).
+            return PASS
+        order_present = (query.order_by is not None
+                         and not isinstance(query.order_by, Hole))
+        if not tsq.sorted and order_present:
+            return VerifyResult(ok=False, failed_stage=STAGE_CLAUSES,
+                                detail="TSQ forbids ORDER BY (tau is false)")
+        if tsq.sorted and complete and query.order_by is None:
+            return VerifyResult(ok=False, failed_stage=STAGE_CLAUSES,
+                                detail="TSQ requires a sorting operator")
+        if isinstance(query.limit, int):
+            if tsq.limit == 0 and not tsq.is_empty:
+                return VerifyResult(
+                    ok=False, failed_stage=STAGE_CLAUSES,
+                    detail="TSQ specifies unlimited results but query has "
+                           "LIMIT")
+            if tsq.limit > 0 and query.limit > tsq.limit:
+                return VerifyResult(
+                    ok=False, failed_stage=STAGE_CLAUSES,
+                    detail=f"LIMIT {query.limit} exceeds TSQ k={tsq.limit}")
+        return PASS
+
+    # ------------------------------------------------------------------
+    # Stage 3: VerifyColumnTypes
+    # ------------------------------------------------------------------
+    def _projected_type(self, item: SelectItem) -> Optional[ColumnType]:
+        if not item.is_complete:
+            return None
+        assert isinstance(item.agg, AggOp)
+        assert isinstance(item.column, ColumnRef)
+        input_type = (ColumnType.NUMBER if item.column.is_star
+                      else self.schema.column_type(item.column))
+        return item.agg.output_type(input_type)
+
+    def _verify_column_types(self, query: Query) -> VerifyResult:
+        width = self.tsq.width
+        if width is None or isinstance(query.select, Hole):
+            return PASS
+        if len(query.select) != width:
+            return VerifyResult(
+                ok=False, failed_stage=STAGE_COLUMN_TYPES,
+                detail=f"query projects {len(query.select)} columns, TSQ "
+                       f"has width {width}")
+        if self.tsq.types is None:
+            return PASS
+        for index, item in enumerate(query.select):
+            if isinstance(item, Hole) or not isinstance(item, SelectItem):
+                continue
+            projected = self._projected_type(item)
+            if projected is None:
+                continue
+            if projected is not self.tsq.types[index]:
+                return VerifyResult(
+                    ok=False, failed_stage=STAGE_COLUMN_TYPES,
+                    detail=f"column {index} has type {projected}, TSQ "
+                           f"annotation is {self.tsq.types[index]}")
+        return PASS
+
+    # ------------------------------------------------------------------
+    # Stage 4: VerifyByColumn (Example 3.5)
+    # ------------------------------------------------------------------
+    def _cell_condition(self, column: ColumnRef, cell: Cell,
+                        alias: Optional[str] = None) -> Optional[str]:
+        """SQL condition matching ``cell`` on ``column`` (None = no
+        constraint)."""
+        name = quote_ident(column.column)
+        prefix = f"{alias}." if alias else ""
+        col_type = self.schema.column_type(column)
+        if isinstance(cell, EmptyCell):
+            return None
+        if isinstance(cell, ExactCell):
+            value = coerce_value(cell.value, col_type)
+            if col_type is ColumnType.TEXT:
+                return (f"{prefix}{name} = {quote_literal(str(value))} "
+                        f"COLLATE NOCASE")
+            return f"{prefix}{name} = {quote_literal(value)}"
+        assert isinstance(cell, RangeCell)
+        return (f"{prefix}{name} >= {quote_literal(cell.low)} AND "
+                f"{prefix}{name} <= {quote_literal(cell.high)}")
+
+    def _probe(self, sql: str) -> bool:
+        if sql not in self._probe_cache:
+            try:
+                self._probe_cache[sql] = self.db.exists(sql)
+            except ExecutionError:
+                # A probe that cannot execute draws no conclusion; pruning
+                # must stay sound, so treat it as satisfied.
+                self._probe_cache[sql] = True
+        return self._probe_cache[sql]
+
+    def _column_minmax(self, column: ColumnRef) -> Tuple[Optional[Value],
+                                                         Optional[Value]]:
+        if column not in self._minmax_cache:
+            self._minmax_cache[column] = self.db.column_min_max(column)
+        return self._minmax_cache[column]
+
+    def _verify_by_column(self, query: Query) -> VerifyResult:
+        if not self.tsq.tuples or isinstance(query.select, Hole):
+            return PASS
+        failing_examples = 0
+        for example in self.tsq.tuples:
+            example_failed = False
+            for index, item in enumerate(query.select):
+                if index >= len(example):
+                    break
+                if isinstance(item, Hole) or not isinstance(item, SelectItem):
+                    continue
+                if not item.is_complete:
+                    continue
+                assert isinstance(item.agg, AggOp)
+                assert isinstance(item.column, ColumnRef)
+                cell = example[index]
+                if isinstance(cell, EmptyCell):
+                    continue
+                if item.column.is_star or item.agg in (AggOp.COUNT,
+                                                       AggOp.SUM):
+                    # No conclusion can be drawn for partial queries with
+                    # COUNT/SUM projections (Section 3.4).
+                    continue
+                if item.agg is AggOp.AVG:
+                    if not self._avg_cell_possible(item.column, cell):
+                        example_failed = True
+                        break
+                    continue
+                # NONE / MIN / MAX produce an exact value from the column.
+                condition = self._cell_condition(item.column, cell)
+                if condition is None:
+                    continue
+                sql = (f"SELECT 1 FROM {quote_ident(item.column.table)} "
+                       f"WHERE {condition} LIMIT 1")
+                if not self._probe(sql):
+                    example_failed = True
+                    break
+            if example_failed:
+                failing_examples += 1
+                if failing_examples > self.tsq.tolerance:
+                    return VerifyResult(
+                        ok=False, failed_stage=STAGE_BY_COLUMN,
+                        detail=f"example {example!r} has a cell matched "
+                               f"by no column value")
+        return PASS
+
+    def _avg_cell_possible(self, column: ColumnRef, cell: Cell) -> bool:
+        """AVG lies within [min, max]; check intersection with the cell."""
+        low, high = self._column_minmax(column)
+        if low is None or high is None:
+            return False
+        try:
+            low_f, high_f = float(low), float(high)
+        except (TypeError, ValueError):
+            return False
+        if isinstance(cell, ExactCell):
+            try:
+                value = float(cell.value)
+            except (TypeError, ValueError):
+                return False
+            return low_f <= value <= high_f
+        if isinstance(cell, RangeCell):
+            return cell.low <= high_f and low_f <= cell.high
+        return True
+
+    # ------------------------------------------------------------------
+    # Stage 5: VerifyByRow (Example 3.6)
+    # ------------------------------------------------------------------
+    def _can_check_rows(self, query: Query, complete: bool) -> bool:
+        """Precondition for row-wise verification (Section 3.4).
+
+        Row probes here cover *unaggregated* cells only. The paper's
+        aggregate row probes (Example 3.6, RV2) assume the partial query
+        carries its candidate join path; this implementation defers join
+        branching to the final step (see the enumerator), and aggregate
+        values are not monotone under join projection, so probing them
+        against a provisional path would wrongly prune valid branches.
+        Aggregated cells are instead verified by the full satisfaction
+        check once the query (including its join path) is complete.
+        """
+        if not self.tsq.tuples:
+            return False
+        if complete:
+            return False  # stage 7 performs the definitive check
+        if not isinstance(query.join_path, JoinPath):
+            return False
+        if isinstance(query.select, Hole):
+            return False
+        return True
+
+    def _retained_where(self, query: Query) -> List[Predicate]:
+        """Predicates safe to AND into a row probe.
+
+        With a complete AND clause (or any complete predicate under AND
+        logic) retention is sound: future predicates only shrink the
+        result. Under OR (or an undecided connective with several
+        predicates) incomplete clauses are dropped entirely, because a
+        tuple may be produced via a different disjunct.
+        """
+        where = query.where
+        if not isinstance(where, Where):
+            return []
+        complete = [p for p in where.predicates
+                    if isinstance(p, Predicate) and p.is_complete]
+        if where.is_complete:
+            return complete
+        if len(where.predicates) == 1:
+            return complete
+        if isinstance(where.logic, LogicOp) and where.logic is LogicOp.AND:
+            return complete
+        return []
+
+    def _verify_by_row(self, query: Query) -> VerifyResult:
+        assert isinstance(query.join_path, JoinPath)
+        assert not isinstance(query.select, Hole)
+        aliases = alias_map(query.join_path)
+        try:
+            from_clause = render_from(query.join_path, aliases)
+        except Exception:  # disconnected path: no conclusion to draw here
+            return PASS
+
+        where_logic_or = (isinstance(query.where, Where)
+                          and isinstance(query.where.logic, LogicOp)
+                          and query.where.logic is LogicOp.OR
+                          and query.where.is_complete
+                          and len(query.where.predicates) > 1)
+
+        failing_examples = 0
+        for example in self.tsq.tuples:
+            where_parts: List[str] = []
+            if where_logic_or:
+                assert isinstance(query.where, Where)
+                rendered = " OR ".join(
+                    render_predicate(p, aliases)
+                    for p in query.where.predicates
+                    if isinstance(p, Predicate))
+                where_parts.append(f"({rendered})")
+            else:
+                for pred in self._retained_where(query):
+                    try:
+                        where_parts.append(render_predicate(pred, aliases))
+                    except Exception:
+                        continue
+
+            checkable = False
+            for index, item in enumerate(query.select):
+                if index >= len(example):
+                    break
+                if not isinstance(item, SelectItem) or not item.is_complete:
+                    continue
+                assert isinstance(item.agg, AggOp)
+                assert isinstance(item.column, ColumnRef)
+                cell = example[index]
+                if isinstance(cell, EmptyCell):
+                    continue
+                if item.agg.is_aggregate:
+                    # Deferred to the full satisfaction check (see
+                    # _can_check_rows docstring).
+                    continue
+                alias = aliases.get(item.column.table)
+                if alias is None:
+                    continue
+                condition = self._cell_condition(item.column, cell,
+                                                 alias=alias)
+                if condition is not None:
+                    where_parts.append(f"({condition})")
+                    checkable = True
+            if not checkable:
+                continue
+
+            sql = (f"SELECT 1 FROM {from_clause} "
+                   f"WHERE {' AND '.join(where_parts)} LIMIT 1")
+            if not self._probe(sql):
+                failing_examples += 1
+                if failing_examples > self.tsq.tolerance:
+                    return VerifyResult(
+                        ok=False, failed_stage=STAGE_BY_ROW,
+                        detail=f"no result row satisfies example "
+                               f"{example!r}")
+        return PASS
+
+    # ------------------------------------------------------------------
+    # Stage 6: VerifyLiterals (complete queries only)
+    # ------------------------------------------------------------------
+    def _used_values(self, query: Query) -> List[object]:
+        values: List[object] = []
+        if isinstance(query.where, Where):
+            for pred in query.where.predicates:
+                if isinstance(pred, Predicate) and not isinstance(
+                        pred.value, Hole):
+                    if isinstance(pred.value, tuple):
+                        values.extend(pred.value)
+                    else:
+                        values.append(pred.value)
+        if query.having is not None and not isinstance(query.having, Hole):
+            for pred in query.having:
+                if isinstance(pred, Predicate) and not isinstance(
+                        pred.value, Hole):
+                    if isinstance(pred.value, tuple):
+                        values.extend(pred.value)
+                    else:
+                        values.append(pred.value)
+        if isinstance(query.limit, int):
+            values.append(query.limit)
+        return values
+
+    def _verify_literals(self, query: Query) -> VerifyResult:
+        if not self.literals:
+            return PASS
+        used = {normalize_value(v) for v in self._used_values(query)
+                if not isinstance(v, Hole)}
+        for literal in self.literals:
+            if normalize_value(literal.value) not in used:
+                return VerifyResult(
+                    ok=False, failed_stage=STAGE_LITERALS,
+                    detail=f"literal {literal.value!r} unused in query")
+        return PASS
+
+    # ------------------------------------------------------------------
+    # Stage 7: full Definition 2.4 satisfaction, incl. VerifyByOrder
+    # ------------------------------------------------------------------
+    def _verify_full(self, query: Query) -> VerifyResult:
+        if self.tsq.is_empty:
+            return PASS
+        cap = self.config.max_result_rows
+        try:
+            with self.db.interruptible(self.config.execution_budget_ms):
+                rows = self.db.execute(to_sql(query), max_rows=cap + 1,
+                                       kind="full")
+        except ExecutionError as exc:
+            return VerifyResult(ok=False, failed_stage=STAGE_FULL,
+                                detail=f"execution failed: {exc}")
+        truncated = len(rows) > cap
+        if truncated:
+            rows = rows[:cap]
+        if not self.tsq.satisfied_by_rows(rows, truncated=truncated):
+            return VerifyResult(
+                ok=False, failed_stage=STAGE_FULL,
+                detail="result set does not satisfy the TSQ")
+        return PASS

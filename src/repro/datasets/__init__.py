@@ -1,0 +1,60 @@
+"""Datasets: MAS, user-study tasks, the synthetic Spider corpus, TSQs."""
+
+from .facts import Fact, build_fact_bank
+from .mas import (
+    AUTHOR_A,
+    CONFERENCE_C,
+    DOMAIN_D,
+    ORGANIZATION_R,
+    build_mas_database,
+    mas_schema,
+)
+from .nlgen import generate_nlq_text
+from .spider import SpiderCorpusConfig, generate_corpus
+from .tasks import Difficulty, Task, TaskSet, classify_difficulty
+from .tsqsynth import (
+    ALL_DETAILS,
+    DETAIL_FULL,
+    DETAIL_MINIMAL,
+    DETAIL_PARTIAL,
+    example_values,
+    projected_types,
+    synthesize_tsq,
+)
+from .usertasks import (
+    NLI_TASK_SPECS,
+    PBE_TASK_SPECS,
+    UserTaskSpec,
+    nli_study_tasks,
+    pbe_study_tasks,
+)
+
+__all__ = [
+    "ALL_DETAILS",
+    "AUTHOR_A",
+    "CONFERENCE_C",
+    "DETAIL_FULL",
+    "DETAIL_MINIMAL",
+    "DETAIL_PARTIAL",
+    "DOMAIN_D",
+    "Difficulty",
+    "Fact",
+    "NLI_TASK_SPECS",
+    "ORGANIZATION_R",
+    "PBE_TASK_SPECS",
+    "SpiderCorpusConfig",
+    "Task",
+    "TaskSet",
+    "UserTaskSpec",
+    "build_fact_bank",
+    "build_mas_database",
+    "classify_difficulty",
+    "example_values",
+    "generate_corpus",
+    "generate_nlq_text",
+    "mas_schema",
+    "nli_study_tasks",
+    "pbe_study_tasks",
+    "projected_types",
+    "synthesize_tsq",
+]

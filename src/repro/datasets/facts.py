@@ -1,0 +1,96 @@
+"""Fact banks for the simulated user studies (Section 5.1.5 of the paper).
+
+Each task trial hands the user 10 facts, presented in shuffled order, that
+emulate pre-existing open-world domain knowledge: each fact corresponds to
+one tuple of the desired query's result, possibly with numeric values
+blurred into ranges (the paper's example: "Author X wrote 50 to 100
+publications" for an exact count of 63). Facts can be entered as TSQ
+example tuples and used to eyeball candidate previews.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..db.database import Database
+from ..errors import DatasetError
+from ..sqlir.render import to_sql
+from .tasks import Task
+from ..core.tsq import Cell, EmptyCell, ExactCell, RangeCell
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One fact: a sentence plus the TSQ cells it translates to.
+
+    ``order_index`` records the row's position in the gold result so that
+    users of sorted tasks can enter example tuples in result order (the
+    task description tells them the ordering; Definition 2.4's condition
+    (3) requires it).
+    """
+
+    sentence: str
+    cells: Tuple[Cell, ...]
+    order_index: int = 0
+
+    def __repr__(self) -> str:
+        return f"<Fact {self.sentence!r}>"
+
+
+def _blur_number(value: float, rng: random.Random) -> Tuple[float, float]:
+    """Blur an exact number into a containing range (e.g. 63 -> [50, 100])."""
+    magnitude = max(abs(value), 1.0)
+    low = value - rng.uniform(0.1, 0.5) * magnitude
+    high = value + rng.uniform(0.1, 0.5) * magnitude
+    if float(value).is_integer():
+        low, high = float(int(low)), float(int(high) + 1)
+    return (low, high)
+
+
+def build_fact_bank(task: Task, db: Database, size: int = 10,
+                    seed: int = 0) -> List[Fact]:
+    """Derive a ``size``-fact bank from the gold query's result set.
+
+    Facts are sampled without replacement from distinct result rows; when
+    the result has fewer rows than ``size``, every row is used (tasks in
+    the user study all have ample results). Numeric cells are blurred to
+    ranges with probability 0.5, and with probability 0.2 a non-leading
+    cell is dropped (partial knowledge).
+    """
+    rng = random.Random(f"{seed}/{task.task_id}")
+    rows = db.execute(to_sql(task.gold), max_rows=4000, kind="facts")
+    if not rows:
+        raise DatasetError(f"task {task.task_id} has an empty result set")
+    distinct = list(dict.fromkeys(rows))
+    indexed = list(enumerate(distinct))
+    rng.shuffle(indexed)
+    selected = indexed[:size]
+
+    facts: List[Fact] = []
+    for order_index, row in selected:
+        cells: List[Cell] = []
+        phrases: List[str] = []
+        for j, value in enumerate(row):
+            if value is None:
+                cells.append(EmptyCell())
+                continue
+            drop = j > 0 and rng.random() < 0.2
+            if drop:
+                cells.append(EmptyCell())
+                continue
+            if isinstance(value, (int, float)) and not isinstance(
+                    value, bool) and rng.random() < 0.5:
+                low, high = _blur_number(float(value), rng)
+                cells.append(RangeCell(low=low, high=high))
+                phrases.append(f"between {low:g} and {high:g}")
+            else:
+                cells.append(ExactCell(value=value))
+                phrases.append(f"{value}")
+        sentence = "A desired row involves " + ", ".join(phrases) + "."
+        facts.append(Fact(sentence=sentence, cells=tuple(cells),
+                          order_index=order_index))
+
+    rng.shuffle(facts)
+    return facts

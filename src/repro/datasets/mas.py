@@ -1,0 +1,320 @@
+"""The Microsoft Academic Search (MAS) database used by the user studies.
+
+The paper runs both user studies on the MAS database of Li & Jagadish
+(2014): 15 tables, 44 columns, 19 FK-PK relationships (Table 5). The real
+MAS contents are not redistributable, so this module rebuilds the schema
+exactly and populates it with deterministic synthetic academic data that
+*plants* the entities the study tasks query (a flagship conference with
+prolific authors, an organization with many authors, a journal with more
+than 500 publications, ...), so that every task in Tables 7-8 has a
+non-empty, discriminative answer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..db.database import Database
+from ..db.schema import Schema, make_schema
+from ..sqlir.types import ColumnType as T
+
+#: Entities referenced by the user-study tasks (Tables 7-8). The paper
+#: anonymises them as C/A/R/D; these are the planted instantiations.
+CONFERENCE_C = "SIGMOD"
+AUTHOR_A = "Emma Thompson"
+ORGANIZATION_R = "University of Michigan"
+DOMAIN_D = "Databases"
+
+_FIRST_NAMES = (
+    "Emma Liam Olivia Noah Ava Elijah Sophia Lucas Isabella Mason Mia "
+    "Ethan Amelia Logan Harper James Evelyn Jack Abigail Henry Ella "
+    "Daniel Scarlett Owen Grace Wyatt Chloe Carter Lily Julian Hannah "
+    "Levi Aria Ryan Nora Nathan Zoey Isaac Stella Caleb"
+).split()
+
+_LAST_NAMES = (
+    "Thompson Garcia Martinez Robinson Clark Rodriguez Lewis Lee Walker "
+    "Hall Allen Young Hernandez King Wright Lopez Hill Scott Green Adams "
+    "Baker Gonzalez Nelson Carter Mitchell Perez Roberts Turner Phillips "
+    "Campbell Parker Evans Edwards Collins Stewart Sanchez Morris Rogers "
+    "Reed Cook"
+).split()
+
+_CONFERENCES = ("SIGMOD", "VLDB", "ICDE", "KDD", "CIKM", "CHI", "SOSP",
+                "NSDI", "ICML", "ACL", "CVPR", "STOC")
+
+_JOURNALS = ("VLDB Journal", "TODS", "TKDE", "JMLR", "CACM", "TON",
+             "TOCS", "JACM", "TSE", "Information Systems")
+
+_DOMAINS = ("Databases", "Machine Learning", "Systems",
+            "Human Computer Interaction", "Theory",
+            "Natural Language Processing", "Computer Vision", "Networking")
+
+_ORG_STEMS = ("Michigan", "Cascadia", "Redwood", "Lakeshore", "Granite",
+              "Harborview", "Summit", "Prairie", "Atlantic", "Pacific",
+              "Northern Plains", "Silver Valley", "Oak Ridge", "Maple",
+              "Ironwood", "Bayside", "Highland", "Riverbend", "Stonebridge",
+              "Clearwater", "Falcon Crest", "Meadowbrook", "Kingsport",
+              "Windham")
+
+_CONTINENTS = ("North America", "Europe", "Asia", "South America",
+               "Oceania")
+
+_KEYWORD_HEADS = ("query", "index", "transaction", "graph", "stream",
+                  "neural", "semantic", "federated", "parallel",
+                  "probabilistic", "distributed", "adaptive", "relational",
+                  "spatial", "temporal", "secure", "approximate",
+                  "interactive", "declarative", "columnar")
+
+_KEYWORD_TAILS = ("optimization", "processing", "learning", "storage",
+                  "mining", "parsing", "inference", "synthesis",
+                  "compression", "analytics")
+
+_TITLE_HEADS = ("On the Design of", "Towards Scalable", "Efficient",
+                "A Study of", "Rethinking", "Adaptive", "Principles of",
+                "Optimizing", "Interactive", "Declarative")
+
+
+def mas_schema() -> Schema:
+    """The MAS schema: 15 tables, 44 columns, 19 FK-PK links (Table 5)."""
+    return make_schema(
+        "mas",
+        tables={
+            "author": [("aid", T.NUMBER), ("name", T.TEXT),
+                       ("homepage", T.TEXT), ("oid", T.NUMBER)],
+            "publication": [("pid", T.NUMBER), ("title", T.TEXT),
+                            ("abstract", T.TEXT), ("year", T.NUMBER),
+                            ("citation_num", T.NUMBER),
+                            ("reference_num", T.NUMBER),
+                            ("cid", T.NUMBER), ("jid", T.NUMBER)],
+            "conference": [("cid", T.NUMBER), ("name", T.TEXT),
+                           ("full_name", T.TEXT), ("homepage", T.TEXT)],
+            "journal": [("jid", T.NUMBER), ("name", T.TEXT),
+                        ("full_name", T.TEXT), ("homepage", T.TEXT)],
+            "keyword": [("kid", T.NUMBER), ("keyword", T.TEXT)],
+            "organization": [("oid", T.NUMBER), ("name", T.TEXT),
+                             ("continent", T.TEXT), ("homepage", T.TEXT)],
+            "domain": [("did", T.NUMBER), ("name", T.TEXT)],
+            "writes": [("aid", T.NUMBER), ("pid", T.NUMBER)],
+            "publication_keyword": [("pid", T.NUMBER), ("kid", T.NUMBER)],
+            "domain_author": [("did", T.NUMBER), ("aid", T.NUMBER)],
+            "domain_conference": [("did", T.NUMBER), ("cid", T.NUMBER)],
+            "domain_journal": [("did", T.NUMBER), ("jid", T.NUMBER)],
+            "domain_keyword": [("did", T.NUMBER), ("kid", T.NUMBER)],
+            "domain_publication": [("did", T.NUMBER), ("pid", T.NUMBER)],
+            "cite": [("citing", T.NUMBER), ("cited", T.NUMBER)],
+        },
+        foreign_keys=[
+            ("author", "oid", "organization", "oid"),
+            ("publication", "cid", "conference", "cid"),
+            ("publication", "jid", "journal", "jid"),
+            ("writes", "aid", "author", "aid"),
+            ("writes", "pid", "publication", "pid"),
+            ("publication_keyword", "pid", "publication", "pid"),
+            ("publication_keyword", "kid", "keyword", "kid"),
+            ("domain_author", "did", "domain", "did"),
+            ("domain_author", "aid", "author", "aid"),
+            ("domain_conference", "did", "domain", "did"),
+            ("domain_conference", "cid", "conference", "cid"),
+            ("domain_journal", "did", "domain", "did"),
+            ("domain_journal", "jid", "journal", "jid"),
+            ("domain_keyword", "did", "domain", "did"),
+            ("domain_keyword", "kid", "keyword", "kid"),
+            ("domain_publication", "did", "domain", "did"),
+            ("domain_publication", "pid", "publication", "pid"),
+            ("cite", "citing", "publication", "pid"),
+            ("cite", "cited", "publication", "pid"),
+        ],
+        primary_keys={"author": "aid", "publication": "pid",
+                      "conference": "cid", "journal": "jid",
+                      "keyword": "kid", "organization": "oid",
+                      "domain": "did", "writes": None,
+                      "publication_keyword": None, "domain_author": None,
+                      "domain_conference": None, "domain_journal": None,
+                      "domain_keyword": None, "domain_publication": None,
+                      "cite": None},
+    )
+
+
+def build_mas_database(seed: int = 0, scale: float = 1.0) -> Database:
+    """Create and populate the MAS database.
+
+    ``scale`` multiplies entity counts; the default (~800 authors, ~2600
+    publications) keeps the planted task thresholds meaningful: two
+    journals exceed 500 publications (task A4), three organizations exceed
+    100 authors (B3), several University of Michigan authors exceed 50
+    publications (B4), and a handful of authors have more than 5 and more
+    than 8 SIGMOD papers (C3/D3).
+    """
+    rng = random.Random(seed)
+    schema = mas_schema()
+    db = Database.create(schema)
+
+    num_authors = max(200, int(800 * scale))
+    num_pubs = max(1200, int(3200 * scale))
+
+    # -- dimension tables ------------------------------------------------
+    domains = [(i + 1, name) for i, name in enumerate(_DOMAINS)]
+    db.insert_rows("domain", domains)
+    domain_id = {name: did for did, name in domains}
+
+    organizations = []
+    for i, stem in enumerate(_ORG_STEMS):
+        name = (ORGANIZATION_R if stem == "Michigan"
+                else f"University of {stem}")
+        continent = _CONTINENTS[i % len(_CONTINENTS)]
+        organizations.append((i + 1, name, continent,
+                              f"http://www.{stem.replace(' ', '').lower()}.edu"))
+    db.insert_rows("organization", organizations)
+    org_id = {name: oid for oid, name, _, _ in organizations}
+
+    conferences = [(i + 1, name, f"International Conference {name}",
+                    f"http://{name.lower()}.org")
+                   for i, name in enumerate(_CONFERENCES)]
+    db.insert_rows("conference", conferences)
+    conf_id = {name: cid for cid, name, _, _ in conferences}
+
+    journals = [(i + 1, name, f"The {name}",
+                 f"http://journals.org/{name.replace(' ', '-').lower()}")
+                for i, name in enumerate(_JOURNALS)]
+    db.insert_rows("journal", journals)
+    journal_id = {name: jid for jid, name, _, _ in journals}
+
+    keywords = []
+    kid = 0
+    for head in _KEYWORD_HEADS:
+        for tail in rng.sample(_KEYWORD_TAILS, 2):
+            kid += 1
+            keywords.append((kid, f"{head} {tail}"))
+    db.insert_rows("keyword", keywords)
+
+    # -- authors ----------------------------------------------------------
+    names = [f"{first} {last}" for first in _FIRST_NAMES
+             for last in _LAST_NAMES]
+    rng.shuffle(names)
+    if AUTHOR_A in names:
+        names.remove(AUTHOR_A)
+    names.insert(0, AUTHOR_A)
+
+    # Organization sizes are skewed: the first three organizations get
+    # large author populations (> 100 for task B3).
+    org_weights = [8.0, 6.0, 5.0] + [1.0] * (len(organizations) - 3)
+    authors = []
+    for aid in range(1, num_authors + 1):
+        name = names[aid - 1]
+        if aid <= 30:
+            oid = org_id[ORGANIZATION_R]  # a sizeable Michigan cohort
+        else:
+            oid = rng.choices(range(1, len(organizations) + 1),
+                              weights=org_weights)[0]
+        authors.append((aid, name,
+                        f"http://people.edu/{name.replace(' ', '.').lower()}",
+                        oid))
+    db.insert_rows("author", authors)
+
+    # -- publications ------------------------------------------------------
+    # Venue skew: SIGMOD and the first two journals are large so the
+    # "more than 500 publications" and "more than N papers in C" tasks
+    # have non-trivial answers.
+    conf_weights = [7.0, 4.0, 3.0] + [1.0] * (len(conferences) - 3)
+    journal_weights = [11.0, 9.0] + [1.0] * (len(journals) - 2)
+    publications = []
+    titles_seen = set()
+    for pid in range(1, num_pubs + 1):
+        head = rng.choice(_TITLE_HEADS)
+        topic = rng.choice(keywords)[1].title()
+        title = f"{head} {topic} {pid}"
+        if title in titles_seen:  # pragma: no cover - pid suffix is unique
+            title += "b"
+        titles_seen.add(title)
+        year = rng.randint(1990, 2020)
+        in_conference = rng.random() < 0.55
+        cid = rng.choices(range(1, len(conferences) + 1),
+                          weights=conf_weights)[0] if in_conference else None
+        jid = None if in_conference else rng.choices(
+            range(1, len(journals) + 1), weights=journal_weights)[0]
+        publications.append((pid, title, f"Abstract of {title}.", year,
+                             rng.randint(0, 900), rng.randint(4, 60),
+                             cid, jid))
+    db.insert_rows("publication", publications)
+
+    sigmod_pids = [p[0] for p in publications
+                   if p[6] == conf_id[CONFERENCE_C]]
+
+    # -- authorship --------------------------------------------------------
+    writes: set = set()
+    # Prolific Michigan authors (task B4: more than 50 publications) and
+    # frequent SIGMOD authors (tasks C3 / D3: more than 5 / 8 papers).
+    prolific = list(range(1, 9))  # aids 1..8 are Michigan authors
+    for rank, aid in enumerate(prolific):
+        pool = rng.sample(range(1, num_pubs + 1),
+                          70 - rank * 3)
+        for pid in pool:
+            writes.add((aid, pid))
+        sigmod_quota = 12 - rank  # 12, 11, ... 5 SIGMOD papers
+        for pid in rng.sample(sigmod_pids,
+                              min(sigmod_quota, len(sigmod_pids))):
+            writes.add((aid, pid))
+    for pid in range(1, num_pubs + 1):
+        for aid in rng.sample(range(1, num_authors + 1),
+                              rng.randint(1, 3)):
+            writes.add((aid, pid))
+    db.insert_rows("writes", sorted(writes))
+
+    # -- keywords per publication -------------------------------------------
+    pub_keywords = set()
+    for pid in range(1, num_pubs + 1):
+        for key in rng.sample(range(1, len(keywords) + 1), 2):
+            pub_keywords.add((pid, key))
+    db.insert_rows("publication_keyword", sorted(pub_keywords))
+
+    # -- domain links ---------------------------------------------------------
+    domain_confs = {"Databases": ["SIGMOD", "VLDB", "ICDE", "CIKM"],
+                    "Machine Learning": ["KDD", "ICML"],
+                    "Systems": ["SOSP", "NSDI"],
+                    "Human Computer Interaction": ["CHI"],
+                    "Natural Language Processing": ["ACL"],
+                    "Computer Vision": ["CVPR"],
+                    "Theory": ["STOC"]}
+    dc_rows = [(domain_id[dom], conf_id[c])
+               for dom, confs in domain_confs.items() for c in confs]
+    db.insert_rows("domain_conference", dc_rows)
+
+    domain_journals = {"Databases": ["VLDB Journal", "TODS", "TKDE",
+                                     "Information Systems"],
+                       "Machine Learning": ["JMLR"],
+                       "Systems": ["TOCS", "TON"],
+                       "Theory": ["JACM"]}
+    dj_rows = [(domain_id[dom], journal_id[j])
+               for dom, journals_ in domain_journals.items()
+               for j in journals_]
+    db.insert_rows("domain_journal", dj_rows)
+
+    da_rows = set()
+    for aid in range(1, num_authors + 1):
+        if aid <= 40:
+            da_rows.add((domain_id[DOMAIN_D], aid))
+        for did in rng.sample(range(1, len(domains) + 1),
+                              rng.randint(1, 2)):
+            da_rows.add((did, aid))
+    db.insert_rows("domain_author", sorted(da_rows))
+
+    dk_rows = set()
+    for key in range(1, len(keywords) + 1):
+        dk_rows.add((rng.randint(1, len(domains)), key))
+    db.insert_rows("domain_keyword", sorted(dk_rows))
+
+    dp_rows = set()
+    for pid in range(1, num_pubs + 1):
+        dp_rows.add((rng.randint(1, len(domains)), pid))
+    db.insert_rows("domain_publication", sorted(dp_rows))
+
+    cites = set()
+    for _ in range(num_pubs * 2):
+        citing, cited = rng.randint(1, num_pubs), rng.randint(1, num_pubs)
+        if citing != cited:
+            cites.add((citing, cited))
+    db.insert_rows("cite", sorted(cites))
+
+    return db

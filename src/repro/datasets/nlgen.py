@@ -1,0 +1,150 @@
+"""Template-based English generation for gold queries.
+
+The synthetic Spider corpus (see :mod:`repro.datasets.spider`) needs an
+NLQ for every gold query. These templates produce natural-sounding
+requests whose vocabulary derives from schema display names — close enough
+to human phrasing for the lexical guidance model to work with, while the
+calibrated oracle model ignores the text and only uses the task identity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..db.schema import Schema
+from ..sqlir.ast import (
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    Hole,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectItem,
+    Where,
+)
+
+_LIST_VERBS = ("List", "Show", "Find", "Give me", "Return", "Display")
+
+_AGG_PHRASES = {
+    AggOp.COUNT: "the number of",
+    AggOp.MAX: "the maximum",
+    AggOp.MIN: "the minimum",
+    AggOp.AVG: "the average",
+    AggOp.SUM: "the total",
+}
+
+_OP_PHRASES = {
+    CompOp.EQ: "is",
+    CompOp.NE: "is not",
+    CompOp.GT: "is greater than",
+    CompOp.LT: "is less than",
+    CompOp.GE: "is at least",
+    CompOp.LE: "is at most",
+    CompOp.LIKE: "contains",
+}
+
+
+def _column_phrase(schema: Schema, column: ColumnRef) -> str:
+    if column.is_star:
+        return "records"
+    name = schema.display_name(f"{column.table}.{column.column}")
+    table = schema.display_name(column.table)
+    return f"{name} of each {table}" if False else f"{table} {name}"
+
+
+def _select_phrase(schema: Schema, item: SelectItem) -> str:
+    assert isinstance(item.agg, AggOp)
+    assert isinstance(item.column, ColumnRef)
+    if item.column.is_star:
+        return "the number of records"
+    base = _column_phrase(schema, item.column)
+    if item.agg.is_aggregate:
+        return f"{_AGG_PHRASES[item.agg]} {base}"
+    return f"the {base}"
+
+
+def _value_phrase(value: object) -> str:
+    if isinstance(value, str):
+        return f'"{value}"'
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _predicate_phrase(schema: Schema, pred: Predicate) -> str:
+    assert isinstance(pred.column, ColumnRef)
+    assert isinstance(pred.op, CompOp)
+    column = _column_phrase(schema, pred.column)
+    if pred.agg.is_aggregate:
+        if pred.column.is_star:
+            column = "records"
+        agg_phrase = {
+            CompOp.GT: "more than", CompOp.GE: "at least",
+            CompOp.LT: "fewer than", CompOp.LE: "at most",
+            CompOp.EQ: "exactly",
+        }.get(pred.op, "about")
+        return f"with {agg_phrase} {_value_phrase(pred.value)} {column}"
+    if pred.op is CompOp.BETWEEN and isinstance(pred.value, tuple):
+        low, high = pred.value
+        return (f"whose {column} is between {_value_phrase(low)} and "
+                f"{_value_phrase(high)}")
+    return (f"whose {column} {_OP_PHRASES[pred.op]} "
+            f"{_value_phrase(pred.value)}")
+
+
+def generate_nlq_text(query: Query, schema: Schema,
+                      rng: Optional[random.Random] = None) -> str:
+    """Render a gold query as an English request."""
+    rng = rng or random.Random(0)
+    assert not isinstance(query.select, Hole)
+
+    select_parts = [_select_phrase(schema, item) for item in query.select
+                    if isinstance(item, SelectItem)]
+    sentence = f"{rng.choice(_LIST_VERBS)} {' and '.join(select_parts)}"
+
+    grouped = (query.group_by is not None
+               and not isinstance(query.group_by, Hole))
+    if grouped:
+        group_names = [_column_phrase(schema, col)
+                       for col in query.group_by
+                       if isinstance(col, ColumnRef)]
+        sentence += f" for each {' and '.join(group_names)}"
+
+    if isinstance(query.where, Where):
+        parts = [_predicate_phrase(schema, pred)
+                 for pred in query.where.predicates
+                 if isinstance(pred, Predicate)]
+        connective = " or " if (isinstance(query.where.logic, LogicOp)
+                                and query.where.logic is LogicOp.OR) \
+            else " and "
+        sentence += ", " + connective.join(parts)
+
+    if query.having is not None and not isinstance(query.having, Hole):
+        parts = [_predicate_phrase(schema, pred) for pred in query.having
+                 if isinstance(pred, Predicate)]
+        sentence += ", " + " and ".join(parts)
+
+    if query.order_by is not None and not isinstance(query.order_by, Hole):
+        for item in query.order_by:
+            if not isinstance(item, OrderItem):
+                continue
+            assert isinstance(item.column, ColumnRef)
+            if isinstance(item.agg, AggOp) and item.agg.is_aggregate:
+                target = ("the number of records" if item.column.is_star
+                          else (_AGG_PHRASES[item.agg] + " "
+                                + _column_phrase(schema, item.column)))
+            else:
+                target = "the " + _column_phrase(schema, item.column)
+            direction = ("from highest to lowest"
+                         if item.direction is Direction.DESC
+                         else "from lowest to highest")
+            sentence += f", ordered by {target} {direction}"
+
+    if isinstance(query.limit, int):
+        sentence += f", showing only the top {query.limit}"
+
+    return sentence + "."

@@ -1,0 +1,686 @@
+"""Synthetic Spider-like benchmark corpus.
+
+The paper's simulation study (Section 5.4) runs on the Spider benchmark:
+cross-domain databases with NLQ/SQL task pairs stratified into easy /
+medium / hard. Spider itself cannot be downloaded in this offline
+environment, so this module generates a statistically comparable corpus:
+
+* themed multi-table schemas (entities, many-to-one and many-to-many
+  relations with declared FK-PK constraints, complete-word identifiers as
+  Section 4.1 requires);
+* deterministic synthetic contents;
+* gold SPJA queries drawn from templates stratified to Spider's dev-set
+  difficulty mix (~40% easy, ~43% medium, ~17% hard, Table 5), each
+  validated to execute with a non-empty result (empty-result tasks were
+  removed in the paper's setup);
+* template-generated English NLQs with tagged literal values.
+
+Databases and tasks are reproducible given the corpus seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+from ..db.schema import Schema, make_schema
+from ..nlq.literals import NLQuery
+from ..sqlir.ast import (
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    JoinPath,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    STAR,
+    SelectItem,
+    Where,
+)
+from ..sqlir.types import ColumnType as T
+from ..sqlir.types import Value
+from .nlgen import generate_nlq_text
+from .tasks import Task, TaskSet
+from ..core.joins import JoinPathBuilder
+
+# ----------------------------------------------------------------------
+# Theme blueprints
+# ----------------------------------------------------------------------
+#: column spec kinds: ("name",) unique text; ("cat", pool) categorical
+#: text; ("num", lo, hi) integer; ("year",) year-like integer.
+_ThemeSpec = Dict[str, object]
+
+_CITIES = ("Arlington", "Bridgeport", "Carmel", "Dayton", "Eastwood",
+           "Fairview", "Georgetown", "Hartley", "Irvington", "Jasper")
+_COUNTRIES = ("United States", "Canada", "France", "Japan", "Brazil",
+              "Germany", "Australia", "Kenya", "India", "Norway")
+
+_THEMES: Dict[str, _ThemeSpec] = {
+    "library": {
+        "entities": {
+            "book": [("title", ("name",)),
+                     ("genre", ("cat", ("fiction", "mystery", "biography",
+                                        "poetry", "history", "science"))),
+                     ("pages", ("num", 80, 900)),
+                     ("publish_year", ("year",))],
+            "author": [("name", ("name",)),
+                       ("country", ("cat", _COUNTRIES)),
+                       ("birth_year", ("year",))],
+            "branch": [("name", ("name",)),
+                       ("city", ("cat", _CITIES)),
+                       ("capacity", ("num", 100, 9000))],
+        },
+        "many_to_one": [("book", "branch")],
+        "many_to_many": [("book", "author", "written_by")],
+    },
+    "airline": {
+        "entities": {
+            "flight": [("flight_number", ("name",)),
+                       ("origin", ("cat", _CITIES)),
+                       ("distance", ("num", 100, 9000)),
+                       ("departure_year", ("year",))],
+            "airline": [("name", ("name",)),
+                        ("country", ("cat", _COUNTRIES)),
+                        ("fleet_size", ("num", 5, 600))],
+            "airport": [("name", ("name",)),
+                        ("city", ("cat", _CITIES)),
+                        ("elevation", ("num", 0, 4000))],
+        },
+        "many_to_one": [("flight", "airline"), ("flight", "airport")],
+        "many_to_many": [],
+    },
+    "school": {
+        "entities": {
+            "student": [("name", ("name",)),
+                        ("major", ("cat", ("physics", "history", "biology",
+                                           "economics", "literature"))),
+                        ("age", ("num", 17, 30)),
+                        ("enrollment_year", ("year",))],
+            "course": [("title", ("name",)),
+                       ("department", ("cat", ("science", "arts",
+                                               "engineering", "business"))),
+                       ("credits", ("num", 1, 6))],
+            "teacher": [("name", ("name",)),
+                        ("office", ("cat", _CITIES)),
+                        ("salary", ("num", 30000, 120000))],
+        },
+        "many_to_one": [("course", "teacher")],
+        "many_to_many": [("student", "course", "enrollment")],
+    },
+    "hospital": {
+        "entities": {
+            "patient": [("name", ("name",)),
+                        ("city", ("cat", _CITIES)),
+                        ("age", ("num", 1, 99))],
+            "doctor": [("name", ("name",)),
+                       ("specialty", ("cat", ("cardiology", "neurology",
+                                              "oncology", "pediatrics"))),
+                       ("experience", ("num", 1, 40))],
+            "ward": [("name", ("name",)),
+                     ("floor", ("num", 1, 12)),
+                     ("beds", ("num", 4, 60))],
+        },
+        "many_to_one": [("doctor", "ward")],
+        "many_to_many": [("patient", "doctor", "appointment")],
+    },
+    "retail": {
+        "entities": {
+            "product": [("name", ("name",)),
+                        ("category", ("cat", ("electronics", "clothing",
+                                              "grocery", "furniture",
+                                              "toys"))),
+                        ("price", ("num", 2, 4000)),
+                        ("stock", ("num", 0, 500))],
+            "store": [("name", ("name",)),
+                      ("city", ("cat", _CITIES)),
+                      ("open_year", ("year",))],
+            "supplier": [("name", ("name",)),
+                         ("country", ("cat", _COUNTRIES)),
+                         ("rating", ("num", 1, 10))],
+        },
+        "many_to_one": [("product", "supplier")],
+        "many_to_many": [("product", "store", "stocked_in")],
+    },
+    "music": {
+        "entities": {
+            "song": [("title", ("name",)),
+                     ("genre", ("cat", ("rock", "jazz", "pop", "classical",
+                                        "folk"))),
+                     ("duration", ("num", 90, 600)),
+                     ("release_year", ("year",))],
+            "artist": [("name", ("name",)),
+                       ("country", ("cat", _COUNTRIES)),
+                       ("debut_year", ("year",))],
+            "album": [("title", ("name",)),
+                      ("label", ("cat", ("bluebird", "northside", "echo",
+                                         "harbor"))),
+                      ("tracks", ("num", 6, 24))],
+        },
+        "many_to_one": [("song", "album")],
+        "many_to_many": [("song", "artist", "performed_by")],
+    },
+    "sports": {
+        "entities": {
+            "player": [("name", ("name",)),
+                       ("position", ("cat", ("guard", "forward", "center",
+                                             "winger"))),
+                       ("height", ("num", 160, 225)),
+                       ("draft_year", ("year",))],
+            "team": [("name", ("name",)),
+                     ("city", ("cat", _CITIES)),
+                     ("founded_year", ("year",))],
+            "stadium": [("name", ("name",)),
+                        ("city", ("cat", _CITIES)),
+                        ("seats", ("num", 2000, 90000))],
+        },
+        "many_to_one": [("player", "team"), ("team", "stadium")],
+        "many_to_many": [],
+    },
+    "restaurant": {
+        "entities": {
+            "dish": [("name", ("name",)),
+                     ("cuisine", ("cat", ("italian", "thai", "mexican",
+                                          "indian", "french"))),
+                     ("price", ("num", 4, 80))],
+            "restaurant": [("name", ("name",)),
+                           ("city", ("cat", _CITIES)),
+                           ("seats", ("num", 10, 300)),
+                           ("open_year", ("year",))],
+            "chef": [("name", ("name",)),
+                     ("country", ("cat", _COUNTRIES)),
+                     ("stars", ("num", 0, 3))],
+        },
+        "many_to_one": [("dish", "restaurant"), ("restaurant", "chef")],
+        "many_to_many": [],
+    },
+    "streaming": {
+        "entities": {
+            "movie": [("title", ("name",)),
+                      ("genre", ("cat", ("drama", "comedy", "thriller",
+                                         "documentary", "animation"))),
+                      ("runtime", ("num", 60, 240)),
+                      ("release_year", ("year",))],
+            "director": [("name", ("name",)),
+                         ("country", ("cat", _COUNTRIES)),
+                         ("debut_year", ("year",))],
+            "platform": [("name", ("name",)),
+                         ("subscribers", ("num", 1000, 900000)),
+                         ("launch_year", ("year",))],
+        },
+        "many_to_one": [("movie", "director")],
+        "many_to_many": [("movie", "platform", "available_on")],
+    },
+    "company": {
+        "entities": {
+            "employee": [("name", ("name",)),
+                         ("role", ("cat", ("engineer", "analyst", "manager",
+                                           "designer"))),
+                         ("salary", ("num", 30000, 220000)),
+                         ("hire_year", ("year",))],
+            "department": [("name", ("name",)),
+                           ("budget", ("num", 50000, 5000000)),
+                           ("city", ("cat", _CITIES))],
+            "project": [("name", ("name",)),
+                        ("status", ("cat", ("active", "paused", "done"))),
+                        ("cost", ("num", 1000, 800000))],
+        },
+        "many_to_one": [("employee", "department")],
+        "many_to_many": [("employee", "project", "assignment")],
+    },
+    "realestate": {
+        "entities": {
+            "property": [("address", ("name",)),
+                         ("kind", ("cat", ("house", "apartment", "condo",
+                                           "studio"))),
+                         ("price", ("num", 50000, 2000000)),
+                         ("built_year", ("year",))],
+            "agent": [("name", ("name",)),
+                      ("city", ("cat", _CITIES)),
+                      ("commission", ("num", 1, 9))],
+            "owner": [("name", ("name",)),
+                      ("country", ("cat", _COUNTRIES))],
+        },
+        "many_to_one": [("property", "agent"), ("property", "owner")],
+        "many_to_many": [],
+    },
+    "gaming": {
+        "entities": {
+            "game": [("title", ("name",)),
+                     ("genre", ("cat", ("strategy", "puzzle", "racing",
+                                        "adventure", "simulation"))),
+                     ("rating", ("num", 1, 100)),
+                     ("release_year", ("year",))],
+            "studio": [("name", ("name",)),
+                       ("country", ("cat", _COUNTRIES)),
+                       ("employees", ("num", 3, 4000))],
+            "player": [("name", ("name",)),
+                       ("level", ("num", 1, 99)),
+                       ("join_year", ("year",))],
+        },
+        "many_to_one": [("game", "studio")],
+        "many_to_many": [("player", "game", "plays")],
+    },
+}
+
+_NAME_WORDS = ("silver", "crimson", "hollow", "bright", "ancient", "quiet",
+               "golden", "winding", "distant", "hidden", "rapid", "gentle",
+               "broken", "lonely", "shining", "emerald", "frozen", "amber")
+_NAME_NOUNS = ("river", "harbor", "meadow", "summit", "garden", "lantern",
+               "compass", "anchor", "bridge", "orchard", "canyon", "willow",
+               "beacon", "valley", "harvest", "voyage")
+
+
+@dataclass
+class SpiderCorpusConfig:
+    """Sizing for a synthetic Spider split."""
+
+    num_databases: int = 20
+    tasks_per_database: int = 8
+    rows_per_entity: int = 60
+    rows_per_link: int = 150
+    seed: int = 0
+    #: difficulty mix (easy, medium, hard) — Spider dev is roughly 40/43/17
+    mix: Tuple[float, float, float] = (0.40, 0.43, 0.17)
+
+
+def _make_theme_schema(theme_name: str, spec: _ThemeSpec,
+                       db_name: str) -> Schema:
+    tables: Dict[str, List[Tuple[str, T]]] = {}
+    fks: List[Tuple[str, str, str, str]] = []
+    pks: Dict[str, Optional[str]] = {}
+    for entity, columns in spec["entities"].items():  # type: ignore[union-attr]
+        id_col = f"{entity}_id"
+        cols: List[Tuple[str, T]] = [(id_col, T.NUMBER)]
+        for col_name, kind in columns:
+            col_type = T.TEXT if kind[0] in ("name", "cat") else T.NUMBER
+            cols.append((col_name, col_type))
+        tables[entity] = cols
+        pks[entity] = id_col
+    for child, parent in spec["many_to_one"]:  # type: ignore[union-attr]
+        fk_col = f"{parent}_id"
+        tables[child].append((fk_col, T.NUMBER))
+        fks.append((child, fk_col, parent, f"{parent}_id"))
+    for left, right, link in spec["many_to_many"]:  # type: ignore[union-attr]
+        tables[link] = [(f"{left}_id", T.NUMBER), (f"{right}_id", T.NUMBER)]
+        pks[link] = None
+        fks.append((link, f"{left}_id", left, f"{left}_id"))
+        fks.append((link, f"{right}_id", right, f"{right}_id"))
+    return make_schema(db_name, tables=tables, foreign_keys=fks,
+                       primary_keys=pks)
+
+
+def _populate(db: Database, spec: _ThemeSpec, rng: random.Random,
+              config: SpiderCorpusConfig) -> None:
+    schema = db.schema
+    entity_counts: Dict[str, int] = {}
+    for entity in spec["entities"]:  # type: ignore[union-attr]
+        entity_counts[entity] = max(
+            10, int(config.rows_per_entity * rng.uniform(0.6, 1.4)))
+
+    def make_value(kind: Tuple, row_index: int, used: set) -> Value:
+        if kind[0] == "name":
+            while True:
+                value = (f"{rng.choice(_NAME_WORDS)} "
+                         f"{rng.choice(_NAME_NOUNS)} {row_index}")
+                if value not in used:
+                    used.add(value)
+                    return value
+        if kind[0] == "cat":
+            return rng.choice(kind[1])
+        if kind[0] == "num":
+            return rng.randint(kind[1], kind[2])
+        return rng.randint(1985, 2020)  # year
+
+    # Insert referenced entities before referencing ones (FK enforcement).
+    entities = dict(spec["entities"])  # type: ignore[arg-type]
+    ordered: List[str] = []
+    while len(ordered) < len(entities):
+        progressed = False
+        for entity in entities:
+            if entity in ordered:
+                continue
+            deps = {fk.dst_table for fk in schema.foreign_keys_from(entity)
+                    if fk.dst_table in entities and fk.dst_table != entity}
+            if deps <= set(ordered):
+                ordered.append(entity)
+                progressed = True
+        if not progressed:  # pragma: no cover - themes are acyclic
+            ordered.extend(e for e in entities if e not in ordered)
+            break
+
+    for entity in ordered:
+        columns = entities[entity]
+        count = entity_counts[entity]
+        used: set = set()
+        fk_parents = [fk for fk in schema.foreign_keys_from(entity)]
+        rows = []
+        for i in range(1, count + 1):
+            row: List[Value] = [i]
+            for col_name, kind in columns:
+                row.append(make_value(kind, i, used))
+            for fk in fk_parents:
+                parent_count = entity_counts[fk.dst_table]
+                row.append(rng.randint(1, parent_count))
+            rows.append(tuple(row))
+        db.insert_rows(entity, rows)
+
+    for left, right, link in spec["many_to_many"]:  # type: ignore[union-attr]
+        pairs: set = set()
+        target = config.rows_per_link
+        attempts = 0
+        while len(pairs) < target and attempts < target * 5:
+            attempts += 1
+            pairs.add((rng.randint(1, entity_counts[left]),
+                       rng.randint(1, entity_counts[right])))
+        db.insert_rows(link, sorted(pairs))
+
+
+class _TaskFactory:
+    """Generates validated gold queries for one database."""
+
+    MAX_ATTEMPTS = 30
+
+    def __init__(self, db: Database, rng: random.Random):
+        self.db = db
+        self.schema = db.schema
+        self.rng = rng
+        self.joins = JoinPathBuilder(self.schema, max_extensions=1)
+        self._entity_tables = [t for t in self.schema.tables
+                               if t.primary_key is not None]
+
+    # -- helpers -----------------------------------------------------------
+    def _text_columns(self, table: str) -> List[ColumnRef]:
+        return [ColumnRef(table=table, column=c.name)
+                for c in self.schema.table(table).columns
+                if c.type is T.TEXT]
+
+    def _numeric_columns(self, table: str) -> List[ColumnRef]:
+        return [ColumnRef(table=table, column=c.name)
+                for c in self.schema.table(table).columns
+                if c.type is T.NUMBER and not c.is_primary_key
+                and not c.name.endswith("_id")]
+
+    def _join_path(self, tables: Sequence[str]) -> Optional[JoinPath]:
+        paths = self.joins.paths_for_tables(tuple(dict.fromkeys(tables)))
+        return paths[0] if paths else None
+
+    def _value_for(self, column: ColumnRef) -> Optional[Value]:
+        values = self.db.distinct_values(column, limit=50)
+        return self.rng.choice(values) if values else None
+
+    def _predicate(self, column: ColumnRef,
+                   exclude_eq: bool = False) -> Optional[Predicate]:
+        col_type = self.schema.column_type(column)
+        value = self._value_for(column)
+        if value is None:
+            return None
+        if col_type is T.TEXT:
+            op = CompOp.EQ if (exclude_eq is False or
+                               self.rng.random() < 0.8) else CompOp.NE
+            if self.rng.random() < 0.12:
+                token = str(value).split()[0]
+                return Predicate(agg=AggOp.NONE, column=column,
+                                 op=CompOp.LIKE, value=f"%{token}%")
+            return Predicate(agg=AggOp.NONE, column=column, op=op,
+                             value=value)
+        op = self.rng.choice((CompOp.GT, CompOp.LT, CompOp.GE, CompOp.LE))
+        if self.rng.random() < 0.1:
+            other = self._value_for(column)
+            if other is not None and other != value:
+                low, high = sorted((value, other))
+                return Predicate(agg=AggOp.NONE, column=column,
+                                 op=CompOp.BETWEEN, value=(low, high))
+        return Predicate(agg=AggOp.NONE, column=column, op=op, value=value)
+
+    # -- templates ------------------------------------------------------------
+    def _easy(self) -> Optional[Query]:
+        table = self.rng.choice(self._entity_tables).name
+        variant = self.rng.random()
+        text_cols = self._text_columns(table)
+        num_cols = self._numeric_columns(table)
+        if variant < 0.35 and text_cols:
+            # project 1-2 columns, possibly across a join
+            select_cols = [self.rng.choice(text_cols)]
+            if num_cols and self.rng.random() < 0.5:
+                select_cols.append(self.rng.choice(num_cols))
+            join = self._join_path([c.table for c in select_cols])
+            if join is None:
+                return None
+            return Query(select=tuple(SelectItem(agg=AggOp.NONE, column=c)
+                                      for c in select_cols),
+                         join_path=join, where=None, group_by=None,
+                         having=None, order_by=None, limit=None)
+        if variant < 0.70 and text_cols and num_cols:
+            # project + ORDER BY (+ LIMIT)
+            select_col = self.rng.choice(text_cols)
+            order_col = self.rng.choice(num_cols)
+            join = self._join_path([select_col.table, order_col.table])
+            if join is None:
+                return None
+            direction = self.rng.choice((Direction.ASC, Direction.DESC))
+            limit = self.rng.choice((None, None, 1, 3, 5))
+            return Query(select=(SelectItem(agg=AggOp.NONE,
+                                            column=select_col),),
+                         join_path=join, where=None, group_by=None,
+                         having=None,
+                         order_by=(OrderItem(agg=AggOp.NONE,
+                                             column=order_col,
+                                             direction=direction),),
+                         limit=limit)
+        # global aggregate
+        if num_cols and self.rng.random() < 0.6:
+            agg = self.rng.choice((AggOp.MAX, AggOp.MIN, AggOp.AVG,
+                                   AggOp.SUM))
+            column = self.rng.choice(num_cols)
+            join = self._join_path([column.table])
+            if join is None:
+                return None
+            return Query(select=(SelectItem(agg=agg, column=column),),
+                         join_path=join, where=None, group_by=None,
+                         having=None, order_by=None, limit=None)
+        join = self._join_path([table])
+        if join is None:
+            return None
+        return Query(select=(SelectItem(agg=AggOp.COUNT, column=STAR),),
+                     join_path=join, where=None, group_by=None, having=None,
+                     order_by=None, limit=None)
+
+    def _medium(self) -> Optional[Query]:
+        table = self.rng.choice(self._entity_tables).name
+        text_cols = self._text_columns(table)
+        num_cols = self._numeric_columns(table)
+        if not text_cols:
+            return None
+        select_cols = [self.rng.choice(text_cols)]
+        if num_cols and self.rng.random() < 0.4:
+            select_cols.append(self.rng.choice(num_cols))
+
+        # predicate columns: prefer another table reachable by join, or a
+        # different column of the same table (never a projected column).
+        pred_pool: List[ColumnRef] = []
+        for other in self.schema.tables:
+            for col in (self._text_columns(other.name)
+                        + self._numeric_columns(other.name)):
+                if col not in select_cols:
+                    pred_pool.append(col)
+        self.rng.shuffle(pred_pool)
+        num_preds = 1 if self.rng.random() < 0.7 else 2
+        predicates: List[Predicate] = []
+        for col in pred_pool:
+            path = self._join_path([c.table for c in select_cols]
+                                   + [p.column.table for p in predicates]
+                                   + [col.table])
+            if path is None:
+                continue
+            pred = self._predicate(col)
+            if pred is not None:
+                predicates.append(pred)
+            if len(predicates) >= num_preds:
+                break
+        if not predicates:
+            return None
+        logic = LogicOp.AND
+        if len(predicates) > 1:
+            same_column = predicates[0].column == predicates[1].column
+            logic = LogicOp.OR if (same_column
+                                   or self.rng.random() < 0.25) \
+                else LogicOp.AND
+        tables = ([c.table for c in select_cols]
+                  + [p.column.table for p in predicates
+                     if isinstance(p.column, ColumnRef)])
+        join = self._join_path(tables)
+        if join is None:
+            return None
+        order_by = None
+        limit = None
+        if num_cols and self.rng.random() < 0.25:
+            order_col = self.rng.choice(num_cols)
+            if order_col.table in join.tables:
+                order_by = (OrderItem(
+                    agg=AggOp.NONE, column=order_col,
+                    direction=self.rng.choice((Direction.ASC,
+                                               Direction.DESC))),)
+                limit = self.rng.choice((None, None, 3))
+        return Query(select=tuple(SelectItem(agg=AggOp.NONE, column=c)
+                                  for c in select_cols),
+                     join_path=join,
+                     where=Where(logic=logic, predicates=tuple(predicates)),
+                     group_by=None, having=None, order_by=order_by,
+                     limit=limit)
+
+    def _hard(self) -> Optional[Query]:
+        # group an entity's name column, count related rows via a join
+        fks = list(self.schema.foreign_keys)
+        if not fks:
+            return None
+        fk = self.rng.choice(fks)
+        parent, child = fk.dst_table, fk.src_table
+        parent_text = self._text_columns(parent)
+        if not parent_text:
+            return None
+        group_col = parent_text[0]
+        join = self._join_path([parent, child])
+        if join is None:
+            return None
+        agg_item = SelectItem(agg=AggOp.COUNT, column=STAR)
+        child_nums = self._numeric_columns(child)
+        if child_nums and self.rng.random() < 0.3:
+            agg = self.rng.choice((AggOp.MAX, AggOp.AVG, AggOp.SUM))
+            agg_item = SelectItem(agg=agg,
+                                  column=self.rng.choice(child_nums))
+        having = None
+        order_by = None
+        limit = None
+        roll = self.rng.random()
+        if roll < 0.35 and agg_item.agg is AggOp.COUNT:
+            threshold = self.rng.randint(1, 4)
+            having = (Predicate(agg=AggOp.COUNT, column=STAR,
+                                op=CompOp.GT, value=threshold),)
+        elif roll < 0.7:
+            order_by = (OrderItem(agg=agg_item.agg, column=agg_item.column,
+                                  direction=Direction.DESC),)
+            limit = self.rng.choice((None, 1, 3))
+        return Query(select=(SelectItem(agg=AggOp.NONE, column=group_col),
+                             agg_item),
+                     join_path=join, where=None,
+                     group_by=(group_col,), having=having,
+                     order_by=order_by, limit=limit)
+
+    # -- public ------------------------------------------------------------
+    def make_task(self, difficulty: str, task_id: str) -> Optional[Task]:
+        template = {"easy": self._easy, "medium": self._medium,
+                    "hard": self._hard}[difficulty]
+        for _ in range(self.MAX_ATTEMPTS):
+            gold = template()
+            if gold is None:
+                continue
+            try:
+                rows = self.db.execute_query(gold, max_rows=5)
+            except Exception:
+                continue
+            if not rows:
+                continue
+            from ..core.semantics import check_semantics
+            if check_semantics(gold, self.schema):
+                continue
+            literals = _collect_literals(gold)
+            text = generate_nlq_text(gold, self.schema, self.rng)
+            nlq = NLQuery.from_text(text, literals=literals)
+            return Task.from_parts(task_id=task_id,
+                                   db_name=self.schema.name, nlq=nlq,
+                                   gold=gold)
+        return None
+
+
+def _collect_literals(gold: Query) -> List[Value]:
+    literals: List[Value] = []
+    if isinstance(gold.where, Where):
+        for pred in gold.where.predicates:
+            if isinstance(pred, Predicate):
+                if isinstance(pred.value, tuple):
+                    literals.extend(pred.value)
+                else:
+                    literals.append(pred.value)
+    if gold.having is not None:
+        for pred in gold.having or ():
+            if isinstance(pred, Predicate) and not isinstance(pred.value,
+                                                              tuple):
+                literals.append(pred.value)
+    if isinstance(gold.limit, int):
+        literals.append(gold.limit)
+    # deduplicate, preserving order
+    seen: set = set()
+    unique = []
+    for value in literals:
+        key = repr(value)
+        if key not in seen:
+            seen.add(key)
+            unique.append(value)
+    return unique
+
+
+def generate_corpus(split: str = "dev",
+                    config: Optional[SpiderCorpusConfig] = None) -> TaskSet:
+    """Generate a synthetic Spider split ("dev" or "test").
+
+    The test split uses a disjoint seed space and twice the databases, as
+    in Table 5 (20 dev databases vs 40 test databases).
+    """
+    config = config or SpiderCorpusConfig()
+    if split == "test":
+        config = SpiderCorpusConfig(
+            num_databases=config.num_databases * 2,
+            tasks_per_database=config.tasks_per_database,
+            rows_per_entity=config.rows_per_entity,
+            rows_per_link=config.rows_per_link,
+            seed=config.seed + 10_000,
+            mix=config.mix)
+    task_set = TaskSet(name=f"spider-{split}")
+    theme_names = list(_THEMES)
+    for index in range(config.num_databases):
+        theme_name = theme_names[index % len(theme_names)]
+        rng = random.Random(f"{config.seed}/{split}/{index}")
+        db_name = f"{theme_name}_{split}_{index}"
+        schema = _make_theme_schema(theme_name, _THEMES[theme_name], db_name)
+        db = Database.create(schema)
+        _populate(db, _THEMES[theme_name], rng, config)
+        factory = _TaskFactory(db, rng)
+        counter = 0
+        for t in range(config.tasks_per_database):
+            roll = rng.random()
+            if roll < config.mix[0]:
+                difficulty = "easy"
+            elif roll < config.mix[0] + config.mix[1]:
+                difficulty = "medium"
+            else:
+                difficulty = "hard"
+            task = factory.make_task(difficulty,
+                                     f"{db_name}-t{counter}")
+            if task is not None:
+                task_set.add(task, db)
+                counter += 1
+    return task_set

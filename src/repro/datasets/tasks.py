@@ -1,0 +1,107 @@
+"""Task model: one benchmark item = (database, NLQ, literals, gold SQL).
+
+Difficulty levels follow Table 5 of the paper: *Easy* tasks are
+project-join queries (possibly with aggregates, sorting and limit),
+*Medium* tasks add selection predicates, and *Hard* tasks include grouping
+operators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+from ..nlq.literals import NLQuery
+from ..sqlir.ast import Hole, Query
+
+
+class Difficulty(enum.Enum):
+    EASY = "easy"
+    MEDIUM = "medium"
+    HARD = "hard"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def classify_difficulty(gold: Query) -> Difficulty:
+    """Classify a gold query by the Table 5 definition."""
+    grouped = gold.group_by is not None and not isinstance(gold.group_by,
+                                                           Hole)
+    if grouped:
+        return Difficulty.HARD
+    has_where = gold.where is not None and not isinstance(gold.where, Hole)
+    if has_where:
+        return Difficulty.MEDIUM
+    return Difficulty.EASY
+
+
+@dataclass
+class Task:
+    """One benchmark task."""
+
+    task_id: str
+    db_name: str
+    nlq: NLQuery
+    gold: Query
+    difficulty: Difficulty
+
+    @classmethod
+    def from_parts(cls, task_id: str, db_name: str, nlq: NLQuery,
+                   gold: Query) -> "Task":
+        return cls(task_id=task_id, db_name=db_name, nlq=nlq, gold=gold,
+                   difficulty=classify_difficulty(gold))
+
+    def __repr__(self) -> str:
+        return f"<Task {self.task_id} [{self.difficulty}] on {self.db_name}>"
+
+
+@dataclass
+class TaskSet:
+    """A named collection of tasks over one or more databases."""
+
+    name: str
+    tasks: List[Task] = field(default_factory=list)
+    databases: Dict[str, Database] = field(default_factory=dict)
+
+    def add(self, task: Task, db: Database) -> None:
+        self.tasks.append(task)
+        self.databases.setdefault(db.schema.name, db)
+
+    def database_for(self, task: Task) -> Database:
+        return self.databases[task.db_name]
+
+    def by_difficulty(self, difficulty: Difficulty) -> List[Task]:
+        return [t for t in self.tasks if t.difficulty is difficulty]
+
+    def counts(self) -> Dict[Difficulty, int]:
+        counts = {d: 0 for d in Difficulty}
+        for task in self.tasks:
+            counts[task.difficulty] += 1
+        return counts
+
+    def schema_stats(self) -> Tuple[float, float, float]:
+        """Average (tables, columns, FK-PKs) across databases (Table 5)."""
+        if not self.databases:
+            return (0.0, 0.0, 0.0)
+        schemas = [db.schema for db in self.databases.values()]
+        n = len(schemas)
+        return (sum(s.num_tables for s in schemas) / n,
+                sum(s.num_columns for s in schemas) / n,
+                sum(s.num_foreign_keys for s in schemas) / n)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return (f"<TaskSet {self.name}: {len(self.tasks)} tasks "
+                f"({counts[Difficulty.EASY]} easy, "
+                f"{counts[Difficulty.MEDIUM]} medium, "
+                f"{counts[Difficulty.HARD]} hard), "
+                f"{len(self.databases)} databases>")

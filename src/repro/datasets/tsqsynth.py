@@ -1,0 +1,118 @@
+"""TSQ synthesis for the simulation study (Section 5.4.1).
+
+For each task, the paper synthesises a TSQ containing type annotations,
+two example tuples randomly selected from the result set of the desired
+query, and tau/k values matching the gold query. Section 5.4.4 varies the
+specification detail: *Full* (everything), *Partial* (all values of one
+randomly chosen column erased, for tasks with >= 2 projected columns), and
+*Minimal* (type annotations only).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..db.database import Database
+from ..errors import DatasetError
+from ..sqlir.ast import AggOp, ColumnRef, Hole, Query, SelectItem
+from ..sqlir.types import ColumnType
+from .tasks import Task
+from ..core.tsq import (
+    Cell,
+    EmptyCell,
+    ExactCell,
+    TableSketchQuery,
+)
+
+#: Specification detail levels of Table 6.
+DETAIL_FULL = "full"
+DETAIL_PARTIAL = "partial"
+DETAIL_MINIMAL = "minimal"
+ALL_DETAILS = (DETAIL_FULL, DETAIL_PARTIAL, DETAIL_MINIMAL)
+
+
+def projected_types(gold: Query, db: Database) -> List[ColumnType]:
+    """Type annotations alpha for the gold query's projection."""
+    assert not isinstance(gold.select, Hole)
+    types: List[ColumnType] = []
+    for item in gold.select:
+        assert isinstance(item, SelectItem)
+        assert isinstance(item.agg, AggOp)
+        assert isinstance(item.column, ColumnRef)
+        input_type = (ColumnType.NUMBER if item.column.is_star
+                      else db.schema.column_type(item.column))
+        types.append(item.agg.output_type(input_type))
+    return types
+
+
+def synthesize_tsq(task: Task, db: Database,
+                   detail: str = DETAIL_FULL,
+                   num_examples: int = 2,
+                   seed: int = 0,
+                   max_rows: int = 2000) -> TableSketchQuery:
+    """Build the synthetic TSQ for a task at the given detail level.
+
+    Sorted gold queries keep the selected example tuples in result order,
+    as Definition 2.4 requires for tau = true.
+    """
+    if detail not in ALL_DETAILS:
+        raise DatasetError(f"unknown TSQ detail level {detail!r}")
+    gold = task.gold
+    types = tuple(projected_types(gold, db))
+    sorted_flag = (gold.order_by is not None
+                   and not isinstance(gold.order_by, Hole))
+    limit = int(gold.limit) if isinstance(gold.limit, int) else 0
+
+    if detail == DETAIL_MINIMAL:
+        return TableSketchQuery(types=types, tuples=(),
+                                sorted=sorted_flag, limit=limit)
+
+    rows = db.execute(
+        _gold_sql(gold), max_rows=max_rows, kind="tsq-synth")
+    rng = random.Random(f"{seed}/{task.task_id}/{detail}")
+    take = min(num_examples, len(rows))
+    if take == 0:
+        raise DatasetError(
+            f"task {task.task_id} has an empty result; the paper removed "
+            f"such tasks")
+    indices = sorted(rng.sample(range(len(rows)), take))
+    examples = [rows[i] for i in indices]
+
+    erase_index: Optional[int] = None
+    if detail == DETAIL_PARTIAL and len(types) >= 2:
+        erase_index = rng.randrange(len(types))
+
+    tuples = []
+    for row in examples:
+        cells: List[Cell] = []
+        for j, value in enumerate(row[: len(types)]):
+            if value is None or j == erase_index:
+                cells.append(EmptyCell())
+            else:
+                cells.append(ExactCell(value=value))
+        tuples.append(tuple(cells))
+
+    return TableSketchQuery(types=types, tuples=tuple(tuples),
+                            sorted=sorted_flag, limit=limit)
+
+
+def example_values(tsq: TableSketchQuery) -> List[List[object]]:
+    """Plain example tuples (for the PBE baseline's input), exact cells
+    as values and empty cells as None."""
+    rows: List[List[object]] = []
+    for example in tsq.tuples:
+        row: List[object] = []
+        for cell in example:
+            if isinstance(cell, ExactCell):
+                row.append(cell.value)
+            else:
+                row.append(None)
+        rows.append(row)
+    return rows
+
+
+def _gold_sql(gold: Query) -> str:
+    from ..sqlir.render import to_sql
+
+    return to_sql(gold)

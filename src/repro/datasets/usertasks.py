@@ -1,0 +1,189 @@
+"""User-study tasks: Tables 7 and 8 of the paper, on the MAS database.
+
+The paper anonymises literals as conference *C*, author *A*, organization
+*R* and domain *D*; here they are instantiated with the entities planted
+by :mod:`repro.datasets.mas` (SIGMOD, Emma Thompson, University of
+Michigan, Databases). SQL strings are copied from the appendix with those
+literals substituted; each is parsed into a gold AST against the MAS
+schema.
+
+Set A/B is the NLI-study workload (Table 7); set C/D is the more limited
+PBE-study workload (Table 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..db.database import Database
+from ..nlq.literals import NLQuery
+from ..sqlir.parser import parse_sql
+from .mas import AUTHOR_A, CONFERENCE_C, DOMAIN_D, ORGANIZATION_R
+from .tasks import Task, TaskSet
+
+
+@dataclass(frozen=True)
+class UserTaskSpec:
+    """One row of Table 7 / Table 8."""
+
+    task_id: str
+    level: str  # 'M' or 'H' as printed in the paper
+    description: str
+    sql: str
+    literals: Tuple[object, ...]
+
+
+#: Table 7 — tasks for the user study vs. NLI.
+NLI_TASK_SPECS: Tuple[UserTaskSpec, ...] = (
+    UserTaskSpec(
+        "A1", "M",
+        f'List all publications in conference "{CONFERENCE_C}" and their '
+        f"year of publication.",
+        f"SELECT t2.title, t2.year FROM conference AS t1 "
+        f"JOIN publication AS t2 ON t1.cid = t2.cid "
+        f"WHERE t1.name = '{CONFERENCE_C}'",
+        (CONFERENCE_C,)),
+    UserTaskSpec(
+        "A2", "H",
+        "List keywords and the number of publications containing each, "
+        "ordered from most to least publications.",
+        "SELECT t1.keyword, COUNT(*) FROM keyword AS t1 "
+        "JOIN publication_keyword AS t2 ON t1.kid = t2.kid "
+        "JOIN publication AS t3 ON t2.pid = t3.pid "
+        "GROUP BY t1.keyword ORDER BY COUNT(*) DESC",
+        ()),
+    UserTaskSpec(
+        "A3", "H",
+        f'How many publications has each author from organization '
+        f'"{ORGANIZATION_R}" published?',
+        f"SELECT t1.name, COUNT(*) FROM author AS t1 "
+        f"JOIN writes AS t2 ON t2.aid = t1.aid "
+        f"JOIN organization AS t3 ON t3.oid = t1.oid "
+        f"JOIN publication AS t4 ON t4.pid = t2.pid "
+        f"WHERE t3.name = '{ORGANIZATION_R}' GROUP BY t1.name",
+        (ORGANIZATION_R,)),
+    UserTaskSpec(
+        "A4", "H",
+        "List journals with more than 500 publications and the "
+        "publication count for each.",
+        "SELECT DISTINCT t1.name, COUNT(*) FROM journal AS t1 "
+        "JOIN publication AS t2 ON t1.jid = t2.jid "
+        "GROUP BY t1.name HAVING COUNT(*) > 500",
+        (500,)),
+    UserTaskSpec(
+        "B1", "M",
+        f'List the titles and years of publications by author '
+        f'"{AUTHOR_A}".',
+        f"SELECT t1.title, t1.year FROM publication AS t1 "
+        f"JOIN writes AS t2 ON t2.pid = t1.pid "
+        f"JOIN author AS t3 ON t3.aid = t2.aid "
+        f"WHERE t3.name = '{AUTHOR_A}'",
+        (AUTHOR_A,)),
+    UserTaskSpec(
+        "B2", "M",
+        f'List the conferences and homepages in the "{DOMAIN_D}" domain.',
+        f"SELECT t1.name, t1.homepage FROM conference AS t1 "
+        f"JOIN domain_conference AS t2 ON t2.cid = t1.cid "
+        f"JOIN domain AS t3 ON t3.did = t2.did "
+        f"WHERE t3.name = '{DOMAIN_D}'",
+        (DOMAIN_D,)),
+    UserTaskSpec(
+        "B3", "H",
+        "List organizations with more than 100 authors and the number of "
+        "authors for each.",
+        "SELECT t2.name, COUNT(*) FROM author AS t1 "
+        "JOIN organization AS t2 ON t1.oid = t2.oid "
+        "GROUP BY t2.name HAVING COUNT(*) > 100",
+        (100,)),
+    UserTaskSpec(
+        "B4", "H",
+        f'List authors from organization "{ORGANIZATION_R}" with more '
+        f"than 50 publications and the number of publications for each "
+        f"author.",
+        f"SELECT t1.name, COUNT(*) FROM author AS t1 "
+        f"JOIN writes AS t2 ON t1.aid = t2.aid "
+        f"JOIN organization AS t3 ON t1.oid = t3.oid "
+        f"JOIN publication AS t4 ON t2.pid = t4.pid "
+        f"WHERE t3.name = '{ORGANIZATION_R}' GROUP BY t1.name "
+        f"HAVING COUNT(*) > 50",
+        (ORGANIZATION_R, 50)),
+)
+
+#: Table 8 — tasks for the user study vs. PBE.
+PBE_TASK_SPECS: Tuple[UserTaskSpec, ...] = (
+    UserTaskSpec(
+        "C1", "M",
+        f'List all publications in conference "{CONFERENCE_C}".',
+        f"SELECT t2.title FROM conference AS t1 "
+        f"JOIN publication AS t2 ON t1.cid = t2.cid "
+        f"WHERE t1.name = '{CONFERENCE_C}'",
+        (CONFERENCE_C,)),
+    UserTaskSpec(
+        "C2", "M",
+        f'List authors in domain "{DOMAIN_D}".',
+        f"SELECT t1.name FROM author AS t1 "
+        f"JOIN domain_author AS t2 ON t1.aid = t2.aid "
+        f"JOIN domain AS t3 ON t2.did = t3.did "
+        f"WHERE t3.name = '{DOMAIN_D}'",
+        (DOMAIN_D,)),
+    UserTaskSpec(
+        "C3", "H",
+        f'List authors with more than 5 papers in conference '
+        f'"{CONFERENCE_C}".',
+        f"SELECT t1.name FROM author AS t1 "
+        f"JOIN writes AS t2 ON t1.aid = t2.aid "
+        f"JOIN publication AS t3 ON t2.pid = t3.pid "
+        f"JOIN conference AS t4 ON t3.cid = t4.cid "
+        f"WHERE t4.name = '{CONFERENCE_C}' GROUP BY t1.name "
+        f"HAVING COUNT(t3.pid) > 5",
+        (CONFERENCE_C, 5)),
+    UserTaskSpec(
+        "D1", "M",
+        f'List the titles of publications published by author '
+        f'"{AUTHOR_A}".',
+        f"SELECT t3.title FROM author AS t1 "
+        f"JOIN writes AS t2 ON t1.aid = t2.aid "
+        f"JOIN publication AS t3 ON t2.pid = t3.pid "
+        f"WHERE t1.name = '{AUTHOR_A}'",
+        (AUTHOR_A,)),
+    UserTaskSpec(
+        "D2", "M",
+        'List the names of organizations in continent "North America".',
+        "SELECT name FROM organization WHERE continent = 'North America'",
+        ("North America",)),
+    UserTaskSpec(
+        "D3", "H",
+        f'List authors with more than 8 papers in conference '
+        f'"{CONFERENCE_C}".',
+        f"SELECT t1.name FROM author AS t1 "
+        f"JOIN writes AS t2 ON t1.aid = t2.aid "
+        f"JOIN publication AS t3 ON t2.pid = t3.pid "
+        f"JOIN conference AS t4 ON t3.cid = t4.cid "
+        f"WHERE t4.name = '{CONFERENCE_C}' GROUP BY t1.name "
+        f"HAVING COUNT(t3.pid) > 8",
+        (CONFERENCE_C, 8)),
+)
+
+
+def _build_task(spec: UserTaskSpec, db: Database) -> Task:
+    gold = parse_sql(spec.sql, db.schema)
+    nlq = NLQuery.from_text(spec.description, literals=spec.literals)
+    return Task.from_parts(task_id=spec.task_id, db_name=db.schema.name,
+                           nlq=nlq, gold=gold)
+
+
+def nli_study_tasks(db: Database) -> TaskSet:
+    """The 8 tasks (sets A and B) of the user study vs. NLI (Table 7)."""
+    task_set = TaskSet(name="user-study-nli")
+    for spec in NLI_TASK_SPECS:
+        task_set.add(_build_task(spec, db), db)
+    return task_set
+
+
+def pbe_study_tasks(db: Database) -> TaskSet:
+    """The 6 tasks (sets C and D) of the user study vs. PBE (Table 8)."""
+    task_set = TaskSet(name="user-study-pbe")
+    for spec in PBE_TASK_SPECS:
+        task_set.add(_build_task(spec, db), db)
+    return task_set

@@ -1,0 +1,38 @@
+"""Database substrate: schema model, SQLite wrapper, population, indexing."""
+
+from .catalog import (
+    introspect_sqlite,
+    load_schema,
+    open_database,
+    save_database,
+    save_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+from .database import Database, ExecutionStats, Row
+from .index import IndexHit, InvertedColumnIndex
+from .populate import ColumnSpec, DataGenerator, PopulationPlan
+from .schema import Column, ForeignKey, Schema, Table, make_schema
+
+__all__ = [
+    "Column",
+    "ColumnSpec",
+    "DataGenerator",
+    "Database",
+    "ExecutionStats",
+    "ForeignKey",
+    "IndexHit",
+    "InvertedColumnIndex",
+    "PopulationPlan",
+    "Row",
+    "Schema",
+    "Table",
+    "introspect_sqlite",
+    "load_schema",
+    "make_schema",
+    "open_database",
+    "save_database",
+    "save_schema",
+    "schema_from_dict",
+    "schema_to_dict",
+]

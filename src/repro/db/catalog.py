@@ -1,0 +1,167 @@
+"""Schema ingestion and persistence.
+
+Section 4.1: "New databases should have foreign key-primary key
+constraints explicitly defined on the schema for the system to ingest (or
+these can be manually specified on our administrator's interface)". This
+module provides both paths:
+
+* :func:`introspect_sqlite` reads an existing SQLite database's schema —
+  tables, column affinities, primary keys and declared foreign keys — via
+  the ``PRAGMA`` interface, producing a :class:`Schema` the system can
+  run against directly;
+* :func:`schema_to_dict` / :func:`schema_from_dict` serialise a schema to
+  plain JSON-compatible dictionaries (the administrator's interface
+  format), including manually added foreign keys and display names;
+* :func:`save_database` / :func:`open_database` persist and reopen a
+  populated database as a SQLite file.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SchemaError
+from ..sqlir.types import ColumnType
+from .database import Database
+from .schema import Column, ForeignKey, Schema, Table
+
+
+def introspect_sqlite(connection: sqlite3.Connection,
+                      name: str = "ingested") -> Schema:
+    """Build a :class:`Schema` from a live SQLite connection.
+
+    Column types map through SQLite's affinity rules onto the two-valued
+    text/number system; ``INTEGER PRIMARY KEY`` and single-column
+    ``PRIMARY KEY`` declarations become primary keys; declared
+    ``FOREIGN KEY`` constraints become FK-PK edges. Multi-column primary
+    keys (typical of link tables) are treated as having no primary key,
+    matching the paper's modelling of MAS.
+    """
+    cursor = connection.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' "
+        "AND name NOT LIKE 'sqlite_%' ORDER BY name")
+    table_names = [row[0] for row in cursor.fetchall()]
+    if not table_names:
+        raise SchemaError("database contains no tables")
+
+    tables: List[Table] = []
+    foreign_keys: List[ForeignKey] = []
+    for table_name in table_names:
+        info = connection.execute(
+            f"PRAGMA table_info({_quote(table_name)})").fetchall()
+        pk_columns = [row[1] for row in info if row[5]]
+        single_pk = pk_columns[0] if len(pk_columns) == 1 else None
+        columns = tuple(
+            Column(name=row[1],
+                   type=ColumnType.from_sqlite(row[2] or ""),
+                   is_primary_key=(row[1] == single_pk))
+            for row in info)
+        tables.append(Table(name=table_name, columns=columns))
+
+        for fk in connection.execute(
+                f"PRAGMA foreign_key_list({_quote(table_name)})"):
+            # columns: id, seq, table, from, to, on_update, on_delete, match
+            dst_table, src_column, dst_column = fk[2], fk[3], fk[4]
+            if dst_column is None:
+                # implicit reference to the target's primary key
+                target_info = connection.execute(
+                    f"PRAGMA table_info({_quote(dst_table)})").fetchall()
+                pks = [row[1] for row in target_info if row[5]]
+                if len(pks) != 1:
+                    continue
+                dst_column = pks[0]
+            foreign_keys.append(ForeignKey(
+                src_table=table_name, src_column=src_column,
+                dst_table=dst_table, dst_column=dst_column))
+
+    return Schema(name=name, tables=tuple(tables),
+                  foreign_keys=tuple(foreign_keys))
+
+
+def _quote(identifier: str) -> str:
+    escaped = identifier.replace('"', '""')
+    return f'"{escaped}"'
+
+
+# ----------------------------------------------------------------------
+# JSON serialisation (the administrator's interface format)
+# ----------------------------------------------------------------------
+def schema_to_dict(schema: Schema) -> Dict:
+    """A JSON-compatible description of a schema."""
+    return {
+        "name": schema.name,
+        "tables": {
+            table.name: [
+                {"name": col.name, "type": col.type.value,
+                 "primary_key": col.is_primary_key}
+                for col in table.columns
+            ]
+            for table in schema.tables
+        },
+        "foreign_keys": [
+            [fk.src_table, fk.src_column, fk.dst_table, fk.dst_column]
+            for fk in schema.foreign_keys
+        ],
+        "display_names": dict(schema.display_names),
+    }
+
+
+def schema_from_dict(data: Dict) -> Schema:
+    """Inverse of :func:`schema_to_dict`."""
+    try:
+        tables = tuple(
+            Table(name=table_name, columns=tuple(
+                Column(name=col["name"],
+                       type=ColumnType(col["type"]),
+                       is_primary_key=bool(col.get("primary_key")))
+                for col in columns))
+            for table_name, columns in data["tables"].items())
+        foreign_keys = tuple(ForeignKey(*fk)
+                             for fk in data.get("foreign_keys", ()))
+        return Schema(name=data["name"], tables=tables,
+                      foreign_keys=foreign_keys,
+                      display_names=dict(data.get("display_names", {})))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed schema description: {exc}") from exc
+
+
+def save_schema(schema: Schema, path: Union[str, Path]) -> None:
+    """Write a schema description to a JSON file."""
+    Path(path).write_text(json.dumps(schema_to_dict(schema), indent=2))
+
+
+def load_schema(path: Union[str, Path]) -> Schema:
+    """Read a schema description from a JSON file."""
+    return schema_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Database persistence
+# ----------------------------------------------------------------------
+def save_database(db: Database, path: Union[str, Path]) -> None:
+    """Persist a (possibly in-memory) database to a SQLite file."""
+    target = sqlite3.connect(str(path))
+    try:
+        db._conn.backup(target)
+        target.commit()
+    finally:
+        target.close()
+
+
+def open_database(path: Union[str, Path],
+                  schema: Optional[Schema] = None,
+                  name: Optional[str] = None) -> Database:
+    """Open a SQLite file as a :class:`Database`.
+
+    When no schema is given it is introspected from the file; pass an
+    explicit schema to attach manually curated FK-PK constraints or
+    display names.
+    """
+    connection = sqlite3.connect(str(path))
+    if schema is None:
+        schema = introspect_sqlite(connection,
+                                   name=name or Path(path).stem)
+    return Database(schema, connection=connection)

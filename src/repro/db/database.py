@@ -1,0 +1,188 @@
+"""SQLite-backed database wrapper.
+
+The verifier issues many small probe queries (``SELECT 1 ... LIMIT 1``,
+Section 3.4), so this wrapper keeps a single connection per database,
+counts executed statements (used to measure verification cost in the
+ablation benchmarks), and supports per-statement execution budgets via
+SQLite progress handlers.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError, ExecutionTimeout
+from ..sqlir.ast import ColumnRef, Query
+from ..sqlir.render import quote_ident, to_sql
+from ..sqlir.types import Value
+from .schema import Schema
+
+#: Rows returned by query execution.
+Row = Tuple[object, ...]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters describing database work done so far."""
+
+    statements: int = 0
+    rows_fetched: int = 0
+    timeouts: int = 0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, rows: int) -> None:
+        self.statements += 1
+        self.rows_fetched += rows
+        self.per_kind[kind] = self.per_kind.get(kind, 0) + 1
+
+    def snapshot(self) -> "ExecutionStats":
+        return ExecutionStats(statements=self.statements,
+                              rows_fetched=self.rows_fetched,
+                              timeouts=self.timeouts,
+                              per_kind=dict(self.per_kind))
+
+
+class Database:
+    """A SQLite database together with its declared :class:`Schema`."""
+
+    #: Progress-handler granularity (VM instructions between checks).
+    _PROGRESS_STEP = 10_000
+
+    def __init__(self, schema: Schema,
+                 connection: Optional[sqlite3.Connection] = None):
+        self.schema = schema
+        self._conn = connection or sqlite3.connect(":memory:")
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, schema: Schema) -> "Database":
+        """Create an empty in-memory database from a schema."""
+        db = cls(schema)
+        for statement in schema.ddl():
+            db._conn.execute(statement)
+        db._conn.commit()
+        return db
+
+    def insert_rows(self, table: str, rows: Iterable[Sequence[Value]]) -> int:
+        """Bulk-insert rows into ``table``; returns the number inserted."""
+        table_obj = self.schema.table(table)
+        columns = ", ".join(quote_ident(c.name) for c in table_obj.columns)
+        holes = ", ".join("?" for _ in table_obj.columns)
+        sql = f"INSERT INTO {quote_ident(table)} ({columns}) VALUES ({holes})"
+        rows = list(rows)
+        try:
+            self._conn.executemany(sql, rows)
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"insert into {table!r} failed: {exc}") from exc
+        self._conn.commit()
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence[Value] = (),
+                max_rows: Optional[int] = None,
+                kind: str = "query") -> List[Row]:
+        """Execute a SELECT statement and fetch (up to ``max_rows``) rows."""
+        try:
+            cursor = self._conn.execute(sql, tuple(params))
+            if max_rows is None:
+                rows = cursor.fetchall()
+            else:
+                rows = cursor.fetchmany(max_rows)
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"failed to execute {sql!r}: {exc}") from exc
+        self.stats.record(kind, len(rows))
+        return rows
+
+    def execute_query(self, query: Query,
+                      max_rows: Optional[int] = None) -> List[Row]:
+        """Render and execute a complete query AST."""
+        return self.execute(to_sql(query), max_rows=max_rows, kind="full")
+
+    def exists(self, sql: str, params: Sequence[Value] = ()) -> bool:
+        """Run a ``SELECT 1 ... LIMIT 1`` style probe; True if non-empty."""
+        return bool(self.execute(sql, params, max_rows=1, kind="probe"))
+
+    def interruptible(self, budget_ms: int):
+        """Context manager interrupting statements after ``budget_ms``.
+
+        Usage::
+
+            with db.interruptible(200):
+                rows = db.execute(sql)
+
+        Raises :class:`ExecutionTimeout` when the budget is exceeded.
+        """
+        return _InterruptGuard(self, budget_ms)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by the PBE baseline and autocomplete
+    # ------------------------------------------------------------------
+    def row_count(self, table: str) -> int:
+        rows = self.execute(
+            f"SELECT COUNT(*) FROM {quote_ident(table)}", kind="meta")
+        return int(rows[0][0])
+
+    def distinct_values(self, ref: ColumnRef,
+                        limit: Optional[int] = None) -> List[Value]:
+        """Distinct non-null values of a column, optionally limited."""
+        sql = (f"SELECT DISTINCT {quote_ident(ref.column)} "
+               f"FROM {quote_ident(ref.table)} "
+               f"WHERE {quote_ident(ref.column)} IS NOT NULL")
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return [row[0] for row in self.execute(sql, kind="meta")]
+
+    def column_min_max(self, ref: ColumnRef) -> Tuple[Optional[Value],
+                                                      Optional[Value]]:
+        """The (min, max) of a column; used for AVG range verification."""
+        sql = (f"SELECT MIN({quote_ident(ref.column)}), "
+               f"MAX({quote_ident(ref.column)}) "
+               f"FROM {quote_ident(ref.table)}")
+        rows = self.execute(sql, kind="meta")
+        return (rows[0][0], rows[0][1]) if rows else (None, None)
+
+    def value_exists(self, ref: ColumnRef, value: Value) -> bool:
+        """True when ``value`` appears in the given column."""
+        sql = (f"SELECT 1 FROM {quote_ident(ref.table)} "
+               f"WHERE {quote_ident(ref.column)} = ? LIMIT 1")
+        return self.exists(sql, (value,))
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __repr__(self) -> str:
+        return f"<Database {self.schema.name}>"
+
+
+class _InterruptGuard:
+    """Installs a progress handler that interrupts long statements."""
+
+    def __init__(self, db: Database, budget_ms: int):
+        self._db = db
+        self._budget_ms = budget_ms
+
+    def __enter__(self) -> Database:
+        import time
+
+        deadline = time.monotonic() + self._budget_ms / 1000.0
+
+        def handler() -> int:
+            return 1 if time.monotonic() > deadline else 0
+
+        self._db._conn.set_progress_handler(handler, Database._PROGRESS_STEP)
+        return self._db
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._db._conn.set_progress_handler(None, 0)
+        if exc_type is ExecutionError and "interrupted" in str(exc):
+            self._db.stats.timeouts += 1
+            raise ExecutionTimeout(str(exc)) from exc
+        return False

@@ -1,0 +1,122 @@
+"""Master inverted column index over all text columns of a database.
+
+Section 4 of the paper: literal text values typed into the NLQ search bar
+(after a double-quote) and into TSQ cells trigger an autocomplete search
+over "a master inverted column index containing all text columns in the
+database". The same index also lets the PBE baseline locate which columns
+could have produced an example cell.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..sqlir.ast import ColumnRef
+from ..sqlir.types import ColumnType, Value
+from .database import Database
+
+
+@dataclass(frozen=True)
+class IndexHit:
+    """One autocomplete/lookup hit: a value and the column containing it."""
+
+    value: str
+    column: ColumnRef
+
+    def __repr__(self) -> str:
+        return f"<IndexHit {self.value!r} in {self.column!r}>"
+
+
+class InvertedColumnIndex:
+    """Token- and prefix-searchable index of every text value in a DB."""
+
+    def __init__(self) -> None:
+        # full value (casefolded) -> set of columns containing it
+        self._by_value: Dict[str, Set[ColumnRef]] = defaultdict(set)
+        # token (casefolded) -> set of full values containing the token
+        self._by_token: Dict[str, Set[str]] = defaultdict(set)
+        # casefolded value -> one original spelling (for display)
+        self._display: Dict[str, str] = {}
+        self._num_values = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, db: Database,
+              max_values_per_column: Optional[int] = None
+              ) -> "InvertedColumnIndex":
+        """Index every distinct value of every text column in ``db``."""
+        index = cls()
+        for table in db.schema.tables:
+            for column in table.columns:
+                if column.type is not ColumnType.TEXT:
+                    continue
+                ref = ColumnRef(table=table.name, column=column.name)
+                values = db.distinct_values(ref, limit=max_values_per_column)
+                index.add_column(ref, values)
+        return index
+
+    def add_column(self, ref: ColumnRef, values: Iterable[Value]) -> None:
+        for value in values:
+            if value is None:
+                continue
+            text = str(value)
+            key = text.casefold()
+            self._by_value[key].add(ref)
+            self._display.setdefault(key, text)
+            for token in key.split():
+                self._by_token[token].add(key)
+            self._num_values += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def columns_for_value(self, value: Value) -> List[ColumnRef]:
+        """All text columns containing ``value`` exactly (case-insensitive)."""
+        key = str(value).casefold()
+        return sorted(self._by_value.get(key, ()),)
+
+    def contains_value(self, value: Value) -> bool:
+        return str(value).casefold() in self._by_value
+
+    def complete(self, prefix: str, limit: int = 10) -> List[IndexHit]:
+        """Autocomplete: values whose text or any token starts with ``prefix``.
+
+        This backs the front-end's double-quote literal tagging and the TSQ
+        cell editor (Figure 4).
+        """
+        prefix_key = prefix.casefold().strip()
+        if not prefix_key:
+            return []
+        matches: Set[str] = set()
+        for key in self._by_value:
+            if key.startswith(prefix_key):
+                matches.add(key)
+        first = prefix_key.split()[0]
+        for token, keys in self._by_token.items():
+            if token.startswith(first):
+                for key in keys:
+                    if prefix_key in key:
+                        matches.add(key)
+        hits: List[IndexHit] = []
+        for key in sorted(matches)[:limit]:
+            for column in sorted(self._by_value[key]):
+                hits.append(IndexHit(value=self._display[key], column=column))
+                if len(hits) >= limit:
+                    return hits
+        return hits
+
+    @property
+    def num_values(self) -> int:
+        """Number of (value, column) postings in the index."""
+        return self._num_values
+
+    def __len__(self) -> int:
+        return len(self._by_value)
+
+    def __repr__(self) -> str:
+        return (f"<InvertedColumnIndex {len(self)} values, "
+                f"{self._num_values} postings>")

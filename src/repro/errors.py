@@ -1,0 +1,59 @@
+"""Exception hierarchy for the Duoquest reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package-level failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an element reference cannot be resolved."""
+
+
+class QueryError(ReproError):
+    """A query AST is malformed for the requested operation."""
+
+
+class RenderError(QueryError):
+    """A query cannot be rendered to SQL (e.g. it still contains holes)."""
+
+
+class ParseError(QueryError):
+    """A SQL string cannot be parsed into the supported SPJA subset."""
+
+
+class ExecutionError(ReproError):
+    """The database failed to execute a statement."""
+
+
+class ExecutionTimeout(ExecutionError):
+    """A statement exceeded its execution budget and was interrupted."""
+
+
+class GuidanceError(ReproError):
+    """A guidance model produced an invalid distribution or decision."""
+
+
+class EnumerationError(ReproError):
+    """The GPQE enumerator reached an inconsistent internal state."""
+
+
+class TSQError(ReproError):
+    """A table sketch query is malformed."""
+
+
+class DatasetError(ReproError):
+    """A dataset or task definition is malformed."""
+
+
+class UnsupportedTaskError(ReproError):
+    """A baseline system does not support the given task.
+
+    Used by the PBE baseline to report the *Unsupported* counts from
+    Figures 10 and 11 of the paper.
+    """

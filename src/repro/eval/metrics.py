@@ -1,0 +1,108 @@
+"""Evaluation metrics and small formatting helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SimTaskRecord:
+    """Outcome of one simulated task run for one system.
+
+    ``rank`` is the 1-based rank of the desired query in the returned
+    candidate list (None when not found before timeout); ``time_to_gold``
+    the seconds until the desired query was emitted. The PBE fields follow
+    the paper's protocol: ``supported`` is False when the task is outside
+    SQuID's envelope, ``correct`` records the subset judgment.
+    """
+
+    task_id: str
+    difficulty: str
+    system: str
+    detail: str = "full"
+    rank: Optional[int] = None
+    time_to_gold: Optional[float] = None
+    num_candidates: int = 0
+    elapsed: float = 0.0
+    expansions: int = 0
+    supported: bool = True
+    correct: Optional[bool] = None
+
+    @property
+    def solved(self) -> bool:
+        return self.rank is not None
+
+
+def top_k_accuracy(records: Sequence[SimTaskRecord], k: int
+                   ) -> Tuple[int, float]:
+    """(# tasks with gold in top-k, proportion) over ``records``."""
+    if not records:
+        return (0, 0.0)
+    hits = sum(1 for r in records if r.rank is not None and r.rank <= k)
+    return hits, hits / len(records)
+
+
+def correct_counts(records: Sequence[SimTaskRecord]) -> Tuple[int, float]:
+    """(# correct, proportion) for PBE-style judged records."""
+    if not records:
+        return (0, 0.0)
+    hits = sum(1 for r in records if r.correct)
+    return hits, hits / len(records)
+
+
+def unsupported_counts(records: Sequence[SimTaskRecord]) -> Tuple[int, float]:
+    if not records:
+        return (0, 0.0)
+    count = sum(1 for r in records if not r.supported)
+    return count, count / len(records)
+
+
+def completion_curve(records: Sequence[SimTaskRecord],
+                     grid: Sequence[float]) -> List[float]:
+    """% of tasks whose gold query appeared by each time point (Fig. 12)."""
+    total = len(records)
+    if total == 0:
+        return [0.0 for _ in grid]
+    times = sorted(r.time_to_gold for r in records
+                   if r.time_to_gold is not None)
+    curve = []
+    for point in grid:
+        done = sum(1 for t in times if t <= point)
+        curve.append(100.0 * done / total)
+    return curve
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def std_error(values: Sequence[float]) -> float:
+    values = list(values)
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    variance = sum((v - mu) ** 2 for v in values) / (n - 1)
+    return (variance / n) ** 0.5
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text aligned table (the benches print paper tables this way)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    return f"{100.0 * value:.1f}"

@@ -1,0 +1,250 @@
+"""Report printers: regenerate every table and figure of the paper.
+
+Each ``*_report`` function takes the records produced by
+:mod:`repro.eval.harness` and returns the corresponding table as a
+formatted string (benchmarks print these, EXPERIMENTS.md records them).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datasets.tasks import Difficulty, TaskSet
+from ..guidance.modules import MODULES
+from ..interaction.simulated_user import TrialRecord
+from .metrics import (
+    SimTaskRecord,
+    completion_curve,
+    correct_counts,
+    format_table,
+    mean,
+    pct,
+    std_error,
+    top_k_accuracy,
+    unsupported_counts,
+)
+
+# ----------------------------------------------------------------------
+# Table 1 — capability matrix
+# ----------------------------------------------------------------------
+#: (system, soundness, join, selection, grouping, NS, PT, OW)
+CAPABILITY_MATRIX: Tuple[Tuple[str, str, str, str, str, str, str, str], ...] = (
+    ("NLIs",     " ", "y", "y", "y", "y", "-", "-"),
+    ("QBE",      "y", "y", "y", " ", " ", "y", "y"),
+    ("MWeaver",  "y", "y", " ", " ", "y", "y", " "),
+    ("S4",       "y", "y", " ", " ", "y", "y", "y"),
+    ("SQuID",    "y", "y", "y", "y", "y", "y", "y"),
+    ("TALOS",    "y", "y", "y", "y", " ", " ", "y"),
+    ("QFE",      "y", "y", "y", " ", " ", " ", " "),
+    ("PALEO",    "y", " ", "y", "y", " ", " ", " "),
+    ("Scythe",   "y", "y", "y", "y", " ", " ", " "),
+    ("REGAL+",   "y", "y", "y", "y", "y", " ", " "),
+    ("Duoquest", "y", "y", "y", "y", "y", "y", "y"),
+)
+
+
+def table1_report() -> str:
+    headers = ("System", "Soundness", "Join", "Sel", "Group", "NS", "PT",
+               "OW")
+    return ("Table 1: system capabilities (y = supported)\n"
+            + format_table(headers, CAPABILITY_MATRIX))
+
+
+# ----------------------------------------------------------------------
+# Table 3 — guidance modules
+# ----------------------------------------------------------------------
+def table3_report() -> str:
+    rows = [(m.name, m.responsibility, m.output, m.method) for m in MODULES]
+    return ("Table 3: guidance modules\n"
+            + format_table(("Module", "Responsibility", "Output",
+                            "GuidanceModel method"), rows))
+
+
+# ----------------------------------------------------------------------
+# Table 5 — dataset statistics
+# ----------------------------------------------------------------------
+def table5_report(task_sets: Sequence[TaskSet]) -> str:
+    rows = []
+    for task_set in task_sets:
+        counts = task_set.counts()
+        tables, columns, fks = task_set.schema_stats()
+        rows.append((task_set.name, len(task_set.databases),
+                     counts[Difficulty.EASY], counts[Difficulty.MEDIUM],
+                     counts[Difficulty.HARD], len(task_set),
+                     f"{tables:.1f}", f"{columns:.1f}", f"{fks:.1f}"))
+    headers = ("Dataset", "DBs", "Easy", "Med", "Hard", "Total",
+               "Tables", "Columns", "FK-PK")
+    return "Table 5: datasets\n" + format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Figures 5-9 — user studies
+# ----------------------------------------------------------------------
+def _trials_by(trials: Sequence[TrialRecord]
+               ) -> Dict[Tuple[str, str], List[TrialRecord]]:
+    grouped: Dict[Tuple[str, str], List[TrialRecord]] = defaultdict(list)
+    for trial in trials:
+        grouped[(trial.task_id, trial.system)].append(trial)
+    return grouped
+
+
+def user_study_success_report(trials: Sequence[TrialRecord],
+                              systems: Sequence[str],
+                              title: str) -> str:
+    """Figures 5 and 7: % successful trials per task and system."""
+    grouped = _trials_by(trials)
+    task_ids = sorted({t.task_id for t in trials})
+    rows = []
+    for task_id in task_ids:
+        row: List[object] = [task_id]
+        for system in systems:
+            bucket = grouped.get((task_id, system), [])
+            if bucket:
+                rate = 100.0 * sum(t.success for t in bucket) / len(bucket)
+                row.append(f"{rate:.0f}%")
+            else:
+                row.append("-")
+        rows.append(tuple(row))
+    overall: List[object] = ["ALL"]
+    for system in systems:
+        bucket = [t for t in trials if t.system == system]
+        rate = 100.0 * sum(t.success for t in bucket) / len(bucket) \
+            if bucket else 0.0
+        overall.append(f"{rate:.0f}%")
+    rows.append(tuple(overall))
+    return title + "\n" + format_table(("Task", *systems), rows)
+
+
+def user_study_time_report(trials: Sequence[TrialRecord],
+                           systems: Sequence[str], title: str) -> str:
+    """Figures 6 and 8: mean time per task for successful trials."""
+    grouped = _trials_by(trials)
+    task_ids = sorted({t.task_id for t in trials})
+    rows = []
+    for task_id in task_ids:
+        row: List[object] = [task_id]
+        for system in systems:
+            good = [t.duration for t in grouped.get((task_id, system), [])
+                    if t.success]
+            if good:
+                row.append(f"{mean(good):.0f}s +-{std_error(good):.0f}")
+            else:
+                row.append("-")
+        rows.append(tuple(row))
+    return title + "\n" + format_table(("Task", *systems), rows)
+
+
+def user_study_examples_report(trials: Sequence[TrialRecord],
+                               systems: Sequence[str], title: str) -> str:
+    """Figure 9: mean # examples per task for successful trials."""
+    grouped = _trials_by(trials)
+    task_ids = sorted({t.task_id for t in trials})
+    rows = []
+    for task_id in task_ids:
+        row: List[object] = [task_id]
+        for system in systems:
+            good = [t.num_examples
+                    for t in grouped.get((task_id, system), [])
+                    if t.success]
+            row.append(f"{mean(good):.1f}" if good else "-")
+        rows.append(tuple(row))
+    return title + "\n" + format_table(("Task", *systems), rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — simulation accuracy
+# ----------------------------------------------------------------------
+def fig10_report(records: Sequence[SimTaskRecord], split: str) -> str:
+    rows = []
+    for system in ("Duoquest", "NLI"):
+        bucket = [r for r in records if r.system == system]
+        if not bucket:
+            continue
+        top1_n, top1_p = top_k_accuracy(bucket, 1)
+        top10_n, top10_p = top_k_accuracy(bucket, 10)
+        rows.append((system, top1_n, pct(top1_p), top10_n, pct(top10_p),
+                     "-", "-", 0, "0.0"))
+    pbe = [r for r in records if r.system == "PBE"]
+    if pbe:
+        correct_n, correct_p = correct_counts(pbe)
+        unsupported_n, unsupported_p = unsupported_counts(pbe)
+        rows.append(("PBE", "-", "-", "-", "-", correct_n, pct(correct_p),
+                     unsupported_n, pct(unsupported_p)))
+    total = len({r.task_id for r in records})
+    headers = ("System", "Top1#", "Top1%", "Top10#", "Top10%", "Corr#",
+               "Corr%", "Unsupp#", "Unsupp%")
+    return (f"Figure 10 ({split}, {total} tasks)\n"
+            + format_table(headers, rows))
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — breakdown by difficulty
+# ----------------------------------------------------------------------
+def fig11_report(records: Sequence[SimTaskRecord], split: str) -> str:
+    rows = []
+    difficulties = ("easy", "medium", "hard")
+    for system in ("Duoquest", "NLI", "PBE"):
+        row: List[object] = [system]
+        for difficulty in difficulties:
+            bucket = [r for r in records
+                      if r.system == system and r.difficulty == difficulty]
+            if not bucket:
+                row.extend(("-", "-", "-"))
+                continue
+            if system == "PBE":
+                hits, proportion = correct_counts(bucket)
+                unsupported_n, _ = unsupported_counts(bucket)
+            else:
+                hits, proportion = top_k_accuracy(bucket, 10)
+                unsupported_n = 0
+            row.extend((hits, pct(proportion), unsupported_n))
+        rows.append(tuple(row))
+    headers = ("System",
+               "E#", "E%", "EU#", "M#", "M%", "MU#", "H#", "H%", "HU#")
+    return (f"Figure 11 ({split}; top-10 for Dq/NLI, correct for PBE)\n"
+            + format_table(headers, rows))
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — ablations
+# ----------------------------------------------------------------------
+def fig12_report(records: Sequence[SimTaskRecord],
+                 grid: Sequence[float]) -> str:
+    rows = []
+    for variant in ("Duoquest", "NoPQ", "NoGuide"):
+        bucket = [r for r in records if r.system == variant]
+        if not bucket:
+            continue
+        curve = completion_curve(bucket, grid)
+        rows.append((variant, *(f"{v:.1f}" for v in curve)))
+    headers = ("Variant", *(f"t={g:g}s" for g in grid))
+    return ("Figure 12: % tasks whose gold query was synthesized by time t\n"
+            + format_table(headers, rows))
+
+
+# ----------------------------------------------------------------------
+# Table 6 — TSQ detail sweep
+# ----------------------------------------------------------------------
+def table6_report(detail_records: Sequence[SimTaskRecord],
+                  nli_records: Sequence[SimTaskRecord],
+                  split: str) -> str:
+    rows = []
+    for detail in ("full", "partial", "minimal"):
+        bucket = [r for r in detail_records if r.detail == detail]
+        if not bucket:
+            continue
+        row = (detail.capitalize(),
+               pct(top_k_accuracy(bucket, 1)[1]),
+               pct(top_k_accuracy(bucket, 10)[1]),
+               pct(top_k_accuracy(bucket, 100)[1]))
+        rows.append(row)
+    nli = [r for r in nli_records if r.system == "NLI"]
+    if nli:
+        rows.append(("NLI",
+                     pct(top_k_accuracy(nli, 1)[1]),
+                     pct(top_k_accuracy(nli, 10)[1]),
+                     pct(top_k_accuracy(nli, 100)[1])))
+    headers = ("Detail", "Top-1", "Top-10", "Top-100")
+    return (f"Table 6 ({split}): accuracy by TSQ detail\n"
+            + format_table(headers, rows))

@@ -1,0 +1,34 @@
+"""Guidance models: the modular SyntaxSQLNet stand-in used by GPQE."""
+
+from .base import (
+    ALL_SLOTS,
+    Distribution,
+    GuidanceContext,
+    GuidanceModel,
+    SLOT_GROUP_BY,
+    SLOT_HAVING,
+    SLOT_ORDER_BY,
+    SLOT_SELECT,
+    SLOT_WHERE,
+)
+from .lexical import LexicalGuidanceModel
+from .modules import MODULES, ModuleInfo, module_by_name
+from .oracle import AccuracyProfile, CalibratedOracleModel
+
+__all__ = [
+    "ALL_SLOTS",
+    "AccuracyProfile",
+    "CalibratedOracleModel",
+    "Distribution",
+    "GuidanceContext",
+    "GuidanceModel",
+    "LexicalGuidanceModel",
+    "MODULES",
+    "ModuleInfo",
+    "SLOT_GROUP_BY",
+    "SLOT_HAVING",
+    "SLOT_ORDER_BY",
+    "SLOT_SELECT",
+    "SLOT_WHERE",
+    "module_by_name",
+]

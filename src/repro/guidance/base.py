@@ -1,0 +1,238 @@
+"""Guidance model interface: the SyntaxSQLNet stand-in.
+
+Section 3.3.5 of the paper states GPQE works with any NLI model that
+(1) incrementally updates executable partial queries, and (2) emits a
+confidence score in [0, 1] per partial query fulfilling Property 1 (child
+branch scores of a state sum to the state's score).
+
+This module defines that contract. A :class:`GuidanceModel` answers each
+inference decision with a :class:`Distribution` — a normalised softmax over
+the decision's output classes. The enumerator multiplies the chosen class's
+probability into the running confidence score, which realises the
+cumulative-product definition of Section 3.3.3 and guarantees Property 1 by
+construction.
+
+Two backends are provided: :class:`~repro.guidance.lexical.LexicalGuidanceModel`
+(a real, if simple, lexical NL2SQL scorer) and
+:class:`~repro.guidance.oracle.CalibratedOracleModel` (a statistically
+calibrated stand-in for the trained network, used by the simulation study).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..db.schema import Schema
+from ..errors import GuidanceError
+from ..nlq.literals import NLQuery
+from ..sqlir.ast import (
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    LogicOp,
+    Query,
+)
+
+T = TypeVar("T")
+
+#: Tolerance for distribution normalisation checks.
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Distribution(Generic[T]):
+    """A normalised distribution over a decision's output classes.
+
+    Entries are ``(choice, probability)`` sorted by descending probability,
+    i.e. the order in which a best-first enumerator should try them.
+    """
+
+    entries: Tuple[Tuple[T, float], ...]
+
+    def __post_init__(self) -> None:
+        total = sum(p for _, p in self.entries)
+        if self.entries and abs(total - 1.0) > 1e-3:
+            raise GuidanceError(
+                f"distribution does not sum to 1 (got {total:.6f})")
+
+    @classmethod
+    def from_scores(cls, scores: Sequence[Tuple[T, float]],
+                    temperature: float = 1.0) -> "Distribution[T]":
+        """Build a distribution by softmaxing raw scores."""
+        if not scores:
+            return cls(entries=())
+        if temperature <= 0:
+            raise GuidanceError("temperature must be positive")
+        maximum = max(score for _, score in scores)
+        exps = [(choice, math.exp((score - maximum) / temperature))
+                for choice, score in scores]
+        total = sum(e for _, e in exps)
+        entries = tuple(sorted(((choice, e / total) for choice, e in exps),
+                               key=lambda kv: -kv[1]))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_probs(cls, probs: Sequence[Tuple[T, float]]) -> "Distribution[T]":
+        """Build a distribution from already-normalised probabilities."""
+        total = sum(p for _, p in probs)
+        if total <= 0:
+            raise GuidanceError("probabilities must sum to a positive value")
+        entries = tuple(sorted(((c, p / total) for c, p in probs),
+                               key=lambda kv: -kv[1]))
+        return cls(entries=entries)
+
+    @classmethod
+    def point(cls, choice: T) -> "Distribution[T]":
+        """A certain decision."""
+        return cls(entries=((choice, 1.0),))
+
+    @classmethod
+    def binary(cls, true_prob: float) -> "Distribution[bool]":
+        """A yes/no decision with P(True) = ``true_prob``."""
+        true_prob = min(max(true_prob, 0.0), 1.0)
+        return Distribution(entries=tuple(sorted(
+            ((True, true_prob), (False, 1.0 - true_prob)),
+            key=lambda kv: -kv[1])))
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def top(self) -> T:
+        if not self.entries:
+            raise GuidanceError("empty distribution has no top choice")
+        return self.entries[0][0]
+
+    def prob_of(self, choice: T) -> float:
+        for entry_choice, prob in self.entries:
+            if entry_choice == choice:
+                return prob
+        return 0.0
+
+    def rank_of(self, choice: T) -> Optional[int]:
+        """0-based rank of ``choice``; ``None`` when absent."""
+        for rank, (entry_choice, _) in enumerate(self.entries):
+            if entry_choice == choice:
+                return rank
+        return None
+
+    def restrict(self, allowed: Iterable[T]) -> "Distribution[T]":
+        """Renormalise over an allowed subset of choices."""
+        allowed_set = set(allowed)
+        kept = [(c, p) for c, p in self.entries if c in allowed_set]
+        if not kept:
+            raise GuidanceError("restriction removed every choice")
+        return Distribution.from_probs(kept)
+
+
+@dataclass
+class GuidanceContext:
+    """Inputs available to every guidance decision.
+
+    Mirrors the module inputs of SyntaxSQLNet (Section 3.3.1): the NLQ
+    ``N``, the partial query ``p`` synthesised so far, and the database
+    schema ``D``. ``gold`` and ``task_id`` are consumed only by the
+    calibrated oracle backend (they stand in for what the trained network
+    learned); real backends must ignore them.
+    """
+
+    nlq: NLQuery
+    schema: Schema
+    partial: Optional[Query] = None
+    gold: Optional[Query] = None
+    task_id: str = ""
+
+    def with_partial(self, partial: Query) -> "GuidanceContext":
+        return GuidanceContext(nlq=self.nlq, schema=self.schema,
+                               partial=partial, gold=self.gold,
+                               task_id=self.task_id)
+
+
+#: Slot names used to tell the model which clause a decision belongs to.
+SLOT_SELECT = "select"
+SLOT_WHERE = "where"
+SLOT_GROUP_BY = "group_by"
+SLOT_HAVING = "having"
+SLOT_ORDER_BY = "order_by"
+
+ALL_SLOTS = (SLOT_SELECT, SLOT_WHERE, SLOT_GROUP_BY, SLOT_HAVING,
+             SLOT_ORDER_BY)
+
+
+class GuidanceModel(abc.ABC):
+    """Abstract modular guidance model (one method per decision type).
+
+    Set-valued modules (Table 3 reports "Set" output cardinality for KW,
+    COL, OP and AGG) are decomposed into a size decision
+    (:meth:`num_items`) followed by sequential element picks, matching
+    SyntaxSQLNet's three-step set decision of Section 3.3.1. Because every
+    method returns a normalised distribution, cumulative products of the
+    returned probabilities satisfy Property 1.
+    """
+
+    name = "guidance"
+
+    # -- KW module -----------------------------------------------------
+    @abc.abstractmethod
+    def clause_presence(self, ctx: GuidanceContext,
+                        clause: str) -> Distribution[bool]:
+        """Is ``clause`` (where/group_by/order_by) present in the query?"""
+
+    # -- set-size classifier --------------------------------------------
+    @abc.abstractmethod
+    def num_items(self, ctx: GuidanceContext, slot: str,
+                  max_n: int) -> Distribution[int]:
+        """How many elements does ``slot`` contain (1..max_n)?"""
+
+    # -- COL module ------------------------------------------------------
+    @abc.abstractmethod
+    def column(self, ctx: GuidanceContext, slot: str,
+               candidates: Sequence[ColumnRef]) -> Distribution[ColumnRef]:
+        """Which schema column fills the next hole of ``slot``?"""
+
+    # -- AGG module ------------------------------------------------------
+    @abc.abstractmethod
+    def aggregate(self, ctx: GuidanceContext, slot: str,
+                  column: ColumnRef,
+                  candidates: Sequence[AggOp]) -> Distribution[AggOp]:
+        """Which aggregate (or none) applies to ``column`` in ``slot``?"""
+
+    # -- OP module ---------------------------------------------------------
+    @abc.abstractmethod
+    def comparison(self, ctx: GuidanceContext, slot: str, column: ColumnRef,
+                   candidates: Sequence[CompOp]) -> Distribution[CompOp]:
+        """Which comparison operator applies to a predicate on ``column``?"""
+
+    # -- AND/OR module ----------------------------------------------------
+    @abc.abstractmethod
+    def logic(self, ctx: GuidanceContext) -> Distribution[LogicOp]:
+        """The logical connective of the WHERE clause."""
+
+    # -- DESC/ASC module ---------------------------------------------------
+    @abc.abstractmethod
+    def direction(self, ctx: GuidanceContext,
+                  column: ColumnRef) -> Distribution[Tuple[Direction, bool]]:
+        """ORDER BY direction and whether a LIMIT is present."""
+
+    # -- HAVING module ------------------------------------------------------
+    @abc.abstractmethod
+    def having_presence(self, ctx: GuidanceContext) -> Distribution[bool]:
+        """Does the query include a HAVING clause?"""
+
+    # -- value assignment ---------------------------------------------------
+    @abc.abstractmethod
+    def value(self, ctx: GuidanceContext, slot: str, column: ColumnRef,
+              candidates: Sequence[object]) -> Distribution[object]:
+        """Which literal value fills a predicate on ``column``?"""
+
+    @abc.abstractmethod
+    def limit_value(self, ctx: GuidanceContext,
+                    candidates: Sequence[int]) -> Distribution[int]:
+        """The LIMIT row count."""

@@ -1,0 +1,77 @@
+"""Registry of guidance modules, mirroring Table 3 of the paper.
+
+Each entry records a module's responsibility and output cardinality as in
+SyntaxSQLNet. The registry is informational — it documents the mapping
+between the paper's modules and the :class:`~repro.guidance.base.GuidanceModel`
+methods — and backs the Table 3 reproduction benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One row of Table 3."""
+
+    name: str
+    responsibility: str
+    output: str  # "Set" or "Single"
+    method: str  # GuidanceModel method implementing it
+
+
+#: The modules adopted from SyntaxSQLNet (Table 3), in execution order.
+MODULES: Tuple[ModuleInfo, ...] = (
+    ModuleInfo(
+        name="KW",
+        responsibility="Clauses present in query (WHERE, GROUP BY, ORDER BY)",
+        output="Set",
+        method="clause_presence",
+    ),
+    ModuleInfo(
+        name="COL",
+        responsibility="Schema columns",
+        output="Set",
+        method="column",
+    ),
+    ModuleInfo(
+        name="OP",
+        responsibility="Predicate operators (e.g. =, LIKE)",
+        output="Set",
+        method="comparison",
+    ),
+    ModuleInfo(
+        name="AGG",
+        responsibility="Aggregate functions (MAX, MIN, SUM, COUNT, AVG, None)",
+        output="Set",
+        method="aggregate",
+    ),
+    ModuleInfo(
+        name="AND/OR",
+        responsibility="Logical operators for predicates",
+        output="Single",
+        method="logic",
+    ),
+    ModuleInfo(
+        name="DESC/ASC",
+        responsibility="ORDER BY direction and LIMIT",
+        output="Single",
+        method="direction",
+    ),
+    ModuleInfo(
+        name="HAVING",
+        responsibility="Presence of HAVING clause",
+        output="Single",
+        method="having_presence",
+    ),
+)
+
+
+def module_by_name(name: str) -> ModuleInfo:
+    """Look up a module row by its Table 3 name."""
+    for module in MODULES:
+        if module.name == name:
+            return module
+    raise KeyError(name)

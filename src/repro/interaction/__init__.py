@@ -1,0 +1,24 @@
+"""Interaction layer: sessions, autocomplete, simulated study users."""
+
+from .autocomplete import AutocompleteServer, Suggestion
+from .session import PREVIEW_ROWS, DuoquestSession, Round
+from .simulated_user import (
+    TRIAL_TIME_LIMIT,
+    TrialRecord,
+    UserProfile,
+    UserSimulator,
+    make_cohort,
+)
+
+__all__ = [
+    "AutocompleteServer",
+    "DuoquestSession",
+    "PREVIEW_ROWS",
+    "Round",
+    "Suggestion",
+    "TRIAL_TIME_LIMIT",
+    "TrialRecord",
+    "UserProfile",
+    "UserSimulator",
+    "make_cohort",
+]

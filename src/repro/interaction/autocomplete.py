@@ -1,0 +1,57 @@
+"""Autocomplete service for literal tagging and TSQ cells (Section 4).
+
+In the paper's front end, typing a double-quote in the NLQ search bar (or
+typing into a TSQ cell) triggers an autocomplete search over the master
+inverted column index of all text columns. This module packages that
+behaviour as a service so both the CLI and the simulated users share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..db.database import Database
+from ..db.index import IndexHit, InvertedColumnIndex
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One autocomplete suggestion shown to the user."""
+
+    value: str
+    source: str  # "table.column" provenance shown as a hint
+
+    def __repr__(self) -> str:
+        return f"<Suggestion {self.value!r} ({self.source})>"
+
+
+class AutocompleteServer:
+    """Prefix completion over every text value in the database."""
+
+    def __init__(self, db: Database,
+                 index: Optional[InvertedColumnIndex] = None):
+        self.db = db
+        self.index = index or InvertedColumnIndex.build(db)
+
+    def suggest(self, prefix: str, limit: int = 10) -> List[Suggestion]:
+        """Suggestions for a literal being typed (after a double-quote)."""
+        hits = self.index.complete(prefix, limit=limit)
+        suggestions = []
+        seen = set()
+        for hit in hits:
+            key = hit.value
+            if key in seen:
+                continue
+            seen.add(key)
+            suggestions.append(Suggestion(
+                value=hit.value,
+                source=f"{hit.column.table}.{hit.column.column}"))
+        return suggestions
+
+    def resolve_exact(self, text: str) -> Optional[Suggestion]:
+        """The canonical spelling of a value typed in full, if present."""
+        for suggestion in self.suggest(text, limit=5):
+            if suggestion.value.casefold() == text.casefold().strip():
+                return suggestion
+        return None

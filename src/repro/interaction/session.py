@@ -1,0 +1,119 @@
+"""The dual-specification interaction model (Figure 1 of the paper).
+
+A session tracks the iterative loop: the user issues an NLQ plus an
+optional TSQ, receives a ranked candidate list, and either accepts a
+candidate, rephrases the NLQ, or refines the TSQ with more information.
+The session also provides the candidate-inspection affordances of the
+front end (Section 4): SQL text, a 20-row "Query Preview", and a full
+result view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.duoquest import Duoquest, SynthesisResult
+from ..core.enumerator import Candidate
+from ..core.tsq import Cell, TableSketchQuery
+from ..db.database import Database, Row
+from ..nlq.literals import NLQuery
+from ..sqlir.render import to_sql
+from .autocomplete import AutocompleteServer
+
+#: Preview row limit of the front end's "Query Preview" button.
+PREVIEW_ROWS = 20
+
+
+@dataclass
+class Round:
+    """One iteration of the Figure 1 loop."""
+
+    nlq: NLQuery
+    tsq: Optional[TableSketchQuery]
+    result: SynthesisResult
+
+
+@dataclass
+class DuoquestSession:
+    """Interactive state for one user working on one database."""
+
+    system: Duoquest
+    autocomplete: AutocompleteServer
+    rounds: List[Round] = field(default_factory=list)
+
+    @classmethod
+    def open(cls, db: Database, system: Optional[Duoquest] = None
+             ) -> "DuoquestSession":
+        return cls(system=system or Duoquest(db),
+                   autocomplete=AutocompleteServer(db))
+
+    # ------------------------------------------------------------------
+    @property
+    def db(self) -> Database:
+        return self.system.db
+
+    def submit(self, nlq: NLQuery,
+               tsq: Optional[TableSketchQuery] = None) -> SynthesisResult:
+        """Issue an NLQ (+ optional TSQ); returns ranked candidates."""
+        result = self.system.synthesize(nlq, tsq)
+        self.rounds.append(Round(nlq=nlq, tsq=tsq, result=result))
+        return result
+
+    def rephrase(self, new_text: str,
+                 literals: Optional[Sequence[object]] = None
+                 ) -> SynthesisResult:
+        """Option 3a of Figure 1: rephrase the NLQ, keep the TSQ."""
+        if not self.rounds:
+            raise RuntimeError("no NLQ submitted yet")
+        nlq = NLQuery.from_text(new_text, literals=literals)
+        return self.submit(nlq, self.rounds[-1].tsq)
+
+    def refine_tsq(self, extra_rows: Sequence[Sequence[object]] = (),
+                   sorted: Optional[bool] = None,
+                   limit: Optional[int] = None,
+                   negative_rows: Sequence[Sequence[object]] = (),
+                   tolerance: Optional[int] = None) -> SynthesisResult:
+        """Option 3b of Figure 1: add information to the TSQ, keep the NLQ.
+
+        ``extra_rows`` use the same plain-value cell convention as
+        :meth:`TableSketchQuery.build`. ``negative_rows`` add tuples that
+        must *not* appear in the result (Section 7's "negative examples
+        by clicking a candidate query preview"); ``tolerance`` relaxes
+        the match requirement for noisy examples.
+        """
+        if not self.rounds:
+            raise RuntimeError("no NLQ submitted yet")
+        last = self.rounds[-1]
+        base = last.tsq or TableSketchQuery()
+        from ..core.tsq import cell
+
+        new_tuples = base.tuples + tuple(
+            tuple(cell(v) for v in row) for row in extra_rows)
+        new_negatives = base.negative_tuples + tuple(
+            tuple(cell(v) for v in row) for row in negative_rows)
+        refined = TableSketchQuery(
+            types=base.types,
+            tuples=new_tuples,
+            sorted=base.sorted if sorted is None else sorted,
+            limit=base.limit if limit is None else limit,
+            negative_tuples=new_negatives,
+            tolerance=base.tolerance if tolerance is None else tolerance)
+        return self.submit(last.nlq, refined)
+
+    # ------------------------------------------------------------------
+    # Candidate inspection (front-end affordances)
+    # ------------------------------------------------------------------
+    def candidate_sql(self, candidate: Candidate) -> str:
+        return to_sql(candidate.query)
+
+    def preview(self, candidate: Candidate) -> List[Row]:
+        """The 20-row "Query Preview" of a candidate."""
+        return self.db.execute(to_sql(candidate.query),
+                               max_rows=PREVIEW_ROWS, kind="preview")
+
+    def full_view(self, candidate: Candidate,
+                  max_rows: int = 5000) -> List[Row]:
+        """The "Full Query View" of a candidate (row-capped for safety)."""
+        return self.db.execute(to_sql(candidate.query), max_rows=max_rows,
+                               kind="preview")

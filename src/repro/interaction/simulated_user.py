@@ -1,0 +1,358 @@
+"""Simulated users for the two user studies (Sections 5.1-5.3).
+
+The paper's studies used 16 human participants (6 with little or no SQL
+experience), a 5-minute limit per trial, and a 10-fact bank per task
+emulating open-world domain knowledge. This module reproduces the study
+protocol with stochastic user agents whose behaviour is governed by a
+calibrated time model:
+
+* thinking about and typing the NLQ,
+* choosing facts and entering them as TSQ example tuples (autocomplete
+  assumed, per-cell cost),
+* inspecting ranked candidates one at a time as they stream in — reading
+  the SQL (experts) or eyeballing selection predicates plus the 20-row
+  Query Preview (novices), with imperfect recognition of the desired
+  query and growing fatigue on long candidate lists,
+* or, for the PBE system, reviewing the produced checkbox "filters".
+
+The qualitative effects the paper reports (NLI fatigue on long lists, PBE
+being fastest on easy tasks, Duoquest winning on hard ones) emerge from
+this model rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.squid import SquidPBE
+from ..core.duoquest import Duoquest, SynthesisResult
+from ..core.tsq import Cell, EmptyCell, ExactCell, TableSketchQuery
+from ..datasets.facts import Fact
+from ..datasets.tasks import Task
+from ..datasets.tsqsynth import projected_types
+from ..db.database import Database
+from ..errors import UnsupportedTaskError
+from ..sqlir.ast import Hole
+from ..sqlir.canon import queries_equal
+
+#: Per-trial wall-clock limit (the paper's 5 minutes).
+TRIAL_TIME_LIMIT = 300.0
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One study participant."""
+
+    user_id: int
+    sql_expertise: float  # 0.0 = no SQL experience, 1.0 = experienced
+
+    @property
+    def is_novice(self) -> bool:
+        return self.sql_expertise < 0.5
+
+
+def make_cohort(size: int = 16, novices: int = 6,
+                seed: int = 0) -> List[UserProfile]:
+    """The paper's cohort: 16 users, 6 with little to no SQL experience."""
+    rng = random.Random(seed)
+    users = []
+    for user_id in range(size):
+        if user_id < novices:
+            expertise = rng.uniform(0.05, 0.35)
+        else:
+            expertise = rng.uniform(0.55, 0.95)
+        users.append(UserProfile(user_id=user_id, sql_expertise=expertise))
+    rng.shuffle(users)
+    return users
+
+
+@dataclass
+class TrialRecord:
+    """Outcome of one task trial (one user, one system, one task)."""
+
+    user_id: int
+    task_id: str
+    system: str
+    success: bool
+    duration: float         # seconds until success/failure/timeout
+    num_examples: int
+    difficulty: str
+
+    def __repr__(self) -> str:
+        flag = "ok" if self.success else "fail"
+        return (f"<Trial u{self.user_id} {self.task_id} {self.system} "
+                f"{flag} {self.duration:.0f}s>")
+
+
+class _TimeModel:
+    """Calibrated interaction costs, in seconds."""
+
+    THINK_RANGE = (8.0, 22.0)
+    CHAR_TIME_EXPERT = 0.22
+    CHAR_TIME_NOVICE = 0.32
+    FACT_SELECT_TIME = 5.0
+    CELL_ENTRY_TIME = 6.0
+    SQL_READ_EXPERT = 6.0
+    SQL_READ_NOVICE = 11.0
+    PREVIEW_TIME = 8.0
+    PBE_FILTER_BASE = 16.0
+    PBE_FILTER_EACH = 3.0
+    #: PBE's drag-and-drop example grid is quicker than typing TSQ cells
+    #: through autocomplete.
+    PBE_ENTRY_FACTOR = 0.6
+
+    @classmethod
+    def nlq_time(cls, user: UserProfile, text: str,
+                 rng: random.Random) -> float:
+        rate = (cls.CHAR_TIME_EXPERT if not user.is_novice
+                else cls.CHAR_TIME_NOVICE)
+        return rng.uniform(*cls.THINK_RANGE) + len(text) * rate
+
+    @classmethod
+    def example_time(cls, cells: Sequence[Cell]) -> float:
+        filled = sum(1 for c in cells if not isinstance(c, EmptyCell))
+        return cls.FACT_SELECT_TIME + filled * cls.CELL_ENTRY_TIME
+
+    @classmethod
+    def inspect_time(cls, user: UserProfile, rng: random.Random) -> float:
+        base = (cls.SQL_READ_NOVICE if user.is_novice
+                else cls.SQL_READ_EXPERT)
+        cost = base * rng.uniform(0.8, 1.3)
+        preview_prob = 0.8 if user.is_novice else 0.3
+        if rng.random() < preview_prob:
+            cost += cls.PREVIEW_TIME
+        return cost
+
+
+class UserSimulator:
+    """Runs study trials on one database."""
+
+    def __init__(self, db: Database,
+                 duoquest_factory: Callable[[Task, int], Duoquest],
+                 pbe: Optional[SquidPBE] = None,
+                 seed: int = 0,
+                 system_budget: float = 30.0,
+                 max_candidates: int = 40):
+        """``duoquest_factory(task, variant)`` builds the synthesis system
+        for a task; ``variant`` seeds the guidance model per user, since
+        every participant phrases the NLQ in their own words and therefore
+        draws different model behaviour (Section 5.1.3's protocol)."""
+        self.db = db
+        self.duoquest_factory = duoquest_factory
+        self.pbe = pbe
+        self.seed = seed
+        self.system_budget = system_budget
+        self.max_candidates = max_candidates
+        self._synthesis_cache: Dict[Tuple[str, str, object],
+                                    SynthesisResult] = {}
+        self._gold_rows: Dict[str, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    def _result_signature(self, candidate_query) -> Optional[Tuple]:
+        """Row-multiset signature of a candidate (its preview content)."""
+        from ..sqlir.render import to_sql
+
+        try:
+            rows = self.db.execute(to_sql(candidate_query), max_rows=2001,
+                                   kind="study")
+        except Exception:
+            return None
+        return tuple(sorted(map(repr, rows)))
+
+    def _matches_gold(self, candidate_query, task: Task) -> bool:
+        """Whether a candidate is the user's desired query.
+
+        Users judge candidates by their *output* (the Query Preview /
+        Full Query View), so execution-equivalent candidates — e.g.
+        ``COUNT(aid)`` for ``COUNT(*)`` — count as the desired query,
+        unlike the simulation study's exact matching.
+        """
+        if queries_equal(candidate_query, task.gold):
+            return True
+        from ..sqlir.render import to_sql
+
+        if task.task_id not in self._gold_rows:
+            rows = self.db.execute(to_sql(task.gold), max_rows=2001,
+                                   kind="study")
+            self._gold_rows[task.task_id] = tuple(sorted(map(repr, rows)))
+        return self._result_signature(candidate_query) == \
+            self._gold_rows[task.task_id]
+
+    # ------------------------------------------------------------------
+    def _rng(self, user: UserProfile, task: Task,
+             system: str) -> random.Random:
+        return random.Random(
+            f"{self.seed}/{user.user_id}/{task.task_id}/{system}")
+
+    def _tsq_from_facts(self, task: Task, facts: Sequence[Fact],
+                        count: int) -> Tuple[TableSketchQuery, int]:
+        """The TSQ a user builds from the first ``count`` usable facts."""
+        gold = task.gold
+        types = tuple(projected_types(gold, self.db))
+        sorted_flag = (gold.order_by is not None
+                       and not isinstance(gold.order_by, Hole))
+        limit = int(gold.limit) if isinstance(gold.limit, int) else 0
+        picked = list(facts[:count])
+        if sorted_flag:
+            # The task description states the ordering, so the user enters
+            # example rows in result order (Definition 2.4, condition 3).
+            picked.sort(key=lambda fact: fact.order_index)
+        chosen = [fact.cells for fact in picked]
+        return (TableSketchQuery(types=types, tuples=tuple(chosen),
+                                 sorted=sorted_flag, limit=limit),
+                len(chosen))
+
+    def _synthesize(self, system: str, task: Task,
+                    tsq: Optional[TableSketchQuery],
+                    variant: int) -> SynthesisResult:
+        key = (system, task.task_id, tsq, variant)
+        if key not in self._synthesis_cache:
+            duoquest = self.duoquest_factory(task, variant)
+            duoquest.config.time_budget = self.system_budget
+            duoquest.config.max_candidates = self.max_candidates
+            self._synthesis_cache[key] = duoquest.synthesize(
+                task.nlq, tsq, gold=task.gold, task_id=task.task_id)
+        return self._synthesis_cache[key]
+
+    # ------------------------------------------------------------------
+    def run_ranked_list_trial(self, user: UserProfile, task: Task,
+                              facts: Sequence[Fact],
+                              use_tsq: bool) -> TrialRecord:
+        """A trial on Duoquest (``use_tsq=True``) or the NLI baseline."""
+        system = "Duoquest" if use_tsq else "NLI"
+        rng = self._rng(user, task, system)
+        clock = _TimeModel.nlq_time(user, task.nlq.text, rng)
+
+        def finish(success: bool, clock: float,
+                   num_examples: int) -> TrialRecord:
+            return TrialRecord(user_id=user.user_id, task_id=task.task_id,
+                               system=system, success=success,
+                               duration=min(clock, TRIAL_TIME_LIMIT),
+                               num_examples=num_examples,
+                               difficulty=task.difficulty.value)
+
+        recognize_prob = 0.9 + 0.08 * user.sql_expertise
+        false_accept_prob = 0.03 * (1.0 - user.sql_expertise)
+
+        def inspect(clock: float, submit_time: float,
+                    candidates) -> Tuple[str, float]:
+            """Walk the streamed candidate list; returns (outcome, clock).
+
+            Fatigue bounds how many candidates a user will read.
+            """
+            patience = int(8 + 14 * user.sql_expertise + rng.uniform(0, 4))
+            inspected = 0
+            seen_previews = set()
+            for candidate in candidates:
+                if inspected >= patience:
+                    return ("gave-up", clock)
+                # A candidate cannot be read before the system emits it.
+                clock = max(clock, submit_time + candidate.elapsed)
+                # A candidate whose Query Preview repeats one already seen
+                # (e.g. a join-path variant with identical output) is
+                # skimmed and dismissed in a couple of seconds and does
+                # not consume patience.
+                preview = self._result_signature(candidate.query)
+                if preview is not None and preview in seen_previews:
+                    clock += 2.0
+                    if clock > TRIAL_TIME_LIMIT:
+                        return ("timeout", TRIAL_TIME_LIMIT)
+                    continue
+                seen_previews.add(preview)
+                clock += _TimeModel.inspect_time(user, rng)
+                inspected += 1
+                if clock > TRIAL_TIME_LIMIT:
+                    return ("timeout", TRIAL_TIME_LIMIT)
+                if self._matches_gold(candidate.query, task):
+                    if rng.random() < recognize_prob:
+                        return ("success", clock)
+                elif rng.random() < false_accept_prob:
+                    return ("wrong-pick", clock)
+            return ("exhausted", clock)
+
+        num_examples = 0
+        max_rounds = 2 if use_tsq else 1
+        for round_index in range(max_rounds):
+            tsq: Optional[TableSketchQuery] = None
+            if use_tsq:
+                if round_index == 0:
+                    num_examples = 1 if rng.random() < 0.6 else 2
+                else:
+                    # Figure 1, option 3: refine the TSQ with one more
+                    # example tuple and resubmit.
+                    num_examples += 1
+                tsq, num_examples = self._tsq_from_facts(
+                    task, list(facts), num_examples)
+                newly_entered = (tsq.tuples if round_index == 0
+                                 else tsq.tuples[-1:])
+                for example in newly_entered:
+                    clock += _TimeModel.example_time(example)
+
+            submit_time = clock
+            result = self._synthesize(system, task, tsq, user.user_id)
+            candidates = sorted(result.candidates, key=lambda c: c.index)
+            outcome, clock = inspect(clock, submit_time, candidates)
+            if outcome == "success":
+                return finish(True, clock, num_examples)
+            if outcome in ("timeout", "wrong-pick"):
+                return finish(False, clock, num_examples)
+            # gave-up / exhausted: refine and retry if time remains.
+            if clock > TRIAL_TIME_LIMIT - 60.0:
+                break
+
+        return finish(False, clock + 10.0, num_examples)
+
+    # ------------------------------------------------------------------
+    def run_pbe_trial(self, user: UserProfile, task: Task,
+                      facts: Sequence[Fact]) -> TrialRecord:
+        """A trial on the SQuID-like PBE system."""
+        if self.pbe is None:
+            raise RuntimeError("no PBE system configured")
+        system = "PBE"
+        rng = self._rng(user, task, system)
+        clock = rng.uniform(6.0, 14.0)  # reading the task, no NLQ typing
+
+        # PBE needs full exact tuples; usable facts have no ranges/holes.
+        usable = [fact for fact in facts
+                  if all(isinstance(c, ExactCell) for c in fact.cells)]
+        desired = min(len(usable), 2 + (1 if rng.random() < 0.5 else 0)
+                      + (1 if rng.random() < 0.3 else 0))
+        examples = [[c.value for c in fact.cells]
+                    for fact in usable[:desired]]
+        for fact in usable[:desired]:
+            clock += _TimeModel.example_time(fact.cells) \
+                * _TimeModel.PBE_ENTRY_FACTOR
+        if not examples:
+            return TrialRecord(user_id=user.user_id, task_id=task.task_id,
+                               system=system, success=False,
+                               duration=min(clock, TRIAL_TIME_LIMIT),
+                               num_examples=0,
+                               difficulty=task.difficulty.value)
+
+        supported, _ = self.pbe.supports_task(task.gold)
+        correct = False
+        num_filters = 0
+        if supported:
+            try:
+                outcome = self.pbe.run(examples)
+                clock += max(outcome.runtime, 0.5)
+                num_filters = len(outcome.filters) + len(
+                    outcome.count_filters)
+                correct = self.pbe.judge(outcome, task.gold)
+            except UnsupportedTaskError:
+                correct = False
+
+        # Reviewing the explanation interface (checkbox filters).
+        clock += (_TimeModel.PBE_FILTER_BASE
+                  + num_filters * _TimeModel.PBE_FILTER_EACH)
+        success = False
+        if correct and clock <= TRIAL_TIME_LIMIT:
+            # The user still has to check exactly the right boxes.
+            success = rng.random() < 0.92
+        return TrialRecord(user_id=user.user_id, task_id=task.task_id,
+                           system=system, success=success,
+                           duration=min(clock, TRIAL_TIME_LIMIT),
+                           num_examples=len(examples),
+                           difficulty=task.difficulty.value)

@@ -1,0 +1,32 @@
+"""Natural-language query processing: tokenisation, literals, linking."""
+
+from .linking import LinkScores, link_schema
+from .literals import Literal, NLQuery, extract_literals
+from .tokenize import (
+    STOPWORDS,
+    bigrams,
+    contains_phrase,
+    content_tokens,
+    identifier_words,
+    overlap_score,
+    stem,
+    stems,
+    tokenize,
+)
+
+__all__ = [
+    "STOPWORDS",
+    "LinkScores",
+    "Literal",
+    "NLQuery",
+    "bigrams",
+    "contains_phrase",
+    "content_tokens",
+    "extract_literals",
+    "identifier_words",
+    "link_schema",
+    "overlap_score",
+    "stem",
+    "stems",
+    "tokenize",
+]

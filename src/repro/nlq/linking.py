@@ -1,0 +1,64 @@
+"""Schema linking: lexical relevance of schema elements to an NLQ.
+
+Produces per-column and per-table relevance scores from token/stem overlap
+between the NLQ and schema identifiers (plus their display names). These
+scores drive the COL module of the lexical guidance backend and the
+NoGuide ablation's literal-only hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..db.schema import Schema
+from ..sqlir.ast import ColumnRef
+from .literals import NLQuery
+from .tokenize import overlap_score, stems
+
+
+@dataclass(frozen=True)
+class LinkScores:
+    """Relevance of every schema element to one NLQ, in [0, 1]."""
+
+    columns: Dict[ColumnRef, float]
+    tables: Dict[str, float]
+
+    def column_score(self, ref: ColumnRef) -> float:
+        return self.columns.get(ref, 0.0)
+
+    def table_score(self, table: str) -> float:
+        return self.tables.get(table, 0.0)
+
+    def ranked_columns(self) -> List[Tuple[ColumnRef, float]]:
+        return sorted(self.columns.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def link_schema(nlq: NLQuery, schema: Schema) -> LinkScores:
+    """Score every column and table of ``schema`` against ``nlq``.
+
+    A column's score combines the overlap of its own name with the NLQ and
+    (with a lower weight) the overlap of its table's name; a small bonus is
+    given when a tagged literal's type matches the column type, which helps
+    disambiguate e.g. year columns for numeric literals.
+    """
+    query_stems = stems(nlq.text)
+    literal_types = {lit.type for lit in nlq.literals}
+
+    tables: Dict[str, float] = {}
+    for table in schema.tables:
+        name = schema.display_name(table.name)
+        tables[table.name] = overlap_score(query_stems, name)
+
+    columns: Dict[ColumnRef, float] = {}
+    for table in schema.tables:
+        table_score = tables[table.name]
+        for column in table.columns:
+            ref = ColumnRef(table=table.name, column=column.name)
+            name = schema.display_name(f"{table.name}.{column.name}")
+            score = overlap_score(query_stems, name)
+            score = 0.75 * score + 0.2 * table_score
+            if column.type in literal_types:
+                score += 0.05
+            columns[ref] = min(score, 1.0)
+    return LinkScores(columns=columns, tables=tables)

@@ -1,0 +1,86 @@
+"""Natural-language queries and their tagged literal values.
+
+Per the problem definition (Section 2.3), the NLQ comes with a set of text
+and numeric literal values ``L`` used in the desired query. In the real
+front end these are tagged by the user through the double-quote
+autocomplete interface (Section 4); here they can also be extracted from a
+raw NLQ string whose literals are quoted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..sqlir.types import ColumnType, Value, value_type
+from .tokenize import tokenize
+
+_QUOTED_RE = re.compile(r'"([^"]+)"|\'([^\']+)\'')
+_NUMBER_RE = re.compile(r"(?<![\w.])(\d+(?:\.\d+)?)(?![\w.])")
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A tagged literal value appearing in the NLQ."""
+
+    value: Value
+
+    @property
+    def type(self) -> ColumnType:
+        return value_type(self.value)
+
+    def __repr__(self) -> str:
+        return f"<Literal {self.value!r}:{self.type}>"
+
+
+@dataclass(frozen=True)
+class NLQuery:
+    """A natural-language query plus its tagged literals ``L``."""
+
+    text: str
+    literals: Tuple[Literal, ...] = ()
+
+    @classmethod
+    def from_text(cls, text: str,
+                  literals: Optional[Sequence[Value]] = None) -> "NLQuery":
+        """Build an NLQ, extracting literals from the text when not given.
+
+        Quoted spans become text literals and bare numbers become numeric
+        literals, mirroring what the autocomplete tagging interface
+        produces.
+        """
+        if literals is None:
+            extracted = extract_literals(text)
+        else:
+            extracted = [Literal(value=v) for v in literals]
+        return cls(text=text, literals=tuple(extracted))
+
+    @property
+    def text_literals(self) -> List[Literal]:
+        return [lit for lit in self.literals if lit.type is ColumnType.TEXT]
+
+    @property
+    def number_literals(self) -> List[Literal]:
+        return [lit for lit in self.literals if lit.type is ColumnType.NUMBER]
+
+    def tokens(self) -> List[str]:
+        return tokenize(self.text)
+
+    def __repr__(self) -> str:
+        return f"<NLQuery {self.text!r} L={[l.value for l in self.literals]}>"
+
+
+def extract_literals(text: str) -> List[Literal]:
+    """Extract quoted text literals and bare numbers from an NLQ string."""
+    literals: List[Literal] = []
+    remainder = text
+    for match in _QUOTED_RE.finditer(text):
+        value = match.group(1) or match.group(2)
+        literals.append(Literal(value=value))
+    remainder = _QUOTED_RE.sub(" ", text)
+    for match in _NUMBER_RE.finditer(remainder):
+        digits = match.group(1)
+        number: Value = float(digits) if "." in digits else int(digits)
+        literals.append(Literal(value=number))
+    return literals

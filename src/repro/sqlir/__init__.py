@@ -1,0 +1,53 @@
+"""SQL intermediate representation: AST, rendering, parsing, equivalence."""
+
+from .ast import (
+    HOLE,
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    Hole,
+    JoinEdge,
+    JoinPath,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    STAR,
+    SelectItem,
+    Where,
+)
+from .canon import normalize_value, queries_equal, signature
+from .parser import parse_sql
+from .render import quote_ident, quote_literal, to_debug_sql, to_sql
+from .types import ColumnType, Value, coerce_value, value_type
+
+__all__ = [
+    "HOLE",
+    "AggOp",
+    "ColumnRef",
+    "ColumnType",
+    "CompOp",
+    "Direction",
+    "Hole",
+    "JoinEdge",
+    "JoinPath",
+    "LogicOp",
+    "OrderItem",
+    "Predicate",
+    "Query",
+    "STAR",
+    "SelectItem",
+    "Value",
+    "Where",
+    "coerce_value",
+    "normalize_value",
+    "parse_sql",
+    "queries_equal",
+    "quote_ident",
+    "quote_literal",
+    "signature",
+    "to_debug_sql",
+    "to_sql",
+    "value_type",
+]

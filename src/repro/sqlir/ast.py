@@ -1,0 +1,490 @@
+"""SPJA query AST with placeholder support.
+
+This module implements the *partial query* (PQ) representation from
+Definition 3.1 of the paper: a SQL query in which any query element (a
+clause, expression, column reference, aggregate function, or constant) may
+be replaced by a placeholder (:data:`HOLE`).
+
+The AST covers the paper's task scope (Section 2.5): select-project-join-
+aggregate queries with grouping, sorting and limit; selection predicates in
+a clause share a single logical connective (``AND`` or ``OR``); joins are
+inner joins along foreign key-primary key edges.
+
+All nodes are immutable (frozen dataclasses) so that partial queries can be
+shared between search states and used as dictionary keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+from .types import ColumnType, Value
+
+
+class Hole:
+    """Singleton placeholder marking an undecided query element."""
+
+    _instance: Optional["Hole"] = None
+
+    def __new__(cls) -> "Hole":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "?"
+
+    def __deepcopy__(self, memo: dict) -> "Hole":
+        return self
+
+    def __reduce__(self):
+        return (Hole, ())
+
+
+#: The placeholder instance used throughout the package.
+HOLE = Hole()
+
+
+class AggOp(enum.Enum):
+    """Aggregate functions supported by the AGG guidance module (Table 3)."""
+
+    NONE = ""
+    MAX = "MAX"
+    MIN = "MIN"
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self is not AggOp.NONE
+
+    def output_type(self, input_type: ColumnType) -> ColumnType:
+        """Logical type of ``agg(column)`` given the column's type."""
+        if self is AggOp.COUNT:
+            return ColumnType.NUMBER
+        if self in (AggOp.SUM, AggOp.AVG):
+            return ColumnType.NUMBER
+        return input_type
+
+
+class CompOp(enum.Enum):
+    """Comparison operators supported by the OP guidance module."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    LIKE = "LIKE"
+    BETWEEN = "BETWEEN"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_inequality(self) -> bool:
+        return self in (CompOp.LT, CompOp.GT, CompOp.LE, CompOp.GE,
+                        CompOp.BETWEEN)
+
+
+class LogicOp(enum.Enum):
+    """Logical connective for a predicate list (AND/OR module)."""
+
+    AND = "AND"
+    OR = "OR"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Direction(enum.Enum):
+    """ORDER BY direction (DESC/ASC module)."""
+
+    ASC = "ASC"
+    DESC = "DESC"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """A reference to ``table.column`` in the schema.
+
+    The special reference :data:`STAR` (``*``) is used for ``COUNT(*)``.
+    """
+
+    table: str
+    column: str
+
+    def __repr__(self) -> str:
+        if self.is_star:
+            return "*"
+        return f"{self.table}.{self.column}"
+
+    @property
+    def is_star(self) -> bool:
+        return self.column == "*"
+
+
+#: The ``*`` column reference used by ``COUNT(*)``.
+STAR = ColumnRef(table="", column="*")
+
+#: A predicate value: a literal, a (low, high) pair for BETWEEN, or a hole.
+PredValue = Union[Value, Tuple[Value, Value], Hole]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projected expression: ``agg(column)`` with optional DISTINCT.
+
+    ``agg`` may be a hole while the AGG module has not yet fired on this
+    projection.
+    """
+
+    agg: Union[AggOp, Hole]
+    column: Union[ColumnRef, Hole]
+    distinct: bool = False
+
+    def __repr__(self) -> str:
+        inner = f"DISTINCT {self.column!r}" if self.distinct else repr(self.column)
+        if isinstance(self.agg, Hole):
+            return f"?({inner})"
+        if self.agg.is_aggregate:
+            return f"{self.agg.value}({inner})"
+        return inner
+
+    @property
+    def is_complete(self) -> bool:
+        return (not isinstance(self.column, Hole)
+                and not isinstance(self.agg, Hole))
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self.agg, AggOp) and self.agg.is_aggregate
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A comparison predicate ``agg(column) op value``.
+
+    WHERE predicates have ``agg == AggOp.NONE``; HAVING predicates carry an
+    aggregate function (e.g. ``COUNT(*) > 5``).
+    """
+
+    agg: AggOp
+    column: Union[ColumnRef, Hole]
+    op: Union[CompOp, Hole]
+    value: PredValue
+
+    def __repr__(self) -> str:
+        lhs = repr(self.column)
+        if self.agg.is_aggregate:
+            lhs = f"{self.agg.value}({lhs})"
+        if isinstance(self.op, Hole):
+            return f"{lhs} ? ?"
+        if self.op is CompOp.BETWEEN and isinstance(self.value, tuple):
+            low, high = self.value
+            return f"{lhs} BETWEEN {low!r} AND {high!r}"
+        return f"{lhs} {self.op.value} {self.value!r}"
+
+    @property
+    def is_complete(self) -> bool:
+        return (not isinstance(self.column, Hole)
+                and not isinstance(self.op, Hole)
+                and not isinstance(self.value, Hole))
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.agg.is_aggregate
+
+
+@dataclass(frozen=True)
+class Where:
+    """A selection clause: predicates joined by a single logical operator.
+
+    Per Section 2.5 of the paper, nested expressions mixing ``AND`` and
+    ``OR`` are out of scope, so a single connective applies to the whole
+    clause. ``logic`` may be a hole while the AND/OR module has not yet
+    fired; it is irrelevant (conventionally ``AND``) for single-predicate
+    clauses.
+    """
+
+    logic: Union[LogicOp, Hole]
+    predicates: Tuple[Union[Predicate, Hole], ...]
+
+    def __repr__(self) -> str:
+        sep = " ? " if isinstance(self.logic, Hole) else f" {self.logic.value} "
+        return sep.join(repr(p) for p in self.predicates)
+
+    @property
+    def is_complete(self) -> bool:
+        if not self.predicates:
+            return False  # present but size still undecided
+        if len(self.predicates) > 1 and isinstance(self.logic, Hole):
+            return False
+        return all(
+            not isinstance(p, Hole) and p.is_complete for p in self.predicates
+        )
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY expression: ``agg(column) direction``.
+
+    ``agg`` may be a hole while the AGG module has not yet fired.
+    """
+
+    agg: Union[AggOp, Hole]
+    column: Union[ColumnRef, Hole]
+    direction: Union[Direction, Hole]
+
+    def __repr__(self) -> str:
+        lhs = repr(self.column)
+        if isinstance(self.agg, Hole):
+            lhs = f"?({lhs})"
+        elif self.agg.is_aggregate:
+            lhs = f"{self.agg.value}({lhs})"
+        direction = "?" if isinstance(self.direction, Hole) else self.direction.value
+        return f"{lhs} {direction}"
+
+    @property
+    def is_complete(self) -> bool:
+        return (not isinstance(self.column, Hole)
+                and not isinstance(self.agg, Hole)
+                and not isinstance(self.direction, Hole))
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """A foreign key-primary key join condition between two tables."""
+
+    src_table: str
+    src_column: str
+    dst_table: str
+    dst_column: str
+
+    def __repr__(self) -> str:
+        return (f"{self.src_table}.{self.src_column}="
+                f"{self.dst_table}.{self.dst_column}")
+
+    def canonical(self) -> Tuple[str, str, str, str]:
+        """Direction-insensitive form, for equality of join paths."""
+        a = (self.src_table, self.src_column)
+        b = (self.dst_table, self.dst_column)
+        return (*a, *b) if a <= b else (*b, *a)
+
+
+@dataclass(frozen=True)
+class JoinPath:
+    """The FROM clause: an ordered set of tables and the FK-PK edges joining
+    them. A single-table query has one table and no edges."""
+
+    tables: Tuple[str, ...]
+    edges: Tuple[JoinEdge, ...] = ()
+
+    def __repr__(self) -> str:
+        if not self.edges:
+            return " x ".join(self.tables)
+        return " JOIN ".join(self.tables)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def contains_table(self, table: str) -> bool:
+        return table in self.tables
+
+    def canonical(self) -> Tuple[Tuple[str, ...], Tuple[Tuple[str, ...], ...]]:
+        """Order-insensitive form for join path equality."""
+        return (
+            tuple(sorted(self.tables)),
+            tuple(sorted(edge.canonical() for edge in self.edges)),
+        )
+
+
+#: A clause slot: undecided (HOLE), absent (None), or a concrete value.
+ClauseSlot = Union[Hole, None, object]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A (possibly partial) SPJA query.
+
+    Clause-level fields follow a three-way convention:
+
+    * :data:`HOLE` — the clause's presence has not been decided yet;
+    * ``None`` — the clause was decided to be absent;
+    * a concrete value — the clause is present (its elements may still
+      contain nested holes).
+    """
+
+    select: Union[Tuple[Union[SelectItem, Hole], ...], Hole]
+    join_path: Union[JoinPath, Hole]
+    where: Union[Where, None, Hole]
+    group_by: Union[Tuple[Union[ColumnRef, Hole], ...], None, Hole]
+    having: Union[Tuple[Union[Predicate, Hole], ...], None, Hole]
+    order_by: Union[Tuple[Union[OrderItem, Hole], ...], None, Hole]
+    limit: Union[int, None, Hole]
+    distinct: bool = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Query":
+        """The root of the search space: every element is a hole."""
+        return cls(select=HOLE, join_path=HOLE, where=HOLE, group_by=HOLE,
+                   having=HOLE, order_by=HOLE, limit=HOLE)
+
+    def replace(self, **changes: object) -> "Query":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_complete(self) -> bool:
+        """True when the query contains no holes anywhere."""
+        return not any(True for _ in self.iter_holes())
+
+    def iter_holes(self) -> Iterator[str]:
+        """Yield a dotted path for every hole in the query."""
+        if isinstance(self.select, Hole):
+            yield "select"
+        else:
+            for i, item in enumerate(self.select):
+                if isinstance(item, Hole):
+                    yield f"select[{i}]"
+                elif not item.is_complete:
+                    yield f"select[{i}].column"
+        if isinstance(self.join_path, Hole):
+            yield "join_path"
+        if isinstance(self.where, Hole):
+            yield "where"
+        elif self.where is not None:
+            if not self.where.predicates:
+                yield "where.predicates"
+            if len(self.where.predicates) > 1 and isinstance(self.where.logic, Hole):
+                yield "where.logic"
+            for i, pred in enumerate(self.where.predicates):
+                if isinstance(pred, Hole):
+                    yield f"where[{i}]"
+                    continue
+                if isinstance(pred.column, Hole):
+                    yield f"where[{i}].column"
+                if isinstance(pred.op, Hole):
+                    yield f"where[{i}].op"
+                if isinstance(pred.value, Hole):
+                    yield f"where[{i}].value"
+        if isinstance(self.group_by, Hole):
+            yield "group_by"
+        elif self.group_by is not None:
+            if not self.group_by:
+                yield "group_by.columns"
+            for i, col in enumerate(self.group_by):
+                if isinstance(col, Hole):
+                    yield f"group_by[{i}]"
+        if isinstance(self.having, Hole):
+            yield "having"
+        elif self.having is not None:
+            if not self.having:
+                yield "having.predicates"
+            for i, pred in enumerate(self.having):
+                if isinstance(pred, Hole):
+                    yield f"having[{i}]"
+                    continue
+                if isinstance(pred.column, Hole):
+                    yield f"having[{i}].column"
+                if isinstance(pred.op, Hole):
+                    yield f"having[{i}].op"
+                if isinstance(pred.value, Hole):
+                    yield f"having[{i}].value"
+        if isinstance(self.order_by, Hole):
+            yield "order_by"
+        elif self.order_by is not None:
+            if not self.order_by:
+                yield "order_by.items"
+            for i, item in enumerate(self.order_by):
+                if isinstance(item, Hole):
+                    yield f"order_by[{i}]"
+                elif not item.is_complete:
+                    yield f"order_by[{i}].*"
+        if isinstance(self.limit, Hole):
+            yield "limit"
+
+    def column_refs(self) -> Tuple[ColumnRef, ...]:
+        """All concrete, non-star column references used by the query."""
+        refs: list[ColumnRef] = []
+
+        def add(col: object) -> None:
+            if isinstance(col, ColumnRef) and not col.is_star:
+                refs.append(col)
+
+        if not isinstance(self.select, Hole):
+            for item in self.select:
+                if not isinstance(item, Hole):
+                    add(item.column)
+        if self.where is not None and not isinstance(self.where, Hole):
+            for pred in self.where.predicates:
+                if not isinstance(pred, Hole):
+                    add(pred.column)
+        if self.group_by is not None and not isinstance(self.group_by, Hole):
+            for col in self.group_by:
+                add(col)
+        if self.having is not None and not isinstance(self.having, Hole):
+            for pred in self.having:
+                if not isinstance(pred, Hole):
+                    add(pred.column)
+        if self.order_by is not None and not isinstance(self.order_by, Hole):
+            for item in self.order_by:
+                if not isinstance(item, Hole):
+                    add(item.column)
+        return tuple(refs)
+
+    def referenced_tables(self) -> Tuple[str, ...]:
+        """Distinct tables referenced by columns, in first-use order."""
+        seen: dict[str, None] = {}
+        for ref in self.column_refs():
+            seen.setdefault(ref.table, None)
+        return tuple(seen)
+
+    @property
+    def has_aggregate(self) -> bool:
+        """True if any projection or ORDER BY expression is aggregated."""
+        if not isinstance(self.select, Hole):
+            for item in self.select:
+                if not isinstance(item, Hole) and item.is_aggregate:
+                    return True
+        if self.order_by is not None and not isinstance(self.order_by, Hole):
+            for item in self.order_by:
+                if (not isinstance(item, Hole)
+                        and isinstance(item.agg, AggOp)
+                        and item.agg.is_aggregate):
+                    return True
+        if self.having is not None and not isinstance(self.having, Hole):
+            return len(self.having) > 0
+        return False
+
+    def __repr__(self) -> str:
+        parts = [f"SELECT {self.select!r}"]
+        parts.append(f"FROM {self.join_path!r}")
+        if isinstance(self.where, Hole) or self.where is not None:
+            parts.append(f"WHERE {self.where!r}")
+        if isinstance(self.group_by, Hole) or self.group_by is not None:
+            parts.append(f"GROUP BY {self.group_by!r}")
+        if isinstance(self.having, Hole) or self.having is not None:
+            parts.append(f"HAVING {self.having!r}")
+        if isinstance(self.order_by, Hole) or self.order_by is not None:
+            parts.append(f"ORDER BY {self.order_by!r}")
+        if isinstance(self.limit, Hole) or self.limit is not None:
+            parts.append(f"LIMIT {self.limit!r}")
+        return "<Query " + " ".join(parts) + ">"

@@ -1,0 +1,145 @@
+"""Canonical signatures for query equivalence.
+
+The simulation study (Section 5.4) judges a candidate correct when it
+exactly matches the gold query. Following the Spider benchmark's component
+matching, the comparison is order-insensitive for SELECT items, selection
+predicates and GROUP BY columns, and order-sensitive for ORDER BY, with
+literal values normalised (numeric strings compare equal to numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple, Union
+
+from ..errors import QueryError
+from .ast import (
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    Hole,
+    JoinPath,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectItem,
+    Where,
+)
+from .types import Value
+
+
+def normalize_value(value: Union[Value, Tuple[Value, Value]]) -> Hashable:
+    """Normalise a literal for comparison.
+
+    Numbers (and numeric strings) normalise to ``float``; strings compare
+    case-insensitively with surrounding whitespace stripped; BETWEEN pairs
+    normalise element-wise with (low, high) ordering.
+    """
+    if isinstance(value, tuple):
+        low, high = (normalize_value(v) for v in value)
+        key = (repr(low), repr(high))
+        return tuple(sorted((low, high), key=repr)) \
+            if key[0] > key[1] else (low, high)
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip()
+    try:
+        return float(text)
+    except ValueError:
+        return text.casefold()
+
+
+def _column_key(col: ColumnRef) -> Tuple[str, str]:
+    return (col.table.casefold(), col.column.casefold())
+
+
+def _select_item_key(item: SelectItem) -> Hashable:
+    assert isinstance(item.column, ColumnRef)
+    return (item.agg.value, _column_key(item.column), item.distinct)
+
+
+def _predicate_key(pred: Predicate) -> Hashable:
+    assert isinstance(pred.column, ColumnRef)
+    assert isinstance(pred.op, CompOp)
+    assert not isinstance(pred.value, Hole)
+    return (pred.agg.value, _column_key(pred.column), pred.op.value,
+            normalize_value(pred.value))
+
+
+def signature(query: Query) -> Hashable:
+    """A hashable canonical signature; equal signatures mean equal queries.
+
+    Raises :class:`QueryError` if the query is incomplete.
+    """
+    if not query.is_complete:
+        raise QueryError("cannot canonicalise a partial query")
+    assert not isinstance(query.select, Hole)
+    assert isinstance(query.join_path, JoinPath)
+
+    group_key: Hashable = None
+    if query.group_by is not None and not isinstance(query.group_by, Hole):
+        group_key = frozenset(
+            _column_key(c) for c in query.group_by
+            if isinstance(c, ColumnRef))
+
+    select_key = frozenset(
+        _select_item_key(item) for item in query.select
+        if isinstance(item, SelectItem))
+    select_count = len(query.select)
+    # DISTINCT is redundant (and thus ignored) when the projected rows are
+    # already grouped; gold queries occasionally carry it (e.g. task A4).
+    effective_distinct = query.distinct and group_key is None
+
+    tables_key = frozenset(t.casefold() for t in query.join_path.tables)
+    edges_key = frozenset(
+        tuple(part.casefold() for part in edge.canonical())
+        for edge in query.join_path.edges)
+
+    where_key: Hashable = None
+    if isinstance(query.where, Where):
+        preds = frozenset(
+            _predicate_key(p) for p in query.where.predicates
+            if isinstance(p, Predicate))
+        logic = query.where.logic
+        # The connective is only observable with two or more predicates.
+        logic_key = logic.value if (
+            isinstance(logic, LogicOp) and len(query.where.predicates) > 1
+        ) else LogicOp.AND.value
+        where_key = (logic_key, preds)
+
+    having_key: Hashable = None
+    if query.having is not None and not isinstance(query.having, Hole):
+        having_key = frozenset(
+            _predicate_key(p) for p in query.having
+            if isinstance(p, Predicate))
+
+    order_key: Hashable = None
+    if query.order_by is not None and not isinstance(query.order_by, Hole):
+        order_key = tuple(
+            (item.agg.value, _column_key(item.column), item.direction.value)
+            for item in query.order_by
+            if isinstance(item, OrderItem)
+            and isinstance(item.column, ColumnRef)
+            and isinstance(item.direction, Direction))
+
+    limit_key: Optional[int] = None
+    if query.limit is not None and not isinstance(query.limit, Hole):
+        limit_key = int(query.limit)
+
+    return (
+        ("select", select_key, select_count, effective_distinct),
+        ("from", tables_key, edges_key),
+        ("where", where_key),
+        ("group", group_key),
+        ("having", having_key),
+        ("order", order_key),
+        ("limit", limit_key),
+    )
+
+
+def queries_equal(left: Query, right: Query) -> bool:
+    """True when two complete queries have the same canonical signature."""
+    return signature(left) == signature(right)

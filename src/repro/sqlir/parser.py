@@ -1,0 +1,392 @@
+"""A recursive-descent parser for the supported SPJA SQL subset.
+
+The parser exists so that gold queries (e.g. the user-study tasks in Tables
+7-8 of the paper) can be written as ordinary SQL strings and converted into
+:class:`~repro.sqlir.ast.Query` ASTs. It covers exactly the task scope of
+Section 2.5: SELECT [DISTINCT] with optional aggregates, inner joins with
+``ON a.x = b.y`` conditions, a WHERE clause with a single logical
+connective, GROUP BY, HAVING, ORDER BY and LIMIT.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import ParseError
+from .ast import (
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    JoinEdge,
+    JoinPath,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    STAR,
+    SelectItem,
+    Where,
+)
+from .types import Value
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<qident>"(?:[^"]|"")*")
+      | (?P<number>\d+\.\d+|\d+)
+      | (?P<op><=|>=|<>|!=|=|<|>)
+      | (?P<punct>[(),.*])
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "AS", "JOIN", "INNER", "ON", "WHERE",
+    "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AND", "OR", "NOT",
+    "BETWEEN", "LIKE", "ASC", "DESC",
+}
+
+_AGGS = {agg.value: agg for agg in AggOp if agg.is_aggregate}
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str):
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind}:{self.text}>"
+
+
+def _tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        if sql[pos].isspace():
+            pos += 1
+            continue
+        if sql[pos] == ";":
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None or match.start() != pos:
+            raise ParseError(f"unexpected character {sql[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group(kind)
+        if kind == "word":
+            upper = text.upper()
+            if upper in _KEYWORDS or upper in _AGGS:
+                tokens.append(_Token("kw", upper))
+            else:
+                tokens.append(_Token("ident", text))
+        elif kind == "qident":
+            tokens.append(_Token("ident", text[1:-1].replace('""', '"')))
+        elif kind == "string":
+            tokens.append(_Token("string", text[1:-1].replace("''", "'")))
+        else:
+            tokens.append(_Token(kind, text))
+    return tokens
+
+
+class _Parser:
+    """Single-statement recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: Sequence[_Token], schema: Optional[object]):
+        self._tokens = list(tokens)
+        self._pos = 0
+        self._schema = schema
+        # alias -> table name, filled while parsing FROM
+        self._aliases: dict[str, str] = {}
+        self._from_tables: List[str] = []
+
+    # -- token stream helpers ------------------------------------------
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _accept_kw(self, *words: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "kw" and token.text in words:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect_kw(self, word: str) -> None:
+        if not self._accept_kw(word):
+            raise ParseError(f"expected {word} at token {self._peek()!r}")
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ParseError(f"expected {text or kind}, got {token!r}")
+        return token
+
+    # -- grammar productions -------------------------------------------
+    def parse_query(self) -> Query:
+        self._expect_kw("SELECT")
+        distinct = self._accept_kw("DISTINCT")
+        # SELECT items reference columns, but aliases are declared in FROM,
+        # which comes later; parse select items as raw pieces first.
+        raw_select = self._parse_raw_select_items()
+        self._expect_kw("FROM")
+        join_path = self._parse_from()
+
+        select = tuple(
+            SelectItem(agg=agg, column=self._resolve(raw), distinct=item_distinct)
+            for agg, raw, item_distinct in raw_select
+        )
+
+        where: Union[Where, None] = None
+        if self._accept_kw("WHERE"):
+            where = self._parse_where()
+
+        group_by = None
+        if self._accept_kw("GROUP"):
+            self._expect_kw("BY")
+            group_by = tuple(self._parse_column_list())
+
+        having = None
+        if self._accept_kw("HAVING"):
+            having = tuple(self._parse_predicate_list(connective="AND"))
+
+        order_by = None
+        if self._accept_kw("ORDER"):
+            self._expect_kw("BY")
+            order_by = tuple(self._parse_order_items())
+
+        limit = None
+        if self._accept_kw("LIMIT"):
+            limit = int(self._expect("number").text)
+
+        if self._peek() is not None:
+            raise ParseError(f"trailing tokens starting at {self._peek()!r}")
+
+        return Query(select=select, join_path=join_path, where=where,
+                     group_by=group_by, having=having, order_by=order_by,
+                     limit=limit, distinct=distinct)
+
+    def _parse_raw_select_items(
+        self,
+    ) -> List[Tuple[AggOp, Tuple[Optional[str], str], bool]]:
+        items = [self._parse_raw_expr(allow_distinct=True)]
+        while self._peek() is not None and self._peek().kind == "punct" \
+                and self._peek().text == ",":
+            self._next()
+            items.append(self._parse_raw_expr(allow_distinct=True))
+        return items
+
+    def _parse_raw_expr(
+        self, allow_distinct: bool = False,
+    ) -> Tuple[AggOp, Tuple[Optional[str], str], bool]:
+        """Parse ``[AGG(] [DISTINCT] col [)]`` without resolving aliases."""
+        token = self._peek()
+        agg = AggOp.NONE
+        distinct = False
+        if token is not None and token.kind == "kw" and token.text in _AGGS:
+            agg = _AGGS[self._next().text]
+            self._expect("punct", "(")
+            if allow_distinct and self._accept_kw("DISTINCT"):
+                distinct = True
+            raw = self._parse_raw_column()
+            self._expect("punct", ")")
+            return agg, raw, distinct
+        return agg, self._parse_raw_column(), distinct
+
+    def _parse_raw_column(self) -> Tuple[Optional[str], str]:
+        token = self._next()
+        if token.kind == "punct" and token.text == "*":
+            return (None, "*")
+        if token.kind != "ident":
+            raise ParseError(f"expected column reference, got {token!r}")
+        qualifier: Optional[str] = None
+        name = token.text
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "punct" and nxt.text == ".":
+            self._next()
+            qualifier = name
+            after = self._next()
+            if after.kind == "punct" and after.text == "*":
+                name = "*"
+            elif after.kind == "ident":
+                name = after.text
+            else:
+                raise ParseError(f"expected column name, got {after!r}")
+        return (qualifier, name)
+
+    def _resolve(self, raw: Tuple[Optional[str], str]) -> ColumnRef:
+        qualifier, name = raw
+        if name == "*":
+            return STAR
+        if qualifier is not None:
+            table = self._aliases.get(qualifier, qualifier)
+            if table not in self._from_tables:
+                raise ParseError(
+                    f"unknown table or alias {qualifier!r} in column "
+                    f"{qualifier}.{name}")
+            return ColumnRef(table=table, column=name)
+        # Unqualified: resolve against FROM tables, preferring schema info.
+        candidates = []
+        for table in self._from_tables:
+            if self._schema is not None:
+                if self._schema.has_column(table, name):
+                    candidates.append(table)
+            else:
+                candidates.append(table)
+        if self._schema is None and len(self._from_tables) == 1:
+            return ColumnRef(table=self._from_tables[0], column=name)
+        if len(candidates) == 1:
+            return ColumnRef(table=candidates[0], column=name)
+        if not candidates:
+            raise ParseError(f"column {name!r} not found in FROM tables")
+        raise ParseError(f"ambiguous column {name!r}: found in {candidates}")
+
+    def _parse_from(self) -> JoinPath:
+        tables: List[str] = []
+        edges: List[JoinEdge] = []
+        self._parse_table_ref(tables)
+        while True:
+            if self._accept_kw("INNER"):
+                self._expect_kw("JOIN")
+            elif not self._accept_kw("JOIN"):
+                break
+            self._parse_table_ref(tables)
+            self._expect_kw("ON")
+            left = self._resolve(self._parse_raw_column())
+            self._expect("op", "=")
+            right = self._resolve(self._parse_raw_column())
+            edges.append(JoinEdge(src_table=left.table, src_column=left.column,
+                                  dst_table=right.table, dst_column=right.column))
+        return JoinPath(tables=tuple(tables), edges=tuple(edges))
+
+    def _parse_table_ref(self, tables: List[str]) -> None:
+        name = self._expect("ident").text
+        if self._schema is not None and not self._schema.has_table(name):
+            raise ParseError(f"unknown table {name!r}")
+        alias = None
+        if self._accept_kw("AS"):
+            alias = self._expect("ident").text
+        else:
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "ident":
+                alias = self._next().text
+        tables.append(name)
+        self._from_tables.append(name)
+        if alias is not None:
+            self._aliases[alias] = name
+
+    def _parse_where(self) -> Where:
+        predicates = [self._parse_predicate()]
+        logic: Optional[LogicOp] = None
+        while True:
+            if self._accept_kw("AND"):
+                new_logic = LogicOp.AND
+            elif self._accept_kw("OR"):
+                new_logic = LogicOp.OR
+            else:
+                break
+            if logic is not None and new_logic is not logic:
+                raise ParseError(
+                    "mixed AND/OR connectives are outside the supported "
+                    "task scope (Section 2.5 of the paper)")
+            logic = new_logic
+            predicates.append(self._parse_predicate())
+        return Where(logic=logic if logic is not None else LogicOp.AND,
+                     predicates=tuple(predicates))
+
+    def _parse_predicate_list(self, connective: str) -> List[Predicate]:
+        predicates = [self._parse_predicate()]
+        while self._accept_kw(connective):
+            predicates.append(self._parse_predicate())
+        return predicates
+
+    def _parse_predicate(self) -> Predicate:
+        if self._peek() is not None and self._peek().kind == "punct" \
+                and self._peek().text == "(":
+            self._next()
+            pred = self._parse_predicate()
+            self._expect("punct", ")")
+            return pred
+        agg, raw, _ = self._parse_raw_expr()
+        column = self._resolve(raw)
+        token = self._next()
+        if token.kind == "op":
+            op = {"=": CompOp.EQ, "!=": CompOp.NE, "<>": CompOp.NE,
+                  "<": CompOp.LT, ">": CompOp.GT, "<=": CompOp.LE,
+                  ">=": CompOp.GE}[token.text]
+            value = self._parse_value()
+            return Predicate(agg=agg, column=column, op=op, value=value)
+        if token.kind == "kw" and token.text == "LIKE":
+            value = self._parse_value()
+            return Predicate(agg=agg, column=column, op=CompOp.LIKE,
+                             value=value)
+        if token.kind == "kw" and token.text == "BETWEEN":
+            low = self._parse_value()
+            self._expect_kw("AND")
+            high = self._parse_value()
+            return Predicate(agg=agg, column=column, op=CompOp.BETWEEN,
+                             value=(low, high))
+        raise ParseError(f"expected comparison operator, got {token!r}")
+
+    def _parse_value(self) -> Value:
+        token = self._next()
+        if token.kind == "string":
+            return token.text
+        if token.kind == "number":
+            text = token.text
+            return float(text) if "." in text else int(text)
+        raise ParseError(f"expected literal value, got {token!r}")
+
+    def _parse_column_list(self) -> List[ColumnRef]:
+        columns = [self._resolve(self._parse_raw_column())]
+        while self._peek() is not None and self._peek().kind == "punct" \
+                and self._peek().text == ",":
+            self._next()
+            columns.append(self._resolve(self._parse_raw_column()))
+        return columns
+
+    def _parse_order_items(self) -> List[OrderItem]:
+        items = []
+        while True:
+            agg, raw, _ = self._parse_raw_expr()
+            column = self._resolve(raw)
+            direction = Direction.ASC
+            if self._accept_kw("DESC"):
+                direction = Direction.DESC
+            else:
+                self._accept_kw("ASC")
+            items.append(OrderItem(agg=agg, column=column,
+                                   direction=direction))
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "punct" and nxt.text == ",":
+                self._next()
+                continue
+            break
+        return items
+
+
+def parse_sql(sql: str, schema: Optional[object] = None) -> Query:
+    """Parse a SQL string in the supported SPJA subset into a query AST.
+
+    ``schema`` (a :class:`repro.db.schema.Schema`) is optional but enables
+    resolution of unqualified column names in multi-table queries and
+    validation of table names.
+    """
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise ParseError("empty SQL string")
+    return _Parser(tokens, schema).parse_query()

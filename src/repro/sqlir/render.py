@@ -1,0 +1,243 @@
+"""Rendering of query ASTs to executable SQLite SQL.
+
+Complete queries render to runnable SQL with ``t1 .. tn`` table aliases (the
+style used in the paper's Tables 7-8). Partial queries can be rendered for
+display with ``?`` placeholders via :func:`to_debug_sql`, but only complete
+queries may be rendered for execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from ..errors import RenderError
+from .ast import (
+    HOLE,
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    Hole,
+    JoinPath,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectItem,
+    Where,
+)
+from .types import Value
+
+
+def quote_literal(value: Value) -> str:
+    """Render a Python literal as a SQL literal, escaping quotes."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def quote_ident(name: str) -> str:
+    """Quote an identifier when it is not a plain lowercase word."""
+    if name.isidentifier() and name == name.lower():
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _alias_map(join_path: JoinPath) -> Dict[str, str]:
+    """Assign ``t1..tn`` aliases to the tables of a join path."""
+    return {table: f"t{i + 1}" for i, table in enumerate(join_path.tables)}
+
+
+def _render_column(col: Union[ColumnRef, Hole], aliases: Dict[str, str]) -> str:
+    if isinstance(col, Hole):
+        raise RenderError("cannot render a column hole to SQL")
+    if col.is_star:
+        return "*"
+    alias = aliases.get(col.table)
+    if alias is None:
+        raise RenderError(
+            f"column {col!r} references table {col.table!r} absent from the "
+            f"join path")
+    return f"{alias}.{quote_ident(col.column)}"
+
+
+def _render_expr(agg: AggOp, col: Union[ColumnRef, Hole],
+                 aliases: Dict[str, str], distinct: bool = False) -> str:
+    rendered = _render_column(col, aliases)
+    if distinct and not agg.is_aggregate:
+        raise RenderError("DISTINCT inside an expression requires an aggregate")
+    if agg.is_aggregate:
+        inner = f"DISTINCT {rendered}" if distinct else rendered
+        return f"{agg.value}({inner})"
+    return rendered
+
+
+def _render_predicate(pred: Predicate, aliases: Dict[str, str]) -> str:
+    if not pred.is_complete:
+        raise RenderError(f"cannot render incomplete predicate {pred!r}")
+    lhs = _render_expr(pred.agg, pred.column, aliases)
+    assert not isinstance(pred.op, Hole)
+    if pred.op is CompOp.BETWEEN:
+        if not isinstance(pred.value, tuple) or len(pred.value) != 2:
+            raise RenderError("BETWEEN requires a (low, high) value pair")
+        low, high = pred.value
+        return f"{lhs} BETWEEN {quote_literal(low)} AND {quote_literal(high)}"
+    if isinstance(pred.value, tuple):
+        raise RenderError(f"operator {pred.op.value} takes a scalar value")
+    assert not isinstance(pred.value, Hole)
+    return f"{lhs} {pred.op.value} {quote_literal(pred.value)}"
+
+
+def _render_from(join_path: JoinPath, aliases: Dict[str, str]) -> str:
+    if not join_path.tables:
+        raise RenderError("join path has no tables")
+    first = join_path.tables[0]
+    parts = [f"{quote_ident(first)} AS {aliases[first]}"]
+    joined = {first}
+    remaining = list(join_path.edges)
+    # Attach edges in an order where one endpoint is already joined; the
+    # join paths produced by Algorithm 2 are trees so this always succeeds.
+    progress = True
+    while remaining and progress:
+        progress = False
+        for edge in list(remaining):
+            if edge.src_table in joined and edge.dst_table not in joined:
+                new_table, cond = edge.dst_table, edge
+            elif edge.dst_table in joined and edge.src_table not in joined:
+                new_table, cond = edge.src_table, edge
+            elif edge.src_table in joined and edge.dst_table in joined:
+                remaining.remove(edge)
+                progress = True
+                continue
+            else:
+                continue
+            on = (f"{aliases[cond.src_table]}.{quote_ident(cond.src_column)} = "
+                  f"{aliases[cond.dst_table]}.{quote_ident(cond.dst_column)}")
+            parts.append(f"JOIN {quote_ident(new_table)} AS "
+                         f"{aliases[new_table]} ON {on}")
+            joined.add(new_table)
+            remaining.remove(edge)
+            progress = True
+    if len(joined) != len(join_path.tables):
+        raise RenderError(
+            f"join path {join_path!r} is disconnected: joined {sorted(joined)}")
+    return " ".join(parts)
+
+
+def alias_map(join_path: JoinPath) -> Dict[str, str]:
+    """Public alias assignment for probe-query construction."""
+    return _alias_map(join_path)
+
+
+def render_from(join_path: JoinPath, aliases: Dict[str, str]) -> str:
+    """Render a FROM clause for probe queries (Verifier, Section 3.4)."""
+    return _render_from(join_path, aliases)
+
+
+def render_predicate(pred: Predicate, aliases: Dict[str, str]) -> str:
+    """Render one complete predicate for probe queries."""
+    return _render_predicate(pred, aliases)
+
+
+def render_column(col: Union[ColumnRef, Hole], aliases: Dict[str, str]) -> str:
+    """Render one column reference for probe queries."""
+    return _render_column(col, aliases)
+
+
+def to_sql(query: Query) -> str:
+    """Render a complete query to executable SQLite SQL.
+
+    Raises :class:`RenderError` when the query still contains holes.
+    """
+    if not query.is_complete:
+        holes = ", ".join(query.iter_holes())
+        raise RenderError(f"query contains holes: {holes}")
+    assert isinstance(query.join_path, JoinPath)
+    aliases = _alias_map(query.join_path)
+
+    assert not isinstance(query.select, Hole)
+    select_items = []
+    for item in query.select:
+        assert isinstance(item, SelectItem)
+        select_items.append(
+            _render_expr(item.agg, item.column, aliases, item.distinct))
+    distinct = "DISTINCT " if query.distinct else ""
+    sql = [f"SELECT {distinct}{', '.join(select_items)}"]
+    sql.append(f"FROM {_render_from(query.join_path, aliases)}")
+
+    if isinstance(query.where, Where):
+        logic = query.where.logic
+        sep = f" {LogicOp.AND.value} " if isinstance(logic, Hole) \
+            else f" {logic.value} "
+        rendered = sep.join(
+            _render_predicate(p, aliases) for p in query.where.predicates
+            if isinstance(p, Predicate))
+        sql.append(f"WHERE {rendered}")
+
+    if query.group_by is not None and not isinstance(query.group_by, Hole):
+        cols = ", ".join(_render_column(c, aliases) for c in query.group_by)
+        sql.append(f"GROUP BY {cols}")
+
+    if query.having is not None and not isinstance(query.having, Hole):
+        rendered = " AND ".join(
+            _render_predicate(p, aliases) for p in query.having
+            if isinstance(p, Predicate))
+        sql.append(f"HAVING {rendered}")
+
+    if query.order_by is not None and not isinstance(query.order_by, Hole):
+        items = []
+        for item in query.order_by:
+            assert isinstance(item, OrderItem)
+            assert isinstance(item.direction, Direction)
+            expr = _render_expr(item.agg, item.column, aliases)
+            items.append(f"{expr} {item.direction.value}")
+        sql.append(f"ORDER BY {', '.join(items)}")
+
+    if query.limit is not None and not isinstance(query.limit, Hole):
+        sql.append(f"LIMIT {int(query.limit)}")
+
+    return " ".join(sql)
+
+
+def to_debug_sql(query: Query) -> str:
+    """Render a possibly-partial query for display, with ``?`` for holes."""
+    def col(c: object) -> str:
+        return "?" if isinstance(c, Hole) else repr(c)
+
+    parts = []
+    if isinstance(query.select, Hole):
+        parts.append("SELECT ?")
+    else:
+        rendered = ", ".join(
+            "?" if isinstance(i, Hole) else repr(i) for i in query.select)
+        distinct = "DISTINCT " if query.distinct else ""
+        parts.append(f"SELECT {distinct}{rendered}")
+    parts.append("FROM ?" if isinstance(query.join_path, Hole)
+                 else f"FROM {query.join_path!r}")
+    if isinstance(query.where, Hole):
+        parts.append("WHERE ?")
+    elif query.where is not None:
+        parts.append(f"WHERE {query.where!r}")
+    if isinstance(query.group_by, Hole):
+        parts.append("GROUP BY ?")
+    elif query.group_by is not None:
+        parts.append("GROUP BY " + ", ".join(col(c) for c in query.group_by))
+    if isinstance(query.having, Hole):
+        parts.append("HAVING ?")
+    elif query.having is not None:
+        parts.append("HAVING " + " AND ".join(
+            "?" if isinstance(p, Hole) else repr(p) for p in query.having))
+    if isinstance(query.order_by, Hole):
+        parts.append("ORDER BY ?")
+    elif query.order_by is not None:
+        parts.append("ORDER BY " + ", ".join(
+            "?" if isinstance(i, Hole) else repr(i) for i in query.order_by))
+    if isinstance(query.limit, Hole):
+        parts.append("LIMIT ?")
+    elif query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)

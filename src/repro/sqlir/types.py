@@ -1,0 +1,73 @@
+"""Scalar data types used throughout the SQL intermediate representation.
+
+The paper restricts table sketch query (TSQ) type annotations to ``text``
+and ``number`` (Table 2), so the IR uses the same two-valued type system.
+SQLite storage classes are mapped onto these two types when a schema is
+ingested.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+#: Python value types that may appear as literals in queries and TSQ cells.
+Value = Union[str, int, float]
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a column or a projected expression."""
+
+    TEXT = "text"
+    NUMBER = "number"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def from_sqlite(cls, declared: str) -> "ColumnType":
+        """Map a SQLite declared type to a logical column type.
+
+        Follows SQLite's own type-affinity rules: anything containing
+        INT/REAL/FLOA/DOUB/NUM/DEC is numeric, everything else is text.
+        """
+        upper = (declared or "").upper()
+        numeric_markers = ("INT", "REAL", "FLOA", "DOUB", "NUM", "DEC", "BOOL")
+        if any(marker in upper for marker in numeric_markers):
+            return cls.NUMBER
+        return cls.TEXT
+
+    def to_sqlite(self) -> str:
+        """Render this logical type as a SQLite declared type."""
+        return "TEXT" if self is ColumnType.TEXT else "REAL"
+
+
+def value_type(value: Value) -> ColumnType:
+    """Infer the :class:`ColumnType` of a Python literal value."""
+    if isinstance(value, bool):
+        return ColumnType.NUMBER
+    if isinstance(value, (int, float)):
+        return ColumnType.NUMBER
+    return ColumnType.TEXT
+
+
+def coerce_value(value: Value, target: ColumnType) -> Value:
+    """Best-effort coercion of ``value`` to ``target``.
+
+    Used when matching user-provided TSQ cells (always typed as strings in
+    a UI) against typed database columns. Returns the value unchanged when
+    no sensible coercion exists; verification will then simply fail to
+    match, which is the correct behaviour.
+    """
+    if target is ColumnType.NUMBER and isinstance(value, str):
+        text = value.strip()
+        try:
+            return int(text)
+        except ValueError:
+            try:
+                return float(text)
+            except ValueError:
+                return value
+    if target is ColumnType.TEXT and isinstance(value, (int, float)):
+        return str(value)
+    return value

@@ -1,0 +1,98 @@
+"""Tests for the NLI baseline and the GPQE ablation factories."""
+
+from repro.baselines import (
+    ABLATION_VARIANTS,
+    NLIBaseline,
+    make_duoquest,
+    make_noguide,
+    make_nopq,
+)
+from repro.core.enumerator import EnumeratorConfig
+from repro.guidance import CalibratedOracleModel
+from repro.nlq.literals import NLQuery
+from repro.sqlir.canon import queries_equal
+from repro.sqlir.parser import parse_sql
+
+
+class TestNLIBaseline:
+    def test_synthesizes_without_tsq(self, movie_db):
+        gold = parse_sql("SELECT title FROM movie WHERE year < 1994",
+                         movie_db.schema)
+        nli = NLIBaseline(movie_db, CalibratedOracleModel(seed=1),
+                          EnumeratorConfig(time_budget=8.0,
+                                           max_candidates=40))
+        result = nli.synthesize(
+            NLQuery.from_text("titles before 1994", literals=[1994]),
+            gold=gold, task_id="nli-test")
+        assert result.candidates
+        assert any(queries_equal(c.query, gold)
+                   for c in result.candidates)
+
+    def test_nli_can_miss_where_tsq_recovers(self, movie_db):
+        """The paper's thesis in miniature: on a model draw where the
+        NLI's ranked list misses the desired query, the same model plus
+        a TSQ still finds it (seed 0 is such a draw)."""
+        from repro.core import Duoquest, TableSketchQuery
+
+        gold = parse_sql("SELECT title FROM movie WHERE year < 1994",
+                         movie_db.schema)
+        nlq = NLQuery.from_text("titles before 1994", literals=[1994])
+        config = EnumeratorConfig(time_budget=8.0, max_candidates=40)
+        nli = NLIBaseline(movie_db, CalibratedOracleModel(seed=0), config)
+        nli_result = nli.synthesize(nlq, gold=gold, task_id="nli-test")
+        assert not any(queries_equal(c.query, gold)
+                       for c in nli_result.candidates)
+
+        rows = movie_db.execute_query(gold)
+        tsq = TableSketchQuery.build(types=["text"], rows=[[rows[0][0]]])
+        duoquest = Duoquest(movie_db, model=CalibratedOracleModel(seed=0),
+                            config=config)
+        dual = duoquest.synthesize(nlq, tsq, gold=gold,
+                                   task_id="nli-test")
+        assert any(queries_equal(c.query, gold) for c in dual.candidates)
+
+    def test_literals_still_enforced(self, movie_db):
+        """The NLI is given the literals (Section 5.4.1), so complete
+        candidates must use them."""
+        gold = parse_sql("SELECT title FROM movie WHERE year < 1994",
+                         movie_db.schema)
+        nli = NLIBaseline(movie_db, CalibratedOracleModel(seed=1),
+                          EnumeratorConfig(time_budget=8.0,
+                                           max_candidates=30))
+        result = nli.synthesize(
+            NLQuery.from_text("titles before 1994", literals=[1994]),
+            gold=gold, task_id="nli-test-2")
+        from repro.core.verifier import Verifier
+        from repro.nlq.literals import Literal
+
+        checker = Verifier(movie_db, literals=(Literal(1994),))
+        for candidate in result.candidates:
+            assert checker._verify_literals(candidate.query).ok
+
+
+class TestAblationFactories:
+    def test_variant_registry(self):
+        assert set(ABLATION_VARIANTS) == {"Duoquest", "NoPQ", "NoGuide"}
+
+    def test_nopq_disables_partial_verification(self, movie_db):
+        model = CalibratedOracleModel(seed=0)
+        system = make_nopq(movie_db, model)
+        assert system.config.verify_partial is False
+        assert system.config.guided is True
+
+    def test_noguide_disables_guidance(self, movie_db):
+        model = CalibratedOracleModel(seed=0)
+        system = make_noguide(movie_db, model)
+        assert system.config.guided is False
+        assert system.config.verify_partial is True
+
+    def test_full_system_has_both(self, movie_db):
+        model = CalibratedOracleModel(seed=0)
+        system = make_duoquest(movie_db, model)
+        assert system.config.guided and system.config.verify_partial
+
+    def test_base_config_not_mutated(self, movie_db):
+        model = CalibratedOracleModel(seed=0)
+        base = EnumeratorConfig()
+        make_nopq(movie_db, model, base)
+        assert base.verify_partial is True

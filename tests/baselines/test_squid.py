@@ -1,0 +1,118 @@
+"""Tests for the SQuID-like PBE baseline."""
+
+import pytest
+
+from repro.baselines.squid import SquidPBE
+from repro.errors import UnsupportedTaskError
+from repro.sqlir.parser import parse_sql
+
+
+@pytest.fixture(scope="module")
+def pbe(mas_db):
+    return SquidPBE(mas_db)
+
+
+class TestCapabilityEnvelope:
+    def test_projected_aggregate_unsupported(self, pbe, mas_db):
+        gold = parse_sql(
+            "SELECT t1.name, COUNT(*) FROM organization t1 JOIN author "
+            "t2 ON t2.oid = t1.oid GROUP BY t1.name", mas_db.schema)
+        supported, reason = pbe.supports_task(gold)
+        assert not supported
+        assert "aggregate" in reason
+
+    def test_numeric_projection_unsupported(self, pbe, mas_db):
+        gold = parse_sql("SELECT year FROM publication", mas_db.schema)
+        supported, reason = pbe.supports_task(gold)
+        assert not supported
+
+    def test_sorted_output_unsupported(self, pbe, mas_db):
+        gold = parse_sql(
+            "SELECT title FROM publication ORDER BY title", mas_db.schema)
+        assert not pbe.supports_task(gold)[0]
+
+    def test_like_predicate_unsupported(self, pbe, mas_db):
+        gold = parse_sql(
+            "SELECT name FROM author WHERE name LIKE '%Emma%'",
+            mas_db.schema)
+        assert not pbe.supports_task(gold)[0]
+
+    def test_having_count_supported(self, pbe, mas_db):
+        """Only *projected* aggregates are out (paper footnote 3)."""
+        gold = parse_sql(
+            "SELECT t1.name FROM author t1 JOIN writes t2 ON "
+            "t1.aid = t2.aid GROUP BY t1.name HAVING COUNT(*) > 5",
+            mas_db.schema)
+        assert pbe.supports_task(gold)[0]
+
+    def test_plain_select_supported(self, pbe, mas_db):
+        gold = parse_sql(
+            "SELECT name FROM organization WHERE continent = "
+            "'North America'", mas_db.schema)
+        assert pbe.supports_task(gold)[0]
+
+    def test_numeric_examples_rejected(self, pbe):
+        ok, reason = pbe.supports_examples([["Emma Thompson", 42]])
+        assert not ok
+
+    def test_partial_examples_rejected(self, pbe):
+        ok, reason = pbe.supports_examples([["Emma Thompson", None]])
+        assert not ok
+
+    def test_run_raises_on_unsupported_examples(self, pbe):
+        with pytest.raises(UnsupportedTaskError):
+            pbe.run([["x", 1]])
+
+
+class TestAbduction:
+    def test_projection_discovery(self, pbe, mas_db):
+        outcome = pbe.run([["Emma Thompson"]])
+        assert outcome.produced
+        from repro.sqlir.ast import ColumnRef
+
+        assert any(ColumnRef("author", "name") in combo
+                   for combo in outcome.projections)
+
+    def test_filters_found_for_continent_task(self, pbe, mas_db):
+        """Task D2: organizations in a continent — filter on the same
+        table."""
+        rows = mas_db.execute(
+            "SELECT name FROM organization WHERE continent = "
+            "'North America' LIMIT 2")
+        examples = [[row[0]] for row in rows]
+        outcome = pbe.run(examples)
+        from repro.sqlir.ast import ColumnRef
+
+        assert ColumnRef("organization", "continent") in outcome.filters
+        assert "North America" in outcome.filters[
+            ColumnRef("organization", "continent")]
+
+    def test_unmatchable_example_fails_gracefully(self, pbe):
+        outcome = pbe.run([["value that exists nowhere at all"]])
+        assert not outcome.produced
+        assert outcome.failure
+
+
+class TestJudge:
+    def test_d2_judged_correct(self, pbe, mas_db):
+        gold = parse_sql(
+            "SELECT name FROM organization WHERE continent = "
+            "'North America'", mas_db.schema)
+        rows = mas_db.execute_query(gold, max_rows=2)
+        outcome = pbe.run([[row[0]] for row in rows])
+        assert pbe.judge(outcome, gold)
+
+    def test_c1_conference_filter_reachable(self, pbe, mas_db):
+        """Task C1: publications in SIGMOD; the filter column sits one
+        hop from the projection table."""
+        gold = parse_sql(
+            "SELECT t2.title FROM conference t1 JOIN publication t2 ON "
+            "t1.cid = t2.cid WHERE t1.name = 'SIGMOD'", mas_db.schema)
+        rows = mas_db.execute_query(gold, max_rows=2)
+        outcome = pbe.run([[row[0]] for row in rows])
+        assert pbe.judge(outcome, gold)
+
+    def test_wrong_projection_judged_incorrect(self, pbe, mas_db):
+        gold = parse_sql("SELECT title FROM publication", mas_db.schema)
+        outcome = pbe.run([["Emma Thompson"]])  # an author, not a title
+        assert not pbe.judge(outcome, gold)

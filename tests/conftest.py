@@ -1,0 +1,73 @@
+"""Shared fixtures: a small movie database, the MAS database, and a mini
+synthetic Spider corpus. Session-scoped where construction is expensive."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db import Database, make_schema
+from repro.sqlir.types import ColumnType as T
+
+
+def build_movie_schema():
+    return make_schema(
+        "movies",
+        tables={
+            "actor": [("aid", T.NUMBER), ("name", T.TEXT),
+                      ("gender", T.TEXT), ("birth_year", T.NUMBER)],
+            "movie": [("mid", T.NUMBER), ("title", T.TEXT),
+                      ("year", T.NUMBER), ("revenue", T.NUMBER)],
+            "starring": [("aid", T.NUMBER), ("mid", T.NUMBER)],
+        },
+        foreign_keys=[("starring", "aid", "actor", "aid"),
+                      ("starring", "mid", "movie", "mid")],
+        primary_keys={"actor": "aid", "movie": "mid", "starring": None},
+    )
+
+
+def build_movie_db() -> Database:
+    db = Database.create(build_movie_schema())
+    rng = random.Random(11)
+    actors = [(i, f"Actor {i:02d}", rng.choice(["male", "female"]),
+               rng.randint(1930, 2000)) for i in range(1, 31)]
+    # A few well-known names used throughout the tests.
+    actors[0] = (1, "Tom Hanks", "male", 1956)
+    actors[1] = (2, "Sandra Bullock", "female", 1964)
+    movies = [(i, f"Movie {i:02d}", rng.randint(1970, 2020),
+               rng.randint(1, 900)) for i in range(1, 41)]
+    movies[0] = (1, "Forrest Gump", 1994, 678)
+    movies[1] = (2, "Gravity", 2013, 723)
+    db.insert_rows("actor", actors)
+    db.insert_rows("movie", movies)
+    pairs = {(1, 1), (2, 2)}
+    while len(pairs) < 90:
+        pairs.add((rng.randint(1, 30), rng.randint(1, 40)))
+    db.insert_rows("starring", sorted(pairs))
+    return db
+
+
+@pytest.fixture(scope="session")
+def movie_db() -> Database:
+    return build_movie_db()
+
+
+@pytest.fixture(scope="session")
+def movie_schema(movie_db):
+    return movie_db.schema
+
+
+@pytest.fixture(scope="session")
+def mas_db():
+    from repro.datasets import build_mas_database
+
+    return build_mas_database(seed=0)
+
+
+@pytest.fixture(scope="session")
+def mini_corpus():
+    from repro.datasets import SpiderCorpusConfig, generate_corpus
+
+    return generate_corpus("dev", SpiderCorpusConfig(
+        num_databases=4, tasks_per_database=5, seed=1))

@@ -1,0 +1,93 @@
+"""Tests for the Duoquest facade."""
+
+import pytest
+
+from repro.core import Duoquest, EnumeratorConfig, TableSketchQuery
+from repro.guidance import CalibratedOracleModel
+from repro.nlq.literals import NLQuery
+from repro.sqlir.canon import queries_equal
+from repro.sqlir.parser import parse_sql
+
+
+@pytest.fixture
+def system(movie_db):
+    return Duoquest(movie_db, model=CalibratedOracleModel(seed=0),
+                    config=EnumeratorConfig(time_budget=8.0,
+                                            max_candidates=40))
+
+
+class TestSynthesize:
+    def test_returns_result(self, system, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        result = system.synthesize(NLQuery.from_text("titles"), None,
+                                   gold=gold, task_id="t")
+        assert result.candidates
+        assert result.elapsed > 0
+
+    def test_ranked_by_confidence(self, system, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        result = system.synthesize(NLQuery.from_text("titles"), None,
+                                   gold=gold, task_id="t")
+        confs = [c.confidence for c in result.ranked()]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_top_k(self, system, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        result = system.synthesize(NLQuery.from_text("titles"), None,
+                                   gold=gold, task_id="t")
+        assert len(result.top(3)) <= 3
+
+    def test_rank_of_gold(self, system, movie_db):
+        gold = parse_sql("SELECT title FROM movie WHERE year < 1994",
+                         movie_db.schema)
+        rows = movie_db.execute_query(gold)
+        tsq = TableSketchQuery.build(types=["text"], rows=[[rows[0][0]]])
+        result = system.synthesize(
+            NLQuery.from_text("titles before 1994", literals=[1994]),
+            tsq, gold=gold, task_id="t2")
+        rank = result.rank_of(lambda q: queries_equal(q, gold))
+        assert rank is not None
+        assert rank <= 5
+
+    def test_stop_when_terminates_early(self, system, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        result = system.synthesize(
+            NLQuery.from_text("titles"), None, gold=gold, task_id="t",
+            stop_when=lambda c: c.index >= 2)
+        assert len(result.candidates) == 3
+
+    def test_sql_renders_topk(self, system, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        result = system.synthesize(NLQuery.from_text("titles"), None,
+                                   gold=gold, task_id="t")
+        rendered = result.sql(3)
+        assert all(sql.startswith("SELECT") for sql in rendered)
+
+    def test_verifier_stats_exposed(self, system, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        result = system.synthesize(NLQuery.from_text("titles"), None,
+                                   gold=gold, task_id="t")
+        assert "pass" in result.verifier_stats
+
+
+class TestSoundness:
+    def test_every_candidate_satisfies_tsq(self, movie_db):
+        """The paper's soundness guarantee (Section 2.1)."""
+        gold = parse_sql("SELECT title, year FROM movie WHERE year < 1994",
+                         movie_db.schema)
+        rows = movie_db.execute_query(gold)
+        tsq = TableSketchQuery.build(
+            types=["text", "number"],
+            rows=[list(rows[0]), list(rows[1])])
+        system = Duoquest(movie_db, model=CalibratedOracleModel(seed=1),
+                          config=EnumeratorConfig(time_budget=8.0,
+                                                  max_candidates=30))
+        result = system.synthesize(
+            NLQuery.from_text("titles and years before 1994",
+                              literals=[1994]),
+            tsq, gold=gold, task_id="sound")
+        assert result.candidates
+        for candidate in result.candidates:
+            produced = movie_db.execute_query(candidate.query,
+                                              max_rows=5000)
+            assert tsq.satisfied_by_rows(produced)

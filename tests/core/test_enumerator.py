@@ -1,0 +1,172 @@
+"""Tests for guided partial query enumeration (Algorithm 1)."""
+
+import pytest
+
+from repro.core.enumerator import Enumerator, EnumeratorConfig
+from repro.core.tsq import TableSketchQuery
+from repro.guidance import CalibratedOracleModel, LexicalGuidanceModel
+from repro.nlq.literals import NLQuery
+from repro.sqlir.canon import queries_equal, signature
+from repro.sqlir.parser import parse_sql
+
+
+def run_enum(db, nlq, tsq=None, gold=None, seed=0, **config_overrides):
+    config_overrides.setdefault("time_budget", 10.0)
+    config_overrides.setdefault("max_candidates", 60)
+    config = EnumeratorConfig(**config_overrides)
+    enumerator = Enumerator(db, CalibratedOracleModel(seed=seed), nlq,
+                            tsq=tsq, config=config, gold=gold,
+                            task_id="enum-test")
+    return list(enumerator.enumerate()), enumerator
+
+
+class TestBasicEnumeration:
+    def test_finds_simple_gold(self, movie_db):
+        gold = parse_sql("SELECT title FROM movie WHERE year < 1994",
+                         movie_db.schema)
+        nlq = NLQuery.from_text("movie titles before 1994",
+                                literals=[1994])
+        tsq = TableSketchQuery.build(types=["text"])
+        candidates, _ = run_enum(movie_db, nlq, tsq, gold)
+        assert any(queries_equal(c.query, gold) for c in candidates)
+
+    def test_candidates_are_complete_and_unique(self, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        nlq = NLQuery.from_text("all movie titles")
+        candidates, _ = run_enum(movie_db, nlq, None, gold)
+        signatures = [signature(c.query) for c in candidates]
+        assert len(signatures) == len(set(signatures))
+        assert all(c.query.is_complete for c in candidates)
+
+    def test_confidence_non_increasing_in_emission_order(self, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        nlq = NLQuery.from_text("all movie titles")
+        candidates, _ = run_enum(movie_db, nlq, None, gold)
+        confidences = [c.confidence for c in candidates]
+        assert all(a >= b - 1e-12 for a, b in
+                   zip(confidences, confidences[1:]))
+
+    def test_candidate_indices_sequential(self, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        nlq = NLQuery.from_text("all movie titles")
+        candidates, _ = run_enum(movie_db, nlq, None, gold)
+        assert [c.index for c in candidates] == list(
+            range(len(candidates)))
+
+    def test_max_candidates_respected(self, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        nlq = NLQuery.from_text("all movie titles")
+        candidates, _ = run_enum(movie_db, nlq, None, gold,
+                                 max_candidates=5)
+        assert len(candidates) == 5
+
+    def test_max_expansions_bounds_work(self, movie_db):
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        nlq = NLQuery.from_text("all movie titles")
+        _, enumerator = run_enum(movie_db, nlq, None, gold,
+                                 max_expansions=10)
+        assert enumerator.expansions <= 10
+
+
+class TestTsqPruning:
+    def test_tsq_shrinks_candidate_list(self, movie_db):
+        """The dual specification must prune relative to NLQ-only."""
+        gold = parse_sql("SELECT title, year FROM movie WHERE year < 1994",
+                         movie_db.schema)
+        nlq = NLQuery.from_text("titles and years before 1994",
+                                literals=[1994])
+        rows = movie_db.execute_query(gold)
+        tsq = TableSketchQuery.build(types=["text", "number"],
+                                     rows=[list(rows[0])])
+        with_tsq, _ = run_enum(movie_db, nlq, tsq, gold)
+        without, _ = run_enum(movie_db, nlq, None, gold)
+        assert len(with_tsq) <= len(without)
+        # Every returned candidate satisfies the TSQ: soundness.
+        for candidate in with_tsq:
+            result_rows = movie_db.execute_query(candidate.query,
+                                                 max_rows=5000)
+            assert tsq.satisfied_by_rows(result_rows)
+
+    def test_width_restriction_from_types(self, movie_db):
+        gold = parse_sql("SELECT title, year FROM movie",
+                         movie_db.schema)
+        nlq = NLQuery.from_text("titles and years")
+        tsq = TableSketchQuery.build(types=["text", "number"])
+        candidates, _ = run_enum(movie_db, nlq, tsq, gold)
+        assert candidates
+        assert all(len(c.query.select) == 2 for c in candidates)
+
+    def test_sorted_tsq_forces_order_by(self, movie_db):
+        gold = parse_sql("SELECT title FROM movie ORDER BY year ASC",
+                         movie_db.schema)
+        nlq = NLQuery.from_text("titles from earliest")
+        tsq = TableSketchQuery(types=None, tuples=(), sorted=True, limit=0)
+        candidates, _ = run_enum(movie_db, nlq, tsq, gold)
+        assert candidates
+        assert all(c.query.order_by is not None for c in candidates)
+
+
+class TestAblationModes:
+    def test_noguide_still_finds_gold(self, movie_db):
+        gold = parse_sql("SELECT title FROM movie WHERE year < 1994",
+                         movie_db.schema)
+        nlq = NLQuery.from_text("titles before 1994", literals=[1994])
+        rows = movie_db.execute_query(gold)
+        tsq = TableSketchQuery.build(types=["text"], rows=[[rows[0][0]]])
+        candidates, _ = run_enum(movie_db, nlq, tsq, gold, guided=False,
+                                 max_candidates=200, time_budget=20.0)
+        assert any(queries_equal(c.query, gold) for c in candidates)
+
+    def test_nopq_explores_more_states(self, movie_db):
+        gold = parse_sql("SELECT title FROM movie WHERE year < 1994",
+                         movie_db.schema)
+        nlq = NLQuery.from_text("titles before 1994", literals=[1994])
+        tsq = TableSketchQuery.build(types=["text"],
+                                     rows=[["No Such Movie"]])
+        # With an unsatisfiable TSQ, pruning stops the search almost
+        # immediately; NoPQ keeps enumerating complete queries.
+        pruned, enum_pruned = run_enum(movie_db, nlq, tsq, gold,
+                                       max_expansions=3000)
+        nopq, enum_nopq = run_enum(movie_db, nlq, tsq, gold,
+                                   verify_partial=False,
+                                   max_expansions=3000)
+        assert not pruned and not nopq  # nothing satisfies the TSQ
+        assert enum_nopq.expansions > enum_pruned.expansions
+
+
+class TestJoinHandling:
+    def test_join_query_reachable(self, movie_db):
+        gold = parse_sql(
+            "SELECT t1.name FROM actor t1 JOIN starring t2 ON "
+            "t1.aid = t2.aid JOIN movie t3 ON t2.mid = t3.mid "
+            "WHERE t3.title = 'Forrest Gump'", movie_db.schema)
+        nlq = NLQuery.from_text('actors starring in "Forrest Gump"',
+                                literals=["Forrest Gump"])
+        tsq = TableSketchQuery.build(types=["text"], rows=[["Tom Hanks"]])
+        candidates, _ = run_enum(movie_db, nlq, tsq, gold)
+        assert any(queries_equal(c.query, gold) for c in candidates)
+
+    def test_aggregate_join_extension_reachable(self, movie_db):
+        """COUNT over a joined table not referenced by any column."""
+        gold = parse_sql(
+            "SELECT t1.name, COUNT(*) FROM actor t1 JOIN starring t2 ON "
+            "t1.aid = t2.aid GROUP BY t1.name", movie_db.schema)
+        nlq = NLQuery.from_text("number of movies for each actor")
+        rows = movie_db.execute_query(gold)
+        tsq = TableSketchQuery.build(types=["text", "number"],
+                                     rows=[list(rows[0])])
+        candidates, _ = run_enum(movie_db, nlq, tsq, gold,
+                                 max_candidates=120, time_budget=20.0)
+        assert any(queries_equal(c.query, gold) for c in candidates)
+
+
+class TestLexicalBackend:
+    def test_lexical_model_enumerates(self, movie_db):
+        nlq = NLQuery.from_text("List the movie titles before 1994.",
+                                literals=[1994])
+        config = EnumeratorConfig(time_budget=8.0, max_candidates=30)
+        enumerator = Enumerator(movie_db, LexicalGuidanceModel(), nlq,
+                                tsq=TableSketchQuery.build(types=["text"]),
+                                config=config)
+        candidates = list(enumerator.enumerate())
+        assert candidates

@@ -1,0 +1,113 @@
+"""Tests for progressive join path construction (Algorithm 2)."""
+
+import pytest
+
+from repro.core.joins import JoinPathBuilder
+from repro.db import make_schema
+from repro.sqlir.types import ColumnType as T
+
+
+@pytest.fixture(scope="module")
+def builder(request):
+    schema = make_schema(
+        "joins",
+        tables={
+            "a": [("a_id", T.NUMBER), ("name", T.TEXT)],
+            "b": [("b_id", T.NUMBER), ("a_id", T.NUMBER)],
+            "c": [("c_id", T.NUMBER), ("b_id", T.NUMBER)],
+            "island": [("island_id", T.NUMBER)],
+        },
+        foreign_keys=[("b", "a_id", "a", "a_id"),
+                      ("c", "b_id", "b", "b_id")],
+    )
+    return JoinPathBuilder(schema, max_extensions=1)
+
+
+class TestBasics:
+    def test_no_tables_returns_every_table(self, builder):
+        paths = builder.paths_for_tables(())
+        assert {p.tables[0] for p in paths} == {"a", "b", "c", "island"}
+        assert all(len(p) == 1 for p in paths)
+
+    def test_single_table_plus_extensions(self, builder):
+        paths = builder.paths_for_tables(("a",))
+        assert paths[0].tables == ("a",)  # shortest first
+        assert any(set(p.tables) == {"a", "b"} for p in paths)
+
+    def test_adjacent_pair(self, builder):
+        paths = builder.paths_for_tables(("a", "b"))
+        assert set(paths[0].tables) == {"a", "b"}
+        assert len(paths[0].edges) == 1
+
+    def test_steiner_bridges_intermediate_table(self, builder):
+        """a and c are only connected through b."""
+        paths = builder.paths_for_tables(("a", "c"))
+        assert set(paths[0].tables) == {"a", "b", "c"}
+        assert len(paths[0].edges) == 2
+
+    def test_disconnected_tables_yield_nothing(self, builder):
+        assert builder.paths_for_tables(("a", "island")) == ()
+
+    def test_sorted_by_length(self, builder):
+        paths = builder.paths_for_tables(("b",))
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_caching_returns_same_object(self, builder):
+        assert builder.paths_for_tables(("a", "b")) is \
+            builder.paths_for_tables(("b", "a"))
+
+
+class TestExtensions:
+    def test_extension_depth(self):
+        schema = make_schema(
+            "deep",
+            tables={
+                "x": [("x_id", T.NUMBER)],
+                "y": [("y_id", T.NUMBER), ("x_id", T.NUMBER)],
+                "z": [("z_id", T.NUMBER), ("y_id", T.NUMBER)],
+            },
+            foreign_keys=[("y", "x_id", "x", "x_id"),
+                          ("z", "y_id", "y", "y_id")])
+        shallow = JoinPathBuilder(schema, max_extensions=1)
+        deep = JoinPathBuilder(schema, max_extensions=2)
+        shallow_sets = {frozenset(p.tables)
+                        for p in shallow.paths_for_tables(("x",))}
+        deep_sets = {frozenset(p.tables)
+                     for p in deep.paths_for_tables(("x",))}
+        assert frozenset({"x", "y"}) in shallow_sets
+        assert frozenset({"x", "y", "z"}) not in shallow_sets
+        assert frozenset({"x", "y", "z"}) in deep_sets
+
+    def test_no_duplicate_paths(self, builder):
+        paths = builder.paths_for_tables(("a", "b"))
+        canonicals = [p.canonical() for p in paths]
+        assert len(canonicals) == len(set(canonicals))
+
+
+class TestParallelForeignKeys:
+    def test_one_path_per_fk_choice(self):
+        """Two FKs between the same tables (e.g. cite.citing/cited) give
+        two distinct minimal paths."""
+        schema = make_schema(
+            "parallel",
+            tables={
+                "paper": [("paper_id", T.NUMBER)],
+                "cite": [("citing", T.NUMBER), ("cited", T.NUMBER)],
+            },
+            foreign_keys=[("cite", "citing", "paper", "paper_id"),
+                          ("cite", "cited", "paper", "paper_id")],
+            primary_keys={"cite": None})
+        builder = JoinPathBuilder(schema, max_extensions=0)
+        paths = builder.paths_for_tables(("paper", "cite"))
+        assert len(paths) == 2
+        columns = {p.edges[0].src_column for p in paths}
+        assert columns == {"citing", "cited"}
+
+    def test_mas_paths_for_user_tasks(self, mas_db):
+        """The 4-table join of task A3 must be constructible."""
+        builder = JoinPathBuilder(mas_db.schema, max_extensions=2)
+        paths = builder.paths_for_tables(("author", "organization"))
+        table_sets = {frozenset(p.tables) for p in paths}
+        assert frozenset({"author", "organization", "writes",
+                          "publication"}) in table_sets

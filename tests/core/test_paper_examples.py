@@ -1,0 +1,181 @@
+"""Fidelity tests for the paper's worked verification examples (3.3-3.6).
+
+The scenario: a TSQ with sorting flag tau = false and the example tuple
+chi_1 = [Tom Hanks, [1950, 1960]], against the partial queries CQ1-CQ5 of
+Example 3.3 on the actor/starring/movies schema.
+"""
+
+import pytest
+
+from repro.core.tsq import TableSketchQuery
+from repro.core.verifier import (
+    STAGE_BY_COLUMN,
+    STAGE_BY_ROW,
+    STAGE_CLAUSES,
+    STAGE_COLUMN_TYPES,
+    Verifier,
+)
+from repro.db import Database, make_schema
+from repro.sqlir.ast import (
+    HOLE,
+    AggOp,
+    ColumnRef,
+    JoinEdge,
+    JoinPath,
+    OrderItem,
+    Query,
+    STAR,
+    SelectItem,
+    Where,
+)
+from repro.sqlir.types import ColumnType as T
+
+
+@pytest.fixture(scope="module")
+def paper_db():
+    schema = make_schema(
+        "paper",
+        tables={
+            "actor": [("aid", T.NUMBER), ("name", T.TEXT),
+                      ("birth_yr", T.NUMBER), ("birthplace", T.TEXT),
+                      ("debut_yr", T.NUMBER)],
+            "movies": [("mid", T.NUMBER), ("name", T.TEXT),
+                       ("year", T.NUMBER), ("revenue", T.NUMBER)],
+            "starring": [("aid", T.NUMBER), ("mid", T.NUMBER)],
+        },
+        foreign_keys=[("starring", "aid", "actor", "aid"),
+                      ("starring", "mid", "movies", "mid")],
+        primary_keys={"actor": "aid", "movies": "mid", "starring": None})
+    db = Database.create(schema)
+    db.insert_rows("actor", [
+        (1, "Tom Hanks", 1956, "Concord", 1980),
+        (2, "Meg Ryan", 1961, "Fairfield", 1981),
+        (3, "Brad Pitt", 1963, "Shawnee", 1987),
+    ])
+    db.insert_rows("movies", [
+        (1, "Forrest Gump", 1994, 678),
+        (2, "Sleepless in Seattle", 1993, 227),
+    ])
+    db.insert_rows("starring", [(1, 1), (1, 2), (2, 2)])
+    return db
+
+
+@pytest.fixture(scope="module")
+def tsq():
+    # chi_1 = [Tom Hanks, [1950, 1960]]; tau = false; k = 0.
+    return TableSketchQuery.build(
+        types=["text", "number"],
+        rows=[["Tom Hanks", (1950, 1960)]],
+        sorted=False)
+
+
+def col(table, column):
+    return ColumnRef(table=table, column=column)
+
+
+def _partial(select, join_tables, edges=(), group_by=None,
+             order_by=None):
+    """A partial query with an unfinished WHERE clause (the paper's
+    'WHERE ?')."""
+    return Query(
+        select=select,
+        join_path=JoinPath(tables=join_tables, edges=edges),
+        where=Where(logic=HOLE, predicates=(HOLE,)),
+        group_by=group_by, having=None, order_by=order_by, limit=HOLE)
+
+
+CQ1_SELECT = (SelectItem(agg=AggOp.NONE, column=col("actor", "name")),
+              SelectItem(agg=AggOp.NONE, column=col("actor", "birth_yr")))
+CQ2_SELECT = (SelectItem(agg=AggOp.NONE, column=col("actor", "name")),
+              SelectItem(agg=AggOp.NONE,
+                         column=col("actor", "birthplace")))
+CQ4_SELECT = (SelectItem(agg=AggOp.NONE, column=col("actor", "name")),
+              SelectItem(agg=AggOp.MAX, column=col("movies", "revenue")))
+
+
+class TestExample33VerifyClauses:
+    def test_cq5_fails_clause_check(self, paper_db, tsq):
+        """CQ5 has ORDER BY although tau is false."""
+        cq5 = Query(
+            select=(SelectItem(agg=AggOp.NONE, column=col("actor",
+                                                          "name")),
+                    SelectItem(agg=AggOp.NONE,
+                               column=col("actor", "debut_yr"))),
+            join_path=JoinPath(tables=("actor",)),
+            where=None, group_by=None, having=None,
+            order_by=(OrderItem(agg=AggOp.NONE,
+                                column=col("actor", "debut_yr"),
+                                direction=HOLE),),
+            limit=HOLE)
+        verifier = Verifier(paper_db, tsq=tsq)
+        result = verifier.verify(cq5)
+        assert not result.ok
+        assert result.failed_stage == STAGE_CLAUSES
+
+
+class TestExample34VerifyColumnTypes:
+    def test_cq2_fails_type_check(self, paper_db, tsq):
+        """CQ2 projects [text, text]; the TSQ says [text, number]."""
+        cq2 = _partial(CQ2_SELECT, ("actor",))
+        verifier = Verifier(paper_db, tsq=tsq)
+        result = verifier.verify(cq2)
+        assert not result.ok
+        assert result.failed_stage == STAGE_COLUMN_TYPES
+
+
+class TestExample35VerifyByColumn:
+    def test_cq4_fails_column_check(self, paper_db, tsq):
+        """CV3: no movie revenue lies in [1950, 1960], so the MAX
+        projection cannot match the range cell."""
+        edges = (JoinEdge("starring", "aid", "actor", "aid"),
+                 JoinEdge("starring", "mid", "movies", "mid"))
+        cq4 = _partial(CQ4_SELECT, ("actor", "starring", "movies"),
+                       edges=edges,
+                       group_by=(col("actor", "name"),))
+        verifier = Verifier(paper_db, tsq=tsq)
+        result = verifier.verify(cq4)
+        assert not result.ok
+        assert result.failed_stage == STAGE_BY_COLUMN
+
+    def test_cq1_passes_column_check(self, paper_db, tsq):
+        """CV1/CV2: 'Tom Hanks' exists in actor.name and a birth year in
+        [1950, 1960] exists."""
+        cq1 = _partial(CQ1_SELECT, ("actor",))
+        verifier = Verifier(paper_db, tsq=tsq)
+        assert verifier.verify(cq1).ok
+
+
+class TestExample36VerifyByRow:
+    def test_cq1_passes_row_check(self, paper_db, tsq):
+        """RV1: Tom Hanks' birth year 1956 lies in [1950, 1960]."""
+        cq1 = _partial(CQ1_SELECT, ("actor",))
+        verifier = Verifier(paper_db, tsq=tsq)
+        assert verifier.verify(cq1).ok
+
+    def test_row_check_rejects_disjoint_cells(self, paper_db):
+        """A tuple whose cells exist per-column but not in one row."""
+        tsq = TableSketchQuery.build(
+            types=["text", "number"],
+            rows=[["Brad Pitt", (1950, 1960)]])  # Pitt was born 1963
+        cq1 = _partial(CQ1_SELECT, ("actor",))
+        verifier = Verifier(paper_db, tsq=tsq)
+        result = verifier.verify(cq1)
+        assert not result.ok
+        assert result.failed_stage == STAGE_BY_ROW
+
+    def test_cq3_count_checked_at_completion(self, paper_db, tsq):
+        """RV2: Tom Hanks starred in 2 movies, not 1950-1960 of them;
+        the aggregate cell rejects CQ3 once it is complete."""
+        cq3 = Query(
+            select=(SelectItem(agg=AggOp.NONE,
+                               column=col("actor", "name")),
+                    SelectItem(agg=AggOp.COUNT, column=STAR)),
+            join_path=JoinPath(
+                tables=("actor", "starring"),
+                edges=(JoinEdge("starring", "aid", "actor", "aid"),)),
+            where=None,
+            group_by=(col("actor", "name"),),
+            having=None, order_by=None, limit=None)
+        verifier = Verifier(paper_db, tsq=tsq)
+        result = verifier.verify(cq3)
+        assert not result.ok

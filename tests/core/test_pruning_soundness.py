@@ -1,0 +1,79 @@
+"""Property-based pruning-soundness tests.
+
+GPQE's completeness rests on one invariant: if a complete query satisfies
+the TSQ, then no partial query on the construction path towards it may
+fail partial verification (otherwise the search would prune the correct
+branch). These tests generate random satisfying queries, synthesize TSQs
+from their own results, derive partial ancestors by re-opening holes, and
+assert the verifier passes every ancestor.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tsq import TableSketchQuery
+from repro.core.verifier import Verifier
+from repro.sqlir.ast import HOLE, Hole, Where
+from tests.conftest import build_movie_db
+from tests.sqlir.test_roundtrip_property import queries
+
+DB = build_movie_db()
+
+
+def ancestors(query):
+    """Partial queries on the way to ``query``, holes re-opened in
+    reverse pipeline order."""
+    steps = [query]
+    current = query
+    if current.limit is not None:
+        current = current.replace(limit=HOLE)
+        steps.append(current)
+    if current.order_by is not None and not isinstance(current.order_by,
+                                                       Hole):
+        current = current.replace(order_by=(HOLE,))
+        steps.append(current)
+        current = current.replace(order_by=HOLE, limit=HOLE)
+        steps.append(current)
+    if isinstance(current.where, Where):
+        opened = Where(logic=current.where.logic,
+                       predicates=current.where.predicates[:-1] + (HOLE,))
+        current = current.replace(where=opened)
+        steps.append(current)
+        current = current.replace(where=Where(logic=HOLE, predicates=()))
+        steps.append(current)
+    current = current.replace(select=(HOLE,) * len(query.select))
+    steps.append(current)
+    current = current.replace(select=HOLE, join_path=HOLE)
+    steps.append(current)
+    return steps
+
+
+class TestPruningSoundness:
+    @given(queries())
+    @settings(max_examples=60, deadline=None)
+    def test_satisfying_query_ancestors_never_pruned(self, query):
+        rows = DB.execute_query(query, max_rows=200)
+        if not rows:
+            return  # nothing to sketch (the paper removed such tasks)
+        tsq = TableSketchQuery.build(rows=[list(rows[0])],
+                                     sorted=query.order_by is not None,
+                                     limit=query.limit or 0)
+        verifier = Verifier(DB, tsq=tsq)
+        if not verifier.verify(query).ok:
+            # The sketch itself may be unsatisfiable for LIMIT queries
+            # whose example is outside the top-k; skip those.
+            return
+        for partial in ancestors(query):
+            result = verifier.verify(partial, treat_as_partial=True)
+            assert result.ok, (partial, result.failed_stage,
+                               result.detail)
+
+    @given(queries())
+    @settings(max_examples=40, deadline=None)
+    def test_empty_tsq_never_prunes(self, query):
+        """With no TSQ, only semantic rules may reject queries."""
+        verifier = Verifier(DB, tsq=TableSketchQuery())
+        result = verifier.verify(query)
+        if not result.ok:
+            assert result.failed_stage == "semantics"

@@ -1,0 +1,166 @@
+"""Tests for the Table 4 semantic pruning rules.
+
+Each rule is exercised with (a) the paper's bad example, which must fire,
+and (b) the paper's suggested alternative, which must pass.
+"""
+
+import pytest
+
+from repro.core.semantics import DEFAULT_RULES, Rule, RuleSet, check_semantics
+from repro.db import make_schema
+from repro.sqlir.parser import parse_sql
+from repro.sqlir.types import ColumnType as T
+
+
+@pytest.fixture(scope="module")
+def schema():
+    # The actor schema used by Table 4's examples.
+    return make_schema(
+        "table4",
+        tables={"actor": [("aid", T.NUMBER), ("name", T.TEXT),
+                          ("birth_yr", T.NUMBER)],
+                "starring": [("aid", T.NUMBER), ("mid", T.NUMBER)]},
+        foreign_keys=[("starring", "aid", "actor", "aid")],
+        primary_keys={"actor": "aid", "starring": None},
+    )
+
+
+def fired(sql, schema):
+    return {v.rule for v in check_semantics(parse_sql(sql, schema), schema)}
+
+
+class TestInconsistentPredicates:
+    def test_conflicting_equalities_fire(self, schema):
+        assert "inconsistent-predicates" in fired(
+            "SELECT name FROM actor WHERE name = 'Tom Hanks' AND "
+            "name = 'Brad Pitt'", schema)
+
+    def test_or_alternative_passes(self, schema):
+        assert "inconsistent-predicates" not in fired(
+            "SELECT name FROM actor WHERE name = 'Tom Hanks' OR "
+            "name = 'Brad Pitt'", schema)
+
+    def test_empty_numeric_interval_fires(self, schema):
+        assert "inconsistent-predicates" in fired(
+            "SELECT name FROM actor WHERE birth_yr < 1950 AND "
+            "birth_yr > 1960", schema)
+
+    def test_satisfiable_interval_passes(self, schema):
+        assert "inconsistent-predicates" not in fired(
+            "SELECT name FROM actor WHERE birth_yr > 1950 AND "
+            "birth_yr < 1960", schema)
+
+
+class TestConstantOutputColumn:
+    def test_projected_equality_column_fires(self, schema):
+        assert "constant-output-column" in fired(
+            "SELECT name, birth_yr FROM actor WHERE birth_yr = 1950",
+            schema)
+
+    def test_alternative_passes(self, schema):
+        assert "constant-output-column" not in fired(
+            "SELECT name FROM actor WHERE birth_yr = 1950", schema)
+
+    def test_or_logic_not_constant(self, schema):
+        assert "constant-output-column" not in fired(
+            "SELECT name, birth_yr FROM actor WHERE birth_yr = 1950 OR "
+            "birth_yr = 1960", schema)
+
+
+class TestUngroupedAggregation:
+    def test_mixed_projection_fires(self, schema):
+        assert "ungrouped-aggregation" in fired(
+            "SELECT birth_yr, COUNT(*) FROM actor", schema)
+
+    def test_group_by_alternative_passes(self, schema):
+        assert "ungrouped-aggregation" not in fired(
+            "SELECT birth_yr, COUNT(*) FROM actor GROUP BY birth_yr",
+            schema)
+
+
+class TestGroupBySingletonGroups:
+    def test_primary_key_group_fires(self, schema):
+        assert "groupby-singleton-groups" in fired(
+            "SELECT aid, MAX(birth_yr) FROM actor GROUP BY aid", schema)
+
+    def test_alternative_passes(self, schema):
+        assert fired("SELECT aid, birth_yr FROM actor", schema) == set()
+
+    def test_joined_pk_group_allowed(self, schema):
+        """With a join the PK group can hold several rows."""
+        assert "groupby-singleton-groups" not in fired(
+            "SELECT t1.aid, COUNT(*) FROM actor t1 JOIN starring t2 ON "
+            "t1.aid = t2.aid GROUP BY t1.aid", schema)
+
+
+class TestUnnecessaryGroupBy:
+    def test_group_without_aggregate_fires(self, schema):
+        assert "unnecessary-groupby" in fired(
+            "SELECT name FROM actor GROUP BY name", schema)
+
+    def test_alternative_passes(self, schema):
+        assert fired("SELECT name FROM actor", schema) == set()
+
+
+class TestAggregateTypeUsage:
+    def test_avg_on_text_fires(self, schema):
+        assert "aggregate-type-usage" in fired(
+            "SELECT AVG(name) FROM actor", schema)
+
+    def test_count_on_text_allowed(self, schema):
+        assert "aggregate-type-usage" not in fired(
+            "SELECT COUNT(name) FROM actor", schema)
+
+    def test_max_on_number_allowed(self, schema):
+        assert "aggregate-type-usage" not in fired(
+            "SELECT MAX(birth_yr) FROM actor", schema)
+
+
+class TestFaultyTypeComparison:
+    def test_inequality_on_text_fires(self, schema):
+        assert "faulty-type-comparison" in fired(
+            "SELECT name FROM actor WHERE name >= 'Tom Hanks'", schema)
+
+    def test_like_on_number_fires(self, schema):
+        assert "faulty-type-comparison" in fired(
+            "SELECT birth_yr FROM actor WHERE birth_yr LIKE '%1956%'",
+            schema)
+
+    def test_like_on_text_allowed(self, schema):
+        assert "faulty-type-comparison" not in fired(
+            "SELECT name FROM actor WHERE name LIKE '%Tom%'", schema)
+
+
+class TestStructuralRules:
+    def test_duplicate_predicates_fire(self, schema):
+        assert "duplicate-predicates" in fired(
+            "SELECT name FROM actor WHERE birth_yr = 1950 AND "
+            "birth_yr = 1950", schema)
+
+    def test_duplicate_projections_fire(self, schema):
+        assert "duplicate-projections" in fired(
+            "SELECT name, name FROM actor", schema)
+
+
+class TestRuleSet:
+    def test_default_covers_table4(self):
+        names = {rule.name for rule in DEFAULT_RULES}
+        assert {"inconsistent-predicates", "constant-output-column",
+                "ungrouped-aggregation", "groupby-singleton-groups",
+                "unnecessary-groupby", "aggregate-type-usage",
+                "faulty-type-comparison"} <= names
+
+    def test_extension(self, schema):
+        custom = Rule("no-actors", "domain rule",
+                      lambda q, s: "banned" if "actor" in
+                      q.referenced_tables() else None)
+        extended = RuleSet().extended([custom])
+        query = parse_sql("SELECT name FROM actor", schema)
+        assert any(v.rule == "no-actors"
+                   for v in extended.check(query, schema))
+        assert RuleSet().ok(query, schema)
+
+    def test_partial_queries_tolerated(self, schema):
+        from repro.sqlir.ast import Query
+
+        assert check_semantics(Query.empty(), schema) == []

@@ -1,0 +1,160 @@
+"""Tests for table sketch queries (Definitions 2.3-2.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tsq import (
+    EmptyCell,
+    ExactCell,
+    RangeCell,
+    TableSketchQuery,
+    cell,
+)
+from repro.errors import TSQError
+from repro.sqlir.types import ColumnType
+
+
+class TestCells:
+    def test_exact_match(self):
+        assert ExactCell("Tom Hanks").matches("Tom Hanks")
+        assert ExactCell("Tom Hanks").matches("tom hanks")
+        assert not ExactCell("Tom Hanks").matches("Meg Ryan")
+
+    def test_exact_numeric_tolerance(self):
+        assert ExactCell(1995).matches(1995.0)
+        assert ExactCell("1995").matches(1995)
+
+    def test_exact_rejects_null(self):
+        assert not ExactCell("x").matches(None)
+
+    def test_empty_matches_anything(self):
+        assert EmptyCell().matches("anything")
+        assert EmptyCell().matches(None)
+
+    def test_range_match(self):
+        r = RangeCell(low=2010, high=2017)
+        assert r.matches(2013)
+        assert r.matches(2010)
+        assert r.matches(2017)
+        assert not r.matches(2018)
+
+    def test_range_rejects_text(self):
+        assert not RangeCell(low=1, high=2).matches("abc")
+
+    def test_range_accepts_numeric_strings(self):
+        assert RangeCell(low=1, high=10).matches("5")
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(TSQError):
+            RangeCell(low=10, high=1)
+
+    def test_cell_constructor(self):
+        assert isinstance(cell(None), EmptyCell)
+        assert isinstance(cell((1, 2)), RangeCell)
+        assert isinstance(cell("x"), ExactCell)
+        assert isinstance(cell(5), ExactCell)
+
+    def test_cell_constructor_bad_range(self):
+        with pytest.raises(TSQError):
+            cell(("a", "b"))
+
+
+class TestBuild:
+    def test_build_types(self):
+        tsq = TableSketchQuery.build(types=["text", "number"])
+        assert tsq.types == (ColumnType.TEXT, ColumnType.NUMBER)
+
+    def test_width_from_tuples(self):
+        tsq = TableSketchQuery.build(rows=[["a", 1]])
+        assert tsq.width == 2
+
+    def test_width_none_when_unconstrained(self):
+        assert TableSketchQuery().width is None
+
+    def test_inconsistent_widths_rejected(self):
+        with pytest.raises(TSQError):
+            TableSketchQuery.build(types=["text"], rows=[["a", "b"]])
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(TSQError):
+            TableSketchQuery(limit=-1)
+
+    def test_is_empty(self):
+        assert TableSketchQuery().is_empty
+        assert not TableSketchQuery.build(rows=[["a"]]).is_empty
+        assert not TableSketchQuery(sorted=True).is_empty
+
+
+class TestSatisfaction:
+    def test_unsorted_match(self):
+        tsq = TableSketchQuery.build(rows=[["b"], ["a"]])
+        assert tsq.satisfied_by_rows([("a",), ("b",), ("c",)])
+
+    def test_missing_tuple_fails(self):
+        tsq = TableSketchQuery.build(rows=[["z"]])
+        assert not tsq.satisfied_by_rows([("a",), ("b",)])
+
+    def test_distinctness_required(self):
+        """Two identical example tuples need two matching rows."""
+        tsq = TableSketchQuery.build(rows=[["a", None], ["a", None]])
+        assert not tsq.satisfied_by_rows([("a", 1)])
+        assert tsq.satisfied_by_rows([("a", 1), ("a", 2)])
+
+    def test_bipartite_matching_not_greedy(self):
+        """A greedy assignment could consume the only row matching the
+        second example; maximum matching must recover."""
+        tsq = TableSketchQuery.build(rows=[[None, 1], ["only", 1]])
+        rows = [("only", 1), ("other", 1)]
+        assert tsq.satisfied_by_rows(rows)
+
+    def test_sorted_order_respected(self):
+        tsq = TableSketchQuery.build(rows=[["a"], ["b"]], sorted=True)
+        assert tsq.satisfied_by_rows([("a",), ("x",), ("b",)])
+        assert not tsq.satisfied_by_rows([("b",), ("a",)])
+
+    def test_sorted_single_example_ignores_order(self):
+        tsq = TableSketchQuery.build(rows=[["b"]], sorted=True)
+        assert tsq.satisfied_by_rows([("a",), ("b",)])
+
+    def test_limit_enforced(self):
+        tsq = TableSketchQuery.build(rows=[["a"]], limit=2)
+        assert tsq.satisfied_by_rows([("a",), ("b",)])
+        assert not tsq.satisfied_by_rows([("a",), ("b",), ("c",)])
+
+    def test_limit_skipped_when_truncated(self):
+        tsq = TableSketchQuery.build(rows=[["a"]], limit=2)
+        assert tsq.satisfied_by_rows([("a",), ("b",), ("c",)],
+                                     truncated=True)
+
+    def test_range_cells_in_tuples(self):
+        tsq = TableSketchQuery.build(
+            rows=[["Gravity", (2010, 2017)]])
+        assert tsq.satisfied_by_rows([("Gravity", 2013)])
+        assert not tsq.satisfied_by_rows([("Gravity", 2019)])
+
+    def test_types_match(self):
+        tsq = TableSketchQuery.build(types=["text", "number"])
+        assert tsq.types_match([ColumnType.TEXT, ColumnType.NUMBER])
+        assert not tsq.types_match([ColumnType.NUMBER, ColumnType.TEXT])
+        assert TableSketchQuery().types_match([ColumnType.TEXT])
+
+
+class TestSatisfactionProperties:
+    @given(st.lists(st.tuples(st.sampled_from("abc"),
+                              st.integers(0, 5)), min_size=1,
+                    max_size=12))
+    def test_rows_satisfy_their_own_sketch(self, rows):
+        """Any subset of result rows taken as exact examples must be
+        satisfied by the full result set."""
+        examples = rows[: max(1, len(rows) // 2)]
+        tsq = TableSketchQuery.build(rows=examples)
+        assert tsq.satisfied_by_rows(rows)
+
+    @given(st.lists(st.tuples(st.integers(0, 3)), min_size=1,
+                    max_size=10))
+    def test_supersets_preserve_satisfaction(self, rows):
+        """Satisfaction is monotone in the result set (open world)."""
+        tsq = TableSketchQuery.build(rows=[rows[0]])
+        assert tsq.satisfied_by_rows(rows)
+        assert tsq.satisfied_by_rows(rows + [("extra",)])

@@ -1,0 +1,116 @@
+"""Tests for the Section 7 future-work extensions: negative examples and
+noisy-example tolerance."""
+
+import pytest
+
+from repro.core.tsq import TableSketchQuery
+from repro.core.verifier import Verifier
+from repro.errors import TSQError
+from repro.sqlir.parser import parse_sql
+
+
+class TestNegativeExamples:
+    def test_negative_tuple_rejects_result(self):
+        tsq = TableSketchQuery.build(rows=[["keep"]],
+                                     negative_rows=[["drop"]])
+        assert tsq.satisfied_by_rows([("keep",), ("other",)])
+        assert not tsq.satisfied_by_rows([("keep",), ("drop",)])
+
+    def test_negative_range_cell(self):
+        tsq = TableSketchQuery.build(rows=[["a", None]],
+                                     negative_rows=[[None, (100, 200)]])
+        assert tsq.satisfied_by_rows([("a", 50)])
+        assert not tsq.satisfied_by_rows([("a", 50), ("b", 150)])
+
+    def test_negative_only_tsq_not_empty(self):
+        tsq = TableSketchQuery.build(negative_rows=[["drop"]])
+        assert not tsq.is_empty
+
+    def test_width_checked_for_negatives(self):
+        with pytest.raises(TSQError):
+            TableSketchQuery.build(types=["text"],
+                                   negative_rows=[["a", "b"]])
+
+    def test_verifier_rejects_query_producing_negative(self, movie_db):
+        tsq = TableSketchQuery.build(
+            rows=[["Forrest Gump"]],
+            negative_rows=[["Gravity"]])
+        verifier = Verifier(movie_db, tsq=tsq)
+        all_titles = parse_sql("SELECT title FROM movie", movie_db.schema)
+        old_only = parse_sql("SELECT title FROM movie WHERE year < 2000",
+                             movie_db.schema)
+        assert not verifier.verify(all_titles).ok
+        assert verifier.verify(old_only).ok
+
+
+class TestTolerance:
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(TSQError):
+            TableSketchQuery(tolerance=-1)
+
+    def test_tolerance_allows_one_noisy_example(self):
+        tsq = TableSketchQuery.build(rows=[["real"], ["bogus"]],
+                                     tolerance=1)
+        assert tsq.satisfied_by_rows([("real",)])
+
+    def test_strict_mode_still_fails(self):
+        tsq = TableSketchQuery.build(rows=[["real"], ["bogus"]])
+        assert not tsq.satisfied_by_rows([("real",)])
+
+    def test_tolerance_budget_exhausted(self):
+        tsq = TableSketchQuery.build(rows=[["real"], ["bogus"], ["fake"]],
+                                     tolerance=1)
+        assert not tsq.satisfied_by_rows([("real",)])
+
+    def test_sorted_tolerance_skips_out_of_order_example(self):
+        tsq = TableSketchQuery.build(rows=[["a"], ["z"], ["b"]],
+                                     sorted=True, tolerance=1)
+        # 'z' is noise; 'a' then 'b' appear in order.
+        assert tsq.satisfied_by_rows([("a",), ("b",)])
+
+    def test_sorted_strict_rejects_out_of_order(self):
+        tsq = TableSketchQuery.build(rows=[["a"], ["z"], ["b"]],
+                                     sorted=True)
+        assert not tsq.satisfied_by_rows([("a",), ("b",)])
+
+    def test_verifier_tolerates_noisy_example(self, movie_db):
+        """A misremembered fact no longer kills the gold query."""
+        gold = parse_sql("SELECT title FROM movie", movie_db.schema)
+        noisy = TableSketchQuery.build(
+            rows=[["Forrest Gump"], ["No Such Movie"]], tolerance=1)
+        strict = TableSketchQuery.build(
+            rows=[["Forrest Gump"], ["No Such Movie"]])
+        assert Verifier(movie_db, tsq=noisy).verify(gold).ok
+        assert not Verifier(movie_db, tsq=strict).verify(gold).ok
+
+    def test_partial_pruning_respects_tolerance(self, movie_db):
+        from repro.sqlir.ast import HOLE, Where
+
+        noisy = TableSketchQuery.build(
+            rows=[["Forrest Gump"], ["No Such Movie"]], tolerance=1)
+        verifier = Verifier(movie_db, tsq=noisy)
+        partial = parse_sql("SELECT title FROM movie",
+                            movie_db.schema).replace(
+            where=Where(logic=HOLE, predicates=(HOLE,)))
+        assert verifier.verify(partial).ok
+
+
+class TestSessionIntegration:
+    def test_refine_with_negative_rows(self, movie_db):
+        from repro.core import Duoquest, EnumeratorConfig
+        from repro.guidance import CalibratedOracleModel
+        from repro.interaction import DuoquestSession
+        from repro.nlq import NLQuery
+
+        system = Duoquest(movie_db, model=CalibratedOracleModel(seed=1),
+                          config=EnumeratorConfig(time_budget=5.0,
+                                                  max_candidates=15))
+        session = DuoquestSession.open(movie_db, system)
+        session.submit(NLQuery.from_text("titles before 1994",
+                                         literals=[1994]))
+        result = session.refine_tsq(negative_rows=[["Gravity"]])
+        tsq = session.rounds[-1].tsq
+        assert tsq.negative_tuples
+        for candidate in result.candidates:
+            rows = movie_db.execute_query(candidate.query, max_rows=5000)
+            assert ("Gravity",) not in rows

@@ -1,0 +1,256 @@
+"""Tests for ascending-cost cascading verification (Algorithm 3)."""
+
+import pytest
+
+from repro.core.tsq import TableSketchQuery
+from repro.core.verifier import (
+    STAGE_BY_COLUMN,
+    STAGE_BY_ROW,
+    STAGE_CLAUSES,
+    STAGE_COLUMN_TYPES,
+    STAGE_FULL,
+    STAGE_LITERALS,
+    STAGE_SEMANTICS,
+    Verifier,
+    VerifierConfig,
+)
+from repro.nlq.literals import Literal
+from repro.sqlir.ast import HOLE, Where
+from repro.sqlir.parser import parse_sql
+
+
+def make_verifier(db, tsq=None, literals=(), **config):
+    return Verifier(db, tsq=tsq, literals=literals,
+                    config=VerifierConfig(**config))
+
+
+def q(sql, db):
+    return parse_sql(sql, db.schema)
+
+
+class TestVerifyClauses:
+    def test_order_by_forbidden_when_tau_false(self, movie_db):
+        tsq = TableSketchQuery.build(rows=[["Forrest Gump"]], sorted=False)
+        verifier = make_verifier(movie_db, tsq)
+        result = verifier.verify(
+            q("SELECT title FROM movie ORDER BY year", movie_db))
+        assert not result.ok
+        assert result.failed_stage == STAGE_CLAUSES
+
+    def test_order_by_required_when_tau_true(self, movie_db):
+        tsq = TableSketchQuery.build(rows=[["Forrest Gump"]], sorted=True)
+        verifier = make_verifier(movie_db, tsq)
+        result = verifier.verify(q("SELECT title FROM movie", movie_db))
+        assert not result.ok
+        assert result.failed_stage == STAGE_CLAUSES
+
+    def test_limit_exceeding_k_fails(self, movie_db):
+        tsq = TableSketchQuery.build(rows=[["Forrest Gump"]], sorted=True,
+                                     limit=2)
+        verifier = make_verifier(movie_db, tsq)
+        result = verifier.verify(
+            q("SELECT title FROM movie ORDER BY year LIMIT 5", movie_db))
+        assert not result.ok
+        assert result.failed_stage == STAGE_CLAUSES
+
+    def test_limit_forbidden_when_k_zero(self, movie_db):
+        tsq = TableSketchQuery.build(rows=[["Forrest Gump"]], sorted=True)
+        verifier = make_verifier(movie_db, tsq)
+        result = verifier.verify(
+            q("SELECT title FROM movie ORDER BY year LIMIT 5", movie_db))
+        assert not result.ok
+
+
+class TestVerifySemantics:
+    def test_semantic_violation_fails(self, movie_db):
+        verifier = make_verifier(movie_db)
+        result = verifier.verify(
+            q("SELECT AVG(title) FROM movie", movie_db))
+        assert not result.ok
+        assert result.failed_stage == STAGE_SEMANTICS
+
+    def test_semantics_can_be_disabled(self, movie_db):
+        verifier = make_verifier(movie_db, check_semantics=False)
+        result = verifier.verify(
+            q("SELECT AVG(title) FROM movie", movie_db))
+        assert result.ok
+
+
+class TestVerifyColumnTypes:
+    def test_wrong_type_fails(self, movie_db):
+        tsq = TableSketchQuery.build(types=["number"])
+        verifier = make_verifier(movie_db, tsq)
+        result = verifier.verify(q("SELECT title FROM movie", movie_db))
+        assert not result.ok
+        assert result.failed_stage == STAGE_COLUMN_TYPES
+
+    def test_wrong_width_fails(self, movie_db):
+        tsq = TableSketchQuery.build(types=["text", "number"])
+        verifier = make_verifier(movie_db, tsq)
+        result = verifier.verify(q("SELECT title FROM movie", movie_db))
+        assert not result.ok
+        assert result.failed_stage == STAGE_COLUMN_TYPES
+
+    def test_aggregate_output_type_checked(self, movie_db):
+        """COUNT over a text column projects a number."""
+        tsq = TableSketchQuery.build(types=["number"])
+        verifier = make_verifier(movie_db, tsq)
+        assert verifier.verify(
+            q("SELECT COUNT(title) FROM movie", movie_db)).ok
+
+
+class TestVerifyByColumn:
+    def test_cell_absent_from_column_fails(self, movie_db):
+        tsq = TableSketchQuery.build(rows=[["No Such Movie"]])
+        verifier = make_verifier(movie_db, tsq)
+        result = verifier.verify(q("SELECT title FROM movie", movie_db))
+        assert not result.ok
+        assert result.failed_stage in (STAGE_BY_COLUMN, STAGE_BY_ROW,
+                                       STAGE_FULL)
+
+    def test_partial_query_pruned_early(self, movie_db):
+        """A partial query projecting the wrong column dies before any
+        full execution (the essence of GPQE pruning)."""
+        tsq = TableSketchQuery.build(rows=[["Forrest Gump"]])
+        verifier = make_verifier(movie_db, tsq)
+        partial = q("SELECT name FROM actor", movie_db).replace(
+            where=Where(logic=HOLE, predicates=(HOLE,)))
+        result = verifier.verify(partial)
+        assert not result.ok
+        assert result.failed_stage == STAGE_BY_COLUMN
+
+    def test_range_cell_probe(self, movie_db):
+        tsq = TableSketchQuery.build(rows=[[(1990, 1999)]])
+        verifier = make_verifier(movie_db, tsq)
+        assert verifier.verify(q("SELECT year FROM movie", movie_db)).ok
+        tsq_bad = TableSketchQuery.build(rows=[[(5000, 6000)]])
+        verifier_bad = make_verifier(movie_db, tsq_bad)
+        assert not verifier_bad.verify(
+            q("SELECT year FROM movie", movie_db)).ok
+
+    def test_avg_range_intersection(self, movie_db):
+        """AVG cells are checked against the column's [min, max] span."""
+        tsq = TableSketchQuery.build(rows=[[(100000, 200000)]])
+        verifier = make_verifier(movie_db, tsq)
+        result = verifier.verify(
+            q("SELECT AVG(revenue) FROM movie", movie_db))
+        assert not result.ok
+
+    def test_count_cells_skipped_on_partials(self, movie_db):
+        """No conclusion can be drawn for COUNT projections (S 3.4)."""
+        tsq = TableSketchQuery.build(rows=[[999999]])
+        verifier = make_verifier(movie_db, tsq)
+        partial = q("SELECT COUNT(*) FROM movie", movie_db).replace(
+            where=Where(logic=HOLE, predicates=(HOLE,)))
+        assert verifier.verify(partial).ok
+
+
+class TestVerifyByRow:
+    def test_joint_row_constraint(self, movie_db):
+        """Cells exist per column but never in the same row."""
+        tsq = TableSketchQuery.build(rows=[["Forrest Gump", 2013]])
+        verifier = make_verifier(movie_db, tsq)
+        partial = q("SELECT title, year FROM movie", movie_db).replace(
+            where=Where(logic=HOLE, predicates=(HOLE,)))
+        result = verifier.verify(partial)
+        assert not result.ok
+        assert result.failed_stage == STAGE_BY_ROW
+
+    def test_retained_and_predicate_prunes(self, movie_db):
+        """A complete AND predicate is retained in the row probe."""
+        tsq = TableSketchQuery.build(rows=[["Forrest Gump"]])
+        verifier = make_verifier(movie_db, tsq)
+        partial = q(
+            "SELECT title FROM movie WHERE year > 2000", movie_db
+        ).replace(where=Where(
+            logic=q("SELECT title FROM movie WHERE year > 2000 AND "
+                    "revenue > 1", movie_db).where.logic,
+            predicates=q("SELECT title FROM movie WHERE year > 2000",
+                         movie_db).where.predicates + (HOLE,)))
+        result = verifier.verify(partial)
+        assert not result.ok
+
+    def test_incomplete_or_clause_not_retained(self, movie_db):
+        """Under OR, incomplete predicates must be dropped: the example
+        may be produced by the other disjunct."""
+        from repro.sqlir.ast import LogicOp
+
+        tsq = TableSketchQuery.build(rows=[["Forrest Gump"]])
+        verifier = make_verifier(movie_db, tsq)
+        base = q("SELECT title FROM movie WHERE year > 2000", movie_db)
+        partial = base.replace(where=Where(
+            logic=LogicOp.OR,
+            predicates=base.where.predicates + (HOLE,)))
+        assert verifier.verify(partial).ok
+
+
+class TestVerifyLiterals:
+    def test_unused_literal_fails_complete_query(self, movie_db):
+        verifier = make_verifier(movie_db, literals=[Literal(1995)])
+        result = verifier.verify(q("SELECT title FROM movie", movie_db))
+        assert not result.ok
+        assert result.failed_stage == STAGE_LITERALS
+
+    def test_literal_in_predicate_passes(self, movie_db):
+        verifier = make_verifier(movie_db, literals=[Literal(1995)])
+        assert verifier.verify(
+            q("SELECT title FROM movie WHERE year < 1995", movie_db)).ok
+
+    def test_literal_in_limit_counts(self, movie_db):
+        tsq = TableSketchQuery(sorted=True, limit=3)
+        verifier = Verifier(movie_db, tsq=tsq, literals=(Literal(3),))
+        assert verifier.verify(
+            q("SELECT title FROM movie ORDER BY year LIMIT 3",
+              movie_db)).ok
+
+
+class TestFullSatisfaction:
+    def test_order_verification(self, movie_db):
+        """tau with two ordered examples checks result order."""
+        tsq = TableSketchQuery.build(
+            rows=[["Forrest Gump"], ["Gravity"]], sorted=True)
+        verifier = make_verifier(movie_db, tsq)
+        ascending = q("SELECT title FROM movie ORDER BY year ASC",
+                      movie_db)
+        descending = q("SELECT title FROM movie ORDER BY year DESC",
+                       movie_db)
+        # Forrest Gump (1994) precedes Gravity (2013) ascending only.
+        assert verifier.verify(ascending).ok
+        assert not verifier.verify(descending).ok
+
+    def test_empty_tsq_always_satisfied(self, movie_db):
+        verifier = make_verifier(movie_db, TableSketchQuery())
+        assert verifier.verify(q("SELECT title FROM movie", movie_db)).ok
+
+    def test_aggregate_cells_checked_at_completion(self, movie_db):
+        tsq = TableSketchQuery.build(rows=[["Tom Hanks", 999]])
+        verifier = make_verifier(movie_db, tsq)
+        complete = q(
+            "SELECT t1.name, COUNT(*) FROM actor t1 JOIN starring t2 "
+            "ON t1.aid = t2.aid GROUP BY t1.name", movie_db)
+        result = verifier.verify(complete)
+        assert not result.ok
+        assert result.failed_stage == STAGE_FULL
+
+
+class TestNoPQMode:
+    def test_partials_skipped(self, movie_db):
+        tsq = TableSketchQuery.build(rows=[["No Such Movie"]])
+        verifier = make_verifier(movie_db, tsq, verify_partial=False)
+        partial = q("SELECT title FROM movie", movie_db).replace(
+            where=Where(logic=HOLE, predicates=(HOLE,)))
+        assert verifier.verify(partial).ok  # not verified at all
+
+    def test_completes_still_verified(self, movie_db):
+        tsq = TableSketchQuery.build(rows=[["No Such Movie"]])
+        verifier = make_verifier(movie_db, tsq, verify_partial=False)
+        assert not verifier.verify(
+            q("SELECT title FROM movie", movie_db)).ok
+
+
+class TestStats:
+    def test_stage_failures_counted(self, movie_db):
+        tsq = TableSketchQuery.build(types=["number"])
+        verifier = make_verifier(movie_db, tsq)
+        verifier.verify(q("SELECT title FROM movie", movie_db))
+        assert verifier.stats.get(STAGE_COLUMN_TYPES) == 1

@@ -1,0 +1,41 @@
+"""Tests for fact-bank construction (Section 5.1.5)."""
+
+from repro.core.tsq import EmptyCell, ExactCell, RangeCell
+from repro.datasets import build_fact_bank, nli_study_tasks
+from repro.sqlir.render import to_sql
+
+
+class TestFactBank:
+    def test_ten_facts_per_task(self, mas_db):
+        for task in nli_study_tasks(mas_db):
+            rows = mas_db.execute(to_sql(task.gold), max_rows=100)
+            facts = build_fact_bank(task, mas_db, size=10, seed=0)
+            assert len(facts) == min(10, len(set(rows)))
+
+    def test_facts_consistent_with_gold_rows(self, mas_db):
+        """Every fact's cells must match its originating result row."""
+        task = next(iter(nli_study_tasks(mas_db)))
+        rows = mas_db.execute(to_sql(task.gold), max_rows=4000)
+        distinct = list(dict.fromkeys(rows))
+        for fact in build_fact_bank(task, mas_db, size=10, seed=0):
+            row = distinct[fact.order_index]
+            for cell, value in zip(fact.cells, row):
+                assert cell.matches(value), (fact, row)
+
+    def test_sentences_readable(self, mas_db):
+        task = next(iter(nli_study_tasks(mas_db)))
+        facts = build_fact_bank(task, mas_db, size=5, seed=0)
+        assert all(fact.sentence.startswith("A desired row")
+                   for fact in facts)
+
+    def test_blurring_produces_ranges_sometimes(self, mas_db):
+        tasks = {t.task_id: t for t in nli_study_tasks(mas_db)}
+        facts = build_fact_bank(tasks["A3"], mas_db, size=10, seed=0)
+        kinds = {type(c) for fact in facts for c in fact.cells}
+        assert RangeCell in kinds or EmptyCell in kinds
+
+    def test_deterministic(self, mas_db):
+        task = next(iter(nli_study_tasks(mas_db)))
+        a = build_fact_bank(task, mas_db, size=10, seed=2)
+        b = build_fact_bank(task, mas_db, size=10, seed=2)
+        assert a == b

@@ -1,0 +1,80 @@
+"""Tests for the MAS database builder."""
+
+from repro.datasets.mas import (
+    AUTHOR_A,
+    CONFERENCE_C,
+    DOMAIN_D,
+    ORGANIZATION_R,
+    build_mas_database,
+    mas_schema,
+)
+from repro.sqlir.ast import ColumnRef
+
+
+class TestSchemaShape:
+    def test_table5_statistics(self):
+        """Table 5: MAS has 15 tables, 44 columns, 19 FK-PK links."""
+        schema = mas_schema()
+        assert schema.num_tables == 15
+        assert schema.num_columns == 44
+        assert schema.num_foreign_keys == 19
+
+    def test_link_tables_have_no_pk(self):
+        schema = mas_schema()
+        assert schema.table("writes").primary_key is None
+        assert schema.table("cite").primary_key is None
+
+
+class TestPlantedEntities:
+    def test_flagship_conference_exists(self, mas_db):
+        assert mas_db.value_exists(ColumnRef("conference", "name"),
+                                   CONFERENCE_C)
+
+    def test_author_a_exists(self, mas_db):
+        assert mas_db.value_exists(ColumnRef("author", "name"), AUTHOR_A)
+
+    def test_organization_r_exists(self, mas_db):
+        assert mas_db.value_exists(ColumnRef("organization", "name"),
+                                   ORGANIZATION_R)
+
+    def test_domain_d_exists(self, mas_db):
+        assert mas_db.value_exists(ColumnRef("domain", "name"), DOMAIN_D)
+
+    def test_some_journal_exceeds_500_publications(self, mas_db):
+        """Task A4's threshold must be attainable."""
+        rows = mas_db.execute(
+            "SELECT COUNT(*) FROM journal t1 JOIN publication t2 ON "
+            "t1.jid = t2.jid GROUP BY t1.name HAVING COUNT(*) > 500")
+        assert rows
+
+    def test_organizations_exceed_100_authors(self, mas_db):
+        rows = mas_db.execute(
+            "SELECT t2.name FROM author t1 JOIN organization t2 ON "
+            "t1.oid = t2.oid GROUP BY t2.name HAVING COUNT(*) > 100")
+        assert len(rows) >= 2
+
+    def test_prolific_michigan_authors(self, mas_db):
+        """Task B4: Michigan authors with more than 50 publications."""
+        rows = mas_db.execute(
+            "SELECT t1.name FROM author t1 JOIN writes t2 ON "
+            "t1.aid = t2.aid JOIN organization t3 ON t1.oid = t3.oid "
+            f"WHERE t3.name = '{ORGANIZATION_R}' GROUP BY t1.name "
+            "HAVING COUNT(*) > 50")
+        assert rows
+
+    def test_frequent_sigmod_authors(self, mas_db):
+        """Tasks C3/D3: authors with more than 5 and 8 SIGMOD papers."""
+        for threshold in (5, 8):
+            rows = mas_db.execute(
+                "SELECT t1.name FROM author t1 JOIN writes t2 ON "
+                "t1.aid = t2.aid JOIN publication t3 ON t2.pid = t3.pid "
+                "JOIN conference t4 ON t3.cid = t4.cid WHERE t4.name = "
+                f"'{CONFERENCE_C}' GROUP BY t1.name "
+                f"HAVING COUNT(t3.pid) > {threshold}")
+            assert rows, f"no authors above {threshold} SIGMOD papers"
+
+    def test_deterministic(self):
+        a = build_mas_database(seed=3)
+        b = build_mas_database(seed=3)
+        assert a.execute("SELECT * FROM author ORDER BY aid LIMIT 20") == \
+            b.execute("SELECT * FROM author ORDER BY aid LIMIT 20")

@@ -1,0 +1,63 @@
+"""Tests for template-based NLQ generation."""
+
+import random
+
+from repro.datasets.nlgen import generate_nlq_text
+from repro.sqlir.parser import parse_sql
+
+
+class TestGeneration:
+    def test_mentions_select_columns(self, movie_schema):
+        query = parse_sql("SELECT title FROM movie", movie_schema)
+        text = generate_nlq_text(query, movie_schema)
+        assert "title" in text.lower()
+        assert text.endswith(".")
+
+    def test_mentions_literals(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie WHERE year < 1995", movie_schema)
+        text = generate_nlq_text(query, movie_schema)
+        assert "1995" in text
+        assert "less than" in text
+
+    def test_or_connective_phrased(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie WHERE year < 1990 OR year > 2000",
+            movie_schema)
+        assert " or " in generate_nlq_text(query, movie_schema)
+
+    def test_grouping_phrased(self, movie_schema):
+        query = parse_sql(
+            "SELECT name, COUNT(*) FROM actor GROUP BY name",
+            movie_schema)
+        text = generate_nlq_text(query, movie_schema)
+        assert "for each" in text
+        assert "number of" in text
+
+    def test_order_and_limit_phrased(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie ORDER BY year DESC LIMIT 3",
+            movie_schema)
+        text = generate_nlq_text(query, movie_schema)
+        assert "highest to lowest" in text
+        assert "top 3" in text
+
+    def test_having_phrased(self, movie_schema):
+        query = parse_sql(
+            "SELECT name, COUNT(*) FROM actor GROUP BY name "
+            "HAVING COUNT(*) > 5", movie_schema)
+        text = generate_nlq_text(query, movie_schema)
+        assert "more than 5" in text
+
+    def test_between_phrased(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie WHERE year BETWEEN 1990 AND 1999",
+            movie_schema)
+        text = generate_nlq_text(query, movie_schema)
+        assert "between 1990 and 1999" in text
+
+    def test_deterministic_given_rng(self, movie_schema):
+        query = parse_sql("SELECT title FROM movie", movie_schema)
+        a = generate_nlq_text(query, movie_schema, random.Random(3))
+        b = generate_nlq_text(query, movie_schema, random.Random(3))
+        assert a == b

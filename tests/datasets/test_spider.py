@@ -1,0 +1,99 @@
+"""Tests for the synthetic Spider corpus generator."""
+
+import pytest
+
+from repro.core.semantics import check_semantics
+from repro.datasets import (
+    Difficulty,
+    SpiderCorpusConfig,
+    classify_difficulty,
+    generate_corpus,
+)
+from repro.sqlir.ast import Hole
+
+
+class TestCorpusGeneration:
+    def test_database_count(self, mini_corpus):
+        assert len(mini_corpus.databases) == 4
+
+    def test_tasks_generated(self, mini_corpus):
+        assert len(mini_corpus) >= 15
+
+    def test_all_difficulties_present_in_larger_corpus(self):
+        corpus = generate_corpus("dev", SpiderCorpusConfig(
+            num_databases=6, tasks_per_database=8, seed=0))
+        counts = corpus.counts()
+        assert all(counts[d] > 0 for d in Difficulty)
+
+    def test_gold_queries_execute_nonempty(self, mini_corpus):
+        for task in mini_corpus:
+            db = mini_corpus.database_for(task)
+            assert db.execute_query(task.gold, max_rows=3), task.task_id
+
+    def test_gold_queries_pass_semantic_rules(self, mini_corpus):
+        for task in mini_corpus:
+            db = mini_corpus.database_for(task)
+            assert check_semantics(task.gold, db.schema) == [], \
+                task.task_id
+
+    def test_difficulty_labels_consistent(self, mini_corpus):
+        for task in mini_corpus:
+            assert task.difficulty is classify_difficulty(task.gold)
+
+    def test_hard_tasks_project_aggregates(self, mini_corpus):
+        """Hard tasks must carry projected aggregates so that the PBE
+        baseline cannot support them (Section 5.4.2)."""
+        from repro.sqlir.ast import SelectItem
+
+        for task in mini_corpus.by_difficulty(Difficulty.HARD):
+            assert any(isinstance(i, SelectItem) and i.is_aggregate
+                       for i in task.gold.select)
+
+    def test_nlq_mentions_literals(self, mini_corpus):
+        for task in mini_corpus:
+            for literal in task.nlq.literals:
+                value = literal.value
+                if isinstance(value, float) and value.is_integer():
+                    value = int(value)
+                assert str(value).casefold() in task.nlq.text.casefold(), \
+                    f"{task.task_id}: {value!r} not in {task.nlq.text!r}"
+
+    def test_deterministic(self):
+        config = SpiderCorpusConfig(num_databases=2,
+                                    tasks_per_database=4, seed=9)
+        a = generate_corpus("dev", config)
+        b = generate_corpus("dev", config)
+        assert [t.task_id for t in a] == [t.task_id for t in b]
+        from repro.sqlir.render import to_sql
+
+        assert [to_sql(t.gold) for t in a] == [to_sql(t.gold) for t in b]
+
+    def test_test_split_disjoint_and_larger(self):
+        config = SpiderCorpusConfig(num_databases=2,
+                                    tasks_per_database=3, seed=0)
+        dev = generate_corpus("dev", config)
+        test = generate_corpus("test", config)
+        assert len(test.databases) == 2 * len(dev.databases)
+        assert not set(dev.databases) & set(test.databases)
+
+
+class TestDifficultyClassification:
+    def test_table5_definitions(self, movie_schema):
+        from repro.sqlir.parser import parse_sql
+
+        easy = parse_sql("SELECT title FROM movie ORDER BY year LIMIT 3",
+                         movie_schema)
+        medium = parse_sql("SELECT title FROM movie WHERE year < 1990",
+                           movie_schema)
+        hard = parse_sql(
+            "SELECT name, COUNT(*) FROM actor GROUP BY name",
+            movie_schema)
+        assert classify_difficulty(easy) is Difficulty.EASY
+        assert classify_difficulty(medium) is Difficulty.MEDIUM
+        assert classify_difficulty(hard) is Difficulty.HARD
+
+    def test_aggregate_without_group_is_easy(self, movie_schema):
+        from repro.sqlir.parser import parse_sql
+
+        query = parse_sql("SELECT MAX(year) FROM movie", movie_schema)
+        assert classify_difficulty(query) is Difficulty.EASY

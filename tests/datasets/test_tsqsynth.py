@@ -1,0 +1,99 @@
+"""Tests for TSQ synthesis (Section 5.4.1 / 5.4.4)."""
+
+import pytest
+
+from repro.core.tsq import EmptyCell, ExactCell
+from repro.core.verifier import Verifier
+from repro.datasets import (
+    DETAIL_FULL,
+    DETAIL_MINIMAL,
+    DETAIL_PARTIAL,
+    example_values,
+    synthesize_tsq,
+)
+from repro.errors import DatasetError
+
+
+class TestSynthesis:
+    def test_full_detail_has_two_examples(self, mini_corpus):
+        task = next(iter(mini_corpus))
+        db = mini_corpus.database_for(task)
+        tsq = synthesize_tsq(task, db, detail=DETAIL_FULL)
+        assert 1 <= len(tsq.tuples) <= 2
+        assert tsq.types is not None
+
+    def test_minimal_detail_has_no_examples(self, mini_corpus):
+        task = next(iter(mini_corpus))
+        db = mini_corpus.database_for(task)
+        tsq = synthesize_tsq(task, db, detail=DETAIL_MINIMAL)
+        assert tsq.tuples == ()
+        assert tsq.types is not None
+
+    def test_partial_detail_erases_one_column(self, mini_corpus):
+        for task in mini_corpus:
+            if len(task.gold.select) < 2:
+                continue
+            db = mini_corpus.database_for(task)
+            tsq = synthesize_tsq(task, db, detail=DETAIL_PARTIAL)
+            if not tsq.tuples:
+                continue
+            erased = [j for j in range(len(tsq.tuples[0]))
+                      if all(isinstance(t[j], EmptyCell)
+                             for t in tsq.tuples)]
+            assert len(erased) >= 1
+            return
+        pytest.skip("no multi-column task in the mini corpus")
+
+    def test_unknown_detail_rejected(self, mini_corpus):
+        task = next(iter(mini_corpus))
+        db = mini_corpus.database_for(task)
+        with pytest.raises(DatasetError):
+            synthesize_tsq(task, db, detail="bogus")
+
+    def test_tau_and_k_match_gold(self, mini_corpus):
+        from repro.sqlir.ast import Hole
+
+        for task in mini_corpus:
+            db = mini_corpus.database_for(task)
+            tsq = synthesize_tsq(task, db)
+            gold_sorted = task.gold.order_by is not None and \
+                not isinstance(task.gold.order_by, Hole)
+            assert tsq.sorted == gold_sorted
+            gold_limit = task.gold.limit if isinstance(task.gold.limit,
+                                                       int) else 0
+            assert tsq.limit == gold_limit
+
+    def test_gold_satisfies_its_own_tsq(self, mini_corpus):
+        """The cornerstone invariant of the simulation study: every
+        synthesized TSQ is satisfied by the gold query that produced it,
+        at every detail level."""
+        for task in mini_corpus:
+            db = mini_corpus.database_for(task)
+            for detail in (DETAIL_FULL, DETAIL_PARTIAL, DETAIL_MINIMAL):
+                tsq = synthesize_tsq(task, db, detail=detail)
+                verifier = Verifier(db, tsq=tsq,
+                                    literals=task.nlq.literals)
+                result = verifier.verify(task.gold)
+                assert result.ok, (task.task_id, detail,
+                                   result.failed_stage, result.detail)
+
+    def test_deterministic(self, mini_corpus):
+        task = next(iter(mini_corpus))
+        db = mini_corpus.database_for(task)
+        assert synthesize_tsq(task, db, seed=4) == \
+            synthesize_tsq(task, db, seed=4)
+
+
+class TestExampleValues:
+    def test_exact_cells_to_values(self, mini_corpus):
+        task = next(iter(mini_corpus))
+        db = mini_corpus.database_for(task)
+        tsq = synthesize_tsq(task, db)
+        rows = example_values(tsq)
+        assert len(rows) == len(tsq.tuples)
+        for row, cells in zip(rows, tsq.tuples):
+            for value, cell in zip(row, cells):
+                if isinstance(cell, ExactCell):
+                    assert value == cell.value
+                else:
+                    assert value is None

@@ -1,0 +1,57 @@
+"""Tests for the Table 7/8 user-study task definitions."""
+
+import pytest
+
+from repro.datasets import (
+    Difficulty,
+    nli_study_tasks,
+    pbe_study_tasks,
+)
+
+
+class TestNliTasks:
+    def test_eight_tasks(self, mas_db):
+        assert len(nli_study_tasks(mas_db)) == 8
+
+    def test_difficulty_mix_matches_table5(self, mas_db):
+        """Table 5: the NLI study has 0 easy, 3 medium, 5 hard tasks."""
+        counts = nli_study_tasks(mas_db).counts()
+        assert counts[Difficulty.EASY] == 0
+        assert counts[Difficulty.MEDIUM] == 3
+        assert counts[Difficulty.HARD] == 5
+
+    def test_all_gold_queries_execute_nonempty(self, mas_db):
+        for task in nli_study_tasks(mas_db):
+            rows = mas_db.execute_query(task.gold, max_rows=5)
+            assert rows, f"{task.task_id} has an empty result"
+
+    def test_literals_tagged(self, mas_db):
+        tasks = {t.task_id: t for t in nli_study_tasks(mas_db)}
+        assert {l.value for l in tasks["B4"].nlq.literals} == \
+            {"University of Michigan", 50}
+        assert tasks["A2"].nlq.literals == ()
+
+
+class TestPbeTasks:
+    def test_six_tasks(self, mas_db):
+        assert len(pbe_study_tasks(mas_db)) == 6
+
+    def test_difficulty_mix_matches_table5(self, mas_db):
+        """Table 5: the PBE study has 0 easy, 4 medium, 2 hard tasks."""
+        counts = pbe_study_tasks(mas_db).counts()
+        assert counts[Difficulty.EASY] == 0
+        assert counts[Difficulty.MEDIUM] == 4
+        assert counts[Difficulty.HARD] == 2
+
+    def test_all_gold_queries_execute_nonempty(self, mas_db):
+        for task in pbe_study_tasks(mas_db):
+            assert mas_db.execute_query(task.gold, max_rows=5)
+
+    def test_pbe_workload_has_no_projected_aggregates(self, mas_db):
+        """The PBE study restricts the scope to what SQuID supports."""
+        from repro.sqlir.ast import SelectItem
+
+        for task in pbe_study_tasks(mas_db):
+            for item in task.gold.select:
+                assert isinstance(item, SelectItem)
+                assert not item.is_aggregate

@@ -1,0 +1,128 @@
+"""Tests for schema ingestion and persistence."""
+
+import sqlite3
+
+import pytest
+
+from repro.db import (
+    Database,
+    introspect_sqlite,
+    load_schema,
+    open_database,
+    save_database,
+    save_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.errors import SchemaError
+from repro.sqlir.types import ColumnType as T
+
+
+class TestIntrospection:
+    def test_roundtrip_from_own_ddl(self, movie_schema):
+        """A schema re-ingested from the SQLite file it created matches
+        the original in tables, columns, types, PKs and FKs."""
+        db = Database.create(movie_schema)
+        ingested = introspect_sqlite(db._conn, name="movies")
+        assert ingested.num_tables == movie_schema.num_tables
+        assert ingested.num_columns == movie_schema.num_columns
+        assert ingested.num_foreign_keys == movie_schema.num_foreign_keys
+        for table in movie_schema.tables:
+            other = ingested.table(table.name)
+            assert [c.name for c in other.columns] == \
+                [c.name for c in table.columns]
+            assert [c.type for c in other.columns] == \
+                [c.type for c in table.columns]
+            original_pk = table.primary_key
+            ingested_pk = other.primary_key
+            assert (original_pk is None) == (ingested_pk is None)
+
+    def test_foreign_created_database(self):
+        """Ingesting a hand-made SQLite schema."""
+        conn = sqlite3.connect(":memory:")
+        conn.executescript("""
+            CREATE TABLE city (city_id INTEGER PRIMARY KEY, name TEXT);
+            CREATE TABLE person (
+                person_id INTEGER PRIMARY KEY,
+                name VARCHAR(80),
+                age INT,
+                city_id INTEGER REFERENCES city(city_id));
+        """)
+        schema = introspect_sqlite(conn, name="towns")
+        assert schema.has_table("person")
+        assert schema.column_type(
+            __import__("repro.sqlir.ast", fromlist=["ColumnRef"])
+            .ColumnRef("person", "age")) is T.NUMBER
+        assert schema.num_foreign_keys == 1
+        fk = schema.foreign_keys[0]
+        assert (fk.src_table, fk.dst_table) == ("person", "city")
+
+    def test_implicit_fk_target_resolves_to_pk(self):
+        conn = sqlite3.connect(":memory:")
+        conn.executescript("""
+            CREATE TABLE parent (parent_id INTEGER PRIMARY KEY, x TEXT);
+            CREATE TABLE child (
+                child_id INTEGER PRIMARY KEY,
+                parent_id INTEGER REFERENCES parent);
+        """)
+        schema = introspect_sqlite(conn)
+        assert schema.foreign_keys[0].dst_column == "parent_id"
+
+    def test_empty_database_rejected(self):
+        conn = sqlite3.connect(":memory:")
+        with pytest.raises(SchemaError):
+            introspect_sqlite(conn)
+
+
+class TestJsonRoundTrip:
+    def test_dict_roundtrip(self, movie_schema):
+        data = schema_to_dict(movie_schema)
+        restored = schema_from_dict(data)
+        assert restored.name == movie_schema.name
+        assert restored.num_tables == movie_schema.num_tables
+        assert restored.num_foreign_keys == movie_schema.num_foreign_keys
+
+    def test_file_roundtrip(self, movie_schema, tmp_path):
+        path = tmp_path / "schema.json"
+        save_schema(movie_schema, path)
+        restored = load_schema(path)
+        assert schema_to_dict(restored) == schema_to_dict(movie_schema)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"name": "x"})
+
+
+class TestDatabasePersistence:
+    def test_save_and_reopen(self, movie_db, tmp_path):
+        path = tmp_path / "movies.sqlite"
+        save_database(movie_db, path)
+        reopened = open_database(path)
+        assert reopened.row_count("movie") == movie_db.row_count("movie")
+        assert reopened.schema.has_table("starring")
+        # Queries run against the reopened database.
+        rows = reopened.execute(
+            "SELECT title FROM movie WHERE title = 'Forrest Gump'")
+        assert rows == [("Forrest Gump",)]
+
+    def test_reopen_with_explicit_schema(self, movie_db, movie_schema,
+                                         tmp_path):
+        path = tmp_path / "movies2.sqlite"
+        save_database(movie_db, path)
+        reopened = open_database(path, schema=movie_schema)
+        assert reopened.schema is movie_schema
+
+    def test_synthesis_on_reopened_database(self, movie_db, tmp_path):
+        """End to end: persist, reopen via introspection, synthesize."""
+        from repro.core import Duoquest, EnumeratorConfig
+        from repro.guidance import LexicalGuidanceModel
+        from repro.nlq import NLQuery
+
+        path = tmp_path / "movies3.sqlite"
+        save_database(movie_db, path)
+        reopened = open_database(path)
+        system = Duoquest(reopened, model=LexicalGuidanceModel(),
+                          config=EnumeratorConfig(time_budget=4.0,
+                                                  max_candidates=10))
+        result = system.synthesize(NLQuery.from_text("all movie titles"))
+        assert result.candidates

@@ -1,0 +1,102 @@
+"""Tests for the SQLite wrapper."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ExecutionError, ExecutionTimeout
+from repro.sqlir.ast import ColumnRef
+from repro.sqlir.parser import parse_sql
+from tests.conftest import build_movie_db
+
+
+class TestExecution:
+    def test_execute_select(self, movie_db):
+        rows = movie_db.execute("SELECT COUNT(*) FROM movie")
+        assert rows == [(40,)]
+
+    def test_execute_query_ast(self, movie_db):
+        query = parse_sql("SELECT title FROM movie WHERE year < 1995",
+                          movie_db.schema)
+        rows = movie_db.execute_query(query)
+        assert all(isinstance(row[0], str) for row in rows)
+
+    def test_max_rows(self, movie_db):
+        rows = movie_db.execute("SELECT * FROM movie", max_rows=5)
+        assert len(rows) == 5
+
+    def test_bad_sql_raises(self, movie_db):
+        with pytest.raises(ExecutionError):
+            movie_db.execute("SELECT FROM nothing WHERE")
+
+    def test_exists(self, movie_db):
+        assert movie_db.exists(
+            "SELECT 1 FROM movie WHERE title = 'Forrest Gump' LIMIT 1")
+        assert not movie_db.exists(
+            "SELECT 1 FROM movie WHERE title = 'No Such Movie' LIMIT 1")
+
+    def test_stats_counted(self):
+        db = build_movie_db()
+        before = db.stats.statements
+        db.execute("SELECT 1 FROM movie LIMIT 1", kind="probe")
+        assert db.stats.statements == before + 1
+        assert db.stats.per_kind.get("probe", 0) >= 1
+
+    def test_stats_snapshot_is_independent(self, movie_db):
+        snap = movie_db.stats.snapshot()
+        movie_db.execute("SELECT 1 FROM movie LIMIT 1")
+        assert movie_db.stats.statements > snap.statements
+
+
+class TestIntrospection:
+    def test_row_count(self, movie_db):
+        assert movie_db.row_count("actor") == 30
+
+    def test_distinct_values(self, movie_db):
+        genders = movie_db.distinct_values(ColumnRef("actor", "gender"))
+        assert set(genders) <= {"male", "female"}
+
+    def test_distinct_values_limit(self, movie_db):
+        titles = movie_db.distinct_values(ColumnRef("movie", "title"),
+                                          limit=3)
+        assert len(titles) == 3
+
+    def test_column_min_max(self, movie_db):
+        low, high = movie_db.column_min_max(ColumnRef("movie", "year"))
+        assert low <= high
+        assert low >= 1970
+
+    def test_value_exists(self, movie_db):
+        assert movie_db.value_exists(ColumnRef("actor", "name"),
+                                     "Tom Hanks")
+        assert not movie_db.value_exists(ColumnRef("actor", "name"),
+                                         "Nobody")
+
+
+class TestInsert:
+    def test_fk_violation_raises(self):
+        db = build_movie_db()
+        with pytest.raises(ExecutionError):
+            db.insert_rows("starring", [(999, 999)])
+
+    def test_insert_returns_count(self):
+        db = build_movie_db()
+        count = db.insert_rows("actor",
+                               [(100, "New Actor", "male", 1980)])
+        assert count == 1
+        assert db.row_count("actor") == 31
+
+
+class TestInterruptible:
+    def test_fast_statement_unaffected(self, movie_db):
+        with movie_db.interruptible(1000):
+            rows = movie_db.execute("SELECT COUNT(*) FROM movie")
+        assert rows[0][0] == 40
+
+    def test_runaway_statement_interrupted(self):
+        db = build_movie_db()
+        # A large cross product that cannot finish within the budget.
+        slow = ("SELECT COUNT(*) FROM movie a, movie b, movie c, movie d, "
+                "movie e")
+        with pytest.raises((ExecutionTimeout, ExecutionError)):
+            with db.interruptible(10):
+                db.execute(slow)

@@ -1,0 +1,53 @@
+"""Tests for the inverted column index / autocomplete substrate."""
+
+from repro.db import InvertedColumnIndex
+from repro.sqlir.ast import ColumnRef
+
+
+class TestBuild:
+    def test_indexes_all_text_columns(self, movie_db):
+        index = InvertedColumnIndex.build(movie_db)
+        assert index.columns_for_value("Tom Hanks") == \
+            [ColumnRef("actor", "name")]
+        assert index.columns_for_value("Forrest Gump") == \
+            [ColumnRef("movie", "title")]
+
+    def test_numeric_columns_not_indexed(self, movie_db):
+        index = InvertedColumnIndex.build(movie_db)
+        assert index.columns_for_value("1994") == []
+
+    def test_case_insensitive(self, movie_db):
+        index = InvertedColumnIndex.build(movie_db)
+        assert index.contains_value("tom hanks")
+        assert index.columns_for_value("TOM HANKS")
+
+    def test_value_in_multiple_columns(self):
+        index = InvertedColumnIndex()
+        index.add_column(ColumnRef("a", "x"), ["shared"])
+        index.add_column(ColumnRef("b", "y"), ["shared"])
+        assert len(index.columns_for_value("shared")) == 2
+
+
+class TestComplete:
+    def test_prefix_completion(self, movie_db):
+        index = InvertedColumnIndex.build(movie_db)
+        hits = index.complete("Forr")
+        assert any(hit.value == "Forrest Gump" for hit in hits)
+
+    def test_token_completion(self, movie_db):
+        """Typing a later token of a value still finds it."""
+        index = InvertedColumnIndex.build(movie_db)
+        hits = index.complete("Gum")
+        assert any(hit.value == "Forrest Gump" for hit in hits)
+
+    def test_limit_respected(self, movie_db):
+        index = InvertedColumnIndex.build(movie_db)
+        assert len(index.complete("Movie", limit=3)) <= 3
+
+    def test_empty_prefix(self, movie_db):
+        index = InvertedColumnIndex.build(movie_db)
+        assert index.complete("") == []
+
+    def test_no_match(self, movie_db):
+        index = InvertedColumnIndex.build(movie_db)
+        assert index.complete("zzzzzz") == []

@@ -1,0 +1,89 @@
+"""Tests for the synthetic data generator."""
+
+import pytest
+
+from repro.db import (
+    ColumnSpec,
+    Database,
+    DataGenerator,
+    PopulationPlan,
+    make_schema,
+)
+from repro.errors import DatasetError
+from repro.sqlir.ast import ColumnRef
+from repro.sqlir.types import ColumnType as T
+from tests.conftest import build_movie_schema
+
+
+def fresh_db():
+    return Database.create(build_movie_schema())
+
+
+class TestPopulate:
+    def test_row_counts(self):
+        db = fresh_db()
+        inserted = DataGenerator(db.schema, seed=1).populate(
+            db, PopulationPlan(default_rows=25))
+        assert inserted == {"actor": 25, "movie": 25, "starring": 25}
+
+    def test_fk_integrity(self):
+        db = fresh_db()
+        DataGenerator(db.schema, seed=2).populate(
+            db, PopulationPlan(default_rows=30))
+        orphans = db.execute(
+            "SELECT COUNT(*) FROM starring s LEFT JOIN actor a "
+            "ON s.aid = a.aid WHERE a.aid IS NULL")
+        assert orphans[0][0] == 0
+
+    def test_deterministic_given_seed(self):
+        db_a, db_b = fresh_db(), fresh_db()
+        DataGenerator(db_a.schema, seed=7).populate(db_a)
+        DataGenerator(db_b.schema, seed=7).populate(db_b)
+        rows_a = db_a.execute("SELECT * FROM actor ORDER BY aid")
+        rows_b = db_b.execute("SELECT * FROM actor ORDER BY aid")
+        assert rows_a == rows_b
+
+    def test_per_table_row_counts(self):
+        db = fresh_db()
+        plan = PopulationPlan(rows_per_table={"actor": 10, "movie": 5,
+                                              "starring": 8})
+        inserted = DataGenerator(db.schema, seed=0).populate(db, plan)
+        assert inserted["actor"] == 10
+        assert inserted["movie"] == 5
+
+    def test_column_spec_pool(self):
+        db = fresh_db()
+        plan = PopulationPlan(
+            default_rows=20,
+            column_specs={"actor.gender": ColumnSpec(
+                pool=["male", "female", "nonbinary"])})
+        DataGenerator(db.schema, seed=0).populate(db, plan)
+        values = set(db.distinct_values(ColumnRef("actor", "gender")))
+        assert values <= {"male", "female", "nonbinary"}
+
+    def test_numeric_bounds(self):
+        db = fresh_db()
+        plan = PopulationPlan(
+            default_rows=20,
+            column_specs={"movie.year": ColumnSpec(low=1990, high=1999)})
+        DataGenerator(db.schema, seed=0).populate(db, plan)
+        low, high = db.column_min_max(ColumnRef("movie", "year"))
+        assert low >= 1990 and high <= 1999
+
+    def test_unique_pool_too_small_raises(self):
+        db = fresh_db()
+        plan = PopulationPlan(
+            default_rows=20,
+            column_specs={"actor.gender": ColumnSpec(pool=["x"],
+                                                     unique=True)})
+        with pytest.raises(DatasetError):
+            DataGenerator(db.schema, seed=0).populate(db, plan)
+
+    def test_unique_text_values_distinct(self):
+        db = fresh_db()
+        plan = PopulationPlan(
+            default_rows=30,
+            column_specs={"movie.title": ColumnSpec(unique=True)})
+        DataGenerator(db.schema, seed=0).populate(db, plan)
+        titles = db.distinct_values(ColumnRef("movie", "title"))
+        assert len(titles) == 30

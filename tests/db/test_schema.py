@@ -1,0 +1,110 @@
+"""Tests for the schema model."""
+
+import pytest
+
+from repro.db.schema import Column, ForeignKey, Schema, Table, make_schema
+from repro.errors import SchemaError
+from repro.sqlir.ast import ColumnRef
+from repro.sqlir.types import ColumnType as T
+
+
+class TestTable:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(name="t", columns=(
+                Column("a", T.TEXT), Column("a", T.NUMBER)))
+
+    def test_primary_key_lookup(self, movie_schema):
+        assert movie_schema.table("actor").primary_key.name == "aid"
+        assert movie_schema.table("starring").primary_key is None
+
+    def test_missing_column_raises(self, movie_schema):
+        with pytest.raises(SchemaError):
+            movie_schema.table("actor").column("nope")
+
+
+class TestSchema:
+    def test_counts(self, movie_schema):
+        assert movie_schema.num_tables == 3
+        assert movie_schema.num_foreign_keys == 2
+        assert movie_schema.num_columns == 10
+
+    def test_missing_table_raises(self, movie_schema):
+        with pytest.raises(SchemaError):
+            movie_schema.table("nope")
+
+    def test_column_type_lookup(self, movie_schema):
+        assert movie_schema.column_type(
+            ColumnRef("movie", "title")) is T.TEXT
+        assert movie_schema.column_type(
+            ColumnRef("movie", "year")) is T.NUMBER
+
+    def test_star_is_number(self, movie_schema):
+        from repro.sqlir.ast import STAR
+
+        assert movie_schema.column_type(STAR) is T.NUMBER
+
+    def test_iter_column_refs_in_schema_order(self, movie_schema):
+        refs = list(movie_schema.iter_column_refs())
+        assert refs[0] == ColumnRef("actor", "aid")
+        assert len(refs) == movie_schema.num_columns
+
+    def test_graph_edges(self, movie_schema):
+        graph = movie_schema.graph()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+        assert graph.has_edge("starring", "actor")
+
+    def test_foreign_keys_between(self, movie_schema):
+        fks = movie_schema.foreign_keys_between("starring", "movie")
+        assert len(fks) == 1
+        assert fks[0].src_column == "mid"
+
+    def test_foreign_keys_directional(self, movie_schema):
+        assert movie_schema.foreign_keys_from("starring")
+        assert not movie_schema.foreign_keys_from("movie")
+        assert movie_schema.foreign_keys_into("movie")
+
+    def test_bad_fk_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("bad", tables={"a": [("x", T.TEXT)]},
+                        foreign_keys=[("a", "x", "missing", "y")],
+                        primary_keys={"a": None})
+
+    def test_display_name_default(self, movie_schema):
+        assert movie_schema.display_name("actor.birth_year") == \
+            "birth year"
+
+    def test_display_name_override(self):
+        schema = make_schema("s", tables={"a": [("x", T.TEXT)]},
+                             primary_keys={"a": None},
+                             display_names={"a.x": "the exes"})
+        assert schema.display_name("a.x") == "the exes"
+
+
+class TestDdl:
+    def test_ddl_creates_tables_and_indexes(self, movie_schema):
+        statements = movie_schema.ddl()
+        creates = [s for s in statements if s.startswith("CREATE TABLE")]
+        indexes = [s for s in statements if s.startswith("CREATE INDEX")]
+        assert len(creates) == 3
+        # FK columns and text columns get secondary indexes.
+        assert any("starring(aid)" in s for s in indexes)
+        assert any("movie(title)" in s for s in indexes)
+
+    def test_fk_clause_present(self, movie_schema):
+        ddl = " ".join(movie_schema.ddl())
+        assert "FOREIGN KEY (aid) REFERENCES actor(aid)" in ddl
+
+
+class TestMakeSchema:
+    def test_auto_primary_key_from_id_suffix(self):
+        schema = make_schema("s", tables={"thing": [("thing_id", T.NUMBER),
+                                                    ("name", T.TEXT)]})
+        assert schema.table("thing").primary_key.name == "thing_id"
+
+    def test_explicit_none_primary_key(self):
+        schema = make_schema(
+            "s", tables={"link": [("aid", T.NUMBER), ("bid", T.NUMBER)]},
+            primary_keys={"link": None})
+        assert schema.table("link").primary_key is None

@@ -1,0 +1,97 @@
+"""Integration tests for the experiment harness."""
+
+import pytest
+
+from repro.datasets import SpiderCorpusConfig, generate_corpus
+from repro.eval import (
+    SimulationConfig,
+    fig10_report,
+    fig11_report,
+    fig12_report,
+    run_ablations,
+    run_detail_sweep,
+    run_simulation,
+    table5_report,
+    table6_report,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return generate_corpus("dev", SpiderCorpusConfig(
+        num_databases=3, tasks_per_database=4, seed=2))
+
+
+@pytest.fixture(scope="module")
+def sim_records(tiny_corpus):
+    return run_simulation(tiny_corpus,
+                          config=SimulationConfig(timeout=4.0))
+
+
+class TestRunSimulation:
+    def test_records_per_system(self, sim_records, tiny_corpus):
+        for system in ("Duoquest", "NLI", "PBE"):
+            bucket = [r for r in sim_records if r.system == system]
+            assert len(bucket) == len(tiny_corpus)
+
+    def test_duoquest_beats_nli_top1(self, sim_records):
+        """The headline claim: >2x top-1 accuracy over NLI."""
+        from repro.eval.metrics import top_k_accuracy
+
+        duoquest = [r for r in sim_records if r.system == "Duoquest"]
+        nli = [r for r in sim_records if r.system == "NLI"]
+        _, dq_top1 = top_k_accuracy(duoquest, 1)
+        _, nli_top1 = top_k_accuracy(nli, 1)
+        assert dq_top1 > nli_top1
+
+    def test_pbe_unsupported_on_hard(self, sim_records):
+        hard_pbe = [r for r in sim_records
+                    if r.system == "PBE" and r.difficulty == "hard"]
+        assert all(not r.supported for r in hard_pbe)
+
+    def test_ranks_well_formed(self, sim_records):
+        for r in sim_records:
+            if r.rank is not None:
+                assert r.rank >= 1
+                assert r.time_to_gold is not None
+
+    def test_reports_render(self, sim_records, tiny_corpus):
+        fig10 = fig10_report(sim_records, "tiny")
+        assert "Duoquest" in fig10 and "PBE" in fig10
+        fig11 = fig11_report(sim_records, "tiny")
+        assert "easy" in fig11 or "E%" in fig11
+        table5 = table5_report([tiny_corpus])
+        assert "spider-dev" in table5
+
+
+class TestDetailSweep:
+    def test_detail_ordering(self, tiny_corpus):
+        """Table 6's shape: more TSQ detail, no worse top-10 accuracy."""
+        from repro.eval.metrics import top_k_accuracy
+
+        records = run_detail_sweep(
+            tiny_corpus, details=("full", "minimal"),
+            config=SimulationConfig(timeout=4.0))
+        full = [r for r in records if r.detail == "full"]
+        minimal = [r for r in records if r.detail == "minimal"]
+        _, full_top10 = top_k_accuracy(full, 10)
+        _, minimal_top10 = top_k_accuracy(minimal, 10)
+        assert full_top10 >= minimal_top10
+        report = table6_report(records, [], "tiny")
+        assert "Full" in report and "Minimal" in report
+
+
+class TestAblations:
+    def test_duoquest_dominates_curve(self, tiny_corpus):
+        records = run_ablations(tiny_corpus,
+                                config=SimulationConfig(timeout=4.0))
+        from repro.eval.metrics import completion_curve
+
+        grid = [4.0]
+        duoquest = completion_curve(
+            [r for r in records if r.system == "Duoquest"], grid)
+        noguide = completion_curve(
+            [r for r in records if r.system == "NoGuide"], grid)
+        assert duoquest[0] >= noguide[0]
+        report = fig12_report(records, [1.0, 4.0])
+        assert "NoPQ" in report and "NoGuide" in report

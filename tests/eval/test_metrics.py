@@ -1,0 +1,76 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+
+from repro.eval.metrics import (
+    SimTaskRecord,
+    completion_curve,
+    correct_counts,
+    format_table,
+    mean,
+    pct,
+    std_error,
+    top_k_accuracy,
+    unsupported_counts,
+)
+
+
+def record(**kwargs):
+    base = dict(task_id="t", difficulty="easy", system="Duoquest")
+    base.update(kwargs)
+    return SimTaskRecord(**base)
+
+
+class TestTopK:
+    def test_counts_and_proportion(self):
+        records = [record(rank=1), record(rank=5), record(rank=None),
+                   record(rank=12)]
+        assert top_k_accuracy(records, 1) == (1, 0.25)
+        assert top_k_accuracy(records, 10) == (2, 0.5)
+        assert top_k_accuracy(records, 100) == (3, 0.75)
+
+    def test_empty(self):
+        assert top_k_accuracy([], 10) == (0, 0.0)
+
+
+class TestPbeCounts:
+    def test_correct(self):
+        records = [record(correct=True), record(correct=False),
+                   record(correct=True)]
+        assert correct_counts(records) == (2, pytest.approx(2 / 3))
+
+    def test_unsupported(self):
+        records = [record(supported=False), record(supported=True)]
+        assert unsupported_counts(records) == (1, 0.5)
+
+
+class TestCompletionCurve:
+    def test_curve_monotone(self):
+        records = [record(time_to_gold=t) for t in (0.5, 1.0, 4.0)] + \
+            [record(time_to_gold=None)]
+        curve = completion_curve(records, [0.1, 1.0, 5.0])
+        assert curve == [0.0, 50.0, 75.0]
+        assert curve == sorted(curve)
+
+    def test_empty(self):
+        assert completion_curve([], [1.0, 2.0]) == [0.0, 0.0]
+
+
+class TestHelpers:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_std_error(self):
+        assert std_error([5.0]) == 0.0
+        assert std_error([1.0, 3.0]) > 0
+
+    def test_pct(self):
+        assert pct(0.635) == "63.5"
+
+    def test_format_table_alignment(self):
+        text = format_table(("A", "Bee"), [("x", 1), ("long", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert all(len(line) >= 5 for line in lines)

@@ -1,0 +1,72 @@
+"""Tests for the static report printers."""
+
+from repro.eval.reports import (
+    CAPABILITY_MATRIX,
+    table1_report,
+    table3_report,
+)
+from repro.interaction.simulated_user import TrialRecord
+from repro.eval.reports import (
+    user_study_examples_report,
+    user_study_success_report,
+    user_study_time_report,
+)
+
+
+class TestTable1:
+    def test_duoquest_supports_everything(self):
+        row = next(r for r in CAPABILITY_MATRIX if r[0] == "Duoquest")
+        assert all(cell == "y" for cell in row[1:])
+
+    def test_nli_row_lacks_soundness(self):
+        row = next(r for r in CAPABILITY_MATRIX if r[0] == "NLIs")
+        assert row[1] == " "
+
+    def test_report_renders(self):
+        text = table1_report()
+        assert "Duoquest" in text
+        assert "SQuID" in text
+
+
+class TestTable3:
+    def test_report_lists_all_modules(self):
+        text = table3_report()
+        for name in ("KW", "COL", "OP", "AGG", "AND/OR", "DESC/ASC",
+                     "HAVING"):
+            assert name in text
+
+
+def trial(task_id, system, success, duration=60.0, examples=1):
+    return TrialRecord(user_id=0, task_id=task_id, system=system,
+                       success=success, duration=duration,
+                       num_examples=examples, difficulty="medium")
+
+
+class TestUserStudyReports:
+    def test_success_report_per_task(self):
+        trials = [trial("A1", "NLI", False), trial("A1", "Duoquest", True),
+                  trial("A2", "NLI", True), trial("A2", "Duoquest", True)]
+        text = user_study_success_report(trials, ("NLI", "Duoquest"),
+                                         "Fig 5")
+        assert "A1" in text and "100%" in text and "0%" in text
+        assert "ALL" in text
+
+    def test_time_report_successful_only(self):
+        trials = [trial("A1", "NLI", True, duration=100.0),
+                  trial("A1", "NLI", False, duration=300.0)]
+        text = user_study_time_report(trials, ("NLI",), "Fig 6")
+        assert "100s" in text
+        assert "300" not in text
+
+    def test_examples_report(self):
+        trials = [trial("C1", "PBE", True, examples=3),
+                  trial("C1", "Duoquest", True, examples=1)]
+        text = user_study_examples_report(trials, ("PBE", "Duoquest"),
+                                          "Fig 9")
+        assert "3.0" in text and "1.0" in text
+
+    def test_missing_system_shows_dash(self):
+        trials = [trial("A1", "NLI", True)]
+        text = user_study_success_report(trials, ("NLI", "Duoquest"),
+                                         "Fig 5")
+        assert "-" in text

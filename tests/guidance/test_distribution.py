@@ -1,0 +1,90 @@
+"""Tests (incl. property-based) for the Distribution type."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GuidanceError
+from repro.guidance.base import Distribution
+
+
+class TestConstruction:
+    def test_from_probs_normalises(self):
+        dist = Distribution.from_probs([("a", 2.0), ("b", 2.0)])
+        assert dist.prob_of("a") == pytest.approx(0.5)
+
+    def test_from_scores_softmax_ordering(self):
+        dist = Distribution.from_scores([("low", 0.0), ("high", 1.0)])
+        assert dist.top == "high"
+        assert dist.prob_of("high") > dist.prob_of("low")
+
+    def test_entries_sorted_descending(self):
+        dist = Distribution.from_probs([("a", 0.1), ("b", 0.7),
+                                        ("c", 0.2)])
+        probs = [p for _, p in dist]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_point(self):
+        dist = Distribution.point("only")
+        assert dist.top == "only"
+        assert dist.prob_of("only") == 1.0
+
+    def test_binary(self):
+        dist = Distribution.binary(0.8)
+        assert dist.prob_of(True) == pytest.approx(0.8)
+        assert dist.prob_of(False) == pytest.approx(0.2)
+
+    def test_invalid_sum_rejected(self):
+        with pytest.raises(GuidanceError):
+            Distribution(entries=(("a", 0.4), ("b", 0.4)))
+
+    def test_nonpositive_probs_rejected(self):
+        with pytest.raises(GuidanceError):
+            Distribution.from_probs([("a", 0.0)])
+
+    def test_zero_temperature_rejected(self):
+        with pytest.raises(GuidanceError):
+            Distribution.from_scores([("a", 1.0)], temperature=0.0)
+
+
+class TestOperations:
+    def test_restrict_renormalises(self):
+        dist = Distribution.from_probs([("a", 0.5), ("b", 0.3),
+                                        ("c", 0.2)])
+        restricted = dist.restrict(["a", "b"])
+        assert restricted.prob_of("a") == pytest.approx(0.625)
+        assert restricted.prob_of("c") == 0.0
+
+    def test_restrict_to_nothing_raises(self):
+        dist = Distribution.from_probs([("a", 1.0)])
+        with pytest.raises(GuidanceError):
+            dist.restrict(["zzz"])
+
+    def test_rank_of(self):
+        dist = Distribution.from_probs([("a", 0.7), ("b", 0.3)])
+        assert dist.rank_of("a") == 0
+        assert dist.rank_of("b") == 1
+        assert dist.rank_of("missing") is None
+
+    def test_top_of_empty_raises(self):
+        with pytest.raises(GuidanceError):
+            Distribution(entries=()).top
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0),
+                    min_size=1, max_size=20))
+    def test_from_probs_always_sums_to_one(self, weights):
+        entries = [(i, w) for i, w in enumerate(weights)]
+        dist = Distribution.from_probs(entries)
+        assert math.isclose(sum(p for _, p in dist), 1.0, abs_tol=1e-9)
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50),
+                    min_size=1, max_size=20),
+           st.floats(min_value=0.05, max_value=5.0))
+    def test_softmax_always_sums_to_one(self, scores, temperature):
+        entries = [(i, s) for i, s in enumerate(scores)]
+        dist = Distribution.from_scores(entries, temperature=temperature)
+        assert math.isclose(sum(p for _, p in dist), 1.0, abs_tol=1e-9)

@@ -1,0 +1,128 @@
+"""Tests for the lexical guidance backend."""
+
+import pytest
+
+from repro.guidance.base import (
+    GuidanceContext,
+    SLOT_GROUP_BY,
+    SLOT_ORDER_BY,
+    SLOT_SELECT,
+    SLOT_WHERE,
+)
+from repro.guidance.lexical import LexicalGuidanceModel
+from repro.guidance.modules import MODULES, module_by_name
+from repro.nlq.literals import NLQuery
+from repro.sqlir.ast import AggOp, ColumnRef, CompOp, Direction, LogicOp
+
+
+def make_ctx(schema, text, literals=()):
+    return GuidanceContext(nlq=NLQuery.from_text(text, literals=literals),
+                           schema=schema)
+
+
+@pytest.fixture
+def model():
+    return LexicalGuidanceModel()
+
+
+class TestClausePresence:
+    def test_literals_suggest_where(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, "movies before 1995", [1995])
+        assert model.clause_presence(ctx, SLOT_WHERE).top is True
+
+    def test_no_cues_no_where(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, "list all movie titles")
+        assert model.clause_presence(ctx, SLOT_WHERE).top is False
+
+    def test_for_each_suggests_grouping(self, model, movie_schema):
+        ctx = make_ctx(movie_schema,
+                       "number of movies for each actor name")
+        assert model.clause_presence(ctx, SLOT_GROUP_BY).top is True
+
+    def test_sorted_cue(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, "movie titles ordered by year")
+        assert model.clause_presence(ctx, SLOT_ORDER_BY).top is True
+
+
+class TestColumn:
+    def test_linked_column_ranked_first(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, "list the movie titles")
+        candidates = list(movie_schema.iter_column_refs())
+        dist = model.column(ctx, SLOT_SELECT, candidates)
+        assert dist.top == ColumnRef("movie", "title")
+
+
+class TestAggregate:
+    def test_how_many_cues_count(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, "how many movies are there")
+        dist = model.aggregate(ctx, SLOT_SELECT,
+                               ColumnRef("movie", "mid"),
+                               [AggOp.NONE, AggOp.COUNT, AggOp.MAX])
+        assert dist.top is AggOp.COUNT
+
+    def test_no_cue_prefers_plain(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, "list the years")
+        dist = model.aggregate(ctx, SLOT_SELECT,
+                               ColumnRef("movie", "year"),
+                               [AggOp.NONE, AggOp.COUNT, AggOp.MAX])
+        assert dist.top is AggOp.NONE
+
+    def test_text_column_rejects_numeric_aggs(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, "the highest title")
+        dist = model.aggregate(ctx, SLOT_SELECT,
+                               ColumnRef("movie", "title"),
+                               [AggOp.NONE, AggOp.MAX])
+        assert dist.prob_of(AggOp.MAX) < 0.05
+
+
+class TestComparison:
+    def test_more_than_cues_gt(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, "movies with more than 100 revenue",
+                       [100])
+        dist = model.comparison(ctx, SLOT_WHERE,
+                                ColumnRef("movie", "revenue"),
+                                [CompOp.EQ, CompOp.GT, CompOp.LT])
+        assert dist.top is CompOp.GT
+
+    def test_default_eq(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, 'movies named "Gravity"',
+                       ["Gravity"])
+        dist = model.comparison(ctx, SLOT_WHERE,
+                                ColumnRef("movie", "title"),
+                                [CompOp.EQ, CompOp.NE, CompOp.LIKE])
+        assert dist.top is CompOp.EQ
+
+
+class TestLogicAndDirection:
+    def test_or_cue(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, "before 1995 or after 2000",
+                       [1995, 2000])
+        assert model.logic(ctx).top is LogicOp.OR
+
+    def test_and_default(self, model, movie_schema):
+        ctx = make_ctx(movie_schema, "movies before 1995 with revenue "
+                                     "above 100", [1995, 100])
+        assert model.logic(ctx).top is LogicOp.AND
+
+    def test_descending_cue(self, model, movie_schema):
+        ctx = make_ctx(movie_schema,
+                       "titles ordered from highest to lowest revenue")
+        direction, _ = model.direction(ctx,
+                                       ColumnRef("movie", "revenue")).top
+        assert direction is Direction.DESC
+
+
+class TestModuleRegistry:
+    def test_table3_modules_present(self):
+        names = {m.name for m in MODULES}
+        assert names == {"KW", "COL", "OP", "AGG", "AND/OR", "DESC/ASC",
+                         "HAVING"}
+
+    def test_lookup(self):
+        assert module_by_name("COL").output == "Set"
+        with pytest.raises(KeyError):
+            module_by_name("NOPE")
+
+    def test_methods_exist_on_model(self, model):
+        for module in MODULES:
+            assert hasattr(model, module.method)

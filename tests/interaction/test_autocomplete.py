@@ -1,0 +1,31 @@
+"""Tests for the autocomplete server."""
+
+from repro.interaction import AutocompleteServer
+
+
+class TestSuggest:
+    def test_prefix_suggestions(self, movie_db):
+        server = AutocompleteServer(movie_db)
+        suggestions = server.suggest("Forr")
+        assert suggestions
+        assert suggestions[0].value == "Forrest Gump"
+        assert suggestions[0].source == "movie.title"
+
+    def test_limit(self, movie_db):
+        server = AutocompleteServer(movie_db)
+        assert len(server.suggest("Movie", limit=4)) <= 4
+
+    def test_no_duplicate_values(self, movie_db):
+        server = AutocompleteServer(movie_db)
+        values = [s.value for s in server.suggest("Movie", limit=10)]
+        assert len(values) == len(set(values))
+
+    def test_resolve_exact(self, movie_db):
+        server = AutocompleteServer(movie_db)
+        resolved = server.resolve_exact("forrest gump")
+        assert resolved is not None
+        assert resolved.value == "Forrest Gump"
+
+    def test_resolve_exact_missing(self, movie_db):
+        server = AutocompleteServer(movie_db)
+        assert server.resolve_exact("nothing like this") is None

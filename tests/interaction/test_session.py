@@ -1,0 +1,72 @@
+"""Tests for the dual-specification session (Figure 1 interaction)."""
+
+import pytest
+
+from repro.core import Duoquest, EnumeratorConfig
+from repro.guidance import CalibratedOracleModel
+from repro.interaction import DuoquestSession, PREVIEW_ROWS
+from repro.nlq import NLQuery
+from repro.sqlir.parser import parse_sql
+
+
+@pytest.fixture
+def session(movie_db):
+    system = Duoquest(movie_db, model=CalibratedOracleModel(seed=1),
+                      config=EnumeratorConfig(time_budget=6.0,
+                                              max_candidates=20))
+    return DuoquestSession.open(movie_db, system)
+
+
+class TestRounds:
+    def test_submit_records_round(self, session):
+        nlq = NLQuery.from_text("titles before 1994", literals=[1994])
+        result = session.submit(nlq)
+        assert len(session.rounds) == 1
+        assert session.rounds[0].result is result
+
+    def test_refine_tsq_accumulates_tuples(self, session):
+        nlq = NLQuery.from_text("titles before 1994", literals=[1994])
+        session.submit(nlq)
+        session.refine_tsq(extra_rows=[["Forrest Gump"]])
+        second = session.rounds[-1]
+        assert second.tsq is not None
+        assert len(second.tsq.tuples) == 1
+        session.refine_tsq(extra_rows=[["Movie 05"]])
+        assert len(session.rounds[-1].tsq.tuples) == 2
+
+    def test_refine_sorted_flag(self, session):
+        session.submit(NLQuery.from_text("titles"))
+        session.refine_tsq(sorted=True)
+        assert session.rounds[-1].tsq.sorted
+
+    def test_rephrase_keeps_tsq(self, session):
+        session.submit(NLQuery.from_text("titles before 1994",
+                                         literals=[1994]))
+        session.refine_tsq(extra_rows=[["Forrest Gump"]])
+        session.rephrase("movie names earlier than 1994",
+                         literals=[1994])
+        last = session.rounds[-1]
+        assert last.nlq.text.startswith("movie names")
+        assert last.tsq is not None and len(last.tsq.tuples) == 1
+
+    def test_refine_before_submit_raises(self, session):
+        with pytest.raises(RuntimeError):
+            session.refine_tsq(extra_rows=[["x"]])
+
+
+class TestInspection:
+    def test_preview_capped_at_20_rows(self, session, movie_db):
+        result = session.submit(NLQuery.from_text("all movie titles"))
+        assert result.candidates
+        preview = session.preview(result.ranked()[0])
+        assert len(preview) <= PREVIEW_ROWS
+
+    def test_candidate_sql(self, session):
+        result = session.submit(NLQuery.from_text("all movie titles"))
+        sql = session.candidate_sql(result.ranked()[0])
+        assert sql.startswith("SELECT")
+
+    def test_full_view(self, session):
+        result = session.submit(NLQuery.from_text("all movie titles"))
+        rows = session.full_view(result.ranked()[0])
+        assert rows

@@ -1,0 +1,87 @@
+"""Tests for the simulated-user trial machinery."""
+
+import pytest
+
+from repro.baselines.squid import SquidPBE
+from repro.core import Duoquest, EnumeratorConfig
+from repro.datasets import build_fact_bank, pbe_study_tasks
+from repro.guidance import CalibratedOracleModel
+from repro.interaction import (
+    TRIAL_TIME_LIMIT,
+    UserProfile,
+    UserSimulator,
+    make_cohort,
+)
+
+
+@pytest.fixture(scope="module")
+def simulator(mas_db):
+    def factory(task, variant):
+        return Duoquest(mas_db, model=CalibratedOracleModel(seed=variant),
+                        config=EnumeratorConfig())
+
+    return UserSimulator(mas_db, duoquest_factory=factory,
+                         pbe=SquidPBE(mas_db), seed=0,
+                         system_budget=10.0, max_candidates=30)
+
+
+@pytest.fixture(scope="module")
+def pbe_tasks(mas_db):
+    return {t.task_id: t for t in pbe_study_tasks(mas_db)}
+
+
+class TestCohort:
+    def test_size_and_novices(self):
+        cohort = make_cohort(16, 6, seed=0)
+        assert len(cohort) == 16
+        assert sum(1 for u in cohort if u.is_novice) == 6
+
+    def test_deterministic(self):
+        assert make_cohort(8, 3, seed=1) == make_cohort(8, 3, seed=1)
+
+
+class TestTrials:
+    def test_duoquest_trial_record(self, simulator, mas_db, pbe_tasks):
+        task = pbe_tasks["D2"]
+        facts = build_fact_bank(task, mas_db, size=10, seed=0)
+        user = UserProfile(user_id=0, sql_expertise=0.9)
+        record = simulator.run_ranked_list_trial(user, task, facts,
+                                                 use_tsq=True)
+        assert record.system == "Duoquest"
+        assert 0 < record.duration <= TRIAL_TIME_LIMIT
+        assert record.num_examples >= 1
+
+    def test_nli_trial_has_no_examples(self, simulator, mas_db,
+                                       pbe_tasks):
+        task = pbe_tasks["D2"]
+        facts = build_fact_bank(task, mas_db, size=10, seed=0)
+        user = UserProfile(user_id=1, sql_expertise=0.8)
+        record = simulator.run_ranked_list_trial(user, task, facts,
+                                                 use_tsq=False)
+        assert record.system == "NLI"
+        assert record.num_examples == 0
+
+    def test_pbe_trial(self, simulator, mas_db, pbe_tasks):
+        task = pbe_tasks["D2"]
+        facts = build_fact_bank(task, mas_db, size=10, seed=0)
+        user = UserProfile(user_id=2, sql_expertise=0.3)
+        record = simulator.run_pbe_trial(user, task, facts)
+        assert record.system == "PBE"
+        assert record.duration > 0
+
+    def test_trials_deterministic(self, simulator, mas_db, pbe_tasks):
+        task = pbe_tasks["C1"]
+        facts = build_fact_bank(task, mas_db, size=10, seed=0)
+        user = UserProfile(user_id=3, sql_expertise=0.7)
+        a = simulator.run_ranked_list_trial(user, task, facts, True)
+        b = simulator.run_ranked_list_trial(user, task, facts, True)
+        assert a == b
+
+    def test_duration_never_exceeds_limit(self, simulator, mas_db,
+                                          pbe_tasks):
+        for task in pbe_tasks.values():
+            facts = build_fact_bank(task, mas_db, size=10, seed=0)
+            user = UserProfile(user_id=4, sql_expertise=0.1)
+            record = simulator.run_ranked_list_trial(user, task, facts,
+                                                     use_tsq=True)
+            assert record.duration <= TRIAL_TIME_LIMIT

@@ -1,0 +1,43 @@
+"""Tests for lexical schema linking."""
+
+from repro.nlq.linking import link_schema
+from repro.nlq.literals import NLQuery
+from repro.sqlir.ast import ColumnRef
+
+
+class TestLinkSchema:
+    def test_mentioned_column_scores_high(self, movie_schema):
+        nlq = NLQuery.from_text("List the birth year of each actor")
+        scores = link_schema(nlq, movie_schema)
+        birth_year = scores.column_score(
+            ColumnRef("actor", "birth_year"))
+        revenue = scores.column_score(ColumnRef("movie", "revenue"))
+        assert birth_year > revenue
+
+    def test_mentioned_table_scores_high(self, movie_schema):
+        nlq = NLQuery.from_text("Show all movies")
+        scores = link_schema(nlq, movie_schema)
+        assert scores.table_score("movie") > scores.table_score("actor")
+
+    def test_ranked_columns_sorted(self, movie_schema):
+        nlq = NLQuery.from_text("movie titles")
+        ranked = link_schema(nlq, movie_schema).ranked_columns()
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert ranked[0][0] == ColumnRef("movie", "title")
+
+    def test_scores_bounded(self, movie_schema):
+        nlq = NLQuery.from_text(
+            "movie movie title title year year actor name")
+        scores = link_schema(nlq, movie_schema)
+        assert all(0.0 <= s <= 1.0 for s in scores.columns.values())
+
+    def test_literal_type_bonus(self, movie_schema):
+        with_number = NLQuery.from_text("movies in some year",
+                                        literals=[1995])
+        without = NLQuery.from_text("movies in some year", literals=[])
+        score_with = link_schema(with_number, movie_schema).column_score(
+            ColumnRef("movie", "year"))
+        score_without = link_schema(without, movie_schema).column_score(
+            ColumnRef("movie", "year"))
+        assert score_with > score_without

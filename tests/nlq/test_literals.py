@@ -1,0 +1,50 @@
+"""Tests for literal tagging and NLQ construction."""
+
+from repro.nlq.literals import Literal, NLQuery, extract_literals
+from repro.sqlir.types import ColumnType
+
+
+class TestExtractLiterals:
+    def test_quoted_text(self):
+        literals = extract_literals('Movies with "Tom Hanks" in them')
+        assert [l.value for l in literals] == ["Tom Hanks"]
+
+    def test_bare_numbers(self):
+        literals = extract_literals("Movies before 1995 or after 2000")
+        assert [l.value for l in literals] == [1995, 2000]
+
+    def test_decimal_number(self):
+        literals = extract_literals("rating above 8.5")
+        assert literals[0].value == 8.5
+
+    def test_numbers_inside_quotes_not_double_counted(self):
+        literals = extract_literals('publications in "SIGMOD 2020"')
+        values = [l.value for l in literals]
+        assert values == ["SIGMOD 2020"]
+
+    def test_single_quotes(self):
+        literals = extract_literals("movies named 'Gravity'")
+        assert literals[0].value == "Gravity"
+
+
+class TestNLQuery:
+    def test_from_text_auto_extraction(self):
+        nlq = NLQuery.from_text('Show "Gravity" movies after 2010')
+        assert {l.value for l in nlq.literals} == {"Gravity", 2010}
+
+    def test_explicit_literals_override(self):
+        nlq = NLQuery.from_text("Show movies", literals=[1999])
+        assert [l.value for l in nlq.literals] == [1999]
+
+    def test_typed_partitions(self):
+        nlq = NLQuery.from_text("q", literals=["a", 1, 2.5, "b"])
+        assert [l.value for l in nlq.text_literals] == ["a", "b"]
+        assert [l.value for l in nlq.number_literals] == [1, 2.5]
+
+    def test_literal_type(self):
+        assert Literal("x").type is ColumnType.TEXT
+        assert Literal(3).type is ColumnType.NUMBER
+
+    def test_tokens(self):
+        nlq = NLQuery.from_text("List all movies")
+        assert nlq.tokens() == ["list", "all", "movies"]

@@ -1,0 +1,96 @@
+"""Tests for NLQ tokenisation and lexical similarity."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlq.tokenize import (
+    bigrams,
+    contains_phrase,
+    content_tokens,
+    identifier_words,
+    overlap_score,
+    stem,
+    stems,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("List all movies before 1995.") == \
+            ["list", "all", "movies", "before", "1995"]
+
+    def test_numbers_kept(self):
+        assert "42" in tokenize("top 42 rows")
+
+    def test_content_tokens_drop_stopwords(self):
+        tokens = content_tokens("List the names of all actors")
+        assert "the" not in tokens
+        assert "names" in tokens
+
+
+class TestStem:
+    def test_plural(self):
+        assert stem("publications") == "publication"
+
+    def test_ing(self):
+        assert stem("starring") == "starr"
+
+    def test_plural_and_lemma_share_stem(self):
+        assert stem("movies") == stem("movie")
+        assert stem("titles") == stem("title")
+        assert stem("cities") == stem("city")
+
+    def test_short_words_untouched(self):
+        assert stem("is") == "is"
+
+    def test_digits_untouched(self):
+        assert stem("1995") == "1995"
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll",)),
+                   min_size=1, max_size=15))
+    def test_stem_never_longer(self, token):
+        assert len(stem(token)) <= len(token) + 1  # 'ies' -> 'y' + base
+
+
+class TestIdentifierWords:
+    def test_snake_case(self):
+        assert identifier_words("birth_year") == ["birth", "year"]
+
+    def test_camel_case(self):
+        assert identifier_words("birthYear") == ["birth", "year"]
+
+
+class TestOverlapScore:
+    def test_full_overlap(self):
+        query = stems("list the birth year of actors")
+        assert overlap_score(query, "birth_year") == 1.0
+
+    def test_partial_overlap(self):
+        query = stems("list the year")
+        assert overlap_score(query, "birth_year") == 0.5
+
+    def test_no_overlap(self):
+        assert overlap_score(stems("hello"), "birth_year") == 0.0
+
+    def test_empty_name(self):
+        assert overlap_score(stems("anything"), "") == 0.0
+
+
+class TestContainsPhrase:
+    def test_contiguous_match(self):
+        assert contains_phrase("show me more than five rows", "more than")
+
+    def test_non_contiguous_no_match(self):
+        assert not contains_phrase("more rows than that", "more than")
+
+    def test_case_insensitive(self):
+        assert contains_phrase("Ordered From Earliest", "from earliest")
+
+
+class TestBigrams:
+    def test_pairs(self):
+        assert bigrams(["a", "b", "c"]) == [("a", "b"), ("b", "c")]
+
+    def test_short_input(self):
+        assert bigrams(["a"]) == []

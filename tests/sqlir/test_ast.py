@@ -1,0 +1,202 @@
+"""Tests for the partial-query AST."""
+
+import copy
+
+from repro.sqlir.ast import (
+    HOLE,
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    Hole,
+    JoinEdge,
+    JoinPath,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    STAR,
+    SelectItem,
+    Where,
+)
+
+
+def col(table, column):
+    return ColumnRef(table=table, column=column)
+
+
+class TestHole:
+    def test_singleton(self):
+        assert Hole() is HOLE
+
+    def test_repr(self):
+        assert repr(HOLE) == "?"
+
+    def test_deepcopy_preserves_identity(self):
+        assert copy.deepcopy(HOLE) is HOLE
+
+
+class TestAggOp:
+    def test_none_not_aggregate(self):
+        assert not AggOp.NONE.is_aggregate
+
+    def test_count_output_type(self):
+        from repro.sqlir.types import ColumnType
+
+        assert AggOp.COUNT.output_type(ColumnType.TEXT) \
+            is ColumnType.NUMBER
+
+    def test_max_preserves_type(self):
+        from repro.sqlir.types import ColumnType
+
+        assert AggOp.MAX.output_type(ColumnType.TEXT) is ColumnType.TEXT
+        assert AggOp.MAX.output_type(ColumnType.NUMBER) \
+            is ColumnType.NUMBER
+
+    def test_avg_is_numeric(self):
+        from repro.sqlir.types import ColumnType
+
+        assert AggOp.AVG.output_type(ColumnType.NUMBER) \
+            is ColumnType.NUMBER
+
+
+class TestSelectItem:
+    def test_complete(self):
+        item = SelectItem(agg=AggOp.NONE, column=col("movie", "title"))
+        assert item.is_complete
+        assert not item.is_aggregate
+
+    def test_column_hole_incomplete(self):
+        assert not SelectItem(agg=AggOp.NONE, column=HOLE).is_complete
+
+    def test_agg_hole_incomplete(self):
+        assert not SelectItem(agg=HOLE,
+                              column=col("movie", "title")).is_complete
+
+    def test_star_count(self):
+        item = SelectItem(agg=AggOp.COUNT, column=STAR)
+        assert item.is_complete
+        assert item.is_aggregate
+        assert STAR.is_star
+
+
+class TestPredicate:
+    def test_complete(self):
+        pred = Predicate(agg=AggOp.NONE, column=col("movie", "year"),
+                         op=CompOp.LT, value=1995)
+        assert pred.is_complete
+
+    def test_value_hole_incomplete(self):
+        pred = Predicate(agg=AggOp.NONE, column=col("movie", "year"),
+                         op=CompOp.LT, value=HOLE)
+        assert not pred.is_complete
+
+    def test_between_repr(self):
+        pred = Predicate(agg=AggOp.NONE, column=col("movie", "year"),
+                         op=CompOp.BETWEEN, value=(1990, 1999))
+        assert "BETWEEN" in repr(pred)
+
+
+class TestWhere:
+    def test_empty_predicates_incomplete(self):
+        assert not Where(logic=LogicOp.AND, predicates=()).is_complete
+
+    def test_single_pred_ignores_logic_hole(self):
+        pred = Predicate(agg=AggOp.NONE, column=col("movie", "year"),
+                         op=CompOp.LT, value=1995)
+        assert Where(logic=HOLE, predicates=(pred,)).is_complete
+
+    def test_multi_pred_requires_logic(self):
+        pred = Predicate(agg=AggOp.NONE, column=col("movie", "year"),
+                         op=CompOp.LT, value=1995)
+        assert not Where(logic=HOLE, predicates=(pred, pred)).is_complete
+
+
+class TestJoinPath:
+    def test_canonical_direction_insensitive(self):
+        edge_a = JoinEdge("starring", "mid", "movie", "mid")
+        edge_b = JoinEdge("movie", "mid", "starring", "mid")
+        assert edge_a.canonical() == edge_b.canonical()
+
+    def test_canonical_table_order_insensitive(self):
+        edge = JoinEdge("starring", "mid", "movie", "mid")
+        path_a = JoinPath(tables=("movie", "starring"), edges=(edge,))
+        path_b = JoinPath(tables=("starring", "movie"), edges=(edge,))
+        assert path_a.canonical() == path_b.canonical()
+
+    def test_len(self):
+        assert len(JoinPath(tables=("a", "b", "c"))) == 3
+
+
+class TestQuery:
+    def test_empty_has_all_holes(self):
+        query = Query.empty()
+        holes = set(query.iter_holes())
+        assert {"select", "join_path", "where", "group_by", "having",
+                "order_by", "limit"} <= holes
+        assert not query.is_complete
+
+    def test_complete_query(self):
+        query = Query(
+            select=(SelectItem(agg=AggOp.NONE,
+                               column=col("movie", "title")),),
+            join_path=JoinPath(tables=("movie",)),
+            where=None, group_by=None, having=None, order_by=None,
+            limit=None)
+        assert query.is_complete
+        assert list(query.iter_holes()) == []
+
+    def test_empty_clause_tuples_are_holes(self):
+        query = Query(
+            select=(SelectItem(agg=AggOp.NONE,
+                               column=col("movie", "title")),),
+            join_path=JoinPath(tables=("movie",)),
+            where=Where(logic=HOLE, predicates=()),
+            group_by=(), having=(), order_by=(), limit=None)
+        holes = set(query.iter_holes())
+        assert "where.predicates" in holes
+        assert "group_by.columns" in holes
+        assert "having.predicates" in holes
+        assert "order_by.items" in holes
+
+    def test_column_refs_and_tables(self):
+        query = Query(
+            select=(SelectItem(agg=AggOp.NONE,
+                               column=col("movie", "title")),
+                    SelectItem(agg=AggOp.COUNT, column=STAR)),
+            join_path=HOLE,
+            where=Where(logic=LogicOp.AND, predicates=(
+                Predicate(agg=AggOp.NONE, column=col("actor", "name"),
+                          op=CompOp.EQ, value="Tom Hanks"),)),
+            group_by=(col("movie", "title"),),
+            having=None,
+            order_by=(OrderItem(agg=AggOp.COUNT, column=STAR,
+                                direction=Direction.DESC),),
+            limit=None)
+        refs = query.column_refs()
+        assert col("movie", "title") in refs
+        assert col("actor", "name") in refs
+        assert STAR not in refs  # star is not a real reference
+        assert query.referenced_tables() == ("movie", "actor")
+
+    def test_has_aggregate(self):
+        plain = Query(
+            select=(SelectItem(agg=AggOp.NONE,
+                               column=col("movie", "title")),),
+            join_path=HOLE, where=None, group_by=None, having=None,
+            order_by=None, limit=None)
+        assert not plain.has_aggregate
+        agg = plain.replace(select=(SelectItem(agg=AggOp.COUNT,
+                                               column=STAR),))
+        assert agg.has_aggregate
+
+    def test_replace_returns_new_object(self):
+        query = Query.empty()
+        updated = query.replace(limit=None)
+        assert updated is not query
+        assert isinstance(query.limit, Hole)
+        assert updated.limit is None
+
+    def test_query_hashable(self):
+        assert isinstance(hash(Query.empty()), int)
+        assert Query.empty() == Query.empty()

@@ -1,0 +1,114 @@
+"""Tests (including property-based) for canonical query equivalence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlir.canon import normalize_value, queries_equal, signature
+from repro.sqlir.parser import parse_sql
+
+
+class TestNormalizeValue:
+    def test_numeric_string_equals_number(self):
+        assert normalize_value("1995") == normalize_value(1995)
+
+    def test_case_insensitive_text(self):
+        assert normalize_value("Tom Hanks") == normalize_value("tom hanks")
+
+    def test_whitespace_stripped(self):
+        assert normalize_value(" abc ") == normalize_value("abc")
+
+    def test_between_pair_ordered(self):
+        assert normalize_value((5, 1)) == normalize_value((1, 5))
+
+    def test_bool_is_number(self):
+        assert normalize_value(True) == normalize_value(1)
+
+
+class TestQueriesEqual:
+    def test_select_order_insensitive(self, movie_schema):
+        a = parse_sql("SELECT title, year FROM movie", movie_schema)
+        b = parse_sql("SELECT year, title FROM movie", movie_schema)
+        assert queries_equal(a, b)
+
+    def test_predicate_order_insensitive(self, movie_schema):
+        a = parse_sql(
+            "SELECT title FROM movie WHERE year < 1995 AND revenue > 10",
+            movie_schema)
+        b = parse_sql(
+            "SELECT title FROM movie WHERE revenue > 10 AND year < 1995",
+            movie_schema)
+        assert queries_equal(a, b)
+
+    def test_logic_matters(self, movie_schema):
+        a = parse_sql(
+            "SELECT title FROM movie WHERE year < 1995 AND revenue > 10",
+            movie_schema)
+        b = parse_sql(
+            "SELECT title FROM movie WHERE year < 1995 OR revenue > 10",
+            movie_schema)
+        assert not queries_equal(a, b)
+
+    def test_order_by_direction_matters(self, movie_schema):
+        a = parse_sql("SELECT title FROM movie ORDER BY year ASC",
+                      movie_schema)
+        b = parse_sql("SELECT title FROM movie ORDER BY year DESC",
+                      movie_schema)
+        assert not queries_equal(a, b)
+
+    def test_limit_matters(self, movie_schema):
+        a = parse_sql("SELECT title FROM movie ORDER BY year LIMIT 3",
+                      movie_schema)
+        b = parse_sql("SELECT title FROM movie ORDER BY year LIMIT 5",
+                      movie_schema)
+        assert not queries_equal(a, b)
+
+    def test_join_alias_naming_irrelevant(self, movie_schema):
+        a = parse_sql(
+            "SELECT t1.name FROM actor AS t1 JOIN starring AS t2 "
+            "ON t1.aid = t2.aid", movie_schema)
+        b = parse_sql(
+            "SELECT x.name FROM actor x JOIN starring y ON y.aid = x.aid",
+            movie_schema)
+        assert queries_equal(a, b)
+
+    def test_count_star_vs_count_column_differ(self, movie_schema):
+        a = parse_sql("SELECT name, COUNT(*) FROM actor GROUP BY name",
+                      movie_schema)
+        b = parse_sql("SELECT name, COUNT(aid) FROM actor GROUP BY name",
+                      movie_schema)
+        assert not queries_equal(a, b)
+
+    def test_distinct_ignored_under_group_by(self, movie_schema):
+        a = parse_sql(
+            "SELECT DISTINCT name, COUNT(*) FROM actor GROUP BY name",
+            movie_schema)
+        b = parse_sql("SELECT name, COUNT(*) FROM actor GROUP BY name",
+                      movie_schema)
+        assert queries_equal(a, b)
+
+    def test_distinct_matters_without_group_by(self, movie_schema):
+        a = parse_sql("SELECT DISTINCT title FROM movie", movie_schema)
+        b = parse_sql("SELECT title FROM movie", movie_schema)
+        assert not queries_equal(a, b)
+
+    def test_literal_normalisation(self, movie_schema):
+        a = parse_sql("SELECT title FROM movie WHERE year = 1995",
+                      movie_schema)
+        b = parse_sql("SELECT title FROM movie WHERE year = 1995.0",
+                      movie_schema)
+        assert queries_equal(a, b)
+
+
+class TestSignatureProperties:
+    @given(st.one_of(st.integers(-10**6, 10**6),
+                     st.floats(allow_nan=False, allow_infinity=False,
+                               width=32),
+                     st.text(max_size=30)))
+    @settings(max_examples=150)
+    def test_normalize_value_idempotent(self, value):
+        once = normalize_value(value)
+        assert normalize_value(once) == once
+
+    def test_signature_is_hashable(self, movie_schema):
+        query = parse_sql("SELECT title FROM movie", movie_schema)
+        assert hash(signature(query)) == hash(signature(query))

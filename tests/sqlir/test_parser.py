@@ -1,0 +1,160 @@
+"""Tests for the SPJA SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqlir.ast import (
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    LogicOp,
+)
+from repro.sqlir.parser import parse_sql
+from repro.sqlir.render import to_sql
+
+
+class TestBasicParsing:
+    def test_single_table(self, movie_schema):
+        query = parse_sql("SELECT title FROM movie", movie_schema)
+        assert query.select[0].column == ColumnRef("movie", "title")
+        assert query.join_path.tables == ("movie",)
+
+    def test_alias_resolution(self, movie_schema):
+        query = parse_sql(
+            "SELECT t1.title FROM movie AS t1", movie_schema)
+        assert query.select[0].column == ColumnRef("movie", "title")
+
+    def test_implicit_alias(self, movie_schema):
+        query = parse_sql("SELECT m.title FROM movie m", movie_schema)
+        assert query.select[0].column == ColumnRef("movie", "title")
+
+    def test_join_edges(self, movie_schema):
+        query = parse_sql(
+            "SELECT t1.name FROM actor AS t1 JOIN starring AS t2 "
+            "ON t1.aid = t2.aid", movie_schema)
+        assert query.join_path.tables == ("actor", "starring")
+        edge = query.join_path.edges[0]
+        assert {edge.src_table, edge.dst_table} == {"actor", "starring"}
+
+    def test_unknown_table_raises(self, movie_schema):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT x FROM nonexistent", movie_schema)
+
+    def test_unknown_column_raises(self, movie_schema):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT nonsense FROM movie", movie_schema)
+
+    def test_ambiguous_column_raises(self, movie_schema):
+        with pytest.raises(ParseError):
+            parse_sql(
+                "SELECT aid FROM actor JOIN starring "
+                "ON actor.aid = starring.aid", movie_schema)
+
+    def test_empty_string_raises(self, movie_schema):
+        with pytest.raises(ParseError):
+            parse_sql("", movie_schema)
+
+
+class TestClauses:
+    def test_where_operators(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie WHERE year >= 1990 AND year <= 2000",
+            movie_schema)
+        ops = [p.op for p in query.where.predicates]
+        assert ops == [CompOp.GE, CompOp.LE]
+        assert query.where.logic is LogicOp.AND
+
+    def test_or_logic(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie WHERE year < 1995 OR year > 2000",
+            movie_schema)
+        assert query.where.logic is LogicOp.OR
+
+    def test_mixed_logic_rejected(self, movie_schema):
+        with pytest.raises(ParseError):
+            parse_sql(
+                "SELECT title FROM movie WHERE year < 1995 OR year > 2000 "
+                "AND revenue > 10", movie_schema)
+
+    def test_between(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie WHERE year BETWEEN 1990 AND 1999",
+            movie_schema)
+        pred = query.where.predicates[0]
+        assert pred.op is CompOp.BETWEEN
+        assert pred.value == (1990, 1999)
+
+    def test_like(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie WHERE title LIKE '%Gump%'",
+            movie_schema)
+        assert query.where.predicates[0].op is CompOp.LIKE
+
+    def test_string_escape(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie WHERE title = 'O''Brien'",
+            movie_schema)
+        assert query.where.predicates[0].value == "O'Brien"
+
+    def test_group_by_having(self, movie_schema):
+        query = parse_sql(
+            "SELECT name, COUNT(*) FROM actor GROUP BY name "
+            "HAVING COUNT(*) > 5", movie_schema)
+        assert query.group_by == (ColumnRef("actor", "name"),)
+        having = query.having[0]
+        assert having.agg is AggOp.COUNT
+        assert having.op is CompOp.GT
+
+    def test_order_by_limit(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie ORDER BY year DESC LIMIT 3",
+            movie_schema)
+        assert query.order_by[0].direction is Direction.DESC
+        assert query.limit == 3
+
+    def test_order_by_default_asc(self, movie_schema):
+        query = parse_sql(
+            "SELECT title FROM movie ORDER BY year", movie_schema)
+        assert query.order_by[0].direction is Direction.ASC
+
+    def test_distinct(self, movie_schema):
+        assert parse_sql("SELECT DISTINCT title FROM movie",
+                         movie_schema).distinct
+
+    def test_count_star(self, movie_schema):
+        query = parse_sql("SELECT COUNT(*) FROM movie", movie_schema)
+        item = query.select[0]
+        assert item.agg is AggOp.COUNT
+        assert item.column.is_star
+
+    def test_aggregate_of_column(self, movie_schema):
+        query = parse_sql("SELECT MAX(year) FROM movie", movie_schema)
+        assert query.select[0].agg is AggOp.MAX
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", [
+        "SELECT t1.title FROM movie AS t1",
+        "SELECT t1.title, t1.year FROM movie AS t1 WHERE t1.year < 1995",
+        "SELECT t1.name, COUNT(*) FROM actor AS t1 JOIN starring AS t2 "
+        "ON t1.aid = t2.aid GROUP BY t1.name HAVING COUNT(*) > 2 "
+        "ORDER BY COUNT(*) DESC LIMIT 5",
+        "SELECT t1.title FROM movie AS t1 WHERE t1.year BETWEEN 1990 AND "
+        "1995 ORDER BY t1.year ASC",
+    ])
+    def test_parse_render_parse_fixpoint(self, sql, movie_schema):
+        """Parsing rendered SQL reproduces the same AST."""
+        from repro.sqlir.canon import queries_equal
+
+        first = parse_sql(sql, movie_schema)
+        rendered = to_sql(first)
+        second = parse_sql(rendered, movie_schema)
+        assert queries_equal(first, second)
+
+    def test_parsed_queries_execute(self, movie_db):
+        query = parse_sql(
+            "SELECT t1.name, COUNT(*) FROM actor AS t1 JOIN starring AS "
+            "t2 ON t1.aid = t2.aid GROUP BY t1.name", movie_db.schema)
+        rows = movie_db.execute_query(query)
+        assert rows

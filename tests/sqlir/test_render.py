@@ -1,0 +1,163 @@
+"""Tests for SQL rendering."""
+
+import pytest
+
+from repro.errors import RenderError
+from repro.sqlir.ast import (
+    HOLE,
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    JoinEdge,
+    JoinPath,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    STAR,
+    SelectItem,
+    Where,
+)
+from repro.sqlir.render import (
+    quote_ident,
+    quote_literal,
+    to_debug_sql,
+    to_sql,
+)
+
+
+def col(table, column):
+    return ColumnRef(table=table, column=column)
+
+
+def simple_query(**overrides):
+    base = dict(
+        select=(SelectItem(agg=AggOp.NONE, column=col("movie", "title")),),
+        join_path=JoinPath(tables=("movie",)),
+        where=None, group_by=None, having=None, order_by=None, limit=None)
+    base.update(overrides)
+    return Query(**base)
+
+
+class TestQuoting:
+    def test_string_literal_escapes_quotes(self):
+        assert quote_literal("O'Brien") == "'O''Brien'"
+
+    def test_int_literal(self):
+        assert quote_literal(42) == "42"
+
+    def test_bool_literal(self):
+        assert quote_literal(True) == "1"
+
+    def test_plain_ident_unquoted(self):
+        assert quote_ident("movie") == "movie"
+
+    def test_mixed_case_ident_quoted(self):
+        assert quote_ident("Movie Title") == '"Movie Title"'
+
+
+class TestToSql:
+    def test_single_table(self):
+        assert to_sql(simple_query()) == \
+            "SELECT t1.title FROM movie AS t1"
+
+    def test_incomplete_raises(self):
+        with pytest.raises(RenderError):
+            to_sql(Query.empty())
+
+    def test_where_and(self):
+        query = simple_query(where=Where(
+            logic=LogicOp.AND,
+            predicates=(
+                Predicate(agg=AggOp.NONE, column=col("movie", "year"),
+                          op=CompOp.LT, value=1995),
+                Predicate(agg=AggOp.NONE, column=col("movie", "year"),
+                          op=CompOp.GT, value=2000))))
+        sql = to_sql(query)
+        assert "WHERE t1.year < 1995 AND t1.year > 2000" in sql
+
+    def test_where_or(self):
+        query = simple_query(where=Where(
+            logic=LogicOp.OR,
+            predicates=(
+                Predicate(agg=AggOp.NONE, column=col("movie", "year"),
+                          op=CompOp.LT, value=1995),
+                Predicate(agg=AggOp.NONE, column=col("movie", "year"),
+                          op=CompOp.GT, value=2000))))
+        assert " OR " in to_sql(query)
+
+    def test_between(self):
+        query = simple_query(where=Where(
+            logic=LogicOp.AND,
+            predicates=(Predicate(agg=AggOp.NONE,
+                                  column=col("movie", "year"),
+                                  op=CompOp.BETWEEN,
+                                  value=(1990, 1999)),)))
+        assert "BETWEEN 1990 AND 1999" in to_sql(query)
+
+    def test_group_having_order_limit(self):
+        query = Query(
+            select=(SelectItem(agg=AggOp.NONE,
+                               column=col("movie", "title")),
+                    SelectItem(agg=AggOp.COUNT, column=STAR)),
+            join_path=JoinPath(tables=("movie",)),
+            where=None,
+            group_by=(col("movie", "title"),),
+            having=(Predicate(agg=AggOp.COUNT, column=STAR, op=CompOp.GT,
+                              value=5),),
+            order_by=(OrderItem(agg=AggOp.COUNT, column=STAR,
+                                direction=Direction.DESC),),
+            limit=3)
+        sql = to_sql(query)
+        assert "GROUP BY t1.title" in sql
+        assert "HAVING COUNT(*) > 5" in sql
+        assert "ORDER BY COUNT(*) DESC" in sql
+        assert sql.endswith("LIMIT 3")
+
+    def test_join_rendering(self):
+        path = JoinPath(
+            tables=("actor", "starring", "movie"),
+            edges=(JoinEdge("starring", "aid", "actor", "aid"),
+                   JoinEdge("starring", "mid", "movie", "mid")))
+        query = Query(
+            select=(SelectItem(agg=AggOp.NONE,
+                               column=col("actor", "name")),),
+            join_path=path, where=None, group_by=None, having=None,
+            order_by=None, limit=None)
+        sql = to_sql(query)
+        assert "FROM actor AS t1" in sql
+        assert "JOIN starring AS t2 ON" in sql
+        assert "JOIN movie AS t3 ON" in sql
+
+    def test_disconnected_join_raises(self):
+        path = JoinPath(tables=("actor", "movie"), edges=())
+        query = Query(
+            select=(SelectItem(agg=AggOp.NONE,
+                               column=col("actor", "name")),),
+            join_path=path, where=None, group_by=None, having=None,
+            order_by=None, limit=None)
+        with pytest.raises(RenderError):
+            to_sql(query)
+
+    def test_column_outside_join_path_raises(self):
+        query = simple_query(
+            select=(SelectItem(agg=AggOp.NONE,
+                               column=col("actor", "name")),))
+        with pytest.raises(RenderError):
+            to_sql(query)
+
+    def test_distinct(self):
+        assert to_sql(simple_query(distinct=True)).startswith(
+            "SELECT DISTINCT")
+
+
+class TestDebugSql:
+    def test_renders_holes(self):
+        text = to_debug_sql(Query.empty())
+        assert "SELECT ?" in text
+        assert "FROM ?" in text
+
+    def test_partial_where(self):
+        query = simple_query(where=Where(logic=HOLE, predicates=(HOLE,)))
+        assert "WHERE ?" in to_debug_sql(query)

@@ -1,0 +1,115 @@
+"""Property-based round-trip: random ASTs survive render -> parse."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlir.ast import (
+    AggOp,
+    ColumnRef,
+    CompOp,
+    Direction,
+    JoinEdge,
+    JoinPath,
+    LogicOp,
+    OrderItem,
+    Predicate,
+    Query,
+    STAR,
+    SelectItem,
+    Where,
+)
+from repro.sqlir.canon import queries_equal
+from repro.sqlir.parser import parse_sql
+from repro.sqlir.render import to_sql
+from tests.conftest import build_movie_schema
+
+SCHEMA = build_movie_schema()
+
+_TEXT_COLS = [ColumnRef("movie", "title"), ColumnRef("actor", "name")]
+_NUM_COLS = [ColumnRef("movie", "year"), ColumnRef("movie", "revenue"),
+             ColumnRef("actor", "birth_year")]
+
+_SINGLE_MOVIE = JoinPath(tables=("movie",))
+_SINGLE_ACTOR = JoinPath(tables=("actor",))
+_FULL_JOIN = JoinPath(
+    tables=("actor", "starring", "movie"),
+    edges=(JoinEdge("starring", "aid", "actor", "aid"),
+           JoinEdge("starring", "mid", "movie", "mid")))
+
+text_values = st.sampled_from(["Forrest Gump", "Tom Hanks", "x y z",
+                               "O'Brien"])
+num_values = st.integers(min_value=0, max_value=3000)
+
+
+def columns_of(path: JoinPath):
+    text = [c for c in _TEXT_COLS if c.table in path.tables]
+    numeric = [c for c in _NUM_COLS if c.table in path.tables]
+    return text, numeric
+
+
+@st.composite
+def queries(draw):
+    path = draw(st.sampled_from([_SINGLE_MOVIE, _SINGLE_ACTOR,
+                                 _FULL_JOIN]))
+    text_cols, num_cols = columns_of(path)
+    all_cols = text_cols + num_cols
+
+    select_cols = draw(st.lists(st.sampled_from(all_cols), min_size=1,
+                                max_size=2, unique=True))
+    select = tuple(SelectItem(agg=AggOp.NONE, column=c)
+                   for c in select_cols)
+
+    where = None
+    if draw(st.booleans()):
+        preds = []
+        for _ in range(draw(st.integers(1, 2))):
+            if num_cols and draw(st.booleans()):
+                column = draw(st.sampled_from(num_cols))
+                op = draw(st.sampled_from([CompOp.EQ, CompOp.NE, CompOp.LT,
+                                           CompOp.GT, CompOp.LE,
+                                           CompOp.GE]))
+                value = draw(num_values)
+            else:
+                column = draw(st.sampled_from(text_cols))
+                op = draw(st.sampled_from([CompOp.EQ, CompOp.NE,
+                                           CompOp.LIKE]))
+                value = draw(text_values)
+            preds.append(Predicate(agg=AggOp.NONE, column=column, op=op,
+                                   value=value))
+        logic = draw(st.sampled_from([LogicOp.AND, LogicOp.OR]))
+        where = Where(logic=logic, predicates=tuple(preds))
+
+    order_by = None
+    limit = None
+    if num_cols and draw(st.booleans()):
+        order_by = (OrderItem(
+            agg=AggOp.NONE, column=draw(st.sampled_from(num_cols)),
+            direction=draw(st.sampled_from([Direction.ASC,
+                                            Direction.DESC]))),)
+        if draw(st.booleans()):
+            limit = draw(st.integers(1, 10))
+
+    return Query(select=select, join_path=path, where=where,
+                 group_by=None, having=None, order_by=order_by,
+                 limit=limit)
+
+
+class TestRoundTripProperty:
+    @given(queries())
+    @settings(max_examples=120, deadline=None)
+    def test_render_parse_roundtrip(self, query):
+        sql = to_sql(query)
+        parsed = parse_sql(sql, SCHEMA)
+        assert queries_equal(query, parsed), sql
+
+    @given(queries())
+    @settings(max_examples=60, deadline=None)
+    def test_rendered_sql_executes(self, query):
+        """Everything we can render is valid SQLite."""
+        from tests.conftest import build_movie_db
+
+        db = getattr(self, "_db", None)
+        if db is None:
+            db = self._db = build_movie_db()
+        db.execute(to_sql(query), max_rows=3)

@@ -1,0 +1,68 @@
+"""Tests for the two-valued logical type system."""
+
+import pytest
+
+from repro.sqlir.types import ColumnType, coerce_value, value_type
+
+
+class TestColumnType:
+    def test_from_sqlite_integer(self):
+        assert ColumnType.from_sqlite("INTEGER") is ColumnType.NUMBER
+
+    def test_from_sqlite_varchar(self):
+        assert ColumnType.from_sqlite("VARCHAR(40)") is ColumnType.TEXT
+
+    @pytest.mark.parametrize("declared", ["REAL", "FLOAT", "DOUBLE",
+                                          "NUMERIC", "DECIMAL(8,2)",
+                                          "BOOLEAN", "int"])
+    def test_from_sqlite_numeric_affinities(self, declared):
+        assert ColumnType.from_sqlite(declared) is ColumnType.NUMBER
+
+    @pytest.mark.parametrize("declared", ["TEXT", "CLOB", "CHAR(10)", "",
+                                          None])
+    def test_from_sqlite_text_affinities(self, declared):
+        assert ColumnType.from_sqlite(declared) is ColumnType.TEXT
+
+    def test_to_sqlite_roundtrip(self):
+        assert ColumnType.from_sqlite(
+            ColumnType.NUMBER.to_sqlite()) is ColumnType.NUMBER
+        assert ColumnType.from_sqlite(
+            ColumnType.TEXT.to_sqlite()) is ColumnType.TEXT
+
+    def test_str(self):
+        assert str(ColumnType.TEXT) == "text"
+        assert str(ColumnType.NUMBER) == "number"
+
+
+class TestValueType:
+    def test_int_is_number(self):
+        assert value_type(3) is ColumnType.NUMBER
+
+    def test_float_is_number(self):
+        assert value_type(2.5) is ColumnType.NUMBER
+
+    def test_bool_is_number(self):
+        assert value_type(True) is ColumnType.NUMBER
+
+    def test_str_is_text(self):
+        assert value_type("SIGMOD") is ColumnType.TEXT
+
+
+class TestCoerceValue:
+    def test_numeric_string_to_int(self):
+        assert coerce_value("1995", ColumnType.NUMBER) == 1995
+
+    def test_numeric_string_to_float(self):
+        assert coerce_value("19.5", ColumnType.NUMBER) == 19.5
+
+    def test_non_numeric_string_unchanged(self):
+        assert coerce_value("hello", ColumnType.NUMBER) == "hello"
+
+    def test_number_to_text(self):
+        assert coerce_value(1995, ColumnType.TEXT) == "1995"
+
+    def test_text_stays_text(self):
+        assert coerce_value("abc", ColumnType.TEXT) == "abc"
+
+    def test_whitespace_stripped(self):
+        assert coerce_value(" 42 ", ColumnType.NUMBER) == 42

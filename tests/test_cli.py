@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_args(self):
+        args = build_parser().parse_args(
+            ["demo", "list authors", "--top", "5"])
+        assert args.nlq == "list authors"
+        assert args.top == 5
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.split == "dev"
+
+
+class TestCommands:
+    def test_tables_command(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 3" in out
+        assert "Table 4" in out
+
+    def test_simulate_tiny(self, capsys):
+        code = main(["simulate", "--databases", "2", "--tasks", "2",
+                     "--timeout", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "Figure 11" in out
+
+    def test_demo_runs(self, capsys):
+        code = main(["demo", 'List authors in domain "Databases".',
+                     "--top", "3", "--timeout", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SELECT" in out

@@ -1,0 +1,88 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import pytest
+
+from repro import (
+    Duoquest,
+    EnumeratorConfig,
+    NLQuery,
+    TableSketchQuery,
+    queries_equal,
+    to_sql,
+)
+from repro.guidance import CalibratedOracleModel, LexicalGuidanceModel
+
+
+class TestMovieScenario:
+    """The paper's motivating example (Examples 2.1-2.2), end to end."""
+
+    def test_tsq_disambiguates_cq3(self, movie_db):
+        from repro.sqlir.parser import parse_sql
+
+        # CQ3-style target: movies before 1995 or after 2000, sorted.
+        gold = parse_sql(
+            "SELECT t1.title, t1.year FROM movie t1 WHERE t1.year < 1994 "
+            "OR t1.year > 2013 ORDER BY t1.year ASC", movie_db.schema)
+        nlq = NLQuery.from_text(
+            "movie titles and years before 1994 or after 2013 from "
+            "earliest to most recent", literals=[1994, 2013])
+        rows = movie_db.execute_query(gold)
+        assert len(rows) >= 2
+        tsq = TableSketchQuery.build(
+            types=["text", "number"],
+            rows=[list(rows[0]), list(rows[-1])],
+            sorted=True)
+        system = Duoquest(movie_db, model=CalibratedOracleModel(seed=1),
+                          config=EnumeratorConfig(time_budget=15.0,
+                                                  max_candidates=60))
+        result = system.synthesize(nlq, tsq, gold=gold, task_id="cq3")
+        rank = result.rank_of(lambda q: queries_equal(q, gold))
+        assert rank is not None and rank <= 10
+
+    def test_all_candidates_execute(self, movie_db):
+        nlq = NLQuery.from_text("movie titles before 1994",
+                                literals=[1994])
+        system = Duoquest(movie_db, model=LexicalGuidanceModel(),
+                          config=EnumeratorConfig(time_budget=6.0,
+                                                  max_candidates=25))
+        result = system.synthesize(
+            nlq, TableSketchQuery.build(types=["text"]))
+        assert result.candidates
+        for candidate in result.candidates:
+            movie_db.execute(to_sql(candidate.query), max_rows=5)
+
+
+class TestSpiderPipeline:
+    def test_corpus_to_simulation_to_report(self, mini_corpus):
+        from repro.eval import (
+            SimulationConfig,
+            fig10_report,
+            run_simulation,
+        )
+
+        records = run_simulation(
+            mini_corpus, systems=("Duoquest", "NLI"),
+            config=SimulationConfig(timeout=3.0))
+        report = fig10_report(records, "integration")
+        assert "Duoquest" in report
+        # Duoquest must not do worse than the NLI anywhere.
+        from repro.eval.metrics import top_k_accuracy
+
+        duoquest = [r for r in records if r.system == "Duoquest"]
+        nli = [r for r in records if r.system == "NLI"]
+        assert top_k_accuracy(duoquest, 10)[1] >= \
+            top_k_accuracy(nli, 10)[1]
+
+
+class TestUserStudyPipeline:
+    def test_small_study_runs(self, mas_db):
+        from repro.datasets import pbe_study_tasks
+        from repro.eval import UserStudyConfig, run_pbe_user_study
+
+        config = UserStudyConfig(cohort_size=4, novices=2,
+                                 system_budget=8.0, max_candidates=25)
+        trials = run_pbe_user_study(mas_db, pbe_study_tasks(mas_db),
+                                    config)
+        assert len(trials) == 4 * 6
+        systems = {t.system for t in trials}
+        assert systems == {"PBE", "Duoquest"}

@@ -1,0 +1,52 @@
+"""Package-level tests: exports, errors, version."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackage_exports_resolve(self):
+        import repro.baselines
+        import repro.core
+        import repro.datasets
+        import repro.db
+        import repro.eval
+        import repro.guidance
+        import repro.interaction
+        import repro.nlq
+        import repro.sqlir
+
+        for module in (repro.core, repro.db, repro.guidance, repro.nlq,
+                       repro.sqlir, repro.baselines, repro.datasets,
+                       repro.interaction, repro.eval):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, \
+                    f"{module.__name__}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        subclasses = [errors.SchemaError, errors.QueryError,
+                      errors.RenderError, errors.ParseError,
+                      errors.ExecutionError, errors.ExecutionTimeout,
+                      errors.GuidanceError, errors.EnumerationError,
+                      errors.TSQError, errors.DatasetError,
+                      errors.UnsupportedTaskError]
+        for cls in subclasses:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_timeout_is_execution_error(self):
+        assert issubclass(errors.ExecutionTimeout, errors.ExecutionError)
+
+    def test_render_and_parse_are_query_errors(self):
+        assert issubclass(errors.RenderError, errors.QueryError)
+        assert issubclass(errors.ParseError, errors.QueryError)
