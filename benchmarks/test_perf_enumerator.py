@@ -1,0 +1,114 @@
+"""Enumerator throughput smoke benchmark (candidates/sec).
+
+Not a paper figure: this pins the search-engine subsystem's performance
+envelope. It records candidates/sec for the serial best-first engine
+and for the parallel verification stage (workers=4), and reports the
+speedup. Set ``REPRO_PERF_STRICT=1`` (multi-core hosts only — SQLite
+probe execution releases the GIL, but a single core has nothing to run
+the extra workers on) to turn the ≥1.5x parallel speedup target into a
+hard assertion; by default the speedup is recorded, and parallelism is
+only required to preserve the candidate stream exactly.
+
+Scale with ``REPRO_BENCH_FULL=1`` like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import FULL, run_once
+
+#: (databases, tasks) and per-task budget for the throughput workload.
+SHAPE = (3, 4) if FULL else (2, 3)
+MAX_CANDIDATES = 60 if FULL else 40
+MAX_EXPANSIONS = 12_000 if FULL else 6_000
+PARALLEL_WORKERS = 4
+MULTICORE = (os.cpu_count() or 1) >= 2
+
+
+def _parallel_possible() -> bool:
+    """Thread-pool verification needs sqlite snapshot support; without
+    it the pool degrades to inline and a speedup is structurally
+    impossible."""
+    from repro.db.database import Database
+
+    return MULTICORE and Database.supports_snapshots()
+
+
+STRICT = os.environ.get("REPRO_PERF_STRICT", "") == "1" \
+    and _parallel_possible()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.datasets import (
+        DETAIL_FULL,
+        SpiderCorpusConfig,
+        generate_corpus,
+        synthesize_tsq,
+    )
+    from repro.guidance.oracle import CalibratedOracleModel
+
+    corpus = generate_corpus("dev", SpiderCorpusConfig(
+        num_databases=SHAPE[0], tasks_per_database=SHAPE[1], seed=11))
+    model = CalibratedOracleModel(seed=0)
+    tasks = []
+    for task in corpus:
+        db = corpus.database_for(task)
+        tsq = synthesize_tsq(task, db, detail=DETAIL_FULL, seed=0)
+        tasks.append((task, db, tsq))
+    return model, tasks
+
+
+def run_workload(workload, workers: int):
+    """Enumerate every task; returns (candidates, elapsed, cand/sec)."""
+    from repro.core.enumerator import Enumerator, EnumeratorConfig
+
+    model, tasks = workload
+    config = EnumeratorConfig(engine="best-first", workers=workers,
+                              max_candidates=MAX_CANDIDATES,
+                              max_expansions=MAX_EXPANSIONS)
+    emitted = 0
+    start = time.monotonic()
+    for task, db, tsq in tasks:
+        enumerator = Enumerator(db, model, task.nlq, tsq=tsq,
+                                config=config, gold=task.gold,
+                                task_id=task.task_id)
+        emitted += sum(1 for _ in enumerator.enumerate())
+    elapsed = time.monotonic() - start
+    return emitted, elapsed, emitted / elapsed if elapsed > 0 else 0.0
+
+
+def test_serial_throughput(benchmark, workload):
+    emitted, elapsed, rate = run_once(
+        benchmark, lambda: run_workload(workload, workers=1))
+    benchmark.extra_info["candidates"] = emitted
+    benchmark.extra_info["candidates_per_sec"] = round(rate, 1)
+    print(f"\n[perf] serial: {emitted} candidates in {elapsed:.2f}s "
+          f"({rate:.1f} cand/s)")
+    assert emitted > 0
+    assert rate > 0
+
+
+def test_parallel_speedup(benchmark, workload):
+    serial_emitted, _, serial_rate = run_workload(workload, workers=1)
+    emitted, elapsed, rate = run_once(
+        benchmark, lambda: run_workload(workload,
+                                        workers=PARALLEL_WORKERS))
+    speedup = rate / serial_rate if serial_rate else 0.0
+    benchmark.extra_info["candidates_per_sec"] = round(rate, 1)
+    benchmark.extra_info["speedup_vs_serial"] = round(speedup, 2)
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    print(f"\n[perf] workers={PARALLEL_WORKERS}: {emitted} candidates in "
+          f"{elapsed:.2f}s ({rate:.1f} cand/s, {speedup:.2f}x serial, "
+          f"{os.cpu_count()} cpus)")
+    # Parallelism must never change the result stream...
+    assert emitted == serial_emitted
+    assert rate > 0
+    # ...and must actually pay off where strict mode demands it.
+    if STRICT:
+        assert speedup >= 1.5, \
+            f"workers={PARALLEL_WORKERS} only reached {speedup:.2f}x"

@@ -1,3 +1,52 @@
-from setuptools import setup
+"""Packaging for the Duoquest (SIGMOD 2020) reproduction."""
 
-setup()
+import os
+
+from setuptools import find_packages, setup
+
+
+def long_description() -> str:
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "PAPER.md")
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    return ""
+
+
+setup(
+    name="duoquest-repro",
+    version="0.2.0",
+    description="Dual-specification query synthesis (Duoquest, SIGMOD "
+                "2020): guided partial query enumeration with a pluggable "
+                "search engine and TSQ verification",
+    long_description=long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    # Runtime is stdlib-only (sqlite3); everything heavier is dev-only.
+    install_requires=[],
+    extras_require={
+        "test": [
+            "pytest>=7",
+            "hypothesis>=6",
+            "pytest-benchmark>=4",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "duoquest=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Database",
+        "Topic :: Scientific/Engineering",
+    ],
+)

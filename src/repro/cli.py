@@ -34,12 +34,23 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         tsq = TableSketchQuery.build(rows=rows)
     system = Duoquest(db, model=LexicalGuidanceModel(),
                       config=EnumeratorConfig(time_budget=args.timeout,
-                                              max_candidates=args.top))
+                                              max_candidates=args.top,
+                                              engine=args.engine,
+                                              workers=args.workers,
+                                              beam_width=args.beam_width))
     result = system.synthesize(nlq, tsq)
     print(f"{len(result.candidates)} candidates in {result.elapsed:.2f}s")
     for rank, candidate in enumerate(result.top(args.top), start=1):
         print(f"{rank:3d}. [{candidate.confidence:.4f}] "
               f"{to_sql(candidate.query)}")
+    telemetry = result.telemetry
+    if telemetry is not None:
+        print(f"[{telemetry.engine} x{telemetry.workers}] "
+              f"{telemetry.expansions} expansions, "
+              f"{telemetry.pruned_partial + telemetry.pruned_complete} "
+              f"pruned, cache hit rate "
+              f"{100.0 * telemetry.cache_hit_rate:.1f}%, "
+              f"{telemetry.wall_time:.2f}s")
     return 0
 
 
@@ -50,17 +61,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         fig10_report,
         fig11_report,
         run_simulation,
+        search_report,
     )
 
     corpus = generate_corpus(args.split, SpiderCorpusConfig(
         num_databases=args.databases, tasks_per_database=args.tasks,
         seed=args.seed))
     print(corpus)
-    records = run_simulation(corpus,
-                             config=SimulationConfig(timeout=args.timeout))
+    records = run_simulation(corpus, config=SimulationConfig(
+        timeout=args.timeout, engine=args.engine, workers=args.workers,
+        beam_width=args.beam_width))
     print(fig10_report(records, args.split))
     print()
     print(fig11_report(records, args.split))
+    print()
+    print(search_report(records))
     return 0
 
 
@@ -129,6 +144,28 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 (got {value})")
+    return value
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Search-engine selection flags shared by the GPQE subcommands."""
+    from .core import ENGINES
+
+    parser.add_argument("--engine", choices=ENGINES, default="best-first",
+                        help="search strategy (default: best-first, which "
+                             "reproduces the paper's Algorithm 1 exactly)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="verification worker threads (default: 1; "
+                             "values below 1 run inline)")
+    parser.add_argument("--beam-width", type=_positive_int, default=16,
+                        help="frontier width for the beam engines "
+                             "(default: 16)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="duoquest",
@@ -144,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--top", type=int, default=10)
     demo.add_argument("--timeout", type=float, default=15.0)
     demo.add_argument("--seed", type=int, default=0)
+    _add_engine_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
     simulate = sub.add_parser("simulate", help="run the simulation study")
@@ -152,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--tasks", type=int, default=8)
     simulate.add_argument("--timeout", type=float, default=8.0)
     simulate.add_argument("--seed", type=int, default=0)
+    _add_engine_flags(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     study = sub.add_parser("user-study", help="run the user studies")

@@ -3,6 +3,12 @@
 from .duoquest import Duoquest, SynthesisResult
 from .enumerator import Candidate, Enumerator, EnumeratorConfig
 from .joins import JoinPathBuilder
+from .search import (
+    ENGINES,
+    SearchEngine,
+    SearchTelemetry,
+    make_frontier,
+)
 from .semantics import (
     DEFAULT_RULES,
     Rule,
@@ -20,6 +26,7 @@ from .tsq import (
 )
 from .verifier import (
     ALL_STAGES,
+    SharedProbeCache,
     Verifier,
     VerifierConfig,
     VerifyResult,
@@ -31,6 +38,7 @@ __all__ = [
     "Cell",
     "DEFAULT_RULES",
     "Duoquest",
+    "ENGINES",
     "EmptyCell",
     "Enumerator",
     "EnumeratorConfig",
@@ -39,6 +47,9 @@ __all__ = [
     "RangeCell",
     "Rule",
     "RuleSet",
+    "SearchEngine",
+    "SearchTelemetry",
+    "SharedProbeCache",
     "SynthesisResult",
     "TableSketchQuery",
     "Verifier",
@@ -47,4 +58,5 @@ __all__ = [
     "Violation",
     "cell",
     "check_semantics",
+    "make_frontier",
 ]

@@ -20,6 +20,7 @@ from ..nlq.literals import NLQuery
 from ..sqlir.ast import Query
 from ..sqlir.render import to_sql
 from .enumerator import Candidate, Enumerator, EnumeratorConfig
+from .search import SearchTelemetry
 from .tsq import TableSketchQuery
 from .verifier import Verifier
 
@@ -33,6 +34,8 @@ class SynthesisResult:
     expansions: int
     timed_out: bool
     verifier_stats: dict = field(default_factory=dict)
+    #: per-stage search telemetry (engine, prunes, cache hit rate, ...)
+    telemetry: Optional[SearchTelemetry] = None
 
     def ranked(self) -> List[Candidate]:
         """Candidates from highest to lowest confidence (ties: emission
@@ -99,14 +102,22 @@ class Duoquest:
                                 config=self.config, gold=gold,
                                 task_id=task_id)
         candidates: List[Candidate] = []
-        for candidate in enumerator.enumerate():
-            candidates.append(candidate)
-            if stop_when is not None and stop_when(candidate):
-                break
+        stream = enumerator.enumerate()
+        try:
+            for candidate in stream:
+                candidates.append(candidate)
+                if stop_when is not None and stop_when(candidate):
+                    break
+        finally:
+            # Deterministic teardown on early stop: shuts the
+            # verification pool down and finalises the telemetry before
+            # the result snapshot below.
+            stream.close()
         elapsed = time.monotonic() - start
         timed_out = (self.config.time_budget is not None
                      and elapsed >= self.config.time_budget)
         return SynthesisResult(candidates=candidates, elapsed=elapsed,
                                expansions=enumerator.expansions,
                                timed_out=timed_out,
-                               verifier_stats=dict(enumerator.verifier.stats))
+                               verifier_stats=dict(enumerator.verifier.stats),
+                               telemetry=enumerator.telemetry)

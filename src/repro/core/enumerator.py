@@ -27,17 +27,16 @@ the final step without changing the candidate set.
 
 from __future__ import annotations
 
-import heapq
 import itertools
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
 
 from ..db.database import Database
 from ..guidance.base import (
     Distribution,
     GuidanceContext,
     GuidanceModel,
+    GuidanceRequest,
     SLOT_GROUP_BY,
     SLOT_HAVING,
     SLOT_ORDER_BY,
@@ -61,16 +60,22 @@ from ..sqlir.ast import (
     SelectItem,
     Where,
 )
-from ..sqlir.canon import signature
 from ..sqlir.types import ColumnType
 from .joins import JoinPathBuilder
+from .search import (
+    Candidate,
+    SearchEngine,
+    SearchState,
+    SearchTelemetry,
+    make_frontier,
+)
 from .tsq import TableSketchQuery
 from .verifier import Verifier, VerifierConfig
 
 
 @dataclass
 class EnumeratorConfig:
-    """Search-space bounds and ablation switches."""
+    """Search-space bounds, engine selection and ablation switches."""
 
     max_select: int = 3
     max_where: int = 3
@@ -85,28 +90,21 @@ class EnumeratorConfig:
     verify_partial: bool = True  # False -> NoPQ ablation
     check_semantics: bool = True
     min_confidence: float = 1e-12
+    #: search strategy: "best-first" (exact, seed-equivalent), "beam", or
+    #: "diverse-beam" (see repro.core.search.frontier)
+    engine: str = "best-first"
+    #: verification worker threads; 1 = inline (no thread pool)
+    workers: int = 1
+    #: frontier truncation width for the beam engines
+    beam_width: int = 16
+    #: states popped per expansion round; None = engine picks
+    #: (max(1, workers) for best-first, the beam width for beams)
+    batch_size: Optional[int] = None
 
 
-@dataclass(frozen=True)
-class Candidate:
-    """An emitted candidate query."""
-
-    query: Query
-    confidence: float
-    index: int            # emission order (0 = first emitted)
-    elapsed: float        # seconds since enumeration started
-    expansions: int       # states expanded before emission
-
-    def __repr__(self) -> str:
-        return (f"<Candidate #{self.index} conf={self.confidence:.3g} "
-                f"t={self.elapsed:.3f}s>")
-
-
-@dataclass
-class _State:
-    query: Query
-    confidence: float
-    depth: int
+#: Backwards-compatible alias — the state type now lives in the search
+#: subsystem.
+_State = SearchState
 
 
 class Enumerator:
@@ -133,8 +131,7 @@ class Enumerator:
                 verify_partial=self.config.verify_partial))
         self._ctx = GuidanceContext(nlq=nlq, schema=self.schema,
                                     gold=gold, task_id=task_id)
-        self.expansions = 0
-        self._emitted = 0
+        self.telemetry = SearchTelemetry()
 
         self._all_columns = tuple(self.schema.iter_column_refs())
         self._text_columns = tuple(
@@ -157,67 +154,39 @@ class Enumerator:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @property
+    def expansions(self) -> int:
+        """States expanded so far (mirrors the search telemetry)."""
+        return self.telemetry.expansions
+
     def enumerate(self) -> Iterator[Candidate]:
-        """Yield verified candidate queries, best-first (Algorithm 1).
+        """Yield verified candidate queries (Algorithm 1).
 
-        Verification runs when a state is *popped*, not when it is
-        generated: the heap already orders states by confidence, so
-        deferring the (potentially database-touching) Verify call to pop
-        time means low-confidence branches that never surface are never
-        verified, at identical pruning semantics — a pruned state is
-        discarded before expansion either way.
+        The loop itself lives in :mod:`repro.core.search`: this method
+        builds the configured frontier/scheduler/verification stages and
+        streams the engine's candidates. With ``engine="best-first"``
+        the stream is identical to the original serial enumerator for
+        any ``workers`` setting (see the engine's determinism notes);
+        verification runs when a state is popped, not when it is
+        generated, so low-confidence branches that never surface are
+        never verified.
         """
-        config = self.config
-        start = time.monotonic()
-        counter = itertools.count()
-        heap: List[Tuple[Tuple, int, _State]] = []
-        root = _State(query=Query.empty(), confidence=1.0, depth=0)
-        heapq.heappush(heap, (self._priority(root), next(counter), root))
-        seen: Set[Query] = set()
-        emitted_signatures: Set[object] = set()
-
-        while heap:
-            if self.expansions >= config.max_expansions:
-                return
-            if config.time_budget is not None and \
-                    time.monotonic() - start > config.time_budget:
-                return
-            _, _, state = heapq.heappop(heap)
-
-            if state.query.is_complete:
-                if not self.verifier.verify(state.query).ok:
-                    continue
-                sig = signature(state.query)
-                if sig in emitted_signatures:
-                    continue
-                emitted_signatures.add(sig)
-                candidate = Candidate(
-                    query=state.query, confidence=state.confidence,
-                    index=self._emitted,
-                    elapsed=time.monotonic() - start,
-                    expansions=self.expansions)
-                self._emitted += 1
-                yield candidate
-                if config.max_candidates is not None and \
-                        self._emitted >= config.max_candidates:
-                    return
-                continue
-
-            if config.verify_partial and state.depth > 0 and \
-                    not self._verify_partial(state.query):
-                continue
-            self.expansions += 1
-            for child in self._expand(state):
-                if child.confidence < config.min_confidence:
-                    continue
-                if child.query in seen:
-                    continue
-                seen.add(child.query)
-                heapq.heappush(
-                    heap, (self._priority(child), next(counter), child))
+        self.telemetry = SearchTelemetry()
+        frontier = make_frontier(self.config.engine,
+                                 beam_width=self.config.beam_width)
+        engine = SearchEngine(self, frontier,
+                              workers=self.config.workers,
+                              batch_size=self.config.batch_size,
+                              telemetry=self.telemetry)
+        return engine.run()
 
     # ------------------------------------------------------------------
-    def _priority(self, state: _State) -> Tuple:
+    # SearchProblem interface (consumed by repro.core.search.engine)
+    # ------------------------------------------------------------------
+    def root_state(self) -> _State:
+        return _State(query=Query.empty(), confidence=1.0, depth=0)
+
+    def priority(self, state: _State) -> Tuple:
         if self.config.guided:
             join_len = (len(state.query.join_path)
                         if isinstance(state.query.join_path, JoinPath)
@@ -226,33 +195,59 @@ class Enumerator:
         # NoGuide: naive breadth-first enumeration, simpler queries first.
         return (state.depth, 0, 0)
 
-    def _verify_partial(self, query: Query) -> bool:
-        """Verify a partial query, attaching a probe join path if needed."""
-        probe = query
+    def decision_request(self, state: _State) -> Optional[GuidanceRequest]:
+        """The pending guidance decision, reified for batch scoring
+        (``None`` when the next expansion needs no model call)."""
+        return self._expand(state, request_only=True)
+
+    def expand_with(self, state: _State,
+                    dist: Optional[Distribution] = None) -> List[_State]:
+        """Expand with an externally scored distribution (or score now)."""
+        return self._expand(state, dist=dist)
+
+    def probe_query(self, query: Query) -> Optional[Query]:
+        """Attach a provisional join path for partial verification.
+
+        Returns ``None`` when the referenced tables cannot be joined —
+        the state is unsatisfiable and must be pruned.
+        """
         if isinstance(query.join_path, Hole):
             tables = query.referenced_tables()
             if tables:
                 paths = self.joins.paths_for_tables(tables)
                 if not paths:
-                    return False  # referenced tables cannot be joined
-                probe = query.replace(join_path=paths[0])
-            else:
-                probe = query
+                    return None
+                return query.replace(join_path=paths[0])
+        return query
+
+    def _verify_partial(self, query: Query) -> bool:
+        """Verify a partial query, attaching a probe join path if needed."""
+        probe = self.probe_query(query)
+        if probe is None:
+            return False
         return self.verifier.verify(probe, treat_as_partial=True).ok
 
     # ------------------------------------------------------------------
     # EnumNextStep: one inference decision per expansion
     # ------------------------------------------------------------------
-    def _expand(self, state: _State) -> List[_State]:
+    def _expand(self, state: _State, dist: Optional[Distribution] = None,
+                request_only: bool = False):
+        """Dispatch the next decision of ``state``.
+
+        ``request_only=True`` returns the decision's
+        :class:`GuidanceRequest` (or ``None`` for model-free expansions)
+        without building children; ``dist`` supplies an externally
+        scored distribution so the handler skips its own model call.
+        """
         query = state.query
         decision = self._next_decision(query)
         if decision is None:
-            return []
+            return None if request_only else []
         kind = decision[0]
         ctx = self._ctx.with_partial(query)
         handler = getattr(self, f"_expand_{kind}")
-        children = handler(ctx, state, *decision[1:])
-        return children
+        return handler(ctx, state, *decision[1:], dist=dist,
+                       request_only=request_only)
 
     def _next_decision(self, query: Query) -> Optional[Tuple]:
         """Locate the next placeholder to fill, in pipeline order."""
@@ -334,8 +329,12 @@ class Enumerator:
         return children
 
     def _expand_kw(self, ctx: GuidanceContext, state: _State,
-                   clause: str) -> List[_State]:
-        dist = self.model.clause_presence(ctx, clause)
+                   clause: str, dist: Optional[Distribution] = None,
+                   request_only: bool = False) -> List[_State]:
+        if request_only:
+            return GuidanceRequest("clause_presence", ctx, (clause,))
+        if dist is None:
+            dist = self.model.clause_presence(ctx, clause)
 
         def build(present: bool) -> Query:
             query = state.query
@@ -354,7 +353,8 @@ class Enumerator:
         return self._children(state, dist, build)
 
     def _expand_num(self, ctx: GuidanceContext, state: _State,
-                    slot: str) -> List[_State]:
+                    slot: str, dist: Optional[Distribution] = None,
+                    request_only: bool = False) -> List[_State]:
         config = self.config
         max_n = {SLOT_SELECT: config.max_select,
                  SLOT_WHERE: config.max_where,
@@ -365,7 +365,10 @@ class Enumerator:
         # immediately, so only the matching width is generated.
         if slot == SLOT_SELECT and self.tsq.width is not None:
             max_n = max(max_n, self.tsq.width)
-        dist = self.model.num_items(ctx, slot, max_n)
+        if request_only:
+            return GuidanceRequest("num_items", ctx, (slot, max_n))
+        if dist is None:
+            dist = self.model.num_items(ctx, slot, max_n)
         if slot == SLOT_SELECT and self.tsq.width is not None:
             width = self.tsq.width
             if width < 1 or dist.prob_of(width) <= 0.0:
@@ -386,9 +389,13 @@ class Enumerator:
 
         return self._children(state, dist, build)
 
-    def _expand_logic(self, ctx: GuidanceContext,
-                      state: _State) -> List[_State]:
-        dist = self.model.logic(ctx)
+    def _expand_logic(self, ctx: GuidanceContext, state: _State,
+                      dist: Optional[Distribution] = None,
+                      request_only: bool = False) -> List[_State]:
+        if request_only:
+            return GuidanceRequest("logic", ctx)
+        if dist is None:
+            dist = self.model.logic(ctx)
         where = state.query.where
         assert isinstance(where, Where)
 
@@ -411,7 +418,9 @@ class Enumerator:
         return candidates + list(self._all_columns)
 
     def _expand_col(self, ctx: GuidanceContext, state: _State,
-                    slot: str, index: int) -> List[_State]:
+                    slot: str, index: int,
+                    dist: Optional[Distribution] = None,
+                    request_only: bool = False) -> List[_State]:
         query = state.query
         if slot == SLOT_SELECT:
             candidates = self._select_column_candidates(index)
@@ -469,8 +478,11 @@ class Enumerator:
         else:  # SLOT_ORDER_BY
             candidates = [STAR] + list(self._all_columns)
         if not candidates:
-            return []
-        dist = self.model.column(ctx, slot, candidates)
+            return None if request_only else []
+        if request_only:
+            return GuidanceRequest("column", ctx, (slot, tuple(candidates)))
+        if dist is None:
+            dist = self.model.column(ctx, slot, candidates)
 
         def build(column: ColumnRef) -> Optional[Query]:
             if slot == SLOT_SELECT:
@@ -535,7 +547,9 @@ class Enumerator:
         return candidates
 
     def _expand_agg(self, ctx: GuidanceContext, state: _State,
-                    slot: str, index: int) -> List[_State]:
+                    slot: str, index: int,
+                    dist: Optional[Distribution] = None,
+                    request_only: bool = False) -> List[_State]:
         query = state.query
         if slot == SLOT_SELECT:
             item = query.select[index]
@@ -549,8 +563,12 @@ class Enumerator:
         assert isinstance(column, ColumnRef)
         candidates = self._agg_candidates(slot, column, query, index)
         if not candidates:
-            return []
-        dist = self.model.aggregate(ctx, slot, column, candidates)
+            return None if request_only else []
+        if request_only:
+            return GuidanceRequest("aggregate", ctx,
+                                   (slot, column, tuple(candidates)))
+        if dist is None:
+            dist = self.model.aggregate(ctx, slot, column, candidates)
 
         def build(agg: AggOp) -> Query:
             if slot == SLOT_SELECT:
@@ -592,7 +610,9 @@ class Enumerator:
         return ops
 
     def _expand_op(self, ctx: GuidanceContext, state: _State,
-                   slot: str, index: int) -> List[_State]:
+                   slot: str, index: int,
+                   dist: Optional[Distribution] = None,
+                   request_only: bool = False) -> List[_State]:
         query = state.query
         preds = (query.where.predicates if slot == SLOT_WHERE
                  else query.having)
@@ -601,7 +621,11 @@ class Enumerator:
         assert isinstance(pred.column, ColumnRef)
         assert isinstance(pred.agg, AggOp)
         candidates = self._op_candidates(slot, pred.column, pred.agg)
-        dist = self.model.comparison(ctx, slot, pred.column, candidates)
+        if request_only:
+            return GuidanceRequest("comparison", ctx,
+                                   (slot, pred.column, tuple(candidates)))
+        if dist is None:
+            dist = self.model.comparison(ctx, slot, pred.column, candidates)
 
         def build(op: CompOp) -> Query:
             new_pred = Predicate(agg=pred.agg, column=pred.column,
@@ -628,7 +652,9 @@ class Enumerator:
         return list(self._numeric_values)
 
     def _expand_val(self, ctx: GuidanceContext, state: _State,
-                    slot: str, index: int) -> List[_State]:
+                    slot: str, index: int,
+                    dist: Optional[Distribution] = None,
+                    request_only: bool = False) -> List[_State]:
         query = state.query
         preds = (query.where.predicates if slot == SLOT_WHERE
                  else query.having)
@@ -636,8 +662,12 @@ class Enumerator:
         assert isinstance(pred, Predicate)
         candidates = self._value_candidates(slot, pred)
         if not candidates:
-            return []
-        dist = self.model.value(ctx, slot, pred.column, candidates)
+            return None if request_only else []
+        if request_only:
+            return GuidanceRequest("value", ctx,
+                                   (slot, pred.column, tuple(candidates)))
+        if dist is None:
+            dist = self.model.value(ctx, slot, pred.column, candidates)
 
         def build(value: object) -> Query:
             new_pred = Predicate(agg=pred.agg, column=pred.column,
@@ -652,9 +682,13 @@ class Enumerator:
         return self._children(state, dist, build)
 
     # -- HAVING presence --------------------------------------------------------
-    def _expand_having(self, ctx: GuidanceContext,
-                       state: _State) -> List[_State]:
-        dist = self.model.having_presence(ctx)
+    def _expand_having(self, ctx: GuidanceContext, state: _State,
+                       dist: Optional[Distribution] = None,
+                       request_only: bool = False) -> List[_State]:
+        if request_only:
+            return GuidanceRequest("having_presence", ctx)
+        if dist is None:
+            dist = self.model.having_presence(ctx)
         if not self._numeric_values:
             # A HAVING predicate needs a numeric literal; without one the
             # present branch cannot complete, so only absent survives.
@@ -669,12 +703,16 @@ class Enumerator:
 
     # -- ORDER BY direction (+ LIMIT flag) -----------------------------------------
     def _expand_dir(self, ctx: GuidanceContext, state: _State,
-                    index: int) -> List[_State]:
+                    index: int, dist: Optional[Distribution] = None,
+                    request_only: bool = False) -> List[_State]:
         query = state.query
         item = query.order_by[index]
         assert isinstance(item, OrderItem)
         assert isinstance(item.column, ColumnRef)
-        dist = self.model.direction(ctx, item.column)
+        if request_only:
+            return GuidanceRequest("direction", ctx, (item.column,))
+        if dist is None:
+            dist = self.model.direction(ctx, item.column)
 
         def build(choice: Tuple[Direction, bool]) -> Query:
             direction, has_limit = choice
@@ -688,9 +726,14 @@ class Enumerator:
 
         return self._children(state, dist, build)
 
-    def _expand_limit(self, ctx: GuidanceContext,
-                      state: _State) -> List[_State]:
-        dist = self.model.limit_value(ctx, list(self._limit_values))
+    def _expand_limit(self, ctx: GuidanceContext, state: _State,
+                      dist: Optional[Distribution] = None,
+                      request_only: bool = False) -> List[_State]:
+        if request_only:
+            return GuidanceRequest("limit_value", ctx,
+                                   (tuple(self._limit_values),))
+        if dist is None:
+            dist = self.model.limit_value(ctx, list(self._limit_values))
 
         def build(value: int) -> Query:
             return state.query.replace(limit=int(value))
@@ -698,8 +741,11 @@ class Enumerator:
         return self._children(state, dist, build)
 
     # -- final join path branching (Algorithm 2) --------------------------------------
-    def _expand_join(self, ctx: GuidanceContext,
-                     state: _State) -> List[_State]:
+    def _expand_join(self, ctx: GuidanceContext, state: _State,
+                     dist: Optional[Distribution] = None,
+                     request_only: bool = False) -> List[_State]:
+        if request_only:
+            return None  # pure branching: no guidance decision involved
         tables = state.query.referenced_tables()
         paths = self.joins.paths_for_tables(tables)
         # Extension paths (tables beyond those referenced, Example 3.2)

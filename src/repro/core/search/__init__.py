@@ -1,0 +1,40 @@
+"""Pluggable search-engine subsystem (frontier / scheduler / verifier
+stages). See README.md in this directory for the architecture."""
+
+from .engine import (
+    Candidate,
+    NO_JOIN_PATH,
+    SearchEngine,
+    SearchProblem,
+    SearchState,
+)
+from .frontier import (
+    BeamFrontier,
+    BestFirstFrontier,
+    DiverseBeamFrontier,
+    ENGINES,
+    Frontier,
+    make_frontier,
+    structural_key,
+)
+from .parallel import VerificationPool
+from .scheduler import DecisionScheduler
+from .telemetry import SearchTelemetry
+
+__all__ = [
+    "BeamFrontier",
+    "BestFirstFrontier",
+    "Candidate",
+    "DecisionScheduler",
+    "DiverseBeamFrontier",
+    "ENGINES",
+    "Frontier",
+    "NO_JOIN_PATH",
+    "SearchEngine",
+    "SearchProblem",
+    "SearchState",
+    "SearchTelemetry",
+    "VerificationPool",
+    "make_frontier",
+    "structural_key",
+]

@@ -1,0 +1,251 @@
+"""The search engine: Algorithm 1 generalised over pluggable stages.
+
+The seed enumerator interleaved four concerns in one loop: frontier
+ordering, guidance scoring, verification, and emission. The engine
+splits them into stages wired back together per expansion round:
+
+1. **Pop** a batch of states from the :class:`~.frontier.Frontier`.
+2. **Schedule** every pending guidance decision of the batch through the
+   :class:`~.scheduler.DecisionScheduler` (one
+   ``GuidanceModel.score_batch`` call).
+3. **Verify** the batch concurrently on the
+   :class:`~.parallel.VerificationPool` (per-thread database forks, one
+   shared probe cache).
+4. **Consume** the batch sequentially in priority order: prune, expand,
+   or emit.
+
+Determinism guarantee: with the best-first frontier the candidate
+stream is *identical* to the seed enumerator for any worker count.
+Steps 2-3 are speculative — their results are memoised, never
+side-effecting — and step 4 re-checks before consuming each state that
+nothing fresher outranks it; if a newly pushed child does, the rest of
+the batch is pushed back (original keys preserved) and the round ends.
+Verifier stats are recorded once per *consumed* state, so they too
+match the serial run bit for bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ...guidance.base import GuidanceRequest
+from ...sqlir.ast import Query
+from ...sqlir.canon import signature
+from ..verifier import VerifyResult
+from .frontier import Frontier
+from .parallel import Job, VerificationPool
+from .scheduler import DecisionScheduler
+from .telemetry import SearchTelemetry
+
+#: Sentinel for partial states whose referenced tables cannot be joined.
+#: The seed enumerator pruned these without consulting the verifier, so
+#: the engine must not record them into verifier stats either.
+NO_JOIN_PATH = VerifyResult(ok=False, failed_stage="join_path",
+                            detail="referenced tables cannot be joined")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """An emitted candidate query."""
+
+    query: Query
+    confidence: float
+    index: int            # emission order (0 = first emitted)
+    elapsed: float        # seconds since enumeration started
+    expansions: int       # states expanded before emission
+
+    def __repr__(self) -> str:
+        return (f"<Candidate #{self.index} conf={self.confidence:.3g} "
+                f"t={self.elapsed:.3f}s>")
+
+
+@dataclass
+class SearchState:
+    """One partial (or complete, pre-verification) query on the frontier."""
+
+    query: Query
+    confidence: float
+    depth: int
+
+
+class SearchProblem:
+    """What the engine needs from the domain (implemented by Enumerator).
+
+    * ``config`` — an :class:`~repro.core.enumerator.EnumeratorConfig`
+    * ``model`` — the :class:`~repro.guidance.base.GuidanceModel`
+    * ``verifier`` — the primary :class:`~repro.core.verifier.Verifier`
+    * ``root_state()`` — the initial :class:`SearchState`
+    * ``priority(state)`` — heap priority tuple (smaller pops first)
+    * ``decision_request(state)`` — the pending
+      :class:`~repro.guidance.base.GuidanceRequest`, or ``None`` when the
+      next expansion needs no guidance (join-path branching)
+    * ``expand_with(state, dist)`` — children, given the scored
+      distribution (or ``None`` when no guidance was needed)
+    * ``probe_query(query)`` — partial query with a provisional join
+      path attached for probing, or ``None`` when its tables cannot be
+      joined (prune)
+    """
+
+
+class SearchEngine:
+    """Runs one search over a :class:`SearchProblem`."""
+
+    def __init__(self, problem, frontier: Frontier, workers: int = 1,
+                 batch_size: Optional[int] = None,
+                 telemetry: Optional[SearchTelemetry] = None):
+        self.problem = problem
+        self.frontier = frontier
+        self.workers = max(1, int(workers))
+        self._configured_batch_size = batch_size
+        self.batch_size = batch_size or frontier.batch_hint(self.workers)
+        self.scheduler = DecisionScheduler(problem.model)
+        self.telemetry = telemetry if telemetry is not None \
+            else SearchTelemetry()
+        self.telemetry.engine = frontier.name
+        self.telemetry.workers = self.workers
+
+    # ------------------------------------------------------------------
+    def run(self) -> Iterator[Candidate]:
+        """Yield verified candidates (see module docstring for ordering)."""
+        problem = self.problem
+        config = problem.config
+        telemetry = self.telemetry
+        frontier = self.frontier
+        pool = VerificationPool(problem.verifier, workers=self.workers)
+        if pool.workers != self.workers:
+            # The pool degraded (no sqlite snapshot support): report the
+            # effective worker count and stop speculating over batches
+            # that nothing will verify in parallel.
+            self.workers = pool.workers
+            if self._configured_batch_size is None:
+                self.batch_size = frontier.batch_hint(self.workers)
+            telemetry.workers = self.workers
+        start = time.monotonic()
+        counter = itertools.count()
+        root = problem.root_state()
+        frontier.push((problem.priority(root), next(counter)), root)
+        seen: set = set()
+        emitted_signatures: set = set()
+        #: (query, treat_as_partial) -> speculative VerifyResult
+        verify_memo: Dict[Tuple[Query, bool], VerifyResult] = {}
+        emitted = 0
+
+        try:
+            while frontier:
+                batch = frontier.pop_batch(self.batch_size)
+                if not batch:
+                    break
+
+                # -- speculative phase: parallel verify, batch guidance --
+                jobs: List[Job] = []
+                job_keys: List[Tuple[Query, bool]] = []
+                for _, state in batch:
+                    query = state.query
+                    if query.is_complete:
+                        if (query, False) not in verify_memo:
+                            jobs.append((query, False))
+                            job_keys.append((query, False))
+                    elif config.verify_partial and state.depth > 0 \
+                            and (query, True) not in verify_memo:
+                        probe = problem.probe_query(query)
+                        if probe is None:
+                            verify_memo[(query, True)] = NO_JOIN_PATH
+                        else:
+                            jobs.append((probe, True))
+                            job_keys.append((query, True))
+                for key, result in zip(job_keys, pool.run(jobs)):
+                    verify_memo[key] = result
+                # Guidance is scheduled only for states that survived
+                # partial verification — the same decisions the serial
+                # loop would have scored, just in one batched call.
+                pending: List[Tuple[Query, GuidanceRequest]] = []
+                for _, state in batch:
+                    query = state.query
+                    if query.is_complete:
+                        continue
+                    if config.verify_partial and state.depth > 0 and \
+                            not verify_memo[(query, True)].ok:
+                        continue
+                    request = problem.decision_request(state)
+                    if request is not None:
+                        pending.append((query, request))
+                self.scheduler.schedule(pending)
+
+                # -- sequential consume, exact priority order ----------
+                for position, (key, state) in enumerate(batch):
+                    if telemetry.expansions >= config.max_expansions:
+                        return
+                    if config.time_budget is not None and \
+                            time.monotonic() - start > config.time_budget:
+                        return
+                    if position > 0 and frontier.exact_order:
+                        ahead = frontier.peek_key()
+                        if ahead is not None and ahead < key:
+                            # A fresh child outranks the rest of the
+                            # batch: push it back so pop order (and the
+                            # candidate stream) stays exactly serial.
+                            frontier.push_back(batch[position:])
+                            telemetry.pushbacks += 1
+                            break
+                    query = state.query
+
+                    if query.is_complete:
+                        result = verify_memo.pop((query, False))
+                        problem.verifier.record_result(result)
+                        if not result.ok:
+                            telemetry.record_prune(
+                                result.failed_stage or "unknown",
+                                partial=False)
+                            continue
+                        sig = signature(query)
+                        if sig in emitted_signatures:
+                            telemetry.duplicates += 1
+                            continue
+                        emitted_signatures.add(sig)
+                        candidate = Candidate(
+                            query=query, confidence=state.confidence,
+                            index=emitted,
+                            elapsed=time.monotonic() - start,
+                            expansions=telemetry.expansions)
+                        emitted += 1
+                        telemetry.emitted = emitted
+                        yield candidate
+                        if config.max_candidates is not None and \
+                                emitted >= config.max_candidates:
+                            return
+                        continue
+
+                    if config.verify_partial and state.depth > 0:
+                        result = verify_memo.pop((query, True))
+                        if result is not NO_JOIN_PATH:
+                            problem.verifier.record_result(result)
+                        if not result.ok:
+                            telemetry.record_prune(
+                                result.failed_stage or "unknown",
+                                partial=True)
+                            continue
+
+                    telemetry.expansions += 1
+                    distribution = self.scheduler.distribution_for(query)
+                    children = problem.expand_with(state, distribution)
+                    telemetry.generated += len(children)
+                    for child in children:
+                        if child.confidence < config.min_confidence:
+                            continue
+                        if child.query in seen:
+                            continue
+                        seen.add(child.query)
+                        frontier.push(
+                            (problem.priority(child), next(counter)), child)
+        finally:
+            pool.close()
+            telemetry.wall_time = time.monotonic() - start
+            telemetry.beam_dropped = frontier.dropped
+            telemetry.guidance_calls = self.scheduler.calls
+            telemetry.guidance_batches = self.scheduler.batches
+            cache = problem.verifier.probe_cache
+            telemetry.probe_hits = cache.hits
+            telemetry.probe_misses = cache.misses

@@ -1,0 +1,221 @@
+"""Frontier strategies: which states the search explores next.
+
+A :class:`Frontier` holds prioritised search states. The engine pops
+states in batches, expands them, and pushes children back. Three
+strategies are provided:
+
+* :class:`BestFirstFrontier` — a global priority heap. With one worker
+  this reproduces the seed enumerator's pop order exactly (Algorithm 1);
+  with more workers the engine speculatively verifies whole batches but
+  pushes un-consumed states back whenever a fresh child outranks them,
+  so the candidate stream stays identical.
+* :class:`BeamFrontier` — level-synchronous beam search: states expand
+  depth level by depth level, and each level is truncated to the best
+  ``beam_width`` states. Trades completeness for a bounded frontier.
+* :class:`DiverseBeamFrontier` — beam search whose truncation
+  round-robins across structural groups (referenced tables + clause
+  shape), so one high-confidence query family cannot monopolise the
+  beam.
+
+Keys are ``(priority_tuple, counter)`` pairs: the priority tuple comes
+from the enumerator (confidence-descending for guided search), and the
+monotone counter makes keys unique and preserves insertion order on
+ties, exactly as the seed heap did.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ...sqlir.ast import Hole, Query, Where
+
+#: (priority tuple, tie-break counter)
+Key = Tuple[Tuple, int]
+#: (key, state) — states are opaque to the frontier
+Item = Tuple[Key, object]
+
+
+class Frontier:
+    """Interface shared by every frontier strategy."""
+
+    name = "frontier"
+    #: Whether pop order is globally exact, enabling the engine's
+    #: speculative batching + push-back discipline. Beam frontiers are
+    #: level-synchronous instead, so push-back does not apply.
+    exact_order = False
+    #: states discarded by truncation (for telemetry)
+    dropped = 0
+
+    def push(self, key: Key, state: object) -> None:
+        raise NotImplementedError
+
+    def pop_batch(self, limit: int) -> List[Item]:
+        raise NotImplementedError
+
+    def push_back(self, items: Sequence[Item]) -> None:
+        """Re-insert items popped this round, keeping their original keys."""
+        for key, state in items:
+            self.push(key, state)
+
+    def peek_key(self) -> Optional[Key]:
+        raise NotImplementedError
+
+    def batch_hint(self, workers: int) -> int:
+        """How many states the engine should pop per round."""
+        return max(1, workers)
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class BestFirstFrontier(Frontier):
+    """Global best-first heap — the seed enumerator's strategy."""
+
+    name = "best-first"
+    exact_order = True
+
+    def __init__(self) -> None:
+        self._heap: List[Item] = []
+
+    def push(self, key: Key, state: object) -> None:
+        heapq.heappush(self._heap, (key, state))
+
+    def pop_batch(self, limit: int) -> List[Item]:
+        batch: List[Item] = []
+        while self._heap and len(batch) < limit:
+            batch.append(heapq.heappop(self._heap))
+        return batch
+
+    def peek_key(self) -> Optional[Key]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class BeamFrontier(Frontier):
+    """Level-synchronous beam: expand a level, keep the best k children."""
+
+    name = "beam"
+    exact_order = False
+
+    def __init__(self, beam_width: int = 16):
+        if beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        self.beam_width = beam_width
+        self._current: List[Item] = []   # sorted, popped from the front
+        self._next: List[Item] = []      # unsorted accumulation
+        self.dropped = 0
+
+    def push(self, key: Key, state: object) -> None:
+        self._next.append((key, state))
+
+    def push_back(self, items: Sequence[Item]) -> None:
+        # Re-inserted items belong to the in-flight level, not the next.
+        self._current = sorted(items) + self._current
+
+    def _truncate(self, items: List[Item]) -> List[Item]:
+        items.sort()
+        kept = items[:self.beam_width]
+        self.dropped += len(items) - len(kept)
+        return kept
+
+    def _advance(self) -> None:
+        if not self._current and self._next:
+            self._current = self._truncate(self._next)
+            self._next = []
+
+    def pop_batch(self, limit: int) -> List[Item]:
+        self._advance()
+        batch, self._current = self._current[:limit], self._current[limit:]
+        return batch
+
+    def peek_key(self) -> Optional[Key]:
+        self._advance()
+        return self._current[0][0] if self._current else None
+
+    def batch_hint(self, workers: int) -> int:
+        # A whole level at a time maximises verification parallelism.
+        return max(1, workers, self.beam_width)
+
+    def __len__(self) -> int:
+        return len(self._current) + len(self._next)
+
+
+def structural_key(query: Query) -> Hashable:
+    """Group queries by coarse structure for diverse beam truncation:
+    the tables they touch plus which clauses are present."""
+    width = None if isinstance(query.select, Hole) else len(query.select)
+    return (frozenset(query.referenced_tables()),
+            width,
+            isinstance(query.where, Where),
+            query.group_by is not None and not isinstance(query.group_by,
+                                                          Hole),
+            query.order_by is not None and not isinstance(query.order_by,
+                                                          Hole))
+
+
+class DiverseBeamFrontier(BeamFrontier):
+    """Beam truncation that round-robins across structural groups.
+
+    Groups are ordered by their best member; the beam then takes one
+    state per group in rotation until ``beam_width`` states are kept.
+    This keeps structurally distinct hypotheses alive even when a single
+    family of queries dominates the confidence ranking (the diversity
+    idea of diverse beam search, applied to query skeletons).
+    """
+
+    name = "diverse-beam"
+
+    def __init__(self, beam_width: int = 16,
+                 diversity_key: Callable[[Query], Hashable] = None):
+        super().__init__(beam_width)
+        self._diversity_key = diversity_key or (
+            lambda state_query: structural_key(state_query))
+
+    def _truncate(self, items: List[Item]) -> List[Item]:
+        items.sort()
+        groups: Dict[Hashable, List[Item]] = {}
+        order: List[Hashable] = []
+        for item in items:
+            group = self._diversity_key(item[1].query)
+            if group not in groups:
+                groups[group] = []
+                order.append(group)   # ordered by best member (sorted items)
+            groups[group].append(item)
+        kept: List[Item] = []
+        rank = 0
+        while len(kept) < self.beam_width:
+            advanced = False
+            for group in order:
+                members = groups[group]
+                if rank < len(members):
+                    kept.append(members[rank])
+                    advanced = True
+                    if len(kept) >= self.beam_width:
+                        break
+            if not advanced:
+                break
+            rank += 1
+        kept.sort()
+        self.dropped += len(items) - len(kept)
+        return kept
+
+
+#: Engine name -> frontier factory (consumed by config/CLI).
+def make_frontier(engine: str, beam_width: int = 16) -> Frontier:
+    if engine == "best-first":
+        return BestFirstFrontier()
+    if engine == "beam":
+        return BeamFrontier(beam_width)
+    if engine == "diverse-beam":
+        return DiverseBeamFrontier(beam_width)
+    raise ValueError(f"unknown search engine {engine!r}; "
+                     f"expected one of {sorted(ENGINES)}")
+
+
+ENGINES = ("best-first", "beam", "diverse-beam")

@@ -1,0 +1,95 @@
+"""Parallel verification stage.
+
+Verification dominates enumeration cost: every popped state pays a
+cascade of checks, and the later stages execute probe SQL. The pool
+runs a round's verifications concurrently on a thread pool. SQLite
+connections are thread-bound, so each worker thread rehydrates its own
+connection from a one-time snapshot of the database
+(:meth:`repro.db.database.Database.snapshot`); all per-thread verifier
+forks share one :class:`~repro.core.verifier.SharedProbeCache`, so a
+probe answered by any worker is answered for all of them. SQLite
+releases the GIL while stepping statements, which is where the actual
+parallelism comes from.
+
+Verification outcomes are returned, not recorded: the engine records
+each outcome into the primary verifier's stats exactly once, when the
+state is consumed, so stats stay identical to the serial enumerator
+even under speculative batching.
+
+When the sqlite3 build cannot serialize databases (or ``workers=1``)
+the pool degrades to inline verification on the caller's thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ...db.database import Database
+from ...errors import ExecutionError
+from ..verifier import Verifier, VerifyResult
+from ...sqlir.ast import Query
+
+#: One verification job: (query to verify, treat_as_partial flag).
+Job = Tuple[Query, bool]
+
+
+class VerificationPool:
+    """Runs verification jobs inline or across worker threads."""
+
+    def __init__(self, verifier: Verifier, workers: int = 1):
+        self.verifier = verifier
+        self.workers = max(1, int(workers))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._payload: Optional[bytes] = None
+        self._local = threading.local()
+        self._forks: List[Verifier] = []
+        self._forks_lock = threading.Lock()
+        if self.workers > 1:
+            try:
+                self._payload = verifier.db.snapshot()
+            except ExecutionError:
+                self.workers = 1  # no snapshot support: degrade to inline
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-verify")
+
+    # ------------------------------------------------------------------
+    def _thread_verifier(self) -> Verifier:
+        verifier = getattr(self._local, "verifier", None)
+        if verifier is None:
+            db = Database.from_snapshot(self.verifier.db.schema,
+                                        self._payload)
+            verifier = self.verifier.fork(db)
+            self._local.verifier = verifier
+            with self._forks_lock:
+                self._forks.append(verifier)
+        return verifier
+
+    def _verify_job(self, job: Job) -> VerifyResult:
+        query, treat_as_partial = job
+        return self._thread_verifier().verify(
+            query, treat_as_partial=treat_as_partial, record=False)
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> List[VerifyResult]:
+        """Verify all jobs; results align positionally with ``jobs``."""
+        if not jobs:
+            return []
+        if self._pool is None or len(jobs) == 1:
+            return [self.verifier.verify(query, treat_as_partial=partial,
+                                         record=False)
+                    for query, partial in jobs]
+        return list(self._pool.map(self._verify_job, jobs))
+
+    def close(self) -> None:
+        """Shut the pool down and fold fork counters into the primary."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for fork in self._forks:
+            self.verifier.db.merge_stats(fork.db.stats)
+            fork.db.close()
+        self._forks = []

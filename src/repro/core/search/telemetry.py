@@ -1,0 +1,82 @@
+"""Per-stage search telemetry.
+
+One :class:`SearchTelemetry` instance accompanies each search run and is
+surfaced on :class:`~repro.core.duoquest.SynthesisResult`; the eval
+layer aggregates and formats it (``repro.eval.reports.search_report``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SearchTelemetry:
+    """Counters describing one search run, stage by stage."""
+
+    engine: str = "best-first"
+    workers: int = 1
+    wall_time: float = 0.0
+    #: states expanded (one guidance decision each)
+    expansions: int = 0
+    #: children generated across all expansions
+    generated: int = 0
+    #: candidates emitted
+    emitted: int = 0
+    #: complete queries dropped as duplicate signatures
+    duplicates: int = 0
+    #: partial states pruned by the verifier cascade
+    pruned_partial: int = 0
+    #: complete states rejected by the verifier cascade
+    pruned_complete: int = 0
+    #: prune counts per verifier stage name
+    prunes_by_stage: Dict[str, int] = field(default_factory=dict)
+    #: states dropped by beam truncation (0 for best-first)
+    beam_dropped: int = 0
+    #: guidance decisions scored / batches issued
+    guidance_calls: int = 0
+    guidance_batches: int = 0
+    #: speculative batch rounds cut short because a fresh child outranked
+    #: the rest of the batch (the push-back that keeps ranking exact)
+    pushbacks: int = 0
+    #: shared probe cache counters (snapshot at end of run)
+    probe_hits: int = 0
+    probe_misses: int = 0
+
+    def record_prune(self, stage: str, partial: bool) -> None:
+        if partial:
+            self.pruned_partial += 1
+        else:
+            self.pruned_complete += 1
+        self.prunes_by_stage[stage] = self.prunes_by_stage.get(stage, 0) + 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.probe_hits + self.probe_misses
+        return self.probe_hits / total if total else 0.0
+
+    @property
+    def candidates_per_second(self) -> float:
+        return self.emitted / self.wall_time if self.wall_time > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "workers": self.workers,
+            "wall_time": self.wall_time,
+            "expansions": self.expansions,
+            "generated": self.generated,
+            "emitted": self.emitted,
+            "duplicates": self.duplicates,
+            "pruned_partial": self.pruned_partial,
+            "pruned_complete": self.pruned_complete,
+            "prunes_by_stage": dict(self.prunes_by_stage),
+            "beam_dropped": self.beam_dropped,
+            "guidance_calls": self.guidance_calls,
+            "guidance_batches": self.guidance_batches,
+            "pushbacks": self.pushbacks,
+            "probe_hits": self.probe_hits,
+            "probe_misses": self.probe_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }

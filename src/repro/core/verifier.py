@@ -13,6 +13,7 @@ queries repeat most probes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -87,6 +88,64 @@ class VerifierConfig:
     execution_budget_ms: int = 250
 
 
+class SharedProbeCache:
+    """Thread-safe memo for probe and min/max queries.
+
+    Lifted out of :class:`Verifier` so one cache can back many verifier
+    instances at once — in particular the per-thread verifier forks of
+    the parallel search engine, where sibling partial queries repeat
+    most probes and the cache is the main cross-worker win. Lookups and
+    stores take a lock; the probe itself runs outside it, so two workers
+    may race to compute the same (idempotent) entry, which costs one
+    redundant probe but never corrupts the cache.
+    """
+
+    def __init__(self) -> None:
+        self._probes: Dict[str, bool] = {}
+        self._minmax: Dict[ColumnRef, Tuple[Optional[Value],
+                                            Optional[Value]]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._probes) + len(self._minmax)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def probe(self, db: Database, sql: str) -> bool:
+        with self._lock:
+            if sql in self._probes:
+                self.hits += 1
+                return self._probes[sql]
+        try:
+            outcome = db.exists(sql)
+        except ExecutionError:
+            # A probe that cannot execute draws no conclusion; pruning
+            # must stay sound, so treat it as satisfied.
+            outcome = True
+        with self._lock:
+            self.misses += 1
+            self._probes.setdefault(sql, outcome)
+            return self._probes[sql]
+
+    def minmax(self, db: Database,
+               column: ColumnRef) -> Tuple[Optional[Value], Optional[Value]]:
+        with self._lock:
+            if column in self._minmax:
+                self.hits += 1
+                return self._minmax[column]
+        bounds = db.column_min_max(column)
+        with self._lock:
+            self.misses += 1
+            self._minmax.setdefault(column, bounds)
+            return self._minmax[column]
+
+
 class Verifier:
     """Implements ``Verify(T, L, q, D)`` with memoised probe queries."""
 
@@ -94,7 +153,8 @@ class Verifier:
                  tsq: Optional[TableSketchQuery] = None,
                  literals: Sequence[Literal] = (),
                  config: Optional[VerifierConfig] = None,
-                 rules: Optional[RuleSet] = None):
+                 rules: Optional[RuleSet] = None,
+                 probe_cache: Optional[SharedProbeCache] = None):
         self.db = db
         self.schema: Schema = db.schema
         self.tsq = tsq if tsq is not None else TableSketchQuery()
@@ -103,60 +163,76 @@ class Verifier:
         self.rules = rules or RuleSet()
         #: failure counts per stage plus "pass"
         self.stats: Dict[str, int] = {}
-        self._probe_cache: Dict[str, bool] = {}
-        self._minmax_cache: Dict[ColumnRef, Tuple[Optional[Value],
-                                                  Optional[Value]]] = {}
+        self.probe_cache = probe_cache or SharedProbeCache()
+
+    def fork(self, db: Database) -> "Verifier":
+        """A verifier over ``db`` sharing this one's probe cache.
+
+        Used by the parallel verification stage: each worker thread gets
+        its own fork bound to its own database connection, while all
+        forks memoise probes through the one shared cache. Stats are
+        per-fork; the search engine records outcomes centrally instead.
+        """
+        return Verifier(db, tsq=self.tsq, literals=self.literals,
+                        config=self.config, rules=self.rules,
+                        probe_cache=self.probe_cache)
 
     # ------------------------------------------------------------------
-    def verify(self, query: Query,
-               treat_as_partial: bool = False) -> VerifyResult:
+    def verify(self, query: Query, treat_as_partial: bool = False,
+               record: bool = True) -> VerifyResult:
         """Run the full ascending-cost cascade on a (partial) query.
 
         ``treat_as_partial`` forces the partial-query stages even when the
         query has no holes — used when the enumerator attaches a
         provisional probe join path to a partial query whose only
-        undecided element is the join path itself.
+        undecided element is the join path itself. ``record=False`` skips
+        the stats update — used for speculative verification, where the
+        caller records the outcome only once it is actually consumed.
         """
+        result = self._verify(query, treat_as_partial)
+        return self.record_result(result) if record else result
+
+    def _verify(self, query: Query, treat_as_partial: bool) -> VerifyResult:
         complete = query.is_complete and not treat_as_partial
         if not complete and not self.config.verify_partial:
-            return self._record(PASS)
+            return PASS
 
         result = self._verify_clauses(query, complete)
         if not result.ok:
-            return self._record(result)
+            return result
 
         if self.config.check_semantics:
             violations = self.rules.check(query, self.schema)
             if violations:
-                return self._record(VerifyResult(
+                return VerifyResult(
                     ok=False, failed_stage=STAGE_SEMANTICS,
-                    detail=violations[0].message))
+                    detail=violations[0].message)
 
         result = self._verify_column_types(query)
         if not result.ok:
-            return self._record(result)
+            return result
 
         result = self._verify_by_column(query)
         if not result.ok:
-            return self._record(result)
+            return result
 
         if self._can_check_rows(query, complete):
             result = self._verify_by_row(query)
             if not result.ok:
-                return self._record(result)
+                return result
 
         if complete:
             if self.config.enforce_literal_use:
                 result = self._verify_literals(query)
                 if not result.ok:
-                    return self._record(result)
+                    return result
             result = self._verify_full(query)
             if not result.ok:
-                return self._record(result)
+                return result
 
-        return self._record(PASS)
+        return PASS
 
-    def _record(self, result: VerifyResult) -> VerifyResult:
+    def record_result(self, result: VerifyResult) -> VerifyResult:
         key = "pass" if result.ok else (result.failed_stage or "unknown")
         self.stats[key] = self.stats.get(key, 0) + 1
         return result
@@ -250,20 +326,11 @@ class Verifier:
                 f"{prefix}{name} <= {quote_literal(cell.high)}")
 
     def _probe(self, sql: str) -> bool:
-        if sql not in self._probe_cache:
-            try:
-                self._probe_cache[sql] = self.db.exists(sql)
-            except ExecutionError:
-                # A probe that cannot execute draws no conclusion; pruning
-                # must stay sound, so treat it as satisfied.
-                self._probe_cache[sql] = True
-        return self._probe_cache[sql]
+        return self.probe_cache.probe(self.db, sql)
 
     def _column_minmax(self, column: ColumnRef) -> Tuple[Optional[Value],
                                                          Optional[Value]]:
-        if column not in self._minmax_cache:
-            self._minmax_cache[column] = self.db.column_min_max(column)
-        return self._minmax_cache[column]
+        return self.probe_cache.minmax(self.db, column)
 
     def _verify_by_column(self, query: Query) -> VerifyResult:
         if not self.tsq.tuples or isinstance(query.select, Hole):

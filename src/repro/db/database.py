@@ -69,6 +69,54 @@ class Database:
         db._conn.commit()
         return db
 
+    # ------------------------------------------------------------------
+    # Forking (per-thread connections for the parallel verifier stage)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def supports_snapshots() -> bool:
+        """Whether this sqlite3 build can serialize in-memory databases."""
+        return hasattr(sqlite3.Connection, "serialize")
+
+    def snapshot(self) -> bytes:
+        """Serialize the database contents to bytes.
+
+        Must be called from the thread that owns this connection; the
+        returned payload can be rehydrated from any thread with
+        :meth:`from_snapshot`.
+        """
+        try:
+            return self._conn.serialize()
+        except (AttributeError, sqlite3.Error) as exc:
+            raise ExecutionError(f"cannot snapshot database: {exc}") from exc
+
+    @classmethod
+    def from_snapshot(cls, schema: Schema, payload: bytes) -> "Database":
+        """Rehydrate a snapshot into a fresh in-memory connection.
+
+        SQLite connections are bound to their creating thread, so worker
+        threads call this themselves to get an independent read view of
+        the same data — no locks, and probe statements run truly
+        concurrently because SQLite releases the GIL while stepping.
+        """
+        # check_same_thread=False lets the pool close forked connections
+        # after shutdown; each fork is still used by only one thread.
+        connection = sqlite3.connect(":memory:", check_same_thread=False)
+        connection.deserialize(payload)
+        return cls(schema, connection=connection)
+
+    def fork(self) -> "Database":
+        """An independent same-thread copy (snapshot + rehydrate)."""
+        return Database.from_snapshot(self.schema, self.snapshot())
+
+    def merge_stats(self, other: "ExecutionStats") -> None:
+        """Fold a forked connection's counters into this one's stats."""
+        self.stats.statements += other.statements
+        self.stats.rows_fetched += other.rows_fetched
+        self.stats.timeouts += other.timeouts
+        for kind, count in other.per_kind.items():
+            self.stats.per_kind[kind] = \
+                self.stats.per_kind.get(kind, 0) + count
+
     def insert_rows(self, table: str, rows: Iterable[Sequence[Value]]) -> int:
         """Bulk-insert rows into ``table``; returns the number inserted."""
         table_obj = self.schema.table(table)

@@ -54,11 +54,19 @@ class SimulationConfig:
     max_expansions: int = 40_000
     seed: int = 0
     profile: AccuracyProfile = field(default_factory=AccuracyProfile)
+    #: search engine selection (see repro.core.search): strategy name,
+    #: verification worker threads, and beam width for the beam engines
+    engine: str = "best-first"
+    workers: int = 1
+    beam_width: int = 16
 
     def enumerator_config(self) -> EnumeratorConfig:
         return EnumeratorConfig(time_budget=self.timeout,
                                 max_candidates=self.max_candidates,
-                                max_expansions=self.max_expansions)
+                                max_expansions=self.max_expansions,
+                                engine=self.engine,
+                                workers=self.workers,
+                                beam_width=self.beam_width)
 
 
 def _oracle(config: SimulationConfig) -> CalibratedOracleModel:
@@ -95,7 +103,10 @@ def run_gpqe_task(task: Task, db: Database, system: Duoquest,
                          time_to_gold=hit.get("time"),
                          num_candidates=len(result.candidates),
                          elapsed=result.elapsed,
-                         expansions=result.expansions)
+                         expansions=result.expansions,
+                         telemetry=(result.telemetry.as_dict()
+                                    if result.telemetry is not None
+                                    else None))
 
 
 def run_pbe_task(task: Task, db: Database, pbe: SquidPBE,

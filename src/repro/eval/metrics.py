@@ -28,6 +28,8 @@ class SimTaskRecord:
     expansions: int = 0
     supported: bool = True
     correct: Optional[bool] = None
+    #: search telemetry snapshot (SearchTelemetry.as_dict()), GPQE only
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def solved(self) -> bool:

@@ -224,6 +224,61 @@ def fig12_report(records: Sequence[SimTaskRecord],
 
 
 # ----------------------------------------------------------------------
+# Search telemetry (per-stage engine instrumentation, not a paper table)
+# ----------------------------------------------------------------------
+def search_report(records: Sequence[SimTaskRecord],
+                  title: str = "Search telemetry") -> str:
+    """Aggregate per-stage search telemetry across GPQE task records.
+
+    One row per (system, engine, workers) group: expansions, states
+    generated, candidates emitted, prunes per verifier stage, probe
+    cache hit rate, guidance batching ratio, and wall time.
+    """
+    grouped: Dict[Tuple[str, str, int], List[Dict[str, object]]] = \
+        defaultdict(list)
+    for record in records:
+        if record.telemetry is None:
+            continue
+        key = (record.system, str(record.telemetry.get("engine", "?")),
+               int(record.telemetry.get("workers", 1)))
+        grouped[key].append(record.telemetry)
+
+    stage_names: List[str] = []
+    for bucket in grouped.values():
+        for telemetry in bucket:
+            for stage in telemetry.get("prunes_by_stage", {}):
+                if stage not in stage_names:
+                    stage_names.append(stage)
+    stage_names.sort()
+
+    rows = []
+    for (system, engine, workers), bucket in sorted(grouped.items()):
+        def total(field: str) -> int:
+            return sum(int(t.get(field, 0)) for t in bucket)
+
+        hits, misses = total("probe_hits"), total("probe_misses")
+        probes = hits + misses
+        calls, batches = total("guidance_calls"), total("guidance_batches")
+        wall = sum(float(t.get("wall_time", 0.0)) for t in bucket)
+        row: List[object] = [
+            system, engine, workers, total("expansions"),
+            total("generated"), total("emitted"),
+            f"{100.0 * hits / probes:.1f}%" if probes else "-",
+            f"{calls / batches:.1f}" if batches else "-",
+            f"{wall:.2f}s",
+        ]
+        for stage in stage_names:
+            row.append(sum(int(t.get("prunes_by_stage", {}).get(stage, 0))
+                           for t in bucket))
+        rows.append(tuple(row))
+
+    headers = ("System", "Engine", "W", "Expand", "Gen", "Emit",
+               "Cache%", "Calls/Batch", "Wall",
+               *(f"prune:{s}" for s in stage_names))
+    return title + "\n" + format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
 # Table 6 — TSQ detail sweep
 # ----------------------------------------------------------------------
 def table6_report(detail_records: Sequence[SimTaskRecord],

@@ -5,6 +5,7 @@ from .base import (
     Distribution,
     GuidanceContext,
     GuidanceModel,
+    GuidanceRequest,
     SLOT_GROUP_BY,
     SLOT_HAVING,
     SLOT_ORDER_BY,
@@ -22,6 +23,7 @@ __all__ = [
     "Distribution",
     "GuidanceContext",
     "GuidanceModel",
+    "GuidanceRequest",
     "LexicalGuidanceModel",
     "MODULES",
     "ModuleInfo",

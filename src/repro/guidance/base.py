@@ -155,6 +155,27 @@ class GuidanceContext:
                                task_id=self.task_id)
 
 
+@dataclass(frozen=True)
+class GuidanceRequest:
+    """One pending inference decision, reified for batch scoring.
+
+    The search scheduler collects every decision of an expansion round
+    into a list of requests and scores them through a single
+    :meth:`GuidanceModel.score_batch` call, so backends that amortise
+    per-call overhead (a batched neural network, an RPC model server)
+    can answer all of them in one shot. ``method`` names the
+    :class:`GuidanceModel` method to invoke; ``args`` are its positional
+    arguments after the context.
+    """
+
+    method: str
+    ctx: GuidanceContext
+    args: Tuple[object, ...] = ()
+
+    def invoke(self, model: "GuidanceModel") -> "Distribution":
+        return getattr(model, self.method)(self.ctx, *self.args)
+
+
 #: Slot names used to tell the model which clause a decision belongs to.
 SLOT_SELECT = "select"
 SLOT_WHERE = "where"
@@ -236,3 +257,18 @@ class GuidanceModel(abc.ABC):
     def limit_value(self, ctx: GuidanceContext,
                     candidates: Sequence[int]) -> Distribution[int]:
         """The LIMIT row count."""
+
+    # -- batch scoring -----------------------------------------------------
+    def score_batch(self, requests: Sequence[GuidanceRequest]
+                    ) -> List[Distribution]:
+        """Score a batch of decisions in one call.
+
+        The default implementation falls back to per-call scoring, so
+        every existing backend keeps working unmodified. Backends with
+        per-call overhead (network inference, RPC) should override this
+        to answer all requests in a single round trip. Results must be
+        positionally aligned with ``requests``, and each entry must be
+        identical to what the per-call method would have returned —
+        the search engine relies on that for deterministic replay.
+        """
+        return [request.invoke(self) for request in requests]

@@ -1,0 +1,104 @@
+"""Regenerate the search-equivalence golden fixture.
+
+The fixture pins the exact candidate stream (canonical SQL signature,
+confidence, emission index and expansion count at emission) produced by
+the seed best-first enumerator on a deterministic set of MAS and
+synthetic-Spider tasks. ``tests/core/test_search_equivalence.py``
+asserts the search-engine subsystem reproduces it bit-for-bit.
+
+Run from the repository root::
+
+    PYTHONPATH=src:. python tests/core/fixtures/generate_search_golden.py
+
+Only regenerate when an intentional behaviour change is being made; the
+whole point of the fixture is to catch unintentional ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.enumerator import Enumerator, EnumeratorConfig
+from repro.core.tsq import TableSketchQuery
+from repro.datasets import (
+    DETAIL_FULL,
+    SpiderCorpusConfig,
+    build_mas_database,
+    generate_corpus,
+    nli_study_tasks,
+    synthesize_tsq,
+)
+from repro.guidance.lexical import LexicalGuidanceModel
+from repro.guidance.oracle import CalibratedOracleModel
+from repro.sqlir.canon import signature
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURE = os.path.join(HERE, "search_golden.json")
+
+
+def stable_repr(obj) -> str:
+    """A deterministic repr: frozensets render sorted.
+
+    ``repr(frozenset)`` order depends on the process hash seed, so raw
+    reprs of signatures are not comparable across runs.
+    """
+    if isinstance(obj, (frozenset, set)):
+        return "{" + ", ".join(sorted(stable_repr(e) for e in obj)) + "}"
+    if isinstance(obj, tuple):
+        inner = ", ".join(stable_repr(e) for e in obj)
+        return f"({inner},)" if len(obj) == 1 else f"({inner})"
+    return repr(obj)
+
+#: Keep each task fast and timeout-free so the stream is deterministic
+#: across machines: bound by expansions/candidates only.
+CONFIG = dict(max_candidates=10, max_expansions=2500, time_budget=None)
+
+
+def fixture_tasks():
+    """Yield (name, db, model, nlq, tsq, gold, task_id) fixtures."""
+    corpus = generate_corpus("dev", SpiderCorpusConfig(
+        num_databases=2, tasks_per_database=3, seed=7))
+    oracle = CalibratedOracleModel(seed=0)
+    for task in list(corpus)[:4]:
+        db = corpus.database_for(task)
+        tsq = synthesize_tsq(task, db, detail=DETAIL_FULL, seed=0)
+        yield (f"spider:{task.task_id}", db, oracle, task.nlq, tsq,
+               task.gold, task.task_id)
+
+    mas = build_mas_database(seed=0)
+    lexical = LexicalGuidanceModel()
+    for task in list(nli_study_tasks(mas))[:2]:
+        tsq = synthesize_tsq(task, mas, detail=DETAIL_FULL, seed=0)
+        yield (f"mas:{task.task_id}", mas, lexical, task.nlq, tsq,
+               None, task.task_id)
+
+
+def run_task(db, model, nlq, tsq, gold, task_id):
+    config = EnumeratorConfig(**CONFIG)
+    enumerator = Enumerator(db, model, nlq, tsq=tsq, config=config,
+                            gold=gold, task_id=task_id)
+    stream = []
+    for candidate in enumerator.enumerate():
+        stream.append({
+            "signature": stable_repr(signature(candidate.query)),
+            "confidence": candidate.confidence,
+            "index": candidate.index,
+            "expansions": candidate.expansions,
+        })
+    return {"candidates": stream, "total_expansions": enumerator.expansions}
+
+
+def main() -> None:
+    golden = {"config": CONFIG, "tasks": {}}
+    for name, db, model, nlq, tsq, gold, task_id in fixture_tasks():
+        golden["tasks"][name] = run_task(db, model, nlq, tsq, gold, task_id)
+        print(f"{name}: {len(golden['tasks'][name]['candidates'])} candidates,"
+              f" {golden['tasks'][name]['total_expansions']} expansions")
+    with open(FIXTURE, "w", encoding="utf-8") as handle:
+        json.dump(golden, handle, indent=1, sort_keys=True)
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    main()

@@ -95,6 +95,129 @@ def queries(draw):
                  limit=limit)
 
 
+def generated_corpus(size: int = 250, seed: int = 13):
+    """A deterministic corpus of complete queries, wider than the
+    hypothesis strategy above: aggregates, GROUP BY, HAVING, BETWEEN
+    and LIMIT all appear. Used for the canonical-signature fixpoint."""
+    import random
+
+    rng = random.Random(seed)
+    corpus = []
+    for _ in range(size):
+        path = rng.choice([_SINGLE_MOVIE, _SINGLE_ACTOR, _FULL_JOIN])
+        text_cols, num_cols = columns_of(path)
+        all_cols = text_cols + num_cols
+
+        grouped = rng.random() < 0.4
+        if grouped:
+            group_col = rng.choice(all_cols)
+            agg_col = rng.choice(num_cols) if num_cols else None
+            select = [SelectItem(agg=AggOp.NONE, column=group_col)]
+            if agg_col is not None:
+                select.append(SelectItem(
+                    agg=rng.choice([AggOp.COUNT, AggOp.SUM, AggOp.AVG,
+                                    AggOp.MAX, AggOp.MIN]),
+                    column=agg_col))
+            else:
+                select.append(SelectItem(agg=AggOp.COUNT, column=STAR))
+            group_by = (group_col,)
+            having = None
+            if rng.random() < 0.5:
+                having = (Predicate(
+                    agg=AggOp.COUNT, column=STAR,
+                    op=rng.choice([CompOp.GT, CompOp.GE, CompOp.EQ]),
+                    value=rng.randint(1, 5)),)
+        else:
+            select = [SelectItem(agg=AggOp.NONE, column=c)
+                      for c in rng.sample(all_cols,
+                                          rng.randint(1, min(2,
+                                                             len(all_cols))))]
+            group_by = None
+            having = None
+
+        where = None
+        if rng.random() < 0.6:
+            preds = []
+            for _ in range(rng.randint(1, 2)):
+                if num_cols and rng.random() < 0.5:
+                    column = rng.choice(num_cols)
+                    if rng.random() < 0.25:
+                        low = rng.randint(0, 1500)
+                        preds.append(Predicate(
+                            agg=AggOp.NONE, column=column,
+                            op=CompOp.BETWEEN,
+                            value=(low, low + rng.randint(1, 500))))
+                        continue
+                    op = rng.choice([CompOp.EQ, CompOp.NE, CompOp.LT,
+                                     CompOp.GT, CompOp.LE, CompOp.GE])
+                    value = rng.randint(0, 3000)
+                else:
+                    column = rng.choice(text_cols)
+                    op = rng.choice([CompOp.EQ, CompOp.NE, CompOp.LIKE])
+                    value = rng.choice(["Forrest Gump", "Tom Hanks",
+                                        "x y z", "O'Brien"])
+                preds.append(Predicate(agg=AggOp.NONE, column=column,
+                                       op=op, value=value))
+            where = Where(logic=rng.choice([LogicOp.AND, LogicOp.OR]),
+                          predicates=tuple(preds))
+
+        order_by = None
+        limit = None
+        if rng.random() < 0.4:
+            if grouped and rng.random() < 0.5:
+                order_by = (OrderItem(agg=AggOp.COUNT, column=STAR,
+                                      direction=rng.choice(
+                                          [Direction.ASC, Direction.DESC])),)
+            elif num_cols:
+                order_by = (OrderItem(agg=AggOp.NONE,
+                                      column=rng.choice(num_cols),
+                                      direction=rng.choice(
+                                          [Direction.ASC, Direction.DESC])),)
+            if order_by is not None and rng.random() < 0.5:
+                limit = rng.randint(1, 10)
+
+        corpus.append(Query(select=tuple(select), join_path=path,
+                            where=where, group_by=group_by, having=having,
+                            order_by=order_by, limit=limit))
+    return corpus
+
+
+class TestSignatureFixpoint:
+    """``parse(to_sql(q))`` is a fixpoint of the canonical signature."""
+
+    def test_signature_fixpoint_over_corpus(self):
+        from repro.sqlir.canon import signature
+
+        corpus = generated_corpus()
+        assert len(corpus) == 250
+        for query in corpus:
+            sql = to_sql(query)
+            parsed = parse_sql(sql, SCHEMA)
+            assert signature(parsed) == signature(query), sql
+
+    def test_render_is_idempotent_through_parse(self):
+        """Rendering the parsed query reproduces the SQL text exactly,
+        so repeated round trips cannot drift."""
+        for query in generated_corpus(size=120, seed=29):
+            sql = to_sql(query)
+            assert to_sql(parse_sql(sql, SCHEMA)) == sql
+
+    def test_corpus_exercises_every_clause(self):
+        corpus = generated_corpus()
+        assert any(q.group_by for q in corpus)
+        assert any(q.having for q in corpus)
+        assert any(q.order_by for q in corpus)
+        assert any(q.limit is not None for q in corpus)
+        assert any(
+            isinstance(q.where, Where) and any(
+                isinstance(p, Predicate) and p.op is CompOp.BETWEEN
+                for p in q.where.predicates)
+            for q in corpus)
+        assert any(
+            any(item.agg.is_aggregate for item in q.select)
+            for q in corpus)
+
+
 class TestRoundTripProperty:
     @given(queries())
     @settings(max_examples=120, deadline=None)
