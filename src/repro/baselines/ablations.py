@@ -17,29 +17,38 @@ from typing import Optional
 
 from ..core.duoquest import Duoquest
 from ..core.enumerator import EnumeratorConfig
+from ..core.verifier import SharedProbeCache
 from ..db.database import Database
 from ..guidance.base import GuidanceModel
 
 
 def make_duoquest(db: Database, model: GuidanceModel,
-                  config: Optional[EnumeratorConfig] = None) -> Duoquest:
+                  config: Optional[EnumeratorConfig] = None,
+                  probe_cache: Optional[SharedProbeCache] = None
+                  ) -> Duoquest:
     """The full system (both GPQE components enabled)."""
-    return Duoquest(db, model=model, config=config or EnumeratorConfig())
+    return Duoquest(db, model=model, config=config or EnumeratorConfig(),
+                    probe_cache=probe_cache)
 
 
 def make_nopq(db: Database, model: GuidanceModel,
-              config: Optional[EnumeratorConfig] = None) -> Duoquest:
+              config: Optional[EnumeratorConfig] = None,
+              probe_cache: Optional[SharedProbeCache] = None) -> Duoquest:
     """GPQE without partial-query pruning (the chaining approach)."""
     base = config or EnumeratorConfig()
     return Duoquest(db, model=model,
-                    config=replace(base, verify_partial=False))
+                    config=replace(base, verify_partial=False),
+                    probe_cache=probe_cache)
 
 
 def make_noguide(db: Database, model: GuidanceModel,
-                 config: Optional[EnumeratorConfig] = None) -> Duoquest:
+                 config: Optional[EnumeratorConfig] = None,
+                 probe_cache: Optional[SharedProbeCache] = None
+                 ) -> Duoquest:
     """GPQE without guidance: breadth-first enumeration with pruning."""
     base = config or EnumeratorConfig()
-    return Duoquest(db, model=model, config=replace(base, guided=False))
+    return Duoquest(db, model=model, config=replace(base, guided=False),
+                    probe_cache=probe_cache)
 
 
 #: Variant name -> factory, as plotted in Figure 12.

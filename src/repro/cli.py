@@ -32,12 +32,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     if args.example:
         rows = [[cell if cell != "_" else None for cell in args.example]]
         tsq = TableSketchQuery.build(rows=rows)
-    system = Duoquest(db, model=LexicalGuidanceModel(),
-                      config=EnumeratorConfig(time_budget=args.timeout,
-                                              max_candidates=args.top,
-                                              engine=args.engine,
-                                              workers=args.workers,
-                                              beam_width=args.beam_width))
+    try:
+        config = EnumeratorConfig(time_budget=args.timeout,
+                                  max_candidates=args.top,
+                                  engine=args.engine,
+                                  workers=args.workers,
+                                  verify_backend=args.verify_backend,
+                                  beam_width=args.beam_width)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    system = Duoquest(db, model=LexicalGuidanceModel(), config=config)
     result = system.synthesize(nlq, tsq)
     print(f"{len(result.candidates)} candidates in {result.elapsed:.2f}s")
     for rank, candidate in enumerate(result.top(args.top), start=1):
@@ -45,7 +50,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
               f"{to_sql(candidate.query)}")
     telemetry = result.telemetry
     if telemetry is not None:
-        print(f"[{telemetry.engine} x{telemetry.workers}] "
+        # Reason-neutral: pools degrade for several causes (no snapshot
+        # support, unpicklable rules, worker crash); the logged warning
+        # carries the specific one.
+        degraded = " (degraded to inline verification)" \
+            if telemetry.snapshot_degraded else ""
+        print(f"[{telemetry.engine} x{telemetry.workers} "
+              f"{telemetry.verify_backend}{degraded}] "
               f"{telemetry.expansions} expansions, "
               f"{telemetry.pruned_partial + telemetry.pruned_complete} "
               f"pruned, cache hit rate "
@@ -68,9 +79,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         num_databases=args.databases, tasks_per_database=args.tasks,
         seed=args.seed))
     print(corpus)
-    records = run_simulation(corpus, config=SimulationConfig(
-        timeout=args.timeout, engine=args.engine, workers=args.workers,
-        beam_width=args.beam_width))
+    try:
+        sim_config = SimulationConfig(
+            timeout=args.timeout, engine=args.engine, workers=args.workers,
+            verify_backend=args.verify_backend,
+            beam_width=args.beam_width)
+        sim_config.enumerator_config()  # validate the combination early
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    records = run_simulation(corpus, config=sim_config)
     print(fig10_report(records, args.split))
     print()
     print(fig11_report(records, args.split))
@@ -153,14 +171,20 @@ def _positive_int(text: str) -> int:
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """Search-engine selection flags shared by the GPQE subcommands."""
-    from .core import ENGINES
+    from .core import ENGINES, VERIFY_BACKENDS
 
     parser.add_argument("--engine", choices=ENGINES, default="best-first",
                         help="search strategy (default: best-first, which "
                              "reproduces the paper's Algorithm 1 exactly)")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="verification worker threads (default: 1; "
-                             "values below 1 run inline)")
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="verification workers (default: 1 = inline; "
+                             "values below 1 are rejected)")
+    parser.add_argument("--verify-backend", dest="verify_backend",
+                        choices=VERIFY_BACKENDS, default="threads",
+                        help="verification pool backend (default: threads; "
+                             "'processes' also parallelises the CPU-bound "
+                             "cascade stages, 'inline' requires "
+                             "--workers 1)")
     parser.add_argument("--beam-width", type=_positive_int, default=16,
                         help="frontier width for the beam engines "
                              "(default: 16)")

@@ -7,6 +7,7 @@ from .search import (
     ENGINES,
     SearchEngine,
     SearchTelemetry,
+    VERIFY_BACKENDS,
     make_frontier,
 )
 from .semantics import (
@@ -52,6 +53,7 @@ __all__ = [
     "SharedProbeCache",
     "SynthesisResult",
     "TableSketchQuery",
+    "VERIFY_BACKENDS",
     "Verifier",
     "VerifierConfig",
     "VerifyResult",

@@ -22,7 +22,7 @@ from ..sqlir.render import to_sql
 from .enumerator import Candidate, Enumerator, EnumeratorConfig
 from .search import SearchTelemetry
 from .tsq import TableSketchQuery
-from .verifier import Verifier
+from .verifier import SharedProbeCache, Verifier
 
 
 @dataclass
@@ -78,10 +78,14 @@ class Duoquest:
 
     def __init__(self, db: Database,
                  model: Optional[GuidanceModel] = None,
-                 config: Optional[EnumeratorConfig] = None):
+                 config: Optional[EnumeratorConfig] = None,
+                 probe_cache: Optional[SharedProbeCache] = None):
         self.db = db
         self.model = model or LexicalGuidanceModel()
         self.config = config or EnumeratorConfig()
+        #: optional shared probe cache; the eval harness passes one per
+        #: database so probe answers are reused across tasks
+        self.probe_cache = probe_cache
 
     def synthesize(self, nlq: NLQuery,
                    tsq: Optional[TableSketchQuery] = None,
@@ -100,7 +104,8 @@ class Duoquest:
         start = time.monotonic()
         enumerator = Enumerator(self.db, self.model, nlq, tsq=tsq,
                                 config=self.config, gold=gold,
-                                task_id=task_id)
+                                task_id=task_id,
+                                probe_cache=self.probe_cache)
         candidates: List[Candidate] = []
         stream = enumerator.enumerate()
         try:

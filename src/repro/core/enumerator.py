@@ -68,9 +68,10 @@ from .search import (
     SearchState,
     SearchTelemetry,
     make_frontier,
+    validate_verification_config,
 )
 from .tsq import TableSketchQuery
-from .verifier import Verifier, VerifierConfig
+from .verifier import SharedProbeCache, Verifier, VerifierConfig
 
 
 @dataclass
@@ -93,13 +94,26 @@ class EnumeratorConfig:
     #: search strategy: "best-first" (exact, seed-equivalent), "beam", or
     #: "diverse-beam" (see repro.core.search.frontier)
     engine: str = "best-first"
-    #: verification worker threads; 1 = inline (no thread pool)
+    #: verification workers; 1 = inline (no pool)
     workers: int = 1
+    #: verification backend: "threads" (GIL-releasing SQLite probes run
+    #: in parallel), "processes" (every cascade stage parallelises over
+    #: Database.snapshot() payloads), or "inline" (workers must be 1)
+    verify_backend: str = "threads"
     #: frontier truncation width for the beam engines
     beam_width: int = 16
     #: states popped per expansion round; None = engine picks
     #: (max(1, workers) for best-first, the beam width for beams)
     batch_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Reject bad worker counts here, at the configuration boundary,
+        # instead of letting the pool silently clamp them to 1 — a
+        # `workers=0` that "works" hides real misconfiguration.
+        if not isinstance(self.workers, int):
+            raise ValueError(f"workers must be a positive integer "
+                             f"(got {self.workers!r})")
+        validate_verification_config(self.verify_backend, self.workers)
 
 
 #: Backwards-compatible alias — the state type now lives in the search
@@ -115,7 +129,8 @@ class Enumerator:
                  config: Optional[EnumeratorConfig] = None,
                  gold: Optional[Query] = None,
                  task_id: str = "",
-                 verifier: Optional[Verifier] = None):
+                 verifier: Optional[Verifier] = None,
+                 probe_cache: Optional[SharedProbeCache] = None):
         self.db = db
         self.schema = db.schema
         self.model = model
@@ -124,11 +139,16 @@ class Enumerator:
         self.config = config or EnumeratorConfig()
         self.joins = JoinPathBuilder(
             self.schema, max_extensions=self.config.max_join_extensions)
+        # ``probe_cache`` lets a caller (the eval harness) share one
+        # per-database cache across many enumerations, so probe answers
+        # from earlier tasks are reused; ignored when a prebuilt
+        # verifier is supplied.
         self.verifier = verifier or Verifier(
             db, tsq=self.tsq, literals=nlq.literals,
             config=VerifierConfig(
                 check_semantics=self.config.check_semantics,
-                verify_partial=self.config.verify_partial))
+                verify_partial=self.config.verify_partial),
+            probe_cache=probe_cache)
         self._ctx = GuidanceContext(nlq=nlq, schema=self.schema,
                                     gold=gold, task_id=task_id)
         self.telemetry = SearchTelemetry()
@@ -177,7 +197,8 @@ class Enumerator:
         engine = SearchEngine(self, frontier,
                               workers=self.config.workers,
                               batch_size=self.config.batch_size,
-                              telemetry=self.telemetry)
+                              telemetry=self.telemetry,
+                              verify_backend=self.config.verify_backend)
         return engine.run()
 
     # ------------------------------------------------------------------
@@ -219,13 +240,6 @@ class Enumerator:
                     return None
                 return query.replace(join_path=paths[0])
         return query
-
-    def _verify_partial(self, query: Query) -> bool:
-        """Verify a partial query, attaching a probe join path if needed."""
-        probe = self.probe_query(query)
-        if probe is None:
-            return False
-        return self.verifier.verify(probe, treat_as_partial=True).ok
 
     # ------------------------------------------------------------------
     # EnumNextStep: one inference decision per expansion

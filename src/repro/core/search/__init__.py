@@ -17,7 +17,13 @@ from .frontier import (
     make_frontier,
     structural_key,
 )
-from .parallel import VerificationPool
+from .parallel import (
+    ProcessVerificationPool,
+    VERIFY_BACKENDS,
+    VerificationPool,
+    make_verification_pool,
+    validate_verification_config,
+)
 from .scheduler import DecisionScheduler
 from .telemetry import SearchTelemetry
 
@@ -30,11 +36,15 @@ __all__ = [
     "ENGINES",
     "Frontier",
     "NO_JOIN_PATH",
+    "ProcessVerificationPool",
     "SearchEngine",
     "SearchProblem",
     "SearchState",
     "SearchTelemetry",
+    "VERIFY_BACKENDS",
     "VerificationPool",
     "make_frontier",
+    "make_verification_pool",
     "structural_key",
+    "validate_verification_config",
 ]

@@ -36,7 +36,11 @@ from ...sqlir.ast import Query
 from ...sqlir.canon import signature
 from ..verifier import VerifyResult
 from .frontier import Frontier
-from .parallel import Job, VerificationPool
+from .parallel import (
+    Job,
+    make_verification_pool,
+    validate_verification_config,
+)
 from .scheduler import DecisionScheduler
 from .telemetry import SearchTelemetry
 
@@ -95,10 +99,13 @@ class SearchEngine:
 
     def __init__(self, problem, frontier: Frontier, workers: int = 1,
                  batch_size: Optional[int] = None,
-                 telemetry: Optional[SearchTelemetry] = None):
+                 telemetry: Optional[SearchTelemetry] = None,
+                 verify_backend: str = "threads"):
         self.problem = problem
         self.frontier = frontier
-        self.workers = max(1, int(workers))
+        self.workers = validate_verification_config(verify_backend,
+                                                    workers)
+        self.verify_backend = verify_backend
         self._configured_batch_size = batch_size
         self.batch_size = batch_size or frontier.batch_hint(self.workers)
         self.scheduler = DecisionScheduler(problem.model)
@@ -106,6 +113,7 @@ class SearchEngine:
             else SearchTelemetry()
         self.telemetry.engine = frontier.name
         self.telemetry.workers = self.workers
+        self.telemetry.verify_backend = verify_backend
 
     # ------------------------------------------------------------------
     def run(self) -> Iterator[Candidate]:
@@ -114,26 +122,41 @@ class SearchEngine:
         config = problem.config
         telemetry = self.telemetry
         frontier = self.frontier
-        pool = VerificationPool(problem.verifier, workers=self.workers)
-        if pool.workers != self.workers:
-            # The pool degraded (no sqlite snapshot support): report the
-            # effective worker count and stop speculating over batches
-            # that nothing will verify in parallel.
-            self.workers = pool.workers
-            if self._configured_batch_size is None:
-                self.batch_size = frontier.batch_hint(self.workers)
-            telemetry.workers = self.workers
+        # Everything after pool construction runs under try/finally, so
+        # worker connections and stats are folded back even when frontier
+        # seeding or an expansion raises mid-enumeration (the pool's
+        # close() is idempotent, so double-closing is harmless).
+        pool = make_verification_pool(problem.verifier,
+                                      backend=self.verify_backend,
+                                      workers=self.workers)
+        cache = problem.verifier.probe_cache
+        probe_hits_start = cache.hits
+        probe_misses_start = cache.misses
+        cross_task_start = cache.cross_task_hits
         start = time.monotonic()
-        counter = itertools.count()
-        root = problem.root_state()
-        frontier.push((problem.priority(root), next(counter)), root)
-        seen: set = set()
-        emitted_signatures: set = set()
-        #: (query, treat_as_partial) -> speculative VerifyResult
-        verify_memo: Dict[Tuple[Query, bool], VerifyResult] = {}
-        emitted = 0
-
         try:
+            if pool.workers != self.workers:
+                # The pool degraded (no sqlite snapshot support or
+                # unshippable verifier state): report the effective
+                # worker count and stop speculating over batches that
+                # nothing will verify in parallel.
+                self.workers = pool.workers
+                if self._configured_batch_size is None:
+                    self.batch_size = frontier.batch_hint(self.workers)
+                telemetry.workers = self.workers
+            telemetry.snapshot_degraded = pool.degraded
+            # A new task generation: hits on entries cached by earlier
+            # enumerations (a harness-shared cache) count as cross-task.
+            cache.begin_task()
+            counter = itertools.count()
+            root = problem.root_state()
+            frontier.push((problem.priority(root), next(counter)), root)
+            seen: set = set()
+            emitted_signatures: set = set()
+            #: (query, treat_as_partial) -> speculative VerifyResult
+            verify_memo: Dict[Tuple[Query, bool], VerifyResult] = {}
+            emitted = 0
+
             while frontier:
                 batch = frontier.pop_batch(self.batch_size)
                 if not batch:
@@ -241,11 +264,20 @@ class SearchEngine:
                         frontier.push(
                             (problem.priority(child), next(counter)), child)
         finally:
-            pool.close()
-            telemetry.wall_time = time.monotonic() - start
-            telemetry.beam_dropped = frontier.dropped
-            telemetry.guidance_calls = self.scheduler.calls
-            telemetry.guidance_batches = self.scheduler.batches
-            cache = problem.verifier.probe_cache
-            telemetry.probe_hits = cache.hits
-            telemetry.probe_misses = cache.misses
+            try:
+                pool.close()
+            finally:
+                telemetry.wall_time = time.monotonic() - start
+                telemetry.beam_dropped = frontier.dropped
+                telemetry.guidance_calls = self.scheduler.calls
+                telemetry.guidance_batches = self.scheduler.batches
+                # Refreshed here because the process pool can degrade
+                # mid-run (worker crash): report the effective state.
+                telemetry.snapshot_degraded = pool.degraded
+                telemetry.workers = pool.workers
+                # Deltas, not totals: a cache shared across tasks must
+                # not attribute earlier enumerations' traffic to this one.
+                telemetry.probe_hits = cache.hits - probe_hits_start
+                telemetry.probe_misses = cache.misses - probe_misses_start
+                telemetry.cross_task_probe_hits = \
+                    cache.cross_task_hits - cross_task_start

@@ -1,46 +1,145 @@
 """Parallel verification stage.
 
 Verification dominates enumeration cost: every popped state pays a
-cascade of checks, and the later stages execute probe SQL. The pool
-runs a round's verifications concurrently on a thread pool. SQLite
-connections are thread-bound, so each worker thread rehydrates its own
-connection from a one-time snapshot of the database
-(:meth:`repro.db.database.Database.snapshot`); all per-thread verifier
-forks share one :class:`~repro.core.verifier.SharedProbeCache`, so a
-probe answered by any worker is answered for all of them. SQLite
-releases the GIL while stepping statements, which is where the actual
-parallelism comes from.
+cascade of checks, and the later stages execute probe SQL. Two pool
+backends run a round's verifications concurrently:
 
-Verification outcomes are returned, not recorded: the engine records
+* :class:`VerificationPool` (``backend="threads"``) — worker threads
+  over per-thread SQLite connection forks. SQLite releases the GIL
+  while stepping statements, so the GIL-releasing probe stages run
+  truly in parallel; the CPU-bound stages (clauses, semantics, column
+  types) still serialise on the GIL.
+* :class:`ProcessVerificationPool` (``backend="processes"``) — worker
+  subprocesses that rehydrate :meth:`Database.from_snapshot` payloads
+  once per worker and verify pickled job batches. Every cascade stage
+  parallelises, including the CPU-bound ones. Workers warm-start their
+  probe caches from the primary cache (so cross-task cache reuse
+  carries into subprocesses) and ship newly answered probes back, so
+  later tasks on the same database benefit too.
+
+Both backends share the contract that makes speculative batching safe:
+verification outcomes are *returned*, not recorded. The engine records
 each outcome into the primary verifier's stats exactly once, when the
 state is consumed, so stats stay identical to the serial enumerator
-even under speculative batching.
+even under speculative batching. Database execution counters and probe
+cache hit/miss counters accrued by workers are folded back into the
+primary objects, so telemetry is complete regardless of backend.
 
-When the sqlite3 build cannot serialize databases (or ``workers=1``)
-the pool degrades to inline verification on the caller's thread.
+When the sqlite3 build cannot serialize databases (or the verifier
+state cannot be shipped to subprocesses) a pool degrades to inline
+verification on the caller's thread — visibly: a warning is logged and
+the pool's ``degraded``/``degrade_reason`` attributes are set, which
+the engine surfaces as ``SearchTelemetry.snapshot_degraded``.
+
+Pools are context managers and ``close()`` is idempotent; the engine
+drives them via ``try``/``finally`` so worker connections and stats
+are never leaked, even when an exception aborts the enumeration.
 """
 
 from __future__ import annotations
 
+import logging
+import pickle
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 from ...db.database import Database
 from ...errors import ExecutionError
-from ..verifier import Verifier, VerifyResult
+from ..verifier import SharedProbeCache, Verifier, VerifyResult
 from ...sqlir.ast import Query
+
+logger = logging.getLogger(__name__)
 
 #: One verification job: (query to verify, treat_as_partial flag).
 Job = Tuple[Query, bool]
 
+#: Recognised verification backends (CLI/config validation).
+VERIFY_BACKENDS = ("inline", "threads", "processes")
 
-class VerificationPool:
-    """Runs verification jobs inline or across worker threads."""
+
+def _validated_workers(workers: int) -> int:
+    """Reject non-positive worker counts instead of silently clamping."""
+    count = int(workers)
+    if count < 1:
+        raise ValueError(
+            f"workers must be a positive integer (got {workers!r}); "
+            f"use workers=1 for inline verification")
+    return count
+
+
+def validate_verification_config(backend: str, workers: int) -> int:
+    """Validate a (backend, workers) combination; returns the count.
+
+    The single boundary check shared by :class:`EnumeratorConfig`,
+    :func:`make_verification_pool`, and the CLI wiring, so the rules
+    (and their error messages) cannot drift apart.
+    """
+    if backend not in VERIFY_BACKENDS:
+        raise ValueError(f"unknown verify_backend {backend!r}; expected "
+                         f"one of {VERIFY_BACKENDS}")
+    workers = _validated_workers(workers)
+    if backend == "inline" and workers != 1:
+        raise ValueError(
+            f"verify_backend='inline' runs on the caller's thread; "
+            f"workers must be 1 (got {workers})")
+    return workers
+
+
+class BaseVerificationPool:
+    """Lifecycle and fallback machinery shared by every backend.
+
+    Subclasses implement worker startup in ``__init__`` and override
+    :meth:`run`/:meth:`close`; the base provides validated worker
+    counts, the visible inline-degrade path, the inline fallback
+    itself, and the context-manager protocol around an idempotent
+    ``close()``.
+    """
+
+    backend = "base"
 
     def __init__(self, verifier: Verifier, workers: int = 1):
         self.verifier = verifier
-        self.workers = max(1, int(workers))
+        self.workers = _validated_workers(workers)
+        self.degraded = False
+        self.degrade_reason = ""
+        self._closed = False
+
+    def _degrade(self, reason: str) -> None:
+        """Fall back to inline verification, visibly."""
+        self.workers = 1
+        self.degraded = True
+        self.degrade_reason = reason
+        logger.warning(
+            "%s verification pool degraded to inline verification: %s",
+            self.backend, reason)
+
+    def _run_inline(self, jobs: Sequence[Job]) -> List[VerifyResult]:
+        return [self.verifier.verify(query, treat_as_partial=partial,
+                                     record=False)
+                for query, partial in jobs]
+
+    def run(self, jobs: Sequence[Job]) -> List[VerifyResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class VerificationPool(BaseVerificationPool):
+    """Runs verification jobs inline or across worker threads."""
+
+    backend = "threads"
+
+    def __init__(self, verifier: Verifier, workers: int = 1):
+        super().__init__(verifier, workers)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._payload: Optional[bytes] = None
         self._local = threading.local()
@@ -49,8 +148,8 @@ class VerificationPool:
         if self.workers > 1:
             try:
                 self._payload = verifier.db.snapshot()
-            except ExecutionError:
-                self.workers = 1  # no snapshot support: degrade to inline
+            except ExecutionError as exc:
+                self._degrade(str(exc))
             else:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.workers,
@@ -79,17 +178,181 @@ class VerificationPool:
         if not jobs:
             return []
         if self._pool is None or len(jobs) == 1:
-            return [self.verifier.verify(query, treat_as_partial=partial,
-                                         record=False)
-                    for query, partial in jobs]
+            return self._run_inline(jobs)
         return list(self._pool.map(self._verify_job, jobs))
 
     def close(self) -> None:
-        """Shut the pool down and fold fork counters into the primary."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        """Shut the pool down and fold fork counters into the primary.
+
+        Idempotent, and exception-safe: every fork connection is closed
+        even if folding one fork's stats raises.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+        finally:
             self._pool = None
-        for fork in self._forks:
-            self.verifier.db.merge_stats(fork.db.stats)
-            fork.db.close()
-        self._forks = []
+            forks, self._forks = self._forks, []
+            errors: List[BaseException] = []
+            for fork in forks:
+                try:
+                    self.verifier.db.merge_stats(fork.db.stats)
+                except BaseException as exc:  # keep closing the rest
+                    errors.append(exc)
+                finally:
+                    try:
+                        fork.db.close()
+                    except BaseException as exc:
+                        errors.append(exc)
+            if errors:
+                raise errors[0]
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend
+# ----------------------------------------------------------------------
+#: Per-process verifier, installed by the pool initializer.
+_WORKER_VERIFIER: Optional[Verifier] = None
+
+
+def _process_worker_init(schema, payload, tsq, literals, config, rules,
+                         cache_seed) -> None:
+    """Rehydrate the database snapshot once per worker process."""
+    global _WORKER_VERIFIER
+    db = Database.from_snapshot(schema, payload)
+    cache = SharedProbeCache()
+    cache.enable_journal()
+    probes, minmax = cache_seed
+    cache.seed(probes, minmax)
+    # Seeded entries stay in the previous generation, so hits on them
+    # count as cross-task hits — they came from earlier enumerations.
+    cache.begin_task()
+    _WORKER_VERIFIER = Verifier(db, tsq=tsq, literals=literals,
+                                config=config, rules=rules,
+                                probe_cache=cache)
+
+
+def _process_worker_batch(jobs: Sequence[Job]):
+    """Verify one job batch; returns results + counter deltas."""
+    verifier = _WORKER_VERIFIER
+    assert verifier is not None, "worker initializer did not run"
+    cache = verifier.probe_cache
+    stats_before = verifier.db.stats.snapshot()
+    hits, misses = cache.hits, cache.misses
+    cross = cache.cross_task_hits
+    results = [verifier.verify(query, treat_as_partial=partial,
+                               record=False)
+               for query, partial in jobs]
+    return (results,
+            verifier.db.stats.delta_since(stats_before),
+            cache.hits - hits,
+            cache.misses - misses,
+            cache.cross_task_hits - cross,
+            cache.drain_journal())
+
+
+class ProcessVerificationPool(BaseVerificationPool):
+    """Runs verification job batches across worker subprocesses.
+
+    Unlike the thread pool, every cascade stage — including the
+    CPU-bound clause/semantics/column-type checks — runs in parallel,
+    because each worker is a separate interpreter. Jobs and results are
+    pickled; workers are primed once with the database snapshot and the
+    verifier's (picklable) configuration, and each worker keeps a
+    private :class:`SharedProbeCache` seeded from the primary cache.
+    Newly answered probes travel back with each batch and are merged
+    into the primary cache, so cross-task reuse works in both
+    directions.
+    """
+
+    backend = "processes"
+
+    def __init__(self, verifier: Verifier, workers: int = 1):
+        super().__init__(verifier, workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if self.workers > 1:
+            self._start()
+
+    def _start(self) -> None:
+        verifier = self.verifier
+        try:
+            payload = verifier.db.snapshot()
+        except ExecutionError as exc:
+            self._degrade(str(exc))
+            return
+        try:
+            # Verifier state must survive the trip into the workers;
+            # custom rule sets with unpicklable callables degrade here
+            # rather than crash mid-search. Only the risky components
+            # are probed — the snapshot payload is plain bytes and the
+            # cache export plain dicts, and re-pickling a multi-MB
+            # payload once per enumeration would be pure waste.
+            pickle.dumps((verifier.tsq, verifier.literals,
+                          verifier.config, verifier.rules))
+        except Exception as exc:
+            self._degrade(f"verifier state is not picklable: {exc}")
+            return
+        initargs = (verifier.db.schema, payload, verifier.tsq,
+                    verifier.literals, verifier.config, verifier.rules,
+                    verifier.probe_cache.export())
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_process_worker_init,
+                initargs=initargs)
+        except (OSError, ValueError) as exc:
+            self._degrade(f"cannot start worker processes: {exc}")
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> List[VerifyResult]:
+        """Verify all jobs; results align positionally with ``jobs``."""
+        if not jobs:
+            return []
+        if self._pool is None or len(jobs) == 1:
+            return self._run_inline(jobs)
+        chunk = -(-len(jobs) // self.workers)  # ceil division
+        chunks = [jobs[i:i + chunk] for i in range(0, len(jobs), chunk)]
+        try:
+            outcomes = list(self._pool.map(_process_worker_batch, chunks))
+        except Exception as exc:
+            # A broken pool (worker crash, unpicklable query) must not
+            # abort the search: degrade to inline for the rest of it.
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=False)
+            self._degrade(f"worker batch failed: {exc}")
+            return self._run_inline(jobs)
+        results: List[VerifyResult] = []
+        cache = self.verifier.probe_cache
+        for batch_results, stats, hits, misses, cross, journal in outcomes:
+            results.extend(batch_results)
+            self.verifier.db.merge_stats(stats)
+            cache.merge_remote(hits, misses, cross, *journal)
+        return results
+
+    def close(self) -> None:
+        """Shut the worker processes down. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def make_verification_pool(verifier: Verifier, backend: str = "threads",
+                           workers: int = 1):
+    """Build the configured verification backend.
+
+    ``inline`` is the degenerate single-worker pool (every verification
+    runs on the caller's thread); ``threads`` and ``processes`` select
+    the pool class. Worker counts below 1 raise — silently running
+    inline when the caller asked for parallelism hides misconfiguration.
+    """
+    workers = validate_verification_config(backend, workers)
+    if backend == "processes":
+        return ProcessVerificationPool(verifier, workers=workers)
+    return VerificationPool(verifier, workers=workers)

@@ -17,6 +17,11 @@ class SearchTelemetry:
 
     engine: str = "best-first"
     workers: int = 1
+    #: verification backend ("inline", "threads", or "processes")
+    verify_backend: str = "threads"
+    #: True when the verification pool fell back to inline verification
+    #: (no sqlite snapshot support, or unpicklable verifier state)
+    snapshot_degraded: bool = False
     wall_time: float = 0.0
     #: states expanded (one guidance decision each)
     expansions: int = 0
@@ -40,9 +45,13 @@ class SearchTelemetry:
     #: speculative batch rounds cut short because a fresh child outranked
     #: the rest of the batch (the push-back that keeps ranking exact)
     pushbacks: int = 0
-    #: shared probe cache counters (snapshot at end of run)
+    #: shared probe cache counters accrued by this run (deltas, so a
+    #: cache shared across tasks does not leak earlier tasks' counts)
     probe_hits: int = 0
     probe_misses: int = 0
+    #: probe hits served from entries cached by an *earlier* enumeration
+    #: on the same database (nonzero only with a shared cross-task cache)
+    cross_task_probe_hits: int = 0
 
     def record_prune(self, stage: str, partial: bool) -> None:
         if partial:
@@ -64,6 +73,8 @@ class SearchTelemetry:
         return {
             "engine": self.engine,
             "workers": self.workers,
+            "verify_backend": self.verify_backend,
+            "snapshot_degraded": self.snapshot_degraded,
             "wall_time": self.wall_time,
             "expansions": self.expansions,
             "generated": self.generated,
@@ -78,5 +89,6 @@ class SearchTelemetry:
             "pushbacks": self.pushbacks,
             "probe_hits": self.probe_hits,
             "probe_misses": self.probe_misses,
+            "cross_task_probe_hits": self.cross_task_probe_hits,
             "cache_hit_rate": self.cache_hit_rate,
         }

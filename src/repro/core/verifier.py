@@ -92,21 +92,39 @@ class SharedProbeCache:
     """Thread-safe memo for probe and min/max queries.
 
     Lifted out of :class:`Verifier` so one cache can back many verifier
-    instances at once — in particular the per-thread verifier forks of
-    the parallel search engine, where sibling partial queries repeat
-    most probes and the cache is the main cross-worker win. Lookups and
-    stores take a lock; the probe itself runs outside it, so two workers
-    may race to compute the same (idempotent) entry, which costs one
-    redundant probe but never corrupts the cache.
+    instances at once — the per-thread verifier forks of the parallel
+    search engine, and (via the eval harness) every enumeration over the
+    same database, where sibling partial queries and sibling *tasks*
+    repeat most probes. Lookups and stores take a lock; the probe itself
+    runs outside it, so two workers may race to compute the same
+    (idempotent) entry, which costs one redundant probe but never
+    corrupts the cache.
+
+    Entries are stamped with a *task generation*: callers (the search
+    engine) bump :meth:`begin_task` once per enumeration, and a hit on
+    an entry written by an earlier generation is counted separately as a
+    cross-task hit, which is how the harness-level cache reuse shows up
+    in telemetry. The process-pool verification backend additionally
+    uses :meth:`export`/:meth:`seed` to warm worker caches, a journal to
+    collect probes answered inside workers, and :meth:`merge_remote` to
+    fold worker counters and entries back into the primary cache.
     """
 
     def __init__(self) -> None:
         self._probes: Dict[str, bool] = {}
         self._minmax: Dict[ColumnRef, Tuple[Optional[Value],
                                             Optional[Value]]] = {}
+        #: entry key -> task generation that wrote it
+        self._probe_gen: Dict[str, int] = {}
+        self._minmax_gen: Dict[ColumnRef, int] = {}
+        self._generation = 0
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: hits on entries written by an earlier task generation
+        self.cross_task_hits = 0
+        self._journal: Optional[Tuple[List[Tuple[str, bool]],
+                                      List[Tuple[ColumnRef, Tuple]]]] = None
 
     def __len__(self) -> int:
         with self._lock:
@@ -117,10 +135,83 @@ class SharedProbeCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    # ------------------------------------------------------------------
+    # Task generations (cross-task reuse accounting)
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def begin_task(self) -> int:
+        """Start a new task generation; returns the new generation.
+
+        Entries already cached belong to earlier generations, so hits on
+        them from now on are counted as ``cross_task_hits``.
+        """
+        with self._lock:
+            self._generation += 1
+            return self._generation
+
+    # ------------------------------------------------------------------
+    # Worker-process support (export / seed / journal / merge)
+    # ------------------------------------------------------------------
+    def export(self) -> Tuple[Dict[str, bool], Dict[ColumnRef, Tuple]]:
+        """Copies of the cached entries, for seeding worker caches."""
+        with self._lock:
+            return dict(self._probes), dict(self._minmax)
+
+    def seed(self, probes: Dict[str, bool],
+             minmax: Dict[ColumnRef, Tuple]) -> None:
+        """Pre-populate entries (stamped with the current generation)."""
+        with self._lock:
+            for sql, outcome in probes.items():
+                if sql not in self._probes:
+                    self._probes[sql] = outcome
+                    self._probe_gen[sql] = self._generation
+            for column, bounds in minmax.items():
+                if column not in self._minmax:
+                    self._minmax[column] = bounds
+                    self._minmax_gen[column] = self._generation
+
+    def enable_journal(self) -> None:
+        """Record entries inserted from now on (worker caches only)."""
+        with self._lock:
+            self._journal = ([], [])
+
+    def drain_journal(self) -> Tuple[List[Tuple[str, bool]],
+                                     List[Tuple[ColumnRef, Tuple]]]:
+        """Entries inserted since the last drain; resets the journal."""
+        with self._lock:
+            assert self._journal is not None, "journal not enabled"
+            drained, self._journal = self._journal, ([], [])
+            return drained
+
+    def merge_remote(self, hits: int, misses: int, cross_task_hits: int,
+                     probes: Sequence[Tuple[str, bool]],
+                     minmax: Sequence[Tuple[ColumnRef, Tuple]]) -> None:
+        """Fold a worker cache's counters and new entries into this one."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            self.cross_task_hits += cross_task_hits
+            for sql, outcome in probes:
+                if sql not in self._probes:
+                    self._probes[sql] = outcome
+                    self._probe_gen[sql] = self._generation
+            for column, bounds in minmax:
+                if column not in self._minmax:
+                    self._minmax[column] = bounds
+                    self._minmax_gen[column] = self._generation
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
     def probe(self, db: Database, sql: str) -> bool:
         with self._lock:
             if sql in self._probes:
                 self.hits += 1
+                if self._probe_gen[sql] < self._generation:
+                    self.cross_task_hits += 1
                 return self._probes[sql]
         try:
             outcome = db.exists(sql)
@@ -130,7 +221,11 @@ class SharedProbeCache:
             outcome = True
         with self._lock:
             self.misses += 1
-            self._probes.setdefault(sql, outcome)
+            if sql not in self._probes:
+                self._probes[sql] = outcome
+                self._probe_gen[sql] = self._generation
+                if self._journal is not None:
+                    self._journal[0].append((sql, outcome))
             return self._probes[sql]
 
     def minmax(self, db: Database,
@@ -138,11 +233,17 @@ class SharedProbeCache:
         with self._lock:
             if column in self._minmax:
                 self.hits += 1
+                if self._minmax_gen[column] < self._generation:
+                    self.cross_task_hits += 1
                 return self._minmax[column]
         bounds = db.column_min_max(column)
         with self._lock:
             self.misses += 1
-            self._minmax.setdefault(column, bounds)
+            if column not in self._minmax:
+                self._minmax[column] = bounds
+                self._minmax_gen[column] = self._generation
+                if self._journal is not None:
+                    self._journal[1].append((column, bounds))
             return self._minmax[column]
 
 
@@ -163,7 +264,11 @@ class Verifier:
         self.rules = rules or RuleSet()
         #: failure counts per stage plus "pass"
         self.stats: Dict[str, int] = {}
-        self.probe_cache = probe_cache or SharedProbeCache()
+        # `is None`, not truthiness: an empty SharedProbeCache is falsy
+        # (it has __len__), and a shared cache is usually empty when the
+        # first verifier attaches to it.
+        self.probe_cache = probe_cache if probe_cache is not None \
+            else SharedProbeCache()
 
     def fork(self, db: Database) -> "Verifier":
         """A verifier over ``db`` sharing this one's probe cache.

@@ -43,6 +43,19 @@ class ExecutionStats:
                               timeouts=self.timeouts,
                               per_kind=dict(self.per_kind))
 
+    def delta_since(self, before: "ExecutionStats") -> "ExecutionStats":
+        """Counters accrued since ``before`` (a prior :meth:`snapshot`)."""
+        per_kind = {}
+        for kind, count in self.per_kind.items():
+            delta = count - before.per_kind.get(kind, 0)
+            if delta:
+                per_kind[kind] = delta
+        return ExecutionStats(statements=self.statements - before.statements,
+                              rows_fetched=self.rows_fetched
+                              - before.rows_fetched,
+                              timeouts=self.timeouts - before.timeouts,
+                              per_kind=per_kind)
+
 
 class Database:
     """A SQLite database together with its declared :class:`Schema`."""

@@ -17,6 +17,7 @@ from ..baselines.squid import SquidPBE
 from ..core.duoquest import Duoquest
 from ..core.enumerator import EnumeratorConfig
 from ..core.tsq import TableSketchQuery
+from ..core.verifier import SharedProbeCache
 from ..datasets.facts import build_fact_bank
 from ..datasets.tasks import Task, TaskSet
 from ..datasets.tsqsynth import (
@@ -55,10 +56,18 @@ class SimulationConfig:
     seed: int = 0
     profile: AccuracyProfile = field(default_factory=AccuracyProfile)
     #: search engine selection (see repro.core.search): strategy name,
-    #: verification worker threads, and beam width for the beam engines
+    #: verification workers + backend, and beam width for beam engines
     engine: str = "best-first"
     workers: int = 1
+    verify_backend: str = "threads"
     beam_width: int = 16
+    #: share one probe cache per database across every enumeration of a
+    #: run, so later tasks reuse earlier tasks' probe answers. Probe
+    #: answers are facts of the database, so results never change; but
+    #: whichever system/variant runs *first* on a database pays the cold
+    #: probes, so for strictly-controlled wall-clock comparisons between
+    #: systems (fig10-12 timing columns) disable sharing.
+    share_probe_cache: bool = True
 
     def enumerator_config(self) -> EnumeratorConfig:
         return EnumeratorConfig(time_budget=self.timeout,
@@ -66,7 +75,33 @@ class SimulationConfig:
                                 max_expansions=self.max_expansions,
                                 engine=self.engine,
                                 workers=self.workers,
+                                verify_backend=self.verify_backend,
                                 beam_width=self.beam_width)
+
+
+class ProbeCacheRegistry:
+    """One :class:`SharedProbeCache` per database, owned by a harness run.
+
+    Probe answers depend only on the database contents, not on the task
+    or TSQ, so every enumeration over the same database can share one
+    cache. The registry keys by database identity (the live object, not
+    the schema name — two databases may share a schema but hold
+    different rows) and hands ``None`` out when sharing is disabled, so
+    callers can pass the result straight to ``Duoquest(probe_cache=…)``.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._caches: Dict[int, Tuple[Database, SharedProbeCache]] = {}
+
+    def cache_for(self, db: Database) -> Optional[SharedProbeCache]:
+        if not self.enabled:
+            return None
+        entry = self._caches.get(id(db))
+        if entry is None or entry[0] is not db:
+            entry = (db, SharedProbeCache())
+            self._caches[id(db)] = entry
+        return entry[1]
 
 
 def _oracle(config: SimulationConfig) -> CalibratedOracleModel:
@@ -145,17 +180,20 @@ def run_simulation(tasks: TaskSet,
     model = _oracle(config)
     records: List[SimTaskRecord] = []
     pbe_by_db: Dict[str, SquidPBE] = {}
+    caches = ProbeCacheRegistry(enabled=config.share_probe_cache)
     for task in tasks:
         db = tasks.database_for(task)
         tsq = synthesize_tsq(task, db, detail=detail, seed=config.seed)
         if "Duoquest" in systems:
             system = Duoquest(db, model=model,
-                              config=config.enumerator_config())
+                              config=config.enumerator_config(),
+                              probe_cache=caches.cache_for(db))
             records.append(run_gpqe_task(task, db, system, tsq,
                                          "Duoquest", detail))
         if "NLI" in systems:
             system = Duoquest(db, model=model,
-                              config=config.enumerator_config())
+                              config=config.enumerator_config(),
+                              probe_cache=caches.cache_for(db))
             records.append(run_gpqe_task(task, db, system, None, "NLI"))
         if "PBE" in systems:
             if db.schema.name not in pbe_by_db:
@@ -173,12 +211,14 @@ def run_detail_sweep(tasks: TaskSet,
     config = config or SimulationConfig()
     model = _oracle(config)
     records: List[SimTaskRecord] = []
+    caches = ProbeCacheRegistry(enabled=config.share_probe_cache)
     for task in tasks:
         db = tasks.database_for(task)
         for detail in details:
             tsq = synthesize_tsq(task, db, detail=detail, seed=config.seed)
             system = Duoquest(db, model=model,
-                              config=config.enumerator_config())
+                              config=config.enumerator_config(),
+                              probe_cache=caches.cache_for(db))
             records.append(run_gpqe_task(task, db, system, tsq,
                                          "Duoquest", detail))
     return records
@@ -192,12 +232,14 @@ def run_ablations(tasks: TaskSet,
     config = config or SimulationConfig()
     model = _oracle(config)
     records: List[SimTaskRecord] = []
+    caches = ProbeCacheRegistry(enabled=config.share_probe_cache)
     for task in tasks:
         db = tasks.database_for(task)
         tsq = synthesize_tsq(task, db, detail=DETAIL_FULL, seed=config.seed)
         for variant in variants:
             factory = ABLATION_VARIANTS[variant]
-            system = factory(db, model, config.enumerator_config())
+            system = factory(db, model, config.enumerator_config(),
+                             probe_cache=caches.cache_for(db))
             records.append(run_gpqe_task(task, db, system, tsq, variant))
     return records
 

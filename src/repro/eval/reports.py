@@ -230,16 +230,19 @@ def search_report(records: Sequence[SimTaskRecord],
                   title: str = "Search telemetry") -> str:
     """Aggregate per-stage search telemetry across GPQE task records.
 
-    One row per (system, engine, workers) group: expansions, states
-    generated, candidates emitted, prunes per verifier stage, probe
-    cache hit rate, guidance batching ratio, and wall time.
+    One row per (system, engine, verify backend, workers) group:
+    expansions, states generated, candidates emitted, prunes per
+    verifier stage, probe cache hit rate (plus the hits served from
+    entries cached by *earlier* tasks on the same database — the
+    cross-task cache reuse), guidance batching ratio, and wall time.
     """
-    grouped: Dict[Tuple[str, str, int], List[Dict[str, object]]] = \
+    grouped: Dict[Tuple[str, str, str, int], List[Dict[str, object]]] = \
         defaultdict(list)
     for record in records:
         if record.telemetry is None:
             continue
         key = (record.system, str(record.telemetry.get("engine", "?")),
+               str(record.telemetry.get("verify_backend", "threads")),
                int(record.telemetry.get("workers", 1)))
         grouped[key].append(record.telemetry)
 
@@ -252,18 +255,21 @@ def search_report(records: Sequence[SimTaskRecord],
     stage_names.sort()
 
     rows = []
-    for (system, engine, workers), bucket in sorted(grouped.items()):
+    for (system, engine, backend, workers), bucket in \
+            sorted(grouped.items()):
         def total(field: str) -> int:
             return sum(int(t.get(field, 0)) for t in bucket)
 
         hits, misses = total("probe_hits"), total("probe_misses")
         probes = hits + misses
+        cross = total("cross_task_probe_hits")
         calls, batches = total("guidance_calls"), total("guidance_batches")
         wall = sum(float(t.get("wall_time", 0.0)) for t in bucket)
         row: List[object] = [
-            system, engine, workers, total("expansions"),
+            system, engine, backend, workers, total("expansions"),
             total("generated"), total("emitted"),
             f"{100.0 * hits / probes:.1f}%" if probes else "-",
+            cross,
             f"{calls / batches:.1f}" if batches else "-",
             f"{wall:.2f}s",
         ]
@@ -272,8 +278,8 @@ def search_report(records: Sequence[SimTaskRecord],
                            for t in bucket))
         rows.append(tuple(row))
 
-    headers = ("System", "Engine", "W", "Expand", "Gen", "Emit",
-               "Cache%", "Calls/Batch", "Wall",
+    headers = ("System", "Engine", "Verify", "W", "Expand", "Gen", "Emit",
+               "Cache%", "XTaskHit", "Calls/Batch", "Wall",
                *(f"prune:{s}" for s in stage_names))
     return title + "\n" + format_table(headers, rows)
 

@@ -42,11 +42,13 @@ def tasks():
             for name, db, model, nlq, tsq, gold, task_id in fixture_tasks()}
 
 
-def run_engine(task, workers: int, engine: str = "best-first", **overrides):
+def run_engine(task, workers: int, engine: str = "best-first",
+               verify_backend: str = "threads", **overrides):
     db, model, nlq, tsq, gold, task_id = task
     settings = dict(CONFIG)
     settings.update(overrides)
-    config = EnumeratorConfig(engine=engine, workers=workers, **settings)
+    config = EnumeratorConfig(engine=engine, workers=workers,
+                              verify_backend=verify_backend, **settings)
     enumerator = Enumerator(db, model, nlq, tsq=tsq, config=config,
                             gold=gold, task_id=task_id)
     candidates = list(enumerator.enumerate())
@@ -62,16 +64,21 @@ def run_engine(task, workers: int, engine: str = "best-first", **overrides):
 class TestBestFirstMatchesSeed:
     """`--engine best-first` is bit-for-bit identical to the seed."""
 
-    @pytest.mark.parametrize("workers", [1, 4])
-    def test_candidate_stream_matches_golden(self, golden, tasks, workers):
+    @pytest.mark.parametrize("workers,backend", [
+        (1, "threads"), (4, "threads"), (1, "inline"), (4, "processes"),
+    ])
+    def test_candidate_stream_matches_golden(self, golden, tasks, workers,
+                                             backend):
         assert golden["tasks"], "fixture must not be empty"
         for name, expected in golden["tasks"].items():
-            stream, enumerator, _ = run_engine(tasks[name], workers)
+            stream, enumerator, _ = run_engine(tasks[name], workers,
+                                               verify_backend=backend)
             assert stream == expected["candidates"], \
                 f"{name} diverged from the seed enumerator " \
-                f"(workers={workers})"
+                f"(workers={workers}, backend={backend})"
             assert enumerator.expansions == expected["total_expansions"], \
-                f"{name} expansion count diverged (workers={workers})"
+                f"{name} expansion count diverged (workers={workers}, " \
+                f"backend={backend})"
 
     def test_fixture_covers_both_datasets(self, golden):
         names = list(golden["tasks"])
@@ -99,13 +106,30 @@ class TestBestFirstMatchesSeed:
         prunes = sum(telemetry.prunes_by_stage.values())
         assert prunes == telemetry.pruned_partial + telemetry.pruned_complete
 
-    def test_verifier_stats_match_serial(self, tasks):
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_verifier_stats_match_serial(self, tasks, backend):
         """Speculative verification must not leak into verifier stats:
         only consumed outcomes are recorded, so stats match workers=1."""
         name = "spider:library_dev_0-t2"
         _, serial, _ = run_engine(tasks[name], workers=1)
-        _, parallel, _ = run_engine(tasks[name], workers=4)
+        _, parallel, _ = run_engine(tasks[name], workers=4,
+                                    verify_backend=backend)
         assert parallel.verifier.stats == serial.verifier.stats
+
+    def test_process_backend_did_not_degrade(self, tasks):
+        """The equivalence runs above only prove something if the
+        process pool actually ran (no silent inline fallback)."""
+        from repro.db.database import Database
+
+        if not Database.supports_snapshots():
+            pytest.skip("sqlite build cannot snapshot databases")
+        name = next(iter(tasks))
+        _, enumerator, _ = run_engine(tasks[name], workers=4,
+                                      verify_backend="processes")
+        telemetry = enumerator.telemetry
+        assert telemetry.verify_backend == "processes"
+        assert not telemetry.snapshot_degraded
+        assert telemetry.workers == 4
 
 
 class TestBeamEngines:

@@ -100,3 +100,73 @@ class TestInterruptible:
         with pytest.raises((ExecutionTimeout, ExecutionError)):
             with db.interruptible(10):
                 db.execute(slow)
+
+
+class TestSnapshotRoundTrip:
+    """Snapshot/rehydrate round-trips, as used by both verification pool
+    backends: data, secondary indexes, and stats accounting."""
+
+    pytestmark = pytest.mark.skipif(
+        not Database.supports_snapshots(),
+        reason="sqlite build cannot serialize databases")
+
+    def _indexes(self, db):
+        rows = db.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'index' "
+            "AND name LIKE 'idx_%' ORDER BY name", kind="meta")
+        return [row[0] for row in rows]
+
+    def test_round_trip_preserves_rows(self, movie_db):
+        clone = Database.from_snapshot(movie_db.schema,
+                                       movie_db.snapshot())
+        for table in ("actor", "movie", "starring"):
+            assert clone.row_count(table) == movie_db.row_count(table)
+        original = movie_db.execute(
+            "SELECT title FROM movie ORDER BY mid")
+        assert clone.execute(
+            "SELECT title FROM movie ORDER BY mid") == original
+        clone.close()
+
+    def test_round_trip_preserves_indexes(self, movie_db):
+        """schema.ddl() creates secondary indexes on FK/text columns;
+        they must survive serialization so rehydrated probe workers run
+        at the same speed as the primary connection."""
+        expected = self._indexes(movie_db)
+        assert expected, "fixture schema should declare indexes"
+        clone = Database.from_snapshot(movie_db.schema,
+                                       movie_db.snapshot())
+        assert self._indexes(clone) == expected
+        clone.close()
+
+    def test_rehydrated_stats_start_fresh_and_merge_back(self):
+        db = build_movie_db()
+        db.execute("SELECT 1 FROM movie LIMIT 1", kind="probe")
+        clone = Database.from_snapshot(db.schema, db.snapshot())
+        # Fresh counters: the snapshot carries data, not accounting.
+        assert clone.stats.statements == 0
+        clone.execute("SELECT 1 FROM actor LIMIT 1", kind="probe")
+        clone.execute("SELECT COUNT(*) FROM movie", kind="meta")
+        before = db.stats.snapshot()
+        db.merge_stats(clone.stats)
+        assert db.stats.statements == before.statements + 2
+        assert db.stats.per_kind["probe"] == \
+            before.per_kind.get("probe", 0) + 1
+        clone.close()
+
+    def test_stats_delta_since(self):
+        db = build_movie_db()
+        db.execute("SELECT 1 FROM movie LIMIT 1", kind="probe")
+        mark = db.stats.snapshot()
+        db.execute("SELECT 1 FROM movie LIMIT 1", kind="probe")
+        db.execute("SELECT COUNT(*) FROM actor", kind="meta")
+        delta = db.stats.delta_since(mark)
+        assert delta.statements == 2
+        assert delta.per_kind == {"probe": 1, "meta": 1}
+
+    def test_fork_is_independent(self, movie_db):
+        fork = movie_db.fork()
+        fork.insert_rows("actor", [(200, "Fork Only", "male", 1970)])
+        assert fork.row_count("actor") == movie_db.row_count("actor") + 1
+        assert not movie_db.value_exists(ColumnRef("actor", "name"),
+                                         "Fork Only")
+        fork.close()

@@ -95,3 +95,75 @@ class TestAblations:
         assert duoquest[0] >= noguide[0]
         report = fig12_report(records, [1.0, 4.0])
         assert "NoPQ" in report and "NoGuide" in report
+
+
+class TestCrossTaskProbeCache:
+    """The harness owns one probe cache per database, so enumerations
+    over the same database reuse each other's probe answers. The effect
+    is largest where probes actually repeat — the ablation study runs
+    every task three times (Duoquest / NoPQ / NoGuide) against the same
+    TSQ, so the second and third variants hit the first one's probes."""
+
+    @staticmethod
+    def _cross_hits(records):
+        return sum(r.telemetry.get("cross_task_probe_hits", 0)
+                   for r in records if r.telemetry is not None)
+
+    def test_ablations_record_cross_task_hits(self, tiny_corpus):
+        from repro.eval import search_report
+
+        records = run_ablations(tiny_corpus,
+                                config=SimulationConfig(timeout=4.0))
+        cross = self._cross_hits(records)
+        assert cross > 0, "no probe answers were reused across tasks"
+        report = search_report(records)
+        assert "XTaskHit" in report
+        # The per-variant row totals sum back to the overall count.
+        total_column = sum(
+            int(row.split()[8]) for row in report.splitlines()[3:])
+        assert total_column == cross
+
+    def test_sharing_is_opt_out(self, tiny_corpus):
+        records = run_ablations(
+            tiny_corpus,
+            config=SimulationConfig(timeout=4.0, share_probe_cache=False))
+        assert self._cross_hits(records) == 0
+
+    def test_sharing_does_not_change_outcomes(self, tiny_corpus):
+        # A generous budget: the comparison must be decided by search
+        # exhaustion, not by which run the wall clock truncated first.
+        shared = run_ablations(tiny_corpus,
+                               config=SimulationConfig(timeout=60.0))
+        isolated = run_ablations(
+            tiny_corpus,
+            config=SimulationConfig(timeout=60.0, share_probe_cache=False))
+        assert [(r.task_id, r.system, r.rank, r.num_candidates)
+                for r in shared] \
+            == [(r.task_id, r.system, r.rank, r.num_candidates)
+                for r in isolated]
+
+    def test_simulation_shares_per_database(self, tiny_corpus):
+        """run_simulation wires the registry too: all Duoquest/NLI runs
+        on one database share one cache (observable via generations)."""
+        import repro.eval.harness as harness_module
+
+        seen = []
+        original = harness_module.ProbeCacheRegistry.cache_for
+
+        def spy(self, db):
+            cache = original(self, db)
+            seen.append((db.schema.name, id(cache)))
+            return cache
+
+        harness_module.ProbeCacheRegistry.cache_for = spy
+        try:
+            run_simulation(tiny_corpus, systems=("Duoquest", "NLI"),
+                           config=SimulationConfig(timeout=4.0))
+        finally:
+            harness_module.ProbeCacheRegistry.cache_for = original
+        assert seen
+        per_db = {}
+        for name, cache_id in seen:
+            per_db.setdefault(name, set()).add(cache_id)
+        assert all(len(ids) == 1 for ids in per_db.values())
+        assert len(per_db) == len(tiny_corpus.databases)

@@ -19,6 +19,28 @@ class TestParser:
     def test_simulate_defaults(self):
         args = build_parser().parse_args(["simulate"])
         assert args.split == "dev"
+        assert args.verify_backend == "threads"
+        assert args.workers == 1
+
+    def test_verify_backend_choices(self):
+        args = build_parser().parse_args(
+            ["demo", "list authors", "--verify-backend", "processes",
+             "--workers", "2"])
+        assert args.verify_backend == "processes"
+        assert args.workers == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["demo", "list authors", "--verify-backend", "fibers"])
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_workers_below_one_rejected(self, bad, capsys):
+        """--workers 0 used to be silently clamped to inline; now the
+        parser rejects it with a clear message."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["demo", "list authors", "--workers", bad])
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err
 
 
 class TestCommands:
@@ -43,3 +65,19 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "SELECT" in out
+
+    def test_demo_processes_backend(self, capsys):
+        code = main(["demo", 'List authors in domain "Databases".',
+                     "--top", "3", "--timeout", "5",
+                     "--verify-backend", "processes", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SELECT" in out
+        assert "processes" in out  # telemetry line names the backend
+
+    def test_demo_inline_with_workers_errors(self, capsys):
+        code = main(["demo", "list authors", "--verify-backend", "inline",
+                     "--workers", "4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "inline" in err
