@@ -4,14 +4,17 @@ Not a paper figure: this pins the search-engine subsystem's performance
 envelope. It records candidates/sec for the serial best-first engine,
 for the thread-pool verification stage (workers=4), and for the
 process-pool verification backend (workers=4), reporting the speedups
-(parallel vs serial, and processes vs threads). Set
-``REPRO_PERF_STRICT=1`` (multi-core hosts only — SQLite probe execution
-releases the GIL, but a single core has nothing to run the extra
-workers on) to turn the speedup targets into hard assertions: ≥1.5x
-for threads, and ≥1.1x for processes (which pay per-enumeration worker
-spawn + job pickling before their CPU-bound parallelism pays off); by
-default the speedups are recorded, and parallelism is only required to
-preserve the candidate stream exactly.
+(parallel vs serial, and processes vs threads), plus the cold-vs-warm
+comparison for the disk-backed probe cache (run the workload cold, save
+the caches, reload, run again). Set ``REPRO_PERF_STRICT=1`` (multi-core
+hosts only — SQLite probe execution releases the GIL, but a single core
+has nothing to run the extra workers on) to turn the targets into hard
+assertions: ≥1.5x for threads, ≥1.1x for processes (which pay
+per-enumeration worker spawn + job pickling before their CPU-bound
+parallelism pays off), and for the warm-cache run zero probe misses
+plus no slowdown; by default the numbers are recorded, and every
+configuration is only required to preserve the candidate stream
+exactly.
 
 Scale with ``REPRO_BENCH_FULL=1`` like the other benchmarks.
 """
@@ -67,8 +70,14 @@ def workload():
     return model, tasks
 
 
-def run_workload(workload, workers: int, backend: str = "threads"):
-    """Enumerate every task; returns (candidates, elapsed, cand/sec)."""
+def run_workload(workload, workers: int, backend: str = "threads",
+                 caches=None):
+    """Enumerate every task; returns (candidates, elapsed, cand/sec).
+
+    ``caches`` optionally maps ``id(db)`` to a ``SharedProbeCache``,
+    mirroring the harness's per-database sharing (and enabling the
+    cold-vs-warm comparison below).
+    """
     from repro.core.enumerator import Enumerator, EnumeratorConfig
 
     model, tasks = workload
@@ -81,7 +90,8 @@ def run_workload(workload, workers: int, backend: str = "threads"):
     for task, db, tsq in tasks:
         enumerator = Enumerator(db, model, task.nlq, tsq=tsq,
                                 config=config, gold=task.gold,
-                                task_id=task.task_id)
+                                task_id=task.task_id,
+                                probe_cache=(caches or {}).get(id(db)))
         emitted += sum(1 for _ in enumerator.enumerate())
     elapsed = time.monotonic() - start
     return emitted, elapsed, emitted / elapsed if elapsed > 0 else 0.0
@@ -150,3 +160,67 @@ def test_process_backend_speedup(benchmark, workload):
         assert speedup >= 1.1, \
             f"processes x{PARALLEL_WORKERS} only reached {speedup:.2f}x " \
             f"vs serial"
+
+
+def test_warm_cache_speedup(benchmark, workload, tmp_path):
+    """Cold-vs-warm comparison for the disk-backed probe cache.
+
+    The workload runs once cold (fresh per-database caches, persisted
+    to a store afterwards), then again warm-started from that store —
+    the cross-process analogue of what two successive
+    ``duoquest simulate --cache-dir`` runs do. Recorded: both run
+    times, the probe-miss delta, and the warm-start hit count. Strict
+    mode asserts the warm run pays zero probe misses and is no slower
+    than the cold one (small slack for timer noise); the candidate
+    stream must match the cold run exactly either way.
+    """
+    from repro.core.search.cachestore import PersistentProbeCache
+    from repro.core.verifier import SharedProbeCache
+
+    _, tasks = workload
+    dbs = {id(db): db for _, db, _ in tasks}
+    store = PersistentProbeCache(tmp_path)
+
+    cold_caches = {key: SharedProbeCache() for key in dbs}
+    cold_emitted, cold_elapsed, _ = run_workload(workload, workers=1,
+                                                 caches=cold_caches)
+    for key, db in dbs.items():
+        assert store.save(db, cold_caches[key]) is not None
+    cold_misses = sum(c.misses for c in cold_caches.values())
+
+    warm_caches = {}
+    loaded = 0
+    for key, db in dbs.items():
+        cache, entries = store.warm_cache(db)
+        warm_caches[key] = cache
+        loaded += entries
+    assert loaded > 0, "nothing was persisted to warm-start from"
+
+    emitted, elapsed, rate = run_once(
+        benchmark, lambda: run_workload(workload, workers=1,
+                                        caches=warm_caches))
+    warm_misses = sum(c.misses for c in warm_caches.values())
+    warm_hits = sum(c.warm_start_hits for c in warm_caches.values())
+    speedup = cold_elapsed / elapsed if elapsed > 0 else 0.0
+    benchmark.extra_info["cold_elapsed_s"] = round(cold_elapsed, 3)
+    benchmark.extra_info["warm_elapsed_s"] = round(elapsed, 3)
+    benchmark.extra_info["speedup_vs_cold"] = round(speedup, 2)
+    benchmark.extra_info["probe_misses_cold"] = cold_misses
+    benchmark.extra_info["probe_misses_warm"] = warm_misses
+    benchmark.extra_info["warm_start_hits"] = warm_hits
+    benchmark.extra_info["store_entries_loaded"] = loaded
+    print(f"\n[perf] warm cache: {emitted} candidates in {elapsed:.2f}s "
+          f"(cold {cold_elapsed:.2f}s, {speedup:.2f}x; misses "
+          f"{cold_misses} -> {warm_misses}, {warm_hits} warm-start hits, "
+          f"{loaded} entries loaded)")
+    # Warm starting must never change the result stream...
+    assert emitted == cold_emitted
+    assert warm_hits > 0
+    assert warm_misses < cold_misses
+    # ...and in strict mode it must actually eliminate the probe cost.
+    if os.environ.get("REPRO_PERF_STRICT", "") == "1":
+        assert warm_misses == 0, \
+            f"warm run still paid {warm_misses} probe misses"
+        assert elapsed <= cold_elapsed * 1.1, \
+            f"warm run ({elapsed:.2f}s) slower than cold " \
+            f"({cold_elapsed:.2f}s)"

@@ -10,6 +10,16 @@ Bullock starred in Gravity sometime between 2010 and 2017.
 Run with::
 
     python examples/quickstart.py
+
+This is the smallest end-to-end surface: build a ``Database``, tag an
+``NLQuery``, sketch a ``TableSketchQuery``, and ask ``Duoquest`` for
+ranked candidates. ``EnumeratorConfig`` carries every search knob the
+CLI exposes (``engine``, ``workers``, ``verify_backend``,
+``beam_width``); for repeated runs on one database, see
+``repro.core.search.PersistentProbeCache`` (disk-backed probe cache)
+and ``repro.core.search.PoolManager`` (warm verification workers) —
+the eval harness wires both automatically via
+``SimulationConfig.cache_dir``.
 """
 
 import random

@@ -9,6 +9,19 @@ Figure 10/11.
 Run with::
 
     python examples/spider_benchmark.py
+
+Useful ``SimulationConfig`` knobs beyond the ``timeout`` used below
+(the CLI exposes the same surface on ``duoquest simulate``):
+
+* ``workers`` + ``verify_backend`` — parallel verification
+  (``"threads"`` or ``"processes"``); warm worker pools are leased from
+  the harness's shared ``PoolManager`` automatically.
+* ``cache_dir`` — persist probe caches to disk keyed by database
+  content hash; running this script twice with the same ``cache_dir``
+  warm-starts the second run (see the ``WarmStart`` column of
+  ``repro.eval.reports.search_report``).
+* ``engine`` / ``beam_width`` — search strategy (``"best-first"``
+  reproduces the paper's Algorithm 1 exactly).
 """
 
 from repro.datasets import SpiderCorpusConfig, generate_corpus

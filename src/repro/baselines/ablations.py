@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..core.duoquest import Duoquest
 from ..core.enumerator import EnumeratorConfig
+from ..core.search import PoolManager
 from ..core.verifier import SharedProbeCache
 from ..db.database import Database
 from ..guidance.base import GuidanceModel
@@ -24,31 +25,34 @@ from ..guidance.base import GuidanceModel
 
 def make_duoquest(db: Database, model: GuidanceModel,
                   config: Optional[EnumeratorConfig] = None,
-                  probe_cache: Optional[SharedProbeCache] = None
+                  probe_cache: Optional[SharedProbeCache] = None,
+                  pool_manager: Optional[PoolManager] = None
                   ) -> Duoquest:
     """The full system (both GPQE components enabled)."""
     return Duoquest(db, model=model, config=config or EnumeratorConfig(),
-                    probe_cache=probe_cache)
+                    probe_cache=probe_cache, pool_manager=pool_manager)
 
 
 def make_nopq(db: Database, model: GuidanceModel,
               config: Optional[EnumeratorConfig] = None,
-              probe_cache: Optional[SharedProbeCache] = None) -> Duoquest:
+              probe_cache: Optional[SharedProbeCache] = None,
+              pool_manager: Optional[PoolManager] = None) -> Duoquest:
     """GPQE without partial-query pruning (the chaining approach)."""
     base = config or EnumeratorConfig()
     return Duoquest(db, model=model,
                     config=replace(base, verify_partial=False),
-                    probe_cache=probe_cache)
+                    probe_cache=probe_cache, pool_manager=pool_manager)
 
 
 def make_noguide(db: Database, model: GuidanceModel,
                  config: Optional[EnumeratorConfig] = None,
-                 probe_cache: Optional[SharedProbeCache] = None
+                 probe_cache: Optional[SharedProbeCache] = None,
+                 pool_manager: Optional[PoolManager] = None
                  ) -> Duoquest:
     """GPQE without guidance: breadth-first enumeration with pruning."""
     base = config or EnumeratorConfig()
     return Duoquest(db, model=model, config=replace(base, guided=False),
-                    probe_cache=probe_cache)
+                    probe_cache=probe_cache, pool_manager=pool_manager)
 
 
 #: Variant name -> factory, as plotted in Figure 12.

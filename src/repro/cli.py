@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .core import Duoquest, EnumeratorConfig, TableSketchQuery
+    from .core.search import PersistentProbeCache
     from .datasets import build_mas_database
     from .guidance import LexicalGuidanceModel
     from .nlq import NLQuery
@@ -42,8 +43,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    system = Duoquest(db, model=LexicalGuidanceModel(), config=config)
+    store = probe_cache = None
+    if args.cache_dir:
+        store = PersistentProbeCache(args.cache_dir)
+        probe_cache, loaded = store.warm_cache(db)
+        print(f"[cache] loaded {loaded} probe entries from "
+              f"{store.path_for(db)}")
+    system = Duoquest(db, model=LexicalGuidanceModel(), config=config,
+                      probe_cache=probe_cache)
     result = system.synthesize(nlq, tsq)
+    if store is not None and probe_cache is not None:
+        store.save(db, probe_cache)
     print(f"{len(result.candidates)} candidates in {result.elapsed:.2f}s")
     for rank, candidate in enumerate(result.top(args.top), start=1):
         print(f"{rank:3d}. [{candidate.confidence:.4f}] "
@@ -55,12 +65,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         # carries the specific one.
         degraded = " (degraded to inline verification)" \
             if telemetry.snapshot_degraded else ""
+        warm = f", {telemetry.warm_start_probe_hits} warm-start hits" \
+            if args.cache_dir else ""
         print(f"[{telemetry.engine} x{telemetry.workers} "
               f"{telemetry.verify_backend}{degraded}] "
               f"{telemetry.expansions} expansions, "
               f"{telemetry.pruned_partial + telemetry.pruned_complete} "
               f"pruned, cache hit rate "
-              f"{100.0 * telemetry.cache_hit_rate:.1f}%, "
+              f"{100.0 * telemetry.cache_hit_rate:.1f}%{warm}, "
               f"{telemetry.wall_time:.2f}s")
     return 0
 
@@ -83,7 +95,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         sim_config = SimulationConfig(
             timeout=args.timeout, engine=args.engine, workers=args.workers,
             verify_backend=args.verify_backend,
-            beam_width=args.beam_width)
+            beam_width=args.beam_width, cache_dir=args.cache_dir)
         sim_config.enumerator_config()  # validate the combination early
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -94,6 +106,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(fig11_report(records, args.split))
     print()
     print(search_report(records))
+    if args.cache_dir:
+        warm = sum(r.telemetry.get("warm_start_probe_hits", 0)
+                   for r in records if r.telemetry is not None)
+        print(f"\n[cache] warm-start probe hits: {warm} "
+              f"(store: {args.cache_dir})")
     return 0
 
 
@@ -188,6 +205,12 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--beam-width", type=_positive_int, default=16,
                         help="frontier width for the beam engines "
                              "(default: 16)")
+    parser.add_argument("--cache-dir", dest="cache_dir", default=None,
+                        help="directory for the disk-backed probe-cache "
+                             "store; repeated runs on the same database "
+                             "warm-start from it (keyed by database "
+                             "content hash, stale entries invalidated "
+                             "automatically)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -20,7 +20,7 @@ from ..nlq.literals import NLQuery
 from ..sqlir.ast import Query
 from ..sqlir.render import to_sql
 from .enumerator import Candidate, Enumerator, EnumeratorConfig
-from .search import SearchTelemetry
+from .search import PoolManager, SearchTelemetry
 from .tsq import TableSketchQuery
 from .verifier import SharedProbeCache, Verifier
 
@@ -79,13 +79,17 @@ class Duoquest:
     def __init__(self, db: Database,
                  model: Optional[GuidanceModel] = None,
                  config: Optional[EnumeratorConfig] = None,
-                 probe_cache: Optional[SharedProbeCache] = None):
+                 probe_cache: Optional[SharedProbeCache] = None,
+                 pool_manager: Optional[PoolManager] = None):
         self.db = db
         self.model = model or LexicalGuidanceModel()
         self.config = config or EnumeratorConfig()
         #: optional shared probe cache; the eval harness passes one per
         #: database so probe answers are reused across tasks
         self.probe_cache = probe_cache
+        #: optional warm verification-pool manager; the eval harness
+        #: passes one so worker processes persist across enumerations
+        self.pool_manager = pool_manager
 
     def synthesize(self, nlq: NLQuery,
                    tsq: Optional[TableSketchQuery] = None,
@@ -105,7 +109,8 @@ class Duoquest:
         enumerator = Enumerator(self.db, self.model, nlq, tsq=tsq,
                                 config=self.config, gold=gold,
                                 task_id=task_id,
-                                probe_cache=self.probe_cache)
+                                probe_cache=self.probe_cache,
+                                pool_manager=self.pool_manager)
         candidates: List[Candidate] = []
         stream = enumerator.enumerate()
         try:

@@ -64,9 +64,11 @@ from ..sqlir.types import ColumnType
 from .joins import JoinPathBuilder
 from .search import (
     Candidate,
+    PoolManager,
     SearchEngine,
     SearchState,
     SearchTelemetry,
+    UNRESOLVED_DECISION,
     make_frontier,
     validate_verification_config,
 )
@@ -130,7 +132,8 @@ class Enumerator:
                  gold: Optional[Query] = None,
                  task_id: str = "",
                  verifier: Optional[Verifier] = None,
-                 probe_cache: Optional[SharedProbeCache] = None):
+                 probe_cache: Optional[SharedProbeCache] = None,
+                 pool_manager: Optional[PoolManager] = None):
         self.db = db
         self.schema = db.schema
         self.model = model
@@ -151,6 +154,10 @@ class Enumerator:
             probe_cache=probe_cache)
         self._ctx = GuidanceContext(nlq=nlq, schema=self.schema,
                                     gold=gold, task_id=task_id)
+        # ``pool_manager`` (the SearchProblem contract's optional hook)
+        # lets the eval harness lease warm, long-lived verification
+        # workers instead of spawning a pool per enumeration.
+        self.pool_manager = pool_manager
         self.telemetry = SearchTelemetry()
 
         self._all_columns = tuple(self.schema.iter_column_refs())
@@ -252,9 +259,19 @@ class Enumerator:
         :class:`GuidanceRequest` (or ``None`` for model-free expansions)
         without building children; ``dist`` supplies an externally
         scored distribution so the handler skips its own model call.
+
+        The resolved decision is memoised on the state: the engine
+        dispatches each state at least twice (``decision_request`` while
+        speculating, ``expand_with`` when consuming — more with
+        push-backs), and :meth:`_next_decision` re-walks the query's
+        holes each time, so caching the reified decision halves the
+        per-expansion dispatch cost.
         """
         query = state.query
-        decision = self._next_decision(query)
+        decision = state.decision
+        if decision is UNRESOLVED_DECISION:
+            decision = self._next_decision(query)
+            state.decision = decision
         if decision is None:
             return None if request_only else []
         kind = decision[0]

@@ -1,12 +1,57 @@
-"""Pluggable search-engine subsystem (frontier / scheduler / verifier
-stages). See README.md in this directory for the architecture."""
+"""Pluggable search-engine subsystem: frontier, scheduler, verification
+pools, persistence, and telemetry.
 
+See ``README.md`` in this directory for the architecture. The public
+surface, grouped by stage (only names in ``__all__`` are supported API;
+everything else in the submodules is an implementation detail):
+
+**Engine** (``engine.py``)
+    :class:`SearchEngine` runs the generalised Algorithm 1 round loop
+    over a :class:`SearchProblem`; :class:`Candidate` is what it emits,
+    :class:`SearchState` what it expands (with the reified decision
+    memoised under :data:`UNRESOLVED_DECISION` semantics), and
+    :data:`NO_JOIN_PATH` the sentinel for join-infeasible prunes.
+
+**Frontiers** (``frontier.py``)
+    :class:`BestFirstFrontier` (exact, seed-equivalent),
+    :class:`BeamFrontier`, :class:`DiverseBeamFrontier`; build by name
+    via :func:`make_frontier` (:data:`ENGINES` lists the names);
+    :func:`structural_key` is the diverse-beam grouping key.
+
+**Guidance batching** (``scheduler.py``)
+    :class:`DecisionScheduler` collects a round's pending decisions into
+    one ``GuidanceModel.score_batch()`` call.
+
+**Verification pools** (``parallel.py``)
+    :func:`make_verification_pool` builds the per-enumeration backend
+    (:data:`VERIFY_BACKENDS`: inline / threads / processes, validated by
+    :func:`validate_verification_config`); :class:`VerificationPool` and
+    :class:`ProcessVerificationPool` are the engine-spawned pools.
+    :class:`PoolManager` is the harness-owned persistence layer: it
+    keeps one warm :class:`PersistentProcessPool` per database across
+    enumerations and hands the engine :class:`PersistentPoolLease`
+    views, so workers spawn once and snapshots prime once per database
+    instead of once per task.
+
+**Probe-cache persistence** (``cachestore.py``)
+    :class:`PersistentProbeCache` saves/loads shared probe caches to a
+    JSON store keyed by ``Database.content_hash()``, so repeated runs on
+    the same corpus warm-start across processes.
+
+**Telemetry** (``telemetry.py``)
+    :class:`SearchTelemetry` accompanies every run: per-stage prunes,
+    probe-cache hit/cross-task/warm-start counters, pool reuse and
+    degrade flags, guidance batching ratio, wall time.
+"""
+
+from .cachestore import PersistentProbeCache
 from .engine import (
     Candidate,
     NO_JOIN_PATH,
     SearchEngine,
     SearchProblem,
     SearchState,
+    UNRESOLVED_DECISION,
 )
 from .frontier import (
     BeamFrontier,
@@ -18,6 +63,9 @@ from .frontier import (
     structural_key,
 )
 from .parallel import (
+    PersistentPoolLease,
+    PersistentProcessPool,
+    PoolManager,
     ProcessVerificationPool,
     VERIFY_BACKENDS,
     VerificationPool,
@@ -36,11 +84,16 @@ __all__ = [
     "ENGINES",
     "Frontier",
     "NO_JOIN_PATH",
+    "PersistentPoolLease",
+    "PersistentProbeCache",
+    "PersistentProcessPool",
+    "PoolManager",
     "ProcessVerificationPool",
     "SearchEngine",
     "SearchProblem",
     "SearchState",
     "SearchTelemetry",
+    "UNRESOLVED_DECISION",
     "VERIFY_BACKENDS",
     "VerificationPool",
     "make_frontier",

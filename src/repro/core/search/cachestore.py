@@ -1,0 +1,197 @@
+"""Disk-backed persistence for the shared probe cache.
+
+Probe answers (``SELECT 1 ... LIMIT 1`` outcomes and column min/max
+bounds) are facts of the database contents: they never depend on the
+task, the TSQ, or the engine configuration. PR 2 exploited that within
+one process by sharing a :class:`~repro.core.verifier.SharedProbeCache`
+per database across every enumeration of a harness run; this module
+extends the amortisation across *processes* by persisting those caches
+to disk, keyed by :meth:`~repro.db.database.Database.content_hash`.
+Repeated eval runs on the same corpus warm-start instead of re-paying
+every probe.
+
+Design constraints, in order:
+
+* **Correctness over reuse.** A store entry is only loaded when its
+  recorded content hash matches the live database's — if the contents
+  changed, every cached answer is suspect, so a stale hash invalidates
+  the whole file (cold start). Loading is also corruption-safe:
+  truncated or malformed files log a warning and fall back to a cold
+  start; they never crash a run and never poison a cache.
+* **Concurrent writers must not clobber.** Saves are atomic
+  (write-to-temp + ``os.replace``) and *merge* with the entries already
+  on disk, so two harness runs racing to save the same database lose at
+  most the race, never each other's entries, and readers never observe
+  a partially-written file.
+* **Debuggability.** The store is plain JSON, one file per database
+  content hash, human-inspectable with any text editor.
+
+The store is wired up by :class:`repro.eval.harness.ProbeCacheRegistry`
+(via ``SimulationConfig.cache_dir``) and the ``--cache-dir`` CLI flag;
+hits on loaded entries surface as
+``SearchTelemetry.warm_start_probe_hits`` and the ``WarmStart`` column
+of ``repro.eval.reports.search_report``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ...db.database import Database
+from ...sqlir.ast import ColumnRef
+from ..verifier import SharedProbeCache
+
+logger = logging.getLogger(__name__)
+
+#: Parsed store contents: probe answers and column min/max bounds.
+StoreEntries = Tuple[Dict[str, bool], Dict[ColumnRef, Tuple]]
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class PersistentProbeCache:
+    """A directory of per-database probe-cache snapshots.
+
+    Usage (what the eval harness does behind ``cache_dir``)::
+
+        store = PersistentProbeCache("~/.cache/duoquest")
+        cache, loaded = store.warm_cache(db)   # cold start if no file
+        ...  # enumerate with Duoquest(db, probe_cache=cache)
+        store.save(db, cache)                  # merge + atomic replace
+
+    One JSON file per database content hash; see the module docstring
+    for the invalidation and concurrency contract.
+    """
+
+    #: Bump when the on-disk layout changes; older formats are treated
+    #: as a cold start rather than migrated.
+    FORMAT = 1
+
+    def __init__(self, cache_dir) -> None:
+        self.cache_dir = Path(cache_dir).expanduser()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, db: Database) -> Path:
+        """The store file for ``db``'s current contents."""
+        name = _SAFE_NAME.sub("_", db.schema.name) or "db"
+        return self.cache_dir / f"probes-{name}-{db.content_hash()[:16]}.json"
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load(self, db: Database) -> Optional[StoreEntries]:
+        """Entries persisted for ``db``, or ``None`` for a cold start.
+
+        ``None`` means "no usable store": the file is missing, written
+        by a different format version, recorded for different database
+        contents (stale hash), or unreadable/corrupt. The latter two log
+        a warning; a run never fails because its cache file went bad.
+        """
+        path = self.path_for(db)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            logger.warning(
+                "probe-cache store %s is unreadable (%s); cold start",
+                path, exc)
+            return None
+        try:
+            if payload["format"] != self.FORMAT:
+                logger.warning(
+                    "probe-cache store %s has format %r (expected %r); "
+                    "cold start", path, payload.get("format"), self.FORMAT)
+                return None
+            if payload["content_hash"] != db.content_hash():
+                logger.warning(
+                    "probe-cache store %s was recorded for different "
+                    "database contents (stale hash); cold start", path)
+                return None
+            probes = {str(sql): bool(outcome)
+                      for sql, outcome in payload["probes"].items()}
+            minmax: Dict[ColumnRef, Tuple] = {}
+            for table, column, low, high in payload["minmax"]:
+                minmax[ColumnRef(table=str(table),
+                                 column=str(column))] = (low, high)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            logger.warning(
+                "probe-cache store %s is malformed (%s); cold start",
+                path, exc)
+            return None
+        return probes, minmax
+
+    def warm_cache(self, db: Database) -> Tuple[SharedProbeCache, int]:
+        """A fresh cache for ``db``, warm-seeded from the store.
+
+        Returns ``(cache, loaded)`` where ``loaded`` counts the entries
+        seeded from disk (0 on a cold start). Seeded entries carry the
+        warm-generation stamp, so hits on them are reported as
+        ``warm_start_hits`` rather than within-run cross-task hits.
+        """
+        cache = SharedProbeCache()
+        entries = self.load(db)
+        if entries is None:
+            return cache, 0
+        probes, minmax = entries
+        return cache, cache.seed(probes, minmax, warm=True)
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+    def save(self, db: Database, cache: SharedProbeCache) -> Optional[Path]:
+        """Persist ``cache`` for ``db``; returns the path written.
+
+        Merges with any valid entries already on disk for the same
+        content hash (union — probe answers are immutable facts, so a
+        concurrent writer's entries are kept, not clobbered) and
+        replaces the file atomically. Returns ``None`` — with a logged
+        warning — if the directory or file cannot be written; a failed
+        save never aborts the run that produced the cache.
+        """
+        probes, minmax, _ = cache.export()
+        existing = self.load(db)
+        if existing is not None:
+            for sql, outcome in existing[0].items():
+                probes.setdefault(sql, outcome)
+            for column, bounds in existing[1].items():
+                minmax.setdefault(column, bounds)
+        payload = {
+            "format": self.FORMAT,
+            "schema": db.schema.name,
+            "content_hash": db.content_hash(),
+            "probes": probes,
+            "minmax": [[ref.table, ref.column, bounds[0], bounds[1]]
+                       for ref, bounds in minmax.items()],
+        }
+        path = self.path_for(db)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=str(self.cache_dir), prefix=path.name + ".",
+                suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except (OSError, TypeError, ValueError) as exc:
+            logger.warning(
+                "could not persist probe cache to %s (%s); continuing "
+                "without", path, exc)
+            return None
+        return path

@@ -66,6 +66,12 @@ class Candidate:
                 f"t={self.elapsed:.3f}s>")
 
 
+#: Sentinel for :attr:`SearchState.decision` before the domain resolved
+#: it. Distinct from ``None``, which is a *resolved* "no decision left"
+#: (the query is complete up to its join path).
+UNRESOLVED_DECISION = object()
+
+
 @dataclass
 class SearchState:
     """One partial (or complete, pre-verification) query on the frontier."""
@@ -73,6 +79,13 @@ class SearchState:
     query: Query
     confidence: float
     depth: int
+    #: The reified next decision for this state, memoised by the domain
+    #: (see ``Enumerator._expand``). The engine dispatches every state
+    #: twice — ``decision_request()`` in the speculative phase and
+    #: ``expand_with()`` at consume time — and a pushed-back state is
+    #: popped again later; caching the decision here makes the repeat
+    #: dispatches O(1) instead of re-walking the query's holes each time.
+    decision: object = UNRESOLVED_DECISION
 
 
 class SearchProblem:
@@ -81,6 +94,10 @@ class SearchProblem:
     * ``config`` — an :class:`~repro.core.enumerator.EnumeratorConfig`
     * ``model`` — the :class:`~repro.guidance.base.GuidanceModel`
     * ``verifier`` — the primary :class:`~repro.core.verifier.Verifier`
+    * ``pool_manager`` — optional
+      :class:`~repro.core.search.parallel.PoolManager`; when present the
+      engine leases its verification pool from it (warm, harness-owned
+      workers) instead of spawning one per enumeration
     * ``root_state()`` — the initial :class:`SearchState`
     * ``priority(state)`` — heap priority tuple (smaller pops first)
     * ``decision_request(state)`` — the pending
@@ -125,14 +142,25 @@ class SearchEngine:
         # Everything after pool construction runs under try/finally, so
         # worker connections and stats are folded back even when frontier
         # seeding or an expansion raises mid-enumeration (the pool's
-        # close() is idempotent, so double-closing is harmless).
-        pool = make_verification_pool(problem.verifier,
-                                      backend=self.verify_backend,
-                                      workers=self.workers)
+        # close() is idempotent, so double-closing is harmless). A
+        # harness-owned PoolManager supplies a warm lease instead of a
+        # per-enumeration pool; closing a lease retires it without
+        # stopping the shared workers.
+        manager = getattr(problem, "pool_manager", None)
+        if manager is not None:
+            pool = manager.lease(problem.verifier,
+                                 backend=self.verify_backend,
+                                 workers=self.workers)
+        else:
+            pool = make_verification_pool(problem.verifier,
+                                          backend=self.verify_backend,
+                                          workers=self.workers)
+        telemetry.pool_reused = getattr(pool, "reused", False)
         cache = problem.verifier.probe_cache
         probe_hits_start = cache.hits
         probe_misses_start = cache.misses
         cross_task_start = cache.cross_task_hits
+        warm_start_start = cache.warm_start_hits
         start = time.monotonic()
         try:
             if pool.workers != self.workers:
@@ -272,12 +300,17 @@ class SearchEngine:
                 telemetry.guidance_calls = self.scheduler.calls
                 telemetry.guidance_batches = self.scheduler.batches
                 # Refreshed here because the process pool can degrade
-                # mid-run (worker crash): report the effective state.
+                # mid-run (worker crash): report the effective state —
+                # a degraded lease ran inline, not on a warm pool.
                 telemetry.snapshot_degraded = pool.degraded
                 telemetry.workers = pool.workers
+                if pool.degraded:
+                    telemetry.pool_reused = False
                 # Deltas, not totals: a cache shared across tasks must
                 # not attribute earlier enumerations' traffic to this one.
                 telemetry.probe_hits = cache.hits - probe_hits_start
                 telemetry.probe_misses = cache.misses - probe_misses_start
                 telemetry.cross_task_probe_hits = \
                     cache.cross_task_hits - cross_task_start
+                telemetry.warm_start_probe_hits = \
+                    cache.warm_start_hits - warm_start_start

@@ -25,6 +25,19 @@ even under speculative batching. Database execution counters and probe
 cache hit/miss counters accrued by workers are folded back into the
 primary objects, so telemetry is complete regardless of backend.
 
+Both of those pools are *engine-spawned*: built when an enumeration
+starts, torn down in its ``try``/``finally``. The third layer in this
+module is *harness-owned*: a :class:`PoolManager` keeps one warm
+:class:`PersistentProcessPool` per database, reused across
+enumerations, and hands the engine :class:`PersistentPoolLease` views
+whose ``close()`` retires the lease but leaves the workers running —
+so worker spawn and snapshot priming are paid once per database, not
+once per task. Persistent workers are task-agnostic (they hold only
+the database and a probe cache); every job batch carries a task token,
+the verifier state, and the probe-cache delta since the last sync, so
+the same workers serve task after task and a worker that missed a
+batch still converges.
+
 When the sqlite3 build cannot serialize databases (or the verifier
 state cannot be shipped to subprocesses) a pool degrades to inline
 verification on the caller's thread — visibly: a warning is logged and
@@ -38,11 +51,13 @@ are never leaked, even when an exception aborts the enumeration.
 
 from __future__ import annotations
 
+import itertools
 import logging
 import pickle
 import threading
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...db.database import Database
 from ...errors import ExecutionError
@@ -225,8 +240,8 @@ def _process_worker_init(schema, payload, tsq, literals, config, rules,
     db = Database.from_snapshot(schema, payload)
     cache = SharedProbeCache()
     cache.enable_journal()
-    probes, minmax = cache_seed
-    cache.seed(probes, minmax)
+    probes, minmax, warm = cache_seed
+    cache.seed(probes, minmax, warm_keys=warm)
     # Seeded entries stay in the previous generation, so hits on them
     # count as cross-task hits — they came from earlier enumerations.
     cache.begin_task()
@@ -239,10 +254,22 @@ def _process_worker_batch(jobs: Sequence[Job]):
     """Verify one job batch; returns results + counter deltas."""
     verifier = _WORKER_VERIFIER
     assert verifier is not None, "worker initializer did not run"
+    return _verify_batch_with_deltas(verifier, jobs)
+
+
+def _verify_batch_with_deltas(verifier: Verifier, jobs: Sequence[Job]):
+    """Verify ``jobs`` on ``verifier``; returns results + counter deltas.
+
+    The common worker-side epilogue of both process backends: database
+    statement counters and probe-cache hit/miss/cross-task/warm-start
+    counters are returned as deltas (so the primary can fold them in),
+    along with the journal of entries this batch answered.
+    """
     cache = verifier.probe_cache
     stats_before = verifier.db.stats.snapshot()
     hits, misses = cache.hits, cache.misses
     cross = cache.cross_task_hits
+    warm = cache.warm_start_hits
     results = [verifier.verify(query, treat_as_partial=partial,
                                record=False)
                for query, partial in jobs]
@@ -251,6 +278,7 @@ def _process_worker_batch(jobs: Sequence[Job]):
             cache.hits - hits,
             cache.misses - misses,
             cache.cross_task_hits - cross,
+            cache.warm_start_hits - warm,
             cache.drain_journal())
 
 
@@ -327,10 +355,11 @@ class ProcessVerificationPool(BaseVerificationPool):
             return self._run_inline(jobs)
         results: List[VerifyResult] = []
         cache = self.verifier.probe_cache
-        for batch_results, stats, hits, misses, cross, journal in outcomes:
+        for batch_results, stats, hits, misses, cross, warm, journal \
+                in outcomes:
             results.extend(batch_results)
             self.verifier.db.merge_stats(stats)
-            cache.merge_remote(hits, misses, cross, *journal)
+            cache.merge_remote(hits, misses, cross, warm, *journal)
         return results
 
     def close(self) -> None:
@@ -341,6 +370,365 @@ class ProcessVerificationPool(BaseVerificationPool):
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# Persistent process pools (harness-owned, reused across enumerations)
+# ----------------------------------------------------------------------
+#: Per-process state for the *persistent* worker protocol. Unlike the
+#: per-enumeration pool above, the database and probe cache outlive any
+#: single task; the verifier is rebuilt lazily whenever a batch arrives
+#: carrying a new task token.
+_PWORKER_DB: Optional[Database] = None
+_PWORKER_CACHE: Optional[SharedProbeCache] = None
+_PWORKER_VERIFIER: Optional[Verifier] = None
+_PWORKER_TOKEN: Optional[int] = None
+
+
+def _persistent_worker_init(schema, payload, cache_seed) -> None:
+    """Prime a persistent worker: rehydrate the snapshot exactly once.
+
+    The database and probe cache built here serve *every* enumeration
+    routed through this worker for the lifetime of the pool — this is
+    the spawn + snapshot cost the persistent pool amortises.
+    """
+    global _PWORKER_DB, _PWORKER_CACHE, _PWORKER_VERIFIER, _PWORKER_TOKEN
+    _PWORKER_DB = Database.from_snapshot(schema, payload)
+    cache = SharedProbeCache()
+    cache.enable_journal()
+    probes, minmax, warm = cache_seed
+    cache.seed(probes, minmax, warm_keys=warm)
+    _PWORKER_CACHE = cache
+    _PWORKER_VERIFIER = None
+    _PWORKER_TOKEN = None
+
+
+def _persistent_worker_batch(payload):
+    """Verify one batch of a persistent pool.
+
+    ``payload`` is ``(token, task_state, sync, jobs)``. Every batch is
+    self-describing: ``task_state`` carries the (picklable) verifier
+    configuration and ``sync`` the probe-cache entries added on the
+    primary since the pool last synced, so a worker that missed earlier
+    batches — or an entire earlier task — still converges. Applying the
+    sync is idempotent (probe answers are facts), and the verifier is
+    only rebuilt when the task token actually changes.
+    """
+    token, task_state, sync, jobs = payload
+    global _PWORKER_VERIFIER, _PWORKER_TOKEN
+    db, cache = _PWORKER_DB, _PWORKER_CACHE
+    assert db is not None and cache is not None, \
+        "persistent worker initializer did not run"
+    # Seed before any begin_task bump below: entries answered by earlier
+    # tasks land in an earlier generation, so hits on them keep counting
+    # as cross-task reuse inside workers too (and disk-loaded entries
+    # keep their warm stamp, so warm-start hits classify correctly).
+    probes, minmax, warm = sync
+    cache.seed(dict(probes), dict(minmax), warm_keys=warm)
+    if token != _PWORKER_TOKEN:
+        tsq, literals, config, rules = task_state
+        _PWORKER_VERIFIER = Verifier(db, tsq=tsq, literals=literals,
+                                     config=config, rules=rules,
+                                     probe_cache=cache)
+        cache.begin_task()
+        _PWORKER_TOKEN = token
+    return _verify_batch_with_deltas(_PWORKER_VERIFIER, jobs)
+
+
+#: Sync payload for degraded leases (never shipped -- they run inline).
+_EMPTY_SYNC = ((), (), (frozenset(), frozenset()))
+
+#: Task tokens for the persistent worker protocol, unique per lease.
+_LEASE_TOKENS = itertools.count(1)
+
+
+class PersistentPoolLease(BaseVerificationPool):
+    """One enumeration's view of a :class:`PersistentProcessPool`.
+
+    Implements the same surface the engine drives (``run``/``close``/
+    ``workers``/``degraded``) but ``close()`` only retires the lease —
+    the worker processes stay warm for the next enumeration. Results
+    and counter deltas fold back per batch, so there is nothing to
+    flush at close time and an exception mid-enumeration loses nothing.
+    """
+
+    backend = "processes"
+
+    def __init__(self, pool: "PersistentProcessPool", verifier: Verifier,
+                 sync, reused: bool, degrade_reason: str = ""):
+        super().__init__(verifier, pool.workers)
+        self._pool: Optional[PersistentProcessPool] = pool
+        self._token = next(_LEASE_TOKENS)
+        self._sync = sync
+        self._task_state = (verifier.tsq, verifier.literals,
+                            verifier.config, verifier.rules)
+        #: True when the lease attached to an already-warm pool (no
+        #: worker spawn, no snapshot priming).
+        self.reused = reused
+        if degrade_reason:
+            self._pool = None
+            self._degrade(degrade_reason)
+
+    def run(self, jobs: Sequence[Job]) -> List[VerifyResult]:
+        """Verify all jobs; results align positionally with ``jobs``."""
+        if not jobs:
+            return []
+        if self._pool is None or self.degraded or len(jobs) == 1:
+            return self._run_inline(jobs)
+        chunk = -(-len(jobs) // self.workers)  # ceil division
+        payloads = [(self._token, self._task_state, self._sync,
+                     jobs[i:i + chunk])
+                    for i in range(0, len(jobs), chunk)]
+        try:
+            outcomes = list(self._pool.executor.map(
+                _persistent_worker_batch, payloads))
+        except Exception as exc:
+            # A dead worker poisons the whole executor: degrade this
+            # lease to inline and retire the pool so the manager
+            # respawns a fresh one for the next enumeration.
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.retire(f"worker batch failed: {exc}")
+            self._degrade(f"worker batch failed: {exc}")
+            return self._run_inline(jobs)
+        results: List[VerifyResult] = []
+        cache = self.verifier.probe_cache
+        for batch_results, stats, hits, misses, cross, warm, journal \
+                in outcomes:
+            results.extend(batch_results)
+            self.verifier.db.merge_stats(stats)
+            cache.merge_remote(hits, misses, cross, warm, *journal)
+        return results
+
+    def close(self) -> None:
+        """Retire the lease; the pool's workers stay warm. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool = None
+
+
+class PersistentProcessPool:
+    """A warm :class:`~concurrent.futures.ProcessPoolExecutor` for one
+    database, reused across enumerations.
+
+    Owned by a :class:`PoolManager`, never by the engine: the engine
+    drives :class:`PersistentPoolLease` objects handed out per
+    enumeration and the executor survives each lease's ``close()``.
+    Workers are primed once with the database snapshot
+    (``_persistent_worker_init``); per-task verifier state and probe
+    cache deltas travel with every job batch, so the same workers serve
+    task after task without respawning.
+    """
+
+    def __init__(self, db: Database, workers: int):
+        self.db = db
+        self.workers = _validated_workers(workers)
+        self.executor: Optional[ProcessPoolExecutor] = None
+        #: times an executor was started (the acceptance counter for
+        #: "zero new pool workers mid-sweep")
+        self.spawns = 0
+        self.leases = 0
+        #: nonempty once the database proved unsnapshottable — a
+        #: db-level failure that cannot heal, so later leases degrade
+        #: immediately instead of re-paying a doomed snapshot attempt.
+        self.unavailable_reason = ""
+        #: the cache whose journal feeds the per-task delta sync
+        self._cache: Optional[SharedProbeCache] = None
+
+    # ------------------------------------------------------------------
+    def lease(self, verifier: Verifier) -> PersistentPoolLease:
+        """A pool view for one enumeration by ``verifier``.
+
+        Degrades (visibly, via the lease) rather than raising: an
+        unsnapshottable database, an unpicklable verifier state, or a
+        failed executor spawn all yield an inline lease, never a crash.
+        """
+        self.leases += 1
+        if self.unavailable_reason:
+            return PersistentPoolLease(
+                self, verifier, _EMPTY_SYNC, reused=False,
+                degrade_reason=self.unavailable_reason)
+        try:
+            # Task state ships with every batch, so it must survive
+            # pickling even when the executor is already warm.
+            pickle.dumps((verifier.tsq, verifier.literals,
+                          verifier.config, verifier.rules))
+        except Exception as exc:
+            return PersistentPoolLease(
+                self, verifier, _EMPTY_SYNC, reused=False,
+                degrade_reason=f"verifier state is not picklable: {exc}")
+        reused = self.executor is not None
+        if not reused:
+            reason = self._start(verifier)
+            if reason:
+                return PersistentPoolLease(self, verifier, _EMPTY_SYNC,
+                                           reused=False,
+                                           degrade_reason=reason)
+        sync = self._sync_payload(verifier.probe_cache)
+        return PersistentPoolLease(self, verifier, sync, reused=reused)
+
+    def _start(self, verifier: Verifier) -> str:
+        """Spawn the executor; returns a degrade reason or ''."""
+        try:
+            payload = verifier.db.snapshot()
+        except ExecutionError as exc:
+            self.unavailable_reason = str(exc)
+            return self.unavailable_reason
+        cache = verifier.probe_cache
+        try:
+            self.executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_persistent_worker_init,
+                initargs=(verifier.db.schema, payload, cache.export()))
+        except (OSError, ValueError) as exc:
+            return f"cannot start worker processes: {exc}"
+        self.spawns += 1
+        # Workers were seeded with this cache's full contents; journal
+        # it from now on so later leases ship only the delta.
+        self._cache = cache
+        cache.enable_journal()
+        return ""
+
+    def _sync_payload(self, cache: SharedProbeCache):
+        """Probe-cache entries the workers have not been sent yet.
+
+        Usually the primary cache's journal delta since the previous
+        lease. When a lease arrives with a *different* cache object
+        (e.g. probe-cache sharing disabled harness-side), workers are
+        over-seeded with that cache's full contents instead — seeding
+        is idempotent, so over-sending costs bytes, never correctness.
+        """
+        if cache is self._cache:
+            probes, minmax = cache.drain_journal()
+            # Journalled entries were computed this process, never warm.
+            return (tuple(probes), tuple(minmax), (frozenset(), frozenset()))
+        probes, minmax, warm = cache.export()
+        self._cache = cache
+        cache.enable_journal()
+        return (tuple(probes.items()), tuple(minmax.items()), warm)
+
+    # ------------------------------------------------------------------
+    def retire(self, reason: str) -> None:
+        """Shut the executor down after a worker failure; the manager
+        will spawn a fresh one on the next lease."""
+        executor, self.executor = self.executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+        logger.warning("persistent process pool for %r retired: %s",
+                       self.db.schema.name, reason)
+
+    def close(self) -> None:
+        """Shut the worker processes down for good. Idempotent."""
+        executor, self.executor = self.executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+class PoolManager:
+    """Harness-owned registry of warm verification pools, per database.
+
+    The engine-spawned pools above pay worker spawn and snapshot
+    priming once per *enumeration*; a harness that runs hundreds of
+    tasks over a handful of databases pays that cost hundreds of times.
+    The manager keeps one :class:`PersistentProcessPool` per database
+    across enumerations (and across ``run_simulation`` /
+    ``run_detail_sweep`` / ``run_ablations`` calls, when shared), so
+    workers spawn once, snapshots prime once, and probe-cache deltas
+    sync per task.
+
+    ``lease()`` is the single entry point and also the policy boundary:
+    backends that are cheap to spawn (``inline``, ``threads``) or
+    single-worker configurations fall back to a plain per-enumeration
+    pool, so the manager can be attached unconditionally. Pools are
+    evicted least-recently-used beyond ``max_pools`` to bound worker
+    processes when sweeping many databases.
+    """
+
+    def __init__(self, max_pools: int = 8):
+        if max_pools < 1:
+            raise ValueError(f"max_pools must be >= 1 (got {max_pools})")
+        self.max_pools = max_pools
+        #: id(db) -> (db, pool); the strong db reference both keys the
+        #: pool and prevents id() reuse while the entry lives
+        self._pools: "OrderedDict[int, Tuple[Database, PersistentProcessPool]]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self.fallback_leases = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (leases fall back from then on)."""
+        return self._closed
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Spawn/lease counters (tests assert zero mid-sweep spawns)."""
+        with self._lock:
+            pools = list(self._pools.values())
+        return {
+            "pools": len(pools),
+            "worker_spawns": sum(pool.spawns for _, pool in pools),
+            "persistent_leases": sum(pool.leases for _, pool in pools),
+            "fallback_leases": self.fallback_leases,
+        }
+
+    def lease(self, verifier: Verifier, backend: str = "processes",
+              workers: int = 1):
+        """A verification pool for one enumeration.
+
+        Returns a :class:`PersistentPoolLease` over a warm (or newly
+        spawned) per-database pool when the configuration can benefit
+        (``processes`` backend, ``workers > 1``); otherwise falls back
+        to :func:`make_verification_pool`, so callers need no policy of
+        their own.
+        """
+        workers = validate_verification_config(backend, workers)
+        if self._closed or backend != "processes" or workers == 1:
+            self.fallback_leases += 1
+            return make_verification_pool(verifier, backend=backend,
+                                          workers=workers)
+        return self._pool_for(verifier.db, workers).lease(verifier)
+
+    def _pool_for(self, db: Database, workers: int) -> PersistentProcessPool:
+        evicted: List[PersistentProcessPool] = []
+        with self._lock:
+            entry = self._pools.get(id(db))
+            if entry is not None and entry[0] is db \
+                    and entry[1].workers == workers:
+                self._pools.move_to_end(id(db))
+                pool = entry[1]
+            else:
+                if entry is not None:  # same id, different db or width
+                    evicted.append(self._pools.pop(id(db))[1])
+                pool = PersistentProcessPool(db, workers)
+                self._pools[id(db)] = (db, pool)
+                while len(self._pools) > self.max_pools:
+                    _, (_, old) = self._pools.popitem(last=False)
+                    evicted.append(old)
+        for old in evicted:
+            old.close()
+        return pool
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut every managed pool down. Idempotent; the manager keeps
+        accepting ``lease()`` calls afterwards but serves only
+        per-enumeration fallback pools."""
+        with self._lock:
+            pools, self._pools = list(self._pools.values()), OrderedDict()
+            self._closed = True
+        for _, pool in pools:
+            pool.close()
+
+    def __enter__(self) -> "PoolManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 def make_verification_pool(verifier: Verifier, backend: str = "threads",

@@ -52,6 +52,13 @@ class SearchTelemetry:
     #: probe hits served from entries cached by an *earlier* enumeration
     #: on the same database (nonzero only with a shared cross-task cache)
     cross_task_probe_hits: int = 0
+    #: probe hits served from entries loaded from a persisted cache
+    #: store — an earlier *process* (nonzero only with a cache_dir
+    #: warm start); disjoint from cross_task_probe_hits
+    warm_start_probe_hits: int = 0
+    #: True when verification ran on a warm pool leased from a
+    #: harness-owned PoolManager (no worker spawn, no snapshot priming)
+    pool_reused: bool = False
 
     def record_prune(self, stage: str, partial: bool) -> None:
         if partial:
@@ -90,5 +97,7 @@ class SearchTelemetry:
             "probe_hits": self.probe_hits,
             "probe_misses": self.probe_misses,
             "cross_task_probe_hits": self.cross_task_probe_hits,
+            "warm_start_probe_hits": self.warm_start_probe_hits,
+            "pool_reused": self.pool_reused,
             "cache_hit_rate": self.cache_hit_rate,
         }

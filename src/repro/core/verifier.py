@@ -108,7 +108,18 @@ class SharedProbeCache:
     uses :meth:`export`/:meth:`seed` to warm worker caches, a journal to
     collect probes answered inside workers, and :meth:`merge_remote` to
     fold worker counters and entries back into the primary cache.
+
+    Entries seeded from a *persisted* store (an earlier process, via
+    ``seed(..., warm=True)``) carry the sentinel :data:`WARM_GENERATION`
+    stamp; hits on them increment ``warm_start_hits`` instead of
+    ``cross_task_hits``, so telemetry can distinguish reuse within a
+    harness run from disk-backed warm starts across runs.
     """
+
+    #: Generation stamp for entries loaded from a persisted cache store
+    #: (an earlier *process*); disjoint from real task generations, which
+    #: start at 0.
+    WARM_GENERATION = -1
 
     def __init__(self) -> None:
         self._probes: Dict[str, bool] = {}
@@ -123,6 +134,8 @@ class SharedProbeCache:
         self.misses = 0
         #: hits on entries written by an earlier task generation
         self.cross_task_hits = 0
+        #: hits on entries loaded from a persisted store (earlier process)
+        self.warm_start_hits = 0
         self._journal: Optional[Tuple[List[Tuple[str, bool]],
                                       List[Tuple[ColumnRef, Tuple]]]] = None
 
@@ -155,23 +168,55 @@ class SharedProbeCache:
     # ------------------------------------------------------------------
     # Worker-process support (export / seed / journal / merge)
     # ------------------------------------------------------------------
-    def export(self) -> Tuple[Dict[str, bool], Dict[ColumnRef, Tuple]]:
-        """Copies of the cached entries, for seeding worker caches."""
+    def export(self) -> Tuple[Dict[str, bool], Dict[ColumnRef, Tuple],
+                              Tuple[frozenset, frozenset]]:
+        """Copies of the cached entries, for seeding worker caches.
+
+        Returns ``(probes, minmax, warm_keys)`` where ``warm_keys`` holds
+        the probe/minmax keys stamped :data:`WARM_GENERATION`, so a
+        seeded worker cache counts warm-start hits the same way the
+        primary does.
+        """
         with self._lock:
-            return dict(self._probes), dict(self._minmax)
+            warm = (frozenset(k for k, g in self._probe_gen.items()
+                              if g == self.WARM_GENERATION),
+                    frozenset(k for k, g in self._minmax_gen.items()
+                              if g == self.WARM_GENERATION))
+            return dict(self._probes), dict(self._minmax), warm
 
     def seed(self, probes: Dict[str, bool],
-             minmax: Dict[ColumnRef, Tuple]) -> None:
-        """Pre-populate entries (stamped with the current generation)."""
+             minmax: Dict[ColumnRef, Tuple],
+             warm_keys: Optional[Tuple[frozenset, frozenset]] = None,
+             warm: bool = False) -> int:
+        """Pre-populate entries; returns the number actually inserted.
+
+        Entries are stamped with the current generation, except those
+        named by ``warm_keys`` (or all of them when ``warm=True``),
+        which get the :data:`WARM_GENERATION` stamp — used when loading
+        a persisted store, so hits on them count as warm-start hits.
+        Already-present entries are never overwritten (probe answers are
+        facts of the database, so re-seeding is idempotent).
+        """
+        warm_probes = warm_keys[0] if warm_keys else frozenset()
+        warm_minmax = warm_keys[1] if warm_keys else frozenset()
+        inserted = 0
         with self._lock:
             for sql, outcome in probes.items():
                 if sql not in self._probes:
                     self._probes[sql] = outcome
-                    self._probe_gen[sql] = self._generation
+                    self._probe_gen[sql] = (
+                        self.WARM_GENERATION
+                        if warm or sql in warm_probes else self._generation)
+                    inserted += 1
             for column, bounds in minmax.items():
                 if column not in self._minmax:
                     self._minmax[column] = bounds
-                    self._minmax_gen[column] = self._generation
+                    self._minmax_gen[column] = (
+                        self.WARM_GENERATION
+                        if warm or column in warm_minmax
+                        else self._generation)
+                    inserted += 1
+        return inserted
 
     def enable_journal(self) -> None:
         """Record entries inserted from now on (worker caches only)."""
@@ -187,21 +232,32 @@ class SharedProbeCache:
             return drained
 
     def merge_remote(self, hits: int, misses: int, cross_task_hits: int,
+                     warm_start_hits: int,
                      probes: Sequence[Tuple[str, bool]],
                      minmax: Sequence[Tuple[ColumnRef, Tuple]]) -> None:
-        """Fold a worker cache's counters and new entries into this one."""
+        """Fold a worker cache's counters and new entries into this one.
+
+        Newly inserted entries are journalled (when the journal is
+        enabled) so a persistent pool manager can ship them to *other*
+        workers on the next task sync.
+        """
         with self._lock:
             self.hits += hits
             self.misses += misses
             self.cross_task_hits += cross_task_hits
+            self.warm_start_hits += warm_start_hits
             for sql, outcome in probes:
                 if sql not in self._probes:
                     self._probes[sql] = outcome
                     self._probe_gen[sql] = self._generation
+                    if self._journal is not None:
+                        self._journal[0].append((sql, outcome))
             for column, bounds in minmax:
                 if column not in self._minmax:
                     self._minmax[column] = bounds
                     self._minmax_gen[column] = self._generation
+                    if self._journal is not None:
+                        self._journal[1].append((column, bounds))
 
     # ------------------------------------------------------------------
     # Lookup
@@ -210,7 +266,10 @@ class SharedProbeCache:
         with self._lock:
             if sql in self._probes:
                 self.hits += 1
-                if self._probe_gen[sql] < self._generation:
+                generation = self._probe_gen[sql]
+                if generation == self.WARM_GENERATION:
+                    self.warm_start_hits += 1
+                elif generation < self._generation:
                     self.cross_task_hits += 1
                 return self._probes[sql]
         try:
@@ -233,7 +292,10 @@ class SharedProbeCache:
         with self._lock:
             if column in self._minmax:
                 self.hits += 1
-                if self._minmax_gen[column] < self._generation:
+                generation = self._minmax_gen[column]
+                if generation == self.WARM_GENERATION:
+                    self.warm_start_hits += 1
+                elif generation < self._generation:
                     self.cross_task_hits += 1
                 return self._minmax[column]
         bounds = db.column_min_max(column)

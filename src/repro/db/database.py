@@ -9,6 +9,7 @@ SQLite progress handlers.
 
 from __future__ import annotations
 
+import hashlib
 import sqlite3
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -69,6 +70,7 @@ class Database:
         self._conn = connection or sqlite3.connect(":memory:")
         self._conn.execute("PRAGMA foreign_keys = ON")
         self.stats = ExecutionStats()
+        self._content_hash: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -121,6 +123,35 @@ class Database:
         """An independent same-thread copy (snapshot + rehydrate)."""
         return Database.from_snapshot(self.schema, self.snapshot())
 
+    def content_hash(self) -> str:
+        """A stable hex digest of the schema DDL plus every table's rows.
+
+        Two databases with the same schema and the same row *sets* hash
+        identically regardless of insertion order, so the digest can key
+        persisted artifacts (the disk-backed probe cache) across
+        processes: probe answers are facts of the database contents, and
+        the hash changing is exactly the signal that they went stale.
+
+        The digest is memoised and invalidated by :meth:`insert_rows`;
+        statements issued here bypass :attr:`stats` so hashing a database
+        never perturbs execution counters.
+        """
+        if self._content_hash is None:
+            digest = hashlib.sha256()
+            for statement in self.schema.ddl():
+                digest.update(statement.encode("utf-8"))
+                digest.update(b"\x00")
+            for table in self.schema.tables:
+                digest.update(table.name.encode("utf-8"))
+                digest.update(b"\x1e")
+                cursor = self._conn.execute(
+                    f"SELECT * FROM {quote_ident(table.name)}")
+                for row in sorted(repr(r) for r in cursor.fetchall()):
+                    digest.update(row.encode("utf-8"))
+                    digest.update(b"\x1f")
+            self._content_hash = digest.hexdigest()
+        return self._content_hash
+
     def merge_stats(self, other: "ExecutionStats") -> None:
         """Fold a forked connection's counters into this one's stats."""
         self.stats.statements += other.statements
@@ -142,6 +173,7 @@ class Database:
         except sqlite3.Error as exc:
             raise ExecutionError(f"insert into {table!r} failed: {exc}") from exc
         self._conn.commit()
+        self._content_hash = None  # contents changed: digest is stale
         return len(rows)
 
     # ------------------------------------------------------------------
@@ -151,6 +183,11 @@ class Database:
                 max_rows: Optional[int] = None,
                 kind: str = "query") -> List[Row]:
         """Execute a SELECT statement and fetch (up to ``max_rows``) rows."""
+        # The memoised content hash keys persisted probe caches, so it
+        # must notice *any* mutation — including UPDATE/DELETE routed
+        # through here despite the SELECT contract. total_changes is a
+        # cheap connection-level write counter.
+        changes_before = self._conn.total_changes
         try:
             cursor = self._conn.execute(sql, tuple(params))
             if max_rows is None:
@@ -159,6 +196,9 @@ class Database:
                 rows = cursor.fetchmany(max_rows)
         except sqlite3.Error as exc:
             raise ExecutionError(f"failed to execute {sql!r}: {exc}") from exc
+        finally:
+            if self._conn.total_changes != changes_before:
+                self._content_hash = None
         self.stats.record(kind, len(rows))
         return rows
 

@@ -4,9 +4,35 @@ Covers the simulation study (Figures 10-12, Table 6) and the two user
 studies (Figures 5-9). Each ``run_*`` function returns plain record lists
 that :mod:`repro.eval.reports` formats into the paper's tables and
 figures.
+
+Beyond reproducing the figures, the harness owns the two amortisation
+layers that make repeated evaluation cheap:
+
+* **Probe-cache sharing** (:class:`ProbeCacheRegistry`): one
+  :class:`~repro.core.verifier.SharedProbeCache` per database, shared by
+  every enumeration of a run, so later tasks reuse earlier tasks' probe
+  answers. With ``SimulationConfig.cache_dir`` set, those caches are
+  additionally loaded from / saved to a disk store keyed by database
+  content hash, so *separate processes* warm-start too.
+* **Pool persistence** (:func:`shared_pool_manager`): with
+  ``verify_backend="processes"`` and ``workers > 1``, enumerations lease
+  warm worker processes from one process-wide
+  :class:`~repro.core.search.PoolManager` instead of spawning a pool per
+  task — workers spawn once and database snapshots prime once per
+  database, across ``run_simulation`` / ``run_detail_sweep`` /
+  ``run_ablations`` calls alike.
+
+Neither layer changes results: probe answers are facts of the database
+and verification outcomes are folded back identically, so the candidate
+stream stays bit-for-bit equal to a cold inline run (locked in by
+``tests/core/test_search_equivalence.py``). Warm-start reuse is
+observable only in telemetry (``warm_start_probe_hits``,
+``cross_task_probe_hits``, ``pool_reused``) and in wall time.
 """
 
 from __future__ import annotations
+
+import atexit
 
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -16,6 +42,7 @@ from ..baselines.nli import NLIBaseline
 from ..baselines.squid import SquidPBE
 from ..core.duoquest import Duoquest
 from ..core.enumerator import EnumeratorConfig
+from ..core.search import PersistentProbeCache, PoolManager
 from ..core.tsq import TableSketchQuery
 from ..core.verifier import SharedProbeCache
 from ..datasets.facts import build_fact_bank
@@ -68,6 +95,20 @@ class SimulationConfig:
     #: probes, so for strictly-controlled wall-clock comparisons between
     #: systems (fig10-12 timing columns) disable sharing.
     share_probe_cache: bool = True
+    #: directory for the disk-backed probe-cache store (the CLI's
+    #: ``--cache-dir``). When set, the per-database caches above are
+    #: warm-seeded from disk at the start of a run and persisted at the
+    #: end, keyed by ``Database.content_hash()`` — so repeated eval runs
+    #: on the same corpus warm-start across processes. Requires
+    #: ``share_probe_cache`` (persistence piggybacks on the per-database
+    #: caches); ``None`` disables persistence.
+    cache_dir: Optional[str] = None
+    #: lease verification workers from the process-wide
+    #: :func:`shared_pool_manager` instead of spawning a pool per
+    #: enumeration. Only engages when the configuration can benefit
+    #: (``verify_backend="processes"`` and ``workers > 1``); disable to
+    #: force per-enumeration pools (e.g. to benchmark spawn cost).
+    persistent_pool: bool = True
 
     def enumerator_config(self) -> EnumeratorConfig:
         return EnumeratorConfig(time_budget=self.timeout,
@@ -88,20 +129,85 @@ class ProbeCacheRegistry:
     the schema name — two databases may share a schema but hold
     different rows) and hands ``None`` out when sharing is disabled, so
     callers can pass the result straight to ``Duoquest(probe_cache=…)``.
+
+    With ``cache_dir`` set the registry also fronts a
+    :class:`~repro.core.search.PersistentProbeCache` store: new caches
+    are warm-seeded from disk (stale-hash and corruption checks happen
+    in the store, falling back to a cold start) and :meth:`save`
+    persists every cache back at the end of a run. Persistence requires
+    sharing — with ``enabled=False`` there is no per-database cache to
+    persist, so ``cache_dir`` is ignored.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True,
+                 cache_dir: Optional[str] = None):
         self.enabled = enabled
+        self.store = (PersistentProbeCache(cache_dir)
+                      if enabled and cache_dir else None)
+        #: entries warm-seeded from disk across all databases (0 on a
+        #: cold start or without a store)
+        self.warm_entries_loaded = 0
         self._caches: Dict[int, Tuple[Database, SharedProbeCache]] = {}
 
     def cache_for(self, db: Database) -> Optional[SharedProbeCache]:
+        """The shared cache for ``db`` (created, and warm-loaded when a
+        store is configured, on first use); ``None`` when disabled."""
         if not self.enabled:
             return None
         entry = self._caches.get(id(db))
         if entry is None or entry[0] is not db:
-            entry = (db, SharedProbeCache())
+            if self.store is not None:
+                cache, loaded = self.store.warm_cache(db)
+                self.warm_entries_loaded += loaded
+            else:
+                cache = SharedProbeCache()
+            entry = (db, cache)
             self._caches[id(db)] = entry
         return entry[1]
+
+    def save(self) -> int:
+        """Persist every cache to the store; returns files written.
+
+        A no-op (returning 0) without a configured store. Runs in the
+        harness's ``finally`` blocks, so probes answered before an
+        aborted run still warm-start the next one.
+        """
+        if self.store is None:
+            return 0
+        written = 0
+        for db, cache in self._caches.values():
+            if self.store.save(db, cache) is not None:
+                written += 1
+        return written
+
+
+#: Lazily created singleton behind :func:`shared_pool_manager`.
+_SHARED_POOL_MANAGER: Optional[PoolManager] = None
+
+
+def shared_pool_manager() -> PoolManager:
+    """The process-wide :class:`~repro.core.search.PoolManager`.
+
+    All harness entry points lease verification pools from this one
+    manager, so warm worker processes survive not just task-to-task but
+    across successive ``run_simulation`` / ``run_detail_sweep`` /
+    ``run_ablations`` calls on the same databases. Created on first use,
+    closed via ``atexit`` (and recreated transparently if something
+    closed it earlier).
+    """
+    global _SHARED_POOL_MANAGER
+    if _SHARED_POOL_MANAGER is None or _SHARED_POOL_MANAGER.closed:
+        _SHARED_POOL_MANAGER = PoolManager()
+        atexit.register(_SHARED_POOL_MANAGER.close)
+    return _SHARED_POOL_MANAGER
+
+
+def _pool_manager_for(config: SimulationConfig) -> Optional[PoolManager]:
+    """The shared manager, when the configuration can benefit from it."""
+    if config.persistent_pool and config.workers > 1 \
+            and config.verify_backend == "processes":
+        return shared_pool_manager()
+    return None
 
 
 def _oracle(config: SimulationConfig) -> CalibratedOracleModel:
@@ -175,31 +281,47 @@ def run_simulation(tasks: TaskSet,
                    systems: Sequence[str] = ("Duoquest", "NLI", "PBE"),
                    config: Optional[SimulationConfig] = None,
                    detail: str = DETAIL_FULL) -> List[SimTaskRecord]:
-    """The Figure 10/11 experiment over one task set."""
+    """The Figure 10/11 experiment over one task set.
+
+    Returns one :class:`~repro.eval.metrics.SimTaskRecord` per (task,
+    system) pair, ready for :func:`repro.eval.reports.fig10_report` /
+    ``fig11_report`` / ``search_report``. Probe caches are shared per
+    database (and persisted when ``config.cache_dir`` is set — even if a
+    task raises, answered probes are saved for the next run), and GPQE
+    enumerations lease warm verification workers from the shared pool
+    manager when the configuration allows.
+    """
     config = config or SimulationConfig()
     model = _oracle(config)
     records: List[SimTaskRecord] = []
     pbe_by_db: Dict[str, SquidPBE] = {}
-    caches = ProbeCacheRegistry(enabled=config.share_probe_cache)
-    for task in tasks:
-        db = tasks.database_for(task)
-        tsq = synthesize_tsq(task, db, detail=detail, seed=config.seed)
-        if "Duoquest" in systems:
-            system = Duoquest(db, model=model,
-                              config=config.enumerator_config(),
-                              probe_cache=caches.cache_for(db))
-            records.append(run_gpqe_task(task, db, system, tsq,
-                                         "Duoquest", detail))
-        if "NLI" in systems:
-            system = Duoquest(db, model=model,
-                              config=config.enumerator_config(),
-                              probe_cache=caches.cache_for(db))
-            records.append(run_gpqe_task(task, db, system, None, "NLI"))
-        if "PBE" in systems:
-            if db.schema.name not in pbe_by_db:
-                pbe_by_db[db.schema.name] = SquidPBE(db)
-            records.append(run_pbe_task(task, db,
-                                        pbe_by_db[db.schema.name], tsq))
+    caches = ProbeCacheRegistry(enabled=config.share_probe_cache,
+                                cache_dir=config.cache_dir)
+    pools = _pool_manager_for(config)
+    try:
+        for task in tasks:
+            db = tasks.database_for(task)
+            tsq = synthesize_tsq(task, db, detail=detail, seed=config.seed)
+            if "Duoquest" in systems:
+                system = Duoquest(db, model=model,
+                                  config=config.enumerator_config(),
+                                  probe_cache=caches.cache_for(db),
+                                  pool_manager=pools)
+                records.append(run_gpqe_task(task, db, system, tsq,
+                                             "Duoquest", detail))
+            if "NLI" in systems:
+                system = Duoquest(db, model=model,
+                                  config=config.enumerator_config(),
+                                  probe_cache=caches.cache_for(db),
+                                  pool_manager=pools)
+                records.append(run_gpqe_task(task, db, system, None, "NLI"))
+            if "PBE" in systems:
+                if db.schema.name not in pbe_by_db:
+                    pbe_by_db[db.schema.name] = SquidPBE(db)
+                records.append(run_pbe_task(task, db,
+                                            pbe_by_db[db.schema.name], tsq))
+    finally:
+        caches.save()
     return records
 
 
@@ -207,20 +329,33 @@ def run_detail_sweep(tasks: TaskSet,
                      details: Sequence[str],
                      config: Optional[SimulationConfig] = None
                      ) -> List[SimTaskRecord]:
-    """The Table 6 experiment: vary TSQ specification detail."""
+    """The Table 6 experiment: vary TSQ specification detail.
+
+    Each task runs once per detail level; records carry the level in
+    ``detail`` for :func:`repro.eval.reports.table6_report`. Cache
+    sharing/persistence and pool leasing work as in
+    :func:`run_simulation`.
+    """
     config = config or SimulationConfig()
     model = _oracle(config)
     records: List[SimTaskRecord] = []
-    caches = ProbeCacheRegistry(enabled=config.share_probe_cache)
-    for task in tasks:
-        db = tasks.database_for(task)
-        for detail in details:
-            tsq = synthesize_tsq(task, db, detail=detail, seed=config.seed)
-            system = Duoquest(db, model=model,
-                              config=config.enumerator_config(),
-                              probe_cache=caches.cache_for(db))
-            records.append(run_gpqe_task(task, db, system, tsq,
-                                         "Duoquest", detail))
+    caches = ProbeCacheRegistry(enabled=config.share_probe_cache,
+                                cache_dir=config.cache_dir)
+    pools = _pool_manager_for(config)
+    try:
+        for task in tasks:
+            db = tasks.database_for(task)
+            for detail in details:
+                tsq = synthesize_tsq(task, db, detail=detail,
+                                     seed=config.seed)
+                system = Duoquest(db, model=model,
+                                  config=config.enumerator_config(),
+                                  probe_cache=caches.cache_for(db),
+                                  pool_manager=pools)
+                records.append(run_gpqe_task(task, db, system, tsq,
+                                             "Duoquest", detail))
+    finally:
+        caches.save()
     return records
 
 
@@ -228,19 +363,33 @@ def run_ablations(tasks: TaskSet,
                   variants: Sequence[str] = ("Duoquest", "NoPQ", "NoGuide"),
                   config: Optional[SimulationConfig] = None
                   ) -> List[SimTaskRecord]:
-    """The Figure 12 experiment: time-to-solution per GPQE variant."""
+    """The Figure 12 experiment: time-to-solution per GPQE variant.
+
+    Every task runs once per ablation variant (see
+    ``repro.baselines.ablations.ABLATION_VARIANTS``). Cache
+    sharing/persistence and pool leasing work as in
+    :func:`run_simulation` — with sharing on, the second and third
+    variants of each task hit the first one's probes.
+    """
     config = config or SimulationConfig()
     model = _oracle(config)
     records: List[SimTaskRecord] = []
-    caches = ProbeCacheRegistry(enabled=config.share_probe_cache)
-    for task in tasks:
-        db = tasks.database_for(task)
-        tsq = synthesize_tsq(task, db, detail=DETAIL_FULL, seed=config.seed)
-        for variant in variants:
-            factory = ABLATION_VARIANTS[variant]
-            system = factory(db, model, config.enumerator_config(),
-                             probe_cache=caches.cache_for(db))
-            records.append(run_gpqe_task(task, db, system, tsq, variant))
+    caches = ProbeCacheRegistry(enabled=config.share_probe_cache,
+                                cache_dir=config.cache_dir)
+    pools = _pool_manager_for(config)
+    try:
+        for task in tasks:
+            db = tasks.database_for(task)
+            tsq = synthesize_tsq(task, db, detail=DETAIL_FULL,
+                                 seed=config.seed)
+            for variant in variants:
+                factory = ABLATION_VARIANTS[variant]
+                system = factory(db, model, config.enumerator_config(),
+                                 probe_cache=caches.cache_for(db),
+                                 pool_manager=pools)
+                records.append(run_gpqe_task(task, db, system, tsq, variant))
+    finally:
+        caches.save()
     return records
 
 

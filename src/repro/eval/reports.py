@@ -2,7 +2,22 @@
 
 Each ``*_report`` function takes the records produced by
 :mod:`repro.eval.harness` and returns the corresponding table as a
-formatted string (benchmarks print these, EXPERIMENTS.md records them).
+formatted string (the CLI prints these; benchmarks record them). The
+mapping to the paper:
+
+* :func:`table1_report` — system capability matrix (Table 1)
+* :func:`table3_report` — guidance modules (Table 3)
+* :func:`table5_report` — dataset statistics (Table 5)
+* :func:`table6_report` — accuracy by TSQ detail level (Table 6)
+* :func:`user_study_success_report` / :func:`user_study_time_report` /
+  :func:`user_study_examples_report` — the user studies (Figures 5-9)
+* :func:`fig10_report` / :func:`fig11_report` — simulation accuracy,
+  overall and by difficulty (Figures 10/11)
+* :func:`fig12_report` — the GPQE ablation completion curves (Figure 12)
+
+:func:`search_report` is the one non-paper table: per-stage engine
+telemetry, including the cache-reuse columns (``XTaskHit`` for
+within-run cross-task hits, ``WarmStart`` for disk-backed warm starts).
 """
 
 from __future__ import annotations
@@ -45,6 +60,7 @@ CAPABILITY_MATRIX: Tuple[Tuple[str, str, str, str, str, str, str, str], ...] = (
 
 
 def table1_report() -> str:
+    """Table 1: which related systems support which query features."""
     headers = ("System", "Soundness", "Join", "Sel", "Group", "NS", "PT",
                "OW")
     return ("Table 1: system capabilities (y = supported)\n"
@@ -55,6 +71,7 @@ def table1_report() -> str:
 # Table 3 — guidance modules
 # ----------------------------------------------------------------------
 def table3_report() -> str:
+    """Table 3: the guidance modules and their GuidanceModel methods."""
     rows = [(m.name, m.responsibility, m.output, m.method) for m in MODULES]
     return ("Table 3: guidance modules\n"
             + format_table(("Module", "Responsibility", "Output",
@@ -65,6 +82,7 @@ def table3_report() -> str:
 # Table 5 — dataset statistics
 # ----------------------------------------------------------------------
 def table5_report(task_sets: Sequence[TaskSet]) -> str:
+    """Table 5: per-dataset task counts and schema statistics."""
     rows = []
     for task_set in task_sets:
         counts = task_set.counts()
@@ -156,6 +174,8 @@ def user_study_examples_report(trials: Sequence[TrialRecord],
 # Figure 10 — simulation accuracy
 # ----------------------------------------------------------------------
 def fig10_report(records: Sequence[SimTaskRecord], split: str) -> str:
+    """Figure 10: top-k accuracy per system (correct/unsupported for
+    the PBE baseline, which returns one query or none)."""
     rows = []
     for system in ("Duoquest", "NLI"):
         bucket = [r for r in records if r.system == system]
@@ -182,6 +202,7 @@ def fig10_report(records: Sequence[SimTaskRecord], split: str) -> str:
 # Figure 11 — breakdown by difficulty
 # ----------------------------------------------------------------------
 def fig11_report(records: Sequence[SimTaskRecord], split: str) -> str:
+    """Figure 11: the Figure 10 metrics broken down by task difficulty."""
     rows = []
     difficulties = ("easy", "medium", "hard")
     for system in ("Duoquest", "NLI", "PBE"):
@@ -211,6 +232,7 @@ def fig11_report(records: Sequence[SimTaskRecord], split: str) -> str:
 # ----------------------------------------------------------------------
 def fig12_report(records: Sequence[SimTaskRecord],
                  grid: Sequence[float]) -> str:
+    """Figure 12: % of tasks solved by time t, per GPQE ablation."""
     rows = []
     for variant in ("Duoquest", "NoPQ", "NoGuide"):
         bucket = [r for r in records if r.system == variant]
@@ -232,9 +254,12 @@ def search_report(records: Sequence[SimTaskRecord],
 
     One row per (system, engine, verify backend, workers) group:
     expansions, states generated, candidates emitted, prunes per
-    verifier stage, probe cache hit rate (plus the hits served from
-    entries cached by *earlier* tasks on the same database — the
-    cross-task cache reuse), guidance batching ratio, and wall time.
+    verifier stage, probe cache hit rate, cache-reuse counters, guidance
+    batching ratio, and wall time. The two reuse columns split where
+    cached probe answers came from: ``XTaskHit`` counts hits on entries
+    cached by *earlier* tasks of the same run (PR 2's cross-task
+    sharing), ``WarmStart`` hits on entries loaded from a ``--cache-dir``
+    disk store — an earlier *process* entirely.
     """
     grouped: Dict[Tuple[str, str, str, int], List[Dict[str, object]]] = \
         defaultdict(list)
@@ -263,6 +288,7 @@ def search_report(records: Sequence[SimTaskRecord],
         hits, misses = total("probe_hits"), total("probe_misses")
         probes = hits + misses
         cross = total("cross_task_probe_hits")
+        warm = total("warm_start_probe_hits")
         calls, batches = total("guidance_calls"), total("guidance_batches")
         wall = sum(float(t.get("wall_time", 0.0)) for t in bucket)
         row: List[object] = [
@@ -270,6 +296,7 @@ def search_report(records: Sequence[SimTaskRecord],
             total("generated"), total("emitted"),
             f"{100.0 * hits / probes:.1f}%" if probes else "-",
             cross,
+            warm,
             f"{calls / batches:.1f}" if batches else "-",
             f"{wall:.2f}s",
         ]
@@ -279,7 +306,7 @@ def search_report(records: Sequence[SimTaskRecord],
         rows.append(tuple(row))
 
     headers = ("System", "Engine", "Verify", "W", "Expand", "Gen", "Emit",
-               "Cache%", "XTaskHit", "Calls/Batch", "Wall",
+               "Cache%", "XTaskHit", "WarmStart", "Calls/Batch", "Wall",
                *(f"prune:{s}" for s in stage_names))
     return title + "\n" + format_table(headers, rows)
 
@@ -290,6 +317,7 @@ def search_report(records: Sequence[SimTaskRecord],
 def table6_report(detail_records: Sequence[SimTaskRecord],
                   nli_records: Sequence[SimTaskRecord],
                   split: str) -> str:
+    """Table 6: accuracy as the TSQ detail level varies (vs. NLI)."""
     rows = []
     for detail in ("full", "partial", "minimal"):
         bucket = [r for r in detail_records if r.detail == detail]

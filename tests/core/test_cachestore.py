@@ -1,0 +1,226 @@
+"""Disk-backed probe-cache store: keying, failure modes, concurrency.
+
+The contract under test (see ``repro.core.search.cachestore``): a store
+entry is only ever reused for byte-identical database contents (stale
+hashes invalidate), a broken store file degrades to a cold start with a
+logged warning (never a crash, never a poisoned cache), and concurrent
+writers merge instead of clobbering each other.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.core.search.cachestore import PersistentProbeCache
+from repro.core.verifier import SharedProbeCache, Verifier
+from repro.core.tsq import TableSketchQuery
+from repro.db.database import Database
+from repro.sqlir.ast import ColumnRef
+
+from tests.conftest import build_movie_db
+
+
+def populated_cache(db) -> SharedProbeCache:
+    """A cache with real probe traffic from a small verification run."""
+    cache = SharedProbeCache()
+    tsq = TableSketchQuery.build(types=["text"], rows=[["Forrest Gump"]])
+    verifier = Verifier(db, tsq=tsq, probe_cache=cache)
+    from repro.sqlir.parser import parse_sql
+
+    verifier.verify(parse_sql(
+        "SELECT title FROM movie WHERE year < 1995", db.schema))
+    assert len(cache) > 0
+    return cache
+
+
+class TestContentHash:
+    def test_stable_within_a_connection(self, movie_db):
+        assert movie_db.content_hash() == movie_db.content_hash()
+
+    def test_identical_contents_hash_identically(self, movie_db):
+        assert build_movie_db().content_hash() == movie_db.content_hash()
+
+    def test_snapshot_roundtrip_preserves_hash(self, movie_db):
+        if not Database.supports_snapshots():
+            pytest.skip("sqlite build cannot snapshot databases")
+        clone = Database.from_snapshot(movie_db.schema, movie_db.snapshot())
+        assert clone.content_hash() == movie_db.content_hash()
+
+    def test_insert_invalidates_hash(self):
+        db = build_movie_db()
+        before = db.content_hash()
+        db.insert_rows("movie", [(999, "New Movie", 2024, 1)])
+        assert db.content_hash() != before
+
+    def test_mutating_execute_invalidates_hash(self):
+        """The hash keys persisted probe caches, so any write path —
+        even UPDATE/DELETE routed through execute() — must drop the
+        memo, or a stale store would pass validation."""
+        db = build_movie_db()
+        before = db.content_hash()
+        db.execute("UPDATE movie SET year = 1900 WHERE mid = 1")
+        assert db.content_hash() != before
+        after = db.content_hash()
+        db.execute("SELECT * FROM movie")  # reads keep the memo
+        assert db.content_hash() == after
+
+    def test_row_order_does_not_matter(self):
+        a = Database.create(build_movie_db().schema)
+        b = Database.create(build_movie_db().schema)
+        rows = [(1, "Tom Hanks", "male", 1956),
+                (2, "Sandra Bullock", "female", 1964)]
+        a.insert_rows("actor", rows)
+        b.insert_rows("actor", list(reversed(rows)))
+        assert a.content_hash() == b.content_hash()
+
+    def test_hashing_does_not_touch_stats(self):
+        db = build_movie_db()
+        before = db.stats.snapshot()
+        db.content_hash()
+        delta = db.stats.delta_since(before)
+        assert delta.statements == 0
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path, movie_db):
+        store = PersistentProbeCache(tmp_path)
+        cache = populated_cache(movie_db)
+        path = store.save(movie_db, cache)
+        assert path is not None and path.exists()
+        probes, minmax = cache.export()[:2]
+        loaded = store.load(movie_db)
+        assert loaded is not None
+        assert loaded[0] == probes
+        assert loaded[1] == minmax
+
+    def test_warm_cache_counts_warm_hits(self, tmp_path, movie_db):
+        store = PersistentProbeCache(tmp_path)
+        store.save(movie_db, populated_cache(movie_db))
+        warm, loaded = store.warm_cache(movie_db)
+        assert loaded == len(warm) > 0
+        # Re-running the same verification is served from warm entries.
+        tsq = TableSketchQuery.build(types=["text"],
+                                     rows=[["Forrest Gump"]])
+        verifier = Verifier(movie_db, tsq=tsq, probe_cache=warm)
+        from repro.sqlir.parser import parse_sql
+
+        verifier.verify(parse_sql(
+            "SELECT title FROM movie WHERE year < 1995", movie_db.schema))
+        assert warm.warm_start_hits > 0
+        assert warm.misses == 0
+
+    def test_missing_store_is_silent_cold_start(self, tmp_path, movie_db,
+                                                caplog):
+        store = PersistentProbeCache(tmp_path / "never-written")
+        with caplog.at_level(logging.WARNING):
+            cache, loaded = store.warm_cache(movie_db)
+        assert loaded == 0 and len(cache) == 0
+        assert not caplog.records  # absence is normal, not a warning
+
+    def test_minmax_survives_json(self, tmp_path, movie_db):
+        store = PersistentProbeCache(tmp_path)
+        cache = SharedProbeCache()
+        ref = ColumnRef(table="movie", column="year")
+        cache.seed({}, {ref: (1970, 2020)})
+        store.save(movie_db, cache)
+        loaded = store.load(movie_db)
+        assert loaded is not None
+        assert loaded[1][ref] == (1970, 2020)
+
+
+class TestStaleHashInvalidation:
+    def test_changed_contents_miss_the_store(self, tmp_path):
+        db = build_movie_db()
+        store = PersistentProbeCache(tmp_path)
+        store.save(db, populated_cache(db))
+        db.insert_rows("movie", [(998, "Late Arrival", 2025, 3)])
+        # New contents → new hash → the old file is simply not found.
+        assert store.load(db) is None
+
+    def test_tampered_recorded_hash_invalidates(self, tmp_path, movie_db,
+                                                caplog):
+        """Even if a file lands under the right name (copied, renamed),
+        a mismatched recorded hash is rejected with a warning."""
+        store = PersistentProbeCache(tmp_path)
+        path = store.save(movie_db, populated_cache(movie_db))
+        payload = json.loads(path.read_text())
+        payload["content_hash"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        with caplog.at_level(logging.WARNING):
+            assert store.load(movie_db) is None
+        assert "stale hash" in caplog.text
+
+
+class TestCorruptionSafety:
+    @pytest.mark.parametrize("content", [
+        "",                       # empty file
+        "{\"format\": 1",         # truncated mid-object
+        "not json at all",        # garbage
+        "[1, 2, 3]",              # wrong top-level type
+        "{\"format\": 1}",        # missing keys
+        "{\"format\": 99, \"content_hash\": \"x\"}",  # future format
+    ])
+    def test_bad_store_falls_back_cold_with_warning(self, tmp_path,
+                                                    movie_db, caplog,
+                                                    content):
+        store = PersistentProbeCache(tmp_path)
+        store.cache_dir.mkdir(parents=True, exist_ok=True)
+        store.path_for(movie_db).write_text(content)
+        with caplog.at_level(logging.WARNING):
+            cache, loaded = store.warm_cache(movie_db)  # must not raise
+        assert loaded == 0 and len(cache) == 0
+        assert caplog.records, "corruption must be visible, not silent"
+
+    def test_corrupt_store_is_overwritten_by_next_save(self, tmp_path,
+                                                       movie_db):
+        store = PersistentProbeCache(tmp_path)
+        store.cache_dir.mkdir(parents=True, exist_ok=True)
+        store.path_for(movie_db).write_text("garbage")
+        assert store.save(movie_db, populated_cache(movie_db)) is not None
+        assert store.load(movie_db) is not None
+
+    def test_unwritable_directory_warns_not_crashes(self, tmp_path,
+                                                    movie_db, caplog):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the cache dir should be")
+        store = PersistentProbeCache(blocker)
+        with caplog.at_level(logging.WARNING):
+            assert store.save(movie_db, populated_cache(movie_db)) is None
+        assert "could not persist" in caplog.text
+
+
+class TestConcurrentWriters:
+    def test_second_writer_merges_first_writers_entries(self, tmp_path,
+                                                        movie_db):
+        """Two runs saving different entry sets end with the union on
+        disk — neither clobbers the other."""
+        store = PersistentProbeCache(tmp_path)
+        first = SharedProbeCache()
+        first.seed({"SELECT 1 FROM movie WHERE year = 1994 LIMIT 1": True},
+                   {})
+        second = SharedProbeCache()
+        second.seed({"SELECT 1 FROM movie WHERE year = 2013 LIMIT 1": True},
+                    {ColumnRef(table="movie", column="year"): (1970, 2020)})
+        store.save(movie_db, first)
+        store.save(movie_db, second)
+        loaded = store.load(movie_db)
+        assert loaded is not None
+        probes, minmax = loaded
+        assert len(probes) == 2
+        assert len(minmax) == 1
+
+    def test_interleaved_writers_keep_valid_json(self, tmp_path, movie_db):
+        """Saves are atomic replaces: whatever interleaving happens, the
+        file on disk is always a complete, parseable store."""
+        store = PersistentProbeCache(tmp_path)
+        for i in range(8):
+            cache = SharedProbeCache()
+            cache.seed({f"SELECT 1 FROM movie WHERE mid = {i} LIMIT 1":
+                        bool(i % 2)}, {})
+            store.save(movie_db, cache)
+            assert store.load(movie_db) is not None
+        probes, _ = store.load(movie_db)
+        assert len(probes) == 8

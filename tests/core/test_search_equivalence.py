@@ -43,14 +43,17 @@ def tasks():
 
 
 def run_engine(task, workers: int, engine: str = "best-first",
-               verify_backend: str = "threads", **overrides):
+               verify_backend: str = "threads", pool_manager=None,
+               probe_cache=None, **overrides):
     db, model, nlq, tsq, gold, task_id = task
     settings = dict(CONFIG)
     settings.update(overrides)
     config = EnumeratorConfig(engine=engine, workers=workers,
                               verify_backend=verify_backend, **settings)
     enumerator = Enumerator(db, model, nlq, tsq=tsq, config=config,
-                            gold=gold, task_id=task_id)
+                            gold=gold, task_id=task_id,
+                            pool_manager=pool_manager,
+                            probe_cache=probe_cache)
     candidates = list(enumerator.enumerate())
     stream = [{
         "signature": stable_repr(signature(candidate.query)),
@@ -130,6 +133,119 @@ class TestBestFirstMatchesSeed:
         assert telemetry.verify_backend == "processes"
         assert not telemetry.snapshot_degraded
         assert telemetry.workers == 4
+
+
+class TestPersistentPoolEquivalence:
+    """The persistence layer must be invisible in the output: warm
+    leased pools and disk-loaded probe caches change wall time and
+    telemetry only, never the candidate stream."""
+
+    @pytest.fixture()
+    def snapshots_or_skip(self):
+        from repro.db.database import Database
+
+        if not Database.supports_snapshots():
+            pytest.skip("sqlite build cannot snapshot databases")
+
+    def test_persistent_pool_matches_golden_across_tasks(
+            self, golden, tasks, snapshots_or_skip):
+        """Every fixture task through ONE shared PoolManager (per-db
+        warm pools, shared probe caches) reproduces the golden stream,
+        with zero extra worker spawns after each database's first."""
+        from repro.core.search.parallel import PoolManager
+        from repro.core.verifier import SharedProbeCache
+
+        with PoolManager() as manager:
+            caches = {}
+            for name, expected in golden["tasks"].items():
+                db = tasks[name][0]
+                cache = caches.setdefault(id(db), SharedProbeCache())
+                stream, enumerator, _ = run_engine(
+                    tasks[name], workers=4, verify_backend="processes",
+                    pool_manager=manager, probe_cache=cache)
+                assert stream == expected["candidates"], \
+                    f"{name} diverged under the persistent pool"
+                assert enumerator.expansions == \
+                    expected["total_expansions"]
+                assert not enumerator.telemetry.snapshot_degraded
+            stats = manager.stats
+            assert stats["worker_spawns"] == stats["pools"] == len(caches)
+            assert stats["persistent_leases"] == len(golden["tasks"])
+
+    def test_warm_cache_matches_golden_with_warm_hits(self, golden, tasks,
+                                                      tmp_path):
+        """A run warm-started from the disk store is bit-for-bit the
+        golden stream — and actually served probes from disk entries."""
+        from repro.core.search.cachestore import PersistentProbeCache
+
+        store = PersistentProbeCache(tmp_path)
+        name = next(iter(golden["tasks"]))
+        db = tasks[name][0]
+        cold_cache, loaded = store.warm_cache(db)
+        assert loaded == 0  # nothing persisted yet
+        run_engine(tasks[name], workers=1, probe_cache=cold_cache)
+        store.save(db, cold_cache)
+
+        warm_cache, loaded = store.warm_cache(db)
+        assert loaded > 0
+        stream, enumerator, _ = run_engine(tasks[name], workers=1,
+                                           probe_cache=warm_cache)
+        assert stream == golden["tasks"][name]["candidates"]
+        telemetry = enumerator.telemetry
+        assert telemetry.warm_start_probe_hits > 0
+        assert telemetry.probe_misses == 0  # fully served from disk
+
+    def test_warm_cache_with_persistent_pool_matches_golden(
+            self, golden, tasks, tmp_path, snapshots_or_skip):
+        """The full PR-3 stack at once — disk warm start + warm leased
+        workers — still reproduces the golden stream, and the warm hits
+        flow back from the worker processes."""
+        from repro.core.search.cachestore import PersistentProbeCache
+        from repro.core.search.parallel import PoolManager
+
+        store = PersistentProbeCache(tmp_path)
+        name = next(iter(golden["tasks"]))
+        db = tasks[name][0]
+        cold_cache, _ = store.warm_cache(db)
+        run_engine(tasks[name], workers=1, probe_cache=cold_cache)
+        store.save(db, cold_cache)
+
+        warm_cache, loaded = store.warm_cache(db)
+        assert loaded > 0
+        with PoolManager() as manager:
+            stream, enumerator, _ = run_engine(
+                tasks[name], workers=4, verify_backend="processes",
+                pool_manager=manager, probe_cache=warm_cache)
+        assert stream == golden["tasks"][name]["candidates"]
+        assert enumerator.telemetry.warm_start_probe_hits > 0
+        assert not enumerator.telemetry.snapshot_degraded
+
+
+class TestDecisionDispatch:
+    """The reified decision is memoised on the search state: the
+    engine's double dispatch (decision_request speculatively,
+    expand_with at consume time, again after push-backs) resolves
+    _next_decision at most once per state — with an unchanged stream."""
+
+    def test_next_decision_runs_at_most_once_per_state(self, golden,
+                                                       tasks,
+                                                       monkeypatch):
+        from repro.core.enumerator import Enumerator as EnumeratorClass
+
+        calls = []  # strong refs, so id() cannot be reused by the GC
+        original = EnumeratorClass._next_decision
+
+        def counting(self, query):
+            calls.append(query)
+            return original(self, query)
+
+        monkeypatch.setattr(EnumeratorClass, "_next_decision", counting)
+        name = next(iter(golden["tasks"]))
+        stream, _, _ = run_engine(tasks[name], workers=4)
+        assert stream == golden["tasks"][name]["candidates"]
+        assert calls, "no decisions were dispatched at all"
+        assert len(calls) == len({id(q) for q in calls}), \
+            "_next_decision recomputed for an already-resolved state"
 
 
 class TestBeamEngines:

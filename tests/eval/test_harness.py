@@ -97,6 +97,51 @@ class TestAblations:
         assert "NoPQ" in report and "NoGuide" in report
 
 
+class TestPersistentPools:
+    """The harness leases verification workers from one process-wide
+    PoolManager, so pools spawn once per database, not once per task."""
+
+    def test_mid_sweep_spawns_are_zero(self, tiny_corpus, tmp_path):
+        import pytest as _pytest
+
+        from repro.db.database import Database
+        from repro.eval import shared_pool_manager
+
+        if not Database.supports_snapshots():
+            _pytest.skip("sqlite build cannot snapshot databases")
+        manager = shared_pool_manager()
+        before = manager.stats
+        config = SimulationConfig(timeout=4.0, workers=2,
+                                  verify_backend="processes",
+                                  cache_dir=str(tmp_path))
+        records = run_simulation(tiny_corpus, systems=("Duoquest",),
+                                 config=config)
+        after = manager.stats
+        spawns = after["worker_spawns"] - before["worker_spawns"]
+        leases = after["persistent_leases"] - before["persistent_leases"]
+        # One spawn per database; every task after each database's first
+        # rides a warm pool ("zero new pool workers mid-sweep").
+        assert spawns == len(tiny_corpus.databases)
+        assert leases == len(records)
+        reused = [r.telemetry.get("pool_reused") for r in records
+                  if r.telemetry]
+        assert sum(reused) == leases - spawns
+
+    def test_persistent_pool_is_opt_out(self, tiny_corpus):
+        from repro.eval import shared_pool_manager
+
+        manager = shared_pool_manager()
+        before = manager.stats["persistent_leases"] \
+            + manager.stats["fallback_leases"]
+        run_simulation(tiny_corpus, systems=("Duoquest",),
+                       config=SimulationConfig(timeout=4.0, workers=2,
+                                               verify_backend="processes",
+                                               persistent_pool=False))
+        after = manager.stats["persistent_leases"] \
+            + manager.stats["fallback_leases"]
+        assert after == before  # the manager never saw these runs
+
+
 class TestCrossTaskProbeCache:
     """The harness owns one probe cache per database, so enumerations
     over the same database reuse each other's probe answers. The effect
@@ -141,6 +186,39 @@ class TestCrossTaskProbeCache:
                 for r in shared] \
             == [(r.task_id, r.system, r.rank, r.num_candidates)
                 for r in isolated]
+
+    def test_second_run_with_cache_dir_warm_starts(self, tiny_corpus,
+                                                   tmp_path):
+        """The PR-3 acceptance path: a second run_simulation on the same
+        corpus via cache_dir reports nonzero warm-start probe hits while
+        the records stay identical to the cold run."""
+        config = SimulationConfig(timeout=4.0, cache_dir=str(tmp_path))
+        cold = run_simulation(tiny_corpus, systems=("Duoquest",),
+                              config=config)
+        assert sum(r.telemetry.get("warm_start_probe_hits", 0)
+                   for r in cold if r.telemetry) == 0
+        assert list(tmp_path.glob("probes-*.json"))  # persisted
+        warm = run_simulation(tiny_corpus, systems=("Duoquest",),
+                              config=config)
+        warm_hits = sum(r.telemetry.get("warm_start_probe_hits", 0)
+                        for r in warm if r.telemetry)
+        assert warm_hits > 0
+        assert [(r.task_id, r.system, r.rank, r.num_candidates)
+                for r in cold] \
+            == [(r.task_id, r.system, r.rank, r.num_candidates)
+                for r in warm]
+        from repro.eval import search_report
+
+        assert "WarmStart" in search_report(warm)
+
+    def test_cache_dir_without_sharing_is_ignored(self, tiny_corpus,
+                                                  tmp_path):
+        """Persistence piggybacks on per-database caches; with sharing
+        disabled nothing is persisted (and nothing crashes)."""
+        config = SimulationConfig(timeout=4.0, cache_dir=str(tmp_path),
+                                  share_probe_cache=False)
+        run_simulation(tiny_corpus, systems=("Duoquest",), config=config)
+        assert not list(tmp_path.glob("probes-*.json"))
 
     def test_simulation_shares_per_database(self, tiny_corpus):
         """run_simulation wires the registry too: all Duoquest/NLI runs
