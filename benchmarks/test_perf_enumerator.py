@@ -6,13 +6,16 @@ for the thread-pool verification stage (workers=4), and for the
 process-pool verification backend (workers=4), reporting the speedups
 (parallel vs serial, and processes vs threads), plus the cold-vs-warm
 comparison for the disk-backed probe cache (run the workload cold, save
-the caches, reload, run again). Set ``REPRO_PERF_STRICT=1`` (multi-core
+the caches, reload, run again) and the score-call reduction of the
+batched guidance backend (dedup + distribution cache behind
+``score_batch``). Set ``REPRO_PERF_STRICT=1`` (multi-core
 hosts only — SQLite probe execution releases the GIL, but a single core
 has nothing to run the extra workers on) to turn the targets into hard
 assertions: ≥1.5x for threads, ≥1.1x for processes (which pay
 per-enumeration worker spawn + job pickling before their CPU-bound
-parallelism pays off), and for the warm-cache run zero probe misses
-plus no slowdown; by default the numbers are recorded, and every
+parallelism pays off), for the warm-cache run zero probe misses
+plus no slowdown, and for the batched-guidance repeat run zero model
+calls; by default the numbers are recorded, and every
 configuration is only required to preserve the candidate stream
 exactly.
 
@@ -160,6 +163,58 @@ def test_process_backend_speedup(benchmark, workload):
         assert speedup >= 1.1, \
             f"processes x{PARALLEL_WORKERS} only reached {speedup:.2f}x " \
             f"vs serial"
+
+
+def test_guidance_batching_amortisation(benchmark, workload):
+    """Score-call reduction from the batched guidance backend.
+
+    The workload runs on one shared ``BatchingGuidanceModel`` twice,
+    at workers=4 so the scheduler actually batches multiple decisions
+    per round. The first (cold) pass measures round-trip amortisation:
+    the wrapper must issue strictly fewer ``score_batch`` invocations
+    on the underlying model than it received requests. The repeat pass
+    — the benchmark analogue of the harness sharing one wrapper across
+    systems and variants — must be served from the distribution cache.
+    Recorded: all four amortisation counters and the repeat's hit rate;
+    strict mode additionally demands the repeat pays zero model calls.
+    The candidate stream must match the unwrapped run exactly in every
+    configuration.
+    """
+    from repro.guidance.batched import BatchingGuidanceModel
+
+    model, tasks = workload
+    plain_emitted, _, _ = run_workload(workload, workers=PARALLEL_WORKERS)
+    wrapped = BatchingGuidanceModel(model, cache_size=1 << 17)
+    shared = (wrapped, tasks)
+    cold_emitted, cold_elapsed, _ = run_workload(shared,
+                                                 workers=PARALLEL_WORKERS)
+    cold = wrapped.counters.copy()
+    emitted, elapsed, _ = run_once(
+        benchmark, lambda: run_workload(shared, workers=PARALLEL_WORKERS))
+    repeat = wrapped.counters.delta_since(cold)
+    hit_rate = repeat.cache_hits / repeat.requests_in \
+        if repeat.requests_in else 0.0
+    benchmark.extra_info["requests_in"] = cold.requests_in
+    benchmark.extra_info["unique_scored"] = cold.unique_scored
+    benchmark.extra_info["batch_calls"] = cold.batch_calls
+    benchmark.extra_info["repeat_cache_hit_rate"] = round(hit_rate, 3)
+    benchmark.extra_info["repeat_unique_scored"] = repeat.unique_scored
+    print(f"\n[perf] guidance batching: cold {cold.unique_scored} scored /"
+          f" {cold.requests_in} requests in {cold.batch_calls} batch "
+          f"calls ({cold_elapsed:.2f}s); repeat "
+          f"{100.0 * hit_rate:.1f}% cache hits, "
+          f"{repeat.unique_scored} scored ({elapsed:.2f}s)")
+    # Batching must never change the result stream...
+    assert cold_emitted == plain_emitted
+    assert emitted == plain_emitted
+    # ...must amortise round trips (fewer model invocations than
+    # requests — the scheduler's rounds carry more than one decision)...
+    assert cold.batch_calls < cold.requests_in
+    # ...and the repeat must actually reuse cached distributions.
+    assert repeat.cache_hits > 0
+    if os.environ.get("REPRO_PERF_STRICT", "") == "1":
+        assert repeat.unique_scored == 0, \
+            f"repeat run still scored {repeat.unique_scored} requests"
 
 
 def test_warm_cache_speedup(benchmark, workload, tmp_path):

@@ -1,0 +1,125 @@
+"""Stub guidance-scoring server for ``--guidance-server``.
+
+Stands in for the out-of-process scorer a production deployment would
+run (a batched neural network behind an RPC endpoint, as in
+SyntaxSQLNet serving). The client side is
+``repro.guidance.batched.ServerGuidanceModel``: the enumerator ships
+every expansion round's guidance requests here as one
+newline-delimited-JSON batch, and this server answers one raw score per
+candidate; the client softmaxes those scores back onto its own
+candidate objects.
+
+Run it, then point the CLI at it::
+
+    python examples/guidance_server.py --port 8765 &
+    duoquest simulate --databases 2 --tasks 3 --guidance-server 127.0.0.1:8765
+
+Wire format (one JSON object per line, either direction)::
+
+    -> {"v": 1, "id": 7, "requests": [{"method": "column",
+        "task": "t3", "nlq": "papers after 2005", "schema": "mas",
+        "args": ["'select'"], "candidates": ["ColumnRef(...)", ...]}]}
+    <- {"id": 7, "scores": [[2.0, 0.5, ...]]}
+
+``scores`` aligns positionally with ``requests`` and each inner list
+with that request's ``candidates``. Scoring here is a deterministic
+lexical heuristic — token overlap between the candidate's repr and the
+NLQ, plus a stable hash jitter for tie-breaking — chosen so repeated
+identical requests always score identically (what the client's
+distribution cache relies on). If the server misbehaves (wrong arity,
+bad JSON, dropped connection), the client logs a warning and degrades
+to its local fallback model; it never crashes and never silently mixes
+scorers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import re
+import socketserver
+import sys
+from typing import Dict, List, Sequence
+
+_WORD = re.compile(r"[a-z0-9]+")
+
+
+def _tokens(text: str) -> set:
+    return set(_WORD.findall(text.lower()))
+
+
+def _stable_jitter(*parts: str) -> float:
+    """A deterministic tie-breaker in [0, 1)."""
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") / 2 ** 32
+
+
+def score_request(request: Dict[str, object]) -> List[float]:
+    """Raw scores for one request's candidates (higher = better)."""
+    nlq_tokens = _tokens(str(request.get("nlq", "")))
+    method = str(request.get("method", ""))
+    scores = []
+    for candidate in request.get("candidates", ()):
+        text = str(candidate)
+        overlap = len(nlq_tokens & _tokens(text))
+        scores.append(2.0 * overlap
+                      + _stable_jitter(method, str(request.get("nlq", "")),
+                                       text))
+    return scores
+
+
+def score_batch(payload: Dict[str, object]) -> Dict[str, object]:
+    """The response object for one request line."""
+    requests: Sequence[Dict[str, object]] = payload.get("requests", ())
+    return {"id": payload.get("id"),
+            "scores": [score_request(request) for request in requests]}
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line.decode("utf-8"))
+                response = score_batch(payload)
+            except (ValueError, UnicodeDecodeError, AttributeError):
+                # A malformed line gets no answer; the client treats the
+                # closed/mismatched stream as a degrade signal.
+                break
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+
+class GuidanceServer(socketserver.ThreadingTCPServer):
+    """One thread per client; ``server_address`` reports the bound port."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+def make_server(host: str = "127.0.0.1", port: int = 0) -> GuidanceServer:
+    """A bound (not yet serving) server; port 0 picks a free one."""
+    return GuidanceServer((host, port), _Handler)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="stub guidance-scoring server (NDJSON over TCP)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    args = parser.parse_args(argv)
+    with make_server(args.host, args.port) as server:
+        host, port = server.server_address[:2]
+        print(f"guidance server listening on {host}:{port}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

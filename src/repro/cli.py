@@ -39,7 +39,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                                   engine=args.engine,
                                   workers=args.workers,
                                   verify_backend=args.verify_backend,
-                                  beam_width=args.beam_width)
+                                  beam_width=args.beam_width,
+                                  guidance_batch=args.guidance_batch,
+                                  guidance_cache_size=args.guidance_cache_size,
+                                  guidance_server=args.guidance_server)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -51,7 +54,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
               f"{store.path_for(db)}")
     system = Duoquest(db, model=LexicalGuidanceModel(), config=config,
                       probe_cache=probe_cache)
-    result = system.synthesize(nlq, tsq)
+    try:
+        result = system.synthesize(nlq, tsq)
+    finally:
+        system.close()  # releases a --guidance-server connection
     if store is not None and probe_cache is not None:
         store.save(db, probe_cache)
     print(f"{len(result.candidates)} candidates in {result.elapsed:.2f}s")
@@ -74,6 +80,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
               f"pruned, cache hit rate "
               f"{100.0 * telemetry.cache_hit_rate:.1f}%{warm}, "
               f"{telemetry.wall_time:.2f}s")
+        if telemetry.guidance_batched:
+            served = " (degraded to the local model)" \
+                if telemetry.guidance_degraded else ""
+            print(f"[guidance] {telemetry.guide_calls} of "
+                  f"{telemetry.guide_requests} requests scored in "
+                  f"{telemetry.guide_batch_calls} batches, "
+                  f"{telemetry.guide_hits} cache hits{served}")
     return 0
 
 
@@ -95,7 +108,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         sim_config = SimulationConfig(
             timeout=args.timeout, engine=args.engine, workers=args.workers,
             verify_backend=args.verify_backend,
-            beam_width=args.beam_width, cache_dir=args.cache_dir)
+            beam_width=args.beam_width, cache_dir=args.cache_dir,
+            guidance_batch=args.guidance_batch,
+            guidance_cache_size=args.guidance_cache_size,
+            guidance_server=args.guidance_server)
         sim_config.enumerator_config()  # validate the combination early
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -111,6 +127,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                    for r in records if r.telemetry is not None)
         print(f"\n[cache] warm-start probe hits: {warm} "
               f"(store: {args.cache_dir})")
+    if sim_config.guidance_batch or sim_config.guidance_server:
+        gpqe = [r.telemetry for r in records if r.telemetry is not None]
+        scored = sum(t.get("guide_calls", 0) for t in gpqe)
+        requests = sum(t.get("guide_requests", 0) for t in gpqe)
+        cache_hits = sum(t.get("guide_hits", 0) for t in gpqe)
+        degraded = sum(1 for t in gpqe if t.get("guidance_degraded"))
+        print(f"\n[guidance] {scored} of {requests} requests scored, "
+              f"{cache_hits} cache hits, {degraded} degraded tasks")
     return 0
 
 
@@ -211,6 +235,23 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                              "warm-start from it (keyed by database "
                              "content hash, stale entries invalidated "
                              "automatically)")
+    parser.add_argument("--guidance-batch", dest="guidance_batch",
+                        action="store_true",
+                        help="deduplicate and cache guidance decisions "
+                             "behind the round-level score_batch seam; "
+                             "never changes the candidate stream "
+                             "(GuideCalls/GuideHits telemetry columns)")
+    parser.add_argument("--guidance-cache-size", dest="guidance_cache_size",
+                        type=_positive_int, default=4096,
+                        help="bound (entries) for the guidance "
+                             "distribution cache (default: 4096)")
+    parser.add_argument("--guidance-server", dest="guidance_server",
+                        default=None, metavar="HOST:PORT",
+                        help="score guidance batches on an out-of-process "
+                             "scorer (see examples/guidance_server.py); "
+                             "implies --guidance-batch, and degrades "
+                             "visibly to the local model if the server "
+                             "fails")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -15,6 +15,11 @@ from typing import Callable, List, Optional, Sequence
 
 from ..db.database import Database
 from ..guidance.base import GuidanceModel
+from ..guidance.batched import (
+    BatchingGuidanceModel,
+    close_guidance,
+    make_guidance_backend,
+)
 from ..guidance.lexical import LexicalGuidanceModel
 from ..nlq.literals import NLQuery
 from ..sqlir.ast import Query
@@ -82,14 +87,45 @@ class Duoquest:
                  probe_cache: Optional[SharedProbeCache] = None,
                  pool_manager: Optional[PoolManager] = None):
         self.db = db
-        self.model = model or LexicalGuidanceModel()
         self.config = config or EnumeratorConfig()
+        model = model or LexicalGuidanceModel()
+        # The facade — not the per-synthesize Enumerator — owns the
+        # guidance backend it creates: the batching wrapper's cache then
+        # amortises across synthesize() calls, a server backend opens
+        # one connection per system instead of one per enumeration, and
+        # close() below can release it. A model the caller wrapped
+        # already (the eval harness) is left alone and never closed
+        # here.
+        self._owns_guidance = False
+        if self.config.guidance_batch \
+                and not isinstance(model, BatchingGuidanceModel):
+            model = make_guidance_backend(
+                model, batch=True,
+                cache_size=self.config.guidance_cache_size,
+                server=self.config.guidance_server)
+            self._owns_guidance = True
+        self.model = model
         #: optional shared probe cache; the eval harness passes one per
         #: database so probe answers are reused across tasks
         self.probe_cache = probe_cache
         #: optional warm verification-pool manager; the eval harness
         #: passes one so worker processes persist across enumerations
         self.pool_manager = pool_manager
+
+    def close(self) -> None:
+        """Release the guidance backend, if this facade created it.
+
+        A no-op when the caller supplied a pre-wrapped (or plain)
+        model — whoever wrapped it owns it. Idempotent.
+        """
+        if self._owns_guidance:
+            close_guidance(self.model)
+
+    def __enter__(self) -> "Duoquest":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def synthesize(self, nlq: NLQuery,
                    tsq: Optional[TableSketchQuery] = None,

@@ -43,6 +43,12 @@ from ..guidance.base import (
     SLOT_SELECT,
     SLOT_WHERE,
 )
+from ..errors import GuidanceError
+from ..guidance.batched import (
+    BatchingGuidanceModel,
+    make_guidance_backend,
+    parse_server_address,
+)
 from ..nlq.literals import Literal, NLQuery
 from ..sqlir.ast import (
     HOLE,
@@ -107,6 +113,18 @@ class EnumeratorConfig:
     #: states popped per expansion round; None = engine picks
     #: (max(1, workers) for best-first, the beam width for beams)
     batch_size: Optional[int] = None
+    #: wrap the guidance model in a BatchingGuidanceModel: identical
+    #: requests within a round are scored once, repeats across rounds
+    #: are served from a bounded distribution cache. Never changes the
+    #: candidate stream (deterministic models answer equal requests
+    #: equally); observable in the GuideCalls/GuideHits telemetry.
+    guidance_batch: bool = False
+    #: bound (entries) for the guidance distribution cache
+    guidance_cache_size: int = 4096
+    #: HOST:PORT of an out-of-process guidance scorer (see
+    #: examples/guidance_server.py); implies guidance_batch. Server
+    #: failures degrade visibly to the local model.
+    guidance_server: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Reject bad worker counts here, at the configuration boundary,
@@ -116,6 +134,22 @@ class EnumeratorConfig:
             raise ValueError(f"workers must be a positive integer "
                              f"(got {self.workers!r})")
         validate_verification_config(self.verify_backend, self.workers)
+        if not isinstance(self.guidance_cache_size, int) \
+                or self.guidance_cache_size < 1:
+            raise ValueError(f"guidance_cache_size must be a positive "
+                             f"integer (got {self.guidance_cache_size!r})")
+        if self.guidance_server:
+            # Re-raised as ValueError: this is the same configuration
+            # boundary that rejects bad worker counts, and callers (the
+            # CLI) catch ValueError there.
+            try:
+                parse_server_address(self.guidance_server)
+            except GuidanceError as exc:
+                raise ValueError(str(exc)) from None
+            # The server backend only pays off through batching (one
+            # request per round trip would defeat it), so the flag
+            # implies the wrapper.
+            self.guidance_batch = True
 
 
 #: Backwards-compatible alias — the state type now lives in the search
@@ -136,10 +170,20 @@ class Enumerator:
                  pool_manager: Optional[PoolManager] = None):
         self.db = db
         self.schema = db.schema
-        self.model = model
         self.nlq = nlq
         self.tsq = tsq if tsq is not None else TableSketchQuery()
         self.config = config or EnumeratorConfig()
+        # The guidance-backend config wraps the model here unless the
+        # caller (the eval harness) already did — a harness-level
+        # wrapper shares its distribution cache across every
+        # enumeration of a run, which is where most repeats live.
+        if self.config.guidance_batch \
+                and not isinstance(model, BatchingGuidanceModel):
+            model = make_guidance_backend(
+                model, batch=True,
+                cache_size=self.config.guidance_cache_size,
+                server=self.config.guidance_server)
+        self.model = model
         self.joins = JoinPathBuilder(
             self.schema, max_extensions=self.config.max_join_extensions)
         # ``probe_cache`` lets a caller (the eval harness) share one
@@ -260,12 +304,15 @@ class Enumerator:
         without building children; ``dist`` supplies an externally
         scored distribution so the handler skips its own model call.
 
-        The resolved decision is memoised on the state: the engine
-        dispatches each state at least twice (``decision_request`` while
-        speculating, ``expand_with`` when consuming — more with
-        push-backs), and :meth:`_next_decision` re-walks the query's
-        holes each time, so caching the reified decision halves the
-        per-expansion dispatch cost.
+        Both the resolved decision and the reified request are memoised
+        on the state: the engine dispatches each state at least twice
+        (``decision_request`` while speculating, ``expand_with`` when
+        consuming — more with push-backs), and without the memos each
+        dispatch would re-walk the query's holes and rebuild the
+        decision's candidate list from the schema. With them, only the
+        first ``decision_request`` pays; every repeat — including the
+        consume-time expansion, which reads the candidates back out of
+        the memoised request — is O(1).
         """
         query = state.query
         decision = state.decision
@@ -277,8 +324,12 @@ class Enumerator:
         kind = decision[0]
         ctx = self._ctx.with_partial(query)
         handler = getattr(self, f"_expand_{kind}")
-        return handler(ctx, state, *decision[1:], dist=dist,
-                       request_only=request_only)
+        if request_only:
+            if state.request is UNRESOLVED_DECISION:
+                state.request = handler(ctx, state, *decision[1:],
+                                        request_only=True)
+            return state.request
+        return handler(ctx, state, *decision[1:], dist=dist)
 
     def _next_decision(self, query: Query) -> Optional[Tuple]:
         """Locate the next placeholder to fill, in pipeline order."""
@@ -347,6 +398,25 @@ class Enumerator:
     # ------------------------------------------------------------------
     # Decision handlers
     # ------------------------------------------------------------------
+    def _memoised_candidates(self, state: _State,
+                             request_only: bool) -> Optional[List]:
+        """Candidates already reified into ``state.request``, if any.
+
+        The candidate-carrying requests put their candidate tuple last
+        in ``args``, so a consume-time expansion (and any re-dispatch
+        after a push-back) reads the list back instead of rebuilding it
+        from the schema. The reify path itself (``request_only=True``)
+        and direct ``expand_with`` calls on fresh states return ``None``
+        and recompute.
+        """
+        if request_only:
+            return None
+        request = state.request
+        if isinstance(request, GuidanceRequest) and request.args \
+                and isinstance(request.args[-1], tuple):
+            return list(request.args[-1])
+        return None
+
     def _children(self, state: _State, dist: Distribution,
                   build) -> List[_State]:
         children = []
@@ -448,11 +518,8 @@ class Enumerator:
             return list(self._text_columns)
         return candidates + list(self._all_columns)
 
-    def _expand_col(self, ctx: GuidanceContext, state: _State,
-                    slot: str, index: int,
-                    dist: Optional[Distribution] = None,
-                    request_only: bool = False) -> List[_State]:
-        query = state.query
+    def _column_candidates(self, query: Query, slot: str,
+                           index: int) -> List[ColumnRef]:
         if slot == SLOT_SELECT:
             candidates = self._select_column_candidates(index)
         elif slot == SLOT_WHERE:
@@ -508,6 +575,16 @@ class Enumerator:
                             candidates.append(item.column)
         else:  # SLOT_ORDER_BY
             candidates = [STAR] + list(self._all_columns)
+        return candidates
+
+    def _expand_col(self, ctx: GuidanceContext, state: _State,
+                    slot: str, index: int,
+                    dist: Optional[Distribution] = None,
+                    request_only: bool = False) -> List[_State]:
+        query = state.query
+        candidates = self._memoised_candidates(state, request_only)
+        if candidates is None:
+            candidates = self._column_candidates(query, slot, index)
         if not candidates:
             return None if request_only else []
         if request_only:
@@ -592,7 +669,9 @@ class Enumerator:
             item = query.order_by[index]
             column = item.column
         assert isinstance(column, ColumnRef)
-        candidates = self._agg_candidates(slot, column, query, index)
+        candidates = self._memoised_candidates(state, request_only)
+        if candidates is None:
+            candidates = self._agg_candidates(slot, column, query, index)
         if not candidates:
             return None if request_only else []
         if request_only:
@@ -651,7 +730,9 @@ class Enumerator:
         assert isinstance(pred, Predicate)
         assert isinstance(pred.column, ColumnRef)
         assert isinstance(pred.agg, AggOp)
-        candidates = self._op_candidates(slot, pred.column, pred.agg)
+        candidates = self._memoised_candidates(state, request_only)
+        if candidates is None:
+            candidates = self._op_candidates(slot, pred.column, pred.agg)
         if request_only:
             return GuidanceRequest("comparison", ctx,
                                    (slot, pred.column, tuple(candidates)))
@@ -691,7 +772,9 @@ class Enumerator:
                  else query.having)
         pred = preds[index]
         assert isinstance(pred, Predicate)
-        candidates = self._value_candidates(slot, pred)
+        candidates = self._memoised_candidates(state, request_only)
+        if candidates is None:
+            candidates = self._value_candidates(slot, pred)
         if not candidates:
             return None if request_only else []
         if request_only:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ...guidance.base import GuidanceRequest
+from ...guidance.batched import BatchingGuidanceModel
 from ...sqlir.ast import Query
 from ...sqlir.canon import signature
 from ..verifier import VerifyResult
@@ -86,6 +87,14 @@ class SearchState:
     #: popped again later; caching the decision here makes the repeat
     #: dispatches O(1) instead of re-walking the query's holes each time.
     decision: object = UNRESOLVED_DECISION
+    #: The reified :class:`~repro.guidance.base.GuidanceRequest` for
+    #: ``decision`` (``None`` when the expansion needs no guidance),
+    #: memoised by the domain the first time ``decision_request()``
+    #: resolves it. The request carries the decision's candidate list,
+    #: so a pushed-back state re-entering the speculative phase — and
+    #: the consume-time expansion — reuse it instead of rebuilding the
+    #: candidates from the schema each time.
+    request: object = UNRESOLVED_DECISION
 
 
 class SearchProblem:
@@ -156,6 +165,15 @@ class SearchEngine:
                                           backend=self.verify_backend,
                                           workers=self.workers)
         telemetry.pool_reused = getattr(pool, "reused", False)
+        # A batching guidance wrapper may be shared across enumerations
+        # (the eval harness wraps the oracle once per run), so record
+        # counter deltas, not totals — the same discipline as the
+        # shared probe cache below.
+        model = problem.model
+        guidance = model if isinstance(model, BatchingGuidanceModel) \
+            else None
+        guide_start = guidance.counters.copy() \
+            if guidance is not None else None
         cache = problem.verifier.probe_cache
         probe_hits_start = cache.hits
         probe_misses_start = cache.misses
@@ -299,6 +317,22 @@ class SearchEngine:
                 telemetry.beam_dropped = frontier.dropped
                 telemetry.guidance_calls = self.scheduler.calls
                 telemetry.guidance_batches = self.scheduler.batches
+                telemetry.guidance_degraded = \
+                    bool(getattr(model, "degraded", False))
+                if guidance is not None:
+                    delta = guidance.counters.delta_since(guide_start)
+                    telemetry.guidance_batched = True
+                    telemetry.guide_requests = delta.requests_in
+                    telemetry.guide_calls = delta.unique_scored
+                    telemetry.guide_hits = delta.cache_hits
+                    telemetry.guide_batch_calls = delta.batch_calls
+                else:
+                    # Unwrapped models score once per request, so the
+                    # GuideCalls/GuideHits columns stay comparable
+                    # across batched and unbatched rows.
+                    telemetry.guide_requests = self.scheduler.calls
+                    telemetry.guide_calls = self.scheduler.calls
+                    telemetry.guide_batch_calls = self.scheduler.batches
                 # Refreshed here because the process pool can degrade
                 # mid-run (worker crash): report the effective state —
                 # a degraded lease ran inline, not on a warm pool.

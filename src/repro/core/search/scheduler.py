@@ -4,14 +4,20 @@ The seed enumerator asked the guidance model one question at a time.
 The scheduler instead collects every pending decision of a round (one
 per state being expanded) and pushes them through
 :meth:`repro.guidance.base.GuidanceModel.score_batch` in a single call.
-For the bundled lexical/oracle backends this is a plain loop, but the
-seam is what a batched neural backend needs: one forward pass per
-round instead of one per decision.
+For the bundled lexical/oracle backends this is a plain loop; wrap the
+model in :class:`repro.guidance.batched.BatchingGuidanceModel`
+(``EnumeratorConfig.guidance_batch``) and the call also deduplicates
+identical requests within the round and serves repeats from a bounded
+distribution cache — and :class:`~repro.guidance.batched.\
+ServerGuidanceModel` ships the whole round to an out-of-process scorer
+in one round trip.
 
 Distributions are memoised by partial query, so a state whose batch
 was cut short by a push-back (see the engine) reuses its already-scored
 distribution when it surfaces again instead of paying a second model
-call.
+call. The requests themselves are memoised too — on
+``SearchState.request`` by the domain — so re-scheduling a pushed-back
+state never rebuilds its candidate list.
 """
 
 from __future__ import annotations

@@ -42,6 +42,22 @@ class SearchTelemetry:
     #: guidance decisions scored / batches issued
     guidance_calls: int = 0
     guidance_batches: int = 0
+    #: True when guidance ran behind a BatchingGuidanceModel wrapper
+    guidance_batched: bool = False
+    #: True when a guidance server degraded to the local fallback model
+    guidance_degraded: bool = False
+    #: guidance requests entering the batching layer this run
+    guide_requests: int = 0
+    #: requests the underlying model actually scored (the GuideCalls
+    #: column; equals guidance_calls when batching is off)
+    guide_calls: int = 0
+    #: requests answered from the guidance distribution cache (the
+    #: GuideHits column; 0 when batching is off)
+    guide_hits: int = 0
+    #: underlying-model invocations (batched round trips); with batching
+    #: on this is strictly smaller than guide_requests whenever a round
+    #: scored more than one decision
+    guide_batch_calls: int = 0
     #: speculative batch rounds cut short because a fresh child outranked
     #: the rest of the batch (the push-back that keeps ranking exact)
     pushbacks: int = 0
@@ -93,6 +109,12 @@ class SearchTelemetry:
             "beam_dropped": self.beam_dropped,
             "guidance_calls": self.guidance_calls,
             "guidance_batches": self.guidance_batches,
+            "guidance_batched": self.guidance_batched,
+            "guidance_degraded": self.guidance_degraded,
+            "guide_requests": self.guide_requests,
+            "guide_calls": self.guide_calls,
+            "guide_hits": self.guide_hits,
+            "guide_batch_calls": self.guide_batch_calls,
             "pushbacks": self.pushbacks,
             "probe_hits": self.probe_hits,
             "probe_misses": self.probe_misses,

@@ -56,6 +56,8 @@ from ..datasets.tsqsynth import (
 from ..datasets.usertasks import NLI_TASK_SPECS, PBE_TASK_SPECS
 from ..db.database import Database
 from ..errors import UnsupportedTaskError
+from ..guidance.base import GuidanceModel
+from ..guidance.batched import close_guidance, make_guidance_backend
 from ..guidance.oracle import AccuracyProfile, CalibratedOracleModel
 from ..interaction.simulated_user import (
     TrialRecord,
@@ -109,6 +111,20 @@ class SimulationConfig:
     #: (``verify_backend="processes"`` and ``workers > 1``); disable to
     #: force per-enumeration pools (e.g. to benchmark spawn cost).
     persistent_pool: bool = True
+    #: wrap the guidance model in a
+    #: :class:`~repro.guidance.batched.BatchingGuidanceModel` shared by
+    #: every enumeration of the run — the harness runs many systems and
+    #: variants over identical decisions, so the distribution cache
+    #: amortises across tasks (the ``GuideHits`` column). Results never
+    #: change (locked in by the equivalence matrix).
+    guidance_batch: bool = False
+    #: bound (entries) for the shared guidance distribution cache
+    guidance_cache_size: int = 4096
+    #: HOST:PORT of an out-of-process guidance scorer (the CLI's
+    #: ``--guidance-server``); implies ``guidance_batch``. A failing
+    #: server degrades visibly to the local oracle
+    #: (``guidance_degraded`` in telemetry), never silently.
+    guidance_server: Optional[str] = None
 
     def enumerator_config(self) -> EnumeratorConfig:
         return EnumeratorConfig(time_budget=self.timeout,
@@ -117,7 +133,10 @@ class SimulationConfig:
                                 engine=self.engine,
                                 workers=self.workers,
                                 verify_backend=self.verify_backend,
-                                beam_width=self.beam_width)
+                                beam_width=self.beam_width,
+                                guidance_batch=self.guidance_batch,
+                                guidance_cache_size=self.guidance_cache_size,
+                                guidance_server=self.guidance_server)
 
 
 class ProbeCacheRegistry:
@@ -210,8 +229,23 @@ def _pool_manager_for(config: SimulationConfig) -> Optional[PoolManager]:
     return None
 
 
-def _oracle(config: SimulationConfig) -> CalibratedOracleModel:
-    return CalibratedOracleModel(profile=config.profile, seed=config.seed)
+def _oracle(config: SimulationConfig) -> GuidanceModel:
+    """The run's guidance model, wrapped per the guidance-backend knobs.
+
+    Wrapping happens here — once per ``run_*`` call — rather than
+    inside each enumeration, so the batching wrapper's distribution
+    cache is shared by every task, system, and variant of the run;
+    that cross-task reuse is where most of the ``GuideHits`` come from
+    (Duoquest, the NLI baseline, and the ablations score largely
+    identical decisions). Callers must release it with
+    :func:`~repro.guidance.batched.close_guidance` (a no-op for plain
+    models) so a server-backed run closes its socket.
+    """
+    model: GuidanceModel = CalibratedOracleModel(profile=config.profile,
+                                                 seed=config.seed)
+    return make_guidance_backend(model, batch=config.guidance_batch,
+                                 cache_size=config.guidance_cache_size,
+                                 server=config.guidance_server)
 
 
 def run_gpqe_task(task: Task, db: Database, system: Duoquest,
@@ -322,6 +356,7 @@ def run_simulation(tasks: TaskSet,
                                             pbe_by_db[db.schema.name], tsq))
     finally:
         caches.save()
+        close_guidance(model)
     return records
 
 
@@ -356,6 +391,7 @@ def run_detail_sweep(tasks: TaskSet,
                                              "Duoquest", detail))
     finally:
         caches.save()
+        close_guidance(model)
     return records
 
 
@@ -390,6 +426,7 @@ def run_ablations(tasks: TaskSet,
                 records.append(run_gpqe_task(task, db, system, tsq, variant))
     finally:
         caches.save()
+        close_guidance(model)
     return records
 
 

@@ -259,7 +259,11 @@ def search_report(records: Sequence[SimTaskRecord],
     cached probe answers came from: ``XTaskHit`` counts hits on entries
     cached by *earlier* tasks of the same run (PR 2's cross-task
     sharing), ``WarmStart`` hits on entries loaded from a ``--cache-dir``
-    disk store — an earlier *process* entirely.
+    disk store — an earlier *process* entirely. The two guidance columns
+    measure the batching layer: ``GuideCalls`` is what the underlying
+    model actually scored (equal to the request count when
+    ``--guidance-batch`` is off), ``GuideHits`` what the distribution
+    cache answered instead.
     """
     grouped: Dict[Tuple[str, str, str, int], List[Dict[str, object]]] = \
         defaultdict(list)
@@ -290,6 +294,8 @@ def search_report(records: Sequence[SimTaskRecord],
         cross = total("cross_task_probe_hits")
         warm = total("warm_start_probe_hits")
         calls, batches = total("guidance_calls"), total("guidance_batches")
+        guide_calls = total("guide_calls")
+        guide_hits = total("guide_hits")
         wall = sum(float(t.get("wall_time", 0.0)) for t in bucket)
         row: List[object] = [
             system, engine, backend, workers, total("expansions"),
@@ -298,6 +304,8 @@ def search_report(records: Sequence[SimTaskRecord],
             cross,
             warm,
             f"{calls / batches:.1f}" if batches else "-",
+            guide_calls,
+            guide_hits,
             f"{wall:.2f}s",
         ]
         for stage in stage_names:
@@ -306,7 +314,8 @@ def search_report(records: Sequence[SimTaskRecord],
         rows.append(tuple(row))
 
     headers = ("System", "Engine", "Verify", "W", "Expand", "Gen", "Emit",
-               "Cache%", "XTaskHit", "WarmStart", "Calls/Batch", "Wall",
+               "Cache%", "XTaskHit", "WarmStart", "Calls/Batch",
+               "GuideCalls", "GuideHits", "Wall",
                *(f"prune:{s}" for s in stage_names))
     return title + "\n" + format_table(headers, rows)
 

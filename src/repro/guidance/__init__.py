@@ -12,6 +12,16 @@ from .base import (
     SLOT_SELECT,
     SLOT_WHERE,
 )
+from .batched import (
+    AmortisationCounters,
+    BatchingGuidanceModel,
+    GuidanceCache,
+    ServerGuidanceModel,
+    close_guidance,
+    make_guidance_backend,
+    parse_server_address,
+    request_candidates,
+)
 from .lexical import LexicalGuidanceModel
 from .modules import MODULES, ModuleInfo, module_by_name
 from .oracle import AccuracyProfile, CalibratedOracleModel
@@ -19,8 +29,12 @@ from .oracle import AccuracyProfile, CalibratedOracleModel
 __all__ = [
     "ALL_SLOTS",
     "AccuracyProfile",
+    "AmortisationCounters",
+    "BatchingGuidanceModel",
     "CalibratedOracleModel",
     "Distribution",
+    "GuidanceCache",
+    "ServerGuidanceModel",
     "GuidanceContext",
     "GuidanceModel",
     "GuidanceRequest",
@@ -32,5 +46,9 @@ __all__ = [
     "SLOT_ORDER_BY",
     "SLOT_SELECT",
     "SLOT_WHERE",
+    "close_guidance",
+    "make_guidance_backend",
     "module_by_name",
+    "parse_server_address",
+    "request_candidates",
 ]

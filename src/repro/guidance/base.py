@@ -21,6 +21,7 @@ calibrated stand-in for the trained network, used by the simulation study).
 from __future__ import annotations
 
 import abc
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
@@ -174,6 +175,48 @@ class GuidanceRequest:
 
     def invoke(self, model: "GuidanceModel") -> "Distribution":
         return getattr(model, self.method)(self.ctx, *self.args)
+
+    def cache_key(self) -> Tuple:
+        """A stable, hashable key identifying this decision's inputs.
+
+        Two requests with equal keys are guaranteed to see the same
+        model inputs — the method, its arguments, and every field of the
+        :class:`GuidanceContext` (the context object itself is mutable
+        and therefore unhashable, so the key is built from its frozen
+        fields). A deterministic model must answer them identically,
+        which is what lets :class:`~repro.guidance.batched.GuidanceCache`
+        memoise distributions across scoring rounds without perturbing
+        the candidate stream. The key is conservative: it includes the
+        full partial query and a structural schema fingerprint (name
+        alone would collide across same-named schemas), so a model that
+        ignores parts of the context simply gets fewer cache hits,
+        never wrong ones.
+        """
+        ctx = self.ctx
+        return (self.method, ctx.task_id, _schema_fingerprint(ctx.schema),
+                ctx.nlq, ctx.gold, ctx.partial, self.args)
+
+
+def _schema_fingerprint(schema: Schema) -> str:
+    """A content digest identifying a schema for guidance-cache keys.
+
+    The schema name alone is not enough — two databases may share a
+    name yet differ structurally, and a model like the lexical backend
+    reads the structure (and the display names) when scoring. The
+    digest covers both, and is memoised on the schema object so the
+    per-request cost is one attribute read.
+    """
+    fingerprint = getattr(schema, "_guidance_fingerprint", None)
+    if fingerprint is None:
+        digest = hashlib.sha256()
+        for statement in schema.ddl():
+            digest.update(statement.encode("utf-8"))
+            digest.update(b"\x00")
+        digest.update(repr(sorted(schema.display_names.items()))
+                      .encode("utf-8"))
+        fingerprint = f"{schema.name}:{digest.hexdigest()[:16]}"
+        schema._guidance_fingerprint = fingerprint
+    return fingerprint
 
 
 #: Slot names used to tell the model which clause a decision belongs to.

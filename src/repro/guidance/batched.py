@@ -1,0 +1,571 @@
+"""Amortised guidance backends: batching wrapper and RPC-style server.
+
+The search subsystem already funnels every expansion round's decisions
+through one :meth:`~repro.guidance.base.GuidanceModel.score_batch`
+call, but the bundled lexical/oracle backends score per request, so the
+batching seam amortised nothing. This module supplies the backends that
+make it pay:
+
+* :class:`BatchingGuidanceModel` wraps any guidance model. Within a
+  round it deduplicates identical requests (equal
+  :meth:`~repro.guidance.base.GuidanceRequest.cache_key`), across
+  rounds it memoises distributions in a bounded LRU
+  :class:`GuidanceCache`, and it exposes amortisation counters
+  (:class:`AmortisationCounters`) that the search engine folds into
+  :class:`~repro.core.search.telemetry.SearchTelemetry` per run. The
+  wrapper never changes results: the inner model is deterministic per
+  request (the ``GuidanceModel`` contract), so a cached distribution is
+  byte-identical to a recomputed one and the candidate stream stays
+  bit-for-bit equal to the unwrapped model (locked in by
+  ``tests/core/test_search_equivalence.py``).
+
+* :class:`ServerGuidanceModel` ships whole request batches to an
+  out-of-process scorer over a newline-delimited-JSON socket protocol
+  (one JSON object per line; see :meth:`ServerGuidanceModel.serialize`
+  for the wire format and ``examples/guidance_server.py`` for a stub
+  server standing in for a neural/RPC scorer). Failures are never
+  silent: the first connection error, timeout, or protocol violation
+  logs a warning, marks the model ``degraded`` (surfaced as
+  ``SearchTelemetry.guidance_degraded``, mirroring the verification
+  pools' ``snapshot_degraded``), and every subsequent request is
+  answered by the local fallback model — results change visibly or not
+  at all.
+
+Wiring happens in :class:`~repro.core.enumerator.Enumerator` (via
+``EnumeratorConfig.guidance_batch`` / ``guidance_server``) and in the
+eval harness, which wraps the oracle once per run so the cache is
+shared across every enumeration of that run (Duoquest, the NLI
+baseline, and the ablation variants re-score largely identical
+decisions).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import socket
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import GuidanceError
+from ..sqlir.ast import AggOp, ColumnRef, CompOp, Direction, LogicOp
+from .base import (
+    Distribution,
+    GuidanceContext,
+    GuidanceModel,
+    GuidanceRequest,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Default bound for the distribution cache (entries, not bytes).
+DEFAULT_CACHE_SIZE = 4096
+
+#: Default socket timeout (seconds) for the server backend.
+DEFAULT_TIMEOUT = 5.0
+
+
+def parse_server_address(address: str) -> Tuple[str, int]:
+    """Validate and split a ``HOST:PORT`` guidance-server address.
+
+    The single authority on the accepted format — both the
+    ``EnumeratorConfig`` boundary and :class:`ServerGuidanceModel` call
+    this, so the config can never accept an address the backend would
+    reject.
+    """
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise GuidanceError(
+            f"guidance server address must be HOST:PORT "
+            f"(got {address!r})")
+    return host, int(port)
+
+
+def request_candidates(request: GuidanceRequest) -> List[object]:
+    """The concrete output classes a request's distribution ranges over.
+
+    Candidate-carrying methods (column/aggregate/comparison/value/
+    limit_value) name them explicitly in ``args``; the fixed-arity
+    methods (clause presence, logic, direction, HAVING presence) have
+    implicit class lists that every backend agrees on. The server
+    backend ships these to the scorer and zips the returned weights
+    back onto the same objects, so the caller always receives a
+    distribution over its own candidates.
+    """
+    method, args = request.method, request.args
+    if method == "clause_presence" or method == "having_presence":
+        return [True, False]
+    if method == "num_items":
+        return list(range(1, args[1] + 1))
+    if method == "logic":
+        return [LogicOp.AND, LogicOp.OR]
+    if method == "direction":
+        return [(direction, flag)
+                for direction in (Direction.ASC, Direction.DESC)
+                for flag in (False, True)]
+    if method in ("column", "aggregate", "comparison", "value"):
+        return list(args[-1])
+    if method == "limit_value":
+        return list(args[0])
+    raise GuidanceError(f"unknown guidance method {method!r}")
+
+
+@dataclass
+class AmortisationCounters:
+    """What the batching layer saved, as running totals.
+
+    The search engine snapshots these at run start and records the
+    per-run deltas into telemetry (the same delta discipline the shared
+    probe cache uses), so a wrapper shared across tasks never
+    attributes one task's traffic to another.
+    """
+
+    #: requests entering the wrapper (scheduler batches + per-call)
+    requests_in: int = 0
+    #: requests actually scored by the inner model (post-dedup, post-cache)
+    unique_scored: int = 0
+    #: requests answered from the distribution cache
+    cache_hits: int = 0
+    #: inner-model invocations (batched round trips + per-call misses)
+    batch_calls: int = 0
+
+    def copy(self) -> "AmortisationCounters":
+        return AmortisationCounters(requests_in=self.requests_in,
+                                    unique_scored=self.unique_scored,
+                                    cache_hits=self.cache_hits,
+                                    batch_calls=self.batch_calls)
+
+    def delta_since(self, earlier: "AmortisationCounters"
+                    ) -> "AmortisationCounters":
+        return AmortisationCounters(
+            requests_in=self.requests_in - earlier.requests_in,
+            unique_scored=self.unique_scored - earlier.unique_scored,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            batch_calls=self.batch_calls - earlier.batch_calls)
+
+
+class GuidanceCache:
+    """A bounded, thread-safe LRU of request key -> distribution.
+
+    Distributions are immutable (frozen dataclasses), so handing the
+    same object to many search states is safe — the scheduler already
+    shares them within a round. The bound is entries, evicted least
+    recently used; an over-small cache costs recomputation, never
+    correctness.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE):
+        if max_entries < 1:
+            raise GuidanceError(
+                f"guidance cache needs at least 1 entry (got {max_entries})")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, Distribution]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Tuple) -> Optional[Distribution]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Tuple, distribution: Distribution) -> None:
+        with self._lock:
+            self._entries[key] = distribution
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class _RequestScoringModel(GuidanceModel):
+    """Routes every per-decision method through :meth:`_score_request`.
+
+    The argument tuples below must match the ones the enumerator's
+    expansion handlers build, so a per-call request and its
+    scheduler-batched twin produce equal cache keys.
+    """
+
+    def _score_request(self, request: GuidanceRequest) -> Distribution:
+        raise NotImplementedError
+
+    def clause_presence(self, ctx: GuidanceContext,
+                        clause: str) -> Distribution[bool]:
+        return self._score_request(
+            GuidanceRequest("clause_presence", ctx, (clause,)))
+
+    def num_items(self, ctx: GuidanceContext, slot: str,
+                  max_n: int) -> Distribution[int]:
+        return self._score_request(
+            GuidanceRequest("num_items", ctx, (slot, max_n)))
+
+    def column(self, ctx: GuidanceContext, slot: str,
+               candidates: Sequence[ColumnRef]) -> Distribution[ColumnRef]:
+        return self._score_request(
+            GuidanceRequest("column", ctx, (slot, tuple(candidates))))
+
+    def aggregate(self, ctx: GuidanceContext, slot: str, column: ColumnRef,
+                  candidates: Sequence[AggOp]) -> Distribution[AggOp]:
+        return self._score_request(
+            GuidanceRequest("aggregate", ctx,
+                            (slot, column, tuple(candidates))))
+
+    def comparison(self, ctx: GuidanceContext, slot: str, column: ColumnRef,
+                   candidates: Sequence[CompOp]) -> Distribution[CompOp]:
+        return self._score_request(
+            GuidanceRequest("comparison", ctx,
+                            (slot, column, tuple(candidates))))
+
+    def logic(self, ctx: GuidanceContext) -> Distribution[LogicOp]:
+        return self._score_request(GuidanceRequest("logic", ctx))
+
+    def direction(self, ctx: GuidanceContext,
+                  column: ColumnRef) -> Distribution[Tuple[Direction, bool]]:
+        return self._score_request(
+            GuidanceRequest("direction", ctx, (column,)))
+
+    def having_presence(self, ctx: GuidanceContext) -> Distribution[bool]:
+        return self._score_request(GuidanceRequest("having_presence", ctx))
+
+    def value(self, ctx: GuidanceContext, slot: str, column: ColumnRef,
+              candidates: Sequence[object]) -> Distribution[object]:
+        return self._score_request(
+            GuidanceRequest("value", ctx,
+                            (slot, column, tuple(candidates))))
+
+    def limit_value(self, ctx: GuidanceContext,
+                    candidates: Sequence[int]) -> Distribution[int]:
+        return self._score_request(
+            GuidanceRequest("limit_value", ctx, (tuple(candidates),)))
+
+
+class BatchingGuidanceModel(_RequestScoringModel):
+    """Dedup + memoise wrapper that makes ``score_batch`` amortise.
+
+    Per batch, identical requests (equal cache keys) are scored once;
+    across batches, the bounded :class:`GuidanceCache` answers repeats
+    without touching the inner model at all. Per-call methods route
+    through the same cache, so an ``expand_with(dist=None)`` fallback
+    sees exactly the distribution a scheduled batch would have.
+    """
+
+    def __init__(self, inner: GuidanceModel,
+                 cache_size: int = DEFAULT_CACHE_SIZE):
+        if isinstance(inner, BatchingGuidanceModel):
+            raise GuidanceError(
+                "guidance model is already wrapped for batching")
+        self.inner = inner
+        self.name = f"batched({inner.name})"
+        self.cache = GuidanceCache(cache_size)
+        self.counters = AmortisationCounters()
+        self._degrade_flushed = False
+
+    # The server backend's degrade state shines through the wrapper so
+    # the engine can read it from whatever model it was handed.
+    @property
+    def degraded(self) -> bool:
+        return bool(getattr(self.inner, "degraded", False))
+
+    @property
+    def degrade_reason(self) -> str:
+        return str(getattr(self.inner, "degrade_reason", ""))
+
+    def close(self) -> None:
+        close_guidance(self.inner)
+
+    # ------------------------------------------------------------------
+    def _flush_on_degrade(self) -> None:
+        """Drop every cached distribution the moment the inner model
+        degrades. Pre-degrade entries were scored by the now-failed
+        server; serving them afterwards would mix scorers indefinitely.
+        Flushing once at the switch keeps the documented contract: from
+        the degrade on, every answer comes from the fallback model.
+        """
+        if not self._degrade_flushed and self.degraded:
+            self._degrade_flushed = True
+            self.cache.clear()
+
+    def _score_request(self, request: GuidanceRequest) -> Distribution:
+        self._flush_on_degrade()
+        counters = self.counters
+        counters.requests_in += 1
+        key = request.cache_key()
+        cached = self.cache.get(key)
+        if cached is not None:
+            counters.cache_hits += 1
+            return cached
+        counters.unique_scored += 1
+        counters.batch_calls += 1
+        distribution = request.invoke(self.inner)
+        # The degrade may have happened during this very call; flush
+        # before caching so the entry stored below is the fallback's.
+        self._flush_on_degrade()
+        self.cache.put(key, distribution)
+        return distribution
+
+    def score_batch(self, requests: Sequence[GuidanceRequest]
+                    ) -> List[Distribution]:
+        self._flush_on_degrade()
+        counters = self.counters
+        counters.requests_in += len(requests)
+        results: List[Optional[Distribution]] = [None] * len(requests)
+        #: key -> positions awaiting that key's distribution, in
+        #: first-occurrence order (dedup within the round)
+        fresh: Dict[Tuple, List[int]] = {}
+        for position, request in enumerate(requests):
+            key = request.cache_key()
+            positions = fresh.get(key)
+            if positions is not None:
+                # An in-batch duplicate: it will be served from the
+                # first occurrence's distribution, so it counts as a
+                # hit — keeping requests_in == unique_scored +
+                # cache_hits, which the telemetry columns rely on.
+                positions.append(position)
+                counters.cache_hits += 1
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                counters.cache_hits += 1
+                results[position] = cached
+            else:
+                fresh[key] = [position]
+        if fresh:
+            unique = [requests[positions[0]]
+                      for positions in fresh.values()]
+            counters.unique_scored += len(unique)
+            counters.batch_calls += 1
+            distributions = self.inner.score_batch(unique)
+            if len(distributions) != len(unique):
+                raise GuidanceError(
+                    f"{self.inner.name}.score_batch returned "
+                    f"{len(distributions)} distributions for "
+                    f"{len(unique)} requests")
+            # The degrade may have happened during this very batch;
+            # flush before caching so the entries stored below are the
+            # fallback's answers, not the failed server's.
+            self._flush_on_degrade()
+            for (key, positions), distribution in zip(fresh.items(),
+                                                      distributions):
+                self.cache.put(key, distribution)
+                for position in positions:
+                    results[position] = distribution
+        return results  # type: ignore[return-value]
+
+
+class ServerGuidanceModel(_RequestScoringModel):
+    """Scores request batches on an out-of-process scorer.
+
+    Protocol (newline-delimited JSON over a TCP socket, one object per
+    line; ``examples/guidance_server.py`` implements the other end):
+
+    request::
+
+        {"v": 1, "id": 7, "requests": [
+            {"method": "column", "task": "t3", "nlq": "...",
+             "schema": "movies", "args": ["select"],
+             "candidates": ["ColumnRef(table='movie', ...)", ...]},
+            ...]}
+
+    response::
+
+        {"id": 7, "scores": [[0.4, 1.3, ...], ...]}
+
+    ``scores`` must align positionally with ``requests`` and each inner
+    list with that request's ``candidates``; the client softmaxes the
+    raw scores onto its own candidate objects
+    (:meth:`Distribution.from_scores`), so only weights cross the wire.
+
+    Degrade semantics mirror the verification pools: the first
+    connection error, timeout, or protocol violation logs a warning,
+    sets :attr:`degraded`/:attr:`degrade_reason`, closes the socket,
+    and routes every request — including the failed batch — to the
+    local ``fallback`` model. A degraded server model is never retried
+    within a run, so results switch to the fallback exactly once,
+    visibly.
+    """
+
+    PROTOCOL_VERSION = 1
+
+    def __init__(self, address: str, fallback: GuidanceModel,
+                 timeout: float = DEFAULT_TIMEOUT):
+        self.address = address
+        self.host, self.port = parse_server_address(address)
+        self.fallback = fallback
+        self.timeout = timeout
+        self.name = f"server({address})"
+        self.degraded = False
+        self.degrade_reason = ""
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def _degrade(self, reason: str) -> None:
+        if not self.degraded:
+            self.degraded = True
+            self.degrade_reason = reason
+            logger.warning(
+                "guidance server %s unavailable (%s); degrading to the "
+                "local %s model for the rest of the run",
+                self.address, reason, self.fallback.name)
+        self.close()
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _ensure_connection(self) -> None:
+        if self._sock is None:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+            sock.settimeout(self.timeout)
+            self._sock = sock
+            self._reader = sock.makefile("r", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    @staticmethod
+    def serialize(request: GuidanceRequest,
+                  candidates: Sequence[object]) -> Dict[str, object]:
+        """One request as its wire dict (see the class docstring)."""
+        ctx = request.ctx
+        return {
+            "method": request.method,
+            "task": ctx.task_id,
+            "nlq": ctx.nlq.text,
+            "schema": ctx.schema.name,
+            "args": [repr(arg) for arg in request.args
+                     if not isinstance(arg, tuple)],
+            "candidates": [repr(candidate) for candidate in candidates],
+        }
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _score_request(self, request: GuidanceRequest) -> Distribution:
+        return self.score_batch([request])[0]
+
+    def score_batch(self, requests: Sequence[GuidanceRequest]
+                    ) -> List[Distribution]:
+        if not requests:
+            return []
+        if self.degraded:
+            return self.fallback.score_batch(requests)
+        try:
+            # Candidate-list construction is inside the degrade guard:
+            # a request this module cannot ship (an unknown method) must
+            # fall back like any other failure, not abort the run.
+            candidate_lists = [request_candidates(request)
+                               for request in requests]
+            scores = self._round_trip(
+                [self.serialize(request, candidates)
+                 for request, candidates in zip(requests, candidate_lists)])
+            return [self._distribution(candidates, weights)
+                    for candidates, weights in zip(candidate_lists, scores)]
+        except (OSError, ValueError, KeyError, TypeError,
+                GuidanceError) as exc:
+            # OSError covers refused connections, timeouts and resets;
+            # the rest are protocol violations (bad JSON surfaces as
+            # ValueError). Either way: degrade visibly, answer locally.
+            self._degrade(str(exc) or type(exc).__name__)
+            return self.fallback.score_batch(requests)
+
+    def _round_trip(self, serialized: List[Dict[str, object]]
+                    ) -> List[List[float]]:
+        with self._lock:
+            self._ensure_connection()
+            request_id = next(self._ids)
+            line = json.dumps({"v": self.PROTOCOL_VERSION,
+                               "id": request_id,
+                               "requests": serialized}) + "\n"
+            assert self._sock is not None
+            self._sock.sendall(line.encode("utf-8"))
+            response = self._reader.readline()
+        if not response:
+            raise OSError("server closed the connection")
+        payload = json.loads(response)
+        if payload.get("id") != request_id:
+            raise GuidanceError(
+                f"response id {payload.get('id')!r} does not match "
+                f"request id {request_id}")
+        scores = payload["scores"]
+        if not isinstance(scores, list) or len(scores) != len(serialized):
+            raise GuidanceError(
+                f"expected {len(serialized)} score lists, got "
+                f"{len(scores) if isinstance(scores, list) else scores!r}")
+        return scores
+
+    @staticmethod
+    def _distribution(candidates: Sequence[object],
+                      weights: Sequence[object]) -> Distribution:
+        if not candidates:
+            return Distribution(entries=())
+        if not isinstance(weights, list) or len(weights) != len(candidates):
+            raise GuidanceError(
+                f"expected {len(candidates)} scores per request, got "
+                f"{weights!r}")
+        numeric = [float(weight) for weight in weights]
+        if any(weight != weight or weight in (float("inf"), float("-inf"))
+               for weight in numeric):
+            raise GuidanceError(f"non-finite score in {numeric!r}")
+        return Distribution.from_scores(list(zip(candidates, numeric)))
+
+
+def make_guidance_backend(model: GuidanceModel, *, batch: bool = False,
+                          cache_size: int = DEFAULT_CACHE_SIZE,
+                          server: Optional[str] = None,
+                          timeout: float = DEFAULT_TIMEOUT
+                          ) -> GuidanceModel:
+    """Wrap ``model`` per the guidance-backend configuration.
+
+    ``server`` interposes a :class:`ServerGuidanceModel` (with ``model``
+    as its degrade fallback) and implies batching — shipping one
+    request per round trip would defeat the point. Returns ``model``
+    unchanged when nothing is enabled, so callers can apply this
+    unconditionally.
+    """
+    wrapped = model
+    if server:
+        wrapped = ServerGuidanceModel(server, fallback=wrapped,
+                                      timeout=timeout)
+    if batch or server:
+        wrapped = BatchingGuidanceModel(wrapped, cache_size=cache_size)
+    return wrapped
+
+
+def close_guidance(model: GuidanceModel) -> None:
+    """Release a guidance backend's resources (no-op for plain models)."""
+    close = getattr(model, "close", None)
+    if callable(close):
+        close()

@@ -13,6 +13,8 @@ import json
 import logging
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.search.cachestore import PersistentProbeCache
 from repro.core.verifier import SharedProbeCache, Verifier
@@ -20,7 +22,7 @@ from repro.core.tsq import TableSketchQuery
 from repro.db.database import Database
 from repro.sqlir.ast import ColumnRef
 
-from tests.conftest import build_movie_db
+from tests.conftest import build_movie_db, build_movie_schema
 
 
 def populated_cache(db) -> SharedProbeCache:
@@ -82,6 +84,78 @@ class TestContentHash:
         db.content_hash()
         delta = db.stats.delta_since(before)
         assert delta.statements == 0
+
+
+#: Arbitrary small ``movie`` row payloads (pk assigned positionally, so
+#: every generated table is valid and every row distinct).
+_ROW_PAYLOADS = st.lists(
+    st.tuples(st.text(alphabet="abcXYZ '%_", max_size=8),
+              st.integers(min_value=1900, max_value=2030),
+              st.integers(min_value=0, max_value=999)),
+    min_size=1, max_size=6)
+
+
+def _movie_rows(payloads):
+    return [(index + 1, title, year, revenue)
+            for index, (title, year, revenue) in enumerate(payloads)]
+
+
+def _db_with(rows):
+    db = Database.create(build_movie_schema())
+    db.insert_rows("movie", rows)
+    return db
+
+
+class TestContentHashProperties:
+    """Property-style contract: the hash keys persisted probe caches,
+    so it must see exactly the row *set* — any insertion-order
+    permutation hashes identically, any single-cell change differently.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(payloads=_ROW_PAYLOADS,
+           rnd=st.randoms(use_true_random=False))
+    def test_any_insert_order_permutation_hashes_identically(self,
+                                                             payloads,
+                                                             rnd):
+        rows = _movie_rows(payloads)
+        shuffled = list(rows)
+        rnd.shuffle(shuffled)
+        assert _db_with(rows).content_hash() == \
+            _db_with(shuffled).content_hash()
+
+    @settings(max_examples=25, deadline=None)
+    @given(payloads=_ROW_PAYLOADS, data=st.data())
+    def test_batch_boundaries_do_not_matter(self, payloads, data):
+        """The same rows inserted in one call or split across several
+        insert_rows calls are the same contents."""
+        rows = _movie_rows(payloads)
+        split = data.draw(st.integers(min_value=0,
+                                      max_value=len(rows)))
+        chunked = Database.create(build_movie_schema())
+        chunked.insert_rows("movie", rows[:split])
+        chunked.insert_rows("movie", rows[split:])
+        assert chunked.content_hash() == _db_with(rows).content_hash()
+
+    @settings(max_examples=25, deadline=None)
+    @given(payloads=_ROW_PAYLOADS, data=st.data())
+    def test_any_single_cell_mutation_changes_the_hash(self, payloads,
+                                                       data):
+        rows = _movie_rows(payloads)
+        row_index = data.draw(st.integers(min_value=0,
+                                          max_value=len(rows) - 1))
+        column_index = data.draw(st.integers(min_value=0, max_value=3))
+        mutated_row = list(rows[row_index])
+        if column_index == 0:
+            mutated_row[0] = len(rows) + 1       # a fresh, unused pk
+        elif column_index == 1:
+            mutated_row[1] = mutated_row[1] + "x"
+        else:
+            mutated_row[column_index] = mutated_row[column_index] + 1
+        mutated = list(rows)
+        mutated[row_index] = tuple(mutated_row)
+        assert _db_with(rows).content_hash() != \
+            _db_with(mutated).content_hash()
 
 
 class TestRoundTrip:

@@ -91,3 +91,52 @@ class TestSoundness:
             produced = movie_db.execute_query(candidate.query,
                                               max_rows=5000)
             assert tsq.satisfied_by_rows(produced)
+
+
+class TestGuidanceBackendOwnership:
+    """The facade owns a guidance backend it creates (and only that):
+    one wrapper per system, shared across synthesize() calls, released
+    by close()."""
+
+    def test_facade_wraps_once_and_reuses_across_synthesize(self,
+                                                            movie_db):
+        from repro.guidance import BatchingGuidanceModel
+
+        with Duoquest(movie_db, model=CalibratedOracleModel(seed=0),
+                      config=EnumeratorConfig(
+                          time_budget=5.0, max_candidates=5,
+                          guidance_batch=True)) as system:
+            assert isinstance(system.model, BatchingGuidanceModel)
+            nlq = NLQuery.from_text("movies before 1995",
+                                    literals=[1995])
+            first = system.synthesize(nlq, task_id="own")
+            second = system.synthesize(nlq, task_id="own")
+            assert [c.query for c in first.candidates] == \
+                [c.query for c in second.candidates]
+            # The repeat run is answered from the facade-owned cache.
+            assert second.telemetry.guide_hits > 0
+            assert second.telemetry.guide_calls == 0
+
+    def test_close_releases_only_an_owned_backend(self, movie_db):
+        from repro.guidance import BatchingGuidanceModel
+
+        closed = []
+
+        class Closeable(BatchingGuidanceModel):
+            def close(self):
+                closed.append(True)
+                super().close()
+
+        # Caller-wrapped model: the facade must not close it.
+        shared = Closeable(CalibratedOracleModel(seed=0))
+        Duoquest(movie_db, model=shared,
+                 config=EnumeratorConfig(guidance_batch=True)).close()
+        assert not closed
+
+        # Facade-created wrapper: close() must release it.
+        system = Duoquest(movie_db, model=CalibratedOracleModel(seed=0),
+                          config=EnumeratorConfig(guidance_batch=True))
+        monkey_closed = []
+        system.model.close = lambda: monkey_closed.append(True)
+        system.close()
+        assert monkey_closed

@@ -1,0 +1,180 @@
+"""Concurrency stress for the shared probe cache's worker protocol.
+
+The process-pool and persistent-pool backends drive
+:class:`~repro.core.verifier.SharedProbeCache` from many threads at
+once: the primary cache is seeded, exported, journalled, and merged
+with worker deltas concurrently. The contract under stress: no entry is
+ever dropped, every counter (`hits`/`misses`/`cross_task_hits`/
+`warm_start_hits`) folds in exactly once, and the journal hands every
+newly inserted entry to exactly one drain — the invariants the
+cross-task and warm-start telemetry columns depend on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.verifier import SharedProbeCache
+from repro.sqlir.ast import ColumnRef
+
+WORKERS = 8
+OWN_PROBES = 40
+SHARED_PROBES = 25
+MINMAX_PER_WORKER = 5
+MERGES_PER_WORKER = 2
+
+
+def _own_probes(worker: int):
+    return [(f"SELECT 1 FROM t WHERE worker = {worker} AND i = {i} LIMIT 1",
+             True) for i in range(OWN_PROBES)]
+
+
+def _shared_probes():
+    return [(f"SELECT 1 FROM t WHERE shared = {i} LIMIT 1", bool(i % 2))
+            for i in range(SHARED_PROBES)]
+
+
+def _minmax(worker: int):
+    return [(ColumnRef(table=f"t{worker}", column=f"c{i}"), (0, i))
+            for i in range(MINMAX_PER_WORKER)]
+
+
+class TestConcurrentWorkerProtocol:
+    def test_merges_drop_nothing_and_count_exactly_once(self):
+        primary = SharedProbeCache()
+        primary.begin_task()
+        primary.enable_journal()
+        barrier = threading.Barrier(WORKERS)
+        errors = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                barrier.wait()
+                own = _own_probes(worker_id)
+                # Two merges per worker, with an export (a full read of
+                # the cache under contention) interleaved — the shape of
+                # a persistent pool folding batch deltas back while
+                # seeding the next lease.
+                primary.merge_remote(hits=3, misses=2, cross_task_hits=1,
+                                     warm_start_hits=1,
+                                     probes=own[:OWN_PROBES // 2]
+                                     + _shared_probes(),
+                                     minmax=_minmax(worker_id))
+                primary.export()
+                primary.merge_remote(hits=2, misses=1, cross_task_hits=1,
+                                     warm_start_hits=0,
+                                     probes=own[OWN_PROBES // 2:]
+                                     + _shared_probes(),
+                                     minmax=[])
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(worker_id,))
+                   for worker_id in range(WORKERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+        # Counters fold exactly once per merge — never dropped by a
+        # racing merge, never double-counted.
+        assert primary.hits == WORKERS * 5
+        assert primary.misses == WORKERS * 3
+        assert primary.cross_task_hits == WORKERS * 2
+        assert primary.warm_start_hits == WORKERS * 1
+
+        # Entries: every worker's own probes plus one copy of the
+        # shared set (duplicates collapse, nothing is lost).
+        probes, minmax, _ = primary.export()
+        assert len(probes) == WORKERS * OWN_PROBES + SHARED_PROBES
+        assert len(minmax) == WORKERS * MINMAX_PER_WORKER
+        # Shared answers kept a consistent value.
+        for sql, outcome in _shared_probes():
+            assert probes[sql] == outcome
+
+        # The journal saw each unique entry exactly once.
+        probe_journal, minmax_journal = primary.drain_journal()
+        assert len(probe_journal) == len(probes)
+        assert len({sql for sql, _ in probe_journal}) == len(probes)
+        assert len(minmax_journal) == len(minmax)
+
+    def test_concurrent_drains_partition_the_journal(self):
+        """A drainer thread racing the merges neither loses an entry
+        nor sees one twice across drains."""
+        primary = SharedProbeCache()
+        primary.enable_journal()
+        stop = threading.Event()
+        drained = []
+        drain_lock = threading.Lock()
+
+        def drainer() -> None:
+            while not stop.is_set():
+                probes, _ = primary.drain_journal()
+                with drain_lock:
+                    drained.extend(probes)
+
+        def worker(worker_id: int) -> None:
+            for sql, outcome in _own_probes(worker_id) + _shared_probes():
+                primary.merge_remote(hits=0, misses=0, cross_task_hits=0,
+                                     warm_start_hits=0,
+                                     probes=[(sql, outcome)], minmax=[])
+
+        drain_thread = threading.Thread(target=drainer)
+        drain_thread.start()
+        threads = [threading.Thread(target=worker, args=(worker_id,))
+                   for worker_id in range(WORKERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        drain_thread.join()
+        final_probes, _ = primary.drain_journal()
+        drained.extend(final_probes)
+
+        expected = WORKERS * OWN_PROBES + SHARED_PROBES
+        assert len(drained) == expected, \
+            "journal dropped or duplicated entries under concurrent drains"
+        assert len({sql for sql, _ in drained}) == expected
+
+    def test_concurrent_seeding_keeps_warm_markers_exact(self):
+        """Warm seeding racing worker merges: warm keys stay warm (and
+        only those), so warm-start hits can never be misattributed."""
+        primary = SharedProbeCache()
+        primary.begin_task()
+        warm_probes = {f"SELECT 1 FROM warm WHERE i = {i} LIMIT 1": True
+                       for i in range(30)}
+        barrier = threading.Barrier(WORKERS + 1)
+        errors = []
+
+        def seeder() -> None:
+            try:
+                barrier.wait()
+                primary.seed(dict(warm_probes), {}, warm=True)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def worker(worker_id: int) -> None:
+            try:
+                barrier.wait()
+                primary.merge_remote(hits=0, misses=0, cross_task_hits=0,
+                                     warm_start_hits=0,
+                                     probes=_own_probes(worker_id),
+                                     minmax=[])
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=seeder)] + [
+            threading.Thread(target=worker, args=(worker_id,))
+            for worker_id in range(WORKERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        probes, _, (warm_keys, _) = primary.export()
+        assert warm_keys == frozenset(warm_probes)
+        assert len(probes) == WORKERS * OWN_PROBES + len(warm_probes)

@@ -211,6 +211,34 @@ class TestCrossTaskProbeCache:
 
         assert "WarmStart" in search_report(warm)
 
+    def test_guidance_batching_amortises_across_systems(self, tiny_corpus):
+        """With guidance_batch on, the harness wraps the oracle once per
+        run, so the NLI baseline reuses Duoquest's scored decisions
+        (same tasks, same model) — nonzero GuideHits — while every
+        outcome matches the unbatched run exactly."""
+        from repro.eval import search_report
+
+        plain = run_simulation(tiny_corpus, systems=("Duoquest", "NLI"),
+                               config=SimulationConfig(timeout=60.0))
+        batched = run_simulation(
+            tiny_corpus, systems=("Duoquest", "NLI"),
+            config=SimulationConfig(timeout=60.0, guidance_batch=True))
+        assert [(r.task_id, r.system, r.rank, r.num_candidates)
+                for r in plain] \
+            == [(r.task_id, r.system, r.rank, r.num_candidates)
+                for r in batched]
+        hits = sum(r.telemetry.get("guide_hits", 0)
+                   for r in batched if r.telemetry is not None)
+        assert hits > 0, "no guidance decisions were reused across tasks"
+        requests = sum(r.telemetry.get("guide_requests", 0)
+                       for r in batched if r.telemetry is not None)
+        scored = sum(r.telemetry.get("guide_calls", 0)
+                     for r in batched if r.telemetry is not None)
+        assert scored + hits == requests
+        assert scored < requests
+        report = search_report(batched)
+        assert "GuideCalls" in report and "GuideHits" in report
+
     def test_cache_dir_without_sharing_is_ignored(self, tiny_corpus,
                                                   tmp_path):
         """Persistence piggybacks on per-database caches; with sharing

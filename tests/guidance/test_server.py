@@ -1,0 +1,232 @@
+"""Server guidance backend: wire protocol, live scoring, degrade rules.
+
+Spins the stub server from ``examples/guidance_server.py`` up on an
+ephemeral port and drives ``ServerGuidanceModel`` against it; the
+failure-mode tests stand up misbehaving servers instead. The contract:
+a healthy server answers whole batches in one round trip with
+distributions over the caller's own candidate objects; any failure
+(dead address, timeout, wrong arity, garbage) logs a warning, flips
+``degraded``, and routes everything to the local fallback model — the
+stream switches scorer visibly, exactly once, and never crashes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import logging
+import socketserver
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.errors import GuidanceError
+from repro.guidance.base import GuidanceRequest, SLOT_SELECT, SLOT_WHERE
+from repro.guidance.batched import ServerGuidanceModel
+from repro.guidance.oracle import CalibratedOracleModel
+
+from tests.guidance.test_batched import col_request, kw_request, make_ctx
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" \
+    / "guidance_server.py"
+
+
+def load_example():
+    spec = importlib.util.spec_from_file_location("guidance_server_example",
+                                                  EXAMPLE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def stub():
+    module = load_example()
+    server = module.make_server(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield module, f"{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def serve_lines(reply_fn):
+    """A one-shot TCP server answering each request line via reply_fn."""
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self):
+            for line in self.rfile:
+                reply = reply_fn(line)
+                if reply is None:
+                    return
+                self.wfile.write(reply.encode("utf-8"))
+                self.wfile.flush()
+
+    server = socketserver.ThreadingTCPServer(("127.0.0.1", 0), Handler)
+    server.daemon_threads = True
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    return server, f"{host}:{port}"
+
+
+class TestStubScorer:
+    def test_scores_align_with_candidates_and_are_deterministic(self):
+        module = load_example()
+        request = {"method": "column", "nlq": "movies before 1995",
+                   "candidates": ["title", "year", "revenue"]}
+        first = module.score_request(request)
+        assert len(first) == 3
+        assert first == module.score_request(request)
+
+    def test_batch_reply_echoes_the_request_id(self):
+        module = load_example()
+        reply = module.score_batch({"id": 42, "requests": [
+            {"method": "logic", "nlq": "x", "candidates": ["AND", "OR"]}]})
+        assert reply["id"] == 42
+        assert len(reply["scores"]) == 1 and len(reply["scores"][0]) == 2
+
+
+class TestLiveServer:
+    def test_batch_round_trip_returns_normalised_distributions(self, stub):
+        _, address = stub
+        model = ServerGuidanceModel(address,
+                                    fallback=CalibratedOracleModel(seed=0))
+        try:
+            requests = [kw_request(), col_request(),
+                        GuidanceRequest("logic", make_ctx())]
+            distributions = model.score_batch(requests)
+            assert not model.degraded
+            assert len(distributions) == 3
+            for request, dist in zip(requests, distributions):
+                from repro.guidance.batched import request_candidates
+
+                assert {c for c, _ in dist} == set(request_candidates(request))
+                assert abs(sum(p for _, p in dist) - 1.0) < 1e-6
+        finally:
+            model.close()
+
+    def test_identical_requests_score_identically(self, stub):
+        _, address = stub
+        model = ServerGuidanceModel(address,
+                                    fallback=CalibratedOracleModel(seed=0))
+        try:
+            first = model.score_batch([col_request()])
+            second = model.score_batch([col_request()])
+            assert first == second
+        finally:
+            model.close()
+
+    def test_per_call_method_routes_through_the_server(self, stub):
+        _, address = stub
+        model = ServerGuidanceModel(address,
+                                    fallback=CalibratedOracleModel(seed=0))
+        try:
+            dist = model.clause_presence(make_ctx(), SLOT_WHERE)
+            assert {choice for choice, _ in dist} == {True, False}
+            assert not model.degraded
+        finally:
+            model.close()
+
+    def test_serialize_carries_the_scorer_inputs(self):
+        request = col_request()
+        payload = ServerGuidanceModel.serialize(
+            request, list(request.args[-1]))
+        assert payload["method"] == "column"
+        assert payload["nlq"] == "movies before 1995"
+        assert payload["schema"] == "movies"
+        assert payload["task"] == "t1"
+        assert len(payload["candidates"]) == 2
+        json.dumps(payload)  # must be wire-safe as-is
+
+
+class TestDegrade:
+    def fallback_model(self):
+        return CalibratedOracleModel(seed=0)
+
+    def test_dead_address_degrades_to_fallback(self, caplog):
+        fallback = self.fallback_model()
+        model = ServerGuidanceModel("127.0.0.1:1", fallback=fallback,
+                                    timeout=0.5)
+        request = kw_request()
+        with caplog.at_level(logging.WARNING, "repro.guidance.batched"):
+            result = model.score_batch([request])
+        assert model.degraded
+        assert "degrading to the local" in caplog.text
+        assert result == [request.invoke(self.fallback_model())]
+
+    def test_degraded_model_never_reconnects(self, caplog):
+        model = ServerGuidanceModel("127.0.0.1:1",
+                                    fallback=self.fallback_model(),
+                                    timeout=0.5)
+        with caplog.at_level(logging.WARNING, "repro.guidance.batched"):
+            model.score_batch([kw_request()])
+            model.score_batch([col_request()])
+        # One warning: the second call went straight to the fallback.
+        warnings = [r for r in caplog.records
+                    if "degrading" in r.getMessage()]
+        assert len(warnings) == 1
+
+    @pytest.mark.parametrize("reply", [
+        "not json\n",                                      # garbage
+        json.dumps({"id": 0, "scores": []}) + "\n",        # wrong arity
+        json.dumps({"id": 999, "scores": [[1.0, 1.0]]}) + "\n",  # bad id
+        json.dumps({"id": 0, "scores": [[1.0]]}) + "\n",   # short scores
+        None,                                              # hangup
+    ])
+    def test_protocol_violations_degrade(self, caplog, reply):
+        server, address = serve_lines(lambda line: reply)
+        try:
+            fallback = self.fallback_model()
+            model = ServerGuidanceModel(address, fallback=fallback,
+                                        timeout=2.0)
+            request = kw_request()
+            with caplog.at_level(logging.WARNING, "repro.guidance.batched"):
+                result = model.score_batch([request])
+            assert model.degraded
+            assert result == [request.invoke(self.fallback_model())]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_bad_address_format_rejected_upfront(self):
+        with pytest.raises(GuidanceError):
+            ServerGuidanceModel("nonsense", fallback=self.fallback_model())
+
+    def test_degrade_flushes_cached_server_distributions(self, caplog):
+        """Once the server fails, the batching layer must not keep
+        serving its pre-degrade distributions from cache — from the
+        switch on, *every* answer is the fallback's."""
+        from repro.guidance.batched import BatchingGuidanceModel
+
+        replies = iter([json.dumps({"id": 0, "scores": [[5.0, 1.0]]})
+                        + "\n"])
+        server, address = serve_lines(lambda line: next(replies, None))
+        try:
+            model = BatchingGuidanceModel(ServerGuidanceModel(
+                address, fallback=self.fallback_model(), timeout=2.0))
+            request = kw_request()
+            with caplog.at_level(logging.WARNING, "repro.guidance.batched"):
+                server_scored = model.score_batch([request])[0]
+                # A second, different request hits the hung-up server
+                # and triggers the degrade.
+                model.score_batch([col_request()])
+                assert model.degraded
+                after = model.score_batch([request])[0]
+            fallback_answer = request.invoke(self.fallback_model())
+            assert server_scored != fallback_answer  # scorers do differ
+            assert after == fallback_answer, \
+                "a cached server distribution survived the degrade"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_empty_candidate_request_yields_empty_distribution(self, stub):
+        _, address = stub
+        model = ServerGuidanceModel(address,
+                                    fallback=self.fallback_model())
+        try:
+            dist = model.limit_value(make_ctx(), [])
+            assert len(dist) == 0
+        finally:
+            model.close()

@@ -42,6 +42,27 @@ class TestParser:
         err = capsys.readouterr().err
         assert "must be >= 1" in err
 
+    def test_guidance_flag_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.guidance_batch is False
+        assert args.guidance_cache_size == 4096
+        assert args.guidance_server is None
+
+    def test_guidance_flags_parse(self):
+        args = build_parser().parse_args(
+            ["demo", "list authors", "--guidance-batch",
+             "--guidance-cache-size", "128",
+             "--guidance-server", "127.0.0.1:8765"])
+        assert args.guidance_batch is True
+        assert args.guidance_cache_size == 128
+        assert args.guidance_server == "127.0.0.1:8765"
+
+    def test_guidance_cache_size_below_one_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["demo", "list authors", "--guidance-cache-size", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_tables_command(self, capsys):
@@ -81,3 +102,27 @@ class TestCommands:
         assert code == 2
         err = capsys.readouterr().err
         assert "inline" in err
+
+    def test_demo_guidance_batch_reports_amortisation(self, capsys):
+        code = main(["demo", 'List authors in domain "Databases".',
+                     "--top", "3", "--timeout", "5", "--guidance-batch"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SELECT" in out
+        assert "[guidance]" in out
+
+    def test_demo_bad_guidance_server_address_errors(self, capsys):
+        """A malformed HOST:PORT is a config error (exit 2), not a
+        degrade — degrading is for servers that fail at runtime."""
+        code = main(["demo", "list authors",
+                     "--guidance-server", "nonsense"])
+        assert code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_simulate_guidance_batch_prints_summary(self, capsys):
+        code = main(["simulate", "--databases", "2", "--tasks", "2",
+                     "--timeout", "2", "--guidance-batch"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GuideCalls" in out and "GuideHits" in out
+        assert "[guidance]" in out
