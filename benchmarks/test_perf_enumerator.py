@@ -6,18 +6,20 @@ for the thread-pool verification stage (workers=4), and for the
 process-pool verification backend (workers=4), reporting the speedups
 (parallel vs serial, and processes vs threads), plus the cold-vs-warm
 comparison for the disk-backed probe cache (run the workload cold, save
-the caches, reload, run again) and the score-call reduction of the
+the caches, reload, run again), the score-call reduction of the
 batched guidance backend (dedup + distribution cache behind
-``score_batch``). Set ``REPRO_PERF_STRICT=1`` (multi-core
-hosts only — SQLite probe execution releases the GIL, but a single core
-has nothing to run the extra workers on) to turn the targets into hard
-assertions: ≥1.5x for threads, ≥1.1x for processes (which pay
-per-enumeration worker spawn + job pickling before their CPU-bound
-parallelism pays off), for the warm-cache run zero probe misses
-plus no slowdown, and for the batched-guidance repeat run zero model
-calls; by default the numbers are recorded, and every
-configuration is only required to preserve the candidate stream
-exactly.
+``score_batch``), and the probe-exec reduction of the canonical probe
+planner (round-level probe fusion). Set ``REPRO_PERF_STRICT=1``
+(multi-core hosts only — SQLite probe execution releases the GIL, but
+a single core has nothing to run the extra workers on) to turn the
+targets into hard assertions: ≥1.5x for threads, ≥1.1x for processes
+(which pay per-enumeration worker spawn + job pickling before their
+CPU-bound parallelism pays off), for the warm-cache run zero probe
+misses plus no slowdown, for the batched-guidance repeat run zero
+model calls, and for the planner-batched run strictly fewer executed
+``Database.execute`` statements than planner-off; by default the
+numbers are recorded, and every configuration is only required to
+preserve the candidate stream exactly.
 
 Scale with ``REPRO_BENCH_FULL=1`` like the other benchmarks.
 """
@@ -74,12 +76,13 @@ def workload():
 
 
 def run_workload(workload, workers: int, backend: str = "threads",
-                 caches=None):
+                 caches=None, probe_planner: str = "off"):
     """Enumerate every task; returns (candidates, elapsed, cand/sec).
 
     ``caches`` optionally maps ``id(db)`` to a ``SharedProbeCache``,
     mirroring the harness's per-database sharing (and enabling the
-    cold-vs-warm comparison below).
+    cold-vs-warm comparison below); ``probe_planner`` selects the
+    probe-planner mode for the planner-on/off comparison.
     """
     from repro.core.enumerator import Enumerator, EnumeratorConfig
 
@@ -87,7 +90,8 @@ def run_workload(workload, workers: int, backend: str = "threads",
     config = EnumeratorConfig(engine="best-first", workers=workers,
                               verify_backend=backend,
                               max_candidates=MAX_CANDIDATES,
-                              max_expansions=MAX_EXPANSIONS)
+                              max_expansions=MAX_EXPANSIONS,
+                              probe_planner=probe_planner)
     emitted = 0
     start = time.monotonic()
     for task, db, tsq in tasks:
@@ -215,6 +219,68 @@ def test_guidance_batching_amortisation(benchmark, workload):
     if os.environ.get("REPRO_PERF_STRICT", "") == "1":
         assert repeat.unique_scored == 0, \
             f"repeat run still scored {repeat.unique_scored} requests"
+
+
+def test_probe_planner_batching(benchmark, workload):
+    """Probe-exec reduction from the canonical probe planner.
+
+    The workload runs planner-off and planner-batch (workers=4, so
+    expansion rounds carry several sibling candidates whose probes can
+    fuse); both runs use fresh per-task probe caches, so the comparison
+    isolates the planner. Recorded: executed statements on the probe
+    path (individual probes + fused multi-probe statements) for both
+    runs, the reduction ratio, and the plan-cache counters. Strict mode
+    asserts the batched run issues strictly fewer ``Database.execute``
+    calls than the unbatched one; the candidate stream must match
+    exactly either way (probe answers are facts of the database).
+    """
+    model, tasks = workload
+    dbs = {id(db): db for _, db, _ in tasks}
+
+    def probe_stmts(deltas):
+        return sum(d.per_kind.get("probe", 0)
+                   + d.per_kind.get("probe_batch", 0) for d in deltas)
+
+    def total_stmts(deltas):
+        return sum(d.statements for d in deltas)
+
+    def measured(planner):
+        before = {key: db.stats.snapshot() for key, db in dbs.items()}
+        emitted, elapsed, _ = run_workload(workload,
+                                           workers=PARALLEL_WORKERS,
+                                           probe_planner=planner)
+        deltas = [db.stats.delta_since(before[key])
+                  for key, db in dbs.items()]
+        return emitted, elapsed, deltas
+
+    off_emitted, off_elapsed, off_deltas = measured("off")
+    emitted, elapsed, batch_deltas = run_once(
+        benchmark, lambda: measured("batch"))
+    off_probe, batch_probe = probe_stmts(off_deltas), \
+        probe_stmts(batch_deltas)
+    off_total, batch_total = total_stmts(off_deltas), \
+        total_stmts(batch_deltas)
+    reduction = 1.0 - (batch_probe / off_probe) if off_probe else 0.0
+    benchmark.extra_info["probe_stmts_off"] = off_probe
+    benchmark.extra_info["probe_stmts_batch"] = batch_probe
+    benchmark.extra_info["stmts_off"] = off_total
+    benchmark.extra_info["stmts_batch"] = batch_total
+    benchmark.extra_info["probe_stmt_reduction"] = round(reduction, 3)
+    print(f"\n[perf] probe planner: {off_probe} probe-path statements "
+          f"off -> {batch_probe} batched ({100.0 * reduction:.1f}% "
+          f"fewer; total {off_total} -> {batch_total}; off "
+          f"{off_elapsed:.2f}s, batch {elapsed:.2f}s)")
+    # The planner must never change the result stream...
+    assert emitted == off_emitted
+    # ...and must actually fuse something on this workload.
+    assert batch_probe > 0
+    if os.environ.get("REPRO_PERF_STRICT", "") == "1":
+        assert batch_total < off_total, \
+            f"batched run executed {batch_total} statements vs " \
+            f"{off_total} unbatched"
+        assert batch_probe < off_probe, \
+            f"batched run issued {batch_probe} probe-path statements " \
+            f"vs {off_probe} unbatched"
 
 
 def test_warm_cache_speedup(benchmark, workload, tmp_path):

@@ -69,8 +69,18 @@ def score_request(request: Dict[str, object]) -> List[float]:
     return scores
 
 
+PROTOCOL_VERSION = 1
+
+
 def score_batch(payload: Dict[str, object]) -> Dict[str, object]:
-    """The response object for one request line."""
+    """The response object for one request line.
+
+    A ``hello`` line is the client's connection handshake: answer with
+    this server's protocol version so the client can reject a
+    version-incompatible peer up front instead of mis-parsing scores.
+    """
+    if payload.get("hello"):
+        return {"id": payload.get("id"), "v": PROTOCOL_VERSION}
     requests: Sequence[Dict[str, object]] = payload.get("requests", ())
     return {"id": payload.get("id"),
             "scores": [score_request(request) for request in requests]}

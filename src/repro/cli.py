@@ -42,7 +42,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                                   beam_width=args.beam_width,
                                   guidance_batch=args.guidance_batch,
                                   guidance_cache_size=args.guidance_cache_size,
-                                  guidance_server=args.guidance_server)
+                                  guidance_server=args.guidance_server,
+                                  probe_planner=args.probe_planner)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -80,6 +81,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
               f"pruned, cache hit rate "
               f"{100.0 * telemetry.cache_hit_rate:.1f}%{warm}, "
               f"{telemetry.wall_time:.2f}s")
+        if telemetry.probe_planner != "off":
+            print(f"[planner] mode {telemetry.probe_planner}: "
+                  f"{telemetry.probe_compiles} plans compiled, "
+                  f"{telemetry.probe_plan_hits} plan hits, "
+                  f"{telemetry.probe_batch_stmts} fused statements, "
+                  f"{telemetry.probe_batch_fallbacks} fused fallbacks")
         if telemetry.guidance_batched:
             served = " (degraded to the local model)" \
                 if telemetry.guidance_degraded else ""
@@ -111,7 +118,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             beam_width=args.beam_width, cache_dir=args.cache_dir,
             guidance_batch=args.guidance_batch,
             guidance_cache_size=args.guidance_cache_size,
-            guidance_server=args.guidance_server)
+            guidance_server=args.guidance_server,
+            probe_planner=args.probe_planner)
         sim_config.enumerator_config()  # validate the combination early
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -127,8 +135,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                    for r in records if r.telemetry is not None)
         print(f"\n[cache] warm-start probe hits: {warm} "
               f"(store: {args.cache_dir})")
+    gpqe = [r.telemetry for r in records if r.telemetry is not None]
+    if sim_config.probe_planner != "off":
+        plan_hits = sum(t.get("probe_plan_hits", 0) for t in gpqe)
+        compiles = sum(t.get("probe_compiles", 0) for t in gpqe)
+        fused = sum(t.get("probe_batch_stmts", 0) for t in gpqe)
+        fallbacks = sum(t.get("probe_batch_fallbacks", 0) for t in gpqe)
+        # Pool degrades are not a planner metric, but a degraded pool
+        # runs the planner's prefetch inline, so the smoke gate watches
+        # both alongside the planner's own fused-statement fallbacks.
+        degraded = sum(1 for t in gpqe if t.get("snapshot_degraded"))
+        print(f"\n[planner] mode {sim_config.probe_planner}: probe plan "
+              f"hits: {plan_hits}, {compiles} plans compiled, {fused} "
+              f"fused statements, {fallbacks} fused fallbacks, "
+              f"{degraded} degraded tasks")
     if sim_config.guidance_batch or sim_config.guidance_server:
-        gpqe = [r.telemetry for r in records if r.telemetry is not None]
         scored = sum(t.get("guide_calls", 0) for t in gpqe)
         requests = sum(t.get("guide_requests", 0) for t in gpqe)
         cache_hits = sum(t.get("guide_hits", 0) for t in gpqe)
@@ -212,7 +233,7 @@ def _positive_int(text: str) -> int:
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """Search-engine selection flags shared by the GPQE subcommands."""
-    from .core import ENGINES, VERIFY_BACKENDS
+    from .core import ENGINES, PROBE_PLANNER_MODES, VERIFY_BACKENDS
 
     parser.add_argument("--engine", choices=ENGINES, default="best-first",
                         help="search strategy (default: best-first, which "
@@ -235,6 +256,16 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                              "warm-start from it (keyed by database "
                              "content hash, stale entries invalidated "
                              "automatically)")
+    parser.add_argument("--probe-planner", dest="probe_planner",
+                        choices=PROBE_PLANNER_MODES, default="off",
+                        help="canonical probe planner: 'plan' compiles "
+                             "verifier probes into shared parameterised "
+                             "plans (one prepared statement and one "
+                             "cache entry per probe structure), 'batch' "
+                             "additionally fuses each round's sibling "
+                             "probes into multi-probe UNION ALL "
+                             "statements; never changes the candidate "
+                             "stream (PlanHit telemetry column)")
     parser.add_argument("--guidance-batch", dest="guidance_batch",
                         action="store_true",
                         help="deduplicate and cache guidance decisions "

@@ -5,6 +5,8 @@ from .enumerator import Candidate, Enumerator, EnumeratorConfig
 from .joins import JoinPathBuilder
 from .search import (
     ENGINES,
+    PROBE_PLANNER_MODES,
+    ProbePlanner,
     SearchEngine,
     SearchTelemetry,
     VERIFY_BACKENDS,
@@ -45,6 +47,8 @@ __all__ = [
     "EnumeratorConfig",
     "ExactCell",
     "JoinPathBuilder",
+    "PROBE_PLANNER_MODES",
+    "ProbePlanner",
     "RangeCell",
     "Rule",
     "RuleSet",

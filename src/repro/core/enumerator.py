@@ -76,6 +76,7 @@ from .search import (
     SearchTelemetry,
     UNRESOLVED_DECISION,
     make_frontier,
+    validate_probe_planner,
     validate_verification_config,
 )
 from .tsq import TableSketchQuery
@@ -125,6 +126,14 @@ class EnumeratorConfig:
     #: examples/guidance_server.py); implies guidance_batch. Server
     #: failures degrade visibly to the local model.
     guidance_server: Optional[str] = None
+    #: probe-planner mode (see repro.core.search.planner): "off" keeps
+    #: the raw-SQL probe path, "plan" compiles probes into shared
+    #: parameterised plans (canonical cache keys), "batch" additionally
+    #: fuses each round's sibling probes into multi-probe statements.
+    #: Never changes the candidate stream (probe answers are facts of
+    #: the database); observable in the probe_compiles/probe_plan_hits/
+    #: probe_batch_stmts telemetry and in statement counts.
+    probe_planner: str = "off"
 
     def __post_init__(self) -> None:
         # Reject bad worker counts here, at the configuration boundary,
@@ -134,6 +143,7 @@ class EnumeratorConfig:
             raise ValueError(f"workers must be a positive integer "
                              f"(got {self.workers!r})")
         validate_verification_config(self.verify_backend, self.workers)
+        validate_probe_planner(self.probe_planner)
         if not isinstance(self.guidance_cache_size, int) \
                 or self.guidance_cache_size < 1:
             raise ValueError(f"guidance_cache_size must be a positive "
@@ -194,7 +204,8 @@ class Enumerator:
             db, tsq=self.tsq, literals=nlq.literals,
             config=VerifierConfig(
                 check_semantics=self.config.check_semantics,
-                verify_partial=self.config.verify_partial),
+                verify_partial=self.config.verify_partial,
+                probe_planner=self.config.probe_planner),
             probe_cache=probe_cache)
         self._ctx = GuidanceContext(nlq=nlq, schema=self.schema,
                                     gold=gold, task_id=task_id)

@@ -72,6 +72,13 @@ from .parallel import (
     make_verification_pool,
     validate_verification_config,
 )
+from .planner import (
+    PROBE_PLANNER_MODES,
+    PlannerCounters,
+    ProbePlan,
+    ProbePlanner,
+    validate_probe_planner,
+)
 from .scheduler import DecisionScheduler
 from .telemetry import SearchTelemetry
 
@@ -84,10 +91,14 @@ __all__ = [
     "ENGINES",
     "Frontier",
     "NO_JOIN_PATH",
+    "PROBE_PLANNER_MODES",
     "PersistentPoolLease",
     "PersistentProbeCache",
     "PersistentProcessPool",
+    "PlannerCounters",
     "PoolManager",
+    "ProbePlan",
+    "ProbePlanner",
     "ProcessVerificationPool",
     "SearchEngine",
     "SearchProblem",
@@ -99,5 +110,6 @@ __all__ = [
     "make_frontier",
     "make_verification_pool",
     "structural_key",
+    "validate_probe_planner",
     "validate_verification_config",
 ]

@@ -10,21 +10,34 @@ to disk, keyed by :meth:`~repro.db.database.Database.content_hash`.
 Repeated eval runs on the same corpus warm-start instead of re-paying
 every probe.
 
+The store is an SQLite database per (schema, content hash) — PR 3
+shipped it as one JSON file rewritten wholesale on every save; at large
+cache sizes that rewrite dominated save time, so saves are now
+**incremental upserts**: only entries the file does not already hold
+are inserted (``INSERT OR IGNORE``), and SQLite's own locking and
+journaling provide the atomicity the JSON store had to build from
+temp-file renames. Probe entries are plain ``key -> outcome`` rows, so
+the store composes with the probe planner unchanged: with the planner
+on, the keys are canonical ``(signature, params)`` strings and a
+warm start serves every rendering of a probe from one row. (Planner-on
+and planner-off runs key probes differently, so a store written under
+one mode simply yields no hits under the other — never wrong answers.)
+
 Design constraints, in order:
 
-* **Correctness over reuse.** A store entry is only loaded when its
-  recorded content hash matches the live database's — if the contents
-  changed, every cached answer is suspect, so a stale hash invalidates
-  the whole file (cold start). Loading is also corruption-safe:
-  truncated or malformed files log a warning and fall back to a cold
+* **Correctness over reuse.** A store is only loaded when its recorded
+  content hash matches the live database's — if the contents changed,
+  every cached answer is suspect, so a stale hash invalidates the whole
+  store (cold start). Loading is also corruption-safe: truncated,
+  malformed, or non-SQLite files log a warning and fall back to a cold
   start; they never crash a run and never poison a cache.
-* **Concurrent writers must not clobber.** Saves are atomic
-  (write-to-temp + ``os.replace``) and *merge* with the entries already
-  on disk, so two harness runs racing to save the same database lose at
-  most the race, never each other's entries, and readers never observe
-  a partially-written file.
-* **Debuggability.** The store is plain JSON, one file per database
-  content hash, human-inspectable with any text editor.
+* **Concurrent writers must not clobber.** Upserts never overwrite
+  (probe answers are immutable facts), writes run in transactions under
+  SQLite's file locking with a busy timeout, so two harness runs racing
+  to save the same database lose at most the race, never each other's
+  entries, and readers never observe a torn store.
+* **Debuggability.** The store is a plain SQLite file, inspectable with
+  the ``sqlite3`` shell (``probes``, ``minmax``, ``meta`` tables).
 
 The store is wired up by :class:`repro.eval.harness.ProbeCacheRegistry`
 (via ``SimulationConfig.cache_dir``) and the ``--cache-dir`` CLI flag;
@@ -39,7 +52,7 @@ import json
 import logging
 import os
 import re
-import tempfile
+import sqlite3
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -54,24 +67,38 @@ StoreEntries = Tuple[Dict[str, bool], Dict[ColumnRef, Tuple]]
 
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
 
+_SCHEMA = (
+    "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)",
+    "CREATE TABLE IF NOT EXISTS probes ("
+    "  key TEXT PRIMARY KEY, outcome INTEGER NOT NULL) WITHOUT ROWID",
+    "CREATE TABLE IF NOT EXISTS minmax ("
+    "  tbl TEXT NOT NULL, col TEXT NOT NULL,"
+    "  low TEXT NOT NULL, high TEXT NOT NULL,"
+    "  PRIMARY KEY (tbl, col)) WITHOUT ROWID",
+)
+
 
 class PersistentProbeCache:
-    """A directory of per-database probe-cache snapshots.
+    """A directory of per-database probe-cache stores.
 
     Usage (what the eval harness does behind ``cache_dir``)::
 
         store = PersistentProbeCache("~/.cache/duoquest")
         cache, loaded = store.warm_cache(db)   # cold start if no file
         ...  # enumerate with Duoquest(db, probe_cache=cache)
-        store.save(db, cache)                  # merge + atomic replace
+        store.save(db, cache)                  # incremental upsert
 
-    One JSON file per database content hash; see the module docstring
+    One SQLite file per database content hash; see the module docstring
     for the invalidation and concurrency contract.
     """
 
     #: Bump when the on-disk layout changes; older formats are treated
-    #: as a cold start rather than migrated.
-    FORMAT = 1
+    #: as a cold start rather than migrated. Format 1 was the JSON
+    #: store (different file extension, so it is simply never opened).
+    FORMAT = 2
+
+    #: How long a writer waits on another writer's transaction (ms).
+    BUSY_TIMEOUT_MS = 5_000
 
     def __init__(self, cache_dir) -> None:
         self.cache_dir = Path(cache_dir).expanduser()
@@ -82,7 +109,13 @@ class PersistentProbeCache:
     def path_for(self, db: Database) -> Path:
         """The store file for ``db``'s current contents."""
         name = _SAFE_NAME.sub("_", db.schema.name) or "db"
-        return self.cache_dir / f"probes-{name}-{db.content_hash()[:16]}.json"
+        return self.cache_dir / \
+            f"probes-{name}-{db.content_hash()[:16]}.sqlite"
+
+    def _connect(self, path: Path) -> sqlite3.Connection:
+        connection = sqlite3.connect(path)
+        connection.execute(f"PRAGMA busy_timeout = {self.BUSY_TIMEOUT_MS}")
+        return connection
 
     # ------------------------------------------------------------------
     # Load
@@ -96,38 +129,42 @@ class PersistentProbeCache:
         a warning; a run never fails because its cache file went bad.
         """
         path = self.path_for(db)
-        try:
-            with open(path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except FileNotFoundError:
+        if not path.exists():
             return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        try:
+            connection = self._connect(path)
+        except sqlite3.Error as exc:  # pragma: no cover - open rarely fails
             logger.warning(
                 "probe-cache store %s is unreadable (%s); cold start",
                 path, exc)
             return None
         try:
-            if payload["format"] != self.FORMAT:
+            meta = dict(connection.execute(
+                "SELECT key, value FROM meta"))
+            if meta.get("format") != str(self.FORMAT):
                 logger.warning(
                     "probe-cache store %s has format %r (expected %r); "
-                    "cold start", path, payload.get("format"), self.FORMAT)
+                    "cold start", path, meta.get("format"), self.FORMAT)
                 return None
-            if payload["content_hash"] != db.content_hash():
+            if meta.get("content_hash") != db.content_hash():
                 logger.warning(
                     "probe-cache store %s was recorded for different "
                     "database contents (stale hash); cold start", path)
                 return None
-            probes = {str(sql): bool(outcome)
-                      for sql, outcome in payload["probes"].items()}
+            probes = {str(key): bool(outcome) for key, outcome in
+                      connection.execute("SELECT key, outcome FROM probes")}
             minmax: Dict[ColumnRef, Tuple] = {}
-            for table, column, low, high in payload["minmax"]:
-                minmax[ColumnRef(table=str(table),
-                                 column=str(column))] = (low, high)
-        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            for table, column, low, high in connection.execute(
+                    "SELECT tbl, col, low, high FROM minmax"):
+                minmax[ColumnRef(table=str(table), column=str(column))] = \
+                    (json.loads(low), json.loads(high))
+        except (sqlite3.Error, ValueError, TypeError, KeyError) as exc:
             logger.warning(
                 "probe-cache store %s is malformed (%s); cold start",
                 path, exc)
             return None
+        finally:
+            connection.close()
         return probes, minmax
 
     def warm_cache(self, db: Database) -> Tuple[SharedProbeCache, int]:
@@ -151,47 +188,71 @@ class PersistentProbeCache:
     def save(self, db: Database, cache: SharedProbeCache) -> Optional[Path]:
         """Persist ``cache`` for ``db``; returns the path written.
 
-        Merges with any valid entries already on disk for the same
-        content hash (union — probe answers are immutable facts, so a
-        concurrent writer's entries are kept, not clobbered) and
-        replaces the file atomically. Returns ``None`` — with a logged
-        warning — if the directory or file cannot be written; a failed
-        save never aborts the run that produced the cache.
+        An incremental upsert: entries already on disk are left alone
+        (``INSERT OR IGNORE`` — probe answers are immutable facts, so a
+        concurrent writer's entries are kept, not clobbered) and only
+        the delta is written, so save cost scales with the new entries,
+        not the store size. Returns ``None`` — with a logged warning —
+        if the store cannot be written; a failed save never aborts the
+        run that produced the cache.
         """
         probes, minmax, _ = cache.export()
-        existing = self.load(db)
-        if existing is not None:
-            for sql, outcome in existing[0].items():
-                probes.setdefault(sql, outcome)
-            for column, bounds in existing[1].items():
-                minmax.setdefault(column, bounds)
-        payload = {
-            "format": self.FORMAT,
-            "schema": db.schema.name,
-            "content_hash": db.content_hash(),
-            "probes": probes,
-            "minmax": [[ref.table, ref.column, bounds[0], bounds[1]]
-                       for ref, bounds in minmax.items()],
-        }
         path = self.path_for(db)
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            fd, temp_path = tempfile.mkstemp(
-                dir=str(self.cache_dir), prefix=path.name + ".",
-                suffix=".tmp")
             try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle)
-                os.replace(temp_path, path)
-            except BaseException:
-                try:
-                    os.unlink(temp_path)
-                except OSError:
-                    pass
+                return self._upsert(path, db, probes, minmax)
+            except sqlite3.OperationalError:
+                # Locked by a concurrent writer past the busy timeout
+                # (or similar transient condition): the store is
+                # healthy, so fail this save — never delete it.
                 raise
-        except (OSError, TypeError, ValueError) as exc:
+            except sqlite3.DatabaseError:
+                # A corrupt / foreign file under the store's name: the
+                # recorded answers are unreadable anyway, so recreate.
+                logger.warning(
+                    "probe-cache store %s is corrupt; recreating", path)
+                os.unlink(path)
+                return self._upsert(path, db, probes, minmax)
+        except (OSError, sqlite3.Error, TypeError, ValueError) as exc:
             logger.warning(
                 "could not persist probe cache to %s (%s); continuing "
                 "without", path, exc)
             return None
+
+    def _upsert(self, path: Path, db: Database, probes, minmax) -> Path:
+        connection = self._connect(path)
+        try:
+            with connection:  # one transaction: readers never see a torn store
+                for statement in _SCHEMA:
+                    connection.execute(statement)
+                recorded = dict(connection.execute(
+                    "SELECT key, value FROM meta"))
+                if recorded and (recorded.get("format") != str(self.FORMAT)
+                                 or recorded.get("content_hash")
+                                 != db.content_hash()):
+                    # Same path, different recorded identity (tampered
+                    # or foreign): its entries are not trustworthy
+                    # facts of *this* database — start the store over.
+                    connection.execute("DELETE FROM meta")
+                    connection.execute("DELETE FROM probes")
+                    connection.execute("DELETE FROM minmax")
+                connection.executemany(
+                    "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                    [("format", str(self.FORMAT)),
+                     ("schema", db.schema.name),
+                     ("content_hash", db.content_hash())])
+                connection.executemany(
+                    "INSERT OR IGNORE INTO probes (key, outcome) "
+                    "VALUES (?, ?)",
+                    [(key, int(outcome))
+                     for key, outcome in probes.items()])
+                connection.executemany(
+                    "INSERT OR IGNORE INTO minmax (tbl, col, low, high) "
+                    "VALUES (?, ?, ?, ?)",
+                    [(ref.table, ref.column,
+                      json.dumps(bounds[0]), json.dumps(bounds[1]))
+                     for ref, bounds in minmax.items()])
+        finally:
+            connection.close()
         return path

@@ -179,6 +179,13 @@ class SearchEngine:
         probe_misses_start = cache.misses
         cross_task_start = cache.cross_task_hits
         warm_start_start = cache.warm_start_hits
+        # The probe planner, like the cache, may be shared across
+        # enumerations (thread forks share the primary's; process
+        # workers fold deltas back into it) — record per-run deltas.
+        planner = getattr(problem.verifier, "planner", None)
+        planner_start = planner.counters.copy() if planner is not None \
+            else None
+        reconnects_start = int(getattr(model, "reconnects", 0))
         start = time.monotonic()
         try:
             if pool.workers != self.workers:
@@ -348,3 +355,12 @@ class SearchEngine:
                     cache.cross_task_hits - cross_task_start
                 telemetry.warm_start_probe_hits = \
                     cache.warm_start_hits - warm_start_start
+                if planner is not None:
+                    delta = planner.counters.delta_since(planner_start)
+                    telemetry.probe_planner = planner.mode
+                    telemetry.probe_compiles = delta.compiles
+                    telemetry.probe_plan_hits = delta.plan_hits
+                    telemetry.probe_batch_stmts = delta.batch_stmts
+                    telemetry.probe_batch_fallbacks = delta.batch_fallbacks
+                telemetry.guidance_reconnects = \
+                    int(getattr(model, "reconnects", 0)) - reconnects_start

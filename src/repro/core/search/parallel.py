@@ -129,7 +129,19 @@ class BaseVerificationPool:
             "%s verification pool degraded to inline verification: %s",
             self.backend, reason)
 
+    def _prefetch(self, verifier: Verifier, jobs: Sequence[Job]) -> None:
+        """Hand the round to the probe planner before verifying it.
+
+        With ``probe_planner="batch"`` the planner fuses the round's
+        pending sibling probes into multi-probe statements and seeds
+        the shared probe cache; the cascade then finds them answered.
+        A no-op otherwise (no planner, or mode ``plan``).
+        """
+        if verifier.planner is not None:
+            verifier.planner.prefetch(verifier, jobs)
+
     def _run_inline(self, jobs: Sequence[Job]) -> List[VerifyResult]:
+        self._prefetch(self.verifier, jobs)
         return [self.verifier.verify(query, treat_as_partial=partial,
                                      record=False)
                 for query, partial in jobs]
@@ -194,6 +206,10 @@ class VerificationPool(BaseVerificationPool):
             return []
         if self._pool is None or len(jobs) == 1:
             return self._run_inline(jobs)
+        # Round batching runs on the primary connection before the
+        # round is dispatched: fused answers land in the shared cache,
+        # so worker threads mostly hit instead of probing individually.
+        self._prefetch(self.verifier, jobs)
         return list(self._pool.map(self._verify_job, jobs))
 
     def close(self) -> None:
@@ -261,25 +277,36 @@ def _verify_batch_with_deltas(verifier: Verifier, jobs: Sequence[Job]):
     """Verify ``jobs`` on ``verifier``; returns results + counter deltas.
 
     The common worker-side epilogue of both process backends: database
-    statement counters and probe-cache hit/miss/cross-task/warm-start
-    counters are returned as deltas (so the primary can fold them in),
-    along with the journal of entries this batch answered.
+    statement counters, probe-cache hit/miss/cross-task/warm-start
+    counters, and probe-planner counters are returned as deltas (so the
+    primary can fold them in), along with the journal of entries this
+    batch answered. Round batching happens here too — each worker's
+    planner (rebuilt from the shipped :class:`VerifierConfig`) fuses
+    its chunk's probes against its own database connection before the
+    cascade runs.
     """
     cache = verifier.probe_cache
+    planner = verifier.planner
     stats_before = verifier.db.stats.snapshot()
     hits, misses = cache.hits, cache.misses
     cross = cache.cross_task_hits
     warm = cache.warm_start_hits
+    planner_before = planner.counters.copy() if planner is not None else None
+    if planner is not None:
+        planner.prefetch(verifier, jobs)
     results = [verifier.verify(query, treat_as_partial=partial,
                                record=False)
                for query, partial in jobs]
+    planner_delta = planner.counters.delta_since(planner_before).as_tuple() \
+        if planner is not None else None
     return (results,
             verifier.db.stats.delta_since(stats_before),
             cache.hits - hits,
             cache.misses - misses,
             cache.cross_task_hits - cross,
             cache.warm_start_hits - warm,
-            cache.drain_journal())
+            cache.drain_journal(),
+            planner_delta)
 
 
 class ProcessVerificationPool(BaseVerificationPool):
@@ -355,11 +382,14 @@ class ProcessVerificationPool(BaseVerificationPool):
             return self._run_inline(jobs)
         results: List[VerifyResult] = []
         cache = self.verifier.probe_cache
-        for batch_results, stats, hits, misses, cross, warm, journal \
-                in outcomes:
+        planner = self.verifier.planner
+        for batch_results, stats, hits, misses, cross, warm, journal, \
+                planner_delta in outcomes:
             results.extend(batch_results)
             self.verifier.db.merge_stats(stats)
             cache.merge_remote(hits, misses, cross, warm, *journal)
+            if planner is not None and planner_delta is not None:
+                planner.merge_remote(planner_delta)
         return results
 
     def close(self) -> None:
@@ -493,11 +523,14 @@ class PersistentPoolLease(BaseVerificationPool):
             return self._run_inline(jobs)
         results: List[VerifyResult] = []
         cache = self.verifier.probe_cache
-        for batch_results, stats, hits, misses, cross, warm, journal \
-                in outcomes:
+        planner = self.verifier.planner
+        for batch_results, stats, hits, misses, cross, warm, journal, \
+                planner_delta in outcomes:
             results.extend(batch_results)
             self.verifier.db.merge_stats(stats)
             cache.merge_remote(hits, misses, cross, warm, *journal)
+            if planner is not None and planner_delta is not None:
+                planner.merge_remote(planner_delta)
         return results
 
     def close(self) -> None:

@@ -1,0 +1,310 @@
+"""Canonical probe planner: parameterised plan cache + round batching.
+
+Every probe the verifier cascade issues used to be rendered to a fresh
+SQL string and executed one round-trip at a time — sibling candidates in
+an expansion round share join prefixes and clause subsets, so SQLite
+re-parsed near-identical statements thousands of times per task. The
+planner sits between :class:`~repro.core.verifier.Verifier` and
+:class:`~repro.db.database.Database` and factors that shared structure
+out, in two stacked modes:
+
+* **``plan``** — every probe is canonicalised
+  (:func:`repro.sqlir.canon.canonicalize_probe`) into a literal-stripped
+  parameterised statement plus a parameter tuple. Probes sharing a
+  structural signature execute through one SQL string — which the
+  ``sqlite3`` module maps to one cached prepared plan per connection —
+  and share one probe-cache entry keyed by
+  :func:`~repro.sqlir.canon.probe_plan_key` (``(signature, params)``
+  folded to a string), so semantically identical probes with different
+  renderings (whitespace, literal position) hit the same entry. Param
+  keys are type-exact — see ``canon._normalise_param`` for why folding
+  int/float values would be unsound under TEXT affinity.
+
+* **``batch``** — everything ``plan`` does, plus round-level fusion: the
+  verification pool backends hand the planner whole rounds of jobs
+  before verifying them, and :meth:`ProbePlanner.prefetch` collects the
+  rounds' pending existence probes, groups the uncached ones by join
+  skeleton (the FROM clause of the parameterised statement), fuses each
+  group into one multi-probe statement — a ``UNION ALL`` of tagged
+  ``SELECT 1 ... LIMIT 1`` arms — executes it once, and scatters the
+  per-arm outcomes into the shared probe cache. The cascade then runs
+  unchanged and finds its probes already answered, so its per-candidate
+  :class:`~repro.core.verifier.VerifyResult` stream is untouched.
+
+Probe answers are facts of the database contents, so neither mode can
+change a verification outcome: candidate streams and verifier stats
+stay bit-for-bit identical with the planner on (locked in by
+``tests/core/test_search_equivalence.py``). A fused statement whose
+arms cannot execute falls back to individual probing, preserving the
+cascade's probe-error semantics exactly. Amortisation is observable in
+telemetry (``probe_compiles`` / ``probe_plan_hits`` /
+``probe_batch_stmts``, the ``PlanHit`` column of ``search_report``) and
+in the statement counters of :class:`~repro.db.database.ExecutionStats`
+(the planner benchmark asserts a batched run executes strictly fewer
+statements).
+
+Thread safety: one planner is shared by a verifier and all its
+thread-pool forks (the same sharing discipline as the probe cache), so
+plan-cache lookups and counter updates take a lock; statement execution
+runs outside it. Process-pool workers build their own planner from the
+shipped :class:`~repro.core.verifier.VerifierConfig` and their counter
+deltas are folded back with each batch.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...db.database import Database
+from ...errors import ExecutionError
+from ...sqlir.canon import canonicalize_probe, probe_plan_key
+from ...sqlir.types import Value
+
+logger = logging.getLogger(__name__)
+
+#: Recognised planner modes (CLI/config validation). ``off`` disables
+#: the planner entirely (the pre-planner raw-SQL probe path).
+PROBE_PLANNER_MODES = ("off", "plan", "batch")
+
+#: Upper bound on arms fused into one multi-probe statement; keeps the
+#: parameter count comfortably under SQLite's variable limit and the
+#: statement under the compound-select term limit.
+MAX_FUSED_ARMS = 64
+
+
+def validate_probe_planner(mode: str) -> str:
+    """Reject unknown planner modes at the configuration boundary."""
+    if mode not in PROBE_PLANNER_MODES:
+        raise ValueError(f"unknown probe_planner {mode!r}; expected one "
+                         f"of {PROBE_PLANNER_MODES}")
+    return mode
+
+
+@dataclass(frozen=True)
+class ProbePlan:
+    """One raw probe statement, compiled.
+
+    ``sql`` is the literal-stripped parameterised statement (the
+    structural signature — equal strings share a prepared plan),
+    ``params`` the literals stripped out of this particular probe, and
+    ``key`` the shared probe-cache key derived from both.
+    """
+
+    sql: str
+    params: Tuple[Value, ...]
+    key: str
+
+
+@dataclass
+class PlannerCounters:
+    """What the planner saved, as running totals.
+
+    The search engine snapshots these at run start and records per-run
+    deltas into telemetry — the same delta discipline as the shared
+    probe cache, so a planner shared across tasks never attributes one
+    task's traffic to another.
+    """
+
+    #: unique structural signatures consumed (first use of a shape)
+    compiles: int = 0
+    #: probes served by an already-compiled signature (plan reuse)
+    plan_hits: int = 0
+    #: fused multi-probe statements executed by round prefetching
+    batch_stmts: int = 0
+    #: probes answered inside fused statements (arms executed)
+    batched_probes: int = 0
+    #: fused statements that failed and fell back to individual probing
+    batch_fallbacks: int = 0
+
+    def copy(self) -> "PlannerCounters":
+        return PlannerCounters(self.compiles, self.plan_hits,
+                               self.batch_stmts, self.batched_probes,
+                               self.batch_fallbacks)
+
+    def delta_since(self, earlier: "PlannerCounters") -> "PlannerCounters":
+        return PlannerCounters(
+            self.compiles - earlier.compiles,
+            self.plan_hits - earlier.plan_hits,
+            self.batch_stmts - earlier.batch_stmts,
+            self.batched_probes - earlier.batched_probes,
+            self.batch_fallbacks - earlier.batch_fallbacks)
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        """Picklable form for the worker-batch delta protocol."""
+        return (self.compiles, self.plan_hits, self.batch_stmts,
+                self.batched_probes, self.batch_fallbacks)
+
+
+class ProbePlanner:
+    """Compiles probes once per structural signature; fuses rounds.
+
+    One planner serves one database's verifier (and every thread fork
+    of it); its plan cache maps raw rendered SQL to the compiled
+    :class:`ProbePlan`, so repeated renderings canonicalise once.
+    """
+
+    def __init__(self, mode: str = "plan"):
+        if validate_probe_planner(mode) == "off":
+            raise ValueError("a ProbePlanner is never constructed for "
+                             "mode 'off'; leave the verifier's planner "
+                             "unset instead")
+        self.mode = mode
+        self.counters = PlannerCounters()
+        self._plans: Dict[str, ProbePlan] = {}
+        #: signatures the *cascade* has consumed (counter accounting);
+        #: disjoint from the plan cache itself, so prefetch-compiled
+        #: plans do not skew the compile/hit split between modes
+        self._counted: set = set()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+    def plan_for(self, sql: str, count: bool = True) -> ProbePlan:
+        """The compiled plan for a raw probe statement.
+
+        ``count=False`` compiles without touching the compile/hit
+        counters at all — used by the prefetch pass, so a probe is
+        counted exactly once, when the cascade actually consumes it,
+        and ``plan``/``batch`` telemetry stay comparable.
+        """
+        with self._lock:
+            plan = self._plans.get(sql)
+        if plan is None:
+            param_sql, params = canonicalize_probe(sql)
+            plan = ProbePlan(sql=param_sql, params=params,
+                             key=probe_plan_key(param_sql, params))
+            with self._lock:
+                plan = self._plans.setdefault(sql, plan)
+        if count:
+            with self._lock:
+                if plan.sql in self._counted:
+                    self.counters.plan_hits += 1
+                else:
+                    self._counted.add(plan.sql)
+                    self.counters.compiles += 1
+        return plan
+
+    def probe(self, db: Database, cache, sql: str) -> bool:
+        """Answer one probe through the plan cache + shared probe cache.
+
+        ``cache`` is the verifier's
+        :class:`~repro.core.verifier.SharedProbeCache`; the entry is
+        keyed canonically, so every rendering of a semantically
+        identical probe shares it.
+        """
+        plan = self.plan_for(sql)
+        return cache.probe_keyed(db, plan.key, plan.sql, plan.params)
+
+    # ------------------------------------------------------------------
+    # Round batching
+    # ------------------------------------------------------------------
+    def prefetch(self, verifier, jobs: Sequence[Tuple]) -> int:
+        """Fuse and execute a round's pending probes ahead of the
+        cascade; returns the number of probes answered by fusion.
+
+        ``jobs`` is the round's ``(query, treat_as_partial)`` sequence
+        exactly as the verification pool received it. Probes already in
+        the cache (or repeated within the round) are skipped; groups
+        that end up with a single arm are left for the cascade to
+        execute individually (same statement count either way). A
+        no-op unless the planner mode is ``batch``.
+        """
+        if self.mode != "batch" or not jobs:
+            return 0
+        cache = verifier.probe_cache
+        pending: List[ProbePlan] = []
+        seen: set = set()
+        for query, treat_as_partial in jobs:
+            for raw in verifier.pending_probe_sql(query, treat_as_partial):
+                plan = self.plan_for(raw, count=False)
+                if plan.key in seen or cache.peek(plan.key) is not None:
+                    continue
+                seen.add(plan.key)
+                pending.append(plan)
+        if not pending:
+            return 0
+        answered = 0
+        for group in self._grouped(pending):
+            if len(group) < 2:
+                continue
+            for start in range(0, len(group), MAX_FUSED_ARMS):
+                answered += self._execute_fused(
+                    verifier.db, cache, group[start:start + MAX_FUSED_ARMS])
+        return answered
+
+    @staticmethod
+    def _skeleton(plan: ProbePlan) -> str:
+        """The join-skeleton grouping key: the statement's FROM clause.
+
+        Sibling probes against the same skeleton fuse together, so the
+        arms of one fused statement scan the same tables — which is
+        where the shared-structure win lives; probes over different
+        skeletons go into different statements.
+        """
+        sql = plan.sql
+        start = sql.find(" FROM ")
+        end = sql.rfind(" WHERE ")
+        if start < 0 or end <= start:
+            return sql
+        return sql[start + 6:end]
+
+    def _grouped(self, pending: Sequence[ProbePlan]) -> List[List[ProbePlan]]:
+        groups: Dict[str, List[ProbePlan]] = {}
+        for plan in pending:
+            groups.setdefault(self._skeleton(plan), []).append(plan)
+        return list(groups.values())
+
+    def _execute_fused(self, db: Database, cache,
+                       plans: Sequence[ProbePlan]) -> int:
+        """Execute one fused multi-probe statement and seed the cache.
+
+        Each arm is wrapped so its ``LIMIT 1`` applies per probe::
+
+            SELECT 0 AS tag FROM (SELECT 1 ... LIMIT 1)
+            UNION ALL SELECT 1 FROM (SELECT 1 ... LIMIT 1) ...
+
+        A returned tag means that arm's probe found a row. On any
+        execution error the statement is abandoned — the cascade will
+        probe individually, preserving the per-probe error semantics
+        (an unexecutable probe draws no conclusion) exactly.
+        """
+        parts = []
+        params: List[Value] = []
+        for tag, plan in enumerate(plans):
+            column = " AS probe_tag" if tag == 0 else ""
+            parts.append(f"SELECT {tag}{column} FROM ({plan.sql})")
+            params.extend(plan.params)
+        fused = " UNION ALL ".join(parts)
+        try:
+            rows = db.execute(fused, params, max_rows=len(plans),
+                              kind="probe_batch")
+        except ExecutionError as exc:
+            with self._lock:
+                self.counters.batch_fallbacks += 1
+            logger.debug("fused probe statement failed (%s); falling back "
+                         "to individual probes", exc)
+            return 0
+        matched = {row[0] for row in rows}
+        for tag, plan in enumerate(plans):
+            cache.record_probe(plan.key, tag in matched)
+        with self._lock:
+            self.counters.batch_stmts += 1
+            self.counters.batched_probes += len(plans)
+        return len(plans)
+
+    # ------------------------------------------------------------------
+    # Worker-delta folding (process pools)
+    # ------------------------------------------------------------------
+    def merge_remote(self, delta: Tuple[int, int, int, int, int]) -> None:
+        """Fold a worker planner's counter deltas into this one."""
+        compiles, plan_hits, batch_stmts, batched, fallbacks = delta
+        with self._lock:
+            self.counters.compiles += compiles
+            self.counters.plan_hits += plan_hits
+            self.counters.batch_stmts += batch_stmts
+            self.counters.batched_probes += batched
+            self.counters.batch_fallbacks += fallbacks

@@ -75,6 +75,19 @@ class SearchTelemetry:
     #: True when verification ran on a warm pool leased from a
     #: harness-owned PoolManager (no worker spawn, no snapshot priming)
     pool_reused: bool = False
+    #: probe-planner mode for this run ("off", "plan", or "batch")
+    probe_planner: str = "off"
+    #: unique probe structures compiled to parameterised plans this run
+    probe_compiles: int = 0
+    #: probes served by an already-compiled plan (the PlanHit column)
+    probe_plan_hits: int = 0
+    #: fused multi-probe statements executed by round batching
+    probe_batch_stmts: int = 0
+    #: fused statements that failed and fell back to individual probes
+    #: (nonzero means round batching is degrading on this workload)
+    probe_batch_fallbacks: int = 0
+    #: successful guidance-server reconnects after a failure
+    guidance_reconnects: int = 0
 
     def record_prune(self, stage: str, partial: bool) -> None:
         if partial:
@@ -121,5 +134,11 @@ class SearchTelemetry:
             "cross_task_probe_hits": self.cross_task_probe_hits,
             "warm_start_probe_hits": self.warm_start_probe_hits,
             "pool_reused": self.pool_reused,
+            "probe_planner": self.probe_planner,
+            "probe_compiles": self.probe_compiles,
+            "probe_plan_hits": self.probe_plan_hits,
+            "probe_batch_stmts": self.probe_batch_stmts,
+            "probe_batch_fallbacks": self.probe_batch_fallbacks,
+            "guidance_reconnects": self.guidance_reconnects,
             "cache_hit_rate": self.cache_hit_rate,
         }

@@ -86,6 +86,11 @@ class VerifierConfig:
     #: full satisfaction check; candidates that blow the budget (typically
     #: runaway join paths) are rejected.
     execution_budget_ms: int = 250
+    #: Probe-planner mode ("off", "plan", or "batch" — see
+    #: :mod:`repro.core.search.planner`). Part of the verifier config so
+    #: it ships to process-pool workers with the rest of the verifier
+    #: state; worker verifiers rebuild their own planner from it.
+    probe_planner: str = "off"
 
 
 class SharedProbeCache:
@@ -263,29 +268,62 @@ class SharedProbeCache:
     # Lookup
     # ------------------------------------------------------------------
     def probe(self, db: Database, sql: str) -> bool:
+        """Answer a raw-SQL probe, keyed by its text (planner off)."""
+        return self.probe_keyed(db, sql, sql)
+
+    def probe_keyed(self, db: Database, key: str, sql: str,
+                    params: Sequence[Value] = ()) -> bool:
+        """Answer a probe memoised under an explicit ``key``.
+
+        The probe planner routes probes here with the canonical
+        ``(signature, params)`` key and the parameterised statement, so
+        every rendering of a semantically identical probe shares one
+        cache entry; :meth:`probe` is the degenerate raw-text case.
+        """
         with self._lock:
-            if sql in self._probes:
+            if key in self._probes:
                 self.hits += 1
-                generation = self._probe_gen[sql]
+                generation = self._probe_gen[key]
                 if generation == self.WARM_GENERATION:
                     self.warm_start_hits += 1
                 elif generation < self._generation:
                     self.cross_task_hits += 1
-                return self._probes[sql]
+                return self._probes[key]
         try:
-            outcome = db.exists(sql)
+            outcome = db.exists(sql, params)
         except ExecutionError:
             # A probe that cannot execute draws no conclusion; pruning
             # must stay sound, so treat it as satisfied.
             outcome = True
         with self._lock:
             self.misses += 1
-            if sql not in self._probes:
-                self._probes[sql] = outcome
-                self._probe_gen[sql] = self._generation
+            if key not in self._probes:
+                self._probes[key] = outcome
+                self._probe_gen[key] = self._generation
                 if self._journal is not None:
-                    self._journal[0].append((sql, outcome))
-            return self._probes[sql]
+                    self._journal[0].append((key, outcome))
+            return self._probes[key]
+
+    def peek(self, key: str) -> Optional[bool]:
+        """The cached outcome for ``key``, or ``None`` — no counters
+        touched, no probe executed (the planner's prefetch filter)."""
+        with self._lock:
+            return self._probes.get(key)
+
+    def record_probe(self, key: str, outcome: bool) -> None:
+        """Insert a probe answered out of band (a fused prefetch arm).
+
+        Counted as a miss — the answer was computed, not served from
+        the cache — and journalled like any other insert, so fused
+        answers flow to worker processes and the persistent store.
+        """
+        with self._lock:
+            self.misses += 1
+            if key not in self._probes:
+                self._probes[key] = outcome
+                self._probe_gen[key] = self._generation
+                if self._journal is not None:
+                    self._journal[0].append((key, outcome))
 
     def minmax(self, db: Database,
                column: ColumnRef) -> Tuple[Optional[Value], Optional[Value]]:
@@ -317,7 +355,8 @@ class Verifier:
                  literals: Sequence[Literal] = (),
                  config: Optional[VerifierConfig] = None,
                  rules: Optional[RuleSet] = None,
-                 probe_cache: Optional[SharedProbeCache] = None):
+                 probe_cache: Optional[SharedProbeCache] = None,
+                 planner: Optional[object] = None):
         self.db = db
         self.schema: Schema = db.schema
         self.tsq = tsq if tsq is not None else TableSketchQuery()
@@ -331,18 +370,28 @@ class Verifier:
         # first verifier attaches to it.
         self.probe_cache = probe_cache if probe_cache is not None \
             else SharedProbeCache()
+        #: optional ProbePlanner routing probes through parameterised
+        #: plans (see repro.core.search.planner); built from the config
+        #: unless a fork/caller shares one. Imported lazily to avoid a
+        #: package cycle (core.search imports this module at load time).
+        if planner is None and self.config.probe_planner != "off":
+            from .search.planner import ProbePlanner
+            planner = ProbePlanner(self.config.probe_planner)
+        self.planner = planner
 
     def fork(self, db: Database) -> "Verifier":
         """A verifier over ``db`` sharing this one's probe cache.
 
         Used by the parallel verification stage: each worker thread gets
         its own fork bound to its own database connection, while all
-        forks memoise probes through the one shared cache. Stats are
+        forks memoise probes through the one shared cache (and route
+        them through the one shared planner, when configured). Stats are
         per-fork; the search engine records outcomes centrally instead.
         """
         return Verifier(db, tsq=self.tsq, literals=self.literals,
                         config=self.config, rules=self.rules,
-                        probe_cache=self.probe_cache)
+                        probe_cache=self.probe_cache,
+                        planner=self.planner)
 
     # ------------------------------------------------------------------
     def verify(self, query: Query, treat_as_partial: bool = False,
@@ -493,11 +542,50 @@ class Verifier:
                 f"{prefix}{name} <= {quote_literal(cell.high)}")
 
     def _probe(self, sql: str) -> bool:
+        if self.planner is not None:
+            return self.planner.probe(self.db, self.probe_cache, sql)
         return self.probe_cache.probe(self.db, sql)
 
     def _column_minmax(self, column: ColumnRef) -> Tuple[Optional[Value],
                                                          Optional[Value]]:
         return self.probe_cache.minmax(self.db, column)
+
+    def _iter_column_cell_checks(self, query: Query, example):
+        """The column-stage checks one example induces, in cell order.
+
+        Yields ``("avg", (column, cell))`` for AVG min/max range checks
+        and ``("probe", sql)`` for existence probes. The single source
+        of truth for which cells are checkable — consumed by
+        :meth:`_verify_by_column` and by the probe planner's prefetch
+        (:meth:`pending_probe_sql`), so the two can never drift.
+        """
+        for index, item in enumerate(query.select):
+            if index >= len(example):
+                break
+            if isinstance(item, Hole) or not isinstance(item, SelectItem):
+                continue
+            if not item.is_complete:
+                continue
+            assert isinstance(item.agg, AggOp)
+            assert isinstance(item.column, ColumnRef)
+            cell = example[index]
+            if isinstance(cell, EmptyCell):
+                continue
+            if item.column.is_star or item.agg in (AggOp.COUNT,
+                                                   AggOp.SUM):
+                # No conclusion can be drawn for partial queries with
+                # COUNT/SUM projections (Section 3.4).
+                continue
+            if item.agg is AggOp.AVG:
+                yield "avg", (item.column, cell)
+                continue
+            # NONE / MIN / MAX produce an exact value from the column.
+            condition = self._cell_condition(item.column, cell)
+            if condition is None:
+                continue
+            yield "probe", (f"SELECT 1 FROM "
+                            f"{quote_ident(item.column.table)} "
+                            f"WHERE {condition} LIMIT 1")
 
     def _verify_by_column(self, query: Query) -> VerifyResult:
         if not self.tsq.tuples or isinstance(query.select, Hole):
@@ -505,35 +593,13 @@ class Verifier:
         failing_examples = 0
         for example in self.tsq.tuples:
             example_failed = False
-            for index, item in enumerate(query.select):
-                if index >= len(example):
-                    break
-                if isinstance(item, Hole) or not isinstance(item, SelectItem):
-                    continue
-                if not item.is_complete:
-                    continue
-                assert isinstance(item.agg, AggOp)
-                assert isinstance(item.column, ColumnRef)
-                cell = example[index]
-                if isinstance(cell, EmptyCell):
-                    continue
-                if item.column.is_star or item.agg in (AggOp.COUNT,
-                                                       AggOp.SUM):
-                    # No conclusion can be drawn for partial queries with
-                    # COUNT/SUM projections (Section 3.4).
-                    continue
-                if item.agg is AggOp.AVG:
-                    if not self._avg_cell_possible(item.column, cell):
+            for kind, payload in self._iter_column_cell_checks(query,
+                                                               example):
+                if kind == "avg":
+                    if not self._avg_cell_possible(*payload):
                         example_failed = True
                         break
-                    continue
-                # NONE / MIN / MAX produce an exact value from the column.
-                condition = self._cell_condition(item.column, cell)
-                if condition is None:
-                    continue
-                sql = (f"SELECT 1 FROM {quote_ident(item.column.table)} "
-                       f"WHERE {condition} LIMIT 1")
-                if not self._probe(sql):
+                elif not self._probe(payload):
                     example_failed = True
                     break
             if example_failed:
@@ -611,66 +677,93 @@ class Verifier:
             return complete
         return []
 
-    def _verify_by_row(self, query: Query) -> VerifyResult:
+    def _row_probe_context(self, query: Query):
+        """The per-query row-probe scaffolding, or ``None`` to skip.
+
+        Returns ``(aliases, from_clause, base_where_parts)`` — the
+        pieces identical across every example's probe (the FROM clause
+        and the retained/OR-rendered WHERE predicates). ``None`` means
+        the join path is disconnected: no conclusion to draw.
+        """
         assert isinstance(query.join_path, JoinPath)
-        assert not isinstance(query.select, Hole)
         aliases = alias_map(query.join_path)
         try:
             from_clause = render_from(query.join_path, aliases)
         except Exception:  # disconnected path: no conclusion to draw here
-            return PASS
-
+            return None
         where_logic_or = (isinstance(query.where, Where)
                           and isinstance(query.where.logic, LogicOp)
                           and query.where.logic is LogicOp.OR
                           and query.where.is_complete
                           and len(query.where.predicates) > 1)
+        base_parts: List[str] = []
+        if where_logic_or:
+            assert isinstance(query.where, Where)
+            rendered = " OR ".join(
+                render_predicate(p, aliases)
+                for p in query.where.predicates
+                if isinstance(p, Predicate))
+            base_parts.append(f"({rendered})")
+        else:
+            for pred in self._retained_where(query):
+                try:
+                    base_parts.append(render_predicate(pred, aliases))
+                except Exception:
+                    continue
+        return aliases, from_clause, base_parts
+
+    def _row_probe_sql(self, query: Query, aliases, from_clause: str,
+                       base_parts: List[str], example) -> Optional[str]:
+        """One example's row probe, or ``None`` when nothing in the
+        example is checkable against this query's projections.
+
+        Shared by :meth:`_verify_by_row` and the planner prefetch
+        (:meth:`pending_probe_sql`), so the probes the prefetch fuses
+        are character-identical to the ones the cascade would issue.
+        """
+        where_parts = list(base_parts)
+        checkable = False
+        for index, item in enumerate(query.select):
+            if index >= len(example):
+                break
+            if not isinstance(item, SelectItem) or not item.is_complete:
+                continue
+            assert isinstance(item.agg, AggOp)
+            assert isinstance(item.column, ColumnRef)
+            cell = example[index]
+            if isinstance(cell, EmptyCell):
+                continue
+            if item.agg.is_aggregate:
+                # Deferred to the full satisfaction check (see
+                # _can_check_rows docstring).
+                continue
+            alias = aliases.get(item.column.table)
+            if alias is None:
+                continue
+            condition = self._cell_condition(item.column, cell,
+                                             alias=alias)
+            if condition is not None:
+                where_parts.append(f"({condition})")
+                checkable = True
+        if not checkable:
+            return None
+        return (f"SELECT 1 FROM {from_clause} "
+                f"WHERE {' AND '.join(where_parts)} LIMIT 1")
+
+    def _verify_by_row(self, query: Query) -> VerifyResult:
+        assert isinstance(query.join_path, JoinPath)
+        assert not isinstance(query.select, Hole)
+        context = self._row_probe_context(query)
+        if context is None:
+            return PASS
+        aliases, from_clause, base_parts = context
 
         failing_examples = 0
         for example in self.tsq.tuples:
-            where_parts: List[str] = []
-            if where_logic_or:
-                assert isinstance(query.where, Where)
-                rendered = " OR ".join(
-                    render_predicate(p, aliases)
-                    for p in query.where.predicates
-                    if isinstance(p, Predicate))
-                where_parts.append(f"({rendered})")
-            else:
-                for pred in self._retained_where(query):
-                    try:
-                        where_parts.append(render_predicate(pred, aliases))
-                    except Exception:
-                        continue
-
-            checkable = False
-            for index, item in enumerate(query.select):
-                if index >= len(example):
-                    break
-                if not isinstance(item, SelectItem) or not item.is_complete:
-                    continue
-                assert isinstance(item.agg, AggOp)
-                assert isinstance(item.column, ColumnRef)
-                cell = example[index]
-                if isinstance(cell, EmptyCell):
-                    continue
-                if item.agg.is_aggregate:
-                    # Deferred to the full satisfaction check (see
-                    # _can_check_rows docstring).
-                    continue
-                alias = aliases.get(item.column.table)
-                if alias is None:
-                    continue
-                condition = self._cell_condition(item.column, cell,
-                                                 alias=alias)
-                if condition is not None:
-                    where_parts.append(f"({condition})")
-                    checkable = True
-            if not checkable:
+            sql = self._row_probe_sql(query, aliases, from_clause,
+                                      base_parts, example)
+            if sql is None:
                 continue
-
-            sql = (f"SELECT 1 FROM {from_clause} "
-                   f"WHERE {' AND '.join(where_parts)} LIMIT 1")
             if not self._probe(sql):
                 failing_examples += 1
                 if failing_examples > self.tsq.tolerance:
@@ -679,6 +772,49 @@ class Verifier:
                         detail=f"no result row satisfies example "
                                f"{example!r}")
         return PASS
+
+    # ------------------------------------------------------------------
+    # Probe prefetch support (the planner's round batching)
+    # ------------------------------------------------------------------
+    def pending_probe_sql(self, query: Query,
+                          treat_as_partial: bool = False) -> List[str]:
+        """The probe statements the cascade may issue for ``query``.
+
+        A superset in execution order: the serial cascade stops probing
+        an example (and a stage) at the first failure, so some of these
+        probes would never run serially — but probe answers are facts
+        of the database, so prefetching them can never change an
+        outcome, only statement counts. Returns ``[]`` when one of the
+        probe-free stages (clauses, semantics, column types) already
+        rejects the query, mirroring the cascade's short-circuit.
+        """
+        complete = query.is_complete and not treat_as_partial
+        if not complete and not self.config.verify_partial:
+            return []
+        if not self._verify_clauses(query, complete).ok:
+            return []
+        if self.config.check_semantics \
+                and self.rules.check(query, self.schema):
+            return []
+        if not self._verify_column_types(query).ok:
+            return []
+        sqls: List[str] = []
+        if self.tsq.tuples and not isinstance(query.select, Hole):
+            for example in self.tsq.tuples:
+                for kind, payload in self._iter_column_cell_checks(
+                        query, example):
+                    if kind == "probe":
+                        sqls.append(payload)
+        if self._can_check_rows(query, complete):
+            context = self._row_probe_context(query)
+            if context is not None:
+                aliases, from_clause, base_parts = context
+                for example in self.tsq.tuples:
+                    sql = self._row_probe_sql(query, aliases, from_clause,
+                                              base_parts, example)
+                    if sql is not None:
+                        sqls.append(sql)
+        return sqls
 
     # ------------------------------------------------------------------
     # Stage 6: VerifyLiterals (complete queries only)

@@ -64,10 +64,19 @@ class Database:
     #: Progress-handler granularity (VM instructions between checks).
     _PROGRESS_STEP = 10_000
 
+    #: Per-connection prepared-statement cache size. The probe planner
+    #: collapses probe families onto shared parameterised SQL strings,
+    #: which the sqlite3 module maps to cached prepared statements —
+    #: sized well above the distinct probe structures of a task so plans
+    #: survive interleaved probe/meta traffic (the stdlib default of 128
+    #: thrashes on wide schemas).
+    _STATEMENT_CACHE = 512
+
     def __init__(self, schema: Schema,
                  connection: Optional[sqlite3.Connection] = None):
         self.schema = schema
-        self._conn = connection or sqlite3.connect(":memory:")
+        self._conn = connection or sqlite3.connect(
+            ":memory:", cached_statements=self._STATEMENT_CACHE)
         self._conn.execute("PRAGMA foreign_keys = ON")
         self.stats = ExecutionStats()
         self._content_hash: Optional[str] = None
@@ -115,7 +124,8 @@ class Database:
         """
         # check_same_thread=False lets the pool close forked connections
         # after shutdown; each fork is still used by only one thread.
-        connection = sqlite3.connect(":memory:", check_same_thread=False)
+        connection = sqlite3.connect(":memory:", check_same_thread=False,
+                                     cached_statements=cls._STATEMENT_CACHE)
         connection.deserialize(payload)
         return cls(schema, connection=connection)
 

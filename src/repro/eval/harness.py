@@ -125,6 +125,14 @@ class SimulationConfig:
     #: server degrades visibly to the local oracle
     #: (``guidance_degraded`` in telemetry), never silently.
     guidance_server: Optional[str] = None
+    #: probe-planner mode (the CLI's ``--probe-planner``): "off" keeps
+    #: the raw-SQL probe path, "plan" compiles probes into shared
+    #: parameterised plans with canonical cache keys, "batch"
+    #: additionally fuses each verification round's sibling probes into
+    #: multi-probe statements. Results never change (probe answers are
+    #: facts of the database); the ``PlanHit`` column of
+    #: ``search_report`` measures the reuse.
+    probe_planner: str = "off"
 
     def enumerator_config(self) -> EnumeratorConfig:
         return EnumeratorConfig(time_budget=self.timeout,
@@ -136,7 +144,8 @@ class SimulationConfig:
                                 beam_width=self.beam_width,
                                 guidance_batch=self.guidance_batch,
                                 guidance_cache_size=self.guidance_cache_size,
-                                guidance_server=self.guidance_server)
+                                guidance_server=self.guidance_server,
+                                probe_planner=self.probe_planner)
 
 
 class ProbeCacheRegistry:

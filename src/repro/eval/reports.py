@@ -259,7 +259,10 @@ def search_report(records: Sequence[SimTaskRecord],
     cached probe answers came from: ``XTaskHit`` counts hits on entries
     cached by *earlier* tasks of the same run (PR 2's cross-task
     sharing), ``WarmStart`` hits on entries loaded from a ``--cache-dir``
-    disk store — an earlier *process* entirely. The two guidance columns
+    disk store — an earlier *process* entirely. ``PlanHit`` counts
+    probes served by an already-compiled parameterised plan when the
+    probe planner is on (``--probe-planner plan|batch``; 0 otherwise).
+    The two guidance columns
     measure the batching layer: ``GuideCalls`` is what the underlying
     model actually scored (equal to the request count when
     ``--guidance-batch`` is off), ``GuideHits`` what the distribution
@@ -293,6 +296,7 @@ def search_report(records: Sequence[SimTaskRecord],
         probes = hits + misses
         cross = total("cross_task_probe_hits")
         warm = total("warm_start_probe_hits")
+        plan_hits = total("probe_plan_hits")
         calls, batches = total("guidance_calls"), total("guidance_batches")
         guide_calls = total("guide_calls")
         guide_hits = total("guide_hits")
@@ -303,6 +307,7 @@ def search_report(records: Sequence[SimTaskRecord],
             f"{100.0 * hits / probes:.1f}%" if probes else "-",
             cross,
             warm,
+            plan_hits,
             f"{calls / batches:.1f}" if batches else "-",
             guide_calls,
             guide_hits,
@@ -314,7 +319,7 @@ def search_report(records: Sequence[SimTaskRecord],
         rows.append(tuple(row))
 
     headers = ("System", "Engine", "Verify", "W", "Expand", "Gen", "Emit",
-               "Cache%", "XTaskHit", "WarmStart", "Calls/Batch",
+               "Cache%", "XTaskHit", "WarmStart", "PlanHit", "Calls/Batch",
                "GuideCalls", "GuideHits", "Wall",
                *(f"prune:{s}" for s in stage_names))
     return title + "\n" + format_table(headers, rows)

@@ -67,6 +67,18 @@ DEFAULT_CACHE_SIZE = 4096
 #: Default socket timeout (seconds) for the server backend.
 DEFAULT_TIMEOUT = 5.0
 
+#: Default bound on reconnect attempts after a server failure. Long
+#: eval runs survive a scorer restart (the connection heals on a later
+#: batch); a server that stays dead exhausts the budget and the model
+#: degrades permanently, exactly like the pre-reconnect behaviour.
+DEFAULT_MAX_RECONNECTS = 3
+
+
+class ProtocolMismatch(GuidanceError):
+    """The server answered the handshake with a different protocol
+    version. Reconnecting cannot fix an incompatibility, so this error
+    degrades permanently regardless of the reconnect budget."""
+
 
 def parse_server_address(address: str) -> Tuple[str, int]:
     """Validate and split a ``HOST:PORT`` guidance-server address.
@@ -275,7 +287,7 @@ class BatchingGuidanceModel(_RequestScoringModel):
         self.name = f"batched({inner.name})"
         self.cache = GuidanceCache(cache_size)
         self.counters = AmortisationCounters()
-        self._degrade_flushed = False
+        self._scorer_epoch = 0
 
     # The server backend's degrade state shines through the wrapper so
     # the engine can read it from whatever model it was handed.
@@ -287,19 +299,28 @@ class BatchingGuidanceModel(_RequestScoringModel):
     def degrade_reason(self) -> str:
         return str(getattr(self.inner, "degrade_reason", ""))
 
+    @property
+    def reconnects(self) -> int:
+        return int(getattr(self.inner, "reconnects", 0))
+
     def close(self) -> None:
         close_guidance(self.inner)
 
     # ------------------------------------------------------------------
     def _flush_on_degrade(self) -> None:
-        """Drop every cached distribution the moment the inner model
-        degrades. Pre-degrade entries were scored by the now-failed
-        server; serving them afterwards would mix scorers indefinitely.
-        Flushing once at the switch keeps the documented contract: from
-        the degrade on, every answer comes from the fallback model.
+        """Drop every cached distribution whenever the inner model
+        switches scorer. A degrade swaps the server's answers for the
+        fallback's; a reconnect swaps them back — either way, serving
+        the previous scorer's cached distributions afterwards would mix
+        scorers indefinitely. The server backend counts switches in
+        ``scorer_epoch``; models without one flush once on a permanent
+        degrade (the legacy behaviour).
         """
-        if not self._degrade_flushed and self.degraded:
-            self._degrade_flushed = True
+        epoch = getattr(self.inner, "scorer_epoch", None)
+        if epoch is None:
+            epoch = 1 if self.degraded else 0
+        if epoch != self._scorer_epoch:
+            self._scorer_epoch = epoch
             self.cache.clear()
 
     def _score_request(self, request: GuidanceRequest) -> Distribution:
@@ -392,19 +413,34 @@ class ServerGuidanceModel(_RequestScoringModel):
     raw scores onto its own candidate objects
     (:meth:`Distribution.from_scores`), so only weights cross the wire.
 
-    Degrade semantics mirror the verification pools: the first
-    connection error, timeout, or protocol violation logs a warning,
-    sets :attr:`degraded`/:attr:`degrade_reason`, closes the socket,
-    and routes every request — including the failed batch — to the
-    local ``fallback`` model. A degraded server model is never retried
-    within a run, so results switch to the fallback exactly once,
-    visibly.
+    Degrade semantics mirror the verification pools, with a bounded
+    self-heal: any connection error, timeout, or protocol violation
+    logs a warning, sets :attr:`degraded`/:attr:`degrade_reason`,
+    closes the socket, and routes every request — including the failed
+    batch — to the local ``fallback`` model. Unlike the pools, a
+    degraded server model may *reconnect*: while the reconnect budget
+    (``max_reconnects``) lasts, each later batch attempts a fresh
+    connection + handshake, so a long eval run survives a scorer
+    restart (successful heals are counted in :attr:`reconnects` and
+    surfaced as ``SearchTelemetry.guidance_reconnects``). Once the
+    budget is exhausted — or the handshake reveals a protocol-version
+    mismatch, which no reconnect can fix — the degrade is permanent.
+    Every scorer switch (server→fallback and back) bumps
+    :attr:`scorer_epoch`, which the batching wrapper watches to flush
+    its distribution cache, so cached answers never mix scorers.
+
+    On every (re)connect the client performs a **handshake**: it sends
+    ``{"v": 1, "id": N, "hello": true}`` and expects
+    ``{"id": N, "v": 1}`` back; a server advertising a different
+    protocol version is rejected up front instead of mis-parsing score
+    traffic later.
     """
 
     PROTOCOL_VERSION = 1
 
     def __init__(self, address: str, fallback: GuidanceModel,
-                 timeout: float = DEFAULT_TIMEOUT):
+                 timeout: float = DEFAULT_TIMEOUT,
+                 max_reconnects: int = DEFAULT_MAX_RECONNECTS):
         self.address = address
         self.host, self.port = parse_server_address(address)
         self.fallback = fallback
@@ -412,6 +448,13 @@ class ServerGuidanceModel(_RequestScoringModel):
         self.name = f"server({address})"
         self.degraded = False
         self.degrade_reason = ""
+        #: successful reconnects after a failure (telemetry)
+        self.reconnects = 0
+        #: bumped on every scorer switch (degrade or heal); the batching
+        #: wrapper flushes its distribution cache when it changes
+        self.scorer_epoch = 0
+        self._reconnects_left = max(0, int(max_reconnects))
+        self._permanent = False
         self._sock: Optional[socket.socket] = None
         self._reader = None
         self._ids = itertools.count()
@@ -424,11 +467,63 @@ class ServerGuidanceModel(_RequestScoringModel):
         if not self.degraded:
             self.degraded = True
             self.degrade_reason = reason
-            logger.warning(
-                "guidance server %s unavailable (%s); degrading to the "
-                "local %s model for the rest of the run",
-                self.address, reason, self.fallback.name)
+            self.scorer_epoch += 1
+            if self._permanent or self._reconnects_left <= 0:
+                self._permanent = True
+                logger.warning(
+                    "guidance server %s unavailable (%s); degrading to "
+                    "the local %s model for the rest of the run",
+                    self.address, reason, self.fallback.name)
+            else:
+                logger.warning(
+                    "guidance server %s unavailable (%s); degrading to "
+                    "the local %s model (will attempt up to %d "
+                    "reconnects)", self.address, reason,
+                    self.fallback.name, self._reconnects_left)
         self.close()
+
+    def _give_up(self, reason: str) -> None:
+        """Make the current degrade permanent (budget spent/mismatch)."""
+        if not self._permanent:
+            self._permanent = True
+            logger.warning(
+                "guidance server %s: giving up on reconnects (%s); the "
+                "local %s model serves the rest of the run",
+                self.address, reason, self.fallback.name)
+
+    def _try_reconnect(self) -> bool:
+        """One bounded attempt to heal a degraded connection.
+
+        Returns True when the server is connected and handshaken again
+        (the caller then serves the batch from it); False keeps the
+        batch on the fallback. Each failed attempt consumes budget; a
+        protocol mismatch forfeits the rest of it.
+        """
+        if self._permanent:
+            return False
+        self._reconnects_left -= 1
+        try:
+            with self._lock:
+                self._ensure_connection()
+        except ProtocolMismatch as exc:
+            self.close()
+            self._give_up(str(exc))
+            return False
+        except (OSError, ValueError, KeyError, TypeError,
+                GuidanceError) as exc:
+            self.close()
+            if self._reconnects_left <= 0:
+                self._give_up(str(exc) or type(exc).__name__)
+            return False
+        self.reconnects += 1
+        self.degraded = False
+        self.degrade_reason = ""
+        self.scorer_epoch += 1
+        logger.warning(
+            "guidance server %s reconnected; resuming server scoring "
+            "(%d reconnect attempts left)", self.address,
+            self._reconnects_left)
+        return True
 
     def close(self) -> None:
         if self._reader is not None:
@@ -451,6 +546,36 @@ class ServerGuidanceModel(_RequestScoringModel):
             sock.settimeout(self.timeout)
             self._sock = sock
             self._reader = sock.makefile("r", encoding="utf-8")
+            self._handshake()
+
+    def _handshake(self) -> None:
+        """Exchange protocol versions on a fresh connection.
+
+        Raises :class:`ProtocolMismatch` when the server speaks a
+        different version — a permanent condition — and the usual
+        OSError/ValueError family for transport or format failures.
+        """
+        request_id = next(self._ids)
+        line = json.dumps({"v": self.PROTOCOL_VERSION, "id": request_id,
+                           "hello": True}) + "\n"
+        assert self._sock is not None
+        self._sock.sendall(line.encode("utf-8"))
+        response = self._reader.readline()
+        if not response:
+            raise OSError("server closed the connection during handshake")
+        payload = json.loads(response)
+        if payload.get("id") != request_id:
+            raise GuidanceError(
+                f"handshake response id {payload.get('id')!r} does not "
+                f"match request id {request_id}")
+        version = payload.get("v")
+        if version != self.PROTOCOL_VERSION:
+            hint = " (a server without handshake support predates " \
+                   "this client; upgrade it to one that answers " \
+                   "'hello' lines)" if version is None else ""
+            raise ProtocolMismatch(
+                f"server speaks protocol {version!r}, this client "
+                f"speaks {self.PROTOCOL_VERSION}{hint}")
 
     # ------------------------------------------------------------------
     # Wire format
@@ -480,7 +605,7 @@ class ServerGuidanceModel(_RequestScoringModel):
                     ) -> List[Distribution]:
         if not requests:
             return []
-        if self.degraded:
+        if self.degraded and not self._try_reconnect():
             return self.fallback.score_batch(requests)
         try:
             # Candidate-list construction is inside the degrade guard:
@@ -493,11 +618,18 @@ class ServerGuidanceModel(_RequestScoringModel):
                  for request, candidates in zip(requests, candidate_lists)])
             return [self._distribution(candidates, weights)
                     for candidates, weights in zip(candidate_lists, scores)]
+        except ProtocolMismatch as exc:
+            # A version-incompatible peer: no reconnect can fix it, so
+            # forfeit the budget and degrade for good.
+            self._give_up(str(exc))
+            self._degrade(str(exc))
+            return self.fallback.score_batch(requests)
         except (OSError, ValueError, KeyError, TypeError,
                 GuidanceError) as exc:
             # OSError covers refused connections, timeouts and resets;
             # the rest are protocol violations (bad JSON surfaces as
-            # ValueError). Either way: degrade visibly, answer locally.
+            # ValueError). Either way: degrade visibly, answer locally —
+            # and heal on a later batch while the budget lasts.
             self._degrade(str(exc) or type(exc).__name__)
             return self.fallback.score_batch(requests)
 
@@ -545,20 +677,22 @@ class ServerGuidanceModel(_RequestScoringModel):
 def make_guidance_backend(model: GuidanceModel, *, batch: bool = False,
                           cache_size: int = DEFAULT_CACHE_SIZE,
                           server: Optional[str] = None,
-                          timeout: float = DEFAULT_TIMEOUT
+                          timeout: float = DEFAULT_TIMEOUT,
+                          max_reconnects: int = DEFAULT_MAX_RECONNECTS
                           ) -> GuidanceModel:
     """Wrap ``model`` per the guidance-backend configuration.
 
     ``server`` interposes a :class:`ServerGuidanceModel` (with ``model``
-    as its degrade fallback) and implies batching — shipping one
-    request per round trip would defeat the point. Returns ``model``
-    unchanged when nothing is enabled, so callers can apply this
-    unconditionally.
+    as its degrade fallback, and ``max_reconnects`` bounding its
+    self-heal attempts) and implies batching — shipping one request per
+    round trip would defeat the point. Returns ``model`` unchanged when
+    nothing is enabled, so callers can apply this unconditionally.
     """
     wrapped = model
     if server:
         wrapped = ServerGuidanceModel(server, fallback=wrapped,
-                                      timeout=timeout)
+                                      timeout=timeout,
+                                      max_reconnects=max_reconnects)
     if batch or server:
         wrapped = BatchingGuidanceModel(wrapped, cache_size=cache_size)
     return wrapped

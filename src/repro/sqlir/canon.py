@@ -1,15 +1,25 @@
-"""Canonical signatures for query equivalence.
+"""Canonical signatures for query equivalence and probe canonicalisation.
 
 The simulation study (Section 5.4) judges a candidate correct when it
 exactly matches the gold query. Following the Spider benchmark's component
 matching, the comparison is order-insensitive for SELECT items, selection
 predicates and GROUP BY columns, and order-sensitive for ORDER BY, with
 literal values normalised (numeric strings compare equal to numbers).
+
+A second, lower-level canonicaliser lives here too:
+:func:`canonicalize_probe` strips the literal values out of a rendered
+probe statement (``SELECT 1 ... LIMIT 1``, the verifier cascade's hot
+path) into ``?`` placeholders plus a parameter tuple, so that sibling
+probes differing only in their literals share one parameterised SQL
+string — one SQLite prepared plan, and (via :func:`probe_plan_key`) one
+probe-cache entry. It is consumed by
+:class:`repro.core.search.planner.ProbePlanner`.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Tuple, Union
+import re
+from typing import Hashable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import QueryError
 from .ast import (
@@ -143,3 +153,113 @@ def signature(query: Query) -> Hashable:
 def queries_equal(left: Query, right: Query) -> bool:
     """True when two complete queries have the same canonical signature."""
     return signature(left) == signature(right)
+
+
+# ----------------------------------------------------------------------
+# Probe canonicalisation (literal stripping for the probe planner)
+# ----------------------------------------------------------------------
+#: Lexer for the probe SQL the renderer emits: string literals (with
+#: ``''`` escapes), quoted identifiers, numeric literals (including
+#: ``repr(float)`` exponent forms), bare words, whitespace runs, and any
+#: other single character (operators, punctuation).
+_PROBE_TOKEN = re.compile(
+    r"'(?:[^']|'')*'"
+    r'|"(?:[^"]|"")*"'
+    r"|-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?"
+    r"|[A-Za-z_][A-Za-z_0-9]*"
+    r"|\s+"
+    r"|.",
+    re.DOTALL)
+
+#: Keywords whose following integer is *structure*, not data: ``SELECT 1``
+#: and ``LIMIT 1`` are constant across every probe, and parameterising a
+#: LIMIT would change the statement's shape for no sharing gain.
+_STRUCTURAL_NUMBER_AFTER = frozenset({"select", "limit", "offset"})
+
+
+def canonicalize_probe(sql: str) -> Tuple[str, Tuple[Value, ...]]:
+    """Strip the literals out of a rendered probe statement.
+
+    Returns ``(param_sql, params)``: the statement with every data
+    literal replaced by a ``?`` placeholder (string literals unescaped,
+    numerics parsed to ``int``/``float``), whitespace collapsed to
+    single spaces. Two probes that differ only in literal values — or
+    in whitespace — canonicalise to the same ``param_sql``, so they
+    share one SQLite prepared plan; executing ``param_sql`` with
+    ``params`` is equivalent to executing ``sql``.
+
+    The grammar covered is the one the verifier's probe builders emit
+    (``SELECT 1 FROM ... WHERE ... LIMIT 1``): quoted identifiers are
+    kept verbatim (they are structure, not data), integers directly
+    after ``SELECT``/``LIMIT``/``OFFSET`` stay inline (they are the
+    constant probe scaffolding), and a ``-`` sign folds into the bound
+    parameter — sound because probe predicates are always ``column op
+    literal``, never column arithmetic — so signatures are invariant
+    under *any* literal substitution, negative values included.
+    """
+    parts: List[str] = []
+    params: List[Value] = []
+    previous_word = ""
+    for match in _PROBE_TOKEN.finditer(sql):
+        token = match.group(0)
+        first = token[0]
+        if first == "'":
+            params.append(token[1:-1].replace("''", "'"))
+            parts.append("?")
+            previous_word = ""
+        elif first.isdigit() or (first == "-" and len(token) > 1):
+            if previous_word in _STRUCTURAL_NUMBER_AFTER:
+                parts.append(token)
+            else:
+                if "." in token or "e" in token or "E" in token:
+                    number: Value = float(token)
+                else:
+                    number = int(token)
+                    if not -2**63 <= number < 2**63:
+                        # SQLite itself parses an oversized integer
+                        # literal as REAL; binding the float keeps the
+                        # parameterised probe equivalent to the raw one
+                        # (a 64-bit-overflowing int cannot be bound).
+                        number = float(token)
+                params.append(number)
+                parts.append("?")
+            previous_word = ""
+        elif token.isspace():
+            if parts and parts[-1] != " ":
+                parts.append(" ")
+            continue
+        else:
+            parts.append(token)
+            previous_word = token.casefold() \
+                if (first.isalpha() or first == "_" or first == '"') else ""
+    return "".join(parts).strip(), tuple(params)
+
+
+def _normalise_param(value: Value) -> str:
+    """One parameter's contribution to the shared cache key.
+
+    Type-exact (``repr``): an int and a float of equal numeric value
+    keep *distinct* keys. Folding ``2005`` and ``2005.0`` together
+    would be sound only under numeric-affinity comparison — against a
+    TEXT-affinity column SQLite text-converts the operand, and
+    ``c >= 5`` vs ``c >= 5.0`` genuinely differ — and the SQL text
+    cannot tell the planner which case it is in. A missed share costs
+    one redundant probe; a collision would cache a wrong answer. The
+    same reasoning keeps text exact (no case folding: unsound without
+    ``COLLATE NOCASE``). Cross-rendering sharing therefore comes from
+    the signature (whitespace, literal position) — where it is provably
+    outcome-preserving — not from value coercion.
+    """
+    return repr(value)
+
+
+def probe_plan_key(param_sql: str, params: Sequence[Value]) -> str:
+    """The probe-cache key for a canonicalised probe.
+
+    A plain string (so it flows through the probe cache's export/seed/
+    journal machinery and the persistent store unchanged): the
+    parameterised SQL plus the normalised parameters, joined with unit
+    separators that cannot occur in either side.
+    """
+    return param_sql + "\x1f\x1f" + "\x1f".join(
+        _normalise_param(value) for value in params)

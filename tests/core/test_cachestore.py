@@ -3,14 +3,16 @@
 The contract under test (see ``repro.core.search.cachestore``): a store
 entry is only ever reused for byte-identical database contents (stale
 hashes invalidate), a broken store file degrades to a cold start with a
-logged warning (never a crash, never a poisoned cache), and concurrent
-writers merge instead of clobbering each other.
+logged warning (never a crash, never a poisoned cache), concurrent
+writers merge instead of clobbering each other, and — new with the
+SQLite backing — saves are incremental upserts instead of whole-file
+rewrites.
 """
 
 from __future__ import annotations
 
-import json
 import logging
+import sqlite3
 
 import pytest
 from hypothesis import given, settings
@@ -194,15 +196,39 @@ class TestRoundTrip:
         assert loaded == 0 and len(cache) == 0
         assert not caplog.records  # absence is normal, not a warning
 
-    def test_minmax_survives_json(self, tmp_path, movie_db):
+    def test_minmax_values_round_trip_typed(self, tmp_path, movie_db):
+        """Bounds keep their Python types (int/float/str/None) across
+        the store — they are JSON-encoded inside the SQLite rows."""
         store = PersistentProbeCache(tmp_path)
         cache = SharedProbeCache()
         ref = ColumnRef(table="movie", column="year")
-        cache.seed({}, {ref: (1970, 2020)})
+        text_ref = ColumnRef(table="movie", column="title")
+        empty_ref = ColumnRef(table="actor", column="gender")
+        cache.seed({}, {ref: (1970, 2020.5),
+                        text_ref: ("Alpha", "Zulu"),
+                        empty_ref: (None, None)})
         store.save(movie_db, cache)
         loaded = store.load(movie_db)
         assert loaded is not None
-        assert loaded[1][ref] == (1970, 2020)
+        assert loaded[1][ref] == (1970, 2020.5)
+        assert loaded[1][text_ref] == ("Alpha", "Zulu")
+        assert loaded[1][empty_ref] == (None, None)
+
+    def test_canonical_planner_keys_round_trip(self, tmp_path, movie_db):
+        """The store composes with the probe planner: canonical
+        ``(signature, params)`` keys (which embed control-character
+        separators) persist and warm-start byte-identically."""
+        from repro.sqlir.canon import canonicalize_probe, probe_plan_key
+
+        key = probe_plan_key(*canonicalize_probe(
+            "SELECT 1 FROM movie WHERE year = 1994 LIMIT 1"))
+        store = PersistentProbeCache(tmp_path)
+        cache = SharedProbeCache()
+        cache.seed({key: True}, {})
+        store.save(movie_db, cache)
+        loaded = store.load(movie_db)
+        assert loaded is not None
+        assert loaded[0] == {key: True}
 
 
 class TestStaleHashInvalidation:
@@ -220,9 +246,10 @@ class TestStaleHashInvalidation:
         a mismatched recorded hash is rejected with a warning."""
         store = PersistentProbeCache(tmp_path)
         path = store.save(movie_db, populated_cache(movie_db))
-        payload = json.loads(path.read_text())
-        payload["content_hash"] = "0" * 64
-        path.write_text(json.dumps(payload))
+        with sqlite3.connect(path) as connection:
+            connection.execute(
+                "UPDATE meta SET value = ? WHERE key = 'content_hash'",
+                ("0" * 64,))
         with caplog.at_level(logging.WARNING):
             assert store.load(movie_db) is None
         assert "stale hash" in caplog.text
@@ -230,12 +257,9 @@ class TestStaleHashInvalidation:
 
 class TestCorruptionSafety:
     @pytest.mark.parametrize("content", [
-        "",                       # empty file
-        "{\"format\": 1",         # truncated mid-object
-        "not json at all",        # garbage
-        "[1, 2, 3]",              # wrong top-level type
-        "{\"format\": 1}",        # missing keys
-        "{\"format\": 99, \"content_hash\": \"x\"}",  # future format
+        "",                       # empty file (no SQLite header)
+        "not a database at all",  # garbage bytes
+        "SQLite format 3\x00",    # truncated header only
     ])
     def test_bad_store_falls_back_cold_with_warning(self, tmp_path,
                                                     movie_db, caplog,
@@ -247,6 +271,26 @@ class TestCorruptionSafety:
             cache, loaded = store.warm_cache(movie_db)  # must not raise
         assert loaded == 0 and len(cache) == 0
         assert caplog.records, "corruption must be visible, not silent"
+
+    def test_valid_sqlite_with_missing_tables_is_cold(self, tmp_path,
+                                                      movie_db, caplog):
+        store = PersistentProbeCache(tmp_path)
+        store.cache_dir.mkdir(parents=True, exist_ok=True)
+        with sqlite3.connect(store.path_for(movie_db)) as connection:
+            connection.execute("CREATE TABLE unrelated (x)")
+        with caplog.at_level(logging.WARNING):
+            assert store.load(movie_db) is None
+        assert "malformed" in caplog.text
+
+    def test_future_format_is_cold(self, tmp_path, movie_db, caplog):
+        store = PersistentProbeCache(tmp_path)
+        path = store.save(movie_db, populated_cache(movie_db))
+        with sqlite3.connect(path) as connection:
+            connection.execute(
+                "UPDATE meta SET value = '99' WHERE key = 'format'")
+        with caplog.at_level(logging.WARNING):
+            assert store.load(movie_db) is None
+        assert "format" in caplog.text
 
     def test_corrupt_store_is_overwritten_by_next_save(self, tmp_path,
                                                        movie_db):
@@ -286,9 +330,10 @@ class TestConcurrentWriters:
         assert len(probes) == 2
         assert len(minmax) == 1
 
-    def test_interleaved_writers_keep_valid_json(self, tmp_path, movie_db):
-        """Saves are atomic replaces: whatever interleaving happens, the
-        file on disk is always a complete, parseable store."""
+    def test_interleaved_writers_keep_a_valid_store(self, tmp_path,
+                                                    movie_db):
+        """Saves are transactional: whatever interleaving happens, the
+        file on disk is always a complete, readable store."""
         store = PersistentProbeCache(tmp_path)
         for i in range(8):
             cache = SharedProbeCache()
@@ -298,3 +343,59 @@ class TestConcurrentWriters:
             assert store.load(movie_db) is not None
         probes, _ = store.load(movie_db)
         assert len(probes) == 8
+
+
+class TestIncrementalUpsert:
+    def test_saves_write_only_the_delta(self, tmp_path, movie_db):
+        """The ROADMAP item the SQLite backing closes: a save must not
+        rewrite the whole store. Re-saving a superset cache leaves the
+        existing rows untouched and inserts exactly the new ones."""
+        store = PersistentProbeCache(tmp_path)
+        first = SharedProbeCache()
+        first.seed({"probe-a": True, "probe-b": False}, {})
+        store.save(movie_db, first)
+        second = SharedProbeCache()
+        # Same keys with *contradictory* outcomes plus one new entry:
+        # existing facts win (INSERT OR IGNORE), the new row lands.
+        second.seed({"probe-a": False, "probe-b": True, "probe-c": True},
+                    {})
+        store.save(movie_db, second)
+        probes, _ = store.load(movie_db)
+        assert probes == {"probe-a": True, "probe-b": False,
+                          "probe-c": True}
+
+    def test_locked_store_fails_the_save_without_deleting_it(
+            self, tmp_path, movie_db, caplog, monkeypatch):
+        """A lock timeout is not corruption: a save that cannot get the
+        write lock must warn and give up — never unlink the (healthy)
+        store a concurrent writer is mid-transaction on."""
+        store = PersistentProbeCache(tmp_path)
+        path = store.save(movie_db, populated_cache(movie_db))
+        before = store.load(movie_db)
+        assert before is not None and before[0]
+        monkeypatch.setattr(PersistentProbeCache, "BUSY_TIMEOUT_MS", 50)
+        holder = sqlite3.connect(path)
+        try:
+            holder.execute("BEGIN EXCLUSIVE")
+            fresh = SharedProbeCache()
+            fresh.seed({"probe-locked": True}, {})
+            with caplog.at_level(logging.WARNING):
+                assert store.save(movie_db, fresh) is None
+            assert "could not persist" in caplog.text
+            assert "recreating" not in caplog.text
+        finally:
+            holder.rollback()
+            holder.close()
+        assert path.exists()
+        assert store.load(movie_db) == before  # nothing was lost
+
+    def test_corrupt_file_is_recreated_on_save(self, tmp_path, movie_db,
+                                               caplog):
+        store = PersistentProbeCache(tmp_path)
+        store.cache_dir.mkdir(parents=True, exist_ok=True)
+        store.path_for(movie_db).write_text("garbage")
+        with caplog.at_level(logging.WARNING):
+            assert store.save(movie_db,
+                              populated_cache(movie_db)) is not None
+        assert "recreating" in caplog.text
+        assert store.load(movie_db) is not None

@@ -353,6 +353,108 @@ class TestGuidanceBatchingEquivalence:
         assert "degrading to the local" in caplog.text
 
 
+class TestProbePlannerEquivalence:
+    """``--probe-planner`` must be invisible in the output: compiling
+    probes to shared parameterised plans and fusing rounds into
+    multi-probe statements change statement counts and telemetry only —
+    probe answers are facts of the database, so the candidate stream
+    and the verifier's stage stats stay bit-for-bit identical."""
+
+    @pytest.mark.parametrize("planner", ["plan", "batch"])
+    @pytest.mark.parametrize("workers,backend", [
+        (1, "inline"), (4, "threads"), (4, "processes"),
+    ])
+    def test_planner_stream_matches_golden(self, golden, tasks, planner,
+                                           workers, backend):
+        for name, expected in golden["tasks"].items():
+            stream, enumerator, _ = run_engine(tasks[name], workers,
+                                               verify_backend=backend,
+                                               probe_planner=planner)
+            assert stream == expected["candidates"], \
+                f"{name} diverged under --probe-planner {planner} " \
+                f"(workers={workers}, backend={backend})"
+            assert enumerator.expansions == expected["total_expansions"]
+            assert enumerator.telemetry.probe_planner == planner
+
+    @pytest.mark.parametrize("planner", ["plan", "batch"])
+    def test_planner_verifier_stats_match_serial(self, tasks, planner):
+        """Stage pass/fail counts are part of the contract: the planner
+        must not change any verification outcome."""
+        name = "spider:library_dev_0-t2"
+        _, plain, _ = run_engine(tasks[name], workers=1)
+        _, planned, _ = run_engine(tasks[name], workers=4,
+                                   probe_planner=planner)
+        assert planned.verifier.stats == plain.verifier.stats
+
+    def test_plan_reuse_is_visible_in_telemetry(self, tasks):
+        """The planner must actually amortise: probes structurally
+        identical to an earlier one are served by a compiled plan, so
+        plan hits dominate compiles on any real task."""
+        name = next(iter(tasks))
+        _, enumerator, _ = run_engine(tasks[name], workers=1,
+                                      probe_planner="plan")
+        telemetry = enumerator.telemetry
+        assert telemetry.probe_compiles > 0
+        assert telemetry.probe_plan_hits > telemetry.probe_compiles
+
+    def test_batch_mode_fuses_statements(self, tasks):
+        """``batch`` actually executes fused multi-probe statements,
+        and they show up in the per-kind statement counters."""
+        name = next(iter(tasks))
+        db = tasks[name][0]
+        before = db.stats.snapshot()
+        _, enumerator, _ = run_engine(tasks[name], workers=4,
+                                      probe_planner="batch")
+        delta = db.stats.delta_since(before)
+        assert enumerator.telemetry.probe_batch_stmts > 0
+        assert delta.per_kind.get("probe_batch", 0) > 0
+
+    def test_batch_issues_fewer_statements_than_off(self, tasks):
+        """The point of the tentpole: a batched round executes fewer
+        probe-path statements than one-probe-per-round-trip."""
+        name = next(iter(tasks))
+        db = tasks[name][0]
+        before = db.stats.snapshot()
+        run_engine(tasks[name], workers=4)
+        off_delta = db.stats.delta_since(before)
+        before = db.stats.snapshot()
+        run_engine(tasks[name], workers=4, probe_planner="batch")
+        batch_delta = db.stats.delta_since(before)
+        off_probe_stmts = off_delta.per_kind.get("probe", 0)
+        batch_probe_stmts = batch_delta.per_kind.get("probe", 0) \
+            + batch_delta.per_kind.get("probe_batch", 0)
+        assert batch_probe_stmts < off_probe_stmts
+
+    def test_planner_composes_with_shared_cache_and_pool(
+            self, golden, tasks, tmp_path):
+        """The full stack — planner batch mode, canonical cache keys
+        persisted to disk, warm restart — still reproduces the golden
+        stream, and the second run warm-starts from canonical keys."""
+        from repro.core.search.cachestore import PersistentProbeCache
+
+        store = PersistentProbeCache(tmp_path)
+        name = next(iter(golden["tasks"]))
+        db = tasks[name][0]
+        cold_cache, loaded = store.warm_cache(db)
+        assert loaded == 0
+        first, _, _ = run_engine(tasks[name], workers=1,
+                                 probe_planner="batch",
+                                 probe_cache=cold_cache)
+        store.save(db, cold_cache)
+
+        warm_cache, loaded = store.warm_cache(db)
+        assert loaded > 0
+        second, enumerator, _ = run_engine(tasks[name], workers=1,
+                                           probe_planner="batch",
+                                           probe_cache=warm_cache)
+        assert first == second == golden["tasks"][name]["candidates"]
+        assert enumerator.telemetry.warm_start_probe_hits > 0
+        # Fully warm: the prefetch finds every probe cached, so no
+        # fused statements (and no probe misses) are paid at all.
+        assert enumerator.telemetry.probe_misses == 0
+        assert enumerator.telemetry.probe_batch_stmts == 0
+
+
 class TestBeamEngines:
     """Beam engines trade completeness for bounded frontiers but stay
     sound: everything they emit also passes the full verifier."""

@@ -197,7 +197,7 @@ class TestCrossTaskProbeCache:
                               config=config)
         assert sum(r.telemetry.get("warm_start_probe_hits", 0)
                    for r in cold if r.telemetry) == 0
-        assert list(tmp_path.glob("probes-*.json"))  # persisted
+        assert list(tmp_path.glob("probes-*.sqlite"))  # persisted
         warm = run_simulation(tiny_corpus, systems=("Duoquest",),
                               config=config)
         warm_hits = sum(r.telemetry.get("warm_start_probe_hits", 0)
@@ -246,7 +246,7 @@ class TestCrossTaskProbeCache:
         config = SimulationConfig(timeout=4.0, cache_dir=str(tmp_path),
                                   share_probe_cache=False)
         run_simulation(tiny_corpus, systems=("Duoquest",), config=config)
-        assert not list(tmp_path.glob("probes-*.json"))
+        assert not list(tmp_path.glob("probes-*.sqlite"))
 
     def test_simulation_shares_per_database(self, tiny_corpus):
         """run_simulation wires the registry too: all Duoquest/NLI runs

@@ -70,6 +70,33 @@ def serve_lines(reply_fn):
     return server, f"{host}:{port}"
 
 
+def handshake_reply(line, version=1):
+    """The well-formed handshake response for a client ``hello`` line,
+    or None when the line is not a handshake."""
+    payload = json.loads(line)
+    if payload.get("hello"):
+        return json.dumps({"id": payload.get("id"), "v": version}) + "\n"
+    return None
+
+
+def serve_scripted(score_replies, version=1):
+    """A server that handshakes properly, then plays ``score_replies``
+    (a list of reply factories taking the parsed request) for score
+    lines, and hangs up when the script runs out."""
+    script = list(score_replies)
+
+    def reply(line):
+        shake = handshake_reply(line, version=version)
+        if shake is not None:
+            return shake
+        if not script:
+            return None
+        factory = script.pop(0)
+        return factory(json.loads(line))
+
+    return serve_lines(reply)
+
+
 class TestStubScorer:
     def test_scores_align_with_candidates_and_are_deterministic(self):
         module = load_example()
@@ -155,17 +182,117 @@ class TestDegrade:
         assert "degrading to the local" in caplog.text
         assert result == [request.invoke(self.fallback_model())]
 
-    def test_degraded_model_never_reconnects(self, caplog):
+    def test_exhausted_budget_degrades_permanently(self, caplog):
+        """Reconnects are bounded: once the budget is spent the model
+        never opens another socket — the pre-reconnect contract."""
         model = ServerGuidanceModel("127.0.0.1:1",
                                     fallback=self.fallback_model(),
-                                    timeout=0.5)
+                                    timeout=0.5, max_reconnects=2)
         with caplog.at_level(logging.WARNING, "repro.guidance.batched"):
-            model.score_batch([kw_request()])
+            for _ in range(5):
+                model.score_batch([kw_request()])
+        assert model.degraded
+        assert model.reconnects == 0
+        assert "giving up on reconnects" in caplog.text
+        connects = []
+        original = ServerGuidanceModel._ensure_connection
+
+        def counting(self):
+            connects.append(1)
+            return original(self)
+
+        ServerGuidanceModel._ensure_connection = counting
+        try:
             model.score_batch([col_request()])
-        # One warning: the second call went straight to the fallback.
-        warnings = [r for r in caplog.records
-                    if "degrading" in r.getMessage()]
-        assert len(warnings) == 1
+        finally:
+            ServerGuidanceModel._ensure_connection = original
+        assert not connects, "a permanently degraded model reconnected"
+
+    def test_reconnect_heals_after_a_server_restart(self, stub, caplog):
+        """The ROADMAP item: a scorer restart mid-run must not cost the
+        rest of the run. First batch dies on a hung-up server; the next
+        one reconnects (to the healthy stub) and is server-scored."""
+        module, address = stub
+        # A server that handshakes, then hangs up before scoring.
+        dying, dying_address = serve_scripted([])
+        try:
+            fallback = self.fallback_model()
+            model = ServerGuidanceModel(dying_address, fallback=fallback,
+                                        timeout=2.0, max_reconnects=2)
+            request = kw_request()
+            with caplog.at_level(logging.WARNING,
+                                 "repro.guidance.batched"):
+                first = model.score_batch([request])
+            assert model.degraded
+            assert first == [request.invoke(self.fallback_model())]
+            epoch_after_degrade = model.scorer_epoch
+            # "Restart" the scorer: point the model at the healthy stub.
+            model.host, model.port = address.rsplit(":", 1)[0], \
+                int(address.rsplit(":", 1)[1])
+            second = model.score_batch([request])
+            assert not model.degraded
+            assert model.reconnects == 1
+            assert model.scorer_epoch == epoch_after_degrade + 1
+            assert "reconnected" in caplog.text
+            # Server-scored again: differs from the fallback's answer.
+            assert second != [request.invoke(self.fallback_model())]
+        finally:
+            dying.shutdown()
+            dying.server_close()
+
+
+class TestHandshake:
+    def fallback_model(self):
+        return CalibratedOracleModel(seed=0)
+
+    def test_handshake_runs_on_connect(self, stub):
+        _, address = stub
+        model = ServerGuidanceModel(address,
+                                    fallback=self.fallback_model())
+        try:
+            model.score_batch([kw_request()])
+            assert not model.degraded  # handshake + scoring both fine
+        finally:
+            model.close()
+
+    def test_version_mismatch_degrades_permanently(self, caplog):
+        """A peer speaking another protocol version is rejected at the
+        handshake — permanently, with the whole reconnect budget
+        forfeited (reconnecting cannot fix an incompatibility)."""
+        server, address = serve_scripted([], version=99)
+        try:
+            model = ServerGuidanceModel(address,
+                                        fallback=self.fallback_model(),
+                                        timeout=2.0, max_reconnects=5)
+            request = kw_request()
+            with caplog.at_level(logging.WARNING,
+                                 "repro.guidance.batched"):
+                result = model.score_batch([request])
+            assert model.degraded
+            assert "protocol" in caplog.text
+            assert result == [request.invoke(self.fallback_model())]
+            # The budget is forfeit: no further connection attempts.
+            connects = []
+            original = ServerGuidanceModel._ensure_connection
+
+            def counting(inner_self):
+                connects.append(1)
+                return original(inner_self)
+
+            ServerGuidanceModel._ensure_connection = counting
+            try:
+                model.score_batch([kw_request()])
+            finally:
+                ServerGuidanceModel._ensure_connection = original
+            assert not connects
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_stub_server_answers_the_handshake(self):
+        module = load_example()
+        reply = module.score_batch({"id": 3, "hello": True})
+        assert reply == {"id": 3, "v": 1}
 
     @pytest.mark.parametrize("reply", [
         "not json\n",                                      # garbage
@@ -199,12 +326,15 @@ class TestDegrade:
         switch on, *every* answer is the fallback's."""
         from repro.guidance.batched import BatchingGuidanceModel
 
-        replies = iter([json.dumps({"id": 0, "scores": [[5.0, 1.0]]})
-                        + "\n"])
-        server, address = serve_lines(lambda line: next(replies, None))
+        # Handshakes, scores exactly one batch, then hangs up for good.
+        server, address = serve_scripted([
+            lambda payload: json.dumps(
+                {"id": payload["id"], "scores": [[5.0, 1.0]]}) + "\n",
+        ])
         try:
             model = BatchingGuidanceModel(ServerGuidanceModel(
-                address, fallback=self.fallback_model(), timeout=2.0))
+                address, fallback=self.fallback_model(), timeout=2.0,
+                max_reconnects=0))
             request = kw_request()
             with caplog.at_level(logging.WARNING, "repro.guidance.batched"):
                 server_scored = model.score_batch([request])[0]
@@ -220,6 +350,39 @@ class TestDegrade:
         finally:
             server.shutdown()
             server.server_close()
+
+    def test_reconnect_flushes_cached_fallback_distributions(self, stub):
+        """The symmetric flush: distributions cached while degraded are
+        the fallback's; after a successful reconnect every answer must
+        come from the server again."""
+        from repro.guidance.batched import BatchingGuidanceModel
+
+        _, address = stub
+        dying, dying_address = serve_scripted([])
+        try:
+            inner = ServerGuidanceModel(dying_address,
+                                        fallback=self.fallback_model(),
+                                        timeout=2.0, max_reconnects=2)
+            model = BatchingGuidanceModel(inner)
+            request = kw_request()
+            degraded_answer = model.score_batch([request])[0]
+            assert inner.degraded
+            assert degraded_answer == request.invoke(self.fallback_model())
+            # Heal onto the healthy stub. A *fresh* request has to
+            # reach the inner model to trigger the reconnect (repeats
+            # of cached requests are answered by the wrapper without
+            # touching the server — by design); after the switch, the
+            # cached fallback answer must be gone.
+            inner.host, inner.port = address.rsplit(":", 1)[0], \
+                int(address.rsplit(":", 1)[1])
+            model.score_batch([col_request()])
+            assert not inner.degraded
+            healed_answer = model.score_batch([request])[0]
+            assert healed_answer != degraded_answer, \
+                "a cached fallback distribution survived the reconnect"
+        finally:
+            dying.shutdown()
+            dying.server_close()
 
     def test_empty_candidate_request_yields_empty_distribution(self, stub):
         _, address = stub
