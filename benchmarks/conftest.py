@@ -4,15 +4,64 @@ Each benchmark regenerates one table or figure of the paper and prints it.
 Scale knobs: the defaults keep the whole suite under ~20 minutes on a
 laptop; set ``REPRO_BENCH_FULL=1`` for a larger, closer-to-paper-scale run
 (more databases/tasks and the paper's 60 s per-task timeout).
+
+Runs that include ``test_perf_enumerator.py`` additionally persist a
+performance trajectory to ``BENCH_enumerator.json`` at the repo root
+(see :func:`pytest_sessionfinish`): one entry per enumerator benchmark
+with its mean wall time and every ``extra_info`` counter the benchmark
+recorded (candidates/sec, probe counts, warm/cold deltas, cost-order
+probe savings). The file is committed so successive PRs leave a
+reviewable perf history instead of numbers that only ever existed in a
+CI log.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Where the enumerator perf trajectory is persisted (repo root).
+BENCH_TRAJECTORY = Path(__file__).resolve().parent.parent \
+    / "BENCH_enumerator.json"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the enumerator benchmarks' numbers to the repo root.
+
+    Only fires when the session actually ran ``test_perf_enumerator``
+    benchmarks (so figure/table benchmark runs don't clobber the
+    trajectory with an empty file), and never on a failed run — a
+    red session's numbers are not a trajectory point.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or exitstatus != 0:
+        return
+    entries = {}
+    for bench in getattr(bench_session, "benchmarks", ()):
+        if "test_perf_enumerator" not in getattr(bench, "fullname", ""):
+            continue
+        entry = dict(getattr(bench, "extra_info", {}) or {})
+        try:
+            entry["mean_s"] = round(bench.stats.mean, 4)
+        except Exception:
+            pass
+        entries[bench.name] = entry
+    if not entries:
+        return
+    payload = {
+        "suite": "benchmarks/test_perf_enumerator.py",
+        "full_scale": FULL,
+        "strict": os.environ.get("REPRO_PERF_STRICT", "") == "1",
+        "cpus": os.cpu_count(),
+        "benchmarks": entries,
+    }
+    BENCH_TRAJECTORY.write_text(json.dumps(payload, indent=2,
+                                           sort_keys=True) + "\n")
 
 #: (databases, tasks per database) for the synthetic Spider splits.
 DEV_SHAPE = (12, 10) if FULL else (6, 6)

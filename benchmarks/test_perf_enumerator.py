@@ -8,18 +8,22 @@ process-pool verification backend (workers=4), reporting the speedups
 comparison for the disk-backed probe cache (run the workload cold, save
 the caches, reload, run again), the score-call reduction of the
 batched guidance backend (dedup + distribution cache behind
-``score_batch``), and the probe-exec reduction of the canonical probe
-planner (round-level probe fusion). Set ``REPRO_PERF_STRICT=1``
-(multi-core hosts only — SQLite probe execution releases the GIL, but
-a single core has nothing to run the extra workers on) to turn the
-targets into hard assertions: ≥1.5x for threads, ≥1.1x for processes
-(which pay per-enumeration worker spawn + job pickling before their
-CPU-bound parallelism pays off), for the warm-cache run zero probe
-misses plus no slowdown, for the batched-guidance repeat run zero
-model calls, and for the planner-batched run strictly fewer executed
-``Database.execute`` statements than planner-off; by default the
-numbers are recorded, and every configuration is only required to
-preserve the candidate stream exactly.
+``score_batch``), the probe-exec reduction of the canonical probe
+planner (round-level probe fusion), and the probe savings of
+cost-ordered verification (``--cost-order order``: same answers, never
+more executed probes, plus single-flight dedup of concurrent duplicate
+probes). Set ``REPRO_PERF_STRICT=1`` (multi-core hosts only — SQLite
+probe execution releases the GIL, but a single core has nothing to run
+the extra workers on) to turn the targets into hard assertions: ≥1.5x
+for threads, ≥1.1x for processes (which pay per-enumeration worker
+spawn + job pickling before their CPU-bound parallelism pays off), for
+the warm-cache run zero probe misses plus no slowdown, for the
+batched-guidance repeat run zero model calls, for the planner-batched
+run strictly fewer executed ``Database.execute`` statements than
+planner-off, and for the cost-ordered contended round strictly fewer
+executed probes than the racing baseline; by default the numbers are
+recorded, and every configuration is only required to preserve the
+candidate stream exactly.
 
 Scale with ``REPRO_BENCH_FULL=1`` like the other benchmarks.
 """
@@ -76,13 +80,16 @@ def workload():
 
 
 def run_workload(workload, workers: int, backend: str = "threads",
-                 caches=None, probe_planner: str = "off"):
+                 caches=None, probe_planner: str = "off",
+                 cost_order: str = "off", probe_timeout=None):
     """Enumerate every task; returns (candidates, elapsed, cand/sec).
 
     ``caches`` optionally maps ``id(db)`` to a ``SharedProbeCache``,
     mirroring the harness's per-database sharing (and enabling the
     cold-vs-warm comparison below); ``probe_planner`` selects the
-    probe-planner mode for the planner-on/off comparison.
+    probe-planner mode for the planner-on/off comparison;
+    ``cost_order``/``probe_timeout`` select the verification
+    scheduling mode for the cost-order comparison.
     """
     from repro.core.enumerator import Enumerator, EnumeratorConfig
 
@@ -91,7 +98,9 @@ def run_workload(workload, workers: int, backend: str = "threads",
                               verify_backend=backend,
                               max_candidates=MAX_CANDIDATES,
                               max_expansions=MAX_EXPANSIONS,
-                              probe_planner=probe_planner)
+                              probe_planner=probe_planner,
+                              cost_order=cost_order,
+                              probe_timeout_ms=probe_timeout)
     emitted = 0
     start = time.monotonic()
     for task, db, tsq in tasks:
@@ -281,6 +290,113 @@ def test_probe_planner_batching(benchmark, workload):
         assert batch_probe < off_probe, \
             f"batched run issued {batch_probe} probe-path statements " \
             f"vs {off_probe} unbatched"
+
+
+def test_cost_order_probe_savings(benchmark, workload):
+    """Probe savings of cost-ordered verification (``--cost-order``).
+
+    Two measurements. First the full workload runs off and order at
+    workers=4 (fresh per-task caches, same ``db.stats`` accounting as
+    the planner comparison): ``order`` must emit the identical
+    candidate count with **never more** probe-path statements — on a
+    well-cached workload the two are typically equal, because executed
+    probes already converge to the distinct-key union. Second, the
+    savings mechanism itself is pinned under contention: order mode
+    arms single-flight dedup on the shared probe cache, so N workers
+    requesting the same cold probe key execute it once (the leader)
+    instead of racing N duplicates. The contended round widens the race
+    window (a slow probe wrapper) to make the off-mode duplicate races
+    — rare and timing-dependent in the wild — deterministic and
+    measurable. Recorded: probe-path statements for both workload runs
+    and executed-probe counts for both contended rounds; strict mode
+    asserts the contended single-flight round executes strictly fewer
+    probes than the racing baseline.
+    """
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.core.verifier import SharedProbeCache
+
+    model, tasks = workload
+    dbs = {id(db): db for _, db, _ in tasks}
+
+    def probe_stmts(deltas):
+        return sum(d.per_kind.get("probe", 0)
+                   + d.per_kind.get("probe_batch", 0) for d in deltas)
+
+    def measured(cost_order):
+        before = {key: db.stats.snapshot() for key, db in dbs.items()}
+        emitted, elapsed, _ = run_workload(workload,
+                                           workers=PARALLEL_WORKERS,
+                                           cost_order=cost_order)
+        deltas = [db.stats.delta_since(before[key])
+                  for key, db in dbs.items()]
+        return emitted, elapsed, probe_stmts(deltas)
+
+    off_emitted, off_elapsed, off_probe = measured("off")
+    emitted, elapsed, order_probe = run_once(
+        benchmark, lambda: measured("order"))
+
+    class SlowProbeDb:
+        """Delays ``exists`` so concurrent duplicate requests for one
+        cold key reliably overlap the check-execute-insert window."""
+
+        interrupt_armed = False
+
+        def __init__(self, db, delay):
+            self.db = db
+            self.delay = delay
+            self.execs = 0
+            self._lock = threading.Lock()
+
+        def exists(self, sql, params=()):
+            with self._lock:
+                self.execs += 1
+            time.sleep(self.delay)
+            return self.db.exists(sql, params)
+
+    def contended_round(single_flight):
+        db = SlowProbeDb(next(iter(dbs.values())), delay=0.05)
+        cache = SharedProbeCache()
+        if single_flight:
+            cache.enable_single_flight()
+        start = threading.Barrier(PARALLEL_WORKERS)
+
+        def one_probe(_):
+            start.wait()
+            return cache.probe_keyed(db, "probe-key", "SELECT 1 LIMIT 1")
+
+        with ThreadPoolExecutor(max_workers=PARALLEL_WORKERS) as pool:
+            answers = list(pool.map(one_probe, range(PARALLEL_WORKERS)))
+        assert answers == [True] * PARALLEL_WORKERS
+        return db.execs
+
+    racing_execs = contended_round(single_flight=False)
+    deduped_execs = contended_round(single_flight=True)
+
+    benchmark.extra_info["probe_stmts_off"] = off_probe
+    benchmark.extra_info["probe_stmts_order"] = order_probe
+    benchmark.extra_info["contended_execs_racing"] = racing_execs
+    benchmark.extra_info["contended_execs_single_flight"] = deduped_execs
+    benchmark.extra_info["workers"] = PARALLEL_WORKERS
+    print(f"\n[perf] cost order: {off_probe} probe-path statements off "
+          f"-> {order_probe} ordered (off {off_elapsed:.2f}s, order "
+          f"{elapsed:.2f}s); contended round x{PARALLEL_WORKERS}: "
+          f"{racing_execs} raced execs -> {deduped_execs} single-flight")
+    # Cost ordering must never change the final answer count...
+    assert emitted == off_emitted
+    # ...never execute more probes than the seed scheduler...
+    assert order_probe <= off_probe
+    # ...and single-flight must pin the contended round to one
+    # execution of the shared key (the racing baseline can only tie
+    # under pathological scheduling — a >50ms stall between sibling
+    # threads' cache checks).
+    assert deduped_execs == 1
+    assert racing_execs >= deduped_execs
+    if STRICT:
+        assert racing_execs > deduped_execs, \
+            f"contended round raced {racing_execs} executions vs " \
+            f"{deduped_execs} single-flight — no savings measured"
 
 
 def test_warm_cache_speedup(benchmark, workload, tmp_path):

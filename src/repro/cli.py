@@ -43,7 +43,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                                   guidance_batch=args.guidance_batch,
                                   guidance_cache_size=args.guidance_cache_size,
                                   guidance_server=args.guidance_server,
-                                  probe_planner=args.probe_planner)
+                                  probe_planner=args.probe_planner,
+                                  cost_order=args.cost_order,
+                                  probe_timeout_ms=args.probe_timeout)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -87,6 +89,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                   f"{telemetry.probe_plan_hits} plan hits, "
                   f"{telemetry.probe_batch_stmts} fused statements, "
                   f"{telemetry.probe_batch_fallbacks} fused fallbacks")
+        if telemetry.cost_order != "off":
+            print(f"[cost] mode {telemetry.cost_order}: "
+                  f"{telemetry.cost_ordered} candidates cost-ordered, "
+                  f"{telemetry.probe_timeouts} probe timeouts, "
+                  f"{telemetry.cost_aborts} cost aborts")
         if telemetry.guidance_batched:
             served = " (degraded to the local model)" \
                 if telemetry.guidance_degraded else ""
@@ -103,6 +110,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         SimulationConfig,
         fig10_report,
         fig11_report,
+        run_cost_order_audit,
         run_simulation,
         search_report,
     )
@@ -119,7 +127,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             guidance_batch=args.guidance_batch,
             guidance_cache_size=args.guidance_cache_size,
             guidance_server=args.guidance_server,
-            probe_planner=args.probe_planner)
+            probe_planner=args.probe_planner,
+            cost_order=args.cost_order,
+            probe_timeout_ms=args.probe_timeout)
         sim_config.enumerator_config()  # validate the combination early
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -149,6 +159,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"hits: {plan_hits}, {compiles} plans compiled, {fused} "
               f"fused statements, {fallbacks} fused fallbacks, "
               f"{degraded} degraded tasks")
+    if sim_config.cost_order != "off":
+        # The audit re-runs the corpus under "off" and under the chosen
+        # mode, so the printed contract lines are self-contained (the
+        # cost-order CI smoke greps them).
+        audit = run_cost_order_audit(corpus, config=sim_config,
+                                     mode=sim_config.cost_order)
+        match = "identical" if audit["answers_match"] else \
+            f"DIFFER on {', '.join(audit['answer_mismatches'])}"
+        print(f"\n[cost] mode {audit['mode']}: "
+              f"{audit['cost_ordered']} candidates cost-ordered, "
+              f"{audit['probe_timeouts']} probe timeouts, "
+              f"{audit['cost_aborts']} cost aborts")
+        print(f"[cost] answer sets: {match} across {audit['tasks']} tasks")
+        print(f"[cost] executed probes: {audit['probes_off']} off -> "
+              f"{audit['probes_cost']} {audit['mode']}")
+        print(f"[cost] top-10 gold hits: {audit['top10_off']} off -> "
+              f"{audit['top10_cost']} {audit['mode']} "
+              f"(accuracy delta {audit['accuracy_delta']:+d})")
     if sim_config.guidance_batch or sim_config.guidance_server:
         scored = sum(t.get("guide_calls", 0) for t in gpqe)
         requests = sum(t.get("guide_requests", 0) for t in gpqe)
@@ -233,7 +261,12 @@ def _positive_int(text: str) -> int:
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """Search-engine selection flags shared by the GPQE subcommands."""
-    from .core import ENGINES, PROBE_PLANNER_MODES, VERIFY_BACKENDS
+    from .core import (
+        COST_ORDER_MODES,
+        ENGINES,
+        PROBE_PLANNER_MODES,
+        VERIFY_BACKENDS,
+    )
 
     parser.add_argument("--engine", choices=ENGINES, default="best-first",
                         help="search strategy (default: best-first, which "
@@ -266,6 +299,22 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                              "probes into multi-probe UNION ALL "
                              "statements; never changes the candidate "
                              "stream (PlanHit telemetry column)")
+    parser.add_argument("--cost-order", dest="cost_order",
+                        choices=COST_ORDER_MODES, default="off",
+                        help="cost-aware verification scheduling: 'order' "
+                             "verifies each round cheapest-first (same "
+                             "final answer set, never more executed "
+                             "probes), 'abort' additionally defers "
+                             "costlier siblings once a cheaper candidate "
+                             "times out (the only mode allowed to change "
+                             "answers; CostAbort telemetry column). "
+                             "Default: off (seed-identical stream)")
+    parser.add_argument("--probe-timeout", dest="probe_timeout",
+                        type=_positive_int, default=None, metavar="MS",
+                        help="per-candidate probe budget in milliseconds; "
+                             "a timed-out probe is inconclusive (the "
+                             "candidate survives the stage) and feeds the "
+                             "--cost-order abort cascade")
     parser.add_argument("--guidance-batch", dest="guidance_batch",
                         action="store_true",
                         help="deduplicate and cache guidance decisions "

@@ -4,6 +4,8 @@ from .duoquest import Duoquest, SynthesisResult
 from .enumerator import Candidate, Enumerator, EnumeratorConfig
 from .joins import JoinPathBuilder
 from .search import (
+    COST_ORDER_MODES,
+    CostModel,
     ENGINES,
     PROBE_PLANNER_MODES,
     ProbePlanner,
@@ -37,8 +39,10 @@ from .verifier import (
 
 __all__ = [
     "ALL_STAGES",
+    "COST_ORDER_MODES",
     "Candidate",
     "Cell",
+    "CostModel",
     "DEFAULT_RULES",
     "Duoquest",
     "ENGINES",

@@ -70,12 +70,14 @@ from ..sqlir.types import ColumnType
 from .joins import JoinPathBuilder
 from .search import (
     Candidate,
+    CostModel,
     PoolManager,
     SearchEngine,
     SearchState,
     SearchTelemetry,
     UNRESOLVED_DECISION,
     make_frontier,
+    validate_cost_order,
     validate_probe_planner,
     validate_verification_config,
 )
@@ -134,6 +136,19 @@ class EnumeratorConfig:
     #: the database); observable in the probe_compiles/probe_plan_hits/
     #: probe_batch_stmts telemetry and in statement counts.
     probe_planner: str = "off"
+    #: cost-order mode (see repro.core.search.costmodel): "off" keeps
+    #: the bit-for-bit seed stream; "order" verifies each round
+    #: cheapest-first (same final answer set, never more executed
+    #: probes — single-flight probe dedup enforces the bound); "abort"
+    #: additionally abandons a round's costlier candidates once one
+    #: times out (may change answers; gated by the harness
+    #: accuracy-delta audit). Observable in the cost_ordered /
+    #: probe_timeouts / cost_aborts telemetry.
+    cost_order: str = "off"
+    #: wall-clock budget (ms) for one probe statement; None = uncapped
+    #: (the seed behaviour). Timed-out probes draw no conclusion but
+    #: flag the candidate — the signal "abort" mode propagates.
+    probe_timeout_ms: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Reject bad worker counts here, at the configuration boundary,
@@ -144,6 +159,13 @@ class EnumeratorConfig:
                              f"(got {self.workers!r})")
         validate_verification_config(self.verify_backend, self.workers)
         validate_probe_planner(self.probe_planner)
+        validate_cost_order(self.cost_order)
+        if self.probe_timeout_ms is not None and (
+                not isinstance(self.probe_timeout_ms, int)
+                or isinstance(self.probe_timeout_ms, bool)
+                or self.probe_timeout_ms < 1):
+            raise ValueError(f"probe_timeout_ms must be a positive "
+                             f"integer (got {self.probe_timeout_ms!r})")
         if not isinstance(self.guidance_cache_size, int) \
                 or self.guidance_cache_size < 1:
             raise ValueError(f"guidance_cache_size must be a positive "
@@ -205,7 +227,9 @@ class Enumerator:
             config=VerifierConfig(
                 check_semantics=self.config.check_semantics,
                 verify_partial=self.config.verify_partial,
-                probe_planner=self.config.probe_planner),
+                probe_planner=self.config.probe_planner,
+                probe_timeout_ms=self.config.probe_timeout_ms,
+                cost_order=self.config.cost_order),
             probe_cache=probe_cache)
         self._ctx = GuidanceContext(nlq=nlq, schema=self.schema,
                                     gold=gold, task_id=task_id)
@@ -254,13 +278,25 @@ class Enumerator:
         never verified.
         """
         self.telemetry = SearchTelemetry()
+        cost_model = None
+        cost_key = None
+        if self.config.cost_order != "off":
+            # One model per enumeration: cardinalities are fetched once
+            # and the attached verifier supplies pending-probe counts
+            # for the engine's per-job estimates. The frontier weights
+            # beam truncation by the probe-free structural cost only.
+            cost_model = CostModel(self.db, verifier=self.verifier)
+            cost_key = cost_model.structure_cost
         frontier = make_frontier(self.config.engine,
-                                 beam_width=self.config.beam_width)
+                                 beam_width=self.config.beam_width,
+                                 cost_key=cost_key)
         engine = SearchEngine(self, frontier,
                               workers=self.config.workers,
                               batch_size=self.config.batch_size,
                               telemetry=self.telemetry,
-                              verify_backend=self.config.verify_backend)
+                              verify_backend=self.config.verify_backend,
+                              cost_order=self.config.cost_order,
+                              cost_model=cost_model)
         return engine.run()
 
     # ------------------------------------------------------------------

@@ -45,7 +45,13 @@ everything else in the submodules is an implementation detail):
 """
 
 from .cachestore import PersistentProbeCache
+from .costmodel import (
+    COST_ORDER_MODES,
+    CostModel,
+    validate_cost_order,
+)
 from .engine import (
+    COST_ABORT,
     Candidate,
     NO_JOIN_PATH,
     SearchEngine,
@@ -85,7 +91,10 @@ from .telemetry import SearchTelemetry
 __all__ = [
     "BeamFrontier",
     "BestFirstFrontier",
+    "COST_ABORT",
+    "COST_ORDER_MODES",
     "Candidate",
+    "CostModel",
     "DecisionScheduler",
     "DiverseBeamFrontier",
     "ENGINES",
@@ -110,6 +119,7 @@ __all__ = [
     "make_frontier",
     "make_verification_pool",
     "structural_key",
+    "validate_cost_order",
     "validate_probe_planner",
     "validate_verification_config",
 ]

@@ -19,9 +19,19 @@ journaling provide the atomicity the JSON store had to build from
 temp-file renames. Probe entries are plain ``key -> outcome`` rows, so
 the store composes with the probe planner unchanged: with the planner
 on, the keys are canonical ``(signature, params)`` strings and a
-warm start serves every rendering of a probe from one row. (Planner-on
-and planner-off runs key probes differently, so a store written under
-one mode simply yields no hits under the other — never wrong answers.)
+warm start serves every rendering of a probe from one row.
+
+Planner-on and planner-off runs key probes differently (canonical
+``(signature, params)`` strings vs raw SQL), which used to mean a store
+written under one mode yielded no warm hits under the other — never
+wrong answers, but a silently cold cache after a ``--probe-planner``
+toggle. The store is therefore **dual-keyed**: at save time every
+raw-SQL probe key is also written under its canonical twin
+(:func:`~repro.sqlir.canon.probe_plan_key` over
+:func:`~repro.sqlir.canon.canonicalize_probe`), and at load time
+:meth:`~repro.core.verifier.SharedProbeCache.probe` falls back to the
+canonical twin of a raw key when the store was seeded with canonical
+entries. Either direction of the mode flip now warm-starts.
 
 Design constraints, in order:
 
@@ -58,6 +68,7 @@ from typing import Dict, Optional, Tuple
 
 from ...db.database import Database
 from ...sqlir.ast import ColumnRef
+from ...sqlir.canon import canonicalize_probe, probe_plan_key
 from ..verifier import SharedProbeCache
 
 logger = logging.getLogger(__name__)
@@ -66,6 +77,33 @@ logger = logging.getLogger(__name__)
 StoreEntries = Tuple[Dict[str, bool], Dict[ColumnRef, Tuple]]
 
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+#: Separator that only canonical ``(signature, params)`` keys contain
+#: (see :func:`repro.sqlir.canon.probe_plan_key`); raw SQL never does,
+#: so its presence distinguishes the two key families.
+_CANONICAL_MARK = "\x1f\x1f"
+
+
+def _with_canonical_twins(probes: Dict[str, bool]) -> Dict[str, bool]:
+    """``probes`` plus a canonical-key twin for every raw-SQL entry.
+
+    Dual-keys the store (module docstring): a raw-SQL probe answer
+    recorded by a planner-off run is also written under the canonical
+    ``(signature, params)`` key a planner-on run would look up, so a
+    warm ``--cache-dir`` survives a ``--probe-planner`` toggle. Existing
+    canonical entries win (``setdefault``), and a key that cannot be
+    canonicalised (unparsable SQL) is simply stored raw-only.
+    """
+    augmented = dict(probes)
+    for key, outcome in probes.items():
+        if _CANONICAL_MARK in key:
+            continue
+        try:
+            twin = probe_plan_key(*canonicalize_probe(key))
+        except Exception:
+            continue
+        augmented.setdefault(twin, outcome)
+    return augmented
 
 _SCHEMA = (
     "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)",
@@ -197,6 +235,7 @@ class PersistentProbeCache:
         run that produced the cache.
         """
         probes, minmax, _ = cache.export()
+        probes = _with_canonical_twins(probes)
         path = self.path_for(db)
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)

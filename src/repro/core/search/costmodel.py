@@ -1,0 +1,169 @@
+"""Per-candidate verification cost model for cost-aware scheduling.
+
+PRs 1-5 made probe *execution* cheap (plan cache, fused batches, warm
+stores) but probe *budget* was still spent uniformly: every candidate
+in a verification round got the same treatment regardless of how
+expensive its probes were going to be. This module supplies the
+estimate that lets the scheduler spend that budget cheapest-first —
+the Litmus idiom (``sort_by_cost``/``run_cqs``): order candidate
+queries by estimated execution cost and, once one times out, presume
+every costlier sibling does too.
+
+The model is deliberately *structural*: it reads only the schema-level
+table cardinalities (``db.catalog.table_cardinalities``, one cached
+``COUNT(*)`` per table), the candidate's join-path length, and — for
+full verification-job estimates — a probe-count hint derived from the
+TSQ's example tuples and the candidate's select width. It never
+executes a probe (or even a probe-free verifier stage) itself, so
+estimating a candidate can never change a verification outcome, and
+estimating a whole round costs microseconds — cheap enough that
+cost-ordered dispatch stays a net win even when every probe is a warm
+cache hit.
+
+Estimates feed three consumers, all wired through
+``EnumeratorConfig.cost_order`` / ``--cost-order {off,order,abort}``:
+
+* ``SearchEngine`` orders each round's verification jobs
+  cheapest-first (and, in ``abort`` mode, propagates a timeout at cost
+  *c* to every pending job with estimated cost >= *c*);
+* beam frontiers weight their truncation order by ``structure_cost``;
+* the ``ProbePlanner`` orders its fused batch arms by
+  ``probe_sql_cost``.
+
+Monotonicity is the model's contract (pinned by
+``tests/core/test_costmodel.py``): costs never decrease when a join
+path grows, a referenced table gets bigger, or more probes are
+pending. Absolute values are meaningless outside comparisons within
+one database.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Optional
+
+from ...db.catalog import table_cardinalities
+from ...sqlir.ast import Hole, JoinPath, Query
+from ...sqlir.render import quote_ident
+
+__all__ = ["COST_ORDER_MODES", "CostModel", "validate_cost_order"]
+
+#: The ``--cost-order`` modes: ``off`` keeps the bit-for-bit seed
+#: stream, ``order`` reorders verification cheapest-first (same final
+#: answer set, never more executed probes), ``abort`` additionally
+#: abandons the round's costlier siblings once one candidate times out.
+COST_ORDER_MODES = ("off", "order", "abort")
+
+
+def validate_cost_order(mode: str) -> str:
+    """Reject unknown cost-order modes with an actionable message."""
+    if mode not in COST_ORDER_MODES:
+        raise ValueError(
+            f"unknown cost_order {mode!r}; expected one of "
+            f"{', '.join(COST_ORDER_MODES)}")
+    return mode
+
+
+class CostModel:
+    """Estimate relative verification cost of candidate queries.
+
+    ``db`` supplies the table cardinalities (fetched lazily, once);
+    ``verifier`` is optional and only needed for :meth:`estimate`,
+    which scales the structural cost by the candidate's pending probe
+    count.
+    """
+
+    def __init__(self, db, verifier=None):
+        self.db = db
+        self.verifier = verifier
+        self._cards: Optional[Dict[str, float]] = None
+        self._sql_patterns = None
+
+    @property
+    def cardinalities(self) -> Dict[str, float]:
+        """``{table: row count}``, fetched once per model."""
+        if self._cards is None:
+            self._cards = {name: float(count) for name, count
+                           in table_cardinalities(self.db).items()}
+        return self._cards
+
+    def table_cost(self, table: str) -> float:
+        """Log-scale scan cost of one table (floor 1.0 per table).
+
+        Logarithmic because probes are indexed point/range lookups,
+        not full scans; the floor keeps every referenced table a
+        nonzero cost so join length dominates between equal-size
+        schemas. Unknown tables cost the floor only.
+        """
+        return 1.0 + math.log2(1.0 + self.cardinalities.get(table, 0.0))
+
+    def structure_cost(self, query: Query) -> float:
+        """Probe-free cost of a candidate: join length + table sizes.
+
+        Monotone: adding a table to the join path, or growing any
+        referenced table, never decreases the cost. Used directly as
+        the beam frontiers' cost key (no probes are pending at
+        frontier time, so the structural term is all there is).
+        """
+        tables = query.referenced_tables()
+        if isinstance(query.join_path, JoinPath):
+            join_len = max(len(query.join_path), len(tables))
+        else:
+            join_len = len(tables)
+        return 1.0 + join_len + sum(self.table_cost(t) for t in tables)
+
+    def probe_count_hint(self, query: Query) -> int:
+        """Upper-bound-flavoured count of probes the cascade may issue.
+
+        Structural on purpose: ``Verifier.pending_probe_sql`` gives the
+        exact superset but runs the probe-free stages to get it, which
+        is far too slow for a per-job dispatch key (a round estimates
+        every job on the main thread before the pool sees any of them).
+        The hint instead counts what the cascade probes *per example
+        tuple*: one membership probe per resolved select column, plus
+        one row probe. Monotone in both the TSQ's tuple count and the
+        candidate's select width; 0 without an attached verifier.
+        """
+        if self.verifier is None:
+            return 0
+        tuples = len(self.verifier.tsq.tuples)
+        if not tuples:
+            return 0
+        width = 0 if isinstance(query.select, Hole) else len(query.select)
+        return tuples * (width + 1)
+
+    def estimate(self, query: Query, treat_as_partial: bool = False) -> float:
+        """Cost of one verification job: structure x (1 + probes).
+
+        ``treat_as_partial`` is accepted for signature compatibility
+        with the engine's job tuples; the hint does not depend on it.
+        Monotone in the probe-count hint; falls back to the structural
+        cost alone when no verifier is attached.
+        """
+        return self.structure_cost(query) \
+            * (1.0 + self.probe_count_hint(query))
+
+    def probe_sql_cost(self, sql: str) -> float:
+        """Cost of one rendered probe: summed sizes of its tables.
+
+        Table references are recognised textually (quoted or
+        word-bounded bare names) because planner arms arrive as SQL
+        strings, not ASTs; a table the regex misses just costs the 1.0
+        floor — ordering degrades, correctness cannot (probe answers
+        are facts regardless of execution order).
+        """
+        if self._sql_patterns is None:
+            self._sql_patterns = [
+                (re.compile(r"(?<![\w\"])" + re.escape(quoted)
+                            + r"(?![\w\"])"), table)
+                if quoted == table else
+                (re.compile(re.escape(quoted)), table)
+                for table in sorted(self.cardinalities)
+                for quoted in (quote_ident(table),)
+            ]
+        cost = 1.0
+        for pattern, table in self._sql_patterns:
+            if pattern.search(sql):
+                cost += self.table_cost(table)
+        return cost

@@ -51,6 +51,16 @@ from .telemetry import SearchTelemetry
 NO_JOIN_PATH = VerifyResult(ok=False, failed_stage="join_path",
                             detail="referenced tables cannot be joined")
 
+#: Sentinel for jobs abandoned by cost-propagated early abort
+#: (``cost_order="abort"``): a cheaper sibling timed out this round, so
+#: every costlier pending candidate is presumed to time out too (the
+#: Litmus cascade). Like :data:`NO_JOIN_PATH` it is never folded into
+#: verifier stats, but it *is* counted as a prune, so abandonment stays
+#: visible (the ``prune:cost_abort`` column plus ``cost_aborts``).
+COST_ABORT = VerifyResult(ok=False, failed_stage="cost_abort",
+                          detail="deferred: a cheaper sibling timed out "
+                                 "this round")
+
 
 @dataclass(frozen=True)
 class Candidate:
@@ -126,7 +136,8 @@ class SearchEngine:
     def __init__(self, problem, frontier: Frontier, workers: int = 1,
                  batch_size: Optional[int] = None,
                  telemetry: Optional[SearchTelemetry] = None,
-                 verify_backend: str = "threads"):
+                 verify_backend: str = "threads",
+                 cost_order: str = "off", cost_model=None):
         self.problem = problem
         self.frontier = frontier
         self.workers = validate_verification_config(verify_backend,
@@ -140,6 +151,65 @@ class SearchEngine:
         self.telemetry.engine = frontier.name
         self.telemetry.workers = self.workers
         self.telemetry.verify_backend = verify_backend
+        #: cost-aware scheduling ("off" is the bit-for-bit seed path;
+        #: see :mod:`repro.core.search.costmodel` and :meth:`_dispatch`)
+        self.cost_order = cost_order
+        self.cost_model = cost_model if cost_order != "off" else None
+        self.telemetry.cost_order = cost_order
+        if self.cost_model is not None:
+            # Cost modes promise "never more executed probes than
+            # serial": single-flight dedup removes the concurrent
+            # duplicate-probe races that would otherwise break it.
+            problem.verifier.probe_cache.enable_single_flight()
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, pool, jobs: List[Job]) -> List[VerifyResult]:
+        """Run one round's verification jobs, cost-aware when enabled.
+
+        With cost order off (or a degenerate round) this is a straight
+        ``pool.run`` — the bit-for-bit seed path. ``order`` runs the
+        whole round in one pool call, cheapest-first, and un-permutes
+        the results back into job order; probe answers are facts, so
+        reordering can change statement counts but never outcomes.
+        ``abort`` dispatches in worker-width waves so a timeout
+        observed in one wave abandons every costlier pending wave (the
+        Litmus cascade): abandoned jobs get :data:`COST_ABORT` instead
+        of a verification result.
+        """
+        if self.cost_model is None or len(jobs) < 2:
+            results = pool.run(jobs)
+            self.telemetry.probe_timeouts += sum(
+                1 for result in results if result.timed_out)
+            return results
+        costs = [self.cost_model.estimate(query, treat_as_partial)
+                 for query, treat_as_partial in jobs]
+        order = sorted(range(len(jobs)), key=lambda i: (costs[i], i))
+        self.telemetry.cost_ordered += len(jobs)
+        results: List[Optional[VerifyResult]] = [None] * len(jobs)
+        timeouts = 0
+        if self.cost_order == "order":
+            for i, result in zip(order,
+                                 pool.run([jobs[i] for i in order])):
+                results[i] = result
+                timeouts += int(result.timed_out)
+        else:  # abort: worker-width waves, cheapest first
+            width = max(1, pool.workers)
+            aborted = False
+            for start in range(0, len(order), width):
+                wave = order[start:start + width]
+                if aborted:
+                    for i in wave:
+                        results[i] = COST_ABORT
+                    self.telemetry.cost_aborts += len(wave)
+                    continue
+                for i, result in zip(wave,
+                                     pool.run([jobs[i] for i in wave])):
+                    results[i] = result
+                    if result.timed_out:
+                        timeouts += 1
+                        aborted = True
+        self.telemetry.probe_timeouts += timeouts
+        return results
 
     # ------------------------------------------------------------------
     def run(self) -> Iterator[Candidate]:
@@ -232,7 +302,8 @@ class SearchEngine:
                         else:
                             jobs.append((probe, True))
                             job_keys.append((query, True))
-                for key, result in zip(job_keys, pool.run(jobs)):
+                for key, result in zip(job_keys,
+                                       self._dispatch(pool, jobs)):
                     verify_memo[key] = result
                 # Guidance is scheduled only for states that survived
                 # partial verification — the same decisions the serial
@@ -270,7 +341,8 @@ class SearchEngine:
 
                     if query.is_complete:
                         result = verify_memo.pop((query, False))
-                        problem.verifier.record_result(result)
+                        if result is not COST_ABORT:
+                            problem.verifier.record_result(result)
                         if not result.ok:
                             telemetry.record_prune(
                                 result.failed_stage or "unknown",
@@ -296,7 +368,8 @@ class SearchEngine:
 
                     if config.verify_partial and state.depth > 0:
                         result = verify_memo.pop((query, True))
-                        if result is not NO_JOIN_PATH:
+                        if result is not NO_JOIN_PATH \
+                                and result is not COST_ABORT:
                             problem.verifier.record_result(result)
                         if not result.ok:
                             telemetry.record_prune(

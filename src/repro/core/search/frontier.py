@@ -103,10 +103,14 @@ class BeamFrontier(Frontier):
     name = "beam"
     exact_order = False
 
-    def __init__(self, beam_width: int = 16):
+    def __init__(self, beam_width: int = 16,
+                 cost_key: Optional[Callable[[Query], float]] = None):
         if beam_width < 1:
             raise ValueError("beam_width must be >= 1")
         self.beam_width = beam_width
+        #: optional verification-cost estimate (cost-order modes): the
+        #: beam then prefers cheaper candidates among equal confidence
+        self.cost_key = cost_key
         self._current: List[Item] = []   # sorted, popped from the front
         self._next: List[Item] = []      # unsorted accumulation
         self.dropped = 0
@@ -118,8 +122,27 @@ class BeamFrontier(Frontier):
         # Re-inserted items belong to the in-flight level, not the next.
         self._current = sorted(items) + self._current
 
+    def _ordered(self, items: List[Item]) -> List[Item]:
+        """Sort one level in place for truncation and pop order.
+
+        Without a cost key this is plain key order — bit-identical to
+        the seed beam. With one (cost-order modes), the leading
+        priority element (confidence, for guided search) still
+        dominates, the estimated verification cost breaks ties toward
+        cheaper candidates, and the full key keeps the order total and
+        deterministic.
+        """
+        if self.cost_key is None:
+            items.sort()
+        else:
+            cost = self.cost_key
+            items.sort(key=lambda item: (item[0][0][0],
+                                         cost(item[1].query),
+                                         item[0]))
+        return items
+
     def _truncate(self, items: List[Item]) -> List[Item]:
-        items.sort()
+        self._ordered(items)
         kept = items[:self.beam_width]
         self.dropped += len(items) - len(kept)
         return kept
@@ -172,13 +195,14 @@ class DiverseBeamFrontier(BeamFrontier):
     name = "diverse-beam"
 
     def __init__(self, beam_width: int = 16,
-                 diversity_key: Callable[[Query], Hashable] = None):
-        super().__init__(beam_width)
+                 diversity_key: Callable[[Query], Hashable] = None,
+                 cost_key: Optional[Callable[[Query], float]] = None):
+        super().__init__(beam_width, cost_key=cost_key)
         self._diversity_key = diversity_key or (
             lambda state_query: structural_key(state_query))
 
     def _truncate(self, items: List[Item]) -> List[Item]:
-        items.sort()
+        self._ordered(items)
         groups: Dict[Hashable, List[Item]] = {}
         order: List[Hashable] = []
         for item in items:
@@ -201,19 +225,25 @@ class DiverseBeamFrontier(BeamFrontier):
             if not advanced:
                 break
             rank += 1
-        kept.sort()
+        self._ordered(kept)
         self.dropped += len(items) - len(kept)
         return kept
 
 
 #: Engine name -> frontier factory (consumed by config/CLI).
-def make_frontier(engine: str, beam_width: int = 16) -> Frontier:
+def make_frontier(engine: str, beam_width: int = 16,
+                  cost_key: Optional[Callable[[Query], float]] = None,
+                  ) -> Frontier:
+    """``cost_key`` (cost-order modes) weights *beam* truncation toward
+    cheaper candidates; the best-first frontier deliberately ignores it,
+    because its pop order is the exactness contract pinned by the
+    equivalence tests (cost-order must preserve the answer set)."""
     if engine == "best-first":
         return BestFirstFrontier()
     if engine == "beam":
-        return BeamFrontier(beam_width)
+        return BeamFrontier(beam_width, cost_key=cost_key)
     if engine == "diverse-beam":
-        return DiverseBeamFrontier(beam_width)
+        return DiverseBeamFrontier(beam_width, cost_key=cost_key)
     raise ValueError(f"unknown search engine {engine!r}; "
                      f"expected one of {sorted(ENGINES)}")
 

@@ -505,20 +505,33 @@ class PersistentPoolLease(BaseVerificationPool):
             return []
         if self._pool is None or self.degraded or len(jobs) == 1:
             return self._run_inline(jobs)
+        pool = self._pool
+        executor = pool.executor
+        if executor is None:
+            # A sibling lease already retired the pool (its batch hit a
+            # dead worker): degrade this lease without re-retiring —
+            # retire() is not ours to repeat, and the manager will
+            # respawn a fresh executor on the next lease.
+            self._pool = None
+            self._degrade("pool retired by a concurrent lease")
+            return self._run_inline(jobs)
         chunk = -(-len(jobs) // self.workers)  # ceil division
         payloads = [(self._token, self._task_state, self._sync,
                      jobs[i:i + chunk])
                     for i in range(0, len(jobs), chunk)]
         try:
-            outcomes = list(self._pool.executor.map(
-                _persistent_worker_batch, payloads))
+            # Collect *every* outcome before folding any delta below: a
+            # batch that dies mid-iteration (worker crash, retire from
+            # another thread) must fold nothing, so the inline rerun
+            # cannot double-count worker telemetry or cache deltas.
+            outcomes = list(executor.map(_persistent_worker_batch,
+                                         payloads))
         except Exception as exc:
             # A dead worker poisons the whole executor: degrade this
             # lease to inline and retire the pool so the manager
             # respawns a fresh one for the next enumeration.
-            pool, self._pool = self._pool, None
-            if pool is not None:
-                pool.retire(f"worker batch failed: {exc}")
+            self._pool = None
+            pool.retire(f"worker batch failed: {exc}")
             self._degrade(f"worker batch failed: {exc}")
             return self._run_inline(jobs)
         results: List[VerifyResult] = []
@@ -644,10 +657,12 @@ class PersistentProcessPool:
     # ------------------------------------------------------------------
     def retire(self, reason: str) -> None:
         """Shut the executor down after a worker failure; the manager
-        will spawn a fresh one on the next lease."""
+        will spawn a fresh one on the next lease. Idempotent: a second
+        retire (or a retire racing close()) is a silent no-op."""
         executor, self.executor = self.executor, None
-        if executor is not None:
-            executor.shutdown(wait=False)
+        if executor is None:
+            return
+        executor.shutdown(wait=False)
         logger.warning("persistent process pool for %r retired: %s",
                        self.db.schema.name, reason)
 

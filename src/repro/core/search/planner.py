@@ -153,6 +153,12 @@ class ProbePlanner:
                              "unset instead")
         self.mode = mode
         self.counters = PlannerCounters()
+        #: optional probe-cost estimate (``sql -> float``), attached by
+        #: the verifier in cost-order modes
+        #: (``CostModel.probe_sql_cost``): prefetch then executes its
+        #: fused statements cheapest-first, so under a probe budget the
+        #: cheap arms land before anything expensive can time out.
+        self.cost_key = None
         self._plans: Dict[str, ProbePlan] = {}
         #: signatures the *cascade* has consumed (counter accounting);
         #: disjoint from the plan cache itself, so prefetch-compiled
@@ -227,6 +233,11 @@ class ProbePlanner:
                 pending.append(plan)
         if not pending:
             return 0
+        if self.cost_key is not None:
+            # Stable, so equal-cost probes keep their cascade order;
+            # answers are facts, so ordering cannot change outcomes.
+            cost = self.cost_key
+            pending.sort(key=lambda plan: cost(plan.sql))
         answered = 0
         for group in self._grouped(pending):
             if len(group) < 2:

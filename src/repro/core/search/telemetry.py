@@ -88,6 +88,15 @@ class SearchTelemetry:
     probe_batch_fallbacks: int = 0
     #: successful guidance-server reconnects after a failure
     guidance_reconnects: int = 0
+    #: cost-order mode for this run ("off", "order", or "abort")
+    cost_order: str = "off"
+    #: verification jobs dispatched in cost order (0 when cost_order=off)
+    cost_ordered: int = 0
+    #: probes / full checks that hit their execution budget this run
+    probe_timeouts: int = 0
+    #: candidates abandoned by cost-propagated early abort (the
+    #: CostAbort column; nonzero only with cost_order=abort)
+    cost_aborts: int = 0
 
     def record_prune(self, stage: str, partial: bool) -> None:
         if partial:
@@ -140,5 +149,9 @@ class SearchTelemetry:
             "probe_batch_stmts": self.probe_batch_stmts,
             "probe_batch_fallbacks": self.probe_batch_fallbacks,
             "guidance_reconnects": self.guidance_reconnects,
+            "cost_order": self.cost_order,
+            "cost_ordered": self.cost_ordered,
+            "probe_timeouts": self.probe_timeouts,
+            "cost_aborts": self.cost_aborts,
             "cache_hit_rate": self.cache_hit_rate,
         }

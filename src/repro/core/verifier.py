@@ -14,12 +14,12 @@ queries repeat most probes.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..db.database import Database
 from ..db.schema import Schema
-from ..errors import ExecutionError
+from ..errors import ExecutionError, ExecutionTimeout
 from ..nlq.literals import Literal
 from ..sqlir.ast import (
     AggOp,
@@ -33,7 +33,7 @@ from ..sqlir.ast import (
     SelectItem,
     Where,
 )
-from ..sqlir.canon import normalize_value
+from ..sqlir.canon import canonicalize_probe, normalize_value, probe_plan_key
 from ..sqlir.render import (
     alias_map,
     quote_ident,
@@ -66,6 +66,12 @@ class VerifyResult:
     ok: bool
     failed_stage: Optional[str] = None
     detail: str = ""
+    #: True when a probe or the full check hit its execution budget
+    #: while verifying this candidate. The flag never changes ``ok`` by
+    #: itself (a timed-out probe draws no conclusion, so the candidate
+    #: stays alive); it is the signal the cost-order abort cascade
+    #: propagates to costlier siblings.
+    timed_out: bool = False
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.ok
@@ -91,6 +97,18 @@ class VerifierConfig:
     #: it ships to process-pool workers with the rest of the verifier
     #: state; worker verifiers rebuild their own planner from it.
     probe_planner: str = "off"
+    #: Wall-clock budget for executing one probe statement; ``None``
+    #: (the seed behaviour) leaves probes uncapped. A timed-out probe
+    #: draws no conclusion — the candidate stays alive — but stamps
+    #: ``timed_out`` on the :class:`VerifyResult`, which is what the
+    #: cost-order abort cascade keys on.
+    probe_timeout_ms: Optional[int] = None
+    #: Cost-order mode ("off", "order", or "abort" — see
+    #: :mod:`repro.core.search.costmodel`). Part of the verifier config
+    #: so it ships to process-pool workers: worker verifiers attach the
+    #: cost model to their rebuilt planner, ordering fused batch arms
+    #: cheapest-first on the worker side too.
+    cost_order: str = "off"
 
 
 class SharedProbeCache:
@@ -143,6 +161,14 @@ class SharedProbeCache:
         self.warm_start_hits = 0
         self._journal: Optional[Tuple[List[Tuple[str, bool]],
                                       List[Tuple[ColumnRef, Tuple]]]] = None
+        #: key -> Event for probes currently executing, or None when
+        #: single-flight dedup is off (see :meth:`enable_single_flight`)
+        self._inflight: Optional[Dict[str, threading.Event]] = None
+        #: True once a warm seed loaded canonical ``(signature, params)``
+        #: keys — raw-SQL lookups then fall back to their canonical twin
+        #: (see :meth:`probe`), so a store persisted under a planner mode
+        #: still warm-starts a planner-off run.
+        self._canonical_fallback = False
 
     def __len__(self) -> int:
         with self._lock:
@@ -213,6 +239,12 @@ class SharedProbeCache:
                         self.WARM_GENERATION
                         if warm or sql in warm_probes else self._generation)
                     inserted += 1
+                    if (self._probe_gen[sql] == self.WARM_GENERATION
+                            and "\x1f\x1f" in sql):
+                        # The persisted store was written under a planner
+                        # mode (canonical keys); arm the raw-key fallback
+                        # so a planner-off run still gets its warm hits.
+                        self._canonical_fallback = True
             for column, bounds in minmax.items():
                 if column not in self._minmax:
                     self._minmax[column] = bounds
@@ -267,8 +299,39 @@ class SharedProbeCache:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    def enable_single_flight(self) -> None:
+        """Deduplicate concurrent identical probes (cost-order modes).
+
+        Once enabled, the first worker to request an uncached key
+        becomes its *leader* and executes the probe; concurrent
+        requesters for the same key wait on the leader's event instead
+        of racing to execute a duplicate. This pins the executed-probe
+        count to the number of distinct keys, the invariant behind the
+        cost-order "never more probes than serial" contract. Off by
+        default: the race costs at most one redundant (idempotent)
+        probe per collision, and the seed stream's statement counts are
+        pinned bit-for-bit by the equivalence tests.
+        """
+        with self._lock:
+            if self._inflight is None:
+                self._inflight = {}
+
     def probe(self, db: Database, sql: str) -> bool:
         """Answer a raw-SQL probe, keyed by its text (planner off)."""
+        if self._canonical_fallback:
+            with self._lock:
+                if sql not in self._probes:
+                    try:
+                        twin = probe_plan_key(*canonicalize_probe(sql))
+                    except Exception:
+                        twin = None
+                    if twin is not None and twin in self._probes:
+                        # Alias the raw key to its canonical twin's
+                        # answer so planner-off runs hit entries a
+                        # planner-mode run persisted. Not journalled:
+                        # the store re-derives twins at save time.
+                        self._probes[sql] = self._probes[twin]
+                        self._probe_gen[sql] = self._probe_gen[twin]
         return self.probe_keyed(db, sql, sql)
 
     def probe_keyed(self, db: Database, key: str, sql: str,
@@ -280,29 +343,57 @@ class SharedProbeCache:
         every rendering of a semantically identical probe shares one
         cache entry; :meth:`probe` is the degenerate raw-text case.
         """
-        with self._lock:
-            if key in self._probes:
-                self.hits += 1
-                generation = self._probe_gen[key]
-                if generation == self.WARM_GENERATION:
-                    self.warm_start_hits += 1
-                elif generation < self._generation:
-                    self.cross_task_hits += 1
-                return self._probes[key]
+        leader_event = None
         try:
-            outcome = db.exists(sql, params)
-        except ExecutionError:
-            # A probe that cannot execute draws no conclusion; pruning
-            # must stay sound, so treat it as satisfied.
-            outcome = True
-        with self._lock:
-            self.misses += 1
-            if key not in self._probes:
-                self._probes[key] = outcome
-                self._probe_gen[key] = self._generation
-                if self._journal is not None:
-                    self._journal[0].append((key, outcome))
-            return self._probes[key]
+            while True:
+                wait_on = None
+                with self._lock:
+                    if key in self._probes:
+                        self.hits += 1
+                        generation = self._probe_gen[key]
+                        if generation == self.WARM_GENERATION:
+                            self.warm_start_hits += 1
+                        elif generation < self._generation:
+                            self.cross_task_hits += 1
+                        return self._probes[key]
+                    if self._inflight is not None:
+                        wait_on = self._inflight.get(key)
+                        if wait_on is None:
+                            leader_event = threading.Event()
+                            self._inflight[key] = leader_event
+                if wait_on is None:
+                    break
+                # Another worker is executing this probe right now: wait
+                # for its insert, then re-check. The timeout guards
+                # against a leader that died without inserting (e.g. its
+                # probe timed out) — the retry then claims leadership.
+                wait_on.wait(timeout=1.0)
+            try:
+                outcome = db.exists(sql, params)
+            except ExecutionError as exc:
+                if db.interrupt_armed and "interrupted" in str(exc):
+                    # The probe hit its execution budget: no conclusion
+                    # was drawn, so nothing may be cached. Propagate so
+                    # the surrounding interruptible() guard converts
+                    # this to ExecutionTimeout at scope exit.
+                    raise
+                # A probe that cannot execute draws no conclusion;
+                # pruning must stay sound, so treat it as satisfied.
+                outcome = True
+            with self._lock:
+                self.misses += 1
+                if key not in self._probes:
+                    self._probes[key] = outcome
+                    self._probe_gen[key] = self._generation
+                    if self._journal is not None:
+                        self._journal[0].append((key, outcome))
+                return self._probes[key]
+        finally:
+            if leader_event is not None:
+                with self._lock:
+                    if self._inflight is not None:
+                        self._inflight.pop(key, None)
+                leader_event.set()
 
     def peek(self, key: str) -> Optional[bool]:
         """The cached outcome for ``key``, or ``None`` — no counters
@@ -378,6 +469,18 @@ class Verifier:
             from .search.planner import ProbePlanner
             planner = ProbePlanner(self.config.probe_planner)
         self.planner = planner
+        #: set when a probe or the full check times out during the
+        #: current :meth:`verify` call; folded into the result there.
+        self._timed_out = False
+        # Cost-aware scheduling orders the planner's fused batch arms
+        # cheapest-first. Attached here (rather than by the engine) so
+        # process-pool workers — which rebuild verifier + planner from
+        # the pickled config — order their arms too. Lazy import: same
+        # package cycle as ProbePlanner above.
+        if (self.planner is not None and self.config.cost_order != "off"
+                and getattr(self.planner, "cost_key", None) is None):
+            from .search.costmodel import CostModel
+            self.planner.cost_key = CostModel(db).probe_sql_cost
 
     def fork(self, db: Database) -> "Verifier":
         """A verifier over ``db`` sharing this one's probe cache.
@@ -405,7 +508,10 @@ class Verifier:
         the stats update — used for speculative verification, where the
         caller records the outcome only once it is actually consumed.
         """
+        self._timed_out = False
         result = self._verify(query, treat_as_partial)
+        if self._timed_out and not result.timed_out:
+            result = replace(result, timed_out=True)
         return self.record_result(result) if record else result
 
     def _verify(self, query: Query, treat_as_partial: bool) -> VerifyResult:
@@ -542,6 +648,20 @@ class Verifier:
                 f"{prefix}{name} <= {quote_literal(cell.high)}")
 
     def _probe(self, sql: str) -> bool:
+        budget = self.config.probe_timeout_ms
+        try:
+            if budget:
+                with self.db.interruptible(budget):
+                    return self._probe_now(sql)
+            return self._probe_now(sql)
+        except ExecutionTimeout:
+            # No conclusion was drawn, so the candidate stays alive
+            # (sound: the probe neither confirmed nor refuted the cell);
+            # the flag is what the cost-order abort cascade keys on.
+            self._timed_out = True
+            return True
+
+    def _probe_now(self, sql: str) -> bool:
         if self.planner is not None:
             return self.planner.probe(self.db, self.probe_cache, sql)
         return self.probe_cache.probe(self.db, sql)
@@ -864,6 +984,11 @@ class Verifier:
             with self.db.interruptible(self.config.execution_budget_ms):
                 rows = self.db.execute(to_sql(query), max_rows=cap + 1,
                                        kind="full")
+        except ExecutionTimeout as exc:
+            self._timed_out = True
+            return VerifyResult(ok=False, failed_stage=STAGE_FULL,
+                                detail=f"execution failed: {exc}",
+                                timed_out=True)
         except ExecutionError as exc:
             return VerifyResult(ok=False, failed_stage=STAGE_FULL,
                                 detail=f"execution failed: {exc}")

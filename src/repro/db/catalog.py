@@ -29,6 +29,19 @@ from .database import Database
 from .schema import Column, ForeignKey, Schema, Table
 
 
+def table_cardinalities(db: Database) -> Dict[str, int]:
+    """Row counts for every table of ``db``'s schema.
+
+    The catalog statistic behind the search subsystem's cost model
+    (``repro.core.search.costmodel``): one ``COUNT(*)`` per table,
+    issued as ``kind="meta"`` statements so probe-count accounting is
+    untouched. Callers are expected to memoise — databases here are
+    immutable during a synthesis run.
+    """
+    return {table.name: db.row_count(table.name)
+            for table in db.schema.tables}
+
+
 def introspect_sqlite(connection: sqlite3.Connection,
                       name: str = "ingested") -> Schema:
     """Build a :class:`Schema` from a live SQLite connection.

@@ -80,6 +80,12 @@ class Database:
         self._conn.execute("PRAGMA foreign_keys = ON")
         self.stats = ExecutionStats()
         self._content_hash: Optional[str] = None
+        #: True while an :meth:`interruptible` guard is installed on this
+        #: connection — lets probe-level error handling distinguish a
+        #: budget interrupt (must propagate, nothing may be cached) from
+        #: a genuinely failing statement (draws no conclusion, sound to
+        #: treat as satisfied).
+        self.interrupt_armed = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -289,10 +295,12 @@ class _InterruptGuard:
             return 1 if time.monotonic() > deadline else 0
 
         self._db._conn.set_progress_handler(handler, Database._PROGRESS_STEP)
+        self._db.interrupt_armed = True
         return self._db
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self._db._conn.set_progress_handler(None, 0)
+        self._db.interrupt_armed = False
         if exc_type is ExecutionError and "interrupted" in str(exc):
             self._db.stats.timeouts += 1
             raise ExecutionTimeout(str(exc)) from exc

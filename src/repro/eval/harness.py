@@ -65,7 +65,7 @@ from ..interaction.simulated_user import (
     UserSimulator,
     make_cohort,
 )
-from ..sqlir.canon import queries_equal
+from ..sqlir.canon import queries_equal, signature
 from .metrics import SimTaskRecord
 
 
@@ -133,6 +133,18 @@ class SimulationConfig:
     #: facts of the database); the ``PlanHit`` column of
     #: ``search_report`` measures the reuse.
     probe_planner: str = "off"
+    #: cost-aware verification scheduling (the CLI's ``--cost-order``):
+    #: "off" keeps the seed-identical candidate stream, "order" verifies
+    #: each round cheapest-first (same final answer set, never more
+    #: executed probes), "abort" additionally defers costlier siblings
+    #: once a cheaper candidate times out — the only mode allowed to
+    #: change answers, audited by :func:`run_cost_order_audit`.
+    cost_order: str = "off"
+    #: per-candidate probe budget in milliseconds (the CLI's
+    #: ``--probe-timeout``); ``None`` leaves probes unbounded. Timed-out
+    #: probes are inconclusive (the candidate survives the stage) and
+    #: surface as ``probe_timeouts`` telemetry.
+    probe_timeout_ms: Optional[int] = None
 
     def enumerator_config(self) -> EnumeratorConfig:
         return EnumeratorConfig(time_budget=self.timeout,
@@ -145,7 +157,9 @@ class SimulationConfig:
                                 guidance_batch=self.guidance_batch,
                                 guidance_cache_size=self.guidance_cache_size,
                                 guidance_server=self.guidance_server,
-                                probe_planner=self.probe_planner)
+                                probe_planner=self.probe_planner,
+                                cost_order=self.cost_order,
+                                probe_timeout_ms=self.probe_timeout_ms)
 
 
 class ProbeCacheRegistry:
@@ -437,6 +451,102 @@ def run_ablations(tasks: TaskSet,
         caches.save()
         close_guidance(model)
     return records
+
+
+def run_cost_order_audit(tasks: TaskSet,
+                         config: Optional[SimulationConfig] = None,
+                         mode: str = "order") -> Dict[str, object]:
+    """Audit a cost-order mode against the ``off`` baseline.
+
+    Runs every task twice — once with ``cost_order="off"`` and once with
+    ``cost_order=mode`` — under otherwise-identical configuration, each
+    sweep with its own guidance model and probe-cache registry so
+    neither contaminates the other. The audit backs the cost-order
+    stream contract:
+
+    * ``mode="order"`` must keep the **final answer set** of every task
+      identical (compared by canonical query signature, rank-blind) and
+      must never execute more probes — the returned ``answers_match``
+      and ``probes_off``/``probes_cost`` expose both halves.
+    * ``mode="abort"`` may change answers; the returned
+      ``accuracy_delta`` (top-10 gold hits under the cost mode minus
+      under ``off``) quantifies exactly how much.
+
+    Returns a flat dict ready for CLI printing: ``mode``, ``tasks``,
+    ``answers_match``, ``answer_mismatches`` (task ids), ``probes_off``,
+    ``probes_cost``, ``cost_ordered``, ``probe_timeouts``,
+    ``cost_aborts``, ``top10_off``, ``top10_cost``, ``accuracy_delta``.
+    """
+    config = config or SimulationConfig()
+    # A wall-clock cutoff makes the emitted answer set nondeterministic
+    # (a task at 90% of budget lands on either side from run to run),
+    # which would fail the contract for reasons that have nothing to do
+    # with cost ordering. Lift it far enough that the *deterministic*
+    # budgets — max_candidates / max_expansions — bound every task, so
+    # both sweeps terminate at exactly the same point. (probe_timeout_ms
+    # is intentionally kept: per-probe timeouts are what the abort
+    # cascade reacts to, and the audit must measure that behaviour.)
+    audit_timeout = max(60.0, config.timeout * 10.0)
+
+    def sweep(cost_order: str):
+        cfg = replace(config, cost_order=cost_order,
+                      timeout=audit_timeout)
+        model = _oracle(cfg)
+        caches = ProbeCacheRegistry(enabled=cfg.share_probe_cache,
+                                    cache_dir=cfg.cache_dir)
+        pools = _pool_manager_for(cfg)
+        answers: Dict[str, frozenset] = {}
+        probes = 0
+        top10 = 0
+        counters = {"cost_ordered": 0, "probe_timeouts": 0,
+                    "cost_aborts": 0}
+        try:
+            for task in tasks:
+                db = tasks.database_for(task)
+                tsq = synthesize_tsq(task, db, detail=DETAIL_FULL,
+                                     seed=cfg.seed)
+                system = Duoquest(db, model=model,
+                                  config=cfg.enumerator_config(),
+                                  probe_cache=caches.cache_for(db),
+                                  pool_manager=pools)
+                # No stop_when: the contract is about the *full* emitted
+                # answer set, not the prefix up to the gold query.
+                result = system.synthesize(task.nlq, tsq, gold=task.gold,
+                                           task_id=task.task_id)
+                answers[task.task_id] = frozenset(
+                    signature(c.query) for c in result.candidates)
+                if any(queries_equal(c.query, task.gold)
+                       for c in result.top(10)):
+                    top10 += 1
+                if result.telemetry is not None:
+                    stats = result.telemetry.as_dict()
+                    probes += stats.get("probe_misses", 0)
+                    for key in counters:
+                        counters[key] += stats.get(key, 0)
+        finally:
+            caches.save()
+            close_guidance(model)
+        return answers, probes, top10, counters
+
+    answers_off, probes_off, top10_off, _ = sweep("off")
+    answers_cost, probes_cost, top10_cost, counters = sweep(mode)
+    mismatches = sorted(task_id for task_id in answers_off
+                        if answers_off[task_id]
+                        != answers_cost.get(task_id, frozenset()))
+    return {
+        "mode": mode,
+        "tasks": len(answers_off),
+        "answers_match": not mismatches,
+        "answer_mismatches": mismatches,
+        "probes_off": probes_off,
+        "probes_cost": probes_cost,
+        "cost_ordered": counters["cost_ordered"],
+        "probe_timeouts": counters["probe_timeouts"],
+        "cost_aborts": counters["cost_aborts"],
+        "top10_off": top10_off,
+        "top10_cost": top10_cost,
+        "accuracy_delta": top10_cost - top10_off,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -262,6 +262,8 @@ def search_report(records: Sequence[SimTaskRecord],
     disk store — an earlier *process* entirely. ``PlanHit`` counts
     probes served by an already-compiled parameterised plan when the
     probe planner is on (``--probe-planner plan|batch``; 0 otherwise).
+    ``CostAbort`` counts candidates deferred by the cost-propagated
+    abort cascade (``--cost-order abort``; 0 in every other mode).
     The two guidance columns
     measure the batching layer: ``GuideCalls`` is what the underlying
     model actually scored (equal to the request count when
@@ -297,6 +299,7 @@ def search_report(records: Sequence[SimTaskRecord],
         cross = total("cross_task_probe_hits")
         warm = total("warm_start_probe_hits")
         plan_hits = total("probe_plan_hits")
+        cost_aborts = total("cost_aborts")
         calls, batches = total("guidance_calls"), total("guidance_batches")
         guide_calls = total("guide_calls")
         guide_hits = total("guide_hits")
@@ -308,6 +311,7 @@ def search_report(records: Sequence[SimTaskRecord],
             cross,
             warm,
             plan_hits,
+            cost_aborts,
             f"{calls / batches:.1f}" if batches else "-",
             guide_calls,
             guide_hits,
@@ -319,7 +323,8 @@ def search_report(records: Sequence[SimTaskRecord],
         rows.append(tuple(row))
 
     headers = ("System", "Engine", "Verify", "W", "Expand", "Gen", "Emit",
-               "Cache%", "XTaskHit", "WarmStart", "PlanHit", "Calls/Batch",
+               "Cache%", "XTaskHit", "WarmStart", "PlanHit", "CostAbort",
+               "Calls/Batch",
                "GuideCalls", "GuideHits", "Wall",
                *(f"prune:{s}" for s in stage_names))
     return title + "\n" + format_table(headers, rows)

@@ -162,6 +162,8 @@ class TestContentHashProperties:
 
 class TestRoundTrip:
     def test_save_then_load(self, tmp_path, movie_db):
+        from repro.sqlir.canon import canonicalize_probe, probe_plan_key
+
         store = PersistentProbeCache(tmp_path)
         cache = populated_cache(movie_db)
         path = store.save(movie_db, cache)
@@ -169,7 +171,19 @@ class TestRoundTrip:
         probes, minmax = cache.export()[:2]
         loaded = store.load(movie_db)
         assert loaded is not None
-        assert loaded[0] == probes
+        # The store is dual-keyed: every cached entry round-trips, and
+        # raw-SQL keys additionally persist under their canonical twin
+        # (same outcome), so a planner-mode run warm-starts from an
+        # off-mode store.
+        for key, outcome in probes.items():
+            assert loaded[0][key] == outcome
+        extras = set(loaded[0]) - set(probes)
+        assert extras == {probe_plan_key(*canonicalize_probe(key))
+                          for key in probes if "\x1f\x1f" not in key}
+        for key in extras:
+            raw = [k for k in probes if "\x1f\x1f" not in k
+                   and probe_plan_key(*canonicalize_probe(k)) == key]
+            assert {probes[k] for k in raw} == {loaded[0][key]}
         assert loaded[1] == minmax
 
     def test_warm_cache_counts_warm_hits(self, tmp_path, movie_db):
@@ -327,7 +341,10 @@ class TestConcurrentWriters:
         loaded = store.load(movie_db)
         assert loaded is not None
         probes, minmax = loaded
-        assert len(probes) == 2
+        # Each writer's raw key plus its canonical twin (dual-keying).
+        assert len(probes) == 4
+        assert "SELECT 1 FROM movie WHERE year = 1994 LIMIT 1" in probes
+        assert "SELECT 1 FROM movie WHERE year = 2013 LIMIT 1" in probes
         assert len(minmax) == 1
 
     def test_interleaved_writers_keep_a_valid_store(self, tmp_path,
@@ -342,7 +359,10 @@ class TestConcurrentWriters:
             store.save(movie_db, cache)
             assert store.load(movie_db) is not None
         probes, _ = store.load(movie_db)
-        assert len(probes) == 8
+        # 8 raw keys, each with its canonical twin (dual-keying).
+        assert len(probes) == 16
+        assert all(f"SELECT 1 FROM movie WHERE mid = {i} LIMIT 1" in probes
+                   for i in range(8))
 
 
 class TestIncrementalUpsert:
@@ -361,8 +381,13 @@ class TestIncrementalUpsert:
                     {})
         store.save(movie_db, second)
         probes, _ = store.load(movie_db)
+        # Raw keys keep the first writer's facts; the literal-free keys'
+        # canonical twins (``<sql>\x1f\x1f``, dual-keying) follow suit.
         assert probes == {"probe-a": True, "probe-b": False,
-                          "probe-c": True}
+                          "probe-c": True,
+                          "probe-a\x1f\x1f": True,
+                          "probe-b\x1f\x1f": False,
+                          "probe-c\x1f\x1f": True}
 
     def test_locked_store_fails_the_save_without_deleting_it(
             self, tmp_path, movie_db, caplog, monkeypatch):

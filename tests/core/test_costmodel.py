@@ -1,0 +1,236 @@
+"""The verification cost model and the cost-aware dispatch paths.
+
+Two contracts under test:
+
+* :class:`~repro.core.search.costmodel.CostModel` is **monotone**:
+  costs never decrease when a join path grows, a referenced table gets
+  bigger, more example tuples are pending, or a probe references more
+  tables. Absolute values are unspecified.
+* ``SearchEngine._dispatch`` implements the three ``--cost-order``
+  tiers exactly: ``off`` is a straight ``pool.run``, ``order``
+  dispatches cheapest-first but un-permutes results back into job
+  order, and ``abort`` propagates the first observed timeout to every
+  costlier pending wave (the Litmus cascade) via :data:`COST_ABORT`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.search.costmodel import (
+    COST_ORDER_MODES,
+    CostModel,
+    validate_cost_order,
+)
+from repro.core.search.engine import COST_ABORT, SearchEngine
+from repro.core.search.telemetry import SearchTelemetry
+from repro.core.tsq import TableSketchQuery
+from repro.core.verifier import Verifier, VerifyResult
+from repro.sqlir.parser import parse_sql
+
+
+# ----------------------------------------------------------------------
+# Mode validation
+# ----------------------------------------------------------------------
+def test_modes_are_the_documented_triple():
+    assert COST_ORDER_MODES == ("off", "order", "abort")
+
+
+@pytest.mark.parametrize("mode", COST_ORDER_MODES)
+def test_validate_accepts_known_modes(mode):
+    assert validate_cost_order(mode) == mode
+
+
+def test_validate_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="unknown cost_order 'bogus'"):
+        validate_cost_order("bogus")
+
+
+# ----------------------------------------------------------------------
+# CostModel monotonicity
+# ----------------------------------------------------------------------
+class TestCostModelMonotonicity:
+    @pytest.fixture()
+    def model(self, movie_db):
+        return CostModel(movie_db)
+
+    def test_table_cost_monotone_in_cardinality(self, model, movie_db):
+        cards = model.cardinalities
+        assert cards["starring"] > cards["movie"] > cards["actor"] > 0
+        assert model.table_cost("starring") > model.table_cost("movie") \
+            > model.table_cost("actor")
+
+    def test_unknown_table_costs_the_floor(self, model):
+        assert model.table_cost("no_such_table") == 1.0
+        assert model.table_cost("actor") > model.table_cost("no_such_table")
+
+    def test_structure_cost_monotone_in_join_length(self, model,
+                                                    movie_db):
+        single = parse_sql("SELECT title FROM movie WHERE year < 1995",
+                           movie_db.schema)
+        joined = parse_sql(
+            "SELECT name, title FROM actor "
+            "JOIN starring ON actor.aid = starring.aid "
+            "JOIN movie ON starring.mid = movie.mid", movie_db.schema)
+        assert model.structure_cost(joined) > model.structure_cost(single)
+
+    def test_structure_cost_monotone_in_cardinality(self, movie_db):
+        grown = CostModel(movie_db)
+        # Same schema, one table reported 100x bigger: any query
+        # touching it must cost at least as much as before.
+        grown._cards = {name: count for name, count
+                        in CostModel(movie_db).cardinalities.items()}
+        query = parse_sql("SELECT title FROM movie WHERE year < 1995",
+                          movie_db.schema)
+        before = grown.structure_cost(query)
+        grown._cards["movie"] *= 100.0
+        assert grown.structure_cost(query) > before
+
+    def test_estimate_monotone_in_pending_probes(self, movie_db):
+        """More example tuples -> more pending probes -> higher
+        estimate, structure held constant."""
+        query = parse_sql("SELECT title FROM movie WHERE year < 1995",
+                          movie_db.schema)
+        one = Verifier(movie_db, tsq=TableSketchQuery.build(
+            types=["text"], rows=[["Forrest Gump"]]))
+        three = Verifier(movie_db, tsq=TableSketchQuery.build(
+            types=["text"],
+            rows=[["Forrest Gump"], ["Gravity"], ["Movie 03"]]))
+        small = CostModel(movie_db, verifier=one)
+        large = CostModel(movie_db, verifier=three)
+        assert large.probe_count_hint(query) > small.probe_count_hint(query)
+        assert large.estimate(query) > small.estimate(query)
+        # Without a verifier the estimate degrades to structure alone.
+        bare = CostModel(movie_db)
+        assert bare.estimate(query) == bare.structure_cost(query)
+
+    def test_probe_sql_cost_monotone_in_tables(self, model):
+        one = model.probe_sql_cost(
+            "SELECT 1 FROM movie WHERE title = 'Gravity' LIMIT 1")
+        two = model.probe_sql_cost(
+            "SELECT 1 FROM movie, starring WHERE movie.mid = starring.mid "
+            "LIMIT 1")
+        none = model.probe_sql_cost("SELECT 1 LIMIT 1")
+        assert two > one > none == 1.0
+
+
+# ----------------------------------------------------------------------
+# Engine dispatch: order / abort semantics
+# ----------------------------------------------------------------------
+PASS = VerifyResult(ok=True)
+TIMED_OUT = VerifyResult(ok=True, timed_out=True)
+
+
+class FakePool:
+    """Records every run() call; answers from a per-job outcome map."""
+
+    def __init__(self, workers, outcomes=None):
+        self.workers = workers
+        self.calls = []
+
+        self.outcomes = outcomes or {}
+
+    def run(self, jobs):
+        self.calls.append([query for query, _ in jobs])
+        return [self.outcomes.get(query, PASS) for query, _ in jobs]
+
+
+class StubCostModel:
+    """Cost = the number embedded in the fake 'query' label."""
+
+    def estimate(self, query, treat_as_partial=False):
+        return float(query.split(":")[1])
+
+
+def make_engine(cost_order):
+    engine = SearchEngine.__new__(SearchEngine)
+    engine.cost_order = cost_order
+    engine.cost_model = StubCostModel() if cost_order != "off" else None
+    engine.telemetry = SearchTelemetry()
+    return engine
+
+
+def jobs_with_costs(costs):
+    return [(f"q{i}:{cost}", False) for i, cost in enumerate(costs)]
+
+
+class TestCostOrderedDispatch:
+    def test_off_is_a_straight_pool_run(self):
+        engine = make_engine("off")
+        pool = FakePool(workers=2)
+        jobs = jobs_with_costs([9, 1, 5])
+        results = engine._dispatch(pool, jobs)
+        assert pool.calls == [["q0:9", "q1:1", "q2:5"]]  # original order
+        assert results == [PASS, PASS, PASS]
+        assert engine.telemetry.cost_ordered == 0
+
+    def test_order_dispatches_cheapest_first_and_unpermutes(self):
+        engine = make_engine("order")
+        pool = FakePool(workers=2, outcomes={"q0:9": TIMED_OUT})
+        jobs = jobs_with_costs([9, 1, 5])
+        results = engine._dispatch(pool, jobs)
+        assert pool.calls == [["q1:1", "q2:5", "q0:9"]]  # by cost
+        # Results align with the *original* job order regardless.
+        assert results == [TIMED_OUT, PASS, PASS]
+        assert engine.telemetry.cost_ordered == 3
+        assert engine.telemetry.probe_timeouts == 1
+        assert engine.telemetry.cost_aborts == 0
+
+    def test_order_breaks_cost_ties_by_job_index(self):
+        engine = make_engine("order")
+        pool = FakePool(workers=2)
+        engine._dispatch(pool, jobs_with_costs([5, 5, 1]))
+        assert pool.calls == [["q2:1", "q0:5", "q1:5"]]
+
+    def test_abort_propagates_timeout_to_costlier_waves(self):
+        """Five jobs, two workers: the cheapest wave times out, so both
+        later waves are abandoned with COST_ABORT — exactly the jobs
+        with estimated cost >= the timed-out one's."""
+        engine = make_engine("abort")
+        pool = FakePool(workers=2, outcomes={"q3:1": TIMED_OUT})
+        jobs = jobs_with_costs([8, 6, 4, 1, 2])
+        results = engine._dispatch(pool, jobs)
+        # Only the cheapest wave [1, 2] ever reached the pool.
+        assert pool.calls == [["q3:1", "q4:2"]]
+        assert results == [COST_ABORT, COST_ABORT, COST_ABORT,
+                           TIMED_OUT, PASS]
+        assert engine.telemetry.cost_aborts == 3
+        assert engine.telemetry.probe_timeouts == 1
+
+    def test_abort_without_timeouts_runs_every_wave(self):
+        engine = make_engine("abort")
+        pool = FakePool(workers=2)
+        jobs = jobs_with_costs([8, 6, 4, 1, 2])
+        results = engine._dispatch(pool, jobs)
+        assert pool.calls == [["q3:1", "q4:2"], ["q2:4", "q1:6"],
+                              ["q0:8"]]
+        assert results == [PASS] * 5
+        assert engine.telemetry.cost_aborts == 0
+        assert engine.telemetry.probe_timeouts == 0
+
+    def test_abort_timeout_in_middle_wave_spares_earlier_waves(self):
+        engine = make_engine("abort")
+        pool = FakePool(workers=2, outcomes={"q1:6": TIMED_OUT})
+        jobs = jobs_with_costs([8, 6, 4, 1, 2])
+        results = engine._dispatch(pool, jobs)
+        assert pool.calls == [["q3:1", "q4:2"], ["q2:4", "q1:6"]]
+        assert results == [COST_ABORT, TIMED_OUT, PASS, PASS, PASS]
+        assert engine.telemetry.cost_aborts == 1
+
+    def test_single_job_rounds_skip_the_cost_path(self):
+        """len(jobs) < 2 cannot benefit from ordering: straight run,
+        no cost_ordered telemetry (but timeouts still counted)."""
+        engine = make_engine("order")
+        pool = FakePool(workers=2, outcomes={"q0:7": TIMED_OUT})
+        results = engine._dispatch(pool, jobs_with_costs([7]))
+        assert results == [TIMED_OUT]
+        assert engine.telemetry.cost_ordered == 0
+        assert engine.telemetry.probe_timeouts == 1
+
+    def test_cost_abort_sentinel_is_a_visible_prune(self):
+        """The sentinel's stage name is what search_report surfaces as
+        the prune:cost_abort column; it must never read as an actual
+        timeout (the abandonment is presumed, not observed)."""
+        assert COST_ABORT.failed_stage == "cost_abort"
+        assert not COST_ABORT.ok
+        assert not COST_ABORT.timed_out

@@ -325,6 +325,88 @@ class TestDegradeAndEviction:
             healed.close()
 
     @needs_snapshots
+    def test_mid_batch_failure_folds_nothing_twice(self, movie_db):
+        """A batch that dies *after* a worker already returned an
+        outcome must fold none of the partial results: the inline rerun
+        re-verifies every job, so folding the partial batch too would
+        double-count worker telemetry and cache deltas."""
+        baseline_cache = SharedProbeCache()
+        verifier = make_verifier(movie_db, baseline_cache)
+        for query, partial in make_jobs(movie_db, count=4):
+            verifier.verify(query, treat_as_partial=partial, record=False)
+        baseline = (baseline_cache.hits, baseline_cache.misses)
+
+        with PoolManager() as manager:
+            cache = SharedProbeCache()
+            lease = manager.lease(make_verifier(movie_db, cache),
+                                  backend="processes", workers=2)
+            _, pool = next(iter(manager._pools.values()))
+            real_map = pool.executor.map
+
+            def poisoned_map(fn, payloads):
+                def outcomes():
+                    for outcome in real_map(fn, payloads):
+                        yield outcome          # one real worker delta...
+                        raise RuntimeError("worker died mid-batch")
+                return outcomes()
+
+            pool.executor.map = poisoned_map
+            results = lease.run(make_jobs(movie_db, count=4))
+            assert all(r.ok for r in results)  # inline rerun answered
+            assert lease.degraded
+        # Exactly one accounting of the four jobs — the partial worker
+        # delta was discarded, not folded on top of the inline rerun.
+        assert (cache.hits, cache.misses) == baseline
+
+    @needs_snapshots
+    def test_close_after_retire_is_idempotent(self, movie_db, caplog):
+        """retire() racing a second retire (or close()) is a silent
+        no-op: one warning, one shutdown, no crash."""
+        with PoolManager() as manager:
+            cache = SharedProbeCache()
+            lease = manager.lease(make_verifier(movie_db, cache),
+                                  backend="processes", workers=2)
+            _, pool = next(iter(manager._pools.values()))
+
+            def broken_map(fn, payloads):
+                raise RuntimeError("worker died")
+
+            pool.executor.map = broken_map
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.core.search.parallel"):
+                lease.run(make_jobs(movie_db))  # degrades + retires
+                assert pool.executor is None
+                pool.retire("second retire must be silent")
+                pool.close()
+                lease.close()
+                lease.close()
+            assert caplog.text.count("retired:") == 1
+
+    @needs_snapshots
+    def test_sibling_retire_degrades_lease_without_re_retiring(
+            self, movie_db):
+        """A lease whose pool was retired by a *sibling* lease (its
+        batch hit the dead worker first) degrades to inline — it must
+        not retire again, and the manager heals on the next lease."""
+        with PoolManager() as manager:
+            cache = SharedProbeCache()
+            survivor = manager.lease(make_verifier(movie_db, cache),
+                                     backend="processes", workers=2)
+            _, pool = next(iter(manager._pools.values()))
+            pool.retire("sibling lease hit a dead worker")
+            assert pool.executor is None
+            results = survivor.run(make_jobs(movie_db))
+            assert all(r.ok for r in results)
+            assert survivor.degraded
+            assert "retired by a concurrent lease" \
+                in survivor.degrade_reason
+            healed = manager.lease(make_verifier(movie_db, cache),
+                                   backend="processes", workers=2)
+            assert not healed.degraded
+            assert manager.stats["worker_spawns"] == 2
+            healed.close()
+
+    @needs_snapshots
     def test_midrun_degrade_clears_pool_reused(self, movie_db):
         """A warm lease whose workers die mid-enumeration ran inline:
         telemetry must not claim the run rode a warm pool."""

@@ -455,6 +455,147 @@ class TestProbePlannerEquivalence:
         assert enumerator.telemetry.probe_batch_stmts == 0
 
 
+class TestCostOrderEquivalence:
+    """``--cost-order`` ships with a tiered stream contract: ``off``
+    (the default) is pinned bit-for-bit by the golden fixture across
+    backend combinations, ``order`` must preserve the final answer set
+    exactly while never executing more probes, and ``abort`` is the
+    only mode allowed to change answers (gated by the harness's
+    ``run_cost_order_audit`` accuracy-delta report, not by this
+    suite)."""
+
+    @pytest.mark.parametrize("workers,backend,overrides", [
+        (1, "threads", {}),
+        (4, "threads", {}),
+        (4, "processes", {}),
+        (4, "threads", {"probe_planner": "batch"}),
+    ])
+    def test_off_stream_matches_golden(self, golden, tasks, workers,
+                                       backend, overrides):
+        for name, expected in golden["tasks"].items():
+            stream, enumerator, _ = run_engine(tasks[name], workers,
+                                               verify_backend=backend,
+                                               cost_order="off",
+                                               **overrides)
+            assert stream == expected["candidates"], \
+                f"{name} diverged with explicit cost_order='off' " \
+                f"(workers={workers}, backend={backend}, {overrides})"
+            assert enumerator.expansions == expected["total_expansions"]
+            assert enumerator.telemetry.cost_order == "off"
+            assert enumerator.telemetry.cost_ordered == 0
+            assert enumerator.telemetry.cost_aborts == 0
+
+    def test_off_with_warm_start_matches_golden(self, golden, tasks,
+                                                tmp_path):
+        from repro.core.search.cachestore import PersistentProbeCache
+
+        store = PersistentProbeCache(tmp_path)
+        name = next(iter(golden["tasks"]))
+        db = tasks[name][0]
+        cold_cache, _ = store.warm_cache(db)
+        run_engine(tasks[name], workers=1, cost_order="off",
+                   probe_cache=cold_cache)
+        store.save(db, cold_cache)
+
+        warm_cache, loaded = store.warm_cache(db)
+        assert loaded > 0
+        stream, enumerator, _ = run_engine(tasks[name], workers=1,
+                                           cost_order="off",
+                                           probe_cache=warm_cache)
+        assert stream == golden["tasks"][name]["candidates"]
+        assert enumerator.telemetry.warm_start_probe_hits > 0
+
+    @pytest.mark.parametrize("workers,backend", [
+        (1, "threads"), (4, "threads"), (4, "processes"),
+    ])
+    def test_order_preserves_answer_set(self, golden, tasks, workers,
+                                        backend):
+        """The ``order`` contract: cheapest-first dispatch reorders
+        statement execution only — probe answers are facts, so the
+        emitted answer set is exactly the golden one."""
+        for name, expected in golden["tasks"].items():
+            stream, enumerator, _ = run_engine(tasks[name], workers,
+                                               verify_backend=backend,
+                                               cost_order="order")
+            assert {c["signature"] for c in stream} == \
+                {c["signature"] for c in expected["candidates"]}, \
+                f"{name} answer set changed under --cost-order order " \
+                f"(workers={workers}, backend={backend})"
+            assert enumerator.telemetry.cost_order == "order"
+            if workers > 1:
+                assert enumerator.telemetry.cost_ordered > 0
+
+    def test_order_never_executes_more_probes(self, tasks):
+        """The other half of the ``order`` contract: with single-flight
+        dedup on, a cost-ordered parallel round can never execute more
+        probes than the plain parallel run (which may race duplicate
+        probes before the first insert lands)."""
+        name = "spider:library_dev_0-t2"
+        _, off_enum, _ = run_engine(tasks[name], workers=4)
+        _, cost_enum, _ = run_engine(tasks[name], workers=4,
+                                     cost_order="order")
+        assert cost_enum.telemetry.probe_misses \
+            <= off_enum.telemetry.probe_misses
+        assert cost_enum.telemetry.probe_timeouts == 0
+
+    def test_order_verifier_stats_match_off(self, tasks):
+        """Reordering must not change any verification outcome: stage
+        pass/fail counts match the plain run exactly."""
+        name = "spider:library_dev_0-t2"
+        _, plain, _ = run_engine(tasks[name], workers=1)
+        _, ordered, _ = run_engine(tasks[name], workers=4,
+                                   cost_order="order")
+        assert ordered.verifier.stats == plain.verifier.stats
+
+
+class TestWarmStartSurvivesPlannerFlip:
+    """The probe store is dual-keyed (raw SQL + canonical twins), so a
+    warm ``--cache-dir`` written under one ``--probe-planner`` mode
+    still warm-starts a run under the other — in both directions."""
+
+    def test_off_store_warms_a_planner_run(self, golden, tasks, tmp_path):
+        """off (raw keys) -> save -> batch (canonical lookups): the
+        save-side canonical twins serve the planner's keyed probes."""
+        from repro.core.search.cachestore import PersistentProbeCache
+
+        store = PersistentProbeCache(tmp_path)
+        name = next(iter(golden["tasks"]))
+        db = tasks[name][0]
+        cold_cache, _ = store.warm_cache(db)
+        run_engine(tasks[name], workers=1, probe_cache=cold_cache)
+        store.save(db, cold_cache)
+
+        warm_cache, loaded = store.warm_cache(db)
+        assert loaded > 0
+        stream, enumerator, _ = run_engine(tasks[name], workers=1,
+                                           probe_planner="batch",
+                                           probe_cache=warm_cache)
+        assert stream == golden["tasks"][name]["candidates"]
+        assert enumerator.telemetry.warm_start_probe_hits > 0
+
+    def test_planner_store_warms_an_off_run(self, golden, tasks,
+                                            tmp_path):
+        """batch (canonical keys) -> save -> off (raw lookups): the
+        cache-side fallback aliases a missing raw key to its canonical
+        twin when the store was seeded with canonical entries."""
+        from repro.core.search.cachestore import PersistentProbeCache
+
+        store = PersistentProbeCache(tmp_path)
+        name = next(iter(golden["tasks"]))
+        db = tasks[name][0]
+        cold_cache, _ = store.warm_cache(db)
+        run_engine(tasks[name], workers=1, probe_planner="batch",
+                   probe_cache=cold_cache)
+        store.save(db, cold_cache)
+
+        warm_cache, loaded = store.warm_cache(db)
+        assert loaded > 0
+        stream, enumerator, _ = run_engine(tasks[name], workers=1,
+                                           probe_cache=warm_cache)
+        assert stream == golden["tasks"][name]["candidates"]
+        assert enumerator.telemetry.warm_start_probe_hits > 0
+
+
 class TestBeamEngines:
     """Beam engines trade completeness for bounded frontiers but stay
     sound: everything they emit also passes the full verifier."""
