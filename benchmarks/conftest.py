@@ -5,14 +5,16 @@ Scale knobs: the defaults keep the whole suite under ~20 minutes on a
 laptop; set ``REPRO_BENCH_FULL=1`` for a larger, closer-to-paper-scale run
 (more databases/tasks and the paper's 60 s per-task timeout).
 
-Runs that include ``test_perf_enumerator.py`` additionally persist a
-performance trajectory to ``BENCH_enumerator.json`` at the repo root
-(see :func:`pytest_sessionfinish`): one entry per enumerator benchmark
-with its mean wall time and every ``extra_info`` counter the benchmark
-recorded (candidates/sec, probe counts, warm/cold deltas, cost-order
-probe savings). The file is committed so successive PRs leave a
-reviewable perf history instead of numbers that only ever existed in a
-CI log.
+Runs that include the perf suites (``test_perf_enumerator.py``,
+``test_perf_serve.py``) additionally persist a performance trajectory
+to ``BENCH_enumerator.json`` at the repo root (see
+:func:`pytest_sessionfinish`): one entry per perf benchmark with its
+mean wall time and every ``extra_info`` counter the benchmark recorded
+(candidates/sec, probe counts, warm/cold deltas, cost-order probe
+savings, sessions/sec). Entries merge into the existing file — running
+one suite never drops the other's numbers. The file is committed so
+successive PRs leave a reviewable perf history instead of numbers that
+only ever existed in a CI log.
 """
 
 from __future__ import annotations
@@ -29,21 +31,26 @@ FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 BENCH_TRAJECTORY = Path(__file__).resolve().parent.parent \
     / "BENCH_enumerator.json"
 
+#: Perf suites whose benchmarks land in the trajectory file.
+PERF_SUITES = ("test_perf_enumerator", "test_perf_serve")
+
 
 def pytest_sessionfinish(session, exitstatus):
-    """Persist the enumerator benchmarks' numbers to the repo root.
+    """Persist the perf benchmarks' numbers to the repo root.
 
-    Only fires when the session actually ran ``test_perf_enumerator``
-    benchmarks (so figure/table benchmark runs don't clobber the
-    trajectory with an empty file), and never on a failed run — a
-    red session's numbers are not a trajectory point.
+    Only fires when the session actually ran perf-suite benchmarks (so
+    figure/table benchmark runs don't clobber the trajectory with an
+    empty file), and never on a failed run — a red session's numbers
+    are not a trajectory point. New entries merge into the existing
+    file, so a run of one suite keeps the other suite's entries.
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None or exitstatus != 0:
         return
     entries = {}
     for bench in getattr(bench_session, "benchmarks", ()):
-        if "test_perf_enumerator" not in getattr(bench, "fullname", ""):
+        fullname = getattr(bench, "fullname", "")
+        if not any(suite in fullname for suite in PERF_SUITES):
             continue
         entry = dict(getattr(bench, "extra_info", {}) or {})
         try:
@@ -53,12 +60,19 @@ def pytest_sessionfinish(session, exitstatus):
         entries[bench.name] = entry
     if not entries:
         return
+    merged = {}
+    try:
+        merged = json.loads(BENCH_TRAJECTORY.read_text()) \
+            .get("benchmarks", {})
+    except Exception:
+        pass  # missing or unreadable: start fresh
+    merged.update(entries)
     payload = {
-        "suite": "benchmarks/test_perf_enumerator.py",
+        "suite": "benchmarks/test_perf_*.py",
         "full_scale": FULL,
         "strict": os.environ.get("REPRO_PERF_STRICT", "") == "1",
         "cpus": os.cpu_count(),
-        "benchmarks": entries,
+        "benchmarks": merged,
     }
     BENCH_TRAJECTORY.write_text(json.dumps(payload, indent=2,
                                            sort_keys=True) + "\n")

@@ -1,0 +1,71 @@
+"""Example client for the ``duoquest serve`` synthesis daemon.
+
+Runs one full dual-specification session against a running daemon using
+only the standard library (via :mod:`repro.serve.client`): opens a
+session with an NLQ plus one example tuple, refines the TSQ with a
+second tuple, prints the top candidates of each round, and finishes
+with the daemon's live ``stats`` snapshot.
+
+Start a daemon, then point this at it::
+
+    duoquest serve 127.0.0.1:8765 &
+    python examples/synthesis_service.py --port 8765
+    python examples/synthesis_service.py --port 8765 --database mas
+
+Run two of these concurrently against different ``--database`` names to
+watch the admission/fairness machinery and the cross-session probe-cache
+reuse in ``stats``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.client import SynthesisClient
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="example synthesis-service session")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--database", default="mas",
+                        help="served database name (see daemon startup "
+                             "line)")
+    parser.add_argument("--nlq", default="papers after 2005")
+    parser.add_argument("--top", type=int, default=5,
+                        help="candidates to print per round")
+    args = parser.parse_args(argv)
+
+    with SynthesisClient.connect(args.host, args.port) as client:
+        print(f"connected (server epoch {client.server_epoch})")
+
+        round1 = client.create(args.database, args.nlq,
+                               tsq_rows=[[None, 2007]])
+        session = round1["session"]
+        print(f"[{session}] round 1: {len(round1['candidates'])} "
+              f"candidates, state {round1['state']}")
+        for candidate in round1["candidates"][:args.top]:
+            print(f"    [{candidate['confidence']:.4f}] "
+                  f"{candidate['sql']}")
+
+        round2 = client.refine(session, extra_rows=[[None, 2011]])
+        print(f"[{session}] round 2: {len(round2['candidates'])} "
+              f"candidates, state {round2['state']}")
+        for candidate in round2["candidates"][:args.top]:
+            print(f"    [{candidate['confidence']:.4f}] "
+                  f"{candidate['sql']}")
+
+        stats = client.stats()
+        sessions = stats["sessions"]
+        print(f"stats: {sessions['created']} sessions created, "
+              f"{sessions['open']} open; "
+              f"{stats['pool_reused_rounds']} pool-reusing rounds; "
+              f"{stats['cross_session_probe_hits']} cross-session "
+              f"probe hits")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Subcommands:
 * ``duoquest user-study`` — run the simulated user studies and print the
   Figure 5-9 tables.
 * ``duoquest ablate`` — run the Figure 12 ablation.
+* ``duoquest serve`` — run the synthesis session daemon (NDJSON/TCP).
 * ``duoquest tables`` — print the static tables (1, 3, 4).
 """
 
@@ -237,6 +238,60 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .core.enumerator import EnumeratorConfig
+    from .datasets import (
+        SpiderCorpusConfig,
+        build_mas_database,
+        generate_corpus,
+    )
+    from .serve import SynthesisDaemon
+    from .serve.protocol import parse_address
+
+    try:
+        host, port = parse_address(args.address)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    databases = {"mas": build_mas_database(seed=args.seed)}
+    if args.databases:
+        corpus = generate_corpus("dev", SpiderCorpusConfig(
+            num_databases=args.databases, tasks_per_database=1,
+            seed=args.seed))
+        databases.update(corpus.databases)
+    try:
+        # Guidance batching is always on under the daemon: the shared
+        # distribution cache is one of the resources it exists to own
+        # (and the wrapper never changes candidate streams).
+        config = EnumeratorConfig(time_budget=args.timeout,
+                                  max_candidates=args.top,
+                                  engine=args.engine,
+                                  workers=args.workers,
+                                  verify_backend=args.verify_backend,
+                                  beam_width=args.beam_width,
+                                  guidance_batch=True,
+                                  guidance_cache_size=args.guidance_cache_size,
+                                  guidance_server=args.guidance_server,
+                                  probe_planner=args.probe_planner,
+                                  cost_order=args.cost_order,
+                                  probe_timeout_ms=args.probe_timeout)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    daemon = SynthesisDaemon(
+        databases, config=config, cache_dir=args.cache_dir,
+        max_concurrent=args.max_concurrent,
+        session_max_candidates=args.session_max_candidates,
+        session_max_probes=args.session_max_probes)
+    try:
+        asyncio.run(daemon.serve(host, port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     from .core.semantics import DEFAULT_RULES
     from .eval import table1_report, table3_report
@@ -372,6 +427,33 @@ def build_parser() -> argparse.ArgumentParser:
     ablate.add_argument("--timeout", type=float, default=8.0)
     ablate.add_argument("--seed", type=int, default=0)
     ablate.set_defaults(func=_cmd_ablate)
+
+    serve = sub.add_parser(
+        "serve", help="run the synthesis session daemon (NDJSON/TCP)")
+    serve.add_argument("address",
+                       help="HOST:PORT to listen on (port 0 picks one)")
+    serve.add_argument("--databases", type=int, default=2,
+                       help="synthetic Spider databases to serve "
+                            "alongside MAS")
+    serve.add_argument("--top", type=int, default=200,
+                       help="candidate cap per enumeration round")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="time budget per enumeration round (s)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-concurrent", dest="max_concurrent",
+                       type=_positive_int, default=4,
+                       help="admission bound on concurrent enumerations")
+    serve.add_argument("--session-max-candidates",
+                       dest="session_max_candidates", type=_positive_int,
+                       default=None,
+                       help="default per-session candidate budget "
+                            "(cumulative across rounds)")
+    serve.add_argument("--session-max-probes",
+                       dest="session_max_probes", type=_positive_int,
+                       default=None,
+                       help="default per-session executed-probe budget")
+    _add_engine_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     tables = sub.add_parser("tables", help="print the static tables")
     tables.set_defaults(func=_cmd_tables)

@@ -25,7 +25,7 @@ from ..nlq.literals import NLQuery
 from ..sqlir.ast import Query
 from ..sqlir.render import to_sql
 from .enumerator import Candidate, Enumerator, EnumeratorConfig
-from .search import PoolManager, SearchTelemetry
+from .search import CancelToken, PoolManager, SearchTelemetry
 from .tsq import TableSketchQuery
 from .verifier import SharedProbeCache, Verifier
 
@@ -132,6 +132,7 @@ class Duoquest:
                    gold: Optional[Query] = None,
                    task_id: str = "",
                    stop_when: Optional[Callable[[Candidate], bool]] = None,
+                   cancel_token: Optional[CancelToken] = None,
                    ) -> SynthesisResult:
         """Run GPQE and collect candidates.
 
@@ -139,14 +140,18 @@ class Duoquest:
         only by the calibrated oracle backend). ``stop_when`` lets the
         caller terminate as soon as a particular candidate appears — the
         simulation harness stops when the desired query is produced, as in
-        Section 5.4.1.
+        Section 5.4.1. ``cancel_token`` is a cooperative
+        :class:`~repro.core.search.CancelToken` polled by the engine;
+        interactive sessions pass one so an in-flight enumeration can be
+        cancelled (or budget-stopped) from another thread.
         """
         start = time.monotonic()
         enumerator = Enumerator(self.db, self.model, nlq, tsq=tsq,
                                 config=self.config, gold=gold,
                                 task_id=task_id,
                                 probe_cache=self.probe_cache,
-                                pool_manager=self.pool_manager)
+                                pool_manager=self.pool_manager,
+                                cancel_token=cancel_token)
         candidates: List[Candidate] = []
         stream = enumerator.enumerate()
         try:

@@ -70,6 +70,7 @@ from ..sqlir.types import ColumnType
 from .joins import JoinPathBuilder
 from .search import (
     Candidate,
+    CancelToken,
     CostModel,
     PoolManager,
     SearchEngine,
@@ -199,7 +200,8 @@ class Enumerator:
                  task_id: str = "",
                  verifier: Optional[Verifier] = None,
                  probe_cache: Optional[SharedProbeCache] = None,
-                 pool_manager: Optional[PoolManager] = None):
+                 pool_manager: Optional[PoolManager] = None,
+                 cancel_token: Optional[CancelToken] = None):
         self.db = db
         self.schema = db.schema
         self.nlq = nlq
@@ -237,6 +239,11 @@ class Enumerator:
         # lets the eval harness lease warm, long-lived verification
         # workers instead of spawning a pool per enumeration.
         self.pool_manager = pool_manager
+        # ``cancel_token`` (also part of the SearchProblem contract) is
+        # a cooperative :class:`CancelToken` polled by the engine; a
+        # session fires it to stop an in-flight enumeration between
+        # expansions.
+        self.cancel_token = cancel_token
         self.telemetry = SearchTelemetry()
 
         self._all_columns = tuple(self.schema.iter_column_refs())

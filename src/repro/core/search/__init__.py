@@ -52,6 +52,7 @@ from .costmodel import (
 )
 from .engine import (
     COST_ABORT,
+    CancelToken,
     Candidate,
     NO_JOIN_PATH,
     SearchEngine,
@@ -71,6 +72,8 @@ from .frontier import (
 from .parallel import (
     PersistentPoolLease,
     PersistentProcessPool,
+    PersistentThreadPool,
+    PersistentThreadPoolLease,
     PoolManager,
     ProcessVerificationPool,
     VERIFY_BACKENDS,
@@ -93,6 +96,7 @@ __all__ = [
     "BestFirstFrontier",
     "COST_ABORT",
     "COST_ORDER_MODES",
+    "CancelToken",
     "Candidate",
     "CostModel",
     "DecisionScheduler",
@@ -104,6 +108,8 @@ __all__ = [
     "PersistentPoolLease",
     "PersistentProbeCache",
     "PersistentProcessPool",
+    "PersistentThreadPool",
+    "PersistentThreadPoolLease",
     "PlannerCounters",
     "PoolManager",
     "ProbePlan",

@@ -27,9 +27,10 @@ match the serial run bit for bit.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ...guidance.base import GuidanceRequest
 from ...guidance.batched import BatchingGuidanceModel
@@ -60,6 +61,52 @@ NO_JOIN_PATH = VerifyResult(ok=False, failed_stage="join_path",
 COST_ABORT = VerifyResult(ok=False, failed_stage="cost_abort",
                           detail="deferred: a cheaper sibling timed out "
                                  "this round")
+
+
+class CancelToken:
+    """Cooperative cancellation signal for one running search.
+
+    The engine polls the token at the same safe points where it checks
+    ``max_expansions`` and the time budget — round boundaries and just
+    before consuming each state — so cancellation always lands between
+    expansions, never mid-probe, and the engine's ``finally`` block
+    still folds worker stats and cache deltas back as usual. A fired
+    token is surfaced as ``SearchTelemetry.cancelled`` (plus the
+    reason), which is how a daemon session distinguishes "cancelled"
+    from "budget ran out".
+
+    ``cancel()`` is thread-safe: a session owner (or a signal handler)
+    may fire it from any thread while the search runs in another.
+    Besides the explicit ``cancel()``, watchers registered with
+    :meth:`watch` are polled at every check; the first one returning a
+    non-empty reason string fires the token. Sessions use watchers for
+    per-session probe budgets (the predicate reads live probe-cache
+    counters, so the budget lands mid-enumeration, not only between
+    rounds of the interaction loop).
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason = ""
+        self._watchers: List[Callable[[], Optional[str]]] = []
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        if not self._event.is_set():
+            self.reason = reason
+        self._event.set()
+
+    def watch(self, predicate: Callable[[], Optional[str]]) -> None:
+        self._watchers.append(predicate)
+
+    @property
+    def cancelled(self) -> bool:
+        if not self._event.is_set():
+            for predicate in self._watchers:
+                reason = predicate()
+                if reason:
+                    self.cancel(reason)
+                    break
+        return self._event.is_set()
 
 
 @dataclass(frozen=True)
@@ -256,6 +303,18 @@ class SearchEngine:
         planner_start = planner.counters.copy() if planner is not None \
             else None
         reconnects_start = int(getattr(model, "reconnects", 0))
+        # Cooperative cancellation: supplied by the domain (a session
+        # passes its token through the Enumerator). Checked at the same
+        # safe points as max_expansions / time budget.
+        token = getattr(problem, "cancel_token", None)
+
+        def _cancelled() -> bool:
+            if token is not None and token.cancelled:
+                telemetry.cancelled = True
+                telemetry.cancel_reason = token.reason
+                return True
+            return False
+
         start = time.monotonic()
         try:
             if pool.workers != self.workers:
@@ -281,6 +340,8 @@ class SearchEngine:
             emitted = 0
 
             while frontier:
+                if _cancelled():
+                    return
                 batch = frontier.pop_batch(self.batch_size)
                 if not batch:
                     break
@@ -327,6 +388,8 @@ class SearchEngine:
                         return
                     if config.time_budget is not None and \
                             time.monotonic() - start > config.time_budget:
+                        return
+                    if _cancelled():
                         return
                     if position > 0 and frontier.exact_order:
                         ahead = frontier.peek_key()

@@ -554,6 +554,213 @@ class PersistentPoolLease(BaseVerificationPool):
         self._pool = None
 
 
+class PersistentThreadPoolLease(BaseVerificationPool):
+    """One enumeration's view of a :class:`PersistentThreadPool`.
+
+    The thread analogue of :class:`PersistentPoolLease`: ``close()``
+    retires the lease but leaves the executor (and its warm per-thread
+    database forks) running for the next enumeration. Because thread
+    forks share the primary's probe cache and planner directly, only
+    database statement counters need folding back — which ``close()``
+    does as deltas, so a fork serving many leases never double-counts.
+    """
+
+    backend = "threads"
+
+    def __init__(self, pool: "PersistentThreadPool", verifier: Verifier,
+                 reused: bool, degrade_reason: str = ""):
+        super().__init__(verifier, pool.workers)
+        self._pool: Optional[PersistentThreadPool] = pool
+        #: survives a mid-run degrade, so close() can still fold the
+        #: stats of batches that ran before the pool was retired
+        self._home: Optional[PersistentThreadPool] = pool
+        self._token = next(_LEASE_TOKENS)
+        #: True when the lease attached to an already-warm pool (no
+        #: executor spawn, no snapshot rehydration in the workers).
+        self.reused = reused
+        if degrade_reason:
+            self._pool = None
+            self._home = None
+            self._degrade(degrade_reason)
+
+    def run(self, jobs: Sequence[Job]) -> List[VerifyResult]:
+        """Verify all jobs; results align positionally with ``jobs``."""
+        if not jobs:
+            return []
+        if self._pool is None or self.degraded or len(jobs) == 1:
+            return self._run_inline(jobs)
+        pool = self._pool
+        executor = pool.executor
+        if executor is None:
+            self._pool = None
+            self._degrade("pool retired by a concurrent lease")
+            return self._run_inline(jobs)
+        # Same order as VerificationPool.run: round batching runs on the
+        # primary connection first, so fused answers land in the shared
+        # cache before the workers look.
+        self._prefetch(self.verifier, jobs)
+        try:
+            with pool.run_lock:
+                return list(executor.map(pool.job_runner(self), jobs))
+        except Exception as exc:
+            self._pool = None
+            pool.retire(f"worker batch failed: {exc}")
+            self._degrade(f"worker batch failed: {exc}")
+            return self._run_inline(jobs)
+
+    def close(self) -> None:
+        """Retire the lease, folding fork statement counters back into
+        the primary database. The pool's threads stay warm. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        pool, self._home = self._home, None
+        self._pool = None
+        if pool is not None:
+            pool.fold_stats(self.verifier)
+
+
+class PersistentThreadPool:
+    """A warm :class:`~concurrent.futures.ThreadPoolExecutor` for one
+    database, reused across enumerations.
+
+    The warm variant of the ``threads`` backend: per-thread
+    :meth:`Database.from_snapshot` forks are rehydrated once and then
+    kept alive across enumerations, so threaded sessions stop paying
+    the snapshot-rehydrate cost per task. Per-lease :class:`Verifier`
+    forks are rebuilt lazily on each worker thread the first time a
+    batch from a new lease arrives (task state is cheap thread-side —
+    no pickling), while the database connections persist.
+
+    Owned by a :class:`PoolManager` (opt-in via ``warm_threads=True``),
+    never by the engine. Batches from concurrent leases are serialised
+    by ``run_lock`` — the thread forks are shared mutable state, unlike
+    process workers — which also gives a daemon round-robin fairness
+    across sessions of one database for free.
+    """
+
+    backend = "threads"
+
+    def __init__(self, db: Database, workers: int):
+        self.db = db
+        self.workers = _validated_workers(workers)
+        self.executor: Optional[ThreadPoolExecutor] = None
+        self.spawns = 0
+        self.leases = 0
+        #: nonempty once the database proved unsnapshottable (cannot
+        #: heal; later leases degrade immediately)
+        self.unavailable_reason = ""
+        self._payload: Optional[bytes] = None
+        self._local = threading.local()
+        self._fork_dbs: List[Database] = []
+        #: id(fork db) -> stats snapshot at the last fold, so lease
+        #: close() folds only the delta accrued since
+        self._folded: Dict[int, object] = {}
+        self._lock = threading.Lock()
+        #: serialises batches (and stat folds) across leases
+        self.run_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def lease(self, verifier: Verifier) -> PersistentThreadPoolLease:
+        """A pool view for one enumeration by ``verifier``. Degrades
+        (visibly, via the lease) rather than raising."""
+        self.leases += 1
+        if self.unavailable_reason:
+            return PersistentThreadPoolLease(
+                self, verifier, reused=False,
+                degrade_reason=self.unavailable_reason)
+        reused = self.executor is not None
+        if not reused:
+            reason = self._start(verifier)
+            if reason:
+                return PersistentThreadPoolLease(self, verifier,
+                                                 reused=False,
+                                                 degrade_reason=reason)
+        return PersistentThreadPoolLease(self, verifier, reused=reused)
+
+    def _start(self, verifier: Verifier) -> str:
+        """Snapshot the database and spawn the executor; '' on success."""
+        try:
+            self._payload = verifier.db.snapshot()
+        except ExecutionError as exc:
+            self.unavailable_reason = str(exc)
+            return self.unavailable_reason
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-warm-verify")
+        self.spawns += 1
+        return ""
+
+    # ------------------------------------------------------------------
+    def _thread_verifier(self, lease: PersistentThreadPoolLease) -> Verifier:
+        """The calling worker thread's verifier for ``lease``.
+
+        The database fork persists for the lifetime of the pool (the
+        warm structure); the verifier fork is swapped whenever a batch
+        from a new lease reaches this thread.
+        """
+        local = self._local
+        db = getattr(local, "db", None)
+        if db is None:
+            db = Database.from_snapshot(self.db.schema, self._payload)
+            local.db = db
+            with self._lock:
+                self._fork_dbs.append(db)
+                self._folded[id(db)] = db.stats.snapshot()
+        if getattr(local, "token", None) != lease._token:
+            local.verifier = lease.verifier.fork(db)
+            local.token = lease._token
+        return local.verifier
+
+    def job_runner(self, lease: PersistentThreadPoolLease):
+        def verify(job: Job) -> VerifyResult:
+            query, treat_as_partial = job
+            return self._thread_verifier(lease).verify(
+                query, treat_as_partial=treat_as_partial, record=False)
+        return verify
+
+    def fold_stats(self, verifier: Verifier) -> None:
+        """Fold fork statement-counter deltas into ``verifier``'s db."""
+        with self.run_lock:
+            with self._lock:
+                dbs = list(self._fork_dbs)
+            for db in dbs:
+                delta = db.stats.delta_since(self._folded[id(db)])
+                self._folded[id(db)] = db.stats.snapshot()
+                verifier.db.merge_stats(delta)
+
+    # ------------------------------------------------------------------
+    def retire(self, reason: str) -> None:
+        """Shut the executor down after a failure; the manager respawns
+        a fresh one on the next lease. Idempotent."""
+        executor, self.executor = self.executor, None
+        if executor is None:
+            return
+        executor.shutdown(wait=False)
+        self._discard_forks()
+        logger.warning("persistent thread pool for %r retired: %s",
+                       self.db.schema.name, reason)
+
+    def close(self) -> None:
+        """Shut the threads down and close their fork connections for
+        good. Idempotent."""
+        executor, self.executor = self.executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        self._discard_forks()
+
+    def _discard_forks(self) -> None:
+        with self._lock:
+            dbs, self._fork_dbs = self._fork_dbs, []
+            self._folded = {}
+        self._local = threading.local()
+        for db in dbs:
+            try:
+                db.close()
+            except Exception:  # already closed / interpreter teardown
+                pass
+
+
 class PersistentProcessPool:
     """A warm :class:`~concurrent.futures.ProcessPoolExecutor` for one
     database, reused across enumerations.
@@ -686,20 +893,27 @@ class PoolManager:
     sync per task.
 
     ``lease()`` is the single entry point and also the policy boundary:
-    backends that are cheap to spawn (``inline``, ``threads``) or
-    single-worker configurations fall back to a plain per-enumeration
-    pool, so the manager can be attached unconditionally. Pools are
-    evicted least-recently-used beyond ``max_pools`` to bound worker
-    processes when sweeping many databases.
+    backends that are cheap to spawn (``inline``, by default
+    ``threads``) or single-worker configurations fall back to a plain
+    per-enumeration pool, so the manager can be attached
+    unconditionally. ``warm_threads=True`` opts multi-worker ``threads``
+    leases into warm :class:`PersistentThreadPool` pools too (the
+    daemon's ServiceContext does this, so threaded sessions get the
+    same amortisation). Pools are evicted least-recently-used beyond
+    ``max_pools`` to bound worker processes when sweeping many
+    databases.
     """
 
-    def __init__(self, max_pools: int = 8):
+    def __init__(self, max_pools: int = 8, warm_threads: bool = False):
         if max_pools < 1:
             raise ValueError(f"max_pools must be >= 1 (got {max_pools})")
         self.max_pools = max_pools
-        #: id(db) -> (db, pool); the strong db reference both keys the
-        #: pool and prevents id() reuse while the entry lives
-        self._pools: "OrderedDict[int, Tuple[Database, PersistentProcessPool]]" = \
+        #: opt-in: serve multi-worker ``threads`` leases from warm
+        #: per-database thread pools instead of falling back
+        self.warm_threads = warm_threads
+        #: (id(db), backend) -> (db, pool); the strong db reference both
+        #: keys the pool and prevents id() reuse while the entry lives
+        self._pools: "OrderedDict[Tuple[int, str], Tuple[Database, object]]" = \
             OrderedDict()
         self._lock = threading.Lock()
         self.fallback_leases = 0
@@ -727,32 +941,40 @@ class PoolManager:
               workers: int = 1):
         """A verification pool for one enumeration.
 
-        Returns a :class:`PersistentPoolLease` over a warm (or newly
-        spawned) per-database pool when the configuration can benefit
-        (``processes`` backend, ``workers > 1``); otherwise falls back
-        to :func:`make_verification_pool`, so callers need no policy of
-        their own.
+        Returns a :class:`PersistentPoolLease` (or, with
+        ``warm_threads=True``, a :class:`PersistentThreadPoolLease`)
+        over a warm (or newly spawned) per-database pool when the
+        configuration can benefit (``workers > 1``); otherwise falls
+        back to :func:`make_verification_pool`, so callers need no
+        policy of their own.
         """
         workers = validate_verification_config(backend, workers)
-        if self._closed or backend != "processes" or workers == 1:
+        persistent = workers > 1 and (
+            backend == "processes"
+            or (backend == "threads" and self.warm_threads))
+        if self._closed or not persistent:
             self.fallback_leases += 1
             return make_verification_pool(verifier, backend=backend,
                                           workers=workers)
-        return self._pool_for(verifier.db, workers).lease(verifier)
+        return self._pool_for(verifier.db, workers, backend).lease(verifier)
 
-    def _pool_for(self, db: Database, workers: int) -> PersistentProcessPool:
-        evicted: List[PersistentProcessPool] = []
+    def _pool_for(self, db: Database, workers: int, backend: str):
+        evicted: List[object] = []
+        key = (id(db), backend)
         with self._lock:
-            entry = self._pools.get(id(db))
+            entry = self._pools.get(key)
             if entry is not None and entry[0] is db \
                     and entry[1].workers == workers:
-                self._pools.move_to_end(id(db))
+                self._pools.move_to_end(key)
                 pool = entry[1]
             else:
                 if entry is not None:  # same id, different db or width
-                    evicted.append(self._pools.pop(id(db))[1])
-                pool = PersistentProcessPool(db, workers)
-                self._pools[id(db)] = (db, pool)
+                    evicted.append(self._pools.pop(key)[1])
+                if backend == "threads":
+                    pool = PersistentThreadPool(db, workers)
+                else:
+                    pool = PersistentProcessPool(db, workers)
+                self._pools[key] = (db, pool)
                 while len(self._pools) > self.max_pools:
                     _, (_, old) = self._pools.popitem(last=False)
                     evicted.append(old)

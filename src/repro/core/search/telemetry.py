@@ -97,6 +97,14 @@ class SearchTelemetry:
     #: candidates abandoned by cost-propagated early abort (the
     #: CostAbort column; nonzero only with cost_order=abort)
     cost_aborts: int = 0
+    #: True when the run stopped because its cooperative
+    #: :class:`~repro.core.search.engine.CancelToken` fired (session
+    #: cancel or an exhausted per-session probe budget) — distinct from
+    #: hitting max_expansions or the time budget
+    cancelled: bool = False
+    #: the token's reason string at the moment the engine observed it
+    #: ("" when the run was not cancelled)
+    cancel_reason: str = ""
 
     def record_prune(self, stage: str, partial: bool) -> None:
         if partial:
@@ -153,5 +161,7 @@ class SearchTelemetry:
             "cost_ordered": self.cost_ordered,
             "probe_timeouts": self.probe_timeouts,
             "cost_aborts": self.cost_aborts,
+            "cancelled": self.cancelled,
+            "cancel_reason": self.cancel_reason,
             "cache_hit_rate": self.cache_hit_rate,
         }

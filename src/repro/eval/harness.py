@@ -5,22 +5,14 @@ studies (Figures 5-9). Each ``run_*`` function returns plain record lists
 that :mod:`repro.eval.reports` formats into the paper's tables and
 figures.
 
-Beyond reproducing the figures, the harness owns the two amortisation
-layers that make repeated evaluation cheap:
-
-* **Probe-cache sharing** (:class:`ProbeCacheRegistry`): one
-  :class:`~repro.core.verifier.SharedProbeCache` per database, shared by
-  every enumeration of a run, so later tasks reuse earlier tasks' probe
-  answers. With ``SimulationConfig.cache_dir`` set, those caches are
-  additionally loaded from / saved to a disk store keyed by database
-  content hash, so *separate processes* warm-start too.
-* **Pool persistence** (:func:`shared_pool_manager`): with
-  ``verify_backend="processes"`` and ``workers > 1``, enumerations lease
-  warm worker processes from one process-wide
-  :class:`~repro.core.search.PoolManager` instead of spawning a pool per
-  task — workers spawn once and database snapshots prime once per
-  database, across ``run_simulation`` / ``run_detail_sweep`` /
-  ``run_ablations`` calls alike.
+The amortisation layers that make repeated evaluation cheap — probe
+caches shared (and disk-persisted) per database, warm verification
+pools leased from the process-wide manager, one batching guidance
+wrapper per run — live in :mod:`repro.serve.context`; each ``run_*``
+call builds one :class:`~repro.serve.context.ServiceContext` and leases
+everything from it, exactly as the synthesis daemon does for its
+lifetime. :class:`ProbeCacheRegistry` and :func:`shared_pool_manager`
+are re-exported here for backwards compatibility.
 
 Neither layer changes results: probe answers are facts of the database
 and verification outcomes are folded back identically, so the candidate
@@ -32,19 +24,16 @@ observable only in telemetry (``warm_start_probe_hits``,
 
 from __future__ import annotations
 
-import atexit
-
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..baselines.ablations import ABLATION_VARIANTS
 from ..baselines.nli import NLIBaseline
 from ..baselines.squid import SquidPBE
 from ..core.duoquest import Duoquest
 from ..core.enumerator import EnumeratorConfig
-from ..core.search import PersistentProbeCache, PoolManager
+from ..core.search import PoolManager
 from ..core.tsq import TableSketchQuery
-from ..core.verifier import SharedProbeCache
 from ..datasets.facts import build_fact_bank
 from ..datasets.tasks import Task, TaskSet
 from ..datasets.tsqsynth import (
@@ -57,13 +46,18 @@ from ..datasets.usertasks import NLI_TASK_SPECS, PBE_TASK_SPECS
 from ..db.database import Database
 from ..errors import UnsupportedTaskError
 from ..guidance.base import GuidanceModel
-from ..guidance.batched import close_guidance, make_guidance_backend
+from ..guidance.batched import make_guidance_backend
 from ..guidance.oracle import AccuracyProfile, CalibratedOracleModel
 from ..interaction.simulated_user import (
     TrialRecord,
     UserProfile,
     UserSimulator,
     make_cohort,
+)
+from ..serve.context import (
+    ProbeCacheRegistry,
+    ServiceContext,
+    shared_pool_manager,
 )
 from ..sqlir.canon import queries_equal, signature
 from .metrics import SimTaskRecord
@@ -162,94 +156,25 @@ class SimulationConfig:
                                 probe_timeout_ms=self.probe_timeout_ms)
 
 
-class ProbeCacheRegistry:
-    """One :class:`SharedProbeCache` per database, owned by a harness run.
+def _context_for(config: SimulationConfig) -> ServiceContext:
+    """One :class:`ServiceContext` per ``run_*`` call.
 
-    Probe answers depend only on the database contents, not on the task
-    or TSQ, so every enumeration over the same database can share one
-    cache. The registry keys by database identity (the live object, not
-    the schema name — two databases may share a schema but hold
-    different rows) and hands ``None`` out when sharing is disabled, so
-    callers can pass the result straight to ``Duoquest(probe_cache=…)``.
-
-    With ``cache_dir`` set the registry also fronts a
-    :class:`~repro.core.search.PersistentProbeCache` store: new caches
-    are warm-seeded from disk (stale-hash and corruption checks happen
-    in the store, falling back to a cold start) and :meth:`save`
-    persists every cache back at the end of a run. Persistence requires
-    sharing — with ``enabled=False`` there is no per-database cache to
-    persist, so ``cache_dir`` is ignored.
+    Owns the run's probe-cache registry and guidance model (both
+    released by ``ctx.close()`` in the run's ``finally``); borrows the
+    process-wide pool manager, so warm verification workers survive
+    across successive runs.
     """
-
-    def __init__(self, enabled: bool = True,
-                 cache_dir: Optional[str] = None):
-        self.enabled = enabled
-        self.store = (PersistentProbeCache(cache_dir)
-                      if enabled and cache_dir else None)
-        #: entries warm-seeded from disk across all databases (0 on a
-        #: cold start or without a store)
-        self.warm_entries_loaded = 0
-        self._caches: Dict[int, Tuple[Database, SharedProbeCache]] = {}
-
-    def cache_for(self, db: Database) -> Optional[SharedProbeCache]:
-        """The shared cache for ``db`` (created, and warm-loaded when a
-        store is configured, on first use); ``None`` when disabled."""
-        if not self.enabled:
-            return None
-        entry = self._caches.get(id(db))
-        if entry is None or entry[0] is not db:
-            if self.store is not None:
-                cache, loaded = self.store.warm_cache(db)
-                self.warm_entries_loaded += loaded
-            else:
-                cache = SharedProbeCache()
-            entry = (db, cache)
-            self._caches[id(db)] = entry
-        return entry[1]
-
-    def save(self) -> int:
-        """Persist every cache to the store; returns files written.
-
-        A no-op (returning 0) without a configured store. Runs in the
-        harness's ``finally`` blocks, so probes answered before an
-        aborted run still warm-start the next one.
-        """
-        if self.store is None:
-            return 0
-        written = 0
-        for db, cache in self._caches.values():
-            if self.store.save(db, cache) is not None:
-                written += 1
-        return written
+    return ServiceContext(_oracle(config),
+                          share_probe_cache=config.share_probe_cache,
+                          cache_dir=config.cache_dir)
 
 
-#: Lazily created singleton behind :func:`shared_pool_manager`.
-_SHARED_POOL_MANAGER: Optional[PoolManager] = None
-
-
-def shared_pool_manager() -> PoolManager:
-    """The process-wide :class:`~repro.core.search.PoolManager`.
-
-    All harness entry points lease verification pools from this one
-    manager, so warm worker processes survive not just task-to-task but
-    across successive ``run_simulation`` / ``run_detail_sweep`` /
-    ``run_ablations`` calls on the same databases. Created on first use,
-    closed via ``atexit`` (and recreated transparently if something
-    closed it earlier).
-    """
-    global _SHARED_POOL_MANAGER
-    if _SHARED_POOL_MANAGER is None or _SHARED_POOL_MANAGER.closed:
-        _SHARED_POOL_MANAGER = PoolManager()
-        atexit.register(_SHARED_POOL_MANAGER.close)
-    return _SHARED_POOL_MANAGER
-
-
-def _pool_manager_for(config: SimulationConfig) -> Optional[PoolManager]:
+def _pool_manager_for(config: SimulationConfig,
+                      ctx: ServiceContext) -> Optional[PoolManager]:
     """The shared manager, when the configuration can benefit from it."""
-    if config.persistent_pool and config.workers > 1 \
-            and config.verify_backend == "processes":
-        return shared_pool_manager()
-    return None
+    return ctx.pools_for(backend=config.verify_backend,
+                         workers=config.workers,
+                         persistent=config.persistent_pool)
 
 
 def _oracle(config: SimulationConfig) -> GuidanceModel:
@@ -349,12 +274,12 @@ def run_simulation(tasks: TaskSet,
     manager when the configuration allows.
     """
     config = config or SimulationConfig()
-    model = _oracle(config)
+    ctx = _context_for(config)
+    model = ctx.guidance
     records: List[SimTaskRecord] = []
     pbe_by_db: Dict[str, SquidPBE] = {}
-    caches = ProbeCacheRegistry(enabled=config.share_probe_cache,
-                                cache_dir=config.cache_dir)
-    pools = _pool_manager_for(config)
+    caches = ctx.caches
+    pools = _pool_manager_for(config, ctx)
     try:
         for task in tasks:
             db = tasks.database_for(task)
@@ -378,8 +303,7 @@ def run_simulation(tasks: TaskSet,
                 records.append(run_pbe_task(task, db,
                                             pbe_by_db[db.schema.name], tsq))
     finally:
-        caches.save()
-        close_guidance(model)
+        ctx.close()
     return records
 
 
@@ -395,11 +319,11 @@ def run_detail_sweep(tasks: TaskSet,
     :func:`run_simulation`.
     """
     config = config or SimulationConfig()
-    model = _oracle(config)
+    ctx = _context_for(config)
+    model = ctx.guidance
     records: List[SimTaskRecord] = []
-    caches = ProbeCacheRegistry(enabled=config.share_probe_cache,
-                                cache_dir=config.cache_dir)
-    pools = _pool_manager_for(config)
+    caches = ctx.caches
+    pools = _pool_manager_for(config, ctx)
     try:
         for task in tasks:
             db = tasks.database_for(task)
@@ -413,8 +337,7 @@ def run_detail_sweep(tasks: TaskSet,
                 records.append(run_gpqe_task(task, db, system, tsq,
                                              "Duoquest", detail))
     finally:
-        caches.save()
-        close_guidance(model)
+        ctx.close()
     return records
 
 
@@ -431,11 +354,11 @@ def run_ablations(tasks: TaskSet,
     variants of each task hit the first one's probes.
     """
     config = config or SimulationConfig()
-    model = _oracle(config)
+    ctx = _context_for(config)
+    model = ctx.guidance
     records: List[SimTaskRecord] = []
-    caches = ProbeCacheRegistry(enabled=config.share_probe_cache,
-                                cache_dir=config.cache_dir)
-    pools = _pool_manager_for(config)
+    caches = ctx.caches
+    pools = _pool_manager_for(config, ctx)
     try:
         for task in tasks:
             db = tasks.database_for(task)
@@ -448,8 +371,7 @@ def run_ablations(tasks: TaskSet,
                                  pool_manager=pools)
                 records.append(run_gpqe_task(task, db, system, tsq, variant))
     finally:
-        caches.save()
-        close_guidance(model)
+        ctx.close()
     return records
 
 
@@ -491,10 +413,10 @@ def run_cost_order_audit(tasks: TaskSet,
     def sweep(cost_order: str):
         cfg = replace(config, cost_order=cost_order,
                       timeout=audit_timeout)
-        model = _oracle(cfg)
-        caches = ProbeCacheRegistry(enabled=cfg.share_probe_cache,
-                                    cache_dir=cfg.cache_dir)
-        pools = _pool_manager_for(cfg)
+        ctx = _context_for(cfg)
+        model = ctx.guidance
+        caches = ctx.caches
+        pools = _pool_manager_for(cfg, ctx)
         answers: Dict[str, frozenset] = {}
         probes = 0
         top10 = 0
@@ -524,8 +446,7 @@ def run_cost_order_audit(tasks: TaskSet,
                     for key in counters:
                         counters[key] += stats.get(key, 0)
         finally:
-            caches.save()
-            close_guidance(model)
+            ctx.close()
         return answers, probes, top10, counters
 
     answers_off, probes_off, top10_off, _ = sweep("off")

@@ -34,8 +34,13 @@ from ..sqlir.ast import (
     ColumnRef,
     CompOp,
     Direction,
+    Hole,
     LogicOp,
+    OrderItem,
+    Predicate,
     Query,
+    SelectItem,
+    Where,
 )
 
 T = TypeVar("T")
@@ -190,11 +195,124 @@ class GuidanceRequest:
         full partial query and a structural schema fingerprint (name
         alone would collide across same-named schemas), so a model that
         ignores parts of the context simply gets fewer cache hits,
-        never wrong ones.
+        never wrong ones. Models that declare what they actually read
+        (:meth:`GuidanceModel.cache_fields`) get the tighter
+        :meth:`projected_key` instead.
         """
         ctx = self.ctx
         return (self.method, ctx.task_id, _schema_fingerprint(ctx.schema),
                 ctx.nlq, ctx.gold, ctx.partial, self.args)
+
+    def decision_prefix(self) -> object:
+        """The slice of the partial query this decision type can read.
+
+        Sequential set decisions depend on the partial only through the
+        already-picked elements of their own slot: ``column`` sees the
+        picked columns of ``slot`` (their identity matters — gold
+        tracking compares the prefix against the gold order), and
+        ``comparison``/``value`` see how many predicates on ``column``
+        are already complete. Every other decision type is
+        partial-independent. This is what the ``decision_prefix`` cache
+        field projects the full partial query down to.
+        """
+        if self.method == "column":
+            return tuple(picked_columns(self.ctx.partial, self.args[0]))
+        if self.method in ("comparison", "value"):
+            return partial_pred_index(self.ctx.partial, self.args[0],
+                                      self.args[1])
+        return ()
+
+    def projected_key(self, fields: Sequence[str]) -> Tuple:
+        """A cache key over only the declared context ``fields``.
+
+        The method name and its arguments are always part of the key;
+        ``fields`` (from :meth:`GuidanceModel.cache_fields`) selects
+        which context inputs join them. Requests equal under a sound
+        projection see identical model-visible inputs, so distributions
+        cached under projected keys are exact — the projection only
+        *merges* entries the conservative key kept apart (e.g. the same
+        decision reached through different NLQs or partial shapes),
+        raising hits without perturbing the stream.
+        """
+        ctx = self.ctx
+        parts: List[object] = [self.method, self.args]
+        for name in fields:
+            if name == "task_id":
+                parts.append(ctx.task_id)
+            elif name == "schema":
+                parts.append(_schema_fingerprint(ctx.schema))
+            elif name == "nlq":
+                parts.append(ctx.nlq)
+            elif name == "gold":
+                parts.append(ctx.gold)
+            elif name == "partial":
+                parts.append(ctx.partial)
+            elif name == "decision_prefix":
+                parts.append(self.decision_prefix())
+            else:
+                raise GuidanceError(
+                    f"unknown guidance cache field {name!r}; expected one "
+                    f"of {sorted(CACHE_FIELDS)}")
+        return tuple(parts)
+
+
+#: Field names a model may declare via :meth:`GuidanceModel.cache_fields`.
+CACHE_FIELDS = ("task_id", "schema", "nlq", "gold", "partial",
+                "decision_prefix")
+
+
+def picked_columns(partial: Optional[Query],
+                   slot: str) -> List[ColumnRef]:
+    """Columns already fixed for ``slot`` in the partial query.
+
+    Shared by the calibrated oracle's gold tracking and the
+    ``decision_prefix`` cache-key projection, so the two can never
+    disagree about what a sequential column pick has seen.
+    """
+    if partial is None:
+        return []
+    refs: List[ColumnRef] = []
+    if slot == "select" and not isinstance(partial.select, Hole):
+        refs = [item.column for item in partial.select
+                if isinstance(item, SelectItem)
+                and isinstance(item.column, ColumnRef)]
+    elif slot == "where" and isinstance(partial.where, Where):
+        refs = [pred.column for pred in partial.where.predicates
+                if isinstance(pred, Predicate)
+                and isinstance(pred.column, ColumnRef)]
+    elif slot == "group_by" and partial.group_by is not None \
+            and not isinstance(partial.group_by, Hole):
+        refs = [c for c in partial.group_by if isinstance(c, ColumnRef)]
+    elif slot == "having" and partial.having is not None \
+            and not isinstance(partial.having, Hole):
+        refs = [pred.column for pred in partial.having
+                if isinstance(pred, Predicate)
+                and isinstance(pred.column, ColumnRef)]
+    elif slot == "order_by" and partial.order_by is not None \
+            and not isinstance(partial.order_by, Hole):
+        refs = [item.column for item in partial.order_by
+                if isinstance(item, OrderItem)
+                and isinstance(item.column, ColumnRef)]
+    return refs
+
+
+def partial_pred_index(partial: Optional[Query], slot: str,
+                       column: ColumnRef) -> int:
+    """How many predicates on ``column`` are already complete."""
+    if partial is None:
+        return 0
+    preds: Sequence[object] = ()
+    if slot == "where" and isinstance(partial.where, Where):
+        preds = partial.where.predicates
+    elif slot == "having" and partial.having is not None \
+            and not isinstance(partial.having, Hole):
+        preds = partial.having
+    count = 0
+    for pred in preds:
+        if isinstance(pred, Predicate) and pred.column == column \
+                and pred.is_complete:
+            count += 1
+    return count
 
 
 def _schema_fingerprint(schema: Schema) -> str:
@@ -242,6 +360,22 @@ class GuidanceModel(abc.ABC):
     """
 
     name = "guidance"
+
+    def cache_fields(self) -> Optional[Tuple[str, ...]]:
+        """Context fields this model's decisions depend on, or ``None``.
+
+        ``None`` (the default) means "assume everything": the batching
+        layer keys its distribution cache with the conservative
+        :meth:`GuidanceRequest.cache_key`, which is always correct. A
+        model that provably reads only part of the context may return a
+        tuple of :data:`CACHE_FIELDS` names; the batching layer then
+        keys with :meth:`GuidanceRequest.projected_key`, merging cache
+        entries the conservative key kept apart and raising hits. The
+        declaration is a *soundness contract*: every input that can
+        change any decision's distribution must be listed, or cached
+        answers would leak across genuinely different decisions.
+        """
+        return None
 
     # -- KW module -----------------------------------------------------
     @abc.abstractmethod

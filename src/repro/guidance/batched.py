@@ -53,6 +53,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import GuidanceError
 from ..sqlir.ast import AggOp, ColumnRef, CompOp, Direction, LogicOp
 from .base import (
+    CACHE_FIELDS,
     Distribution,
     GuidanceContext,
     GuidanceModel,
@@ -288,6 +289,28 @@ class BatchingGuidanceModel(_RequestScoringModel):
         self.cache = GuidanceCache(cache_size)
         self.counters = AmortisationCounters()
         self._scorer_epoch = 0
+        # Resolve the cache-key function once: a model that declares
+        # which context fields it reads (GuidanceModel.cache_fields)
+        # gets the tighter projected key, everything else the
+        # conservative full-context key. Resolved here rather than per
+        # request so an invalid declaration fails at wrap time.
+        fields = None
+        declare = getattr(inner, "cache_fields", None)
+        if callable(declare):
+            fields = declare()
+        if fields is None:
+            self._request_key = GuidanceRequest.cache_key
+        else:
+            fields = tuple(fields)
+            unknown = [f for f in fields if f not in CACHE_FIELDS]
+            if unknown:
+                raise GuidanceError(
+                    f"{inner.name}.cache_fields() declared unknown "
+                    f"fields {unknown}; expected names from "
+                    f"{CACHE_FIELDS}")
+            self._request_key = \
+                lambda request, _fields=fields: request.projected_key(_fields)
+        self.cache_key_fields = fields
 
     # The server backend's degrade state shines through the wrapper so
     # the engine can read it from whatever model it was handed.
@@ -327,7 +350,7 @@ class BatchingGuidanceModel(_RequestScoringModel):
         self._flush_on_degrade()
         counters = self.counters
         counters.requests_in += 1
-        key = request.cache_key()
+        key = self._request_key(request)
         cached = self.cache.get(key)
         if cached is not None:
             counters.cache_hits += 1
@@ -351,7 +374,7 @@ class BatchingGuidanceModel(_RequestScoringModel):
         #: first-occurrence order (dedup within the round)
         fresh: Dict[Tuple, List[int]] = {}
         for position, request in enumerate(requests):
-            key = request.cache_key()
+            key = self._request_key(request)
             positions = fresh.get(key)
             if positions is not None:
                 # An in-batch duplicate: it will be served from the

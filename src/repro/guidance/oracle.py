@@ -46,6 +46,8 @@ from .base import (
     SLOT_ORDER_BY,
     SLOT_SELECT,
     SLOT_WHERE,
+    partial_pred_index,
+    picked_columns,
 )
 
 T = TypeVar("T")
@@ -111,6 +113,22 @@ class CalibratedOracleModel(GuidanceModel):
                  seed: int = 0):
         self.profile = profile or AccuracyProfile()
         self._seed = seed
+
+    def cache_fields(self):
+        """The oracle's declared cache-key projection.
+
+        Every distribution below is a deterministic function of the
+        instance state (seed, profile), the task identity, the gold
+        query, the method's own arguments, and — for the sequential
+        set decisions — the decision prefix (picked columns / complete
+        predicate count, exactly what :func:`picked_columns` and
+        :func:`partial_pred_index` extract). The NLQ text, the schema,
+        and the rest of the partial query are never read, so dropping
+        them from the cache key merges repeat decisions across partial
+        shapes without changing any answer (the equivalence suite locks
+        this).
+        """
+        return ("task_id", "gold", "decision_prefix")
 
     # ------------------------------------------------------------------
     # Distribution machinery
@@ -178,34 +196,10 @@ class CalibratedOracleModel(GuidanceModel):
                        and isinstance(item.column, ColumnRef)]
         return columns
 
-    @staticmethod
-    def _picked_columns(partial: Optional[Query], slot: str) -> List[ColumnRef]:
-        """Columns already fixed for a slot in the partial query."""
-        if partial is None:
-            return []
-        refs: List[ColumnRef] = []
-        if slot == SLOT_SELECT and not isinstance(partial.select, Hole):
-            refs = [item.column for item in partial.select
-                    if isinstance(item, SelectItem)
-                    and isinstance(item.column, ColumnRef)]
-        elif slot == SLOT_WHERE and isinstance(partial.where, Where):
-            refs = [pred.column for pred in partial.where.predicates
-                    if isinstance(pred, Predicate)
-                    and isinstance(pred.column, ColumnRef)]
-        elif slot == SLOT_GROUP_BY and partial.group_by is not None \
-                and not isinstance(partial.group_by, Hole):
-            refs = [c for c in partial.group_by if isinstance(c, ColumnRef)]
-        elif slot == SLOT_HAVING and partial.having is not None \
-                and not isinstance(partial.having, Hole):
-            refs = [pred.column for pred in partial.having
-                    if isinstance(pred, Predicate)
-                    and isinstance(pred.column, ColumnRef)]
-        elif slot == SLOT_ORDER_BY and partial.order_by is not None \
-                and not isinstance(partial.order_by, Hole):
-            refs = [item.column for item in partial.order_by
-                    if isinstance(item, OrderItem)
-                    and isinstance(item.column, ColumnRef)]
-        return refs
+    #: Columns already fixed for a slot — shared with the cache-key
+    #: projection (``decision_prefix``), so the prefix the cache keys on
+    #: is exactly the prefix the gold tracking reads.
+    _picked_columns = staticmethod(picked_columns)
 
     def _next_gold_column(self, ctx: GuidanceContext,
                           slot: str) -> Optional[ColumnRef]:
@@ -233,24 +227,8 @@ class CalibratedOracleModel(GuidanceModel):
                      if isinstance(p, Predicate) and p.column == column]
         return preds
 
-    @staticmethod
-    def _partial_pred_index(partial: Optional[Query], slot: str,
-                            column: ColumnRef) -> int:
-        """How many predicates on ``column`` are already complete."""
-        if partial is None:
-            return 0
-        preds: Sequence[object] = ()
-        if slot == SLOT_WHERE and isinstance(partial.where, Where):
-            preds = partial.where.predicates
-        elif slot == SLOT_HAVING and partial.having is not None \
-                and not isinstance(partial.having, Hole):
-            preds = partial.having
-        count = 0
-        for pred in preds:
-            if isinstance(pred, Predicate) and pred.column == column \
-                    and pred.is_complete:
-                count += 1
-        return count
+    #: See ``_picked_columns`` above — same sharing, for predicates.
+    _partial_pred_index = staticmethod(partial_pred_index)
 
     # ------------------------------------------------------------------
     # GuidanceModel implementation

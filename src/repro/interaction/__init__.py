@@ -1,7 +1,19 @@
 """Interaction layer: sessions, autocomplete, simulated study users."""
 
 from .autocomplete import AutocompleteServer, Suggestion
-from .session import PREVIEW_ROWS, DuoquestSession, Round
+from .session import (
+    PREVIEW_ROWS,
+    SESSION_STATES,
+    STATE_AWAITING_REFINEMENT,
+    STATE_CANCELLED,
+    STATE_CREATED,
+    STATE_DONE,
+    STATE_ENUMERATING,
+    DuoquestSession,
+    Round,
+    SessionBudgetExceeded,
+    SessionCore,
+)
 from .simulated_user import (
     TRIAL_TIME_LIMIT,
     TrialRecord,
@@ -15,6 +27,14 @@ __all__ = [
     "DuoquestSession",
     "PREVIEW_ROWS",
     "Round",
+    "SESSION_STATES",
+    "STATE_AWAITING_REFINEMENT",
+    "STATE_CANCELLED",
+    "STATE_CREATED",
+    "STATE_DONE",
+    "STATE_ENUMERATING",
+    "SessionBudgetExceeded",
+    "SessionCore",
     "Suggestion",
     "TRIAL_TIME_LIMIT",
     "TrialRecord",

@@ -1,0 +1,227 @@
+"""Shared service state: probe caches, verification pools, guidance.
+
+This module owns the amortisation layers that make repeated synthesis
+cheap, extracted from the eval harness so that *every* driver — the
+``run_*`` experiment functions, the CLI, and the synthesis daemon —
+leases from the same machinery:
+
+* **Probe-cache sharing** (:class:`ProbeCacheRegistry`): one
+  :class:`~repro.core.verifier.SharedProbeCache` per database, shared by
+  every enumeration in the scope, so later tasks (and later *sessions*)
+  reuse earlier ones' probe answers. With ``cache_dir`` set, caches are
+  additionally loaded from / saved to a disk store keyed by database
+  content hash, so separate processes warm-start too.
+* **Pool persistence** (:func:`shared_pool_manager` /
+  :class:`~repro.core.search.PoolManager`): enumerations lease warm
+  verification workers from a pool manager (per-database sharding, LRU
+  bounds) instead of spawning a pool per task.
+* **Guidance sharing**: one batching guidance wrapper serves every
+  enumeration in the scope, so its distribution cache amortises across
+  tasks and sessions.
+
+:class:`ServiceContext` bundles the three for one service scope — a
+harness run, or a daemon lifetime. Neither layer changes results: probe
+answers are facts of the database, verification outcomes fold back
+identically, and the batching wrapper is stream-transparent, so the
+candidate stream stays bit-for-bit equal to a cold inline run (locked
+in by ``tests/core/test_search_equivalence.py``). Reuse is observable
+only in telemetry (``warm_start_probe_hits``, ``cross_task_probe_hits``,
+``pool_reused``) and in wall time.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..core.search import PersistentProbeCache, PoolManager
+from ..core.verifier import SharedProbeCache
+from ..db.database import Database
+from ..guidance.base import GuidanceModel
+from ..guidance.batched import close_guidance
+
+
+class ProbeCacheRegistry:
+    """One :class:`SharedProbeCache` per database, owned by a scope.
+
+    Probe answers depend only on the database contents, not on the task
+    or TSQ, so every enumeration over the same database can share one
+    cache. The registry keys by database identity (the live object, not
+    the schema name — two databases may share a schema but hold
+    different rows) and hands ``None`` out when sharing is disabled, so
+    callers can pass the result straight to ``Duoquest(probe_cache=…)``.
+
+    With ``cache_dir`` set the registry also fronts a
+    :class:`~repro.core.search.PersistentProbeCache` store: new caches
+    are warm-seeded from disk (stale-hash and corruption checks happen
+    in the store, falling back to a cold start) and :meth:`save`
+    persists every cache back at the end of a run. Persistence requires
+    sharing — with ``enabled=False`` there is no per-database cache to
+    persist, so ``cache_dir`` is ignored.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 cache_dir: Optional[str] = None):
+        self.enabled = enabled
+        self.store = (PersistentProbeCache(cache_dir)
+                      if enabled and cache_dir else None)
+        #: entries warm-seeded from disk across all databases (0 on a
+        #: cold start or without a store)
+        self.warm_entries_loaded = 0
+        self._caches: Dict[int, Tuple[Database, SharedProbeCache]] = {}
+        self._lock = threading.Lock()
+
+    def cache_for(self, db: Database) -> Optional[SharedProbeCache]:
+        """The shared cache for ``db`` (created, and warm-loaded when a
+        store is configured, on first use); ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._caches.get(id(db))
+            if entry is None or entry[0] is not db:
+                if self.store is not None:
+                    cache, loaded = self.store.warm_cache(db)
+                    self.warm_entries_loaded += loaded
+                else:
+                    cache = SharedProbeCache()
+                entry = (db, cache)
+                self._caches[id(db)] = entry
+            return entry[1]
+
+    def save(self) -> int:
+        """Persist every cache to the store; returns files written.
+
+        A no-op (returning 0) without a configured store. Runs in the
+        scope's ``finally`` blocks, so probes answered before an
+        aborted run still warm-start the next one.
+        """
+        if self.store is None:
+            return 0
+        written = 0
+        with self._lock:
+            entries = list(self._caches.values())
+        for db, cache in entries:
+            if self.store.save(db, cache) is not None:
+                written += 1
+        return written
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregate live hit/miss counters across all caches."""
+        with self._lock:
+            caches = [cache for _, cache in self._caches.values()]
+        return {
+            "databases": len(caches),
+            "probe_hits": sum(c.hits for c in caches),
+            "probe_misses": sum(c.misses for c in caches),
+            "cross_task_probe_hits": sum(c.cross_task_hits
+                                         for c in caches),
+            "warm_start_probe_hits": sum(c.warm_start_hits
+                                         for c in caches),
+            "warm_entries_loaded": self.warm_entries_loaded,
+        }
+
+
+#: Lazily created singleton behind :func:`shared_pool_manager`.
+_SHARED_POOL_MANAGER: Optional[PoolManager] = None
+
+
+def shared_pool_manager() -> PoolManager:
+    """The process-wide :class:`~repro.core.search.PoolManager`.
+
+    All harness entry points lease verification pools from this one
+    manager, so warm worker processes survive not just task-to-task but
+    across successive ``run_simulation`` / ``run_detail_sweep`` /
+    ``run_ablations`` calls on the same databases. Created on first use,
+    closed via ``atexit`` (and recreated transparently if something
+    closed it earlier).
+    """
+    global _SHARED_POOL_MANAGER
+    if _SHARED_POOL_MANAGER is None or _SHARED_POOL_MANAGER.closed:
+        _SHARED_POOL_MANAGER = PoolManager()
+        atexit.register(_SHARED_POOL_MANAGER.close)
+    return _SHARED_POOL_MANAGER
+
+
+class ServiceContext:
+    """The amortisation state one synthesis service scope shares.
+
+    Bundles a :class:`ProbeCacheRegistry`, a
+    :class:`~repro.core.search.PoolManager`, and (optionally) one
+    shared guidance model. Two ownership modes:
+
+    * ``pool_manager=None`` (the harness default) **borrows** the
+      process-wide :func:`shared_pool_manager`; :meth:`close` leaves it
+      running so warm workers survive across runs.
+    * an explicit ``pool_manager`` (the daemon) is **owned**: the
+      context closes it — draining every warm pool — on :meth:`close`.
+
+    The guidance model, when given, is always owned: :meth:`close`
+    releases it via :func:`~repro.guidance.batched.close_guidance`
+    (a no-op for plain models, socket close for server-backed ones).
+    """
+
+    def __init__(self, guidance: Optional[GuidanceModel] = None, *,
+                 share_probe_cache: bool = True,
+                 cache_dir: Optional[str] = None,
+                 pool_manager: Optional[PoolManager] = None):
+        self.caches = ProbeCacheRegistry(enabled=share_probe_cache,
+                                         cache_dir=cache_dir)
+        self._owns_pools = pool_manager is not None
+        self.pool_manager = pool_manager or shared_pool_manager()
+        self.guidance = guidance
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def probe_cache_for(self, db: Database) -> Optional[SharedProbeCache]:
+        return self.caches.cache_for(db)
+
+    def pools_for(self, *, backend: str, workers: int,
+                  persistent: bool = True) -> Optional[PoolManager]:
+        """The pool manager, when the configuration can benefit from it.
+
+        ``None`` (per-enumeration pools) when persistence is off, the
+        run is single-worker, or the backend has no warm variant under
+        this manager — handing the manager over in those cases would
+        only route fallback leases through it.
+        """
+        if not persistent or workers <= 1:
+            return None
+        if backend == "processes":
+            return self.pool_manager
+        if backend == "threads" and self.pool_manager.warm_threads:
+            return self.pool_manager
+        return None
+
+    def stats(self) -> Dict[str, object]:
+        """Live amortisation snapshot (the daemon's ``stats`` verb)."""
+        snapshot: Dict[str, object] = dict(self.pool_manager.stats)
+        snapshot.update(self.caches.counters())
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush caches, release guidance, and close owned pools.
+
+        Idempotent; safe in ``finally`` blocks. The cache store flush
+        happens first so probe answers survive even if pool teardown
+        raises.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.caches.save()
+        finally:
+            try:
+                if self.guidance is not None:
+                    close_guidance(self.guidance)
+            finally:
+                if self._owns_pools:
+                    self.pool_manager.close()
+
+    def __enter__(self) -> "ServiceContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

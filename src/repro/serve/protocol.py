@@ -1,0 +1,172 @@
+"""Wire protocol of the synthesis daemon (NDJSON over TCP).
+
+One JSON object per line in either direction, mirroring the
+guidance-server idiom (``repro.guidance.batched.ServerGuidanceModel``):
+the first line of every connection is a ``hello`` version handshake, and
+a version-incompatible peer is rejected up front instead of mis-parsed::
+
+    -> {"v": 1, "id": 0, "hello": true}
+    <- {"id": 0, "v": 1, "server": "duoquest-serve", "epoch": 0}
+
+After the handshake, each request line carries a verb::
+
+    -> {"v": 1, "id": 1, "verb": "create", "database": "mas",
+        "nlq": "papers after 2005", "tsq": {"rows": [[null, 2007]]}}
+    <- {"id": 1, "session": "s1", "state": "awaiting-refinement",
+        "epoch": 0, "candidates": [{"index": 0, "confidence": 0.93,
+        "sql": "SELECT ..."}, ...], "telemetry": {...}}
+
+Verbs: ``create`` (open a session on a named database and run its first
+enumeration), ``refine`` (add TSQ information or rephrase the NLQ in an
+existing session and re-enumerate), ``status`` (session state, round
+count, budgets), ``cancel`` (cooperative mid-enumeration cancel), and
+``stats`` (a live service snapshot: sessions, pool reuse, warm /
+cross-task / cross-session probe-cache hits).
+
+Failures are answered, never silently dropped: a bad verb, an unknown
+session, or a malformed payload produces ``{"id": n, "error": "..."}``
+on the same connection. Degrades are visible the same way the guidance
+server's are — the server's ``epoch`` counter (in the handshake, every
+round response, and ``stats``) bumps whenever a session's enumeration
+degraded (pool snapshot failure, guidance fallback), so clients can
+detect that the service switched execution mode mid-stream.
+
+This module is shared by the asyncio server (:mod:`repro.serve.daemon`)
+and the stdlib-only client (:mod:`repro.serve.client`); it depends on
+nothing outside the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+PROTOCOL_VERSION = 1
+SERVER_NAME = "duoquest-serve"
+
+#: The request verbs the daemon understands.
+VERBS = ("create", "refine", "status", "cancel", "stats")
+
+
+class ProtocolError(Exception):
+    """A malformed or unanswerable request line."""
+
+
+class ProtocolMismatch(ProtocolError):
+    """The peer speaks a different protocol version."""
+
+
+def encode(payload: Dict[str, object]) -> bytes:
+    """One NDJSON line, ready to write."""
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> Dict[str, object]:
+    """Parse one NDJSON line; raises :class:`ProtocolError` on garbage."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed request line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request line must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+def hello_request(request_id: int = 0) -> Dict[str, object]:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "hello": True}
+
+
+def hello_response(request_id: object, epoch: int) -> Dict[str, object]:
+    return {"id": request_id, "v": PROTOCOL_VERSION,
+            "server": SERVER_NAME, "epoch": epoch}
+
+
+def check_hello(payload: Dict[str, object]) -> None:
+    """Validate a client's handshake line (server side)."""
+    if not payload.get("hello"):
+        raise ProtocolError(
+            "expected a hello handshake as the first request line")
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolMismatch(
+            f"protocol version mismatch: client speaks {version!r}, "
+            f"server speaks {PROTOCOL_VERSION}")
+
+
+def check_hello_reply(payload: Dict[str, object]) -> None:
+    """Validate the server's handshake reply (client side)."""
+    if "error" in payload:
+        raise ProtocolMismatch(str(payload["error"]))
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolMismatch(
+            f"protocol version mismatch: server speaks {version!r}, "
+            f"client speaks {PROTOCOL_VERSION}")
+
+
+def error_response(request_id: object, message: str) -> Dict[str, object]:
+    return {"id": request_id, "error": message}
+
+
+def parse_address(address: str) -> tuple:
+    """``HOST:PORT`` -> ``(host, port)``; raises ``ValueError``."""
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"serve address must be HOST:PORT, got {address!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"serve port must be an integer, got "
+                         f"{port_text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"serve port out of range: {port}")
+    return host, port
+
+
+# ----------------------------------------------------------------------
+# TSQ wire form (build-style plain values; see TableSketchQuery.build)
+# ----------------------------------------------------------------------
+def tsq_payload(rows=(), types=None, sorted=None, limit=None,
+                negative_rows=(), tolerance=None) -> Dict[str, object]:
+    """The ``tsq`` object of a ``create`` request (client-side helper).
+
+    Cells are plain JSON values with ``null`` as the empty cell, exactly
+    the convention of :meth:`TableSketchQuery.build`; only the fields
+    actually specified travel.
+    """
+    payload: Dict[str, object] = {}
+    if rows:
+        payload["rows"] = [list(row) for row in rows]
+    if types is not None:
+        payload["types"] = list(types)
+    if sorted is not None:
+        payload["sorted"] = bool(sorted)
+    if limit is not None:
+        payload["limit"] = int(limit)
+    if negative_rows:
+        payload["negative_rows"] = [list(row) for row in negative_rows]
+    if tolerance is not None:
+        payload["tolerance"] = int(tolerance)
+    return payload
+
+
+def validate_verb(payload: Dict[str, object]) -> str:
+    verb = payload.get("verb")
+    if verb not in VERBS:
+        raise ProtocolError(
+            f"unknown verb {verb!r}; expected one of {list(VERBS)}")
+    return str(verb)
+
+
+def require(payload: Dict[str, object], field: str,
+            verb: Optional[str] = None) -> object:
+    value = payload.get(field)
+    if value is None:
+        where = f" for verb {verb!r}" if verb else ""
+        raise ProtocolError(f"missing required field {field!r}{where}")
+    return value

@@ -172,6 +172,36 @@ class TestPersistentPoolEquivalence:
             assert stats["worker_spawns"] == stats["pools"] == len(caches)
             assert stats["persistent_leases"] == len(golden["tasks"])
 
+    def test_warm_thread_pool_matches_golden_across_tasks(
+            self, golden, tasks, snapshots_or_skip):
+        """The warm ``threads`` variant (``warm_threads=True``) is
+        equally invisible: every task through one shared manager
+        reproduces the golden stream, spawning each database's executor
+        once and reusing it for every later lease."""
+        from repro.core.search.parallel import PoolManager
+        from repro.core.verifier import SharedProbeCache
+
+        with PoolManager(warm_threads=True) as manager:
+            caches = {}
+            reused_rounds = 0
+            for name, expected in golden["tasks"].items():
+                db = tasks[name][0]
+                cache = caches.setdefault(id(db), SharedProbeCache())
+                stream, enumerator, _ = run_engine(
+                    tasks[name], workers=4, verify_backend="threads",
+                    pool_manager=manager, probe_cache=cache)
+                assert stream == expected["candidates"], \
+                    f"{name} diverged under the warm thread pool"
+                assert enumerator.expansions == \
+                    expected["total_expansions"]
+                assert not enumerator.telemetry.snapshot_degraded
+                reused_rounds += enumerator.telemetry.pool_reused
+            stats = manager.stats
+            assert stats["worker_spawns"] == stats["pools"] == len(caches)
+            assert stats["persistent_leases"] == len(golden["tasks"])
+            # every lease after each database's first found warm threads
+            assert reused_rounds == len(golden["tasks"]) - len(caches)
+
     def test_warm_cache_matches_golden_with_warm_hits(self, golden, tasks,
                                                       tmp_path):
         """A run warm-started from the disk store is bit-for-bit the

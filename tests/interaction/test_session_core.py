@@ -1,0 +1,189 @@
+"""SessionCore: the transport-agnostic refinement state machine.
+
+The contract under test (see ``repro.interaction.session``): one core
+drives the Figure 1 loop for both the CLI and the daemon — explicit
+states (``created → enumerating → awaiting-refinement →
+done/cancelled``), cumulative per-session candidate/probe budgets, and
+thread-safe cooperative cancellation via the engine's
+:class:`CancelToken`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Duoquest, EnumeratorConfig, TableSketchQuery
+from repro.core.search import CancelToken
+from repro.core.verifier import SharedProbeCache
+from repro.guidance import LexicalGuidanceModel
+from repro.interaction import (
+    STATE_AWAITING_REFINEMENT,
+    STATE_CANCELLED,
+    STATE_CREATED,
+    STATE_DONE,
+    SessionBudgetExceeded,
+    SessionCore,
+)
+from repro.nlq import NLQuery
+
+from tests.conftest import build_movie_db
+
+NLQ = NLQuery.from_text("titles before 1994", literals=[1994])
+TSQ = TableSketchQuery.build(rows=[["Forrest Gump"]])
+
+
+def make_core(**kwargs):
+    db = build_movie_db()
+    system = Duoquest(db, model=LexicalGuidanceModel(),
+                      config=EnumeratorConfig(time_budget=10.0,
+                                              max_candidates=24))
+    return SessionCore(system, **kwargs)
+
+
+def make_shared_cache_core(**kwargs):
+    db = build_movie_db()
+    cache = SharedProbeCache()
+    system = Duoquest(db, model=LexicalGuidanceModel(),
+                      config=EnumeratorConfig(time_budget=10.0,
+                                              max_candidates=24),
+                      probe_cache=cache)
+    return SessionCore(system, **kwargs), cache
+
+
+class TestStates:
+    def test_lifecycle(self):
+        core = make_core()
+        assert core.state == STATE_CREATED
+        assert core.last_result is None
+        result = core.submit(NLQ, TSQ)
+        assert core.state == STATE_AWAITING_REFINEMENT
+        assert core.last_result is result
+        assert len(core.rounds) == 1
+        core.refine_tsq(extra_rows=[["Movie 05"]])
+        assert core.state == STATE_AWAITING_REFINEMENT
+        core.close()
+        assert core.state == STATE_DONE
+
+    def test_submit_refused_when_done(self):
+        core = make_core()
+        core.submit(NLQ, TSQ)
+        core.close()
+        with pytest.raises(RuntimeError, match="cannot submit"):
+            core.submit(NLQ, TSQ)
+
+    def test_cancel_idle_session(self):
+        core = make_core()
+        core.cancel()
+        assert core.state == STATE_CANCELLED
+        assert core.cancelled
+        with pytest.raises(RuntimeError, match="cannot submit"):
+            core.submit(NLQ, TSQ)
+
+    def test_cancelled_sticks_through_close(self):
+        core = make_core()
+        core.cancel("gone")
+        core.close()
+        assert core.state == STATE_CANCELLED
+
+    def test_cancel_is_idempotent(self):
+        core = make_core()
+        core.cancel("first")
+        core.cancel("second")
+        assert core.state == STATE_CANCELLED
+
+    def test_refine_before_submit_raises(self):
+        core = make_core()
+        with pytest.raises(RuntimeError, match="no NLQ"):
+            core.refine_tsq(extra_rows=[["x"]])
+        with pytest.raises(RuntimeError, match="no NLQ"):
+            core.rephrase("anything")
+
+
+class TestCandidateBudget:
+    def test_budget_caps_the_round_then_refuses(self):
+        core = make_core(max_candidates=3)
+        result = core.submit(NLQ, TSQ)
+        assert len(result.candidates) == 3
+        assert core.candidates_emitted == 3
+        assert core.state == STATE_AWAITING_REFINEMENT
+        with pytest.raises(SessionBudgetExceeded, match="candidate"):
+            core.refine_tsq(extra_rows=[["Movie 05"]])
+
+    def test_budget_spans_rounds(self):
+        """The budget is cumulative: round 2 only gets the remainder."""
+        full = make_core().submit(NLQ, TSQ)
+        total = len(full.candidates)
+        assert total >= 2
+        core = make_core(max_candidates=total + 1)
+        core.submit(NLQ, TSQ)
+        second = core.refine_tsq(extra_rows=[["Movie 05"]])
+        assert len(second.candidates) == 1
+        assert core.candidates_emitted == total + 1
+
+    def test_budgets_snapshot(self):
+        core = make_core(max_candidates=5, max_probes=1000)
+        core.submit(NLQ, TSQ)
+        snapshot = core.budgets()
+        assert snapshot["max_candidates"] == 5
+        assert snapshot["candidates_emitted"] == 5
+        assert snapshot["max_probes"] == 1000
+        assert snapshot["probes_executed"] > 0
+
+
+class TestProbeBudget:
+    def test_between_round_enforcement(self):
+        core = make_core(max_probes=1)
+        core.submit(NLQ, TSQ)
+        assert core.probes_executed >= 1
+        with pytest.raises(SessionBudgetExceeded, match="probe"):
+            core.refine_tsq(extra_rows=[["Movie 05"]])
+
+    def test_mid_round_watcher_stops_enumeration(self):
+        """With a shared probe cache the budget lands mid-enumeration:
+        the token fires, but the session settles to refinement (a spent
+        budget is not a user cancel)."""
+        baseline, _ = make_shared_cache_core()
+        spent = baseline.submit(NLQ, TSQ).telemetry.probe_misses
+        assert spent > 2
+        core, _ = make_shared_cache_core(max_probes=2)
+        result = core.submit(NLQ, TSQ)
+        telemetry = result.telemetry
+        assert telemetry.cancelled
+        assert "probe budget" in telemetry.cancel_reason
+        assert telemetry.probe_misses < spent
+        assert core.state == STATE_AWAITING_REFINEMENT
+        with pytest.raises(SessionBudgetExceeded, match="probe"):
+            core.refine_tsq(extra_rows=[["Movie 05"]])
+
+
+class TestCancelToken:
+    def test_first_reason_wins(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel("first")
+        token.cancel("second")
+        assert token.cancelled
+        assert token.reason == "first"
+
+    def test_watcher_fires_token(self):
+        token = CancelToken()
+        armed = []
+        token.watch(lambda: "tripped" if armed else None)
+        assert not token.cancelled
+        armed.append(True)
+        assert token.cancelled
+        assert token.reason == "tripped"
+
+    def test_pre_cancelled_token_surfaces_in_telemetry(self):
+        """A token fired before the search starts stops the engine at
+        its first checkpoint, visibly."""
+        db = build_movie_db()
+        system = Duoquest(db, model=LexicalGuidanceModel(),
+                          config=EnumeratorConfig(time_budget=10.0,
+                                                  max_candidates=24))
+        token = CancelToken()
+        token.cancel("stopped before takeoff")
+        result = system.synthesize(NLQ, TSQ, cancel_token=token)
+        assert result.candidates == []
+        assert result.telemetry.cancelled
+        assert result.telemetry.cancel_reason == "stopped before takeoff"

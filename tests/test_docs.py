@@ -20,8 +20,9 @@ from repro.cli import build_parser
 README = Path(__file__).resolve().parent.parent / "README.md"
 
 #: Long flags the README may mention that are not defined by our parser
-#: (argparse adds --help implicitly).
-ALLOWED_FOREIGN_FLAGS = {"--help"}
+#: (argparse adds --help implicitly; --port/--database belong to
+#: examples/synthesis_service.py, quoted in the Serving section).
+ALLOWED_FOREIGN_FLAGS = {"--help", "--port", "--database"}
 
 
 def cli_surface():
