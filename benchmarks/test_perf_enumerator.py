@@ -9,10 +9,13 @@ comparison for the disk-backed probe cache (run the workload cold, save
 the caches, reload, run again), the score-call reduction of the
 batched guidance backend (dedup + distribution cache behind
 ``score_batch``), the probe-exec reduction of the canonical probe
-planner (round-level probe fusion), and the probe savings of
-cost-ordered verification (``--cost-order order``: same answers, never
-more executed probes, plus single-flight dedup of concurrent duplicate
-probes). Set ``REPRO_PERF_STRICT=1`` (multi-core hosts only — SQLite
+planner (round-level probe fusion), the one-scan-per-group compression
+of the fuse planner (``--probe-planner fuse`` vs ``batch``: each
+skeleton group collapses to a single aggregate scan and staged column
+answers prune row probes before they are compiled), and the probe
+savings of cost-ordered verification (``--cost-order order``: same
+answers, never more executed probes, plus single-flight dedup of
+concurrent duplicate probes). Set ``REPRO_PERF_STRICT=1`` (multi-core hosts only — SQLite
 probe execution releases the GIL, but a single core has nothing to run
 the extra workers on) to turn the targets into hard assertions: ≥1.5x
 for threads, ≥1.1x for processes (which pay per-enumeration worker
@@ -20,8 +23,10 @@ spawn + job pickling before their CPU-bound parallelism pays off), for
 the warm-cache run zero probe misses plus no slowdown, for the
 batched-guidance repeat run zero model calls, for the planner-batched
 run strictly fewer executed ``Database.execute`` statements than
-planner-off, and for the cost-ordered contended round strictly fewer
-executed probes than the racing baseline; by default the numbers are
+planner-off, for the fuse run strictly fewer executed statements *and*
+lower wall-clock than the batched run, and for the cost-ordered
+contended round strictly fewer executed probes than the racing
+baseline; by default the numbers are
 recorded, and every configuration is only required to preserve the
 candidate stream exactly.
 
@@ -290,6 +295,82 @@ def test_probe_planner_batching(benchmark, workload):
         assert batch_probe < off_probe, \
             f"batched run issued {batch_probe} probe-path statements " \
             f"vs {off_probe} unbatched"
+
+
+def test_probe_planner_fuse(benchmark, workload):
+    """One-scan-per-group compression of ``--probe-planner fuse``.
+
+    The workload runs planner-batch and planner-fuse (workers=4, fresh
+    per-task caches, same ``db.stats`` accounting as the batching
+    comparison). Fuse compiles each join-skeleton group into a single
+    aggregate scan (one ``COUNT(*) FILTER`` arm per probe, ``MIN``/
+    ``MAX`` pairs for by-column bounds) and stages the round: fused
+    column answers land first and prune refuted candidates' row probes
+    before they are ever compiled. Recorded: probe-path statements and
+    totals for both runs, the per-kind fused-scan count, the reduction
+    ratio, and both wall-clocks. Strict mode asserts the fuse run
+    issues strictly fewer ``Database.execute`` calls *and* finishes
+    faster than the batched run; the candidate stream must match
+    exactly either way (fused answers are the same database facts).
+    """
+    model, tasks = workload
+    dbs = {id(db): db for _, db, _ in tasks}
+    kinds = ("probe", "probe_batch", "probe_fuse")
+
+    def probe_stmts(deltas):
+        return sum(d.per_kind.get(kind, 0)
+                   for d in deltas for kind in kinds)
+
+    def total_stmts(deltas):
+        return sum(d.statements for d in deltas)
+
+    def measured(planner):
+        before = {key: db.stats.snapshot() for key, db in dbs.items()}
+        emitted, elapsed, _ = run_workload(workload,
+                                           workers=PARALLEL_WORKERS,
+                                           probe_planner=planner)
+        deltas = [db.stats.delta_since(before[key])
+                  for key, db in dbs.items()]
+        return emitted, elapsed, deltas
+
+    batch_emitted, batch_elapsed, batch_deltas = measured("batch")
+    emitted, elapsed, fuse_deltas = run_once(
+        benchmark, lambda: measured("fuse"))
+    batch_probe = probe_stmts(batch_deltas)
+    fuse_probe = probe_stmts(fuse_deltas)
+    batch_total = total_stmts(batch_deltas)
+    fuse_total = total_stmts(fuse_deltas)
+    fused_scans = sum(d.per_kind.get("probe_fuse", 0)
+                      for d in fuse_deltas)
+    reduction = 1.0 - (fuse_probe / batch_probe) if batch_probe else 0.0
+    benchmark.extra_info["probe_stmts_batch"] = batch_probe
+    benchmark.extra_info["probe_stmts_fuse"] = fuse_probe
+    benchmark.extra_info["stmts_batch"] = batch_total
+    benchmark.extra_info["stmts_fuse"] = fuse_total
+    benchmark.extra_info["fused_scans"] = fused_scans
+    benchmark.extra_info["probe_stmt_reduction_vs_batch"] = \
+        round(reduction, 3)
+    benchmark.extra_info["batch_elapsed_s"] = round(batch_elapsed, 3)
+    benchmark.extra_info["fuse_elapsed_s"] = round(elapsed, 3)
+    print(f"\n[perf] fuse planner: {batch_probe} probe-path statements "
+          f"batched -> {fuse_probe} fused ({100.0 * reduction:.1f}% "
+          f"fewer; total {batch_total} -> {fuse_total}; {fused_scans} "
+          f"single-scan groups; batch {batch_elapsed:.2f}s, fuse "
+          f"{elapsed:.2f}s)")
+    # Fusing must never change the result stream...
+    assert emitted == batch_emitted
+    # ...and must actually compile single-scan groups on this workload.
+    assert fused_scans > 0
+    if os.environ.get("REPRO_PERF_STRICT", "") == "1":
+        assert fuse_total < batch_total, \
+            f"fuse run executed {fuse_total} statements vs " \
+            f"{batch_total} batched"
+        assert fuse_probe < batch_probe, \
+            f"fuse run issued {fuse_probe} probe-path statements vs " \
+            f"{batch_probe} batched"
+        assert elapsed < batch_elapsed, \
+            f"fuse run ({elapsed:.2f}s) not faster than batch " \
+            f"({batch_elapsed:.2f}s)"
 
 
 def test_cost_order_probe_savings(benchmark, workload):

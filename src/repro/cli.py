@@ -89,7 +89,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                   f"{telemetry.probe_compiles} plans compiled, "
                   f"{telemetry.probe_plan_hits} plan hits, "
                   f"{telemetry.probe_batch_stmts} fused statements, "
-                  f"{telemetry.probe_batch_fallbacks} fused fallbacks")
+                  f"{telemetry.probe_batch_fallbacks} fused fallbacks, "
+                  f"{telemetry.probe_fused_groups} fused groups, "
+                  f"{telemetry.probe_fuse_fallbacks} group fallbacks")
         if telemetry.cost_order != "off":
             print(f"[cost] mode {telemetry.cost_order}: "
                   f"{telemetry.cost_ordered} candidates cost-ordered, "
@@ -152,6 +154,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         compiles = sum(t.get("probe_compiles", 0) for t in gpqe)
         fused = sum(t.get("probe_batch_stmts", 0) for t in gpqe)
         fallbacks = sum(t.get("probe_batch_fallbacks", 0) for t in gpqe)
+        fused_groups = sum(t.get("probe_fused_groups", 0) for t in gpqe)
+        group_falls = sum(t.get("probe_fuse_fallbacks", 0) for t in gpqe)
         # Pool degrades are not a planner metric, but a degraded pool
         # runs the planner's prefetch inline, so the smoke gate watches
         # both alongside the planner's own fused-statement fallbacks.
@@ -159,7 +163,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"\n[planner] mode {sim_config.probe_planner}: probe plan "
               f"hits: {plan_hits}, {compiles} plans compiled, {fused} "
               f"fused statements, {fallbacks} fused fallbacks, "
-              f"{degraded} degraded tasks")
+              f"{fused_groups} fused groups, {group_falls} group "
+              f"fallbacks, {degraded} degraded tasks")
     if sim_config.cost_order != "off":
         # The audit re-runs the corpus under "off" and under the chosen
         # mode, so the printed contract lines are self-contained (the
@@ -352,8 +357,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                              "cache entry per probe structure), 'batch' "
                              "additionally fuses each round's sibling "
                              "probes into multi-probe UNION ALL "
-                             "statements; never changes the candidate "
-                             "stream (PlanHit telemetry column)")
+                             "statements, 'fuse' compiles each group "
+                             "into one single-scan aggregate statement "
+                             "and stages row probes after the by-column "
+                             "answers; never changes the candidate "
+                             "stream (PlanHit/FuseGrp telemetry columns)")
     parser.add_argument("--cost-order", dest="cost_order",
                         choices=COST_ORDER_MODES, default="off",
                         help="cost-aware verification scheduling: 'order' "

@@ -28,7 +28,8 @@ Estimates feed three consumers, all wired through
   *c* to every pending job with estimated cost >= *c*);
 * beam frontiers weight their truncation order by ``structure_cost``;
 * the ``ProbePlanner`` orders its fused batch arms by
-  ``probe_sql_cost``.
+  ``probe_sql_cost``, and (mode ``fuse``) its grouped single-scan
+  statements by ``probe_group_cost``.
 
 Monotonicity is the model's contract (pinned by
 ``tests/core/test_costmodel.py``): costs never decrease when a join
@@ -167,3 +168,16 @@ class CostModel:
             if pattern.search(sql):
                 cost += self.table_cost(table)
         return cost
+
+    def probe_group_cost(self, sqls) -> float:
+        """Cost of one fused probe group: its most expensive member.
+
+        The fuse mode pays a group's shared scan *once*, so the group
+        costs what its widest arm costs, not the sum — ``max`` keeps
+        the estimate monotone (adding an arm never cheapens a group)
+        without penalising exactly the grouping the fusion exists to
+        exploit. The 1.0 default prices an arm-less group (a pure
+        MIN/MAX scan) at the probe floor.
+        """
+        return max((self.probe_sql_cost(sql) for sql in sqls),
+                   default=1.0)

@@ -498,5 +498,7 @@ class SearchEngine:
                     telemetry.probe_plan_hits = delta.plan_hits
                     telemetry.probe_batch_stmts = delta.batch_stmts
                     telemetry.probe_batch_fallbacks = delta.batch_fallbacks
+                    telemetry.probe_fused_groups = delta.fused_groups
+                    telemetry.probe_fuse_fallbacks = delta.fuse_fallbacks
                 telemetry.guidance_reconnects = \
                     int(getattr(model, "reconnects", 0)) - reconnects_start

@@ -134,8 +134,11 @@ class BaseVerificationPool:
 
         With ``probe_planner="batch"`` the planner fuses the round's
         pending sibling probes into multi-probe statements and seeds
-        the shared probe cache; the cascade then finds them answered.
-        A no-op otherwise (no planner, or mode ``plan``).
+        the shared probe cache; with ``"fuse"`` it compiles each group
+        into one single-scan aggregate statement, staged so the
+        by-column answers land before any row probe is compiled. The
+        cascade then finds its probes already answered. A no-op
+        otherwise (no planner, or mode ``plan``).
         """
         if verifier.planner is not None:
             verifier.planner.prefetch(verifier, jobs)

@@ -75,7 +75,7 @@ class SearchTelemetry:
     #: True when verification ran on a warm pool leased from a
     #: harness-owned PoolManager (no worker spawn, no snapshot priming)
     pool_reused: bool = False
-    #: probe-planner mode for this run ("off", "plan", or "batch")
+    #: probe-planner mode for this run ("off", "plan", "batch", "fuse")
     probe_planner: str = "off"
     #: unique probe structures compiled to parameterised plans this run
     probe_compiles: int = 0
@@ -86,6 +86,12 @@ class SearchTelemetry:
     #: fused statements that failed and fell back to individual probes
     #: (nonzero means round batching is degrading on this workload)
     probe_batch_fallbacks: int = 0
+    #: grouped single-scan statements executed by the fuse mode (the
+    #: FuseGrp column; nonzero only with probe_planner=fuse)
+    probe_fused_groups: int = 0
+    #: fused group scans that failed and degraded to UNION ALL fusion
+    #: (nonzero means one-scan grouping is degrading on this workload)
+    probe_fuse_fallbacks: int = 0
     #: successful guidance-server reconnects after a failure
     guidance_reconnects: int = 0
     #: cost-order mode for this run ("off", "order", or "abort")
@@ -156,6 +162,8 @@ class SearchTelemetry:
             "probe_plan_hits": self.probe_plan_hits,
             "probe_batch_stmts": self.probe_batch_stmts,
             "probe_batch_fallbacks": self.probe_batch_fallbacks,
+            "probe_fused_groups": self.probe_fused_groups,
+            "probe_fuse_fallbacks": self.probe_fuse_fallbacks,
             "guidance_reconnects": self.guidance_reconnects,
             "cost_order": self.cost_order,
             "cost_ordered": self.cost_ordered,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..db.database import Database
 from ..db.schema import Schema
@@ -92,7 +92,7 @@ class VerifierConfig:
     #: full satisfaction check; candidates that blow the budget (typically
     #: runaway join paths) are rejected.
     execution_budget_ms: int = 250
-    #: Probe-planner mode ("off", "plan", or "batch" — see
+    #: Probe-planner mode ("off", "plan", "batch", or "fuse" — see
     #: :mod:`repro.core.search.planner`). Part of the verifier config so
     #: it ships to process-pool workers with the rest of the verifier
     #: state; worker verifiers rebuild their own planner from it.
@@ -109,6 +109,23 @@ class VerifierConfig:
     #: cost model to their rebuilt planner, ordering fused batch arms
     #: cheapest-first on the worker side too.
     cost_order: str = "off"
+
+
+@dataclass(frozen=True)
+class PendingProbes:
+    """One candidate's probe workload, split by cascade stage.
+
+    Produced by :meth:`Verifier.pending_probe_stages` for the planner's
+    staged ``fuse`` prefetch: ``column_probes`` are the by-column
+    existence probes, ``avg_columns`` the columns whose MIN/MAX bounds
+    the AVG range checks will need, and ``row_probes`` a lazy thunk
+    compiling the (strictly costlier) row-stage probes — invoked only
+    for candidates the fused column-stage answers did not refute.
+    """
+
+    column_probes: Tuple[str, ...]
+    avg_columns: Tuple["ColumnRef", ...]
+    row_probes: Callable[[], Tuple[str, ...]]
 
 
 class SharedProbeCache:
@@ -416,6 +433,29 @@ class SharedProbeCache:
                 if self._journal is not None:
                     self._journal[0].append((key, outcome))
 
+    def peek_minmax(self, column: ColumnRef) -> Optional[Tuple]:
+        """The cached (min, max) bounds for ``column``, or ``None`` —
+        no counters touched, no statement executed. Unambiguous because
+        a cached entry is always a 2-tuple (an empty table memoises
+        ``(None, None)``, never ``None``)."""
+        with self._lock:
+            return self._minmax.get(column)
+
+    def record_minmax(self, column: ColumnRef,
+                      bounds: Tuple[Optional[Value],
+                                    Optional[Value]]) -> None:
+        """Insert bounds computed out of band (a fused scan's MIN/MAX
+        aggregates). Counted as a miss and journalled, mirroring
+        :meth:`record_probe`, so fused bounds flow to worker processes
+        and the persistent store exactly like executed ones."""
+        with self._lock:
+            self.misses += 1
+            if column not in self._minmax:
+                self._minmax[column] = bounds
+                self._minmax_gen[column] = self._generation
+                if self._journal is not None:
+                    self._journal[1].append((column, bounds))
+
     def minmax(self, db: Database,
                column: ColumnRef) -> Tuple[Optional[Value], Optional[Value]]:
         with self._lock:
@@ -480,7 +520,10 @@ class Verifier:
         if (self.planner is not None and self.config.cost_order != "off"
                 and getattr(self.planner, "cost_key", None) is None):
             from .search.costmodel import CostModel
-            self.planner.cost_key = CostModel(db).probe_sql_cost
+            model = CostModel(db)
+            self.planner.cost_key = model.probe_sql_cost
+            # The fuse mode orders whole groups by their one-scan cost.
+            self.planner.group_cost_key = model.probe_group_cost
 
     def fork(self, db: Database) -> "Verifier":
         """A verifier over ``db`` sharing this one's probe cache.
@@ -733,7 +776,18 @@ class Verifier:
 
     def _avg_cell_possible(self, column: ColumnRef, cell: Cell) -> bool:
         """AVG lies within [min, max]; check intersection with the cell."""
-        low, high = self._column_minmax(column)
+        return self._avg_bounds_possible(self._column_minmax(column), cell)
+
+    @staticmethod
+    def _avg_bounds_possible(bounds: Tuple[Optional[Value],
+                                           Optional[Value]],
+                             cell: Cell) -> bool:
+        """The [min, max] intersection check, on already-known bounds.
+
+        Split out of :meth:`_avg_cell_possible` so the planner's staged
+        prefetch (:meth:`column_stage_refuted`) can apply the same test
+        to *peeked* bounds without triggering a min/max statement."""
+        low, high = bounds
         if low is None or high is None:
             return False
         try:
@@ -894,8 +948,65 @@ class Verifier:
         return PASS
 
     # ------------------------------------------------------------------
-    # Probe prefetch support (the planner's round batching)
+    # Probe prefetch support (the planner's round batching / fusing)
     # ------------------------------------------------------------------
+    def pending_probe_stages(self, query: Query,
+                             treat_as_partial: bool = False
+                             ) -> Optional["PendingProbes"]:
+        """The probe workload the cascade may issue, staged by cost.
+
+        The staged sibling of :meth:`pending_probe_sql` (same
+        short-circuits, same statements — both walk
+        :meth:`_iter_column_cell_checks` and :meth:`_row_probe_sql`, so
+        they can never drift), but with the strictly costlier row-stage
+        probes behind a thunk: the fuse planner executes the column
+        stage first and never invokes the thunk for candidates the
+        fused answers already refute (:meth:`column_stage_refuted`).
+        ``None`` means a probe-free stage (clauses, semantics, column
+        types) rejects the query outright — no probes will run at all.
+        """
+        complete = query.is_complete and not treat_as_partial
+        if not complete and not self.config.verify_partial:
+            return None
+        if not self._verify_clauses(query, complete).ok:
+            return None
+        if self.config.check_semantics \
+                and self.rules.check(query, self.schema):
+            return None
+        if not self._verify_column_types(query).ok:
+            return None
+        column_probes: List[str] = []
+        avg_columns: List[ColumnRef] = []
+        if self.tsq.tuples and not isinstance(query.select, Hole):
+            for example in self.tsq.tuples:
+                for kind, payload in self._iter_column_cell_checks(
+                        query, example):
+                    if kind == "probe":
+                        column_probes.append(payload)
+                    else:
+                        column = payload[0]
+                        if column not in avg_columns:
+                            avg_columns.append(column)
+
+        def row_probes() -> Tuple[str, ...]:
+            if not self._can_check_rows(query, complete):
+                return ()
+            context = self._row_probe_context(query)
+            if context is None:
+                return ()
+            aliases, from_clause, base_parts = context
+            sqls: List[str] = []
+            for example in self.tsq.tuples:
+                sql = self._row_probe_sql(query, aliases, from_clause,
+                                          base_parts, example)
+                if sql is not None:
+                    sqls.append(sql)
+            return tuple(sqls)
+
+        return PendingProbes(column_probes=tuple(column_probes),
+                             avg_columns=tuple(avg_columns),
+                             row_probes=row_probes)
+
     def pending_probe_sql(self, query: Query,
                           treat_as_partial: bool = False) -> List[str]:
         """The probe statements the cascade may issue for ``query``.
@@ -908,33 +1019,60 @@ class Verifier:
         probe-free stages (clauses, semantics, column types) already
         rejects the query, mirroring the cascade's short-circuit.
         """
-        complete = query.is_complete and not treat_as_partial
-        if not complete and not self.config.verify_partial:
+        staged = self.pending_probe_stages(query, treat_as_partial)
+        if staged is None:
             return []
-        if not self._verify_clauses(query, complete).ok:
-            return []
-        if self.config.check_semantics \
-                and self.rules.check(query, self.schema):
-            return []
-        if not self._verify_column_types(query).ok:
-            return []
-        sqls: List[str] = []
-        if self.tsq.tuples and not isinstance(query.select, Hole):
-            for example in self.tsq.tuples:
-                for kind, payload in self._iter_column_cell_checks(
-                        query, example):
-                    if kind == "probe":
-                        sqls.append(payload)
-        if self._can_check_rows(query, complete):
-            context = self._row_probe_context(query)
-            if context is not None:
-                aliases, from_clause, base_parts = context
-                for example in self.tsq.tuples:
-                    sql = self._row_probe_sql(query, aliases, from_clause,
-                                              base_parts, example)
-                    if sql is not None:
-                        sqls.append(sql)
-        return sqls
+        return list(staged.column_probes) + list(staged.row_probes())
+
+    def _peek_probe(self, sql: str) -> Optional[bool]:
+        """The memoised outcome of probe ``sql``, or ``None`` if it has
+        not been answered yet. Read-only: keys the cache exactly as
+        :meth:`_probe_now` would (canonical plan key under a planner,
+        raw text otherwise) but executes nothing and moves no counter.
+        """
+        if self.planner is not None:
+            key = self.planner.plan_for(sql, count=False).key
+        else:
+            key = sql
+        return self.probe_cache.peek(key)
+
+    def column_stage_refuted(self, query: Query) -> bool:
+        """Predict, from cached answers alone, whether the by-column
+        stage rejects ``query``.
+
+        A read-only mirror of :meth:`_verify_by_column`'s tolerance
+        loop over peeked probe outcomes and peeked min/max bounds: no
+        statement executes and no counter moves. An unanswered probe
+        (or unknown bounds) conservatively counts as satisfied, so
+        ``True`` means the cached facts alone already exceed the
+        tolerance. The fuse planner uses this after scattering a
+        round's fused column-stage answers to skip compiling the row
+        probes of refuted candidates; the cascade re-derives the
+        verdict either way, so a stale peek costs statements, never
+        correctness.
+        """
+        if not self.tsq.tuples or isinstance(query.select, Hole):
+            return False
+        failing_examples = 0
+        for example in self.tsq.tuples:
+            example_failed = False
+            for kind, payload in self._iter_column_cell_checks(query,
+                                                               example):
+                if kind == "avg":
+                    column, cell = payload
+                    bounds = self.probe_cache.peek_minmax(column)
+                    if bounds is not None and not \
+                            self._avg_bounds_possible(bounds, cell):
+                        example_failed = True
+                        break
+                elif self._peek_probe(payload) is False:
+                    example_failed = True
+                    break
+            if example_failed:
+                failing_examples += 1
+                if failing_examples > self.tsq.tolerance:
+                    return True
+        return False
 
     # ------------------------------------------------------------------
     # Stage 6: VerifyLiterals (complete queries only)

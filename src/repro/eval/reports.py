@@ -261,7 +261,9 @@ def search_report(records: Sequence[SimTaskRecord],
     sharing), ``WarmStart`` hits on entries loaded from a ``--cache-dir``
     disk store — an earlier *process* entirely. ``PlanHit`` counts
     probes served by an already-compiled parameterised plan when the
-    probe planner is on (``--probe-planner plan|batch``; 0 otherwise).
+    probe planner is on (``--probe-planner plan|batch|fuse``; 0
+    otherwise); ``FuseGrp`` counts the grouped single-scan statements
+    the ``fuse`` mode executed (0 in every other mode).
     ``CostAbort`` counts candidates deferred by the cost-propagated
     abort cascade (``--cost-order abort``; 0 in every other mode).
     The two guidance columns
@@ -299,6 +301,7 @@ def search_report(records: Sequence[SimTaskRecord],
         cross = total("cross_task_probe_hits")
         warm = total("warm_start_probe_hits")
         plan_hits = total("probe_plan_hits")
+        fused_groups = total("probe_fused_groups")
         cost_aborts = total("cost_aborts")
         calls, batches = total("guidance_calls"), total("guidance_batches")
         guide_calls = total("guide_calls")
@@ -311,6 +314,7 @@ def search_report(records: Sequence[SimTaskRecord],
             cross,
             warm,
             plan_hits,
+            fused_groups,
             cost_aborts,
             f"{calls / batches:.1f}" if batches else "-",
             guide_calls,
@@ -323,7 +327,8 @@ def search_report(records: Sequence[SimTaskRecord],
         rows.append(tuple(row))
 
     headers = ("System", "Engine", "Verify", "W", "Expand", "Gen", "Emit",
-               "Cache%", "XTaskHit", "WarmStart", "PlanHit", "CostAbort",
+               "Cache%", "XTaskHit", "WarmStart", "PlanHit", "FuseGrp",
+               "CostAbort",
                "Calls/Batch",
                "GuideCalls", "GuideHits", "Wall",
                *(f"prune:{s}" for s in stage_names))

@@ -73,6 +73,22 @@ class LexicalGuidanceModel(GuidanceModel):
         self._temperature = temperature
         self._link_cache: Dict[Tuple[str, str], LinkScores] = {}
 
+    def cache_fields(self):
+        """The lexical model's declared cache-key projection.
+
+        Every distribution below is a deterministic function of the NLQ
+        (its text, tokens, and typed literals), the schema (column types
+        and the link scores derived from both), and the method's own
+        arguments.  ``task_id`` and ``gold`` are never read, so dropping
+        them from the cache key merges repeat decisions across tasks
+        that share an utterance and schema without changing any answer.
+        ``partial`` is declared even though no method reads it today:
+        keeping it in the key is always sound, and it keeps the
+        declaration valid if a future cue starts peeking at the partial
+        query shape.  The equivalence suite locks the merge in.
+        """
+        return ("schema", "nlq", "partial")
+
     # ------------------------------------------------------------------
     def _links(self, ctx: GuidanceContext) -> LinkScores:
         key = (ctx.nlq.text, ctx.schema.name)

@@ -263,3 +263,60 @@ def probe_plan_key(param_sql: str, params: Sequence[Value]) -> str:
     """
     return param_sql + "\x1f\x1f" + "\x1f".join(
         _normalise_param(value) for value in params)
+
+
+# ----------------------------------------------------------------------
+# Grouped probe-set rendering (the planner's fuse mode)
+# ----------------------------------------------------------------------
+def split_probe(param_sql: str) -> Optional[Tuple[str, str]]:
+    """Split a canonicalised probe into ``(skeleton, condition)``.
+
+    The probe grammar the verifier emits is ``SELECT 1 FROM <skeleton>
+    WHERE <condition> LIMIT 1``; the skeleton is the join structure the
+    fuse planner groups by, the condition becomes one aggregate arm of
+    the grouped statement. Returns ``None`` when the statement does not
+    match the grammar — the caller then leaves that probe to the
+    per-arm paths (``UNION ALL`` fusion or the cascade), which accept
+    any shape.
+    """
+    start = param_sql.find(" FROM ")
+    where = param_sql.rfind(" WHERE ")
+    limit = param_sql.rfind(" LIMIT ")
+    if start < 0 or where <= start or limit <= where:
+        return None
+    return param_sql[start + 6:where], param_sql[where + 7:limit]
+
+
+def fused_group_sql(skeleton: str, conditions: Sequence[str],
+                    minmax_columns: Sequence[str] = ()) -> str:
+    """Render one single-scan grouped statement for a probe group.
+
+    One aggregate row over one scan of ``skeleton``: a ``COUNT(*)
+    FILTER (WHERE <condition>)`` arm per existence probe (nonzero iff
+    the probe's ``SELECT 1 ... LIMIT 1`` would find a row — NULL
+    conditions exclude a row from the filter exactly as they would from
+    a WHERE clause) and a ``MIN``/``MAX`` pair per by-column AVG-range
+    column (``minmax_columns`` are already-quoted column names, and the
+    pair matches ``Database.column_min_max`` aggregate for aggregate).
+    Parameters are the conditions' placeholders concatenated in arm
+    order, exactly as the caller collected them.
+    """
+    parts = [f"COUNT(*) FILTER (WHERE {condition})"
+             for condition in conditions]
+    for column in minmax_columns:
+        parts.append(f"MIN({column})")
+        parts.append(f"MAX({column})")
+    return f"SELECT {', '.join(parts)} FROM {skeleton}"
+
+
+def fused_group_key(skeleton: str, arm_sqls: Sequence[str]) -> str:
+    """A stable identity for one fused group's rendered statement.
+
+    Keys the planner's rendered-statement cache the same way
+    :func:`probe_plan_key` keys single probes: the skeleton plus the
+    arms' parameterised signatures, joined with a record separator that
+    occurs in neither — so an expansion round that re-derives the same
+    group (same shapes, different literals) reuses the rendered SQL
+    string and its prepared plan.
+    """
+    return skeleton + "\x1e" + "\x1e".join(arm_sqls)

@@ -4,9 +4,12 @@ The contract under test (see ``repro.core.search.planner``): probes
 sharing a structural signature compile once and share one parameterised
 statement and one probe-cache entry; round prefetching fuses sibling
 probes into multi-probe statements whose per-arm outcomes are exactly
-what individual execution would have produced; a fused statement that
-cannot execute falls back to individual probing; and none of it can
-change a verification outcome.
+what individual execution would have produced; the ``fuse`` mode
+compiles each group into one single-scan aggregate statement and stages
+row probes behind the fused column-stage answers; a fused statement
+that cannot execute degrades down the ladder (fuse -> UNION ALL batch
+-> individual probing); and none of it can change a verification
+outcome.
 """
 
 from __future__ import annotations
@@ -130,10 +133,13 @@ class TestPlanCache:
         planner = ProbePlanner("plan")
         planner.plan_for(probe_sql(1994))
         before = planner.counters.copy()
-        planner.merge_remote(PlannerCounters(2, 7, 1, 5, 0).as_tuple())
+        planner.merge_remote(
+            PlannerCounters(2, 7, 1, 5, 0, 3, 1).as_tuple())
         delta = planner.counters.delta_since(before)
         assert (delta.compiles, delta.plan_hits, delta.batch_stmts,
-                delta.batched_probes, delta.batch_fallbacks) == (2, 7, 1, 5, 0)
+                delta.batched_probes, delta.batch_fallbacks,
+                delta.fused_groups, delta.fuse_fallbacks) == \
+            (2, 7, 1, 5, 0, 3, 1)
 
 
 def make_verifier(db, mode="batch", rows=(("Forrest Gump",),)):
@@ -258,6 +264,237 @@ class TestRoundBatching:
         delta = db.stats.delta_since(before)
         expected = -(-150 // MAX_FUSED_ARMS)
         assert delta.per_kind.get("probe_batch", 0) == expected
+
+
+class TestFuseMode:
+    """``fuse``: one single-scan statement per group, staged so the
+    fused column-stage answers prune row-probe compilation, with the
+    degrade ladder (fuse -> UNION ALL batch -> individual probing) and
+    the timeout path (nothing memoised, candidates stay alive) exact."""
+
+    @staticmethod
+    def partial_jobs(db, years=(1990, 1995, 2000, 2005)):
+        queries = [parse_sql(
+            f"SELECT title FROM movie WHERE year < {year}", db.schema)
+            for year in years]
+        return queries, [(query, True) for query in queries]
+
+    def test_fuse_executes_one_scan_per_group(self):
+        db = build_movie_db()
+        verifier = make_verifier(db, mode="fuse")
+        queries, jobs = self.partial_jobs(db)
+        before = db.stats.snapshot()
+        answered = verifier.planner.prefetch(verifier, jobs)
+        delta = db.stats.delta_since(before)
+        # Four distinct row probes over one join skeleton: ONE grouped
+        # single-scan statement answered all of them.
+        assert answered == 4
+        assert delta.per_kind.get("probe_fuse", 0) == 1
+        assert delta.statements == 1
+        counters = verifier.planner.counters
+        assert counters.fused_groups == 1
+        assert counters.batched_probes == 4
+        assert counters.fuse_fallbacks == 0
+        assert counters.batch_stmts == 0
+
+    def test_fused_answers_match_individual_execution(self):
+        db = build_movie_db()
+        verifier = make_verifier(db, mode="fuse",
+                                 rows=[["Forrest Gump"], ["Gravity"]])
+        queries, jobs = self.partial_jobs(db)
+        verifier.planner.prefetch(verifier, jobs)
+        checked = 0
+        for query in queries:
+            for sql in verifier.pending_probe_sql(query, True):
+                key = probe_plan_key(*canonicalize_probe(sql))
+                cached = verifier.probe_cache.peek(key)
+                if cached is not None:
+                    assert cached == db.exists(sql)
+                    checked += 1
+        assert checked > 0
+
+    def test_fuse_seeds_minmax_bounds_without_meta_statements(self):
+        """AVG range checks ride in the fused scan as MIN/MAX aggregate
+        pairs: the cascade then finds the bounds cached, so no per-
+        column ``meta`` statement is ever executed."""
+        db = build_movie_db()
+        tsq = TableSketchQuery.build(types=["number", "number"],
+                                     rows=[[1995, 400.0]])
+        verifier = Verifier(db, tsq=tsq,
+                            config=VerifierConfig(probe_planner="fuse"))
+        query = parse_sql("SELECT AVG(year), AVG(revenue) FROM movie",
+                          db.schema)
+        staged = verifier.pending_probe_stages(query)
+        assert len(staged.avg_columns) == 2
+        before = db.stats.snapshot()
+        answered = verifier.planner.prefetch(verifier, [(query, False)])
+        assert answered == 2  # two columns' bounds from one scan
+        delta = db.stats.delta_since(before)
+        assert delta.per_kind.get("probe_fuse", 0) == 1
+        result = verifier.verify(query)
+        delta = db.stats.delta_since(before)
+        assert delta.per_kind.get("meta", 0) == 0
+        # Same verdict as a planner-off verifier paying meta statements.
+        plain = Verifier(db, tsq=tsq).verify(query)
+        assert (result.ok, result.failed_stage) == \
+            (plain.ok, plain.failed_stage)
+
+    def test_fused_column_answers_prune_row_compilation(self):
+        """The staged prefetch: both column arms land False in the
+        fused scan, the candidate is refuted by peeked answers alone,
+        and its row probes are never compiled — not in the plan cache,
+        not in the probe cache."""
+        db = build_movie_db()
+        verifier = make_verifier(db, mode="fuse",
+                                 rows=[["No Such A"], ["No Such B"]])
+        query = parse_sql("SELECT title FROM movie WHERE year < 1995",
+                          db.schema)
+        staged = verifier.pending_probe_stages(query, True)
+        row_sqls = staged.row_probes()
+        assert len(staged.column_probes) == 2 and len(row_sqls) == 2
+        answered = verifier.planner.prefetch(verifier, [(query, True)])
+        assert answered == 2  # the two column arms only
+        assert verifier.column_stage_refuted(query)
+        for sql in row_sqls:
+            key = probe_plan_key(*canonicalize_probe(sql))
+            assert verifier.probe_cache.peek(key) is None
+            assert sql not in verifier.planner._plans
+        # The cascade reaches the refutation the peek predicted.
+        result = verifier.verify(query, treat_as_partial=True)
+        assert not result.ok and result.failed_stage == "by_column"
+
+    def test_fuse_failure_degrades_to_batch_fusion(self, monkeypatch):
+        """First rung of the ladder: a failed single-scan statement
+        retries its arms as the ``batch`` mode's UNION ALL fusion, with
+        the degradation visible in the counters — and the answers still
+        exactly what individual execution would produce."""
+        from repro.errors import ExecutionError
+
+        db = build_movie_db()
+        verifier = make_verifier(db, mode="fuse")
+        queries, jobs = self.partial_jobs(db)
+        original = type(db).execute
+
+        def failing(self, sql, params=(), max_rows=None, kind="query"):
+            if kind == "probe_fuse":
+                raise ExecutionError("grouped scan rejected")
+            return original(self, sql, params, max_rows=max_rows,
+                            kind=kind)
+
+        monkeypatch.setattr(type(db), "execute", failing)
+        answered = verifier.planner.prefetch(verifier, jobs)
+        assert answered == 4  # the UNION ALL retry answered every arm
+        counters = verifier.planner.counters
+        assert counters.fused_groups == 0
+        assert counters.fuse_fallbacks == 1
+        assert counters.batch_stmts == 1
+        assert counters.batch_fallbacks == 0
+        assert counters.batched_probes == 4
+        monkeypatch.setattr(type(db), "execute", original)
+        for query in queries:
+            for sql in verifier.pending_probe_sql(query, True):
+                key = probe_plan_key(*canonicalize_probe(sql))
+                cached = verifier.probe_cache.peek(key)
+                if cached is not None:
+                    assert cached == db.exists(sql)
+
+    def test_fuse_and_batch_failure_fall_back_to_individual(
+            self, monkeypatch):
+        """Bottom of the ladder: when the grouped scan AND the UNION
+        ALL retry both fail, nothing is memoised and the cascade's
+        per-probe error semantics take over unchanged."""
+        from repro.errors import ExecutionError
+
+        db = build_movie_db()
+        verifier = make_verifier(db, mode="fuse")
+        queries, jobs = self.partial_jobs(db)
+        original = type(db).execute
+
+        def failing(self, sql, params=(), max_rows=None, kind="query"):
+            if kind in ("probe_fuse", "probe_batch"):
+                raise ExecutionError("fused statement rejected")
+            return original(self, sql, params, max_rows=max_rows,
+                            kind=kind)
+
+        monkeypatch.setattr(type(db), "execute", failing)
+        assert verifier.planner.prefetch(verifier, jobs) == 0
+        counters = verifier.planner.counters
+        assert counters.fuse_fallbacks == 1
+        assert counters.batch_fallbacks == 1
+        assert counters.fused_groups == counters.batch_stmts == 0
+        assert len(verifier.probe_cache) == 0  # nothing memoised
+        # The cascade probes individually and reaches the verdicts a
+        # planner-off verifier reaches.
+        results = [verifier.verify(q, treat_as_partial=True)
+                   for q in queries]
+        monkeypatch.setattr(type(db), "execute", original)
+        plain = Verifier(db, tsq=verifier.tsq)
+        expected = [plain.verify(q, treat_as_partial=True)
+                    for q in queries]
+        assert [(r.ok, r.failed_stage) for r in results] == \
+            [(r.ok, r.failed_stage) for r in expected]
+
+    def test_fuse_timeout_memoises_nothing(self, monkeypatch):
+        """A fused scan that blows the probe budget (``--cost-order
+        abort`` interplay) draws no conclusion for ANY arm: nothing is
+        memoised, no fallback statement runs, and every candidate stays
+        alive for the cascade's own per-probe budget."""
+        from repro.errors import ExecutionError
+
+        db = build_movie_db()
+        tsq = TableSketchQuery.build(types=["text"],
+                                     rows=[["Forrest Gump"]])
+        verifier = Verifier(db, tsq=tsq, config=VerifierConfig(
+            probe_planner="fuse", cost_order="abort",
+            probe_timeout_ms=60_000))
+        queries, jobs = self.partial_jobs(db)
+        original = type(db).execute
+
+        def interrupted(self, sql, params=(), max_rows=None,
+                        kind="query"):
+            if kind == "probe_fuse":
+                # What sqlite raises when the budget timer interrupts a
+                # running statement; the interruptible() guard converts
+                # it to ExecutionTimeout at scope exit.
+                raise ExecutionError("interrupted")
+            return original(self, sql, params, max_rows=max_rows,
+                            kind=kind)
+
+        monkeypatch.setattr(type(db), "execute", interrupted)
+        timeouts_before = db.stats.timeouts
+        assert verifier.planner.prefetch(verifier, jobs) == 0
+        counters = verifier.planner.counters
+        # A timeout is not a degradation: no fallback rung runs and no
+        # outcome is recorded for any arm.
+        assert counters.fuse_fallbacks == 0
+        assert counters.batch_fallbacks == 0
+        assert counters.fused_groups == counters.batch_stmts == 0
+        assert len(verifier.probe_cache) == 0
+        assert db.stats.timeouts == timeouts_before + 1
+        # Candidates stay alive: the cascade re-probes each arm under
+        # its own per-probe budget and reaches the planner-off
+        # verdicts, with no timeout flag stamped on any result.
+        results = [verifier.verify(q, treat_as_partial=True)
+                   for q in queries]
+        assert not any(r.timed_out for r in results)
+        monkeypatch.setattr(type(db), "execute", original)
+        plain = Verifier(db, tsq=tsq)
+        expected = [plain.verify(q, treat_as_partial=True)
+                    for q in queries]
+        assert [(r.ok, r.failed_stage) for r in results] == \
+            [(r.ok, r.failed_stage) for r in expected]
+
+    def test_single_statement_groups_are_left_to_the_cascade(self):
+        """A group whose payload is one statement's worth saves nothing
+        by fusing: the planner leaves it alone (same statement count
+        either way, simpler failure surface)."""
+        db = build_movie_db()
+        verifier = make_verifier(db, mode="fuse")
+        query = parse_sql("SELECT title FROM movie WHERE year < 1995",
+                          db.schema)
+        # Complete query: one column probe, no row stage -> one lone arm.
+        assert verifier.planner.prefetch(verifier, [(query, False)]) == 0
+        assert verifier.planner.counters.fused_groups == 0
 
 
 class TestPendingProbeSuperset:

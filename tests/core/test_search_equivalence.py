@@ -390,7 +390,7 @@ class TestProbePlannerEquivalence:
     probe answers are facts of the database, so the candidate stream
     and the verifier's stage stats stay bit-for-bit identical."""
 
-    @pytest.mark.parametrize("planner", ["plan", "batch"])
+    @pytest.mark.parametrize("planner", ["plan", "batch", "fuse"])
     @pytest.mark.parametrize("workers,backend", [
         (1, "inline"), (4, "threads"), (4, "processes"),
     ])
@@ -406,7 +406,7 @@ class TestProbePlannerEquivalence:
             assert enumerator.expansions == expected["total_expansions"]
             assert enumerator.telemetry.probe_planner == planner
 
-    @pytest.mark.parametrize("planner", ["plan", "batch"])
+    @pytest.mark.parametrize("planner", ["plan", "batch", "fuse"])
     def test_planner_verifier_stats_match_serial(self, tasks, planner):
         """Stage pass/fail counts are part of the contract: the planner
         must not change any verification outcome."""
@@ -483,6 +483,134 @@ class TestProbePlannerEquivalence:
         # fused statements (and no probe misses) are paid at all.
         assert enumerator.telemetry.probe_misses == 0
         assert enumerator.telemetry.probe_batch_stmts == 0
+
+
+class TestFuseEquivalence:
+    """``--probe-planner fuse`` must be invisible in the output: the
+    grouped single-scan statements and the staged (column-first)
+    prefetch change statement counts and telemetry only — the candidate
+    stream stays bit-for-bit golden across backends and warm starts.
+    The stream matrix itself runs in TestProbePlannerEquivalence
+    (``planner="fuse"`` across inline/threads/processes); these tests
+    pin what the matrix cannot: the fused groups actually execute, the
+    new statement kind shows up, and the mode composes with the rest of
+    the stack."""
+
+    def test_fuse_executes_grouped_scans(self, golden, tasks):
+        """``fuse`` actually executes grouped single-scan statements:
+        the FuseGrp telemetry is nonzero, the new ``probe_fuse``
+        statement kind shows up in the per-kind counters, nothing
+        degraded — and the stream stayed golden."""
+        name = next(iter(golden["tasks"]))
+        db = tasks[name][0]
+        before = db.stats.snapshot()
+        stream, enumerator, _ = run_engine(tasks[name], workers=4,
+                                           probe_planner="fuse")
+        delta = db.stats.delta_since(before)
+        assert stream == golden["tasks"][name]["candidates"]
+        assert enumerator.telemetry.probe_fused_groups > 0
+        assert enumerator.telemetry.probe_fuse_fallbacks == 0
+        assert enumerator.telemetry.probe_batch_fallbacks == 0
+        assert delta.per_kind.get("probe_fuse", 0) > 0
+
+    def test_fuse_issues_fewer_statements_than_batch(self, tasks):
+        """The point of the tentpole: one scan per group beats one
+        UNION ALL arm per probe — strictly fewer probe-path statements
+        than ``batch`` on the same task."""
+        name = next(iter(tasks))
+        db = tasks[name][0]
+        before = db.stats.snapshot()
+        run_engine(tasks[name], workers=4, probe_planner="batch")
+        batch_delta = db.stats.delta_since(before)
+        before = db.stats.snapshot()
+        run_engine(tasks[name], workers=4, probe_planner="fuse")
+        fuse_delta = db.stats.delta_since(before)
+
+        def probe_stmts(delta):
+            return sum(delta.per_kind.get(kind, 0)
+                       for kind in ("probe", "probe_batch", "probe_fuse"))
+
+        assert probe_stmts(fuse_delta) < probe_stmts(batch_delta)
+
+    def test_fuse_warm_start_matches_golden(self, golden, tasks,
+                                            tmp_path):
+        """fuse -> save -> fuse warm restart: the canonical keys the
+        fused scans scatter persist like executed ones, so the second
+        run warm-starts fully (no misses, no fused scans paid) and
+        stays golden."""
+        from repro.core.search.cachestore import PersistentProbeCache
+
+        store = PersistentProbeCache(tmp_path)
+        name = next(iter(golden["tasks"]))
+        db = tasks[name][0]
+        cold_cache, loaded = store.warm_cache(db)
+        assert loaded == 0
+        first, _, _ = run_engine(tasks[name], workers=1,
+                                 probe_planner="fuse",
+                                 probe_cache=cold_cache)
+        store.save(db, cold_cache)
+
+        warm_cache, loaded = store.warm_cache(db)
+        assert loaded > 0
+        second, enumerator, _ = run_engine(tasks[name], workers=1,
+                                           probe_planner="fuse",
+                                           probe_cache=warm_cache)
+        assert first == second == golden["tasks"][name]["candidates"]
+        assert enumerator.telemetry.warm_start_probe_hits > 0
+        assert enumerator.telemetry.probe_misses == 0
+        assert enumerator.telemetry.probe_fused_groups == 0
+
+    def test_fuse_with_persistent_pool_matches_golden(self, golden,
+                                                      tasks):
+        """fuse × warm leased process pools: worker planners rebuild in
+        fuse mode, their 7-slot counter deltas fold back over the batch
+        protocol, and every task's stream stays golden."""
+        from repro.core.search.parallel import PoolManager
+        from repro.core.verifier import SharedProbeCache
+        from repro.db.database import Database
+
+        if not Database.supports_snapshots():
+            pytest.skip("sqlite build cannot snapshot databases")
+        with PoolManager() as manager:
+            caches = {}
+            fused_groups = 0
+            for name, expected in golden["tasks"].items():
+                db = tasks[name][0]
+                cache = caches.setdefault(id(db), SharedProbeCache())
+                stream, enumerator, _ = run_engine(
+                    tasks[name], workers=4, verify_backend="processes",
+                    pool_manager=manager, probe_cache=cache,
+                    probe_planner="fuse")
+                assert stream == expected["candidates"], \
+                    f"{name} diverged under fuse + persistent pool"
+                assert not enumerator.telemetry.snapshot_degraded
+                assert enumerator.telemetry.probe_fuse_fallbacks == 0
+                fused_groups += enumerator.telemetry.probe_fused_groups
+        assert fused_groups > 0
+
+    def test_fuse_composes_with_cost_order(self, golden, tasks):
+        """fuse × ``--cost-order order``: the group-cost ordering is a
+        reordering of fact lookups, so the answer set is exactly the
+        golden one and no group degrades."""
+        name = next(iter(golden["tasks"]))
+        stream, enumerator, _ = run_engine(tasks[name], workers=4,
+                                           probe_planner="fuse",
+                                           cost_order="order")
+        assert {c["signature"] for c in stream} == \
+            {c["signature"]
+             for c in golden["tasks"][name]["candidates"]}
+        assert enumerator.telemetry.probe_fuse_fallbacks == 0
+
+    def test_fuse_verifier_stats_match_serial_off(self, tasks):
+        """Stage pass/fail counts are part of the contract: the staged
+        prefetch (including its peek-based row-probe pruning) must not
+        change any verification outcome."""
+        name = "spider:library_dev_0-t2"
+        _, plain, _ = run_engine(tasks[name], workers=1)
+        _, fused, _ = run_engine(tasks[name], workers=4,
+                                 verify_backend="processes",
+                                 probe_planner="fuse")
+        assert fused.verifier.stats == plain.verifier.stats
 
 
 class TestCostOrderEquivalence:

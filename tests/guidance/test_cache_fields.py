@@ -39,8 +39,18 @@ class TestDeclarations:
         assert wrapper.cache_key_fields == ("task_id", "gold",
                                             "decision_prefix")
 
-    def test_undeclared_model_gets_the_conservative_key(self):
+    def test_lexical_declares_its_projection(self):
         wrapper = BatchingGuidanceModel(LexicalGuidanceModel())
+        assert wrapper.cache_key_fields == ("schema", "nlq", "partial")
+
+    def test_undeclared_model_gets_the_conservative_key(self):
+        class Undeclared(LexicalGuidanceModel):
+            name = "undeclared"
+
+            def cache_fields(self):
+                return None
+
+        wrapper = BatchingGuidanceModel(Undeclared())
         assert wrapper.cache_key_fields is None
 
     def test_unknown_fields_fail_at_wrap_time(self):
@@ -135,5 +145,29 @@ class TestProjectionIsInvisibleInTheStream:
         assert projected.counters.requests_in \
             == conservative.counters.requests_in
         # Fewer distinct keys reach the inner model under the merge.
+        assert projected.counters.unique_scored \
+            <= conservative.counters.unique_scored
+
+    def test_lexical_projection_matches_conservative(
+            self, oracle_task, monkeypatch):
+        """Same lock for the lexical model's new declaration: projecting
+        ``task_id``/``gold`` away merges cache entries but leaves the
+        candidate stream bit-for-bit unchanged."""
+        projected = BatchingGuidanceModel(LexicalGuidanceModel())
+        assert projected.cache_key_fields == ("schema", "nlq", "partial")
+        projected_stream = _run(projected, oracle_task)
+
+        monkeypatch.setattr(LexicalGuidanceModel, "cache_fields",
+                            lambda self: None)
+        conservative = BatchingGuidanceModel(LexicalGuidanceModel())
+        assert conservative.cache_key_fields is None
+        conservative_stream = _run(conservative, oracle_task)
+
+        assert projected_stream, "task must emit candidates"
+        assert projected_stream == conservative_stream
+        assert projected.counters.cache_hits \
+            >= conservative.counters.cache_hits
+        assert projected.counters.requests_in \
+            == conservative.counters.requests_in
         assert projected.counters.unique_scored \
             <= conservative.counters.unique_scored
