@@ -46,14 +46,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                                   guidance_server=args.guidance_server,
                                   probe_planner=args.probe_planner,
                                   cost_order=args.cost_order,
-                                  probe_timeout_ms=args.probe_timeout)
+                                  probe_timeout_ms=args.probe_timeout,
+                                  probe_cache_entries=args.probe_cache_entries)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     store = probe_cache = None
     if args.cache_dir:
         store = PersistentProbeCache(args.cache_dir)
-        probe_cache, loaded = store.warm_cache(db)
+        probe_cache, loaded = store.warm_cache(
+            db, max_entries=args.probe_cache_entries)
         print(f"[cache] loaded {loaded} probe entries from "
               f"{store.path_for(db)}")
     system = Duoquest(db, model=LexicalGuidanceModel(), config=config,
@@ -97,6 +99,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                   f"{telemetry.cost_ordered} candidates cost-ordered, "
                   f"{telemetry.probe_timeouts} probe timeouts, "
                   f"{telemetry.cost_aborts} cost aborts")
+        if args.probe_cache_entries:
+            print(f"[memory] probe cache bounded at "
+                  f"{args.probe_cache_entries} entries: "
+                  f"{telemetry.probe_cache_entries} live, "
+                  f"{telemetry.probe_cache_evictions} evicted, "
+                  f"{telemetry.evicted_flushed} flushed to store")
         if telemetry.guidance_batched:
             served = " (degraded to the local model)" \
                 if telemetry.guidance_degraded else ""
@@ -132,7 +140,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             guidance_server=args.guidance_server,
             probe_planner=args.probe_planner,
             cost_order=args.cost_order,
-            probe_timeout_ms=args.probe_timeout)
+            probe_timeout_ms=args.probe_timeout,
+            probe_cache_entries=args.probe_cache_entries)
         sim_config.enumerator_config()  # validate the combination early
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -183,6 +192,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"[cost] top-10 gold hits: {audit['top10_off']} off -> "
               f"{audit['top10_cost']} {audit['mode']} "
               f"(accuracy delta {audit['accuracy_delta']:+d})")
+    if sim_config.probe_cache_entries:
+        evictions = sum(t.get("probe_cache_evictions", 0) for t in gpqe)
+        flushed = sum(t.get("evicted_flushed", 0) for t in gpqe)
+        peak = max((t.get("probe_cache_entries", 0) for t in gpqe),
+                   default=0)
+        print(f"\n[memory] probe cache bounded at "
+              f"{sim_config.probe_cache_entries} entries: peak {peak} "
+              f"live, {evictions} evicted, {flushed} flushed to store")
     if sim_config.guidance_batch or sim_config.guidance_server:
         scored = sum(t.get("guide_calls", 0) for t in gpqe)
         requests = sum(t.get("guide_requests", 0) for t in gpqe)
@@ -281,7 +298,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                   guidance_server=args.guidance_server,
                                   probe_planner=args.probe_planner,
                                   cost_order=args.cost_order,
-                                  probe_timeout_ms=args.probe_timeout)
+                                  probe_timeout_ms=args.probe_timeout,
+                                  probe_cache_entries=args.probe_cache_entries)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -378,6 +396,15 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                              "a timed-out probe is inconclusive (the "
                              "candidate survives the stage) and feeds the "
                              "--cost-order abort cascade")
+    parser.add_argument("--probe-cache-entries", dest="probe_cache_entries",
+                        type=_positive_int, default=None, metavar="N",
+                        help="LRU bound on each shared probe cache's "
+                             "entry count (default: unbounded); never "
+                             "changes results — an evicted entry costs a "
+                             "re-probe, and with --cache-dir it flushes "
+                             "to the disk store first, so bounded caches "
+                             "still warm-start (Evict/Flushed telemetry "
+                             "columns)")
     parser.add_argument("--guidance-batch", dest="guidance_batch",
                         action="store_true",
                         help="deduplicate and cache guidance decisions "

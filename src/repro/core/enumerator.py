@@ -150,6 +150,14 @@ class EnumeratorConfig:
     #: (the seed behaviour). Timed-out probes draw no conclusion but
     #: flag the candidate — the signal "abort" mode propagates.
     probe_timeout_ms: Optional[int] = None
+    #: LRU bound on the shared probe cache's total entry count; None
+    #: (the seed behaviour) grows without bound. Bounded mode never
+    #: changes the candidate stream — an evicted entry only costs a
+    #: re-probe (or a disk read, when a cache store is attached) —
+    #: and is observable in the probe_cache_evictions / evicted_flushed
+    #: telemetry. Ignored when the caller supplies its own prebuilt
+    #: cache or verifier.
+    probe_cache_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Reject bad worker counts here, at the configuration boundary,
@@ -167,6 +175,12 @@ class EnumeratorConfig:
                 or self.probe_timeout_ms < 1):
             raise ValueError(f"probe_timeout_ms must be a positive "
                              f"integer (got {self.probe_timeout_ms!r})")
+        if self.probe_cache_entries is not None and (
+                not isinstance(self.probe_cache_entries, int)
+                or isinstance(self.probe_cache_entries, bool)
+                or self.probe_cache_entries < 1):
+            raise ValueError(f"probe_cache_entries must be a positive "
+                             f"integer (got {self.probe_cache_entries!r})")
         if not isinstance(self.guidance_cache_size, int) \
                 or self.guidance_cache_size < 1:
             raise ValueError(f"guidance_cache_size must be a positive "
@@ -223,7 +237,12 @@ class Enumerator:
         # ``probe_cache`` lets a caller (the eval harness) share one
         # per-database cache across many enumerations, so probe answers
         # from earlier tasks are reused; ignored when a prebuilt
-        # verifier is supplied.
+        # verifier is supplied. Without a shared cache, the configured
+        # entry bound still applies to the private per-enumeration one.
+        if probe_cache is None and verifier is None \
+                and self.config.probe_cache_entries is not None:
+            probe_cache = SharedProbeCache(
+                max_entries=self.config.probe_cache_entries)
         self.verifier = verifier or Verifier(
             db, tsq=self.tsq, literals=nlq.literals,
             config=VerifierConfig(

@@ -14,7 +14,9 @@ The store is an SQLite database per (schema, content hash) — PR 3
 shipped it as one JSON file rewritten wholesale on every save; at large
 cache sizes that rewrite dominated save time, so saves are now
 **incremental upserts**: only entries the file does not already hold
-are inserted (``INSERT OR IGNORE``), and SQLite's own locking and
+are inserted (existing facts win; re-saves merely refresh a ``seq``
+recency stamp that orders bounded warm starts), and SQLite's own
+locking and
 journaling provide the atomicity the JSON store had to build from
 temp-file renames. Probe entries are plain ``key -> outcome`` rows, so
 the store composes with the probe planner unchanged: with the planner
@@ -64,7 +66,7 @@ import os
 import re
 import sqlite3
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ...db.database import Database
 from ...sqlir.ast import ColumnRef
@@ -94,8 +96,13 @@ def _with_canonical_twins(probes: Dict[str, bool]) -> Dict[str, bool]:
     canonical entries win (``setdefault``), and a key that cannot be
     canonicalised (unparsable SQL) is simply stored raw-only.
     """
-    augmented = dict(probes)
+    augmented: Dict[str, bool] = {}
     for key, outcome in probes.items():
+        # Interleave each twin right after its raw key so the pair share
+        # a recency position — the dict order becomes the store's ``seq``
+        # order, which a bounded warm start truncates from the front.
+        if key not in augmented:
+            augmented[key] = outcome
         if _CANONICAL_MARK in key:
             continue
         try:
@@ -108,10 +115,12 @@ def _with_canonical_twins(probes: Dict[str, bool]) -> Dict[str, bool]:
 _SCHEMA = (
     "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)",
     "CREATE TABLE IF NOT EXISTS probes ("
-    "  key TEXT PRIMARY KEY, outcome INTEGER NOT NULL) WITHOUT ROWID",
+    "  key TEXT PRIMARY KEY, outcome INTEGER NOT NULL,"
+    "  seq INTEGER NOT NULL DEFAULT 0) WITHOUT ROWID",
     "CREATE TABLE IF NOT EXISTS minmax ("
     "  tbl TEXT NOT NULL, col TEXT NOT NULL,"
     "  low TEXT NOT NULL, high TEXT NOT NULL,"
+    "  seq INTEGER NOT NULL DEFAULT 0,"
     "  PRIMARY KEY (tbl, col)) WITHOUT ROWID",
 )
 
@@ -132,8 +141,10 @@ class PersistentProbeCache:
 
     #: Bump when the on-disk layout changes; older formats are treated
     #: as a cold start rather than migrated. Format 1 was the JSON
-    #: store (different file extension, so it is simply never opened).
-    FORMAT = 2
+    #: store (different file extension, so it is simply never opened);
+    #: format 2 lacked the ``seq`` recency stamp a bounded warm start
+    #: truncates by.
+    FORMAT = 3
 
     #: How long a writer waits on another writer's transaction (ms).
     BUSY_TIMEOUT_MS = 5_000
@@ -146,9 +157,18 @@ class PersistentProbeCache:
     # ------------------------------------------------------------------
     def path_for(self, db: Database) -> Path:
         """The store file for ``db``'s current contents."""
-        name = _SAFE_NAME.sub("_", db.schema.name) or "db"
-        return self.cache_dir / \
-            f"probes-{name}-{db.content_hash()[:16]}.sqlite"
+        return self.path_for_key(db.schema.name, db.content_hash())
+
+    def path_for_key(self, name: str, content_hash: str) -> Path:
+        """The store file for a ``(schema name, content hash)`` pair.
+
+        The keyed variant exists for save-after-death: the registry
+        captures the pair while a :class:`Database` is alive, so a cache
+        retired after the database was garbage-collected can still be
+        persisted to the right store file.
+        """
+        safe = _SAFE_NAME.sub("_", name) or "db"
+        return self.cache_dir / f"probes-{safe}-{content_hash[:16]}.sqlite"
 
     def _connect(self, path: Path) -> sqlite3.Connection:
         connection = sqlite3.connect(path)
@@ -189,11 +209,18 @@ class PersistentProbeCache:
                     "probe-cache store %s was recorded for different "
                     "database contents (stale hash); cold start", path)
                 return None
+            # Least-recent first: the returned dicts carry the recency
+            # order in their insertion order, so a *bounded* cache
+            # seeding from them keeps the most recently used entries
+            # (``seed`` truncates from the front).
             probes = {str(key): bool(outcome) for key, outcome in
-                      connection.execute("SELECT key, outcome FROM probes")}
+                      connection.execute(
+                          "SELECT key, outcome FROM probes "
+                          "ORDER BY seq, key")}
             minmax: Dict[ColumnRef, Tuple] = {}
             for table, column, low, high in connection.execute(
-                    "SELECT tbl, col, low, high FROM minmax"):
+                    "SELECT tbl, col, low, high FROM minmax "
+                    "ORDER BY seq, tbl, col"):
                 minmax[ColumnRef(table=str(table), column=str(column))] = \
                     (json.loads(low), json.loads(high))
         except (sqlite3.Error, ValueError, TypeError, KeyError) as exc:
@@ -205,15 +232,27 @@ class PersistentProbeCache:
             connection.close()
         return probes, minmax
 
-    def warm_cache(self, db: Database) -> Tuple[SharedProbeCache, int]:
+    def warm_cache(self, db: Database,
+                   max_entries: Optional[int] = None
+                   ) -> Tuple[SharedProbeCache, int]:
         """A fresh cache for ``db``, warm-seeded from the store.
 
         Returns ``(cache, loaded)`` where ``loaded`` counts the entries
         seeded from disk (0 on a cold start). Seeded entries carry the
         warm-generation stamp, so hits on them are reported as
         ``warm_start_hits`` rather than within-run cross-task hits.
+
+        With ``max_entries`` set the cache is created *bounded* (LRU
+        eviction past the bound) and this store is attached as its
+        eviction sink, so evicted non-warm entries flush back to disk
+        instead of being lost — the bounded cache still warm-starts the
+        next session. A store larger than the bound seeds the bound's
+        worth of entries and drops the rest (they remain on disk).
         """
-        cache = SharedProbeCache()
+        cache = SharedProbeCache(max_entries=max_entries)
+        if max_entries is not None:
+            cache.set_eviction_sink(
+                self.eviction_sink(db.schema.name, db.content_hash()))
         entries = self.load(db)
         if entries is None:
             return cache, 0
@@ -226,21 +265,39 @@ class PersistentProbeCache:
     def save(self, db: Database, cache: SharedProbeCache) -> Optional[Path]:
         """Persist ``cache`` for ``db``; returns the path written.
 
-        An incremental upsert: entries already on disk are left alone
-        (``INSERT OR IGNORE`` — probe answers are immutable facts, so a
-        concurrent writer's entries are kept, not clobbered) and only
-        the delta is written, so save cost scales with the new entries,
-        not the store size. Returns ``None`` — with a logged warning —
+        An incremental upsert: recorded *facts* are left alone (probe
+        answers are immutable, so a concurrent writer's entries are
+        kept, not clobbered — only the ``seq`` recency stamp refreshes)
+        and only the delta grows the store, so save cost scales with
+        the entries saved, not the store size. Returns ``None`` — with a logged warning —
         if the store cannot be written; a failed save never aborts the
         run that produced the cache.
+
+        A bounded cache may hold evicted-but-unflushed entries; those
+        are force-flushed first so a save is always complete.
         """
+        cache.flush_evicted()
         probes, minmax, _ = cache.export()
+        return self.save_entries(db.schema.name, db.content_hash(),
+                                 probes, minmax)
+
+    def save_entries(self, name: str, content_hash: str,
+                     probes: Dict[str, bool],
+                     minmax: Dict[ColumnRef, Tuple]) -> Optional[Path]:
+        """Persist raw entry dicts under a ``(name, content hash)`` key.
+
+        The workhorse behind :meth:`save`, the eviction sink, and
+        save-after-death retirement (when only the captured key pair,
+        not the :class:`Database`, is still alive). Same incremental
+        upsert and failure contract as :meth:`save`.
+        """
         probes = _with_canonical_twins(probes)
-        path = self.path_for(db)
+        path = self.path_for_key(name, content_hash)
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             try:
-                return self._upsert(path, db, probes, minmax)
+                return self._upsert(path, name, content_hash,
+                                    probes, minmax)
             except sqlite3.OperationalError:
                 # Locked by a concurrent writer past the busy timeout
                 # (or similar transient condition): the store is
@@ -252,14 +309,32 @@ class PersistentProbeCache:
                 logger.warning(
                     "probe-cache store %s is corrupt; recreating", path)
                 os.unlink(path)
-                return self._upsert(path, db, probes, minmax)
+                return self._upsert(path, name, content_hash,
+                                    probes, minmax)
         except (OSError, sqlite3.Error, TypeError, ValueError) as exc:
             logger.warning(
                 "could not persist probe cache to %s (%s); continuing "
                 "without", path, exc)
             return None
 
-    def _upsert(self, path: Path, db: Database, probes, minmax) -> Path:
+    def eviction_sink(self, name: str, content_hash: str
+                      ) -> Callable[[Dict[str, bool],
+                                     Dict[ColumnRef, Tuple]], int]:
+        """A :meth:`SharedProbeCache.set_eviction_sink` hook for a key.
+
+        The returned callable persists a batch of evicted entries via
+        :meth:`save_entries` and reports how many it saved (0 when the
+        store could not be written — the entries then cost a re-probe
+        later, which is the documented bounded-mode trade).
+        """
+        def sink(probes: Dict[str, bool],
+                 minmax: Dict[ColumnRef, Tuple]) -> int:
+            written = self.save_entries(name, content_hash, probes, minmax)
+            return len(probes) + len(minmax) if written is not None else 0
+        return sink
+
+    def _upsert(self, path: Path, name: str, content_hash: str,
+                probes, minmax) -> Path:
         connection = self._connect(path)
         try:
             with connection:  # one transaction: readers never see a torn store
@@ -269,7 +344,7 @@ class PersistentProbeCache:
                     "SELECT key, value FROM meta"))
                 if recorded and (recorded.get("format") != str(self.FORMAT)
                                  or recorded.get("content_hash")
-                                 != db.content_hash()):
+                                 != content_hash):
                     # Same path, different recorded identity (tampered
                     # or foreign): its entries are not trustworthy
                     # facts of *this* database — start the store over.
@@ -279,19 +354,37 @@ class PersistentProbeCache:
                 connection.executemany(
                     "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
                     [("format", str(self.FORMAT)),
-                     ("schema", db.schema.name),
-                     ("content_hash", db.content_hash())])
+                     ("schema", name),
+                     ("content_hash", content_hash)])
+                # One monotonic recency sequence shared by both tables:
+                # each save stamps its entries after everything already
+                # recorded, in the order the caller hands them over
+                # (LRU order for a bounded cache's export). Facts are
+                # never clobbered — on conflict only the recency stamp
+                # is refreshed, so a re-saved hot entry migrates to the
+                # warm end of the store.
+                base = max(connection.execute(
+                    "SELECT (SELECT COALESCE(MAX(seq), 0) FROM probes),"
+                    "       (SELECT COALESCE(MAX(seq), 0) FROM minmax)"
+                ).fetchone())
                 connection.executemany(
-                    "INSERT OR IGNORE INTO probes (key, outcome) "
-                    "VALUES (?, ?)",
-                    [(key, int(outcome))
-                     for key, outcome in probes.items()])
+                    "INSERT INTO probes (key, outcome, seq) "
+                    "VALUES (?, ?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET seq = excluded.seq",
+                    [(key, int(outcome), base + offset)
+                     for offset, (key, outcome)
+                     in enumerate(probes.items(), start=1)])
+                base += len(probes)
                 connection.executemany(
-                    "INSERT OR IGNORE INTO minmax (tbl, col, low, high) "
-                    "VALUES (?, ?, ?, ?)",
+                    "INSERT INTO minmax (tbl, col, low, high, seq) "
+                    "VALUES (?, ?, ?, ?, ?) "
+                    "ON CONFLICT(tbl, col) DO UPDATE "
+                    "SET seq = excluded.seq",
                     [(ref.table, ref.column,
-                      json.dumps(bounds[0]), json.dumps(bounds[1]))
-                     for ref, bounds in minmax.items()])
+                      json.dumps(bounds[0]), json.dumps(bounds[1]),
+                      base + offset)
+                     for offset, (ref, bounds)
+                     in enumerate(minmax.items(), start=1)])
         finally:
             connection.close()
         return path

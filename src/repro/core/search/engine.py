@@ -296,6 +296,8 @@ class SearchEngine:
         probe_misses_start = cache.misses
         cross_task_start = cache.cross_task_hits
         warm_start_start = cache.warm_start_hits
+        evictions_start = cache.evictions
+        evicted_flushed_start = cache.evicted_flushed
         # The probe planner, like the cache, may be shared across
         # enumerations (thread forks share the primary's; process
         # workers fold deltas back into it) — record per-run deltas.
@@ -491,6 +493,17 @@ class SearchEngine:
                     cache.cross_task_hits - cross_task_start
                 telemetry.warm_start_probe_hits = \
                     cache.warm_start_hits - warm_start_start
+                telemetry.probe_cache_evictions = \
+                    cache.evictions - evictions_start
+                # Settle the eviction buffer inside this task's
+                # accounting window, so the flushed delta is truthful
+                # and buffered evictions never outlive the task that
+                # caused them. A no-op unbounded or without a sink.
+                cache.flush_evicted()
+                telemetry.evicted_flushed = \
+                    cache.evicted_flushed - evicted_flushed_start
+                # A level, not a delta: the bound-watching number.
+                telemetry.probe_cache_entries = len(cache)
                 if planner is not None:
                     delta = planner.counters.delta_since(planner_start)
                     telemetry.probe_planner = planner.mode

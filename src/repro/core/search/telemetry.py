@@ -72,6 +72,15 @@ class SearchTelemetry:
     #: store — an earlier *process* (nonzero only with a cache_dir
     #: warm start); disjoint from cross_task_probe_hits
     warm_start_probe_hits: int = 0
+    #: live probe + minmax entries in the shared cache when this run
+    #: ended (a level, not a delta — the bound-watching number)
+    probe_cache_entries: int = 0
+    #: cache entries evicted by the LRU bound during this run (a delta;
+    #: nonzero only with probe_cache_entries / --probe-cache-entries)
+    probe_cache_evictions: int = 0
+    #: evicted entries persisted to the cache store during this run
+    #: (a delta; nonzero only with a bounded cache *and* a cache_dir)
+    evicted_flushed: int = 0
     #: True when verification ran on a warm pool leased from a
     #: harness-owned PoolManager (no worker spawn, no snapshot priming)
     pool_reused: bool = False
@@ -156,6 +165,9 @@ class SearchTelemetry:
             "probe_misses": self.probe_misses,
             "cross_task_probe_hits": self.cross_task_probe_hits,
             "warm_start_probe_hits": self.warm_start_probe_hits,
+            "probe_cache_entries": self.probe_cache_entries,
+            "probe_cache_evictions": self.probe_cache_evictions,
+            "evicted_flushed": self.evicted_flushed,
             "pool_reused": self.pool_reused,
             "probe_planner": self.probe_planner,
             "probe_compiles": self.probe_compiles,

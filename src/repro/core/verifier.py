@@ -13,7 +13,9 @@ queries repeat most probes.
 
 from __future__ import annotations
 
+import sys
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -154,6 +156,21 @@ class SharedProbeCache:
     stamp; hits on them increment ``warm_start_hits`` instead of
     ``cross_task_hits``, so telemetry can distinguish reuse within a
     harness run from disk-backed warm starts across runs.
+
+    **Bounded mode.** By default the cache grows without bound — probe
+    answers are facts of the database, and a short-lived harness run
+    wants every one of them. A long-lived service does not: pass
+    ``max_entries`` to cap the total probe + minmax entry count with LRU
+    eviction (hits refresh recency). Eviction is *persistence-aware*:
+    with an eviction sink attached (:meth:`set_eviction_sink`, wired to
+    the :class:`~repro.core.search.PersistentProbeCache` store), evicted
+    entries are buffered and flushed to disk in batches, so a bounded
+    in-memory cache still warm-starts later sessions from the store.
+    Warm-generation entries came *from* disk, so their eviction drops
+    them silently — nothing is lost. Bounded mode never changes answers
+    (an evicted entry merely costs a re-probe); only memory and the
+    ``evictions`` / ``evicted_flushed`` counters differ from unbounded
+    runs.
     """
 
     #: Generation stamp for entries loaded from a persisted cache store
@@ -161,7 +178,17 @@ class SharedProbeCache:
     #: start at 0.
     WARM_GENERATION = -1
 
-    def __init__(self) -> None:
+    #: Evicted-entry buffer size that triggers an opportunistic flush to
+    #: the eviction sink (forced flushes drain any remainder).
+    FLUSH_BATCH = 256
+
+    #: Rough per-entry dict/bookkeeping overhead for
+    #: :meth:`approx_bytes` (two dict slots, a generation int, LRU slot).
+    _ENTRY_OVERHEAD = 120
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be a positive integer")
         self._probes: Dict[str, bool] = {}
         self._minmax: Dict[ColumnRef, Tuple[Optional[Value],
                                             Optional[Value]]] = {}
@@ -176,6 +203,22 @@ class SharedProbeCache:
         self.cross_task_hits = 0
         #: hits on entries loaded from a persisted store (earlier process)
         self.warm_start_hits = 0
+        #: LRU bound on total probe + minmax entries (None = unbounded)
+        self.max_entries = max_entries
+        #: entries dropped to stay under ``max_entries``
+        self.evictions = 0
+        #: evicted entries persisted through the eviction sink
+        self.evicted_flushed = 0
+        #: recency order over live entries; maintained only in bounded
+        #: mode (key -> "probe" | "minmax"; str and ColumnRef keys never
+        #: collide, so one ordered map covers both tables)
+        self._lru: "OrderedDict[object, str]" = OrderedDict()
+        #: persistence hook for evicted entries: called *outside* the
+        #: cache lock with (probes, minmax) dicts, returns entries saved
+        self._eviction_sink: Optional[
+            Callable[[Dict[str, bool], Dict[ColumnRef, Tuple]], int]] = None
+        self._evicted_probes: Dict[str, bool] = {}
+        self._evicted_minmax: Dict[ColumnRef, Tuple] = {}
         self._journal: Optional[Tuple[List[Tuple[str, bool]],
                                       List[Tuple[ColumnRef, Tuple]]]] = None
         #: key -> Event for probes currently executing, or None when
@@ -190,6 +233,108 @@ class SharedProbeCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._probes) + len(self._minmax)
+
+    def approx_bytes(self) -> int:
+        """Rough in-memory footprint of the cached entries.
+
+        Sums the probe keys' string sizes plus a fixed per-entry
+        bookkeeping overhead — an estimate for load monitoring (the
+        daemon's ``stats`` verb), not an exact accounting.
+        """
+        with self._lock:
+            total = 0
+            for sql in self._probes:
+                total += sys.getsizeof(sql) + self._ENTRY_OVERHEAD
+            total += len(self._minmax) * (self._ENTRY_OVERHEAD + 160)
+            return total
+
+    # ------------------------------------------------------------------
+    # Bounded mode (LRU accounting, eviction, persistence-aware flush)
+    # ------------------------------------------------------------------
+    def set_eviction_sink(
+            self, sink: Optional[Callable[[Dict[str, bool],
+                                           Dict[ColumnRef, Tuple]],
+                                          int]]) -> None:
+        """Attach a persistence hook for evicted entries.
+
+        ``sink(probes, minmax)`` is invoked outside the cache lock with
+        the batched evicted entries and returns how many it saved
+        (0 on a failed save — the entries are then simply lost to a
+        re-probe, never to a crash). Without a sink, evicted entries are
+        dropped outright.
+        """
+        with self._lock:
+            self._eviction_sink = sink
+
+    def _touch_locked(self, key: object, kind: str) -> None:
+        """Refresh ``key``'s recency (bounded mode only; lock held)."""
+        if self.max_entries is None:
+            return
+        if key in self._lru:
+            self._lru.move_to_end(key)
+        else:
+            self._lru[key] = kind
+
+    def _evict_over_bound_locked(self) -> None:
+        """Drop LRU entries until the bound holds (lock held).
+
+        Non-warm evictions are moved to the flush buffers when a sink is
+        attached; warm-generation entries already live on disk, so they
+        are dropped silently.
+        """
+        if self.max_entries is None:
+            return
+        while (len(self._probes) + len(self._minmax) > self.max_entries
+               and self._lru):
+            key, kind = self._lru.popitem(last=False)
+            if kind == "probe":
+                if key not in self._probes:
+                    continue
+                outcome = self._probes.pop(key)
+                generation = self._probe_gen.pop(key, None)
+                self.evictions += 1
+                if (self._eviction_sink is not None
+                        and generation != self.WARM_GENERATION):
+                    self._evicted_probes[key] = outcome
+            else:
+                if key not in self._minmax:
+                    continue
+                bounds = self._minmax.pop(key)
+                generation = self._minmax_gen.pop(key, None)
+                self.evictions += 1
+                if (self._eviction_sink is not None
+                        and generation != self.WARM_GENERATION):
+                    self._evicted_minmax[key] = bounds
+
+    def _maybe_flush_evicted(self, force: bool = False) -> int:
+        """Persist buffered evictions through the sink; returns count.
+
+        Runs the sink *outside* the lock (it does SQLite writes); a
+        non-forced call waits for :data:`FLUSH_BATCH` buffered entries
+        so steady-state eviction amortises the store transaction cost.
+        """
+        sink = self._eviction_sink
+        if sink is None:
+            return 0
+        if (not force and len(self._evicted_probes)
+                + len(self._evicted_minmax) < self.FLUSH_BATCH):
+            # Unsynchronised size peek: worst case we defer one batch by
+            # one insert, which the next (or a forced) flush picks up.
+            return 0
+        with self._lock:
+            pending = len(self._evicted_probes) + len(self._evicted_minmax)
+            if not pending or (not force and pending < self.FLUSH_BATCH):
+                return 0
+            probes, self._evicted_probes = self._evicted_probes, {}
+            minmax, self._evicted_minmax = self._evicted_minmax, {}
+        flushed = sink(probes, minmax)
+        with self._lock:
+            self.evicted_flushed += flushed
+        return flushed
+
+    def flush_evicted(self) -> int:
+        """Force-persist any buffered evicted entries (scope teardown)."""
+        return self._maybe_flush_evicted(force=True)
 
     @property
     def hit_rate(self) -> float:
@@ -224,12 +369,27 @@ class SharedProbeCache:
         the probe/minmax keys stamped :data:`WARM_GENERATION`, so a
         seeded worker cache counts warm-start hits the same way the
         primary does.
+
+        A *bounded* cache exports in LRU order (least recently used
+        first): dict insertion order is the only recency channel that
+        survives export → store → seed, and a bounded re-seed truncates
+        from the front — so the hottest entries are the ones a bounded
+        warm start keeps.
         """
         with self._lock:
             warm = (frozenset(k for k, g in self._probe_gen.items()
                               if g == self.WARM_GENERATION),
                     frozenset(k for k, g in self._minmax_gen.items()
                               if g == self.WARM_GENERATION))
+            if self.max_entries is not None:
+                probes: Dict[str, bool] = {}
+                minmax: Dict[ColumnRef, Tuple] = {}
+                for key, kind in self._lru.items():
+                    if kind == "probe":
+                        probes[key] = self._probes[key]
+                    else:
+                        minmax[key] = self._minmax[key]
+                return probes, minmax, warm
             return dict(self._probes), dict(self._minmax), warm
 
     def seed(self, probes: Dict[str, bool],
@@ -255,6 +415,7 @@ class SharedProbeCache:
                     self._probe_gen[sql] = (
                         self.WARM_GENERATION
                         if warm or sql in warm_probes else self._generation)
+                    self._touch_locked(sql, "probe")
                     inserted += 1
                     if (self._probe_gen[sql] == self.WARM_GENERATION
                             and "\x1f\x1f" in sql):
@@ -269,7 +430,10 @@ class SharedProbeCache:
                         self.WARM_GENERATION
                         if warm or column in warm_minmax
                         else self._generation)
+                    self._touch_locked(column, "minmax")
                     inserted += 1
+            self._evict_over_bound_locked()
+        self._maybe_flush_evicted()
         return inserted
 
     def enable_journal(self) -> None:
@@ -304,14 +468,20 @@ class SharedProbeCache:
                 if sql not in self._probes:
                     self._probes[sql] = outcome
                     self._probe_gen[sql] = self._generation
+                    self._touch_locked(sql, "probe")
                     if self._journal is not None:
                         self._journal[0].append((sql, outcome))
             for column, bounds in minmax:
                 if column not in self._minmax:
                     self._minmax[column] = bounds
                     self._minmax_gen[column] = self._generation
+                    self._touch_locked(column, "minmax")
                     if self._journal is not None:
                         self._journal[1].append((column, bounds))
+            # Worker deltas re-deliver entries the bound may since have
+            # evicted here; the bound, not the delta, wins.
+            self._evict_over_bound_locked()
+        self._maybe_flush_evicted()
 
     # ------------------------------------------------------------------
     # Lookup
@@ -349,6 +519,8 @@ class SharedProbeCache:
                         # the store re-derives twins at save time.
                         self._probes[sql] = self._probes[twin]
                         self._probe_gen[sql] = self._probe_gen[twin]
+                        self._touch_locked(sql, "probe")
+                        self._evict_over_bound_locked()
         return self.probe_keyed(db, sql, sql)
 
     def probe_keyed(self, db: Database, key: str, sql: str,
@@ -372,6 +544,7 @@ class SharedProbeCache:
                             self.warm_start_hits += 1
                         elif generation < self._generation:
                             self.cross_task_hits += 1
+                        self._touch_locked(key, "probe")
                         return self._probes[key]
                     if self._inflight is not None:
                         wait_on = self._inflight.get(key)
@@ -402,8 +575,10 @@ class SharedProbeCache:
                 if key not in self._probes:
                     self._probes[key] = outcome
                     self._probe_gen[key] = self._generation
+                    self._touch_locked(key, "probe")
                     if self._journal is not None:
                         self._journal[0].append((key, outcome))
+                    self._evict_over_bound_locked()
                 return self._probes[key]
         finally:
             if leader_event is not None:
@@ -411,6 +586,7 @@ class SharedProbeCache:
                     if self._inflight is not None:
                         self._inflight.pop(key, None)
                 leader_event.set()
+            self._maybe_flush_evicted()
 
     def peek(self, key: str) -> Optional[bool]:
         """The cached outcome for ``key``, or ``None`` — no counters
@@ -430,8 +606,11 @@ class SharedProbeCache:
             if key not in self._probes:
                 self._probes[key] = outcome
                 self._probe_gen[key] = self._generation
+                self._touch_locked(key, "probe")
                 if self._journal is not None:
                     self._journal[0].append((key, outcome))
+                self._evict_over_bound_locked()
+        self._maybe_flush_evicted()
 
     def peek_minmax(self, column: ColumnRef) -> Optional[Tuple]:
         """The cached (min, max) bounds for ``column``, or ``None`` —
@@ -453,8 +632,11 @@ class SharedProbeCache:
             if column not in self._minmax:
                 self._minmax[column] = bounds
                 self._minmax_gen[column] = self._generation
+                self._touch_locked(column, "minmax")
                 if self._journal is not None:
                     self._journal[1].append((column, bounds))
+                self._evict_over_bound_locked()
+        self._maybe_flush_evicted()
 
     def minmax(self, db: Database,
                column: ColumnRef) -> Tuple[Optional[Value], Optional[Value]]:
@@ -466,6 +648,7 @@ class SharedProbeCache:
                     self.warm_start_hits += 1
                 elif generation < self._generation:
                     self.cross_task_hits += 1
+                self._touch_locked(column, "minmax")
                 return self._minmax[column]
         bounds = db.column_min_max(column)
         with self._lock:
@@ -473,9 +656,18 @@ class SharedProbeCache:
             if column not in self._minmax:
                 self._minmax[column] = bounds
                 self._minmax_gen[column] = self._generation
+                self._touch_locked(column, "minmax")
                 if self._journal is not None:
                     self._journal[1].append((column, bounds))
-            return self._minmax[column]
+            self._evict_over_bound_locked()
+            result = self._minmax.get(column)
+        if result is None:
+            # The bound is 1 and the insert itself was evicted (a
+            # pathological but legal configuration): the computed bounds
+            # are still the answer.
+            result = bounds
+        self._maybe_flush_evicted()
+        return result
 
 
 class Verifier:

@@ -139,6 +139,13 @@ class SimulationConfig:
     #: probes are inconclusive (the candidate survives the stage) and
     #: surface as ``probe_timeouts`` telemetry.
     probe_timeout_ms: Optional[int] = None
+    #: LRU bound on each shared probe cache's entry count (the CLI's
+    #: ``--probe-cache-entries``); ``None`` grows without bound (the
+    #: seed behaviour). Never changes results — with ``cache_dir`` set,
+    #: evicted entries flush to the disk store instead of being lost —
+    #: and surfaces as probe_cache_evictions / evicted_flushed
+    #: telemetry.
+    probe_cache_entries: Optional[int] = None
 
     def enumerator_config(self) -> EnumeratorConfig:
         return EnumeratorConfig(time_budget=self.timeout,
@@ -153,7 +160,8 @@ class SimulationConfig:
                                 guidance_server=self.guidance_server,
                                 probe_planner=self.probe_planner,
                                 cost_order=self.cost_order,
-                                probe_timeout_ms=self.probe_timeout_ms)
+                                probe_timeout_ms=self.probe_timeout_ms,
+                                probe_cache_entries=self.probe_cache_entries)
 
 
 def _context_for(config: SimulationConfig) -> ServiceContext:
@@ -166,7 +174,8 @@ def _context_for(config: SimulationConfig) -> ServiceContext:
     """
     return ServiceContext(_oracle(config),
                           share_probe_cache=config.share_probe_cache,
-                          cache_dir=config.cache_dir)
+                          cache_dir=config.cache_dir,
+                          probe_cache_entries=config.probe_cache_entries)
 
 
 def _pool_manager_for(config: SimulationConfig,

@@ -266,7 +266,13 @@ def search_report(records: Sequence[SimTaskRecord],
     the ``fuse`` mode executed (0 in every other mode).
     ``CostAbort`` counts candidates deferred by the cost-propagated
     abort cascade (``--cost-order abort``; 0 in every other mode).
-    The two guidance columns
+    The three memory columns watch the bounded-cache mode
+    (``--probe-cache-entries``; all 0/level-only when unbounded):
+    ``CacheEnt`` is the *largest* end-of-run entry count any task in the
+    group observed — a level, which is what proves the bound holds —
+    while ``Evict`` and ``Flushed`` total the entries the LRU bound
+    dropped and the evicted entries persisted to the ``--cache-dir``
+    store. The two guidance columns
     measure the batching layer: ``GuideCalls`` is what the underlying
     model actually scored (equal to the request count when
     ``--guidance-batch`` is off), ``GuideHits`` what the distribution
@@ -303,6 +309,11 @@ def search_report(records: Sequence[SimTaskRecord],
         plan_hits = total("probe_plan_hits")
         fused_groups = total("probe_fused_groups")
         cost_aborts = total("cost_aborts")
+        cache_entries = max(
+            (int(t.get("probe_cache_entries", 0)) for t in bucket),
+            default=0)
+        evictions = total("probe_cache_evictions")
+        evicted_flushed = total("evicted_flushed")
         calls, batches = total("guidance_calls"), total("guidance_batches")
         guide_calls = total("guide_calls")
         guide_hits = total("guide_hits")
@@ -316,6 +327,9 @@ def search_report(records: Sequence[SimTaskRecord],
             plan_hits,
             fused_groups,
             cost_aborts,
+            cache_entries,
+            evictions,
+            evicted_flushed,
             f"{calls / batches:.1f}" if batches else "-",
             guide_calls,
             guide_hits,
@@ -328,7 +342,7 @@ def search_report(records: Sequence[SimTaskRecord],
 
     headers = ("System", "Engine", "Verify", "W", "Expand", "Gen", "Emit",
                "Cache%", "XTaskHit", "WarmStart", "PlanHit", "FuseGrp",
-               "CostAbort",
+               "CostAbort", "CacheEnt", "Evict", "Flushed",
                "Calls/Batch",
                "GuideCalls", "GuideHits", "Wall",
                *(f"prune:{s}" for s in stage_names))

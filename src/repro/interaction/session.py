@@ -80,7 +80,8 @@ class SessionCore:
 
     def __init__(self, system: Duoquest, session_id: str = "",
                  max_candidates: Optional[int] = None,
-                 max_probes: Optional[int] = None):
+                 max_probes: Optional[int] = None,
+                 on_release: Optional[Callable[[], None]] = None):
         self.system = system
         self.session_id = session_id
         self.rounds: List[Round] = []
@@ -90,8 +91,23 @@ class SessionCore:
         #: candidates emitted / probes executed across all rounds
         self.candidates_emitted = 0
         self.probes_executed = 0
+        #: teardown hook fired exactly once when the session reaches a
+        #: terminal state (done or cancelled) — the daemon wires it to
+        #: the probe-cache registry's per-database lease release
+        self._on_release = on_release
+        self._released = False
         self._token: Optional[CancelToken] = None
         self._lock = threading.Lock()
+
+    def _fire_release(self) -> None:
+        """Invoke the teardown hook once (call without the lock held —
+        the hook touches external registries with their own locks)."""
+        with self._lock:
+            if self._released or self._on_release is None:
+                return
+            self._released = True
+            hook = self._on_release
+        hook()
 
     # ------------------------------------------------------------------
     @property
@@ -188,6 +204,8 @@ class SessionCore:
         except BaseException:
             with self._lock:
                 self._settle(token)
+            if self.state == STATE_CANCELLED:
+                self._fire_release()
             raise
         with self._lock:
             self.rounds.append(Round(nlq=nlq, tsq=tsq, result=result))
@@ -195,6 +213,8 @@ class SessionCore:
             if result.telemetry is not None:
                 self.probes_executed += result.telemetry.probe_misses
             self._settle(token)
+        if self.state == STATE_CANCELLED:
+            self._fire_release()
         return result
 
     def _settle(self, token: CancelToken) -> None:
@@ -263,17 +283,19 @@ class SessionCore:
             token = self._token
         if token is not None:
             token.cancel(reason)
+        self._fire_release()
 
     def close(self) -> None:
         """Finish the session normally (``done``). Idempotent; a
         cancelled session stays cancelled."""
         with self._lock:
-            if self.state == STATE_CANCELLED:
-                return
-            self.state = STATE_DONE
+            cancelled = self.state == STATE_CANCELLED
+            if not cancelled:
+                self.state = STATE_DONE
             token = self._token
-        if token is not None:
+        if not cancelled and token is not None:
             token.cancel("session closed")
+        self._fire_release()
 
 
 class DuoquestSession:

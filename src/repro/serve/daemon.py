@@ -42,6 +42,7 @@ import asyncio
 import itertools
 import signal
 import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional
 
@@ -54,7 +55,12 @@ from ..errors import ExecutionError
 from ..guidance.base import GuidanceModel
 from ..guidance.batched import make_guidance_backend
 from ..guidance.lexical import LexicalGuidanceModel
-from ..interaction.session import STATE_ENUMERATING, SessionCore
+from ..interaction.session import (
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_ENUMERATING,
+    SessionCore,
+)
 from ..nlq.literals import NLQuery
 from ..sqlir.render import to_sql
 from . import protocol
@@ -93,6 +99,16 @@ class SynthesisDaemon:
     the shared distribution cache actually engage.
     """
 
+    #: Default LRU bound on live per-database probe caches, mirroring
+    #: ``PoolManager.max_pools`` — a daemon pointed at more databases
+    #: than this retires (persisting first, with a ``--cache-dir``) the
+    #: least-recently-used idle cache instead of growing forever.
+    MAX_CACHED_DATABASES = 8
+
+    #: Default LRU bound on finished/cancelled sessions kept addressable
+    #: by the ``status`` verb before being retired from the table.
+    MAX_TERMINAL_SESSIONS = 64
+
     def __init__(self, databases: Dict[str, Database], *,
                  config: Optional[EnumeratorConfig] = None,
                  model: Optional[GuidanceModel] = None,
@@ -100,7 +116,9 @@ class SynthesisDaemon:
                  max_concurrent: int = 4,
                  warm_threads: bool = True,
                  session_max_candidates: Optional[int] = None,
-                 session_max_probes: Optional[int] = None):
+                 session_max_probes: Optional[int] = None,
+                 max_terminal_sessions: Optional[int] = None,
+                 max_cached_databases: Optional[int] = None):
         if not databases:
             raise ValueError("the daemon needs at least one database")
         self.config = config or EnumeratorConfig(max_candidates=200,
@@ -115,7 +133,11 @@ class SynthesisDaemon:
             server=self.config.guidance_server)
         self.context = ServiceContext(
             guidance, cache_dir=cache_dir,
-            pool_manager=PoolManager(warm_threads=warm_threads))
+            pool_manager=PoolManager(warm_threads=warm_threads),
+            probe_cache_entries=self.config.probe_cache_entries,
+            max_databases=(max_cached_databases
+                           if max_cached_databases is not None
+                           else self.MAX_CACHED_DATABASES))
         self.databases: Dict[str, Database] = {}
         for name, db in databases.items():
             try:
@@ -128,8 +150,17 @@ class SynthesisDaemon:
         self.max_concurrent = max(1, int(max_concurrent))
         self.session_max_candidates = session_max_candidates
         self.session_max_probes = session_max_probes
+        self.max_terminal_sessions = max(
+            1, int(max_terminal_sessions
+                   if max_terminal_sessions is not None
+                   else self.MAX_TERMINAL_SESSIONS))
 
         self._sessions: Dict[str, _Session] = {}
+        #: retired session id -> final state, LRU-bounded; lets the
+        #: status verb answer "that session is gone" cleanly instead of
+        #: conflating retirement with a never-existed id
+        self._retired: "OrderedDict[str, str]" = OrderedDict()
+        self.sessions_retired = 0
         self._session_seq = itertools.count(1)
         self._lock = threading.Lock()
         #: bumps on every visible degrade (pool snapshot / guidance)
@@ -279,10 +310,48 @@ class SynthesisDaemon:
         session_id = str(protocol.require(payload, "session"))
         with self._lock:
             session = self._sessions.get(session_id)
+            retired_state = self._retired.get(session_id)
         if session is None:
+            if retired_state is not None:
+                raise protocol.ProtocolError(
+                    f"session {session_id!r} was retired "
+                    f"(final state {retired_state!r})")
             raise protocol.ProtocolError(
                 f"unknown session {session_id!r}")
         return session
+
+    def _retire_terminal_locked(self) -> List[_Session]:
+        """Pop finished/cancelled sessions past the retention bound.
+
+        Terminal sessions stay addressable (status on a cancelled id
+        keeps working) up to ``max_terminal_sessions``; beyond that the
+        oldest are retired in arrival order. Returns the retired
+        sessions for the caller to tear down *outside* the lock (their
+        teardown hooks touch the probe-cache registry).
+        """
+        terminal = [s for s in self._sessions.values()
+                    if s.core.state in (STATE_DONE, STATE_CANCELLED)]
+        retired: List[_Session] = []
+        for session in terminal[:max(
+                0, len(terminal) - self.max_terminal_sessions)]:
+            del self._sessions[session.id]
+            self._retired[session.id] = session.core.state
+            self.sessions_retired += 1
+            retired.append(session)
+        # The tombstone table is itself bounded — it exists to turn
+        # "retired" into a clean protocol error, not to remember every
+        # session forever.
+        while len(self._retired) > 4 * self.max_terminal_sessions:
+            self._retired.popitem(last=False)
+        return retired
+
+    def _teardown_retired(self, retired: List[_Session]) -> None:
+        for session in retired:
+            # close() settles state (a cancelled session stays
+            # cancelled) and fires the core's release hook, dropping
+            # the session's probe-cache lease.
+            session.core.close()
+            session.core.system.close()
 
     async def _create(self, payload: Dict[str, object]
                       ) -> Dict[str, object]:
@@ -306,6 +375,7 @@ class SynthesisDaemon:
         max_candidates = payload.get("max_candidates",
                                      self.session_max_candidates)
         max_probes = payload.get("max_probes", self.session_max_probes)
+        caches = self.context.caches
         with self._lock:
             # A client-chosen id lets a *different* connection address
             # the session (status/cancel) while its first enumeration
@@ -318,9 +388,16 @@ class SynthesisDaemon:
             session = _Session(session_id, name,
                                SessionCore(system, session_id=session_id,
                                            max_candidates=max_candidates,
-                                           max_probes=max_probes))
+                                           max_probes=max_probes,
+                                           on_release=lambda:
+                                           caches.release(db)))
             self._sessions[session_id] = session
             self.sessions_created += 1
+        # Lease the database's probe cache for this session's lifetime;
+        # the core's release hook (fired once, on its terminal state)
+        # pairs with this, so the registry's LRU bound never evicts a
+        # cache a live session is using.
+        caches.acquire(db)
         result = await self._enumerate(
             session, lambda: session.core.submit(nlq, tsq))
         return self._round_response(session, result)
@@ -354,6 +431,9 @@ class SynthesisDaemon:
         session = self._session_for(payload)
         session.core.cancel(
             str(payload.get("reason") or "cancelled by client"))
+        with self._lock:
+            retired = self._retire_terminal_locked()
+        self._teardown_retired(retired)
         return {"session": session.id, "state": session.core.state,
                 "epoch": self.epoch}
 
@@ -386,6 +466,8 @@ class SynthesisDaemon:
                         "verification pool degraded"
                         if telemetry.snapshot_degraded
                         else "guidance degraded to the local model")
+            retired = self._retire_terminal_locked()
+        self._teardown_retired(retired)
         return result
 
     def _round_response(self, session: _Session,
@@ -428,6 +510,8 @@ class SynthesisDaemon:
                     "open": len(self._sessions),
                     "active": by_state.get(STATE_ENUMERATING, 0),
                     "by_state": by_state,
+                    "retired": self.sessions_retired,
+                    "max_terminal": self.max_terminal_sessions,
                 },
                 "rounds_served": self.rounds_served,
                 "pool_reused_rounds": self.pool_reused_rounds,
@@ -435,6 +519,7 @@ class SynthesisDaemon:
             }
         snapshot["pool"] = dict(self.context.pool_manager.stats)
         snapshot["probe_cache"] = self.context.caches.counters()
+        snapshot["probe_cache_sizes"] = self.context.caches.sizes()
         guidance = self.context.guidance
         cache = getattr(guidance, "cache", None)
         if cache is not None:

@@ -797,3 +797,95 @@ class TestBeamEngines:
                                       engine="beam", beam_width=4)
         assert enumerator.telemetry.beam_dropped > 0
 
+
+
+class TestBoundedCacheEquivalence:
+    """``--probe-cache-entries`` changes memory, never answers: a
+    tightly bounded cache emits the golden stream with the same prune
+    profile across backends and planner modes — eviction may only cost
+    re-probes (visible in hit/miss counters), never a candidate."""
+
+    @pytest.mark.parametrize("workers,backend", [
+        (1, "threads"), (4, "threads"), (4, "processes"),
+    ])
+    def test_bounded_stream_matches_golden(self, golden, tasks, workers,
+                                           backend):
+        from repro.core.verifier import SharedProbeCache
+
+        for name, expected in golden["tasks"].items():
+            cache = SharedProbeCache(max_entries=12)
+            stream, enumerator, _ = run_engine(
+                tasks[name], workers, verify_backend=backend,
+                probe_cache=cache)
+            assert stream == expected["candidates"], \
+                f"{name} diverged under a bounded probe cache " \
+                f"(workers={workers}, backend={backend})"
+            assert enumerator.expansions == expected["total_expansions"]
+            assert len(cache) <= 12
+
+    @pytest.mark.parametrize("planner", ["batch", "fuse"])
+    def test_bounded_planner_modes_match_golden(self, golden, tasks,
+                                                planner):
+        from repro.core.verifier import SharedProbeCache
+
+        name = "spider:library_dev_0-t1"
+        cache = SharedProbeCache(max_entries=12)
+        stream, _, _ = run_engine(tasks[name], workers=1,
+                                  probe_planner=planner,
+                                  probe_cache=cache)
+        assert stream == golden["tasks"][name]["candidates"]
+        assert len(cache) <= 12
+
+    def test_eviction_changes_counters_not_prunes(self, tasks):
+        """The bound really engages — and still the search makes
+        exactly the same pruning decisions as the unbounded run."""
+        from repro.core.verifier import SharedProbeCache
+
+        name = "spider:library_dev_0-t1"  # 39 distinct probe entries
+        _, unbounded, _ = run_engine(tasks[name], workers=1)
+        cache = SharedProbeCache(max_entries=8)
+        _, bounded, _ = run_engine(tasks[name], workers=1,
+                                   probe_cache=cache)
+        assert bounded.telemetry.probe_cache_evictions > 0
+        assert bounded.telemetry.probe_cache_entries <= 8
+        assert bounded.telemetry.prunes_by_stage == \
+            unbounded.telemetry.prunes_by_stage
+        # re-probes surface as extra misses, the documented trade
+        assert cache.misses >= unbounded.verifier.probe_cache.misses
+
+    def test_config_knob_builds_a_bounded_cache(self, golden, tasks):
+        """``EnumeratorConfig.probe_cache_entries`` (the CLI's
+        ``--probe-cache-entries``) bounds the enumerator-owned cache."""
+        name = "spider:library_dev_0-t1"
+        stream, enumerator, _ = run_engine(tasks[name], workers=1,
+                                           probe_cache_entries=8)
+        assert stream == golden["tasks"][name]["candidates"]
+        assert enumerator.telemetry.probe_cache_entries <= 8
+        assert enumerator.telemetry.probe_cache_evictions > 0
+
+    def test_bounded_warm_start_after_eviction(self, golden, tasks,
+                                               tmp_path):
+        """The tentpole contract end to end: a bounded cache evicts,
+        eviction flushes to the store, and the next bounded session
+        still warm-starts from disk — with an identical stream."""
+        from repro.core.search.cachestore import PersistentProbeCache
+
+        store = PersistentProbeCache(tmp_path)
+        name = "spider:library_dev_0-t1"
+        db = tasks[name][0]
+        cache, loaded = store.warm_cache(db, max_entries=24)
+        assert loaded == 0  # cold start
+        stream, _, _ = run_engine(tasks[name], workers=1,
+                                  probe_cache=cache)
+        assert stream == golden["tasks"][name]["candidates"]
+        assert cache.evictions > 0
+        store.save(db, cache)
+
+        warm, loaded = store.warm_cache(db, max_entries=24)
+        assert 0 < loaded
+        assert len(warm) <= 24
+        stream, enumerator, _ = run_engine(tasks[name], workers=1,
+                                           probe_cache=warm)
+        assert stream == golden["tasks"][name]["candidates"]
+        assert enumerator.telemetry.warm_start_probe_hits > 0
+        assert warm.evictions > 0  # the bound stayed engaged
