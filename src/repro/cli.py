@@ -16,14 +16,36 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
+
+
+def _print_fault_receipts(plan: Optional[str], leading_blank: bool = False) -> None:
+    """Whole-run fault receipts (the telemetry fields are engine-window
+    deltas; injections during verifier setup land outside them)."""
+    if not plan:
+        return
+    from . import faults
+    book = faults.counters()
+    prefix = "\n" if leading_blank else ""
+    print(f"{prefix}[faults] plan {plan!r}: "
+          f"{faults.injected_total()} injected, "
+          f"{sum(book['absorbed'].values())} absorbed, "
+          f"{sum(book['surfaced'].values())} surfaced")
+
+
+def _resolve_fault_plan(args: argparse.Namespace) -> Optional[str]:
+    """The effective fault plan: ``--fault-plan`` wins over the
+    ``REPRO_FAULTS`` environment variable."""
+    return args.fault_plan or os.environ.get("REPRO_FAULTS") or None
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .core import Duoquest, EnumeratorConfig, TableSketchQuery
     from .core.search import PersistentProbeCache
     from .datasets import build_mas_database
+    from .errors import ReproError
     from .guidance import LexicalGuidanceModel
     from .nlq import NLQuery
     from .sqlir import to_sql
@@ -47,7 +69,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                                   probe_planner=args.probe_planner,
                                   cost_order=args.cost_order,
                                   probe_timeout_ms=args.probe_timeout,
-                                  probe_cache_entries=args.probe_cache_entries)
+                                  probe_cache_entries=args.probe_cache_entries,
+                                  fault_plan=_resolve_fault_plan(args))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -62,6 +85,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                       probe_cache=probe_cache)
     try:
         result = system.synthesize(nlq, tsq)
+    except ReproError as exc:
+        # Surfaced failures (including exhausted fault plans) exit
+        # cleanly with receipts, never a traceback.
+        print(f"error: synthesis failed: {exc}", file=sys.stderr)
+        _print_fault_receipts(config.fault_plan)
+        return 1
     finally:
         system.close()  # releases a --guidance-server connection
     if store is not None and probe_cache is not None:
@@ -112,6 +141,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                   f"{telemetry.guide_requests} requests scored in "
                   f"{telemetry.guide_batch_calls} batches, "
                   f"{telemetry.guide_hits} cache hits{served}")
+        _print_fault_receipts(config.fault_plan)
     return 0
 
 
@@ -141,12 +171,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             probe_planner=args.probe_planner,
             cost_order=args.cost_order,
             probe_timeout_ms=args.probe_timeout,
-            probe_cache_entries=args.probe_cache_entries)
+            probe_cache_entries=args.probe_cache_entries,
+            fault_plan=_resolve_fault_plan(args))
         sim_config.enumerator_config()  # validate the combination early
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    records = run_simulation(corpus, config=sim_config)
+    from .errors import ReproError
+    try:
+        records = run_simulation(corpus, config=sim_config)
+    except ReproError as exc:
+        # Surfaced failures (including exhausted fault plans) exit
+        # cleanly with receipts, never a traceback.
+        print(f"error: simulation failed: {exc}", file=sys.stderr)
+        _print_fault_receipts(sim_config.fault_plan)
+        return 1
     print(fig10_report(records, args.split))
     print()
     print(fig11_report(records, args.split))
@@ -207,6 +246,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         degraded = sum(1 for t in gpqe if t.get("guidance_degraded"))
         print(f"\n[guidance] {scored} of {requests} requests scored, "
               f"{cache_hits} cache hits, {degraded} degraded tasks")
+    _print_fault_receipts(sim_config.fault_plan, leading_blank=True)
     return 0
 
 
@@ -299,10 +339,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                   probe_planner=args.probe_planner,
                                   cost_order=args.cost_order,
                                   probe_timeout_ms=args.probe_timeout,
-                                  probe_cache_entries=args.probe_cache_entries)
+                                  probe_cache_entries=args.probe_cache_entries,
+                                  fault_plan=_resolve_fault_plan(args))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if config.fault_plan:
+        print(f"[faults] injecting with plan {config.fault_plan!r}",
+              flush=True)
     daemon = SynthesisDaemon(
         databases, config=config, cache_dir=args.cache_dir,
         max_concurrent=args.max_concurrent,
@@ -422,6 +466,16 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                              "implies --guidance-batch, and degrades "
                              "visibly to the local model if the server "
                              "fails")
+    parser.add_argument("--fault-plan", dest="fault_plan",
+                        default=None, metavar="SPEC",
+                        help="deterministic fault injection for chaos "
+                             "testing: ';'-separated rules of the form "
+                             "point:mode[:key=value,...] plus an optional "
+                             "seed=N item (e.g. 'seed=7;db.execute:locked:"
+                             "rate=0.05'); every injected fault is counted "
+                             "and either retried or surfaced as a visible "
+                             "degrade (falls back to the REPRO_FAULTS "
+                             "environment variable; default: disabled)")
 
 
 def build_parser() -> argparse.ArgumentParser:

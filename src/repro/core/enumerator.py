@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from ..db.database import Database
+from ..faults import FaultPlan
 from ..guidance.base import (
     Distribution,
     GuidanceContext,
@@ -158,6 +159,13 @@ class EnumeratorConfig:
     #: telemetry. Ignored when the caller supplies its own prebuilt
     #: cache or verifier.
     probe_cache_entries: Optional[int] = None
+    #: Deterministic fault-injection plan (``--fault-plan`` /
+    #: ``$REPRO_FAULTS``; see :mod:`repro.faults`). None — the seed and
+    #: production behaviour — injects nothing and leaves every seam on
+    #: its zero-cost fast path. The spec rides ``VerifierConfig`` into
+    #: process workers; injections surface in the faults_injected /
+    #: transient_retries telemetry and the daemon's [faults] stats.
+    fault_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Reject bad worker counts here, at the configuration boundary,
@@ -185,6 +193,13 @@ class EnumeratorConfig:
                 or self.guidance_cache_size < 1:
             raise ValueError(f"guidance_cache_size must be a positive "
                              f"integer (got {self.guidance_cache_size!r})")
+        if self.fault_plan is not None:
+            # Same ValueError boundary as the other knobs: a typo'd
+            # plan must fail the run loudly, not inject nothing.
+            try:
+                FaultPlan.parse(self.fault_plan)
+            except ValueError as exc:
+                raise ValueError(f"invalid fault plan: {exc}") from None
         if self.guidance_server:
             # Re-raised as ValueError: this is the same configuration
             # boundary that rejects bad worker counts, and callers (the
@@ -250,7 +265,8 @@ class Enumerator:
                 verify_partial=self.config.verify_partial,
                 probe_planner=self.config.probe_planner,
                 probe_timeout_ms=self.config.probe_timeout_ms,
-                cost_order=self.config.cost_order),
+                cost_order=self.config.cost_order,
+                fault_plan=self.config.fault_plan),
             probe_cache=probe_cache)
         self._ctx = GuidanceContext(nlq=nlq, schema=self.schema,
                                     gold=gold, task_id=task_id)

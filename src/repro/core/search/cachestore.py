@@ -68,10 +68,18 @@ import sqlite3
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
+from ... import faults
 from ...db.database import Database
+from ...faults import RetryPolicy
 from ...sqlir.ast import ColumnRef
 from ...sqlir.canon import canonicalize_probe, probe_plan_key
 from ..verifier import SharedProbeCache
+
+
+def _is_lock_contention(exc: BaseException) -> bool:
+    """True for the transient SQLite errors a concurrent writer causes."""
+    text = str(exc)
+    return "database is locked" in text or "database is busy" in text
 
 logger = logging.getLogger(__name__)
 
@@ -149,6 +157,13 @@ class PersistentProbeCache:
     #: How long a writer waits on another writer's transaction (ms).
     BUSY_TIMEOUT_MS = 5_000
 
+    #: Bounded backoff for lock contention beyond the busy timeout: a
+    #: concurrent writer's transaction is short, so a couple of short
+    #: retries usually cure it. Exhaustion falls back to the existing
+    #: corruption-safe paths (cold start on load, skipped save on save)
+    #: — never an exception out of the caller's ``finally``.
+    RETRY_POLICY = RetryPolicy(attempts=3, base_delay=0.05, max_delay=0.5)
+
     def __init__(self, cache_dir) -> None:
         self.cache_dir = Path(cache_dir).expanduser()
 
@@ -190,6 +205,34 @@ class PersistentProbeCache:
         if not path.exists():
             return None
         try:
+            # Lock contention from a concurrent writer is transient and
+            # must not cost a whole warm start: retry briefly before
+            # falling back to the cold-start path below.
+            return self.RETRY_POLICY.call(
+                lambda: self._load_once(path, db),
+                retryable=(sqlite3.OperationalError,),
+                should_retry=_is_lock_contention,
+                on_retry=self._on_locked_retry(path, "load"))
+        except (sqlite3.Error, ValueError, TypeError, KeyError) as exc:
+            faults.note_surfaced_failure(exc)
+            logger.warning(
+                "probe-cache store %s is malformed (%s); cold start",
+                path, exc)
+            return None
+
+    def _on_locked_retry(self, path: Path, verb: str):
+        def on_retry(exc: BaseException, delay: float) -> None:
+            faults.note_absorbed_failure(exc)
+            logger.warning(
+                "probe-cache store %s is locked during %s (%s); "
+                "retrying in %.2fs", path, verb, exc, delay)
+        return on_retry
+
+    def _load_once(self, path: Path, db: Database) -> Optional[StoreEntries]:
+        injector = faults.ACTIVE
+        if injector is not None:
+            faults.fire_cachestore(injector, "cachestore.load")
+        try:
             connection = self._connect(path)
         except sqlite3.Error as exc:  # pragma: no cover - open rarely fails
             logger.warning(
@@ -223,11 +266,6 @@ class PersistentProbeCache:
                     "ORDER BY seq, tbl, col"):
                 minmax[ColumnRef(table=str(table), column=str(column))] = \
                     (json.loads(low), json.loads(high))
-        except (sqlite3.Error, ValueError, TypeError, KeyError) as exc:
-            logger.warning(
-                "probe-cache store %s is malformed (%s); cold start",
-                path, exc)
-            return None
         finally:
             connection.close()
         return probes, minmax
@@ -296,22 +334,31 @@ class PersistentProbeCache:
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             try:
-                return self._upsert(path, name, content_hash,
-                                    probes, minmax)
+                # Lock contention from a concurrent writer is transient:
+                # retry briefly under the shared policy before giving
+                # the save up. The store is healthy throughout — an
+                # exhausted budget fails this save, never deletes it.
+                return self.RETRY_POLICY.call(
+                    lambda: self._upsert(path, name, content_hash,
+                                         probes, minmax),
+                    retryable=(sqlite3.OperationalError,),
+                    should_retry=_is_lock_contention,
+                    on_retry=self._on_locked_retry(path, "save"))
             except sqlite3.OperationalError:
-                # Locked by a concurrent writer past the busy timeout
-                # (or similar transient condition): the store is
-                # healthy, so fail this save — never delete it.
+                # Still locked (or another operational failure): the
+                # outer handler logs and skips this save.
                 raise
-            except sqlite3.DatabaseError:
+            except sqlite3.DatabaseError as exc:
                 # A corrupt / foreign file under the store's name: the
                 # recorded answers are unreadable anyway, so recreate.
+                faults.note_surfaced_failure(exc)
                 logger.warning(
                     "probe-cache store %s is corrupt; recreating", path)
                 os.unlink(path)
                 return self._upsert(path, name, content_hash,
                                     probes, minmax)
         except (OSError, sqlite3.Error, TypeError, ValueError) as exc:
+            faults.note_surfaced_failure(exc)
             logger.warning(
                 "could not persist probe cache to %s (%s); continuing "
                 "without", path, exc)
@@ -335,6 +382,9 @@ class PersistentProbeCache:
 
     def _upsert(self, path: Path, name: str, content_hash: str,
                 probes, minmax) -> Path:
+        injector = faults.ACTIVE
+        if injector is not None:
+            faults.fire_cachestore(injector, "cachestore.save")
         connection = self._connect(path)
         try:
             with connection:  # one transaction: readers never see a torn store

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from ... import faults
 from ...guidance.base import GuidanceRequest
 from ...guidance.batched import BatchingGuidanceModel
 from ...sqlir.ast import Query
@@ -305,6 +306,11 @@ class SearchEngine:
         planner_start = planner.counters.copy() if planner is not None \
             else None
         reconnects_start = int(getattr(model, "reconnects", 0))
+        # Fault accounting mirrors the shared-counter discipline above:
+        # the injector and the db retry counter outlive a single run.
+        faults_start = faults.injected_total()
+        db_stats = getattr(problem.verifier.db, "stats", None)
+        retries_start = int(getattr(db_stats, "retries", 0))
         # Cooperative cancellation: supplied by the domain (a session
         # passes its token through the Enumerator). Checked at the same
         # safe points as max_expansions / time budget.
@@ -515,3 +521,7 @@ class SearchEngine:
                     telemetry.probe_fuse_fallbacks = delta.fuse_fallbacks
                 telemetry.guidance_reconnects = \
                     int(getattr(model, "reconnects", 0)) - reconnects_start
+                telemetry.faults_injected = \
+                    faults.injected_total() - faults_start
+                telemetry.transient_retries = \
+                    int(getattr(db_stats, "retries", 0)) - retries_start

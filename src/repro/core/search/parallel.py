@@ -55,10 +55,12 @@ import itertools
 import logging
 import pickle
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ... import faults
 from ...db.database import Database
 from ...errors import ExecutionError
 from ..verifier import SharedProbeCache, Verifier, VerifyResult
@@ -213,7 +215,16 @@ class VerificationPool(BaseVerificationPool):
         # round is dispatched: fused answers land in the shared cache,
         # so worker threads mostly hit instead of probing individually.
         self._prefetch(self.verifier, jobs)
-        return list(self._pool.map(self._verify_job, jobs))
+        try:
+            return list(self._pool.map(self._verify_job, jobs))
+        except Exception as exc:
+            self._degrade(f"worker batch failed: {exc}")
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=False)
+        # Rerun outside the except: if inline verification fails too,
+        # that failure propagates (the engine surfaces it) instead of
+        # being mistaken for a cured batch.
+        return self._run_inline(jobs)
 
     def close(self) -> None:
         """Shut the pool down and fold fork counters into the primary.
@@ -290,6 +301,25 @@ def _verify_batch_with_deltas(verifier: Verifier, jobs: Sequence[Job]):
     """
     cache = verifier.probe_cache
     planner = verifier.planner
+    injector = faults.ACTIVE
+    faults_before = injector.snapshot() if injector is not None else None
+    poison_result = False
+    if injector is not None:
+        # This function runs only in *process* workers (thread backends
+        # call verifier.verify directly), so a crash here kills a
+        # subprocess, never the primary. The raised marker exception is
+        # how the primary attributes the death to the injector — the
+        # worker's own counters die with the batch.
+        rule = injector.draw("pool.worker")
+        if rule is not None:
+            if rule.mode == "crash":
+                raise RuntimeError(
+                    "[injected:pool.worker] worker crashed mid-batch")
+            if rule.mode == "hang":
+                time.sleep(min(rule.delay, 30.0))
+                injector.note_absorbed("pool.worker")
+            else:  # unpicklable: poison the *result* pickle below
+                poison_result = True
     stats_before = verifier.db.stats.snapshot()
     hits, misses = cache.hits, cache.misses
     cross = cache.cross_task_hits
@@ -302,6 +332,10 @@ def _verify_batch_with_deltas(verifier: Verifier, jobs: Sequence[Job]):
                for query, partial in jobs]
     planner_delta = planner.counters.delta_since(planner_before).as_tuple() \
         if planner is not None else None
+    if poison_result:
+        return faults.UnpicklableResult()
+    faults_delta = injector.delta_since(faults_before) \
+        if injector is not None else None
     return (results,
             verifier.db.stats.delta_since(stats_before),
             cache.hits - hits,
@@ -309,7 +343,8 @@ def _verify_batch_with_deltas(verifier: Verifier, jobs: Sequence[Job]):
             cache.cross_task_hits - cross,
             cache.warm_start_hits - warm,
             cache.drain_journal(),
-            planner_delta)
+            planner_delta,
+            faults_delta)
 
 
 class ProcessVerificationPool(BaseVerificationPool):
@@ -378,6 +413,7 @@ class ProcessVerificationPool(BaseVerificationPool):
         except Exception as exc:
             # A broken pool (worker crash, unpicklable query) must not
             # abort the search: degrade to inline for the rest of it.
+            faults.note_injected_failure(exc)
             pool, self._pool = self._pool, None
             if pool is not None:
                 pool.shutdown(wait=False)
@@ -387,12 +423,14 @@ class ProcessVerificationPool(BaseVerificationPool):
         cache = self.verifier.probe_cache
         planner = self.verifier.planner
         for batch_results, stats, hits, misses, cross, warm, journal, \
-                planner_delta in outcomes:
+                planner_delta, faults_delta in outcomes:
             results.extend(batch_results)
             self.verifier.db.merge_stats(stats)
             cache.merge_remote(hits, misses, cross, warm, *journal)
             if planner is not None and planner_delta is not None:
                 planner.merge_remote(planner_delta)
+            if faults_delta:
+                faults.absorb_remote(faults_delta)
         return results
 
     def close(self) -> None:
@@ -475,6 +513,38 @@ _EMPTY_SYNC = ((), (), (frozenset(), frozenset()))
 _LEASE_TOKENS = itertools.count(1)
 
 
+class RespawnBreaker:
+    """Circuit breaker over persistent-pool worker respawns.
+
+    Each :meth:`record` marks one pool retirement (a worker crash or a
+    poisoned executor). ``threshold`` retirements inside ``window``
+    seconds trip the breaker: the pool marks itself unavailable, so
+    later leases degrade to inline *visibly* instead of feeding a
+    respawn storm — spawning workers into whatever keeps killing them
+    costs far more than inline verification.
+    """
+
+    def __init__(self, threshold: int = 3, window: float = 30.0,
+                 clock=time.monotonic):
+        self.threshold = max(1, int(threshold))
+        self.window = float(window)
+        self._clock = clock
+        self._marks: List[float] = []
+        self.retires = 0
+        self.tripped = False
+
+    def record(self) -> bool:
+        """Record one retirement; True when the breaker (now) is open."""
+        now = self._clock()
+        self.retires += 1
+        self._marks.append(now)
+        horizon = now - self.window
+        self._marks = [mark for mark in self._marks if mark >= horizon]
+        if len(self._marks) >= self.threshold:
+            self.tripped = True
+        return self.tripped
+
+
 class PersistentPoolLease(BaseVerificationPool):
     """One enumeration's view of a :class:`PersistentProcessPool`.
 
@@ -533,6 +603,7 @@ class PersistentPoolLease(BaseVerificationPool):
             # A dead worker poisons the whole executor: degrade this
             # lease to inline and retire the pool so the manager
             # respawns a fresh one for the next enumeration.
+            faults.note_injected_failure(exc)
             self._pool = None
             pool.retire(f"worker batch failed: {exc}")
             self._degrade(f"worker batch failed: {exc}")
@@ -541,12 +612,14 @@ class PersistentPoolLease(BaseVerificationPool):
         cache = self.verifier.probe_cache
         planner = self.verifier.planner
         for batch_results, stats, hits, misses, cross, warm, journal, \
-                planner_delta in outcomes:
+                planner_delta, faults_delta in outcomes:
             results.extend(batch_results)
             self.verifier.db.merge_stats(stats)
             cache.merge_remote(hits, misses, cross, warm, *journal)
             if planner is not None and planner_delta is not None:
                 planner.merge_remote(planner_delta)
+            if faults_delta:
+                faults.absorb_remote(faults_delta)
         return results
 
     def close(self) -> None:
@@ -644,12 +717,19 @@ class PersistentThreadPool:
 
     backend = "threads"
 
+    #: Respawn circuit breaker: this many retires within the window (s)
+    #: mark the pool unavailable — leases then degrade inline visibly.
+    BREAKER_THRESHOLD = 3
+    BREAKER_WINDOW = 30.0
+
     def __init__(self, db: Database, workers: int):
         self.db = db
         self.workers = _validated_workers(workers)
         self.executor: Optional[ThreadPoolExecutor] = None
         self.spawns = 0
         self.leases = 0
+        self.breaker = RespawnBreaker(self.BREAKER_THRESHOLD,
+                                      self.BREAKER_WINDOW)
         #: nonempty once the database proved unsnapshottable (cannot
         #: heal; later leases degrade immediately)
         self.unavailable_reason = ""
@@ -743,6 +823,13 @@ class PersistentThreadPool:
         self._discard_forks()
         logger.warning("persistent thread pool for %r retired: %s",
                        self.db.schema.name, reason)
+        if self.breaker.record() and not self.unavailable_reason:
+            self.unavailable_reason = (
+                f"worker-respawn circuit breaker open: "
+                f"{self.breaker.retires} retires within "
+                f"{self.breaker.window:.0f}s (last: {reason})")
+            logger.warning("persistent thread pool for %r: %s",
+                           self.db.schema.name, self.unavailable_reason)
 
     def close(self) -> None:
         """Shut the threads down and close their fork connections for
@@ -777,6 +864,11 @@ class PersistentProcessPool:
     task after task without respawning.
     """
 
+    #: Respawn circuit breaker: this many retires within the window (s)
+    #: mark the pool unavailable — leases then degrade inline visibly.
+    BREAKER_THRESHOLD = 3
+    BREAKER_WINDOW = 30.0
+
     def __init__(self, db: Database, workers: int):
         self.db = db
         self.workers = _validated_workers(workers)
@@ -785,6 +877,8 @@ class PersistentProcessPool:
         #: "zero new pool workers mid-sweep")
         self.spawns = 0
         self.leases = 0
+        self.breaker = RespawnBreaker(self.BREAKER_THRESHOLD,
+                                      self.BREAKER_WINDOW)
         #: nonempty once the database proved unsnapshottable — a
         #: db-level failure that cannot heal, so later leases degrade
         #: immediately instead of re-paying a doomed snapshot attempt.
@@ -875,6 +969,13 @@ class PersistentProcessPool:
         executor.shutdown(wait=False)
         logger.warning("persistent process pool for %r retired: %s",
                        self.db.schema.name, reason)
+        if self.breaker.record() and not self.unavailable_reason:
+            self.unavailable_reason = (
+                f"worker-respawn circuit breaker open: "
+                f"{self.breaker.retires} retires within "
+                f"{self.breaker.window:.0f}s (last: {reason})")
+            logger.warning("persistent process pool for %r: %s",
+                           self.db.schema.name, self.unavailable_reason)
 
     def close(self) -> None:
         """Shut the worker processes down for good. Idempotent."""
@@ -938,6 +1039,9 @@ class PoolManager:
             "worker_spawns": sum(pool.spawns for _, pool in pools),
             "persistent_leases": sum(pool.leases for _, pool in pools),
             "fallback_leases": self.fallback_leases,
+            "pool_retires": sum(pool.breaker.retires for _, pool in pools),
+            "breaker_trips": sum(1 for _, pool in pools
+                                 if pool.breaker.tripped),
         }
 
     def lease(self, verifier: Verifier, backend: str = "processes",

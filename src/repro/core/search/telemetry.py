@@ -103,6 +103,12 @@ class SearchTelemetry:
     probe_fuse_fallbacks: int = 0
     #: successful guidance-server reconnects after a failure
     guidance_reconnects: int = 0
+    #: fault-injection draws that fired during this run (0 unless a
+    #: fault plan is installed; see :mod:`repro.faults`)
+    faults_injected: int = 0
+    #: transient probe-execution failures absorbed by the database
+    #: retry policy during this run
+    transient_retries: int = 0
     #: cost-order mode for this run ("off", "order", or "abort")
     cost_order: str = "off"
     #: verification jobs dispatched in cost order (0 when cost_order=off)
@@ -177,6 +183,8 @@ class SearchTelemetry:
             "probe_fused_groups": self.probe_fused_groups,
             "probe_fuse_fallbacks": self.probe_fuse_fallbacks,
             "guidance_reconnects": self.guidance_reconnects,
+            "faults_injected": self.faults_injected,
+            "transient_retries": self.transient_retries,
             "cost_order": self.cost_order,
             "cost_ordered": self.cost_ordered,
             "probe_timeouts": self.probe_timeouts,

@@ -22,6 +22,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..db.database import Database
 from ..db.schema import Schema
 from ..errors import ExecutionError, ExecutionTimeout
+from ..faults import ensure_installed as _ensure_faults_installed
+from ..faults import is_transient as _is_transient_failure
 from ..nlq.literals import Literal
 from ..sqlir.ast import (
     AggOp,
@@ -111,6 +113,11 @@ class VerifierConfig:
     #: cost model to their rebuilt planner, ordering fused batch arms
     #: cheapest-first on the worker side too.
     cost_order: str = "off"
+    #: Deterministic fault-injection plan spec (see :mod:`repro.faults`),
+    #: or ``None`` for production behaviour. Part of the verifier config
+    #: so the plan ships to process-pool workers: a worker rebuilding its
+    #: verifier from this config arms the same injector as the primary.
+    fault_plan: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -567,6 +574,14 @@ class SharedProbeCache:
                     # the surrounding interruptible() guard converts
                     # this to ExecutionTimeout at scope exit.
                     raise
+                if _is_transient_failure(exc):
+                    # The execute-level retry budget is already spent.
+                    # A transient failure draws no conclusion either — a
+                    # later attempt may answer truthfully, so memoising
+                    # (or persisting) anything here would poison the
+                    # cache. Propagate; the pool's degrade ladder reruns
+                    # the batch inline with fresh retries.
+                    raise
                 # A probe that cannot execute draws no conclusion;
                 # pruning must stay sound, so treat it as satisfied.
                 outcome = True
@@ -686,6 +701,11 @@ class Verifier:
         self.literals = tuple(literals)
         self.config = config or VerifierConfig()
         self.rules = rules or RuleSet()
+        # Arm the fault injector before any statement can run. Idempotent
+        # per spec: in the primary this is a no-op after the first
+        # verifier, in a process worker it installs the shipped plan.
+        if self.config.fault_plan:
+            _ensure_faults_installed(self.config.fault_plan)
         #: failure counts per stage plus "pass"
         self.stats: Dict[str, int] = {}
         # `is None`, not truthiness: an empty SharedProbeCache is falsy
@@ -1320,6 +1340,11 @@ class Verifier:
                                 detail=f"execution failed: {exc}",
                                 timed_out=True)
         except ExecutionError as exc:
+            if _is_transient_failure(exc):
+                # Not a property of the candidate: rejecting here would
+                # silently alter the stream. Let the degrade ladder (or
+                # the session's terminal-failed state) make it visible.
+                raise
             return VerifyResult(ok=False, failed_stage=STAGE_FULL,
                                 detail=f"execution failed: {exc}")
         truncated = len(rows) > cap

@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import hashlib
 import sqlite3
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..errors import ExecutionError, ExecutionTimeout
+from ..faults import RetryPolicy
 from ..sqlir.ast import ColumnRef, Query
 from ..sqlir.render import quote_ident, to_sql
 from ..sqlir.types import Value
@@ -31,6 +34,7 @@ class ExecutionStats:
     statements: int = 0
     rows_fetched: int = 0
     timeouts: int = 0
+    retries: int = 0
     per_kind: Dict[str, int] = field(default_factory=dict)
 
     def record(self, kind: str, rows: int) -> None:
@@ -42,6 +46,7 @@ class ExecutionStats:
         return ExecutionStats(statements=self.statements,
                               rows_fetched=self.rows_fetched,
                               timeouts=self.timeouts,
+                              retries=self.retries,
                               per_kind=dict(self.per_kind))
 
     def delta_since(self, before: "ExecutionStats") -> "ExecutionStats":
@@ -55,6 +60,7 @@ class ExecutionStats:
                               rows_fetched=self.rows_fetched
                               - before.rows_fetched,
                               timeouts=self.timeouts - before.timeouts,
+                              retries=self.retries - before.retries,
                               per_kind=per_kind)
 
 
@@ -173,6 +179,7 @@ class Database:
         self.stats.statements += other.statements
         self.stats.rows_fetched += other.rows_fetched
         self.stats.timeouts += other.timeouts
+        self.stats.retries += other.retries
         for kind, count in other.per_kind.items():
             self.stats.per_kind[kind] = \
                 self.stats.per_kind.get(kind, 0) + count
@@ -195,23 +202,68 @@ class Database:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    #: Bounded backoff for transient failures (lock contention and
+    #: injected faults). Short delays: probes are sub-millisecond, and a
+    #: locked in-memory database clears as soon as the writer commits.
+    RETRY_POLICY = RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.25)
+
     def execute(self, sql: str, params: Sequence[Value] = (),
                 max_rows: Optional[int] = None,
                 kind: str = "query") -> List[Row]:
-        """Execute a SELECT statement and fetch (up to ``max_rows``) rows."""
+        """Execute a SELECT statement and fetch (up to ``max_rows``) rows.
+
+        Transient failures ("database is locked"/busy, and injected
+        faults marked ``transient``) are retried under
+        :attr:`RETRY_POLICY`; an exhausted budget propagates the
+        transient error so callers never mistake it for a query-shape
+        failure (in particular the probe cache must not memoise it).
+        Budget interrupts ("interrupted") always propagate immediately —
+        the ``interruptible()`` guard turns them into
+        :class:`ExecutionTimeout` at scope exit.
+        """
         # The memoised content hash keys persisted probe caches, so it
         # must notice *any* mutation — including UPDATE/DELETE routed
         # through here despite the SELECT contract. total_changes is a
         # cheap connection-level write counter.
         changes_before = self._conn.total_changes
+        delays = None
         try:
-            cursor = self._conn.execute(sql, tuple(params))
-            if max_rows is None:
-                rows = cursor.fetchall()
-            else:
-                rows = cursor.fetchmany(max_rows)
-        except sqlite3.Error as exc:
-            raise ExecutionError(f"failed to execute {sql!r}: {exc}") from exc
+            while True:
+                injector = faults.ACTIVE
+                try:
+                    if injector is not None:
+                        faults.fire_db_execute(
+                            injector, armed=self.interrupt_armed)
+                    cursor = self._conn.execute(sql, tuple(params))
+                    if max_rows is None:
+                        rows = cursor.fetchall()
+                    else:
+                        rows = cursor.fetchmany(max_rows)
+                    break
+                except (sqlite3.Error, faults.InjectedFault) as exc:
+                    if isinstance(exc, faults.InjectedFault):
+                        error = exc
+                    else:
+                        error = ExecutionError(
+                            f"failed to execute {sql!r}: {exc}")
+                    if (faults.is_transient(error)
+                            and "interrupted" not in str(error)):
+                        if delays is None:
+                            delays = self.RETRY_POLICY.delays()
+                        delay = next(delays, None)
+                        if delay is not None:
+                            self.stats.retries += 1
+                            if (injector is not None
+                                    and isinstance(exc,
+                                                   faults.InjectedFault)):
+                                injector.note_absorbed(exc.point)
+                            time.sleep(delay)
+                            continue
+                    if (injector is not None
+                            and isinstance(exc, faults.InjectedFault)):
+                        injector.note_surfaced(exc.point)
+                        raise
+                    raise error from exc
         finally:
             if self._conn.total_changes != changes_before:
                 self._content_hash = None
@@ -301,7 +353,10 @@ class _InterruptGuard:
     def __exit__(self, exc_type, exc, tb) -> bool:
         self._db._conn.set_progress_handler(None, 0)
         self._db.interrupt_armed = False
-        if exc_type is ExecutionError and "interrupted" in str(exc):
+        if (exc_type is not None
+                and issubclass(exc_type, ExecutionError)
+                and not issubclass(exc_type, ExecutionTimeout)
+                and "interrupted" in str(exc)):
             self._db.stats.timeouts += 1
             raise ExecutionTimeout(str(exc)) from exc
         return False

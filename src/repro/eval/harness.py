@@ -146,6 +146,9 @@ class SimulationConfig:
     #: and surfaces as probe_cache_evictions / evicted_flushed
     #: telemetry.
     probe_cache_entries: Optional[int] = None
+    #: deterministic fault-injection plan (the CLI's ``--fault-plan``);
+    #: ``None`` disables injection entirely (the seed behaviour).
+    fault_plan: Optional[str] = None
 
     def enumerator_config(self) -> EnumeratorConfig:
         return EnumeratorConfig(time_budget=self.timeout,
@@ -161,7 +164,8 @@ class SimulationConfig:
                                 probe_planner=self.probe_planner,
                                 cost_order=self.cost_order,
                                 probe_timeout_ms=self.probe_timeout_ms,
-                                probe_cache_entries=self.probe_cache_entries)
+                                probe_cache_entries=self.probe_cache_entries,
+                                fault_plan=self.fault_plan)
 
 
 def _context_for(config: SimulationConfig) -> ServiceContext:

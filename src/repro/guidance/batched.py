@@ -46,11 +46,14 @@ import json
 import logging
 import socket
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..errors import GuidanceError
+from ..faults import RetryPolicy
 from ..sqlir.ast import AggOp, ColumnRef, CompOp, Direction, LogicOp
 from .base import (
     CACHE_FIELDS,
@@ -461,6 +464,14 @@ class ServerGuidanceModel(_RequestScoringModel):
 
     PROTOCOL_VERSION = 1
 
+    #: Backoff between reconnect attempts. Reconnects used to fire
+    #: back-to-back — three attempts burned in microseconds against a
+    #: restarting scorer that needed a beat to come up. ``attempts``
+    #: here only sizes the delay schedule; the bound stays
+    #: ``max_reconnects``.
+    RECONNECT_POLICY = RetryPolicy(attempts=DEFAULT_MAX_RECONNECTS + 1,
+                                   base_delay=0.1, max_delay=2.0)
+
     def __init__(self, address: str, fallback: GuidanceModel,
                  timeout: float = DEFAULT_TIMEOUT,
                  max_reconnects: int = DEFAULT_MAX_RECONNECTS):
@@ -476,8 +487,11 @@ class ServerGuidanceModel(_RequestScoringModel):
         #: bumped on every scorer switch (degrade or heal); the batching
         #: wrapper flushes its distribution cache when it changes
         self.scorer_epoch = 0
-        self._reconnects_left = max(0, int(max_reconnects))
+        self._max_reconnects = max(0, int(max_reconnects))
+        self._reconnects_left = self._max_reconnects
         self._permanent = False
+        #: injectable for tests (recording backoff without waiting)
+        self._sleep = time.sleep
         self._sock: Optional[socket.socket] = None
         self._reader = None
         self._ids = itertools.count()
@@ -524,6 +538,13 @@ class ServerGuidanceModel(_RequestScoringModel):
         """
         if self._permanent:
             return False
+        # Jittered exponential backoff before each attempt: a scorer
+        # that just died needs a beat to restart, and back-to-back
+        # attempts would burn the whole budget in microseconds.
+        attempt = self._max_reconnects - self._reconnects_left
+        delay = self.RECONNECT_POLICY.delay_for(attempt)
+        if delay > 0:
+            self._sleep(delay)
         self._reconnects_left -= 1
         try:
             with self._lock:
@@ -564,6 +585,9 @@ class ServerGuidanceModel(_RequestScoringModel):
 
     def _ensure_connection(self) -> None:
         if self._sock is None:
+            injector = faults.ACTIVE
+            if injector is not None:
+                faults.fire_guidance_connect(injector)
             sock = socket.create_connection((self.host, self.port),
                                             timeout=self.timeout)
             sock.settimeout(self.timeout)
@@ -660,6 +684,9 @@ class ServerGuidanceModel(_RequestScoringModel):
                     ) -> List[List[float]]:
         with self._lock:
             self._ensure_connection()
+            injector = faults.ACTIVE
+            if injector is not None:
+                faults.fire_guidance_transport(injector)
             request_id = next(self._ids)
             line = json.dumps({"v": self.PROTOCOL_VERSION,
                                "id": request_id,

@@ -9,6 +9,7 @@ from .session import (
     STATE_CREATED,
     STATE_DONE,
     STATE_ENUMERATING,
+    STATE_FAILED,
     DuoquestSession,
     Round,
     SessionBudgetExceeded,
@@ -33,6 +34,7 @@ __all__ = [
     "STATE_CREATED",
     "STATE_DONE",
     "STATE_ENUMERATING",
+    "STATE_FAILED",
     "SessionBudgetExceeded",
     "SessionCore",
     "Suggestion",

@@ -39,9 +39,14 @@ STATE_ENUMERATING = "enumerating"
 STATE_AWAITING_REFINEMENT = "awaiting-refinement"
 STATE_DONE = "done"
 STATE_CANCELLED = "cancelled"
+#: Terminal crash containment: an engine exception during submit()
+#: lands the session here (with :attr:`SessionCore.fail_reason`) —
+#: never back in ``awaiting-refinement`` pretending nothing happened.
+STATE_FAILED = "failed"
 
 SESSION_STATES = (STATE_CREATED, STATE_ENUMERATING,
-                  STATE_AWAITING_REFINEMENT, STATE_DONE, STATE_CANCELLED)
+                  STATE_AWAITING_REFINEMENT, STATE_DONE, STATE_CANCELLED,
+                  STATE_FAILED)
 
 
 class SessionBudgetExceeded(RuntimeError):
@@ -86,6 +91,8 @@ class SessionCore:
         self.session_id = session_id
         self.rounds: List[Round] = []
         self.state = STATE_CREATED
+        #: why the session reached ``failed`` ("" otherwise)
+        self.fail_reason = ""
         self.max_candidates = max_candidates
         self.max_probes = max_probes
         #: candidates emitted / probes executed across all rounds
@@ -201,11 +208,18 @@ class SessionCore:
         try:
             result = self.system.synthesize(nlq, tsq, stop_when=stop,
                                             cancel_token=token)
-        except BaseException:
+        except BaseException as exc:
             with self._lock:
                 self._settle(token)
-            if self.state == STATE_CANCELLED:
-                self._fire_release()
+                if self.state != STATE_CANCELLED:
+                    # Crash containment: the enumeration died, so this
+                    # session is over — settling back to
+                    # awaiting-refinement would advertise a next round
+                    # the engine may be unable to serve. Terminal, with
+                    # a reason the status verb can report.
+                    self.state = STATE_FAILED
+                    self.fail_reason = f"{type(exc).__name__}: {exc}"
+            self._fire_release()
             raise
         with self._lock:
             self.rounds.append(Round(nlq=nlq, tsq=tsq, result=result))
@@ -277,7 +291,7 @@ class SessionCore:
         transitions straight to ``cancelled``. Idempotent.
         """
         with self._lock:
-            if self.state in (STATE_DONE, STATE_CANCELLED):
+            if self.state in (STATE_DONE, STATE_CANCELLED, STATE_FAILED):
                 return
             self.state = STATE_CANCELLED
             token = self._token
@@ -287,13 +301,13 @@ class SessionCore:
 
     def close(self) -> None:
         """Finish the session normally (``done``). Idempotent; a
-        cancelled session stays cancelled."""
+        cancelled or failed session keeps its terminal state."""
         with self._lock:
-            cancelled = self.state == STATE_CANCELLED
-            if not cancelled:
+            terminal = self.state in (STATE_CANCELLED, STATE_FAILED)
+            if not terminal:
                 self.state = STATE_DONE
             token = self._token
-        if not cancelled and token is not None:
+        if not terminal and token is not None:
             token.cancel("session closed")
         self._fire_release()
 

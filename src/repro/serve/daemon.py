@@ -46,6 +46,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional
 
+from .. import faults
 from ..core.duoquest import Duoquest, SynthesisResult
 from ..core.enumerator import EnumeratorConfig
 from ..core.search import PoolManager
@@ -59,6 +60,7 @@ from ..interaction.session import (
     STATE_CANCELLED,
     STATE_DONE,
     STATE_ENUMERATING,
+    STATE_FAILED,
     SessionCore,
 )
 from ..nlq.literals import NLQuery
@@ -108,6 +110,12 @@ class SynthesisDaemon:
     #: Default LRU bound on finished/cancelled sessions kept addressable
     #: by the ``status`` verb before being retired from the table.
     MAX_TERMINAL_SESSIONS = 64
+
+    #: Hard cap on one NDJSON request line. Without it a client (or a
+    #: fault) streaming bytes with no newline grows the read buffer
+    #: without bound; with it the read fails fast and the connection is
+    #: closed with a clean protocol error.
+    MAX_LINE_BYTES = 1 << 20
 
     def __init__(self, databases: Dict[str, Database], *,
                  config: Optional[EnumeratorConfig] = None,
@@ -174,6 +182,19 @@ class SynthesisDaemon:
         #: construction (the session has no earlier generations of its
         #: own to hit).
         self.cross_session_probe_hits = 0
+        #: failure-semantics counters (the [faults] stats section):
+        #: sessions that reached the terminal ``failed`` state, clean
+        #: protocol errors sent, oversized lines rejected, connections
+        #: dropped mid-verb
+        self.sessions_failed = 0
+        self.protocol_errors = 0
+        self.oversized_lines = 0
+        self.connections_dropped = 0
+        #: True when *this daemon* installed the process-global fault
+        #: injector (uninstalled again at shutdown, so an in-process
+        #: daemon leaves no injector behind for its host process)
+        self._installed_faults = faults.ensure_installed(
+            self.config.fault_plan)
         self.address: Optional[tuple] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -200,7 +221,8 @@ class SynthesisDaemon:
                 # event loop without signal support; stop() still works.
                 break
         server = await asyncio.start_server(self._handle_connection,
-                                            host, port)
+                                            host, port,
+                                            limit=self.MAX_LINE_BYTES)
         self.address = server.sockets[0].getsockname()[:2]
         if ready is not None:
             ready.set()
@@ -220,29 +242,100 @@ class SynthesisDaemon:
             self._loop.call_soon_threadsafe(self._stop.set)
 
     async def _shutdown(self) -> None:
+        """Graceful drain: cancel sessions, wait for in-flight
+        enumerations, then release every owned resource.
+
+        Every step is exception-guarded: one session (or database) that
+        fails to close must not abandon the rest, and in particular must
+        not skip ``context.close()`` — that call flushes the bounded
+        probe caches' eviction sinks and persists every cache to the
+        ``--cache-dir`` store, which is the shutdown contract.
+        """
         print("[serve] shutting down: cancelling sessions", flush=True)
         with self._lock:
             sessions = list(self._sessions.values())
         for session in sessions:
-            session.core.cancel("server shutting down")
+            try:
+                session.core.cancel("server shutting down")
+            except Exception as exc:  # pragma: no cover - defensive
+                print(f"[serve] cancel of session {session.id} failed: "
+                      f"{exc}", flush=True)
         # In-flight enumerations observe the cancel at their next engine
         # checkpoint; wait for them off-loop so the loop stays live.
         await self._loop.run_in_executor(None, self._executor.shutdown)
+        print(f"[serve] drained {len(sessions)} sessions", flush=True)
         for session in sessions:
-            session.core.system.close()
-        self.context.close()
+            try:
+                session.core.system.close()
+            except Exception as exc:  # pragma: no cover - defensive
+                print(f"[serve] close of session {session.id} failed: "
+                      f"{exc}", flush=True)
+        try:
+            # Flushes eviction sinks and persists probe caches.
+            self.context.close()
+        except Exception as exc:  # pragma: no cover - defensive
+            print(f"[serve] service context close failed: {exc}",
+                  flush=True)
         for db in self.databases.values():
-            db.close()
+            try:
+                db.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        if self._installed_faults:
+            faults.uninstall()
         print("[serve] shutdown complete: pools closed, "
               "cache store flushed", flush=True)
 
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
+    async def _reject_oversized(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """Answer an over-limit request line with a clean protocol
+        error; the caller then closes the connection."""
+        self.oversized_lines += 1
+        self.protocol_errors += 1
+        writer.write(protocol.encode(protocol.error_response(
+            None, f"request line exceeds {self.MAX_LINE_BYTES} bytes; "
+            "closing connection")))
+        try:
+            await writer.drain()
+            # Drain the rest of the offending line (bounded) so the
+            # close is a FIN, not an RST that could discard the error
+            # reply from the client's receive buffer mid-flight.
+            for _ in range(64):
+                chunk = await asyncio.wait_for(
+                    reader.read(1 << 20), timeout=1.0)
+                if not chunk or b"\n" in chunk:
+                    break
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+
+    def _maybe_inject_connection_fault(self) -> Optional[str]:
+        """The drawn ``daemon.connection`` fault mode, if any.
+
+        Booked surfaced immediately — both modes end in a counted,
+        client-visible outcome (a protocol error or a dropped
+        connection).
+        """
+        injector = faults.ACTIVE
+        if injector is None:
+            return None
+        rule = injector.draw("daemon.connection")
+        if rule is None:
+            return None
+        injector.note_surfaced("daemon.connection")
+        return rule.mode
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         try:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # StreamReader found no newline within the buffer limit.
+                await self._reject_oversized(reader, writer)
+                return
             if not line:
                 return
             request_id: object = None
@@ -251,6 +344,7 @@ class SynthesisDaemon:
                 request_id = payload.get("id")
                 protocol.check_hello(payload)
             except protocol.ProtocolError as exc:
+                self.protocol_errors += 1
                 writer.write(protocol.encode(
                     protocol.error_response(request_id, str(exc))))
                 await writer.drain()
@@ -259,12 +353,25 @@ class SynthesisDaemon:
                 protocol.hello_response(request_id, self.epoch)))
             await writer.drain()
             while self._stop is not None and not self._stop.is_set():
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await self._reject_oversized(reader, writer)
+                    break
                 if not line:
                     break
                 line = line.strip()
                 if not line:
                     continue
+                mode = self._maybe_inject_connection_fault()
+                if mode == "oversized":
+                    await self._reject_oversized(reader, writer)
+                    break
+                if mode == "vanish":
+                    self.connections_dropped += 1
+                    raise ConnectionResetError(
+                        "[injected:daemon.connection] client vanished "
+                        "mid-verb")
                 request_id = None
                 try:
                     payload = protocol.decode(line)
@@ -272,6 +379,7 @@ class SynthesisDaemon:
                     verb = protocol.validate_verb(payload)
                     response = await self._dispatch(verb, payload)
                 except protocol.ProtocolError as exc:
+                    self.protocol_errors += 1
                     response = protocol.error_response(request_id,
                                                        str(exc))
                 except Exception as exc:
@@ -330,7 +438,8 @@ class SynthesisDaemon:
         teardown hooks touch the probe-cache registry).
         """
         terminal = [s for s in self._sessions.values()
-                    if s.core.state in (STATE_DONE, STATE_CANCELLED)]
+                    if s.core.state in (STATE_DONE, STATE_CANCELLED,
+                                        STATE_FAILED)]
         retired: List[_Session] = []
         for session in terminal[:max(
                 0, len(terminal) - self.max_terminal_sessions)]:
@@ -422,10 +531,14 @@ class SynthesisDaemon:
 
     def _status(self, payload: Dict[str, object]) -> Dict[str, object]:
         session = self._session_for(payload)
-        return {"session": session.id, "database": session.database,
-                "state": session.core.state,
-                "rounds": len(session.core.rounds),
-                "budgets": session.core.budgets(), "epoch": self.epoch}
+        status = {"session": session.id, "database": session.database,
+                  "state": session.core.state,
+                  "rounds": len(session.core.rounds),
+                  "budgets": session.core.budgets(),
+                  "epoch": self.epoch}
+        if session.core.state == STATE_FAILED:
+            status["reason"] = session.core.fail_reason
+        return status
 
     def _cancel(self, payload: Dict[str, object]) -> Dict[str, object]:
         session = self._session_for(payload)
@@ -444,12 +557,27 @@ class SynthesisDaemon:
                          call: Callable[[], SynthesisResult]
                          ) -> SynthesisResult:
         first_round = not session.core.rounds
-        async with self._admission:
-            async with self._db_locks[session.database]:
-                if self._stop.is_set():
-                    raise protocol.ProtocolError("server shutting down")
-                result = await self._loop.run_in_executor(
-                    self._executor, call)
+        try:
+            async with self._admission:
+                async with self._db_locks[session.database]:
+                    if self._stop.is_set():
+                        raise protocol.ProtocolError(
+                            "server shutting down")
+                    result = await self._loop.run_in_executor(
+                        self._executor, call)
+        except Exception:
+            # Crash containment: an engine failure settles *this*
+            # session to its terminal failed state (done in
+            # SessionCore.submit) and surfaces on the wire as an error
+            # response; siblings and the daemon are untouched. Budget
+            # or bad-state rejections leave the session alive, so the
+            # state check distinguishes them from real crashes.
+            with self._lock:
+                if session.core.state == STATE_FAILED:
+                    self.sessions_failed += 1
+                retired = self._retire_terminal_locked()
+            self._teardown_retired(retired)
+            raise
         telemetry = result.telemetry
         with self._lock:
             self.rounds_served += 1
@@ -511,11 +639,23 @@ class SynthesisDaemon:
                     "active": by_state.get(STATE_ENUMERATING, 0),
                     "by_state": by_state,
                     "retired": self.sessions_retired,
+                    "failed": self.sessions_failed,
                     "max_terminal": self.max_terminal_sessions,
                 },
                 "rounds_served": self.rounds_served,
                 "pool_reused_rounds": self.pool_reused_rounds,
                 "cross_session_probe_hits": self.cross_session_probe_hits,
+            }
+            active_plan = faults.ACTIVE
+            snapshot["faults"] = {
+                "plan": (active_plan.plan.spec
+                         if active_plan is not None else None),
+                "counters": faults.counters(),
+                "total_injected": faults.injected_total(),
+                "protocol_errors": self.protocol_errors,
+                "oversized_lines": self.oversized_lines,
+                "connections_dropped": self.connections_dropped,
+                "sessions_failed": self.sessions_failed,
             }
         snapshot["pool"] = dict(self.context.pool_manager.stats)
         snapshot["probe_cache"] = self.context.caches.counters()

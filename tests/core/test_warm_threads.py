@@ -146,7 +146,8 @@ class TestManagerPolicy:
             second.close()
             stats = manager.stats
             assert stats == {"pools": 1, "worker_spawns": 1,
-                             "persistent_leases": 2, "fallback_leases": 0}
+                             "persistent_leases": 2, "fallback_leases": 0,
+                             "pool_retires": 0, "breaker_trips": 0}
 
     def test_single_worker_still_falls_back(self, db, verifier):
         with PoolManager(warm_threads=True) as manager:

@@ -393,3 +393,58 @@ class TestHandshake:
             assert len(dist) == 0
         finally:
             model.close()
+
+
+class TestReconnectBackoff:
+    """PR 10: reconnect attempts back off under RECONNECT_POLICY
+    instead of redialling back-to-back, without changing the bounded
+    reconnect budget or the ``reconnects`` telemetry semantics."""
+
+    def fallback_model(self):
+        return CalibratedOracleModel(seed=0)
+
+    def test_failed_reconnects_back_off_deterministically(self, caplog):
+        model = ServerGuidanceModel("127.0.0.1:1",
+                                    fallback=self.fallback_model(),
+                                    timeout=0.5, max_reconnects=3)
+        slept = []
+        model._sleep = slept.append
+        policy = ServerGuidanceModel.RECONNECT_POLICY
+        with caplog.at_level(logging.WARNING, "repro.guidance.batched"):
+            # First batch degrades (the initial connect is not a
+            # reconnect and must not sleep); the next three each burn
+            # one reconnect attempt, backing off before redialling.
+            for _ in range(5):
+                model.score_batch([kw_request()])
+        assert slept == [policy.delay_for(0), policy.delay_for(1),
+                         policy.delay_for(2)]
+        assert slept == sorted(slept), "backoff must not shrink"
+        assert model.degraded
+        assert model.reconnects == 0
+        assert "giving up on reconnects" in caplog.text
+
+    def test_successful_reconnect_still_counts_once(self, stub, caplog):
+        """The healing path from the PR 7 contract, now with one
+        backoff sleep in front of the redial."""
+        module, address = stub
+        dying, dying_address = serve_scripted([])
+        try:
+            model = ServerGuidanceModel(dying_address,
+                                        fallback=self.fallback_model(),
+                                        timeout=2.0, max_reconnects=2)
+            slept = []
+            model._sleep = slept.append
+            with caplog.at_level(logging.WARNING,
+                                 "repro.guidance.batched"):
+                model.score_batch([kw_request()])
+            assert model.degraded
+            model.host, model.port = address.rsplit(":", 1)[0], \
+                int(address.rsplit(":", 1)[1])
+            model.score_batch([kw_request()])
+            assert not model.degraded
+            assert model.reconnects == 1
+            assert slept == \
+                [ServerGuidanceModel.RECONNECT_POLICY.delay_for(0)]
+        finally:
+            dying.shutdown()
+            dying.server_close()
